@@ -1,0 +1,174 @@
+// Ablation: latency/quality trade-offs for the catalog scan — the two
+// techniques the paper's conclusion proposes to explore ("model
+// quantisation or approximate nearest neighbor search", Sec. IV refs
+// [36], [37]) implemented and measured for real on the CPU tensor engine.
+//
+// For a 200k-item catalog (d = 22) we compare, over real queries from a
+// GRU4Rec model:
+//   * exact fp32 MIPS (the baseline every SBR model runs today),
+//   * int8-quantised scan (4x less memory traffic),
+//   * IVF-flat with nprobe in {1, 2, 4, 8, 16, 32} (scans ~nprobe/nlist
+//     of the catalog).
+// Reported: measured per-query latency, recall@21 against the exact scan,
+// and the projected CPU p90 at the Fashion scenario (1M items) obtained
+// by scaling the cost model's scan bytes by the measured ratio.
+
+#include <chrono>
+#include <functional>
+#include <cstdio>
+#include <vector>
+
+#include "ann/ivf_index.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "metrics/report.h"
+#include "models/model_factory.h"
+#include "sim/device.h"
+#include "tensor/quantized.h"
+#include "workload/session_generator.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MeasureUs(const std::function<void()>& fn, int repetitions) {
+  const auto start = Clock::now();
+  for (int i = 0; i < repetitions; ++i) fn();
+  const auto end = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+             .count() /
+         1000.0 / repetitions;
+}
+
+}  // namespace
+
+int main() {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+  constexpr int64_t kCatalog = 200000;
+  constexpr int64_t kTopK = 21;
+  constexpr int kQueries = 12;
+
+  std::printf(
+      "=== Ablation: quantisation & ANN for the catalog scan (paper "
+      "Sec. IV future work) ===\nC=%s, d=%lld, top-%lld, real CPU "
+      "measurements\n\n",
+      etude::FormatWithCommas(kCatalog).c_str(),
+      static_cast<long long>(etude::models::HeuristicEmbeddingDim(kCatalog)),
+      static_cast<long long>(kTopK));
+
+  etude::models::ModelConfig config;
+  config.catalog_size = kCatalog;
+  config.top_k = kTopK;
+  auto model = etude::models::CreateModel(
+      etude::models::ModelKind::kGru4Rec, config);
+  ETUDE_CHECK(model.ok());
+  const etude::tensor::Tensor& items = (*model)->item_embeddings();
+
+  // Real session queries.
+  auto sessions = etude::workload::SessionGenerator::Create(
+      kCatalog, etude::workload::WorkloadStats{}, 31);
+  ETUDE_CHECK(sessions.ok());
+  std::vector<etude::tensor::Tensor> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    queries.push_back(
+        (*model)->EncodeSession(sessions->NextSession().items));
+  }
+
+  // Exact baselines per query.
+  std::vector<etude::tensor::TopKResult> exact(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    exact[q] = etude::tensor::Mips(items, queries[q], kTopK);
+  }
+
+  const auto quantized = etude::tensor::QuantizedMatrix::FromTensor(items);
+  etude::ann::IvfIndex::BuildOptions ivf_options;
+  ivf_options.nlist = 512;
+  auto ivf = etude::ann::IvfIndex::Build(items, ivf_options);
+  ETUDE_CHECK(ivf.ok());
+
+  etude::metrics::Table table({"scan method", "latency/query [ms]",
+                               "recall@21", "scan fraction",
+                               "projected Fashion CPU p90 [ms]"});
+
+  // Projection: the cost model's Fashion CPU p90 scales with the scanned
+  // bytes; the exact scan is the 100% reference.
+  const etude::sim::DeviceSpec cpu = etude::sim::DeviceSpec::Cpu();
+  etude::models::ModelConfig fashion_config = config;
+  fashion_config.catalog_size = 1000000;
+  fashion_config.materialize_embeddings = false;
+  auto fashion_model = etude::models::CreateModel(
+      etude::models::ModelKind::kGru4Rec, fashion_config);
+  const etude::sim::InferenceWork fashion_work =
+      (*fashion_model)->CostModel(etude::models::ExecutionMode::kJit, 3);
+  const double fashion_base_ms =
+      etude::sim::SerialInferenceUs(cpu, fashion_work) / 1000.0;
+
+  auto add_row = [&](const std::string& name, double latency_us,
+                     double recall, double fraction) {
+    etude::sim::InferenceWork scaled = fashion_work;
+    scaled.scan_bytes *= fraction;
+    scaled.scan_flops *= fraction;
+    const double projected_ms =
+        etude::sim::SerialInferenceUs(cpu, scaled) / 1000.0;
+    table.AddRow({name, etude::FormatDouble(latency_us / 1000.0, 3),
+                  etude::FormatDouble(recall, 3),
+                  etude::FormatDouble(fraction, 3),
+                  etude::FormatDouble(projected_ms, 1)});
+  };
+
+  // Exact fp32.
+  {
+    double latency = 0;
+    for (const auto& query : queries) {
+      latency += MeasureUs(
+          [&] { etude::tensor::Mips(items, query, kTopK); }, 3);
+    }
+    add_row("exact fp32 (baseline)", latency / kQueries, 1.0, 1.0);
+  }
+  // Int8 quantised full scan: bytes drop ~4x.
+  {
+    double latency = 0, recall = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const auto result = quantized.Mips(queries[q], kTopK);
+      recall += etude::tensor::RecallAtK(exact[q], result);
+      latency += MeasureUs(
+          [&] { quantized.Mips(queries[q], kTopK); }, 3);
+    }
+    const double fraction =
+        static_cast<double>(quantized.ScanBytes()) /
+        (static_cast<double>(kCatalog) *
+         static_cast<double>(items.dim(1)) * 4.0);
+    add_row("int8 quantised scan", latency / kQueries,
+            recall / kQueries, fraction);
+  }
+  // IVF with increasing probes.
+  for (const int64_t nprobe : {1, 2, 4, 8, 16, 32}) {
+    double latency = 0, recall = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const auto result = ivf->Search(queries[q], kTopK, nprobe);
+      recall += etude::tensor::RecallAtK(exact[q], result);
+      latency += MeasureUs(
+          [&] { ivf->Search(queries[q], kTopK, nprobe); }, 3);
+    }
+    add_row("IVF nlist=512 nprobe=" + std::to_string(nprobe),
+            latency / kQueries, recall / kQueries,
+            ivf->ExpectedScanFraction(nprobe));
+  }
+
+  std::printf("%s", table.ToText().c_str());
+  std::printf(
+      "\nreference: exact Fashion CPU p90 from the cost model is %.1f ms "
+      "(>50 ms SLO);\nscanning ~1/16 of the catalog would bring the CPU "
+      "back under the paper's 50 ms budget\nat some recall cost — the "
+      "trade-off the paper proposes to explore.\n"
+      "notes: (i) the projection column assumes the bandwidth-bound "
+      "regime of production\ncatalogs; at this measurement size the "
+      "table is cache-resident, so the measured int8\nlatency shows the "
+      "conversion overhead rather than the 4x traffic saving. (ii) these\n"
+      "embeddings are randomly initialised and nearly isotropic — the "
+      "worst case for IVF;\ntrained item embeddings cluster by "
+      "category and reach far higher recall per probe.\n",
+      fashion_base_ms);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation: the two serving-side design choices DESIGN.md calls out.
+//
+// 1. GPU request batching (the paper serves GPUs with batches of up to
+//    1,024 requests flushed every 2 ms): sweep the flush window and the
+//    batch-size cap on the e-Commerce scenario (1x GPU-T4, 10M items) and
+//    watch throughput and p90 move. Without meaningful batching the
+//    catalog scan cannot be amortised and a single T4 collapses.
+//
+// 2. Backpressure-aware load generation (Algorithm 2): run an overloaded
+//    deployment with and without the backpressure rule. With it, the
+//    generator degrades gracefully and reports the feasible throughput;
+//    without it, requests pile up and the server sheds load with errors.
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/scenario.h"
+#include "loadgen/load_generator.h"
+#include "metrics/report.h"
+#include "models/model_factory.h"
+#include "serving/sim_server.h"
+#include "sim/simulation.h"
+#include "workload/session_generator.h"
+
+namespace {
+
+struct RunOutcome {
+  double p90_ms = 0;
+  double achieved_rps = 0;
+  double error_rate = 0;
+};
+
+RunOutcome RunOnce(const etude::serving::SimServerConfig& server_config,
+                   double target_rps, int64_t duration_s, bool backpressure,
+                   int64_t catalog_size = 10000000) {
+  etude::models::ModelConfig model_config;
+  model_config.catalog_size = catalog_size;
+  model_config.materialize_embeddings = false;
+  auto model = etude::models::CreateModel(
+      etude::models::ModelKind::kGru4Rec, model_config);
+  ETUDE_CHECK(model.ok());
+
+  etude::sim::Simulation sim;
+  etude::serving::SimInferenceServer server(&sim, model->get(),
+                                            server_config);
+  auto sessions = etude::workload::SessionGenerator::Create(
+      1000000, etude::workload::WorkloadStats{}, 41);
+  ETUDE_CHECK(sessions.ok());
+  etude::loadgen::LoadGeneratorConfig load_config;
+  load_config.target_rps = target_rps;
+  load_config.duration_s = duration_s;
+  load_config.ramp_s = duration_s / 2;
+  load_config.disable_backpressure = !backpressure;
+  etude::loadgen::LoadGenerator generator(&sim, &server, &sessions.value(),
+                                          load_config);
+  generator.Start();
+  sim.Run();
+  const etude::loadgen::LoadResult result = generator.BuildResult();
+  return {result.steady_p90_ms, result.steady_achieved_rps,
+          result.steady_error_rate};
+}
+
+}  // namespace
+
+int main() {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+
+  std::printf(
+      "=== Ablation 1: GPU request batching (e-Commerce, 1x GPU-T4, "
+      "ramp to 400 req/s) ===\n\n");
+  etude::metrics::Table batching({"flush window", "max batch", "p90 [ms]",
+                                  "achieved req/s", "errors %"});
+  struct BatchCase {
+    int64_t flush_us;
+    int max_batch;
+  };
+  const BatchCase cases[] = {
+      {500, 1},      // effectively unbatched
+      {500, 8},
+      {500, 1024},
+      {2000, 1024},  // the paper's configuration
+      {8000, 1024},
+  };
+  for (const BatchCase& c : cases) {
+    etude::serving::SimServerConfig config;
+    config.device = etude::sim::DeviceSpec::GpuT4();
+    config.batching.flush_interval_us = c.flush_us;
+    config.batching.max_batch_size = c.max_batch;
+    const RunOutcome outcome =
+        RunOnce(config, /*target_rps=*/400, /*duration_s=*/60, true);
+    batching.AddRow({etude::FormatDouble(c.flush_us / 1000.0, 1) + " ms",
+                     std::to_string(c.max_batch),
+                     etude::FormatDouble(outcome.p90_ms, 1),
+                     etude::FormatDouble(outcome.achieved_rps, 0),
+                     etude::FormatDouble(100 * outcome.error_rate, 2)});
+  }
+  std::printf("%s", batching.ToText().c_str());
+  std::printf(
+      "\nwithout batching (max batch 1) every request pays the full "
+      "catalog scan and the card\ncollapses; the paper's 1,024/2 ms "
+      "policy amortises the scan across concurrent requests.\n");
+
+  std::printf(
+      "\n=== Ablation 2: backpressure-aware load generation (Fashion on "
+      "an overloaded 1x CPU) ===\n\n");
+  etude::metrics::Table backpressure({"load generator", "p90 [ms]",
+                                      "achieved req/s", "errors %"});
+  for (const bool enabled : {true, false}) {
+    etude::serving::SimServerConfig config;  // CPU defaults
+    config.device = etude::sim::DeviceSpec::Cpu();
+    config.max_queue_depth = 512;
+    const RunOutcome outcome = RunOnce(config, /*target_rps=*/150,
+                                       /*duration_s=*/60, enabled,
+                                       /*catalog_size=*/1000000);
+    backpressure.AddRow(
+        {enabled ? "backpressure-aware (Algorithm 2)" : "open loop",
+         etude::FormatDouble(outcome.p90_ms, 1),
+         etude::FormatDouble(outcome.achieved_rps, 0),
+         etude::FormatDouble(100 * outcome.error_rate, 2)});
+  }
+  std::printf("%s", backpressure.ToText().c_str());
+  std::printf(
+      "\nAlgorithm 2 throttles once the pending count reaches the tick "
+      "rate: the run degrades\ngracefully and still measures the feasible "
+      "throughput. The open-loop generator floods the\nqueue, which "
+      "overflows and sheds load as HTTP 503s — exactly the failure mode "
+      "the paper's\ndesign avoids.\n");
+  return 0;
+}

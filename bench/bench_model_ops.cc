@@ -1,0 +1,78 @@
+// Supporting microbenchmarks: real CPU timings (google-benchmark) of the
+// tensor-engine primitives and of every model's genuine forward pass at
+// small catalog sizes. These ground the simulator's analytic cost model in
+// actually-executed code: the dominant term is the O(C*d) MIPS scan, and
+// per-model encode costs differ by the architecture.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using etude::models::ModelConfig;
+using etude::models::ModelKind;
+using etude::tensor::Tensor;
+
+void BM_Mips(benchmark::State& state) {
+  const int64_t catalog = state.range(0);
+  const int64_t d = etude::models::HeuristicEmbeddingDim(catalog);
+  etude::Rng rng(5);
+  const Tensor items = etude::tensor::RandomNormal({catalog, d}, 0.02f,
+                                                   &rng);
+  const Tensor query = etude::tensor::RandomNormal({d}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etude::tensor::Mips(items, query, 21));
+  }
+  state.SetItemsProcessed(state.iterations() * catalog);
+}
+BENCHMARK(BM_Mips)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TopK(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  etude::Rng rng(6);
+  const Tensor scores = etude::tensor::RandomNormal({n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etude::tensor::TopK(scores, 21));
+  }
+}
+BENCHMARK(BM_TopK)->Arg(10000)->Arg(1000000);
+
+void BM_GruCell(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  etude::Rng rng(7);
+  const Tensor x = etude::tensor::RandomNormal({d}, 1.0f, &rng);
+  const Tensor h = etude::tensor::RandomNormal({d}, 1.0f, &rng);
+  const Tensor w_ih = etude::tensor::XavierUniform({3 * d, d}, &rng);
+  const Tensor w_hh = etude::tensor::XavierUniform({3 * d, d}, &rng);
+  const Tensor b(std::vector<int64_t>{3 * d});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        etude::tensor::GruCell(x, h, w_ih, w_hh, b, b));
+  }
+}
+BENCHMARK(BM_GruCell)->Arg(32)->Arg(64);
+
+void BM_ModelForward(benchmark::State& state) {
+  const ModelKind kind = static_cast<ModelKind>(state.range(0));
+  ModelConfig config;
+  config.catalog_size = 10000;
+  auto model = etude::models::CreateModel(kind, config);
+  const std::vector<int64_t> session = {12, 57, 391, 4820, 7, 57};
+  for (auto _ : state) {
+    auto rec = model.value()->Recommend(session);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetLabel(
+      std::string(etude::models::ModelKindToString(kind)));
+}
+BENCHMARK(BM_ModelForward)->DenseRange(0, 9, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

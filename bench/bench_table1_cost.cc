@@ -1,0 +1,149 @@
+// Reproduces Table I: cost-efficient deployment options per scenario.
+//
+// For each of the five use cases (Groceries small/large, Fashion,
+// e-Commerce, Platform) and each instance type, the cost planner searches
+// for the smallest fleet of instances on which each of the six healthy SBR
+// models sustains the scenario's target throughput at p90 <= 50 ms, and
+// prices it at GCP 1-year-commitment rates. Each configuration is run
+// three times and the median run is kept, as in the paper.
+//
+// The four models with RecBole implementation errors (SR-GNN, GC-SAN,
+// RepeatNet, LightSANs) are excluded from the table, as in the paper; a
+// second table reports how they fail.
+//
+// Pass --quick for shorter per-run simulations (CI-friendly).
+
+#include <cstdio>
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/cost_planner.h"
+#include "core/scenario.h"
+#include "metrics/report.h"
+
+namespace {
+
+using etude::core::CostPlanner;
+using etude::core::DeploymentPlan;
+using etude::core::ModelPlan;
+using etude::core::PlannerOptions;
+using etude::core::Scenario;
+using etude::models::ModelKind;
+using etude::sim::DeviceSpec;
+
+std::vector<DeviceSpec> AllInstanceTypes() {
+  return {DeviceSpec::Cpu(), DeviceSpec::GpuT4(), DeviceSpec::GpuA100()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  PlannerOptions options;
+  options.duration_s = quick ? 40 : 90;
+  options.ramp_s = quick ? 20 : 45;
+  options.repetitions = quick ? 1 : 3;
+  options.max_replicas = 8;
+  CostPlanner planner(options);
+
+  std::printf(
+      "=== Table I: cost-efficient deployment options (p90 <= 50 ms) "
+      "===\n\n");
+
+  etude::metrics::Table table({"Use case", "Catalog", "Target", "Instance",
+                               "Amount", "Cost/month", "CORE", "GRU4Rec",
+                               "NARM", "SASRec", "SINE", "STAMP"});
+
+  const auto healthy = etude::models::HealthyModelKinds();
+
+  for (const Scenario& scenario : etude::core::PaperScenarios()) {
+    // Plan every healthy model on every instance type.
+    std::vector<ModelPlan> plans;
+    for (const ModelKind model : healthy) {
+      auto plan = planner.PlanModel(scenario, model, AllInstanceTypes());
+      ETUDE_CHECK(plan.ok()) << plan.status().ToString();
+      plans.push_back(std::move(plan.value()));
+    }
+    // One table row per instance type that serves at least one model. The
+    // row's fleet size is the smallest fleet that accommodates every model
+    // feasible on this instance type (as in the paper, where e.g. the
+    // 5x GPU-T4 e-Commerce row carries a checkmark for all six models).
+    for (size_t device_index = 0; device_index < AllInstanceTypes().size();
+         ++device_index) {
+      int amount = 0;
+      for (const ModelPlan& plan : plans) {
+        const DeploymentPlan& option = plan.options[device_index];
+        if (option.feasible()) amount = std::max(amount, option.replicas);
+      }
+      if (amount == 0) continue;  // no model runs on this instance type
+      const DeviceSpec device = AllInstanceTypes()[device_index];
+      std::vector<std::string> row = {
+          scenario.name,
+          etude::FormatCompact(scenario.catalog_size),
+          etude::FormatDouble(scenario.target_rps, 0) + " req/s",
+          std::string(etude::sim::DeviceKindToString(device.kind)),
+          std::to_string(amount),
+          "$" + etude::FormatDouble(
+                    amount * device.monthly_cost_usd, 0)};
+      for (const ModelPlan& plan : plans) {
+        row.push_back(plan.options[device_index].feasible() ? "yes" : "");
+      }
+      table.AddRow(row);
+    }
+  }
+  std::printf("%s", table.ToText().c_str());
+
+  std::printf(
+      "\n(empty cells: model cannot sustain the target throughput at the "
+      "row's deployment)\n");
+
+  // The excluded models and why (paper, Sec. III-C).
+  std::printf("\n-- Models excluded for implementation errors --\n");
+  etude::metrics::Table excluded({"model", "root cause (from the paper)",
+                                  "Fashion @ 1x GPU-T4"});
+  struct Exclusion {
+    ModelKind kind;
+    const char* cause;
+  };
+  const std::vector<Exclusion> exclusions = {
+      {ModelKind::kRepeatNet,
+       "dense ops over sparse catalog-sized tensors"},
+      {ModelKind::kSrGnn, "NumPy host ops force CPU<->GPU transfers"},
+      {ModelKind::kGcSan, "NumPy host ops force CPU<->GPU transfers"},
+      {ModelKind::kLightSans, "not JIT-compilable (dynamic code paths)"},
+  };
+  const Scenario fashion = etude::core::PaperScenarios()[2];
+  for (const Exclusion& exclusion : exclusions) {
+    auto plan = planner.PlanModelOnDevice(fashion, exclusion.kind,
+                                          DeviceSpec::GpuT4());
+    ETUDE_CHECK(plan.ok()) << plan.status().ToString();
+    std::string verdict;
+    if (plan->feasible() && plan->replicas == 1) {
+      verdict = "passes (p90 " +
+                etude::FormatDouble(plan->report.load.steady_p90_ms, 1) +
+                " ms)";
+    } else if (plan->feasible()) {
+      verdict = "needs " + std::to_string(plan->replicas) + " instances";
+    } else {
+      verdict = "FAILS";
+    }
+    excluded.AddRow({std::string(etude::models::ModelKindToString(
+                         exclusion.kind)),
+                     exclusion.cause, verdict});
+  }
+  std::printf("%s", excluded.ToText().c_str());
+
+  std::printf(
+      "\npaper Table I reference: groceries -> 1x CPU ($108) for all "
+      "models; Fashion -> 1x T4 ($268) for all\nmodels and 3x CPU ($324) "
+      "for SASRec & STAMP only; e-Commerce -> 5x T4 ($1,343) or 2x A100\n"
+      "($4,017); Platform -> 3x A100 ($6,026) for GRU4Rec, NARM, SINE, "
+      "STAMP (CORE and SASRec fail).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Validates the paper's workload-generator performance claim (Sec. II):
+// "our implementation is able to generate over one million clicks per
+// second on a single core for a catalog size C of ten million items."
+//
+// google-benchmark microbenchmarks of Algorithm 1 and its building blocks
+// (power-law sampling, alias-method and inverse-transform draws from the
+// empirical click-count distribution) across catalog sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "workload/empirical_distribution.h"
+#include "workload/power_law.h"
+#include "workload/session_generator.h"
+
+namespace {
+
+using etude::Rng;
+using etude::workload::EmpiricalDistribution;
+using etude::workload::PowerLawSampler;
+using etude::workload::SessionGenerator;
+using etude::workload::WorkloadStats;
+
+void BM_PowerLawSample(benchmark::State& state) {
+  auto sampler = PowerLawSampler::Create(2.2, 1, 50);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Sample(&rng));
+  }
+}
+BENCHMARK(BM_PowerLawSample);
+
+void BM_AliasSample(benchmark::State& state) {
+  const int64_t catalog = state.range(0);
+  auto counts_sampler = PowerLawSampler::Create(1.8, 1, 1000000);
+  Rng rng(2);
+  std::vector<int64_t> counts(static_cast<size_t>(catalog));
+  for (auto& c : counts) c = counts_sampler->Sample(&rng);
+  auto dist = EmpiricalDistribution::FromCounts(counts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist->Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(10000)->Arg(1000000)->Arg(10000000);
+
+void BM_InverseTransformSample(benchmark::State& state) {
+  const int64_t catalog = state.range(0);
+  auto counts_sampler = PowerLawSampler::Create(1.8, 1, 1000000);
+  Rng rng(3);
+  std::vector<int64_t> counts(static_cast<size_t>(catalog));
+  for (auto& c : counts) c = counts_sampler->Sample(&rng);
+  auto dist = EmpiricalDistribution::FromCounts(counts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist->SampleInverseTransform(&rng));
+  }
+}
+BENCHMARK(BM_InverseTransformSample)->Arg(10000)->Arg(10000000);
+
+/// The headline claim: clicks/second of full Algorithm 1 session
+/// generation at C = 10M. The reported rate (items_per_second) must
+/// exceed 1M/s on one core.
+void BM_GenerateClicks(benchmark::State& state) {
+  const int64_t catalog = state.range(0);
+  auto generator = SessionGenerator::Create(catalog, WorkloadStats{}, 4);
+  int64_t clicks = 0;
+  for (auto _ : state) {
+    const etude::workload::Session session = generator->NextSession();
+    clicks += static_cast<int64_t>(session.items.size());
+    benchmark::DoNotOptimize(session.items.data());
+  }
+  state.SetItemsProcessed(clicks);
+  state.counters["clicks/s"] = benchmark::Counter(
+      static_cast<double>(clicks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GenerateClicks)->Arg(10000)->Arg(1000000)->Arg(10000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

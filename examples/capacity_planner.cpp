@@ -1,0 +1,103 @@
+// Capacity planner: the Table-I workflow for a custom use case.
+//
+// A data scientist describes their shop (catalog size, target throughput,
+// latency budget) and ETUDE searches, per model and instance type, for the
+// smallest deployment that meets the constraints — then recommends the
+// most cost-efficient option.
+//
+// Usage: capacity_planner [catalog_size] [target_rps] [p90_limit_ms]
+// Defaults: 250,000 items at 300 req/s under 50 ms p90.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/cost_planner.h"
+#include "metrics/report.h"
+
+int main(int argc, char** argv) {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+
+  etude::core::Scenario scenario;
+  scenario.name = "my-shop";
+  scenario.catalog_size = argc > 1 ? std::atoll(argv[1]) : 250000;
+  scenario.target_rps = argc > 2 ? std::atof(argv[2]) : 300.0;
+  scenario.p90_limit_ms = argc > 3 ? std::atof(argv[3]) : 50.0;
+  if (scenario.catalog_size < 1 || scenario.target_rps <= 0) {
+    std::fprintf(stderr,
+                 "usage: capacity_planner [catalog] [rps] [p90_ms]\n");
+    return 1;
+  }
+
+  std::printf(
+      "Planning deployments for %s items at %.0f req/s (p90 <= %.0f ms)\n\n",
+      etude::FormatWithCommas(scenario.catalog_size).c_str(),
+      scenario.target_rps, scenario.p90_limit_ms);
+
+  etude::core::PlannerOptions options;
+  options.duration_s = 60;
+  options.ramp_s = 30;
+  options.repetitions = 3;
+  etude::core::CostPlanner planner(options);
+
+  const std::vector<etude::sim::DeviceSpec> devices = {
+      etude::sim::DeviceSpec::Cpu(), etude::sim::DeviceSpec::GpuT4(),
+      etude::sim::DeviceSpec::GpuA100()};
+
+  etude::metrics::Table table({"model", "instance", "amount", "cost/month",
+                               "p90 [ms]", "achieved req/s"});
+  const etude::core::DeploymentPlan* overall_best = nullptr;
+  std::string best_model;
+  std::vector<etude::core::ModelPlan> plans;
+
+  for (const auto model : etude::models::HealthyModelKinds()) {
+    auto plan = planner.PlanModel(scenario, model, devices);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planning failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    plans.push_back(std::move(plan).value());
+    const etude::core::ModelPlan& model_plan = plans.back();
+    for (const auto& option : model_plan.options) {
+      if (!option.feasible()) continue;
+      std::string cost = "$";
+      cost += etude::FormatDouble(option.monthly_cost_usd, 0);
+      std::vector<std::string> row;
+      row.emplace_back(etude::models::ModelKindToString(model));
+      row.push_back(option.device.name);
+      row.push_back(std::to_string(option.replicas));
+      row.push_back(std::move(cost));
+      row.push_back(
+          etude::FormatDouble(option.report.load.steady_p90_ms, 1));
+      row.push_back(
+          etude::FormatDouble(option.report.load.steady_achieved_rps, 0));
+      table.AddRow(std::move(row));
+    }
+    const auto* cheapest = model_plan.CheapestFeasible();
+    if (cheapest != nullptr &&
+        (overall_best == nullptr ||
+         cheapest->monthly_cost_usd < overall_best->monthly_cost_usd)) {
+      overall_best = cheapest;
+      best_model = std::string(etude::models::ModelKindToString(model));
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  if (overall_best == nullptr) {
+    std::printf(
+        "No feasible deployment found within %d instances per type; relax "
+        "the constraints or shrink the catalog.\n",
+        options.max_replicas);
+    return 0;
+  }
+  std::printf(
+      "Recommendation: %s on %d x %s at $%.0f/month (p90 %.1f ms at "
+      "%.0f req/s).\n",
+      best_model.c_str(), overall_best->replicas,
+      overall_best->device.name.c_str(), overall_best->monthly_cost_usd,
+      overall_best->report.load.steady_p90_ms,
+      overall_best->report.load.steady_achieved_rps);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: evaluate one SBR model under one deployment option.
+//
+// This is the ETUDE workflow of Fig. 1 in miniature: declare the workload
+// statistics and constraints, pick a model and hardware, run the deployed
+// benchmark, and read off whether the deployment holds up.
+//
+// Usage: quickstart [path/to/spec.json]
+// Without an argument a built-in spec (GRU4Rec on a GPU-T4 for a
+// 1M-item catalog at 500 req/s) is used.
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "core/benchmark.h"
+#include "core/spec.h"
+
+namespace {
+
+constexpr const char kDefaultSpec[] = R"({
+  "scenario": {
+    "name": "quickstart-fashion",
+    "catalog_size": 1000000,
+    "target_rps": 500,
+    "p90_limit_ms": 50,
+    "session_length_alpha": 2.2,
+    "click_count_alpha": 1.8
+  },
+  "model": "GRU4Rec",
+  "mode": "jit",
+  "device": "gpu-t4",
+  "replicas": 1,
+  "duration_s": 120,
+  "ramp_s": 60
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+
+  etude::Result<etude::core::BenchmarkSpec> spec =
+      argc > 1 ? etude::core::LoadBenchmarkSpec(argv[1])
+               : etude::core::ParseBenchmarkSpec(kDefaultSpec);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "failed to load spec: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("ETUDE quickstart\n");
+  std::printf("  scenario : %s (C=%lld items, target %.0f req/s)\n",
+              spec->scenario.name.c_str(),
+              static_cast<long long>(spec->scenario.catalog_size),
+              spec->scenario.target_rps);
+  std::printf("  model    : %s (%s)\n",
+              std::string(etude::models::ModelKindToString(spec->model))
+                  .c_str(),
+              spec->mode == etude::models::ExecutionMode::kJit ? "JIT"
+                                                               : "eager");
+  std::printf("  hardware : %d x %s\n\n", spec->replicas,
+              spec->device.name.c_str());
+
+  etude::Result<etude::core::BenchmarkReport> report =
+      etude::core::RunDeployedBenchmark(*spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "benchmark failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("deployment ready after %lld ms\n",
+              static_cast<long long>(report->ready_after_ms));
+  std::printf("steady state (final quarter of the run):\n");
+  std::printf("  p50 / p90 / p99 latency : %.2f / %.2f / %.2f ms\n",
+              report->load.steady_p50_ms, report->load.steady_p90_ms,
+              report->load.steady_p99_ms);
+  std::printf("  achieved throughput     : %.0f req/s (target %.0f)\n",
+              report->load.steady_achieved_rps, report->load.target_rps);
+  std::printf("  error rate              : %.2f%%\n",
+              100.0 * report->load.steady_error_rate);
+  std::printf("  monthly cost            : $%.2f\n",
+              report->monthly_cost_usd);
+  std::printf("\nverdict: %s\n",
+              report->meets_slo ? "deployment MEETS the constraints"
+                                : "deployment VIOLATES the constraints");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "ann/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <queue>
+
+#include "ann/kmeans.h"
+
+namespace etude::ann {
+
+Result<IvfIndex> IvfIndex::Build(const tensor::Tensor& items) {
+  return Build(items, BuildOptions());
+}
+
+Result<IvfIndex> IvfIndex::Build(const tensor::Tensor& items,
+                                 const BuildOptions& options) {
+  if (items.rank() != 2 || items.dim(0) == 0) {
+    return Status::InvalidArgument("items must be a non-empty [C, d]");
+  }
+  const int64_t c = items.dim(0), d = items.dim(1);
+  int64_t nlist = options.nlist;
+  if (nlist <= 0) {
+    nlist = std::clamp<int64_t>(
+        static_cast<int64_t>(4.0 * std::sqrt(static_cast<double>(c))), 1,
+        c);
+  }
+  if (nlist > c) {
+    return Status::InvalidArgument("nlist must be <= number of items");
+  }
+
+  KMeansOptions kmeans_options;
+  kmeans_options.seed = options.seed;
+  kmeans_options.max_iterations = options.kmeans_iterations;
+  ETUDE_ASSIGN_OR_RETURN(KMeansResult clustering,
+                         KMeans(items, nlist, kmeans_options));
+
+  IvfIndex index;
+  index.num_items_ = c;
+  index.dim_ = d;
+  index.centroids_ = std::move(clustering.centroids);
+
+  // Bucket items by assignment (counting sort for grouped storage).
+  std::vector<int64_t> counts(static_cast<size_t>(nlist), 0);
+  for (const int64_t assignment : clustering.assignments) {
+    ++counts[static_cast<size_t>(assignment)];
+  }
+  index.list_offsets_.assign(static_cast<size_t>(nlist + 1), 0);
+  for (int64_t l = 0; l < nlist; ++l) {
+    index.list_offsets_[static_cast<size_t>(l + 1)] =
+        index.list_offsets_[static_cast<size_t>(l)] +
+        counts[static_cast<size_t>(l)];
+  }
+  index.item_ids_.resize(static_cast<size_t>(c));
+  index.vectors_.resize(static_cast<size_t>(c * d));
+  std::vector<int64_t> cursor(index.list_offsets_.begin(),
+                              index.list_offsets_.end() - 1);
+  for (int64_t i = 0; i < c; ++i) {
+    const int64_t list = clustering.assignments[static_cast<size_t>(i)];
+    const int64_t slot = cursor[static_cast<size_t>(list)]++;
+    index.item_ids_[static_cast<size_t>(slot)] = i;
+    std::copy(items.data() + i * d, items.data() + (i + 1) * d,
+              index.vectors_.data() + slot * d);
+  }
+  return index;
+}
+
+int64_t IvfIndex::ListSize(int64_t list) const {
+  ETUDE_CHECK(list >= 0 && list < nlist()) << "list out of range";
+  return list_offsets_[static_cast<size_t>(list + 1)] -
+         list_offsets_[static_cast<size_t>(list)];
+}
+
+double IvfIndex::ExpectedScanFraction(int64_t nprobe) const {
+  nprobe = std::clamp<int64_t>(nprobe, 1, nlist());
+  return static_cast<double>(nprobe) / static_cast<double>(nlist());
+}
+
+tensor::TopKResult IvfIndex::Search(const tensor::Tensor& query, int64_t k,
+                                    int64_t nprobe) const {
+  ETUDE_CHECK(query.rank() == 1 && query.dim(0) == dim_)
+      << "query width mismatch";
+  nprobe = std::clamp<int64_t>(nprobe, 1, nlist());
+  // Coarse stage: the nprobe centroids with the largest inner products.
+  const tensor::TopKResult coarse =
+      tensor::Mips(centroids_, query, nprobe);
+  // Fine stage: exact scan inside the selected lists.
+  tensor::TopKResult result;
+  using Entry = std::pair<float, int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (const int64_t list : coarse.indices) {
+    const int64_t begin = list_offsets_[static_cast<size_t>(list)];
+    const int64_t end = list_offsets_[static_cast<size_t>(list + 1)];
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const float* vector = vectors_.data() + slot * dim_;
+      float score = 0;
+      for (int64_t j = 0; j < dim_; ++j) score += vector[j] * query[j];
+      if (static_cast<int64_t>(heap.size()) < k) {
+        heap.emplace(score, item_ids_[static_cast<size_t>(slot)]);
+      } else if (score > heap.top().first) {
+        heap.pop();
+        heap.emplace(score, item_ids_[static_cast<size_t>(slot)]);
+      }
+    }
+  }
+  result.indices.resize(heap.size());
+  result.scores.resize(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    result.scores[static_cast<size_t>(i)] = heap.top().first;
+    result.indices[static_cast<size_t>(i)] = heap.top().second;
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace etude::ann

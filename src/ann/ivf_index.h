@@ -1,0 +1,66 @@
+#ifndef ETUDE_ANN_IVF_INDEX_H_
+#define ETUDE_ANN_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace etude::ann {
+
+/// An IVF-flat approximate maximum-inner-product index over the item
+/// embeddings — the "approximate nearest neighbor search" latency/quality
+/// trade-off the paper names as future work (Sec. IV), in the style of
+/// FAISS's IndexIVFFlat [Johnson et al., ref. 37 of the paper].
+///
+/// Build: k-means clusters the C item embeddings into `nlist` lists.
+/// Search: score the `nlist` centroids against the query, visit only the
+/// `nprobe` most promising lists, and run the exact inner-product scan
+/// inside them. Expected scanned fraction ~ nprobe/nlist, which directly
+/// shrinks the O(C*d) term that dominates SBR inference latency.
+class IvfIndex {
+ public:
+  struct BuildOptions {
+    int64_t nlist = 0;  // 0 = heuristic: ~4*sqrt(C), clamped to [1, C]
+    uint64_t seed = 1;
+    int kmeans_iterations = 10;
+  };
+
+  /// Clusters `items` ([C, d]) and builds the inverted lists. The index
+  /// keeps its own copy of the vectors (grouped by list for locality).
+  static Result<IvfIndex> Build(const tensor::Tensor& items,
+                                const BuildOptions& options);
+  static Result<IvfIndex> Build(const tensor::Tensor& items);
+
+  /// Approximate top-k by inner product, probing `nprobe` lists.
+  tensor::TopKResult Search(const tensor::Tensor& query, int64_t k,
+                            int64_t nprobe) const;
+
+  int64_t num_items() const { return num_items_; }
+  int64_t nlist() const { return centroids_.dim(0); }
+  int64_t dim() const { return dim_; }
+
+  /// Number of item vectors in list `list`.
+  int64_t ListSize(int64_t list) const;
+
+  /// Expected fraction of the catalog scanned with `nprobe` probes
+  /// (average over the actual list sizes, probing the largest lists is
+  /// the worst case; this is the mean list mass).
+  double ExpectedScanFraction(int64_t nprobe) const;
+
+ private:
+  IvfIndex() = default;
+
+  int64_t num_items_ = 0;
+  int64_t dim_ = 0;
+  tensor::Tensor centroids_;            // [nlist, d]
+  std::vector<int64_t> list_offsets_;   // nlist+1 prefix offsets
+  std::vector<int64_t> item_ids_;       // grouped by list
+  std::vector<float> vectors_;          // grouped by list, row-major
+};
+
+}  // namespace etude::ann
+
+#endif  // ETUDE_ANN_IVF_INDEX_H_

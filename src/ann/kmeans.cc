@@ -1,0 +1,128 @@
+#include "ann/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace etude::ann {
+
+namespace {
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double total = 0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double delta = static_cast<double>(a[j]) - b[j];
+    total += delta * delta;
+  }
+  return total;
+}
+}  // namespace
+
+Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
+                            const KMeansOptions& options) {
+  if (points.rank() != 2 || points.dim(0) == 0) {
+    return Status::InvalidArgument("points must be a non-empty [n, d]");
+  }
+  const int64_t n = points.dim(0), d = points.dim(1);
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = tensor::Tensor({k, d});
+  result.assignments.assign(static_cast<size_t>(n), 0);
+
+  // k-means++-style seeding on a bounded subsample: the first centroid is
+  // uniform; each further centroid is drawn with probability proportional
+  // to the squared distance to its nearest chosen centroid.
+  const int64_t sample_size = std::min<int64_t>(n, 256 * k);
+  std::vector<int64_t> sample(static_cast<size_t>(sample_size));
+  for (auto& index : sample) {
+    index = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(n)));
+  }
+  std::vector<double> distances(static_cast<size_t>(sample_size),
+                                std::numeric_limits<double>::max());
+  int64_t first = sample[static_cast<size_t>(
+      rng.NextBounded(static_cast<uint64_t>(sample_size)))];
+  std::copy(points.data() + first * d, points.data() + (first + 1) * d,
+            result.centroids.data());
+  for (int64_t c = 1; c < k; ++c) {
+    double total = 0;
+    for (int64_t i = 0; i < sample_size; ++i) {
+      const double dist = SquaredDistance(
+          points.data() + sample[static_cast<size_t>(i)] * d,
+          result.centroids.data() + (c - 1) * d, d);
+      auto& best = distances[static_cast<size_t>(i)];
+      best = std::min(best, dist);
+      total += best;
+    }
+    double threshold = rng.NextDouble() * total;
+    int64_t chosen = sample[0];
+    for (int64_t i = 0; i < sample_size; ++i) {
+      threshold -= distances[static_cast<size_t>(i)];
+      if (threshold <= 0) {
+        chosen = sample[static_cast<size_t>(i)];
+        break;
+      }
+    }
+    std::copy(points.data() + chosen * d, points.data() + (chosen + 1) * d,
+              result.centroids.data() + c * d);
+  }
+
+  // Lloyd iterations.
+  std::vector<double> sums(static_cast<size_t>(k * d));
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  double previous_inertia = std::numeric_limits<double>::max();
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    double inertia = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* point = points.data() + i * d;
+      double best = std::numeric_limits<double>::max();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(point, result.centroids.data() + c * d, d);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      result.assignments[static_cast<size_t>(i)] = best_c;
+      inertia += best;
+      ++counts[static_cast<size_t>(best_c)];
+      for (int64_t j = 0; j < d; ++j) {
+        sums[static_cast<size_t>(best_c * d + j)] += point[j];
+      }
+    }
+    result.inertia = inertia;
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed an empty cluster with a random point.
+        const int64_t pick = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(n)));
+        std::copy(points.data() + pick * d,
+                  points.data() + (pick + 1) * d,
+                  result.centroids.data() + c * d);
+        continue;
+      }
+      for (int64_t j = 0; j < d; ++j) {
+        result.centroids.data()[c * d + j] = static_cast<float>(
+            sums[static_cast<size_t>(c * d + j)] /
+            static_cast<double>(counts[static_cast<size_t>(c)]));
+      }
+    }
+    if (previous_inertia < std::numeric_limits<double>::max() &&
+        previous_inertia - inertia <
+            options.tolerance * previous_inertia) {
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace etude::ann

@@ -1,0 +1,35 @@
+#ifndef ETUDE_ANN_KMEANS_H_
+#define ETUDE_ANN_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace etude::ann {
+
+/// Result of Lloyd's k-means over embedding rows.
+struct KMeansResult {
+  tensor::Tensor centroids;          // [k, d]
+  std::vector<int64_t> assignments;  // row -> centroid index
+  double inertia = 0;                // sum of squared distances
+  int iterations = 0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 15;
+  double tolerance = 1e-4;  // relative inertia improvement to continue
+  uint64_t seed = 1;
+};
+
+/// Lloyd's algorithm with k-means++-style seeding (D^2 sampling on a
+/// subsample). Used as the coarse quantiser of the IVF index.
+/// Fails with InvalidArgument when k < 1 or k > #rows.
+Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
+                            const KMeansOptions& options = {});
+
+}  // namespace etude::ann
+
+#endif  // ETUDE_ANN_KMEANS_H_

@@ -1,0 +1,119 @@
+#include "cluster/cluster.h"
+
+#include <utility>
+
+namespace etude::cluster {
+
+Pod::Pod(sim::Simulation* sim, const models::SessionModel* model,
+         const serving::SimServerConfig& server_config,
+         int64_t readiness_delay_us)
+    : sim_(sim),
+      readiness_delay_us_(readiness_delay_us),
+      server_(sim, model, server_config) {
+  const int64_t generation = generation_;
+  sim_->Schedule(readiness_delay_us_, [this, generation] {
+    if (generation_ == generation) ready_ = true;
+  });
+}
+
+void Pod::Kill() {
+  ready_ = false;
+  ++generation_;  // cancel any readiness event of the previous container
+  const int64_t generation = generation_;
+  // The deployment controller schedules a replacement container, which
+  // must re-pull and re-load the model before passing its probe.
+  sim_->Schedule(readiness_delay_us_, [this, generation] {
+    if (generation_ == generation) ready_ = true;
+  });
+}
+
+ClusterIpService::ClusterIpService(std::vector<Pod*> pods,
+                                   Affinity affinity)
+    : pods_(std::move(pods)), affinity_(affinity) {
+  ETUDE_CHECK(!pods_.empty()) << "deployment needs at least one pod";
+}
+
+void ClusterIpService::HandleRequest(const serving::InferenceRequest& request,
+                                     serving::ResponseCallback callback) {
+  if (affinity_ == Affinity::kSession) {
+    // Sticky routing: a session always lands on the same pod while that
+    // pod is ready (k8s ClientIP affinity, with fallback on failure).
+    const size_t home = static_cast<size_t>(request.session_id) %
+                        pods_.size();
+    for (size_t attempt = 0; attempt < pods_.size(); ++attempt) {
+      Pod* pod = pods_[(home + attempt) % pods_.size()];
+      if (pod->ready()) {
+        pod->server()->HandleRequest(request, std::move(callback));
+        return;
+      }
+    }
+  } else {
+    // Round-robin over ready endpoints only.
+    for (size_t attempt = 0; attempt < pods_.size(); ++attempt) {
+      Pod* pod = pods_[next_pod_];
+      next_pod_ = (next_pod_ + 1) % pods_.size();
+      if (pod->ready()) {
+        pod->server()->HandleRequest(request, std::move(callback));
+        return;
+      }
+    }
+  }
+  // No endpoints ready: the service has nothing to route to.
+  serving::InferenceResponse response;
+  response.request_id = request.request_id;
+  response.ok = false;
+  response.http_status = 503;
+  callback(response);
+}
+
+int64_t ComputeReadinessDelayUs(const DeploymentConfig& config,
+                                const models::SessionModel& model) {
+  const double model_bytes = static_cast<double>(model.SerializedBytes());
+  const double load_us = model_bytes / config.model_load_mbps;  // MB/s==B/us
+  return config.pod_startup_us + static_cast<int64_t>(load_us);
+}
+
+Deployment::Deployment(sim::Simulation* sim,
+                       const models::SessionModel* model,
+                       const DeploymentConfig& config)
+    : config_(config) {
+  ETUDE_CHECK(config_.replicas >= 1) << "need at least one replica";
+  const int64_t readiness_us = ComputeReadinessDelayUs(config_, *model);
+  ready_at_us_ = sim->now_us() + readiness_us;
+  std::vector<Pod*> pod_pointers;
+  pod_pointers.reserve(static_cast<size_t>(config_.replicas));
+  for (int i = 0; i < config_.replicas; ++i) {
+    serving::SimServerConfig server_config;
+    server_config.device = config_.device;
+    server_config.mode = config_.mode;
+    server_config.batching = config_.batching;
+    server_config.seed = config_.seed + static_cast<uint64_t>(i) * 7919;
+    pods_.push_back(std::make_unique<Pod>(sim, model, server_config,
+                                          readiness_us));
+    pod_pointers.push_back(pods_.back().get());
+  }
+  service_ = std::make_unique<ClusterIpService>(
+      std::move(pod_pointers), config_.session_affinity
+                                   ? ClusterIpService::Affinity::kSession
+                                   : ClusterIpService::Affinity::kRoundRobin);
+}
+
+void Deployment::KillPod(int index) {
+  ETUDE_CHECK(index >= 0 && index < static_cast<int>(pods_.size()))
+      << "pod index out of range";
+  pods_[static_cast<size_t>(index)]->Kill();
+}
+
+bool Deployment::AllReady() const {
+  for (const auto& pod : pods_) {
+    if (!pod->ready()) return false;
+  }
+  return true;
+}
+
+double Deployment::MonthlyCostUsd() const {
+  return static_cast<double>(config_.replicas) *
+         config_.device.monthly_cost_usd;
+}
+
+}  // namespace etude::cluster

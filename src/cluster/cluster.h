@@ -1,0 +1,124 @@
+#ifndef ETUDE_CLUSTER_CLUSTER_H_
+#define ETUDE_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/session_model.h"
+#include "serving/request.h"
+#include "serving/sim_server.h"
+#include "sim/device.h"
+#include "sim/simulation.h"
+
+namespace etude::cluster {
+
+/// Deployment description: how many instances of which type serve the
+/// model, mirroring what `make run_deployed_benchmark` deploys into the
+/// paper's Kubernetes cluster.
+struct DeploymentConfig {
+  sim::DeviceSpec device = sim::DeviceSpec::Cpu();
+  int replicas = 1;
+  models::ExecutionMode mode = models::ExecutionMode::kJit;
+  serving::BatchingConfig batching;
+  bool session_affinity = false;  // k8s sessionAffinity: ClientIP
+  // Pod scheduling + container start before the model download begins.
+  int64_t pod_startup_us = 8LL * 1000 * 1000;
+  // Bandwidth at which the serialised model is fetched from the storage
+  // bucket during startup (bytes/us = MB/s).
+  double model_load_mbps = 200.0;
+  uint64_t seed = 23;
+};
+
+/// One serving pod: an ETUDE inference-server instance plus its Kubernetes
+/// readiness state. The pod answers its readiness probe only after the
+/// container started and the serialised model (the [C, d] embedding table
+/// dominates its size) has been loaded.
+class Pod {
+ public:
+  Pod(sim::Simulation* sim, const models::SessionModel* model,
+      const serving::SimServerConfig& server_config,
+      int64_t readiness_delay_us);
+
+  bool ready() const { return ready_; }
+  serving::SimInferenceServer* server() { return &server_; }
+
+  /// Failure injection: the pod dies now (drops out of the endpoint set)
+  /// and — as the Kubernetes deployment controller would — is replaced by
+  /// a fresh container that becomes ready after the full startup +
+  /// model-load delay.
+  void Kill();
+
+ private:
+  sim::Simulation* sim_;
+  int64_t readiness_delay_us_;
+  serving::SimInferenceServer server_;
+  bool ready_ = false;
+  int64_t generation_ = 0;  // invalidates pending readiness events
+};
+
+/// The ClusterIP service fronting a deployment: load balancing over the
+/// ready pods — round robin by default, or per-session sticky routing
+/// (Kubernetes session affinity), which keeps a visitor's requests on one
+/// pod. Requests arriving before any pod is ready are answered 503 (as
+/// they would be by the k8s service with no endpoints).
+class ClusterIpService : public serving::InferenceService {
+ public:
+  enum class Affinity { kRoundRobin, kSession };
+
+  explicit ClusterIpService(std::vector<Pod*> pods,
+                            Affinity affinity = Affinity::kRoundRobin);
+
+  void HandleRequest(const serving::InferenceRequest& request,
+                     serving::ResponseCallback callback) override;
+
+ private:
+  std::vector<Pod*> pods_;
+  Affinity affinity_;
+  size_t next_pod_ = 0;
+};
+
+/// A model deployment on the simulated cluster: N replica pods plus the
+/// ClusterIP service, with per-month cost derived from the instance type.
+class Deployment {
+ public:
+  /// Creates and "deploys" the pods; readiness is reached in simulated
+  /// time (run the simulation past ReadyAtUs()).
+  Deployment(sim::Simulation* sim, const models::SessionModel* model,
+             const DeploymentConfig& config);
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  serving::InferenceService* service() { return service_.get(); }
+
+  /// Failure injection: kills replica `index` (it recovers on its own
+  /// after the pod startup + model load delay).
+  void KillPod(int index);
+
+  /// Virtual time at which every replica answers its readiness probe.
+  int64_t ReadyAtUs() const { return ready_at_us_; }
+
+  bool AllReady() const;
+
+  /// Monthly cost of the deployment (replicas x instance price, GCP
+  /// 1-year commitment).
+  double MonthlyCostUsd() const;
+
+  const DeploymentConfig& config() const { return config_; }
+
+ private:
+  DeploymentConfig config_;
+  std::vector<std::unique_ptr<Pod>> pods_;
+  std::unique_ptr<ClusterIpService> service_;
+  int64_t ready_at_us_ = 0;
+};
+
+/// Readiness delay for a model of the given embedding-table size.
+int64_t ComputeReadinessDelayUs(const DeploymentConfig& config,
+                                const models::SessionModel& model);
+
+}  // namespace etude::cluster
+
+#endif  // ETUDE_CLUSTER_CLUSTER_H_

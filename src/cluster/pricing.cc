@@ -1,0 +1,69 @@
+#include "cluster/pricing.h"
+
+namespace etude::cluster {
+
+std::string_view CloudProviderToString(CloudProvider provider) {
+  switch (provider) {
+    case CloudProvider::kGcp:
+      return "GCP";
+    case CloudProvider::kAws:
+      return "AWS";
+    case CloudProvider::kAzure:
+      return "Azure";
+  }
+  return "?";
+}
+
+const std::vector<InstanceOffering>& AllOfferings() {
+  using DK = sim::DeviceKind;
+  using CP = CloudProvider;
+  // GCP prices are the paper's (Sec. III-C, 1-year commitment). AWS and
+  // Azure use the comparable shapes (≈6 vCPU general purpose; one T4:
+  // g4dn.2xlarge / NCasT4_v3; one A100 40GB: p4d slice / NC24ads_A100_v4)
+  // at public 1-year-reserved list prices, rounded to whole dollars.
+  static const std::vector<InstanceOffering>* kOfferings =
+      new std::vector<InstanceOffering>{
+          {CP::kGcp, "e2 (5.5 vCPU, 32GB)", DK::kCpu, 108.09},
+          {CP::kGcp, "e2 + NVidia T4", DK::kGpuT4, 268.09},
+          {CP::kGcp, "a2-highgpu-1g (A100 40GB)", DK::kGpuA100, 2008.80},
+          {CP::kAws, "m6i.2xlarge", DK::kCpu, 152.00},
+          {CP::kAws, "g4dn.2xlarge (T4)", DK::kGpuT4, 344.00},
+          {CP::kAws, "p4d 1-GPU share (A100 40GB)", DK::kGpuA100, 2391.00},
+          {CP::kAzure, "D8s_v5", DK::kCpu, 161.00},
+          {CP::kAzure, "NC8as_T4_v3", DK::kGpuT4, 397.00},
+          {CP::kAzure, "NC24ads_A100_v4", DK::kGpuA100, 2681.00},
+      };
+  return *kOfferings;
+}
+
+std::vector<InstanceOffering> OfferingsFor(CloudProvider provider) {
+  std::vector<InstanceOffering> result;
+  for (const InstanceOffering& offering : AllOfferings()) {
+    if (offering.provider == provider) result.push_back(offering);
+  }
+  return result;
+}
+
+Result<InstanceOffering> FindOffering(CloudProvider provider,
+                                      sim::DeviceKind device) {
+  for (const InstanceOffering& offering : AllOfferings()) {
+    if (offering.provider == provider && offering.device == device) {
+      return offering;
+    }
+  }
+  return Status::NotFound(
+      std::string("no offering for device on provider ") +
+      std::string(CloudProviderToString(provider)));
+}
+
+Result<double> MonthlyCostUsd(CloudProvider provider, sim::DeviceKind device,
+                              int replicas) {
+  if (replicas < 1) {
+    return Status::InvalidArgument("replicas must be >= 1");
+  }
+  ETUDE_ASSIGN_OR_RETURN(InstanceOffering offering,
+                         FindOffering(provider, device));
+  return offering.monthly_cost_usd * static_cast<double>(replicas);
+}
+
+}  // namespace etude::cluster

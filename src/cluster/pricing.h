@@ -1,0 +1,50 @@
+#ifndef ETUDE_CLUSTER_PRICING_H_
+#define ETUDE_CLUSTER_PRICING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/device.h"
+
+namespace etude::cluster {
+
+/// Cloud environments. The paper runs on GCP and names "additional cloud
+/// environments such as Microsoft Azure or Amazon Web Services" as future
+/// work (Sec. IV); this table extends the cost side of that comparison.
+enum class CloudProvider { kGcp, kAws, kAzure };
+
+std::string_view CloudProviderToString(CloudProvider provider);
+
+/// A priced instance offering: the device it carries and what it costs
+/// per month with a one-year commitment (the paper's pricing basis).
+struct InstanceOffering {
+  CloudProvider provider = CloudProvider::kGcp;
+  std::string instance_name;  // e.g. "e2-standard-6", "g4dn.2xlarge"
+  sim::DeviceKind device = sim::DeviceKind::kCpu;
+  double monthly_cost_usd = 0;
+};
+
+/// The offering table: for each provider, the closest equivalent of the
+/// paper's three instance classes (a ~6 vCPU general-purpose box, a
+/// single-T4 instance, a single-A100 instance). GCP rows are the paper's
+/// own numbers (Sec. III-C); AWS/Azure rows are public list prices for
+/// the comparable shapes, normalised to one-year commitments.
+const std::vector<InstanceOffering>& AllOfferings();
+
+/// Offerings of one provider, in device order (CPU, T4, A100).
+std::vector<InstanceOffering> OfferingsFor(CloudProvider provider);
+
+/// The offering backing a given device on a given provider.
+Result<InstanceOffering> FindOffering(CloudProvider provider,
+                                      sim::DeviceKind device);
+
+/// Re-prices a fleet of `replicas` instances of `device` on `provider`.
+/// Performance is assumed provider-neutral (same silicon); only the bill
+/// changes — which is exactly how the paper treats instance choice.
+Result<double> MonthlyCostUsd(CloudProvider provider, sim::DeviceKind device,
+                              int replicas);
+
+}  // namespace etude::cluster
+
+#endif  // ETUDE_CLUSTER_PRICING_H_

@@ -1,0 +1,93 @@
+#ifndef ETUDE_COMMON_JSON_H_
+#define ETUDE_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace etude {
+
+/// A minimal JSON document model, sufficient for ETUDE's declarative
+/// scenario specifications. Supports objects, arrays, strings, numbers,
+/// booleans and null; numbers are stored as double.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(int64_t i)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  int64_t as_int() const { return static_cast<int64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return array_; }
+  std::vector<JsonValue>& items() { return array_; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+
+  const std::map<std::string, JsonValue>& members() const { return object_; }
+  void Set(const std::string& key, JsonValue v) {
+    object_[key] = std::move(v);
+  }
+  bool Contains(const std::string& key) const {
+    return object_.count(key) > 0;
+  }
+  /// Returns the member or a null value when absent.
+  const JsonValue& Get(const std::string& key) const;
+
+  /// Typed accessors with defaults, for config-style reads.
+  double GetNumberOr(const std::string& key, double fallback) const;
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+  std::string GetStringOr(const std::string& key,
+                          const std::string& fallback) const;
+
+  /// Serialises to compact JSON text.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses JSON text. Returns InvalidArgument on malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace etude
+
+#endif  // ETUDE_COMMON_JSON_H_

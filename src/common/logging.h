@@ -1,0 +1,74 @@
+#ifndef ETUDE_COMMON_LOGGING_H_
+#define ETUDE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace etude {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kInfo; benchmarks raise it to kWarning to keep output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting, used by ETUDE_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ETUDE_LOG(level)                                            \
+  ::etude::internal::LogMessage(::etude::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check: aborts (with file/line and message) when `cond` is
+/// false. Used for programmer errors; recoverable failures return Status.
+#define ETUDE_CHECK(cond)                                            \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::etude::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define ETUDE_DCHECK(cond) ETUDE_CHECK(cond)
+
+}  // namespace etude
+
+#endif  // ETUDE_COMMON_LOGGING_H_

@@ -1,0 +1,40 @@
+#ifndef ETUDE_COMMON_STRINGS_H_
+#define ETUDE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etude {
+
+/// Splits `input` on `delimiter`; keeps empty fields.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// True if `input` ends with `suffix`.
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view input);
+
+/// Formats a count with thousands separators, e.g. 10000000 -> "10,000,000".
+std::string FormatWithCommas(int64_t value);
+
+/// Formats a double with `digits` fractional digits.
+std::string FormatDouble(double value, int digits);
+
+/// Human-readable catalog size, e.g. 10000 -> "10k", 20000000 -> "20M".
+std::string FormatCompact(int64_t value);
+
+}  // namespace etude
+
+#endif  // ETUDE_COMMON_STRINGS_H_

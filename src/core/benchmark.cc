@@ -1,0 +1,100 @@
+#include "core/benchmark.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "models/model_factory.h"
+#include "sim/simulation.h"
+
+namespace etude::core {
+
+std::string BenchmarkReport::Summary() const {
+  std::string out = scenario_name + " | " + model_name + " on " +
+                    std::to_string(replicas) + "x " + device_name + ": ";
+  out += "p90=" + FormatDouble(load.steady_p90_ms, 2) + "ms";
+  out += " rps=" + FormatDouble(load.steady_achieved_rps, 0) + "/" +
+         FormatDouble(load.target_rps, 0);
+  out += " errors=" + FormatDouble(100.0 * load.steady_error_rate, 2) + "%";
+  out += " cost=$" + FormatDouble(monthly_cost_usd, 0) + "/mo";
+  out += meets_slo ? "  [PASS]" : "  [FAIL]";
+  return out;
+}
+
+Result<BenchmarkReport> RunDeployedBenchmark(const BenchmarkSpec& spec) {
+  if (spec.replicas < 1) {
+    return Status::InvalidArgument("replicas must be >= 1");
+  }
+  if (spec.duration_s < 4) {
+    return Status::InvalidArgument("duration must be >= 4 seconds");
+  }
+
+  // The model under test. Scale runs are cost-only: the [C, d] table is
+  // not materialised (it would be 5+ GB for the Platform scenario).
+  models::ModelConfig model_config;
+  model_config.catalog_size = spec.scenario.catalog_size;
+  model_config.top_k = 21;
+  model_config.seed = spec.seed;
+  model_config.materialize_embeddings = false;
+  ETUDE_ASSIGN_OR_RETURN(std::unique_ptr<models::SessionModel> model,
+                         models::CreateModel(spec.model, model_config));
+
+  // The serialised model (plus ~25% working set for activations and the
+  // score buffer) must fit in device memory — a T4 carries 16 GB, an
+  // A100 40 GB (paper Sec. III setup).
+  const double required_gb =
+      1.25 * static_cast<double>(model->SerializedBytes()) / 1e9;
+  if (required_gb > spec.device.memory_gb) {
+    return Status::FailedPrecondition(
+        "model needs ~" + FormatDouble(required_gb, 1) + " GB but " +
+        spec.device.name + " offers " +
+        FormatDouble(spec.device.memory_gb, 0) + " GB");
+  }
+
+  sim::Simulation sim;
+
+  // Deploy the model onto the cluster and wait until every replica passes
+  // its readiness probe (as ETUDE does via Kubernetes readiness probes).
+  cluster::DeploymentConfig deployment_config;
+  deployment_config.device = spec.device;
+  deployment_config.replicas = spec.replicas;
+  deployment_config.mode = spec.mode;
+  deployment_config.seed = spec.seed;
+  cluster::Deployment deployment(&sim, model.get(), deployment_config);
+  sim.RunUntil(deployment.ReadyAtUs());
+  ETUDE_CHECK(deployment.AllReady()) << "deployment failed to become ready";
+  const int64_t ready_after_ms = deployment.ReadyAtUs() / 1000;
+
+  // Synthetic workload from the scenario's click-log marginals.
+  const int64_t workload_catalog =
+      std::min(spec.scenario.catalog_size, spec.workload_catalog_cap);
+  ETUDE_ASSIGN_OR_RETURN(
+      workload::SessionGenerator sessions,
+      workload::SessionGenerator::Create(workload_catalog,
+                                         spec.scenario.workload,
+                                         spec.seed ^ 0xABCDEF));
+
+  loadgen::LoadGeneratorConfig load_config;
+  load_config.target_rps = spec.scenario.target_rps;
+  load_config.duration_s = spec.duration_s;
+  load_config.ramp_s = spec.ramp_s;
+  load_config.seed = spec.seed ^ 0x123456;
+  loadgen::LoadGenerator generator(&sim, deployment.service(), &sessions,
+                                   load_config);
+  generator.Start();
+  sim.Run();  // drains: all ticks elapsed and all responses delivered
+  ETUDE_CHECK(generator.finished()) << "load generator did not finish";
+
+  BenchmarkReport report;
+  report.scenario_name = spec.scenario.name;
+  report.model_name = std::string(models::ModelKindToString(spec.model));
+  report.device_name = spec.device.name;
+  report.replicas = spec.replicas;
+  report.load = generator.BuildResult();
+  report.monthly_cost_usd = deployment.MonthlyCostUsd();
+  report.meets_slo = report.load.MeetsSlo(spec.scenario.target_rps,
+                                          spec.scenario.p90_limit_ms);
+  report.ready_after_ms = ready_after_ms;
+  return report;
+}
+
+}  // namespace etude::core

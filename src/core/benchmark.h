@@ -1,0 +1,59 @@
+#ifndef ETUDE_CORE_BENCHMARK_H_
+#define ETUDE_CORE_BENCHMARK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "core/scenario.h"
+#include "loadgen/load_generator.h"
+#include "models/session_model.h"
+#include "sim/device.h"
+
+namespace etude::core {
+
+/// A single deployed-benchmark run: one model, one scenario, one
+/// deployment option — what `make run_deployed_benchmark` executes in the
+/// paper's setup.
+struct BenchmarkSpec {
+  Scenario scenario;
+  models::ModelKind model = models::ModelKind::kGru4Rec;
+  models::ExecutionMode mode = models::ExecutionMode::kJit;
+  sim::DeviceSpec device = sim::DeviceSpec::Cpu();
+  int replicas = 1;
+
+  int64_t duration_s = 600;  // experiment length (ramp + hold)
+  int64_t ramp_s = 0;        // 0 = ramp over the whole duration
+  uint64_t seed = 42;
+
+  // Workload sessions are drawn over min(catalog_size, workload_catalog_cap)
+  // item ids to bound generator memory at platform-scale catalogs; the
+  // cost model always uses the true catalog size.
+  int64_t workload_catalog_cap = 1000000;
+};
+
+/// Everything ETUDE reports back for one run: the latency/throughput
+/// timeline, steady-state aggregates, SLO verdict and deployment cost.
+struct BenchmarkReport {
+  std::string scenario_name;
+  std::string model_name;
+  std::string device_name;
+  int replicas = 1;
+  loadgen::LoadResult load;
+  double monthly_cost_usd = 0;
+  bool meets_slo = false;
+  int64_t ready_after_ms = 0;  // deployment readiness time
+
+  /// One-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// Deploys the model on the simulated cluster, waits for readiness, runs
+/// the backpressure-aware load generator against the ClusterIP service and
+/// aggregates the measurements.
+Result<BenchmarkReport> RunDeployedBenchmark(const BenchmarkSpec& spec);
+
+}  // namespace etude::core
+
+#endif  // ETUDE_CORE_BENCHMARK_H_

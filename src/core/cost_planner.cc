@@ -1,0 +1,138 @@
+#include "core/cost_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/model_factory.h"
+
+namespace etude::core {
+
+const DeploymentPlan* ModelPlan::CheapestFeasible() const {
+  const DeploymentPlan* best = nullptr;
+  for (const DeploymentPlan& plan : options) {
+    if (!plan.feasible()) continue;
+    if (best == nullptr || plan.monthly_cost_usd < best->monthly_cost_usd) {
+      best = &plan;
+    }
+  }
+  return best;
+}
+
+int CostPlanner::EstimateMinReplicas(const Scenario& scenario,
+                                     models::ModelKind model,
+                                     const sim::DeviceSpec& device) const {
+  // Build a cost-only model to read its per-request work at the typical
+  // session length, then bound instance capacity analytically.
+  models::ModelConfig config;
+  config.catalog_size = scenario.catalog_size;
+  config.materialize_embeddings = false;
+  Result<std::unique_ptr<models::SessionModel>> created =
+      models::CreateModel(model, config);
+  if (!created.ok()) return 1;
+  const models::SessionModel& m = **created;
+  const sim::InferenceWork work =
+      m.CostModel(models::ExecutionMode::kJit, /*session_length=*/3);
+  double per_request_us;
+  if (device.is_gpu() && device.supports_batching) {
+    // Asymptotic batched throughput: each extra request costs its
+    // non-amortisable share of the serial device time.
+    const double serial = sim::SerialInferenceUs(device, work);
+    per_request_us = std::max(
+        serial * work.batch_share +
+            static_cast<double>(work.host_sync_points) *
+                (device.pcie_roundtrip_us + work.host_compute_us),
+        1.0);
+  } else {
+    per_request_us = sim::SerialInferenceUs(device, work) /
+                     static_cast<double>(device.worker_slots);
+  }
+  const double capacity_rps = 1e6 / per_request_us;
+  const double needed = scenario.target_rps / capacity_rps;
+  return std::max(1, static_cast<int>(std::floor(needed)));
+}
+
+Result<BenchmarkReport> CostPlanner::RunMedian(const BenchmarkSpec& spec) {
+  std::vector<BenchmarkReport> runs;
+  runs.reserve(static_cast<size_t>(options_.repetitions));
+  for (int i = 0; i < options_.repetitions; ++i) {
+    BenchmarkSpec repeated = spec;
+    repeated.seed = spec.seed + static_cast<uint64_t>(i) * 10007;
+    ETUDE_ASSIGN_OR_RETURN(BenchmarkReport report,
+                           RunDeployedBenchmark(repeated));
+    runs.push_back(std::move(report));
+  }
+  // Keep the run with the median steady-state p90 (drop best and worst).
+  std::sort(runs.begin(), runs.end(),
+            [](const BenchmarkReport& a, const BenchmarkReport& b) {
+              return a.load.steady_p90_ms < b.load.steady_p90_ms;
+            });
+  return runs[runs.size() / 2];
+}
+
+Result<DeploymentPlan> CostPlanner::PlanModelOnDevice(
+    const Scenario& scenario, models::ModelKind model,
+    const sim::DeviceSpec& device) {
+  DeploymentPlan plan;
+  plan.device = device;
+  {
+    // Device-memory gate: a model that does not fit is infeasible at any
+    // replica count (replicas do not shard the embedding table).
+    models::ModelConfig config;
+    config.catalog_size = scenario.catalog_size;
+    config.materialize_embeddings = false;
+    auto probe = models::CreateModel(model, config);
+    if (probe.ok() &&
+        1.25 * static_cast<double>((*probe)->SerializedBytes()) / 1e9 >
+            device.memory_gb) {
+      return plan;
+    }
+  }
+  const int estimate = EstimateMinReplicas(scenario, model, device);
+  if (estimate > 4 * options_.max_replicas) {
+    // Analytically hopeless (e.g. CPU fleets for 10M-item catalogs would
+    // need hundreds of instances); report infeasible without simulating.
+    return plan;
+  }
+  const int start = std::min(std::max(estimate, 1), options_.max_replicas);
+  for (int replicas = start; replicas <= options_.max_replicas; ++replicas) {
+    BenchmarkSpec spec;
+    spec.scenario = scenario;
+    spec.model = model;
+    spec.device = device;
+    spec.replicas = replicas;
+    spec.duration_s = options_.duration_s;
+    spec.ramp_s = options_.ramp_s;
+    spec.seed = options_.seed;
+    ETUDE_ASSIGN_OR_RETURN(BenchmarkReport report, RunMedian(spec));
+    if (report.meets_slo) {
+      plan.replicas = replicas;
+      plan.monthly_cost_usd = report.monthly_cost_usd;
+      plan.report = std::move(report);
+      return plan;
+    }
+    // A p90 blow-up that is much worse than the limit will not be fixed by
+    // one more replica when even a single request is too slow serially.
+    if (report.load.steady_p90_ms >
+            50.0 * scenario.p90_limit_ms &&
+        report.load.steady_achieved_rps <
+            0.05 * scenario.target_rps) {
+      break;
+    }
+  }
+  return plan;  // infeasible within max_replicas
+}
+
+Result<ModelPlan> CostPlanner::PlanModel(
+    const Scenario& scenario, models::ModelKind model,
+    const std::vector<sim::DeviceSpec>& devices) {
+  ModelPlan result;
+  result.model = model;
+  for (const sim::DeviceSpec& device : devices) {
+    ETUDE_ASSIGN_OR_RETURN(DeploymentPlan plan,
+                           PlanModelOnDevice(scenario, model, device));
+    result.options.push_back(std::move(plan));
+  }
+  return result;
+}
+
+}  // namespace etude::core

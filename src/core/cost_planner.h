@@ -1,0 +1,79 @@
+#ifndef ETUDE_CORE_COST_PLANNER_H_
+#define ETUDE_CORE_COST_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "core/scenario.h"
+#include "models/session_model.h"
+#include "sim/device.h"
+
+namespace etude::core {
+
+/// Options of the deployment-plan search behind Table I.
+struct PlannerOptions {
+  int max_replicas = 8;       // largest fleet considered per instance type
+  int64_t duration_s = 90;    // per-run simulated duration
+  int64_t ramp_s = 45;        // ramp, then hold at target
+  uint64_t seed = 42;
+  int repetitions = 3;        // paper: run 3x, keep the median run
+};
+
+/// The cheapest feasible deployment of one model on one instance type for
+/// a scenario (or infeasible up to max_replicas).
+struct DeploymentPlan {
+  sim::DeviceSpec device;
+  int replicas = 0;            // 0 = infeasible within max_replicas
+  double monthly_cost_usd = 0;
+  BenchmarkReport report;      // the (median) run backing the verdict
+
+  bool feasible() const { return replicas > 0; }
+};
+
+/// All instance-type options for one (scenario, model) pair.
+struct ModelPlan {
+  models::ModelKind model;
+  std::vector<DeploymentPlan> options;  // one per instance type
+
+  /// Cheapest feasible option, if any.
+  const DeploymentPlan* CheapestFeasible() const;
+};
+
+/// Searches, per model and instance type, for the smallest replica count
+/// that meets the scenario's throughput and p90 constraints, and prices
+/// the result — reproducing the decision process behind Table I.
+///
+/// Each candidate configuration is simulated `repetitions` times with
+/// different seeds; the run with the median steady-state p90 is kept (the
+/// paper runs every configuration three times and drops the best and
+/// worst runs).
+class CostPlanner {
+ public:
+  explicit CostPlanner(const PlannerOptions& options) : options_(options) {}
+
+  /// Plans one model on one instance type.
+  Result<DeploymentPlan> PlanModelOnDevice(const Scenario& scenario,
+                                           models::ModelKind model,
+                                           const sim::DeviceSpec& device);
+
+  /// Plans one model across the given instance types.
+  Result<ModelPlan> PlanModel(const Scenario& scenario,
+                              models::ModelKind model,
+                              const std::vector<sim::DeviceSpec>& devices);
+
+ private:
+  /// Analytic lower bound on the replicas needed, used to skip hopeless
+  /// fleet sizes before simulating.
+  int EstimateMinReplicas(const Scenario& scenario, models::ModelKind model,
+                          const sim::DeviceSpec& device) const;
+
+  Result<BenchmarkReport> RunMedian(const BenchmarkSpec& spec);
+
+  PlannerOptions options_;
+};
+
+}  // namespace etude::core
+
+#endif  // ETUDE_CORE_COST_PLANNER_H_

@@ -1,0 +1,28 @@
+#include "core/scenario.h"
+
+#include "common/strings.h"
+
+namespace etude::core {
+
+std::vector<Scenario> PaperScenarios() {
+  // Table I, columns 1-3. The workload marginals are the bol.com click-log
+  // statistics used throughout the paper's experiments.
+  workload::WorkloadStats bol;
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"Groceries (small)", 10000, 100, 50.0, bol});
+  scenarios.push_back({"Groceries (large)", 100000, 250, 50.0, bol});
+  scenarios.push_back({"Fashion", 1000000, 500, 50.0, bol});
+  scenarios.push_back({"e-Commerce", 10000000, 1000, 50.0, bol});
+  scenarios.push_back({"Platform", 20000000, 1000, 50.0, bol});
+  return scenarios;
+}
+
+Result<Scenario> PaperScenarioByName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  for (const Scenario& scenario : PaperScenarios()) {
+    if (ToLower(scenario.name) == lower) return scenario;
+  }
+  return Status::NotFound("unknown scenario '" + std::string(name) + "'");
+}
+
+}  // namespace etude::core

@@ -1,0 +1,33 @@
+#ifndef ETUDE_CORE_SCENARIO_H_
+#define ETUDE_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/session_generator.h"
+
+namespace etude::core {
+
+/// A declaratively specified use case: catalog statistics plus the
+/// latency/throughput constraints the deployment must meet. These are the
+/// inputs a data scientist provides to ETUDE (Fig. 1).
+struct Scenario {
+  std::string name;
+  int64_t catalog_size = 10000;         // C
+  double target_rps = 100;              // required sustained throughput
+  double p90_limit_ms = 50.0;           // latency constraint (90th pct)
+  workload::WorkloadStats workload;     // marginals of the click log
+};
+
+/// The five end-to-end use cases of Table I, with catalog sizes from
+/// grocery shopping (10k items) up to a marketplace platform (20M items).
+std::vector<Scenario> PaperScenarios();
+
+/// Returns the scenario with the given name from PaperScenarios().
+Result<Scenario> PaperScenarioByName(std::string_view name);
+
+}  // namespace etude::core
+
+#endif  // ETUDE_CORE_SCENARIO_H_

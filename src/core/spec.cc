@@ -1,0 +1,85 @@
+#include "core/spec.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace etude::core {
+
+Result<BenchmarkSpec> ParseBenchmarkSpec(std::string_view json_text) {
+  ETUDE_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json_text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("spec must be a JSON object");
+  }
+  BenchmarkSpec spec;
+
+  const JsonValue& scenario = root.Get("scenario");
+  if (scenario.is_string()) {
+    // Named paper scenario.
+    ETUDE_ASSIGN_OR_RETURN(spec.scenario,
+                           PaperScenarioByName(scenario.as_string()));
+  } else if (scenario.is_object()) {
+    spec.scenario.name = scenario.GetStringOr("name", "custom");
+    spec.scenario.catalog_size =
+        scenario.GetIntOr("catalog_size", spec.scenario.catalog_size);
+    spec.scenario.target_rps =
+        scenario.GetNumberOr("target_rps", spec.scenario.target_rps);
+    spec.scenario.p90_limit_ms =
+        scenario.GetNumberOr("p90_limit_ms", spec.scenario.p90_limit_ms);
+    spec.scenario.workload.session_length_alpha = scenario.GetNumberOr(
+        "session_length_alpha",
+        spec.scenario.workload.session_length_alpha);
+    spec.scenario.workload.click_count_alpha = scenario.GetNumberOr(
+        "click_count_alpha", spec.scenario.workload.click_count_alpha);
+    spec.scenario.workload.max_session_length = scenario.GetIntOr(
+        "max_session_length", spec.scenario.workload.max_session_length);
+    if (spec.scenario.catalog_size < 1) {
+      return Status::InvalidArgument("catalog_size must be >= 1");
+    }
+    if (spec.scenario.target_rps <= 0) {
+      return Status::InvalidArgument("target_rps must be > 0");
+    }
+  } else {
+    return Status::InvalidArgument(
+        "spec requires a 'scenario' (object or paper-scenario name)");
+  }
+
+  if (root.Contains("model")) {
+    ETUDE_ASSIGN_OR_RETURN(
+        spec.model, models::ModelKindFromString(
+                        root.GetStringOr("model", "GRU4Rec")));
+  }
+  const std::string mode = ToLower(root.GetStringOr("mode", "jit"));
+  if (mode == "jit") {
+    spec.mode = models::ExecutionMode::kJit;
+  } else if (mode == "eager") {
+    spec.mode = models::ExecutionMode::kEager;
+  } else {
+    return Status::InvalidArgument("mode must be 'jit' or 'eager'");
+  }
+  ETUDE_ASSIGN_OR_RETURN(
+      spec.device, sim::DeviceSpec::FromName(
+                       root.GetStringOr("device", "cpu")));
+  spec.replicas = static_cast<int>(root.GetIntOr("replicas", 1));
+  if (spec.replicas < 1) {
+    return Status::InvalidArgument("replicas must be >= 1");
+  }
+  spec.duration_s = root.GetIntOr("duration_s", spec.duration_s);
+  spec.ramp_s = root.GetIntOr("ramp_s", spec.ramp_s);
+  spec.seed = static_cast<uint64_t>(root.GetIntOr("seed", 42));
+  return spec;
+}
+
+Result<BenchmarkSpec> LoadBenchmarkSpec(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open spec file " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseBenchmarkSpec(buffer.str());
+}
+
+}  // namespace etude::core

@@ -1,0 +1,38 @@
+#ifndef ETUDE_CORE_SPEC_H_
+#define ETUDE_CORE_SPEC_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "core/benchmark.h"
+
+namespace etude::core {
+
+/// Parses a declarative benchmark specification, the textual equivalent of
+/// the paper's Fig. 1 inputs. Example:
+///
+/// {
+///   "scenario": {
+///     "name": "my-shop",
+///     "catalog_size": 250000,
+///     "target_rps": 300,
+///     "p90_limit_ms": 50,
+///     "session_length_alpha": 2.2,
+///     "click_count_alpha": 1.8
+///   },
+///   "model": "GRU4Rec",
+///   "mode": "jit",
+///   "device": "gpu-t4",
+///   "replicas": 1,
+///   "duration_s": 600
+/// }
+///
+/// Unknown models/devices and malformed values yield descriptive errors.
+Result<BenchmarkSpec> ParseBenchmarkSpec(std::string_view json_text);
+
+/// Reads and parses a spec file from disk.
+Result<BenchmarkSpec> LoadBenchmarkSpec(const std::string& path);
+
+}  // namespace etude::core
+
+#endif  // ETUDE_CORE_SPEC_H_

@@ -1,0 +1,187 @@
+#include "loadgen/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace etude::loadgen {
+
+namespace {
+constexpr int64_t kTickUs = 1000000;       // one-second ticks
+constexpr int64_t kBackpressureWaitUs = 1000;  // Algorithm 2, line 12
+}  // namespace
+
+bool LoadResult::MeetsSlo(double required_rps, double p90_limit_ms) const {
+  return steady_achieved_rps >= 0.98 * required_rps &&
+         steady_p90_ms <= p90_limit_ms && steady_error_rate <= 0.01;
+}
+
+LoadGenerator::LoadGenerator(sim::Simulation* sim,
+                             serving::InferenceService* service,
+                             workload::SessionGenerator* sessions,
+                             const LoadGeneratorConfig& config)
+    : sim_(sim),
+      service_(service),
+      sessions_(sessions),
+      config_(config),
+      rng_(config.seed) {
+  ETUDE_CHECK(sim_ != nullptr && service_ != nullptr && sessions_ != nullptr)
+      << "simulation, service and session source required";
+  ETUDE_CHECK(config_.target_rps > 0) << "target_rps must be > 0";
+  ETUDE_CHECK(config_.duration_s > 0) << "duration_s must be > 0";
+}
+
+void LoadGenerator::Start() {
+  start_us_ = sim_->now_us();  // ticks are relative to generator start
+  BeginTick(0);
+}
+
+int64_t LoadGenerator::RampTarget(int64_t tick) const {
+  // TIMEPROP_RAMPUP: the per-tick request budget grows proportionally to
+  // the share of the ramp window that has elapsed.
+  const int64_t ramp_s =
+      config_.ramp_s > 0 ? config_.ramp_s : config_.duration_s;
+  const double fraction =
+      static_cast<double>(tick + 1) / static_cast<double>(ramp_s);
+  const double rate = config_.target_rps * std::min(fraction, 1.0);
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(rate)));
+}
+
+void LoadGenerator::BeginTick(int64_t tick) {
+  if (tick >= config_.duration_s) {
+    finished_ = true;  // deadline d reached (Algorithm 2, line 4)
+    return;
+  }
+  SendLoop(tick, 0, RampTarget(tick));
+}
+
+void LoadGenerator::SendLoop(int64_t tick, int64_t sent, int64_t quota) {
+  const int64_t tick_end_us = start_us_ + (tick + 1) * kTickUs;
+  if (sim_->now_us() >= tick_end_us || sent >= quota) {
+    sim_->ScheduleAt(tick_end_us, [this, tick] { BeginTick(tick + 1); });
+    return;
+  }
+  // Backpressure handling (Algorithm 2, lines 8-12): while the number of
+  // pending requests reaches the current per-tick rate, wait in 1 ms
+  // steps; give up on the remainder of this tick when its time is spent.
+  if (!config_.disable_backpressure && in_flight_ >= quota) {
+    if (sim_->now_us() + kBackpressureWaitUs < tick_end_us) {
+      sim_->Schedule(kBackpressureWaitUs, [this, tick, sent, quota] {
+        SendLoop(tick, sent, quota);
+      });
+    } else {
+      sim_->ScheduleAt(tick_end_us, [this, tick] { BeginTick(tick + 1); });
+    }
+    return;
+  }
+  SendOneRequest(tick);
+  // Evenly spread the remaining quota over the remaining tick time
+  // (Algorithm 2, line 16).
+  const int64_t remaining_us = std::max<int64_t>(tick_end_us - sim_->now_us(),
+                                                 0);
+  const int64_t remaining_quota = std::max<int64_t>(quota - sent - 1, 1);
+  const int64_t gap_us = remaining_us / remaining_quota;
+  sim_->Schedule(gap_us, [this, tick, sent, quota] {
+    SendLoop(tick, sent + 1, quota);
+  });
+}
+
+double LoadGenerator::NetworkDelayUs() {
+  return config_.network_one_way_us +
+         (config_.network_jitter_us > 0
+              ? rng_.NextExponential(1.0 / config_.network_jitter_us)
+              : 0.0);
+}
+
+void LoadGenerator::SendOneRequest(int64_t tick) {
+  // Session-order constraint: take a session with no in-flight request
+  // (the implementation "only sends the next interaction for a session if
+  // a response for the previous interaction was received").
+  std::shared_ptr<SessionCursor> cursor;
+  if (!ready_sessions_.empty()) {
+    cursor = ready_sessions_.front();
+    ready_sessions_.pop_front();
+  } else {
+    cursor = std::make_shared<SessionCursor>();
+    cursor->session = sessions_->NextSession();
+  }
+
+  serving::InferenceRequest request;
+  request.request_id = next_request_id_++;
+  request.session_id = cursor->session.session_id;
+  const size_t prefix_end = cursor->next_click + 1;
+  request.session_items.assign(cursor->session.items.begin(),
+                               cursor->session.items.begin() +
+                                   static_cast<int64_t>(prefix_end));
+  cursor->next_click = prefix_end;
+
+  ++in_flight_;
+  timeline_.RecordRequest(tick);
+  const int64_t sent_at_us = sim_->now_us();
+
+  // Request travels to the server, is handled, and the response travels
+  // back — all in virtual time.
+  sim_->Schedule(
+      static_cast<int64_t>(NetworkDelayUs()),
+      [this, request, tick, sent_at_us, cursor] {
+        service_->HandleRequest(
+            request, [this, tick, sent_at_us, cursor](
+                         const serving::InferenceResponse& response) {
+              sim_->Schedule(static_cast<int64_t>(NetworkDelayUs()),
+                             [this, tick, sent_at_us, cursor, response] {
+                               OnResponse(tick, sent_at_us, cursor, response);
+                             });
+            });
+      });
+}
+
+void LoadGenerator::OnResponse(int64_t tick, int64_t sent_at_us,
+                               std::shared_ptr<SessionCursor> cursor,
+                               const serving::InferenceResponse& response) {
+  --in_flight_;
+  const int64_t latency_us = sim_->now_us() - sent_at_us;
+  timeline_.RecordResponse(tick, latency_us, response.ok);
+  // Release the session for its next click (sessions whose previous click
+  // errored are abandoned, as a real visitor's page would be broken).
+  if (response.ok &&
+      cursor->next_click < cursor->session.items.size()) {
+    ready_sessions_.push_back(std::move(cursor));
+  }
+}
+
+LoadResult LoadGenerator::BuildResult() const {
+  LoadResult result;
+  result.timeline = timeline_;
+  result.target_rps = config_.target_rps;
+  result.total_requests = timeline_.TotalRequests();
+  result.total_ok = timeline_.TotalOk();
+  result.total_errors = timeline_.TotalErrors();
+
+  // Steady-state view: the final quarter of the ticks.
+  const auto& ticks = timeline_.ticks();
+  const size_t window_start =
+      ticks.size() < 4 ? 0 : ticks.size() - ticks.size() / 4;
+  metrics::LatencyHistogram window;
+  int64_t ok = 0, errors = 0;
+  size_t covered = 0;
+  for (size_t i = window_start; i < ticks.size(); ++i) {
+    window.Merge(ticks[i].latencies);
+    ok += ticks[i].responses_ok;
+    errors += ticks[i].responses_error;
+    ++covered;
+  }
+  if (covered > 0) {
+    result.steady_p50_ms = static_cast<double>(window.p50()) / 1000.0;
+    result.steady_p90_ms = static_cast<double>(window.p90()) / 1000.0;
+    result.steady_p99_ms = static_cast<double>(window.p99()) / 1000.0;
+    result.steady_achieved_rps =
+        static_cast<double>(ok) / static_cast<double>(covered);
+    const int64_t answered = ok + errors;
+    result.steady_error_rate =
+        answered > 0 ? static_cast<double>(errors) /
+                           static_cast<double>(answered)
+                     : 0.0;
+  }
+  return result;
+}
+
+}  // namespace etude::loadgen

@@ -1,0 +1,124 @@
+#ifndef ETUDE_LOADGEN_LOAD_GENERATOR_H_
+#define ETUDE_LOADGEN_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+#include "metrics/timeseries.h"
+#include "serving/request.h"
+#include "sim/simulation.h"
+#include "workload/session_generator.h"
+
+namespace etude::loadgen {
+
+/// Configuration of the backpressure-aware load generator (Algorithm 2).
+struct LoadGeneratorConfig {
+  double target_rps = 1000;   // r: target throughput to ramp up to
+  int64_t duration_s = 600;   // d: total experiment duration
+  // Ticks over which the ramp reaches target_rps; 0 means the ramp spans
+  // the whole duration (the paper's setup). Setting ramp_s < duration_s
+  // holds the target rate for the remainder — used by the cost planner to
+  // get a clean steady-state window out of shorter runs.
+  int64_t ramp_s = 0;
+  // Simulated network between the load-generator machine and the serving
+  // machine's ClusterIP service (one way).
+  double network_one_way_us = 200;
+  double network_jitter_us = 50;  // mean of the exponential jitter
+  uint64_t seed = 17;
+  // Disables Algorithm 2's backpressure rule (open-loop generation).
+  // Only used by the ablation study — the paper's generator always
+  // tracks pending requests.
+  bool disable_backpressure = false;
+};
+
+/// Aggregated outcome of one load-generation run, with the steady-state
+/// view used for the paper's pass/fail decisions (p90 <= 50 ms at the
+/// target throughput).
+struct LoadResult {
+  metrics::TimeSeriesRecorder timeline;
+  double target_rps = 0;
+
+  // Computed over the final quarter of the run, where the ramp has
+  // (nearly) reached the target.
+  double steady_p50_ms = 0;
+  double steady_p90_ms = 0;
+  double steady_p99_ms = 0;
+  double steady_achieved_rps = 0;
+  double steady_error_rate = 0;
+
+  // Whole-run aggregates.
+  int64_t total_requests = 0;
+  int64_t total_ok = 0;
+  int64_t total_errors = 0;
+
+  /// The paper's deployment-feasibility criterion: the steady-state
+  /// throughput reaches `required_rps` (within 2%) with a p90 latency of
+  /// at most `p90_limit_ms` and a negligible error rate.
+  bool MeetsSlo(double required_rps, double p90_limit_ms) const;
+};
+
+/// The backpressure-aware load generator of Algorithm 2, executing against
+/// a simulated inference service in virtual time.
+///
+/// The generator operates in one-second ticks. In tick t it targets
+/// r_c = TIMEPROP_RAMPUP(r, d) requests, spread evenly across the tick.
+/// Whenever the number of in-flight requests reaches r_c it pauses in
+/// 1 ms steps (the backpressure rule), skipping to the next tick when the
+/// current tick's time budget is exhausted. Requests replay synthetic
+/// sessions and respect session order: the next click of a session is only
+/// sent after the response to the previous one arrived.
+class LoadGenerator {
+ public:
+  /// `sim`, `service` and `sessions` must outlive the generator.
+  LoadGenerator(sim::Simulation* sim, serving::InferenceService* service,
+                workload::SessionGenerator* sessions,
+                const LoadGeneratorConfig& config);
+
+  /// Schedules the first tick; the caller then runs the simulation.
+  void Start();
+
+  /// True once all ticks have elapsed and all in-flight responses arrived.
+  bool finished() const { return finished_ && in_flight_ == 0; }
+
+  /// Builds the result summary; call after the simulation has drained.
+  LoadResult BuildResult() const;
+
+  int64_t in_flight() const { return in_flight_; }
+
+ private:
+  struct SessionCursor {
+    workload::Session session;
+    size_t next_click = 0;
+  };
+
+  /// Requests-per-second target for tick `t`: proportional ramp to
+  /// target_rps over duration_s (TIMEPROP_RAMPUP).
+  int64_t RampTarget(int64_t tick) const;
+
+  void BeginTick(int64_t tick);
+  void SendLoop(int64_t tick, int64_t sent, int64_t quota);
+  void SendOneRequest(int64_t tick);
+  void OnResponse(int64_t tick, int64_t sent_at_us,
+                  std::shared_ptr<SessionCursor> cursor,
+                  const serving::InferenceResponse& response);
+  double NetworkDelayUs();
+
+  sim::Simulation* sim_;
+  serving::InferenceService* service_;
+  workload::SessionGenerator* sessions_;
+  LoadGeneratorConfig config_;
+  Rng rng_;
+
+  metrics::TimeSeriesRecorder timeline_;
+  int64_t start_us_ = 0;  // virtual time at Start()
+  std::deque<std::shared_ptr<SessionCursor>> ready_sessions_;
+  int64_t in_flight_ = 0;  // p: pending-request counter of Algorithm 2
+  int64_t next_request_id_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace etude::loadgen
+
+#endif  // ETUDE_LOADGEN_LOAD_GENERATOR_H_

@@ -1,0 +1,91 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace etude::metrics {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<size_t>(kMagnitudes * kSubBuckets), 0) {}
+
+int LatencyHistogram::BucketIndex(int64_t value) {
+  ETUDE_DCHECK(value >= 0) << "negative latency";
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Shift the value so that (value >> magnitude) lands in [64, 128): the
+  // top bit selects the magnitude, the next kSubBucketBits select the
+  // linear sub-bucket.
+  const int high_bit =
+      63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int magnitude = high_bit - kSubBucketBits;
+  const int sub =
+      static_cast<int>(value >> magnitude) & (kSubBuckets - 1);
+  int index = (magnitude + 1) * kSubBuckets + sub;
+  return std::min(index, kMagnitudes * kSubBuckets - 1);
+}
+
+int64_t LatencyHistogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int magnitude = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  return ((static_cast<int64_t>(kSubBuckets + sub) + 1)
+          << magnitude) - 1;
+}
+
+void LatencyHistogram::Record(int64_t value_us) { RecordMany(value_us, 1); }
+
+void LatencyHistogram::RecordMany(int64_t value_us, int64_t count) {
+  if (count <= 0) return;
+  value_us = std::max<int64_t>(value_us, 0);
+  buckets_[static_cast<size_t>(BucketIndex(value_us))] += count;
+  if (total_count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  total_count_ += count;
+  sum_ += value_us * count;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (total_count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+int64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (total_count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target = static_cast<int64_t>(
+      q * static_cast<double>(total_count_) + 0.5);
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (running >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace etude::metrics

@@ -1,0 +1,67 @@
+#ifndef ETUDE_METRICS_HISTOGRAM_H_
+#define ETUDE_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace etude::metrics {
+
+/// An HDR-style latency histogram over microsecond values.
+///
+/// Values are bucketed with bounded relative error (~1/64 per bucket) using
+/// a logarithmic bucket layout: 64 linear sub-buckets per power-of-two
+/// magnitude. Recording is O(1); percentile queries are O(#buckets). The
+/// load generator records millions of response latencies per experiment,
+/// which rules out storing raw samples.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency observation (in microseconds, >= 0).
+  void Record(int64_t value_us);
+
+  /// Records `count` identical observations.
+  void RecordMany(int64_t value_us, int64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+  /// Value at quantile q in [0,1]; returns 0 for an empty histogram.
+  /// The returned value is the upper bound of the containing bucket, so it
+  /// over-estimates by at most ~1.6%.
+  int64_t ValueAtQuantile(double q) const;
+
+  int64_t p50() const { return ValueAtQuantile(0.50); }
+  int64_t p90() const { return ValueAtQuantile(0.90); }
+  int64_t p99() const { return ValueAtQuantile(0.99); }
+
+  int64_t count() const { return total_count_; }
+  int64_t min() const { return total_count_ == 0 ? 0 : min_; }
+  int64_t max() const { return total_count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return total_count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(total_count_);
+  }
+
+  /// Discards all recorded values.
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per magnitude
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMagnitudes = 40;  // covers up to ~2^40 us
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t total_count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace etude::metrics
+
+#endif  // ETUDE_METRICS_HISTOGRAM_H_

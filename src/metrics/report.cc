@@ -1,0 +1,83 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace etude::metrics {
+
+namespace {
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void Table::AddRow(std::vector<std::string> row) {
+  ETUDE_CHECK(row.size() == header_.size())
+      << "row width " << row.size() << " != header width " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      if (i + 1 < row.size()) {
+        line.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  render(header_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+etude::Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return etude::Status::IoError("cannot open " + path + " for writing");
+  }
+  file << ToCsv();
+  if (!file.good()) {
+    return etude::Status::IoError("write to " + path + " failed");
+  }
+  return etude::Status::OK();
+}
+
+}  // namespace etude::metrics

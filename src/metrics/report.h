@@ -1,0 +1,40 @@
+#ifndef ETUDE_METRICS_REPORT_H_
+#define ETUDE_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace etude::metrics {
+
+/// A simple column-aligned text/CSV table, used by the benchmark harness to
+/// print the paper's tables and figure series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Renders a column-aligned ASCII table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Writes CSV to a file.
+  etude::Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace etude::metrics
+
+#endif  // ETUDE_METRICS_REPORT_H_

@@ -1,0 +1,64 @@
+#include "metrics/timeseries.h"
+
+#include "common/logging.h"
+
+namespace etude::metrics {
+
+TickStats& TimeSeriesRecorder::TickAt(int64_t tick) {
+  ETUDE_CHECK(tick >= 0) << "negative tick";
+  while (static_cast<int64_t>(ticks_.size()) <= tick) {
+    TickStats stats;
+    stats.tick = static_cast<int64_t>(ticks_.size());
+    ticks_.push_back(std::move(stats));
+  }
+  return ticks_[static_cast<size_t>(tick)];
+}
+
+void TimeSeriesRecorder::RecordRequest(int64_t tick) {
+  TickAt(tick).requests_sent += 1;
+}
+
+void TimeSeriesRecorder::RecordResponse(int64_t tick, int64_t latency_us,
+                                        bool ok) {
+  TickStats& stats = TickAt(tick);
+  if (ok) {
+    stats.responses_ok += 1;
+    stats.latencies.Record(latency_us);
+  } else {
+    stats.responses_error += 1;
+  }
+}
+
+LatencyHistogram TimeSeriesRecorder::AggregateLatencies() const {
+  LatencyHistogram aggregate;
+  for (const TickStats& stats : ticks_) {
+    aggregate.Merge(stats.latencies);
+  }
+  return aggregate;
+}
+
+int64_t TimeSeriesRecorder::TotalRequests() const {
+  int64_t total = 0;
+  for (const TickStats& stats : ticks_) total += stats.requests_sent;
+  return total;
+}
+
+int64_t TimeSeriesRecorder::TotalOk() const {
+  int64_t total = 0;
+  for (const TickStats& stats : ticks_) total += stats.responses_ok;
+  return total;
+}
+
+int64_t TimeSeriesRecorder::TotalErrors() const {
+  int64_t total = 0;
+  for (const TickStats& stats : ticks_) total += stats.responses_error;
+  return total;
+}
+
+double TimeSeriesRecorder::AchievedThroughput() const {
+  if (ticks_.empty()) return 0.0;
+  return static_cast<double>(TotalOk()) /
+         static_cast<double>(ticks_.size());
+}
+
+}  // namespace etude::metrics

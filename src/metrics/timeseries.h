@@ -1,0 +1,54 @@
+#ifndef ETUDE_METRICS_TIMESERIES_H_
+#define ETUDE_METRICS_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace etude::metrics {
+
+/// Per-second experiment statistics, as plotted in the paper's Figures 2
+/// and 4: for every one-second tick we track the offered request rate, the
+/// completed responses, errors, and the latency distribution within that
+/// second.
+struct TickStats {
+  int64_t tick = 0;               // seconds since experiment start
+  int64_t requests_sent = 0;      // requests issued during this tick
+  int64_t responses_ok = 0;       // successful responses received
+  int64_t responses_error = 0;    // HTTP errors / timeouts
+  LatencyHistogram latencies;     // end-to-end latencies observed this tick
+};
+
+/// Collects per-tick statistics over the course of one benchmark run.
+/// Ticks may be recorded out of order (responses for tick t can arrive
+/// while the load generator is already in tick t+1).
+class TimeSeriesRecorder {
+ public:
+  TimeSeriesRecorder() = default;
+
+  void RecordRequest(int64_t tick);
+  void RecordResponse(int64_t tick, int64_t latency_us, bool ok);
+
+  const std::vector<TickStats>& ticks() const { return ticks_; }
+  int64_t num_ticks() const { return static_cast<int64_t>(ticks_.size()); }
+
+  /// Aggregate latency histogram across all ticks (successful responses).
+  LatencyHistogram AggregateLatencies() const;
+
+  int64_t TotalRequests() const;
+  int64_t TotalOk() const;
+  int64_t TotalErrors() const;
+
+  /// Achieved throughput (successful responses / covered seconds).
+  double AchievedThroughput() const;
+
+ private:
+  TickStats& TickAt(int64_t tick);
+
+  std::vector<TickStats> ticks_;
+};
+
+}  // namespace etude::metrics
+
+#endif  // ETUDE_METRICS_TIMESERIES_H_

@@ -1,0 +1,69 @@
+#include "models/calibration.h"
+
+namespace etude::models {
+
+namespace {
+ModelCalibration Make(double cpu, double t4, double a100,
+                      double batch_share = 0.06, int host_syncs = 0,
+                      double host_us = 0.0) {
+  ModelCalibration c;
+  c.cpu_efficiency = cpu;
+  c.t4_efficiency = t4;
+  c.a100_efficiency = a100;
+  c.batch_share = batch_share;
+  c.host_sync_points = host_syncs;
+  c.host_compute_us = host_us;
+  return c;
+}
+}  // namespace
+
+const ModelCalibration& GetCalibration(ModelKind kind) {
+  // Calibration targets (paper, Sec. III):
+  //  * SASRec & STAMP: only models cheap enough for Fashion on 3 CPU
+  //    instances (service time well under the 50 ms p90 bound at C=1e6).
+  //  * CORE & SASRec: unable to handle Platform (C=2e7) on 3 A100s, while
+  //    GRU4Rec/NARM/SINE/STAMP can.
+  //  * RepeatNet: dense ops over sparse matrices -> ~4x device time and
+  //    largely unbatchable work; fails all but the grocery scenarios.
+  //  * SR-GNN / GC-SAN: 3 NumPy host syncs per request (~0.8 ms host work
+  //    each) that stall the GPU pipeline and never batch.
+  static const ModelCalibration kGru4Rec = Make(1.12, 1.00, 1.05);
+  static const ModelCalibration kRepeatNet =
+      Make(4.0, 4.0, 4.0, /*batch_share=*/0.60);
+  static const ModelCalibration kGcSan =
+      Make(1.45, 1.25, 1.25, 0.06, /*host_syncs=*/3, /*host_us=*/800.0);
+  static const ModelCalibration kSrGnn =
+      Make(1.40, 1.20, 1.20, 0.06, /*host_syncs=*/3, /*host_us=*/800.0);
+  static const ModelCalibration kNarm = Make(1.18, 1.05, 1.03);
+  static const ModelCalibration kSine = Make(1.25, 1.05, 1.00);
+  static const ModelCalibration kStamp = Make(0.40, 0.95, 0.95);
+  static const ModelCalibration kLightSans = Make(1.05, 1.05, 1.10);
+  static const ModelCalibration kCore = Make(1.00, 1.00, 1.60);
+  static const ModelCalibration kSasRec = Make(0.40, 1.00, 1.60);
+
+  switch (kind) {
+    case ModelKind::kGru4Rec:
+      return kGru4Rec;
+    case ModelKind::kRepeatNet:
+      return kRepeatNet;
+    case ModelKind::kGcSan:
+      return kGcSan;
+    case ModelKind::kSrGnn:
+      return kSrGnn;
+    case ModelKind::kNarm:
+      return kNarm;
+    case ModelKind::kSine:
+      return kSine;
+    case ModelKind::kStamp:
+      return kStamp;
+    case ModelKind::kLightSans:
+      return kLightSans;
+    case ModelKind::kCore:
+      return kCore;
+    case ModelKind::kSasRec:
+      return kSasRec;
+  }
+  return kGru4Rec;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,43 @@
+#ifndef ETUDE_MODELS_CALIBRATION_H_
+#define ETUDE_MODELS_CALIBRATION_H_
+
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// Per-model performance calibration for the deployment simulator.
+///
+/// Where the paper's findings have a concrete *mechanism* (RepeatNet's
+/// dense ops over sparse catalog-sized tensors; SR-GNN's and GC-SAN's
+/// NumPy-on-host inference steps; LightSANs' JIT incompatibility), that
+/// mechanism is modelled structurally — see the per-model cost hooks and
+/// `host_sync_points` below.
+///
+/// On top of that, each model carries empirical efficiency multipliers per
+/// device family. We cannot run the authors' GPUs, so these constants are
+/// calibrated against the paper's *published measurements* (Fig. 3, Fig. 4
+/// and Table I): e.g. SASRec and STAMP are the two models the paper found
+/// cheap enough to serve the Fashion scenario from CPUs, and CORE and
+/// SASRec are the two models that could not handle the Platform scenario
+/// on A100s. The Table-I pass/fail matrix is never asserted — it emerges
+/// from the queueing simulation under these constants.
+struct ModelCalibration {
+  double cpu_efficiency = 1.0;   // multiplier on CPU device time
+  double t4_efficiency = 1.0;    // multiplier on GPU-T4 device time
+  double a100_efficiency = 1.0;  // multiplier on GPU-A100 device time
+  // Fraction of device work not amortised by request batching (see
+  // sim::InferenceWork::batch_share). RepeatNet's per-request dense
+  // catalog-sized tensors make most of its work unbatchable.
+  double batch_share = 0.06;
+  // Synchronous host round trips per request (NumPy ops in the inference
+  // function — SR-GNN / GC-SAN bug reported by the paper).
+  int host_sync_points = 0;
+  double host_compute_us = 0.0;  // host-side work per sync point
+};
+
+/// Returns the calibration constants for `kind`.
+const ModelCalibration& GetCalibration(ModelKind kind);
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_CALIBRATION_H_

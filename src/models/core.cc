@@ -1,0 +1,66 @@
+#include "models/core.h"
+
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+Core::Core(const ModelConfig& config)
+    : SessionModel(config),
+      positions_(config_.max_session_length, config_.embedding_dim, &rng_),
+      weight_head_(config_.embedding_dim, 1, /*bias=*/false, &rng_) {
+  blocks_.reserve(kNumLayers);
+  for (int i = 0; i < kNumLayers; ++i) {
+    blocks_.emplace_back(config_.embedding_dim, 4 * config_.embedding_dim,
+                         &rng_);
+  }
+  // Consistent representation space: cosine scoring over an L2-normalised
+  // item table. Normalising once at load time keeps Recommend a pure MIPS.
+  item_embeddings_ = tensor::L2NormalizeRows(item_embeddings_);
+}
+
+Tensor Core::EncodeSession(const std::vector<int64_t>& session) const {
+  const Tensor embedded = tensor::Embedding(item_embeddings_, session);
+  Tensor x = positions_.AddTo(embedded);
+  for (const TransformerBlock& block : blocks_) {
+    x = block.Forward(x);
+  }
+  // Per-position weights from the encoder, softmax-normalised.
+  const Tensor logits =
+      weight_head_.Forward(x).Reshaped({x.dim(0)});  // [l]
+  const Tensor alpha = tensor::Softmax(logits);
+  // Weighted sum of the raw item embeddings (representation-consistent).
+  const int64_t l = embedded.dim(0), d = embedded.dim(1);
+  Tensor repr({d});
+  for (int64_t i = 0; i < l; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      repr[j] += alpha[i] * embedded.at(i, j);
+    }
+  }
+  // Cosine similarity with temperature == inner product of the normalised
+  // query (scaled by 1/tau) against the normalised item table.
+  return tensor::Scale(tensor::L2NormalizeRows(repr), 1.0f / kTemperature);
+}
+
+double Core::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  return kNumLayers * (24.0 * ll * d * d + 4.0 * ll * ll * d) +
+         2.0 * ll * d;
+}
+
+int64_t Core::OpCount(int64_t l) const {
+  (void)l;
+  return 3 + kNumLayers * 14 + 5;
+}
+
+double Core::ExtraCatalogPasses(int64_t l) const {
+  (void)l;
+  // The temperature softmax over all C item scores reads and writes the
+  // [C] score vector once more: 2 extra passes of 4 bytes vs the d*4-byte
+  // scan row.
+  return 2.0 / static_cast<double>(config_.embedding_dim);
+}
+
+}  // namespace etude::models

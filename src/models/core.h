@@ -1,0 +1,43 @@
+#ifndef ETUDE_MODELS_CORE_H_
+#define ETUDE_MODELS_CORE_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// CORE (Hou et al., SIGIR 2022): consistent representation space.
+/// A transformer encoder produces per-position weights; the session
+/// representation is the weighted sum of the *item embeddings themselves*
+/// (not hidden states), keeping the session in the same space as the
+/// items. Scoring uses cosine similarity with temperature, which requires
+/// an L2-normalised item table and one extra catalog-sized softmax pass —
+/// CORE's ExtraCatalogPasses term.
+class Core final : public SessionModel {
+ public:
+  static constexpr int kNumLayers = 2;
+  static constexpr float kTemperature = 0.07f;
+
+  explicit Core(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kCore; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+  double ExtraCatalogPasses(int64_t l) const override;
+
+ private:
+  PositionalEmbedding positions_;
+  std::vector<TransformerBlock> blocks_;
+  DenseLayer weight_head_;  // [1, d]: per-position weight logits
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_CORE_H_

@@ -1,0 +1,54 @@
+#include "models/gc_san.h"
+
+#include "models/session_graph.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+GcSan::GcSan(const ModelConfig& config) : SrGnn(config) {
+  blocks_.reserve(kAttentionLayers);
+  for (int i = 0; i < kAttentionLayers; ++i) {
+    blocks_.emplace_back(config_.embedding_dim, 4 * config_.embedding_dim,
+                         &rng_);
+  }
+}
+
+Tensor GcSan::EncodeSession(const std::vector<int64_t>& session) const {
+  const SessionGraph graph = SessionGraph::Build(session);
+  const Tensor node_states = EncodeGraph(graph);
+  const int64_t l = static_cast<int64_t>(session.size());
+  const int64_t d = config_.embedding_dim;
+
+  // Map node states back onto the click sequence.
+  Tensor sequence({l, d});
+  for (int64_t t = 0; t < l; ++t) {
+    const int64_t node = graph.alias[static_cast<size_t>(t)];
+    for (int64_t j = 0; j < d; ++j) {
+      sequence.at(t, j) = node_states.at(node, j);
+    }
+  }
+  Tensor attended = sequence;
+  for (const TransformerBlock& block : blocks_) {
+    attended = block.Forward(attended);
+  }
+  const Tensor attn_last = attended.Row(l - 1);
+  const Tensor gnn_last = sequence.Row(l - 1);
+  // Blend self-attention output with the GNN representation.
+  return tensor::Add(tensor::Scale(attn_last, kBlend),
+                     tensor::Scale(gnn_last, 1.0f - kBlend));
+}
+
+double GcSan::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  return SrGnn::EncodeFlops(l) +
+         kAttentionLayers * (24.0 * ll * d * d + 4.0 * ll * ll * d);
+}
+
+int64_t GcSan::OpCount(int64_t l) const {
+  return SrGnn::OpCount(l) + kAttentionLayers * 14 + 3;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,38 @@
+#ifndef ETUDE_MODELS_GC_SAN_H_
+#define ETUDE_MODELS_GC_SAN_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/sr_gnn.h"
+
+namespace etude::models {
+
+/// GC-SAN (Xu et al., IJCAI 2019): graph contextualised self-attention.
+/// The session graph is encoded with the same gated GNN as SR-GNN; the
+/// node states are then mapped back to the click sequence and refined by a
+/// stack of self-attention blocks. The final representation interpolates
+/// between the attention output and the GNN state of the last click.
+class GcSan final : public SrGnn {
+ public:
+  static constexpr int kAttentionLayers = 1;
+  static constexpr float kBlend = 0.6f;  // RecBole's `weight` hyperparam
+
+  explicit GcSan(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kGcSan; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  std::vector<TransformerBlock> blocks_;
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_GC_SAN_H_

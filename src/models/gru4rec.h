@@ -1,0 +1,35 @@
+#ifndef ETUDE_MODELS_GRU4REC_H_
+#define ETUDE_MODELS_GRU4REC_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// GRU4Rec (Tan et al., DLRS 2016): a GRU over the session's item
+/// embeddings with a dense head mapping the final hidden state back into
+/// the item-embedding space; recommendation scores are inner products with
+/// all item embeddings.
+class Gru4Rec final : public SessionModel {
+ public:
+  explicit Gru4Rec(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kGru4Rec; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  GruLayer gru_;
+  DenseLayer head_;
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_GRU4REC_H_

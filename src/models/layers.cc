@@ -1,0 +1,94 @@
+#include "models/layers.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+GruLayer::GruLayer(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_ih_(tensor::XavierUniform({3 * hidden_dim, input_dim}, rng)),
+      w_hh_(tensor::XavierUniform({3 * hidden_dim, hidden_dim}, rng)),
+      b_ih_(Tensor({3 * hidden_dim})),
+      b_hh_(Tensor({3 * hidden_dim})) {}
+
+Tensor GruLayer::RunSequence(const Tensor& inputs) const {
+  ETUDE_CHECK(inputs.rank() == 2 && inputs.dim(1) == input_dim_)
+      << "GRU input shape mismatch";
+  const int64_t l = inputs.dim(0);
+  Tensor states({l, hidden_dim_});
+  Tensor hidden({hidden_dim_});
+  for (int64_t t = 0; t < l; ++t) {
+    hidden = tensor::GruCell(inputs.Row(t), hidden, w_ih_, w_hh_, b_ih_,
+                             b_hh_);
+    for (int64_t j = 0; j < hidden_dim_; ++j) states.at(t, j) = hidden[j];
+  }
+  return states;
+}
+
+DenseLayer::DenseLayer(int64_t input_dim, int64_t output_dim, bool bias,
+                       Rng* rng)
+    : weight_(tensor::XavierUniform({output_dim, input_dim}, rng)),
+      bias_(bias ? Tensor({output_dim}) : Tensor()) {}
+
+Tensor DenseLayer::Forward(const Tensor& x) const {
+  return tensor::Linear(x, weight_, bias_);
+}
+
+Tensor DenseLayer::ForwardVector(const Tensor& x) const {
+  ETUDE_CHECK(x.rank() == 1) << "ForwardVector requires rank 1";
+  const Tensor out =
+      tensor::Linear(x.Reshaped({1, x.dim(0)}), weight_, bias_);
+  return out.Reshaped({out.dim(1)});
+}
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t ffn_dim, Rng* rng)
+    : wq_(dim, dim, /*bias=*/true, rng),
+      wk_(dim, dim, /*bias=*/true, rng),
+      wv_(dim, dim, /*bias=*/true, rng),
+      wo_(dim, dim, /*bias=*/true, rng),
+      ffn1_(dim, ffn_dim, /*bias=*/true, rng),
+      ffn2_(ffn_dim, dim, /*bias=*/true, rng),
+      norm1_gain_({dim}),
+      norm1_bias_({dim}),
+      norm2_gain_({dim}),
+      norm2_bias_({dim}) {
+  norm1_gain_.Fill(1.0f);
+  norm2_gain_.Fill(1.0f);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x) const {
+  const Tensor q = wq_.Forward(x);
+  const Tensor k = wk_.Forward(x);
+  const Tensor v = wv_.Forward(x);
+  const Tensor attended =
+      wo_.Forward(tensor::ScaledDotProductAttention(q, k, v));
+  const Tensor h = tensor::LayerNorm(tensor::Add(x, attended), norm1_gain_,
+                                     norm1_bias_);
+  const Tensor ffn = ffn2_.Forward(tensor::Gelu(ffn1_.Forward(h)));
+  return tensor::LayerNorm(tensor::Add(h, ffn), norm2_gain_, norm2_bias_);
+}
+
+PositionalEmbedding::PositionalEmbedding(int64_t max_length, int64_t dim,
+                                         Rng* rng)
+    : table_(tensor::RandomNormal({max_length, dim}, 0.02f, rng)) {}
+
+Tensor PositionalEmbedding::AddTo(const Tensor& x) const {
+  ETUDE_CHECK(x.rank() == 2 && x.dim(1) == table_.dim(1))
+      << "positional embedding width mismatch";
+  ETUDE_CHECK(x.dim(0) <= table_.dim(0))
+      << "session longer than positional table";
+  const int64_t l = x.dim(0), d = x.dim(1);
+  Tensor out(x.shape());
+  for (int64_t t = 0; t < l; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      out.at(t, j) = x.at(t, j) + table_.at(t, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,86 @@
+#ifndef ETUDE_MODELS_LAYERS_H_
+#define ETUDE_MODELS_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace etude::models {
+
+/// Reusable neural layers shared by the ten SBR architectures. All layers
+/// operate on single sessions (no batch dimension): inference serving in
+/// ETUDE encodes one session per request; GPU batching is handled at the
+/// serving layer.
+
+/// A single-layer GRU with PyTorch weight layout (gates r,z,n).
+class GruLayer {
+ public:
+  /// Creates a GRU mapping `input_dim` inputs to `hidden_dim` state.
+  GruLayer(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// Runs the GRU over a [l, input_dim] sequence starting from a zero
+  /// state; returns all hidden states as [l, hidden_dim].
+  tensor::Tensor RunSequence(const tensor::Tensor& inputs) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  tensor::Tensor w_ih_;  // [3h, in]
+  tensor::Tensor w_hh_;  // [3h, h]
+  tensor::Tensor b_ih_;  // [3h]
+  tensor::Tensor b_hh_;  // [3h]
+};
+
+/// A dense layer y = x W^T + b with Xavier-initialised weights.
+class DenseLayer {
+ public:
+  DenseLayer(int64_t input_dim, int64_t output_dim, bool bias, Rng* rng);
+
+  /// x: [n, input_dim] -> [n, output_dim].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// x: [input_dim] -> [output_dim].
+  tensor::Tensor ForwardVector(const tensor::Tensor& x) const;
+
+ private:
+  tensor::Tensor weight_;  // [out, in]
+  tensor::Tensor bias_;    // [out] or empty
+};
+
+/// A pre-norm-free (post-norm, as in the original Transformer and RecBole)
+/// single-head self-attention block with a position-wise feed-forward
+/// network: x -> LayerNorm(x + SelfAttn(x)) -> LayerNorm(h + FFN(h)).
+class TransformerBlock {
+ public:
+  TransformerBlock(int64_t dim, int64_t ffn_dim, Rng* rng);
+
+  /// x: [l, dim] -> [l, dim].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+ private:
+  DenseLayer wq_, wk_, wv_, wo_;
+  DenseLayer ffn1_, ffn2_;
+  tensor::Tensor norm1_gain_, norm1_bias_;
+  tensor::Tensor norm2_gain_, norm2_bias_;
+};
+
+/// Learned positional embeddings added to the item embeddings of a
+/// session, as used by the transformer-based models.
+class PositionalEmbedding {
+ public:
+  PositionalEmbedding(int64_t max_length, int64_t dim, Rng* rng);
+
+  /// x: [l, dim] -> [l, dim] with position rows added (l <= max_length).
+  tensor::Tensor AddTo(const tensor::Tensor& x) const;
+
+ private:
+  tensor::Tensor table_;  // [max_length, dim]
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_LAYERS_H_

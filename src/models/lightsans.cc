@@ -1,0 +1,83 @@
+#include "models/lightsans.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+LightSans::LightSans(const ModelConfig& config)
+    : SessionModel(config),
+      positions_(config_.max_session_length, config_.embedding_dim, &rng_) {
+  const int64_t d = config_.embedding_dim;
+  layers_.reserve(kNumLayers);
+  for (int i = 0; i < kNumLayers; ++i) {
+    Layer layer{
+        DenseLayer(d, d, true, &rng_),  // wq
+        DenseLayer(d, d, true, &rng_),  // wk
+        DenseLayer(d, d, true, &rng_),  // wv
+        DenseLayer(d, d, true, &rng_),  // wo
+        DenseLayer(d, kMaxInterests, false, &rng_),
+        DenseLayer(d, 4 * d, true, &rng_),
+        DenseLayer(4 * d, d, true, &rng_),
+        Tensor({d}), Tensor({d}), Tensor({d}), Tensor({d})};
+    layer.norm1_gain.Fill(1.0f);
+    layer.norm2_gain.Fill(1.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Tensor LightSans::RunLayer(const Layer& layer, const Tensor& x) const {
+  const int64_t l = x.dim(0);
+  // Dynamic low-rank decomposition: the number of latent interests is a
+  // runtime function of the session length (non-JIT-able control flow).
+  const int64_t k_interests = std::min<int64_t>(kMaxInterests, l);
+
+  const Tensor q = layer.wq.Forward(x);
+  const Tensor k = layer.wk.Forward(x);
+  const Tensor v = layer.wv.Forward(x);
+  // Interest assignment: softmax over positions for each latent interest.
+  Tensor assign_logits = layer.interest_proj.Forward(x);  // [l, kMax]
+  Tensor assign({k_interests, l});
+  for (int64_t i = 0; i < k_interests; ++i) {
+    for (int64_t j = 0; j < l; ++j) assign.at(i, j) = assign_logits.at(j, i);
+  }
+  const Tensor assign_soft = tensor::Softmax(assign);       // [k, l]
+  const Tensor latent_k = tensor::MatMul(assign_soft, k);   // [k, d]
+  const Tensor latent_v = tensor::MatMul(assign_soft, v);   // [k, d]
+  const Tensor attended = layer.wo.Forward(
+      tensor::ScaledDotProductAttention(q, latent_k, latent_v));
+  const Tensor h = tensor::LayerNorm(tensor::Add(x, attended),
+                                     layer.norm1_gain, layer.norm1_bias);
+  const Tensor ffn = layer.ffn2.Forward(tensor::Gelu(layer.ffn1.Forward(h)));
+  return tensor::LayerNorm(tensor::Add(h, ffn), layer.norm2_gain,
+                           layer.norm2_bias);
+}
+
+Tensor LightSans::EncodeSession(const std::vector<int64_t>& session) const {
+  Tensor x = positions_.AddTo(tensor::Embedding(item_embeddings_, session));
+  for (const Layer& layer : layers_) {
+    x = RunLayer(layer, x);
+  }
+  return x.Row(x.dim(0) - 1);
+}
+
+double LightSans::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  const double k = static_cast<double>(std::min<int64_t>(kMaxInterests, l));
+  // Per layer: QKVO (8 l d^2) + interest projection (2 l d k) + latent
+  // key/value (4 k l d) + attention over k latents (4 l k d) + FFN
+  // (16 l d^2).
+  return kNumLayers *
+         (24.0 * ll * d * d + 2.0 * ll * d * k + 8.0 * k * ll * d);
+}
+
+int64_t LightSans::OpCount(int64_t l) const {
+  (void)l;
+  return 3 + kNumLayers * 18;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,53 @@
+#ifndef ETUDE_MODELS_LIGHTSANS_H_
+#define ETUDE_MODELS_LIGHTSANS_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// LightSANs (Fan et al., SIGIR 2021): low-rank decomposed self-attention.
+/// Instead of attending over all l positions, each layer projects the
+/// sequence onto k_interests latent "interest" vectors and attends over
+/// those, reducing the l^2 term to l*k.
+///
+/// The number of latent interests depends on the session length at
+/// runtime (min(kMaxInterests, l)) — the dynamic code path that prevents
+/// torch.jit from compiling the RecBole implementation, which the paper
+/// reports as an implementation issue. `jit_compatible()` is false.
+class LightSans final : public SessionModel {
+ public:
+  static constexpr int kNumLayers = 2;
+  static constexpr int64_t kMaxInterests = 8;
+
+  explicit LightSans(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kLightSans; }
+  bool jit_compatible() const override { return false; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  struct Layer {
+    DenseLayer wq, wk, wv, wo;
+    DenseLayer interest_proj;  // [kMaxInterests, d]
+    DenseLayer ffn1, ffn2;
+    tensor::Tensor norm1_gain, norm1_bias, norm2_gain, norm2_bias;
+  };
+
+  tensor::Tensor RunLayer(const Layer& layer, const tensor::Tensor& x) const;
+
+  PositionalEmbedding positions_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_LIGHTSANS_H_

@@ -1,0 +1,61 @@
+#include "models/model_factory.h"
+
+#include "models/core.h"
+#include "models/gc_san.h"
+#include "models/gru4rec.h"
+#include "models/lightsans.h"
+#include "models/narm.h"
+#include "models/repeat_net.h"
+#include "models/sasrec.h"
+#include "models/sine.h"
+#include "models/sr_gnn.h"
+#include "models/stamp.h"
+
+namespace etude::models {
+
+Result<std::unique_ptr<SessionModel>> CreateModel(ModelKind kind,
+                                                  const ModelConfig& config) {
+  if (config.catalog_size < 1) {
+    return Status::InvalidArgument("catalog size must be >= 1");
+  }
+  if (config.top_k < 1) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  if (config.max_session_length < 1) {
+    return Status::InvalidArgument("max_session_length must be >= 1");
+  }
+  if (config.embedding_dim < 0) {
+    return Status::InvalidArgument("embedding_dim must be >= 0");
+  }
+  switch (kind) {
+    case ModelKind::kGru4Rec:
+      return std::unique_ptr<SessionModel>(new Gru4Rec(config));
+    case ModelKind::kRepeatNet:
+      return std::unique_ptr<SessionModel>(new RepeatNet(config));
+    case ModelKind::kGcSan:
+      return std::unique_ptr<SessionModel>(new GcSan(config));
+    case ModelKind::kSrGnn:
+      return std::unique_ptr<SessionModel>(new SrGnn(config));
+    case ModelKind::kNarm:
+      return std::unique_ptr<SessionModel>(new Narm(config));
+    case ModelKind::kSine:
+      return std::unique_ptr<SessionModel>(new Sine(config));
+    case ModelKind::kStamp:
+      return std::unique_ptr<SessionModel>(new Stamp(config));
+    case ModelKind::kLightSans:
+      return std::unique_ptr<SessionModel>(new LightSans(config));
+    case ModelKind::kCore:
+      return std::unique_ptr<SessionModel>(new Core(config));
+    case ModelKind::kSasRec:
+      return std::unique_ptr<SessionModel>(new SasRec(config));
+  }
+  return Status::InvalidArgument("unknown model kind");
+}
+
+Result<std::unique_ptr<SessionModel>> CreateModel(std::string_view name,
+                                                  const ModelConfig& config) {
+  ETUDE_ASSIGN_OR_RETURN(ModelKind kind, ModelKindFromString(name));
+  return CreateModel(kind, config);
+}
+
+}  // namespace etude::models

@@ -1,0 +1,24 @@
+#ifndef ETUDE_MODELS_MODEL_FACTORY_H_
+#define ETUDE_MODELS_MODEL_FACTORY_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// Instantiates one of the ten SBR models with randomly initialised
+/// weights — the equivalent of loading a serialised model into the
+/// inference server. Returns InvalidArgument for inconsistent configs.
+Result<std::unique_ptr<SessionModel>> CreateModel(ModelKind kind,
+                                                  const ModelConfig& config);
+
+/// Convenience overload resolving the model by its paper name
+/// (e.g. "GRU4Rec", "sr-gnn").
+Result<std::unique_ptr<SessionModel>> CreateModel(std::string_view name,
+                                                  const ModelConfig& config);
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_MODEL_FACTORY_H_

@@ -1,0 +1,53 @@
+#include "models/narm.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+Narm::Narm(const ModelConfig& config)
+    : SessionModel(config),
+      gru_(config_.embedding_dim, config_.embedding_dim, &rng_),
+      attn_global_(config_.embedding_dim, config_.embedding_dim, false,
+                   &rng_),
+      attn_local_(config_.embedding_dim, config_.embedding_dim, false,
+                  &rng_),
+      attn_v_(tensor::XavierUniform({config_.embedding_dim}, &rng_)),
+      head_(2 * config_.embedding_dim, config_.embedding_dim, false, &rng_) {}
+
+Tensor Narm::EncodeSession(const std::vector<int64_t>& session) const {
+  const Tensor embedded = tensor::Embedding(item_embeddings_, session);
+  const Tensor states = gru_.RunSequence(embedded);  // [l, d]
+  const int64_t l = states.dim(0), d = states.dim(1);
+  const Tensor global = states.Row(l - 1);
+
+  // Additive attention: alpha_j = v^T sigmoid(A1 h_l + A2 h_j).
+  const Tensor proj_global = attn_global_.ForwardVector(global);  // [d]
+  const Tensor proj_states = attn_local_.Forward(states);         // [l, d]
+  Tensor local({d});
+  for (int64_t j = 0; j < l; ++j) {
+    const Tensor gate = tensor::Sigmoid(
+        tensor::Add(proj_global, proj_states.Row(j)));
+    const float alpha = tensor::Dot(attn_v_, gate);
+    for (int64_t i = 0; i < d; ++i) local[i] += alpha * states.at(j, i);
+  }
+  return head_.ForwardVector(tensor::Concat(global, local));
+}
+
+double Narm::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  // GRU (12 l d^2) + attention projections (2 l d^2 + 2 d^2) + scoring
+  // (4 l d) + head (4 d^2).
+  return 12.0 * ll * d * d + 2.0 * ll * d * d + 6.0 * d * d + 4.0 * ll * d;
+}
+
+int64_t Narm::OpCount(int64_t l) const {
+  (void)l;
+  // Fused GRU + vectorised additive attention + projection head.
+  return 22;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,38 @@
+#ifndef ETUDE_MODELS_NARM_H_
+#define ETUDE_MODELS_NARM_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// NARM (Li et al., CIKM 2017): a hybrid encoder — a GRU provides a global
+/// sequential representation (its last hidden state) and an additive
+/// attention over all hidden states provides a local "main purpose"
+/// representation; both are concatenated and projected back to d.
+class Narm final : public SessionModel {
+ public:
+  explicit Narm(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kNarm; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  GruLayer gru_;
+  DenseLayer attn_global_;  // A1: [d, d]
+  DenseLayer attn_local_;   // A2: [d, d]
+  tensor::Tensor attn_v_;   // v:  [d]
+  DenseLayer head_;         // B:  [d, 2d]
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_NARM_H_

@@ -1,0 +1,136 @@
+#include "models/repeat_net.h"
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+RepeatNet::RepeatNet(const ModelConfig& config)
+    : SessionModel(config),
+      gru_(config_.embedding_dim, config_.embedding_dim, &rng_),
+      mode_gate_(2 * config_.embedding_dim, 2, true, &rng_),
+      repeat_attn_(config_.embedding_dim, config_.embedding_dim, false,
+                   &rng_),
+      repeat_q_(tensor::XavierUniform({config_.embedding_dim}, &rng_)),
+      explore_head_(2 * config_.embedding_dim, config_.embedding_dim, false,
+                    &rng_),
+      context_attn_(config_.embedding_dim, config_.embedding_dim, false,
+                    &rng_),
+      context_q_(tensor::XavierUniform({config_.embedding_dim}, &rng_)) {}
+
+Tensor RepeatNet::PoolContext(const Tensor& states) const {
+  const int64_t l = states.dim(0), d = states.dim(1);
+  const Tensor proj = context_attn_.Forward(states);  // [l, d]
+  Tensor logits({l});
+  for (int64_t t = 0; t < l; ++t) {
+    logits[t] = tensor::Dot(context_q_, tensor::Tanh(proj.Row(t)));
+  }
+  const Tensor weights = tensor::Softmax(logits);
+  Tensor context({d});
+  for (int64_t t = 0; t < l; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      context[j] += weights[t] * states.at(t, j);
+    }
+  }
+  return context;
+}
+
+Tensor RepeatNet::EncodeSession(const std::vector<int64_t>& session) const {
+  const Tensor embedded = tensor::Embedding(item_embeddings_, session);
+  const Tensor states = gru_.RunSequence(embedded);
+  const Tensor last = states.Row(states.dim(0) - 1);
+  const Tensor context = PoolContext(states);
+  return explore_head_.ForwardVector(tensor::Concat(last, context));
+}
+
+Result<Recommendation> RepeatNet::Recommend(
+    const std::vector<int64_t>& session) const {
+  if (!config_.materialize_embeddings) {
+    return Status::FailedPrecondition(
+        "model was created cost-only (materialize_embeddings = false)");
+  }
+  ETUDE_RETURN_NOT_OK(ValidateSession(session, config_));
+  std::vector<int64_t> window = session;
+  if (static_cast<int64_t>(window.size()) > config_.max_session_length) {
+    window.assign(window.end() - config_.max_session_length, window.end());
+  }
+  const int64_t l = static_cast<int64_t>(window.size());
+  const int64_t c = config_.catalog_size;
+
+  const Tensor embedded = tensor::Embedding(item_embeddings_, window);
+  const Tensor states = gru_.RunSequence(embedded);
+  const Tensor last = states.Row(l - 1);
+  const Tensor context = PoolContext(states);
+
+  // Mode gate: p(repeat) vs p(explore).
+  const Tensor mode = tensor::Softmax(
+      mode_gate_.ForwardVector(tensor::Concat(last, context)));
+  const float p_repeat = mode[0];
+  const float p_explore = mode[1];
+
+  // Repeat decoder: attention over the session positions.
+  const Tensor rep_proj = repeat_attn_.Forward(states);  // [l, d]
+  Tensor rep_logits({l});
+  for (int64_t t = 0; t < l; ++t) {
+    rep_logits[t] = tensor::Dot(repeat_q_, tensor::Tanh(rep_proj.Row(t)));
+  }
+  const Tensor rep_weights = tensor::Softmax(rep_logits);  // [l]
+
+  // --- RecBole performance bug, reproduced faithfully: ---
+  // The l-sparse repeat distribution is expanded to the full catalog with
+  // a dense one-hot [l, C] matrix multiplication (l*C multiply-adds and a
+  // C-sized dense allocation instead of an l-sized scatter).
+  Tensor onehot({l, c});
+  for (int64_t t = 0; t < l; ++t) {
+    onehot.at(t, window[static_cast<size_t>(t)]) = 1.0f;
+  }
+  const Tensor repeat_dense =
+      tensor::MatMul(rep_weights.Reshaped({1, l}), onehot)
+          .Reshaped({c});  // [C]
+
+  // Explore decoder: dense softmax over the whole catalog.
+  const Tensor query =
+      explore_head_.ForwardVector(tensor::Concat(last, context));
+  const Tensor explore_scores = tensor::MatVec(item_embeddings_, query);
+  const Tensor explore_probs = tensor::Softmax(explore_scores);  // [C]
+
+  // Mixture of the two distributions, again materialised densely.
+  Tensor final_scores({c});
+  for (int64_t i = 0; i < c; ++i) {
+    final_scores[i] =
+        p_repeat * repeat_dense[i] + p_explore * explore_probs[i];
+  }
+  const tensor::TopKResult top = tensor::TopK(final_scores, config_.top_k);
+  Recommendation rec;
+  rec.items = top.indices;
+  rec.scores = top.scores;
+  return rec;
+}
+
+double RepeatNet::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  // GRU (12 l d^2) + context & repeat attentions (4 l d^2 + 4 l d) +
+  // mode gate (4 d) + explore head (4 d^2).
+  return 12.0 * ll * d * d + 4.0 * ll * d * d + 4.0 * ll * d + 4.0 * d * d;
+}
+
+int64_t RepeatNet::OpCount(int64_t l) const {
+  (void)l;
+  // Encoder GRU + both decoders + the dense scatter/mixture ops.
+  return 45;
+}
+
+double RepeatNet::ExtraCatalogPasses(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  // Dense one-hot [l, C] materialisation and multiply (l C-sized rows),
+  // the dense repeat vector, the explore softmax (2 passes over [C]) and
+  // the dense mixture (3 passes), each 4 bytes vs the d*4-byte scan row.
+  return (static_cast<double>(l) + 6.0) / d;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,58 @@
+#ifndef ETUDE_MODELS_REPEAT_NET_H_
+#define ETUDE_MODELS_REPEAT_NET_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// RepeatNet (Ren et al., AAAI 2019): an encoder-decoder with a
+/// repeat-explore mechanism. A GRU encodes the session; a mode gate
+/// predicts whether the next click repeats an earlier session item or
+/// explores the catalog; a repeat decoder scores the session items and an
+/// explore decoder scores the whole catalog; the two distributions are
+/// mixed by the mode probabilities.
+///
+/// Faithful to the RecBole implementation — including its performance bug
+/// (paper, Sec. III-C): the repeat distribution, which has at most l
+/// non-zero entries, is materialised as a *dense* catalog-sized vector via
+/// a one-hot [l, C] matrix multiplication, and the explore distribution is
+/// a dense softmax over all C scores. Recommend() is overridden to execute
+/// exactly this mixture.
+class RepeatNet final : public SessionModel {
+ public:
+  explicit RepeatNet(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kRepeatNet; }
+
+  Result<Recommendation> Recommend(
+      const std::vector<int64_t>& session) const override;
+
+  /// The explore-decoder query (used when RepeatNet is driven through the
+  /// generic encode-then-MIPS path, e.g. in shape tests).
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+  double ExtraCatalogPasses(int64_t l) const override;
+
+ private:
+  /// Attention-pooled session context from the GRU states.
+  tensor::Tensor PoolContext(const tensor::Tensor& states) const;
+
+  GruLayer gru_;
+  DenseLayer mode_gate_;      // [2, 2d]: p(repeat), p(explore)
+  DenseLayer repeat_attn_;    // [d, d]
+  tensor::Tensor repeat_q_;   // [d]
+  DenseLayer explore_head_;   // [d, 2d]
+  DenseLayer context_attn_;   // [d, d]
+  tensor::Tensor context_q_;  // [d]
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_REPEAT_NET_H_

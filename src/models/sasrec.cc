@@ -1,0 +1,41 @@
+#include "models/sasrec.h"
+
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+SasRec::SasRec(const ModelConfig& config)
+    : SessionModel(config),
+      positions_(config_.max_session_length, config_.embedding_dim, &rng_) {
+  blocks_.reserve(kNumLayers);
+  for (int i = 0; i < kNumLayers; ++i) {
+    blocks_.emplace_back(config_.embedding_dim, 4 * config_.embedding_dim,
+                         &rng_);
+  }
+}
+
+Tensor SasRec::EncodeSession(const std::vector<int64_t>& session) const {
+  Tensor x = positions_.AddTo(
+      tensor::Embedding(item_embeddings_, session));  // [l, d]
+  for (const TransformerBlock& block : blocks_) {
+    x = block.Forward(x);
+  }
+  return x.Row(x.dim(0) - 1);
+}
+
+double SasRec::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  // Per block: QKVO projections (8 l d^2), attention matrix (4 l^2 d),
+  // FFN with 4x expansion (16 l d^2).
+  return kNumLayers * (24.0 * ll * d * d + 4.0 * ll * ll * d);
+}
+
+int64_t SasRec::OpCount(int64_t l) const {
+  (void)l;
+  return 3 + kNumLayers * 14;
+}
+
+}  // namespace etude::models

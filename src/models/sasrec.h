@@ -1,0 +1,37 @@
+#ifndef ETUDE_MODELS_SASREC_H_
+#define ETUDE_MODELS_SASREC_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// SASRec (Kang & McAuley, ICDM 2018): self-attentive sequential
+/// recommendation. Item embeddings plus learned positional embeddings are
+/// passed through a stack of transformer blocks; the representation of the
+/// last position scores the catalog.
+class SasRec final : public SessionModel {
+ public:
+  static constexpr int kNumLayers = 2;
+
+  explicit SasRec(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kSasRec; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  PositionalEmbedding positions_;
+  std::vector<TransformerBlock> blocks_;
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_SASREC_H_

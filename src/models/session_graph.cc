@@ -1,0 +1,53 @@
+#include "models/session_graph.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace etude::models {
+
+SessionGraph SessionGraph::Build(const std::vector<int64_t>& session) {
+  ETUDE_CHECK(!session.empty()) << "cannot build graph of empty session";
+  SessionGraph graph;
+  std::unordered_map<int64_t, int64_t> node_of;
+  node_of.reserve(session.size());
+  graph.alias.reserve(session.size());
+  for (const int64_t item : session) {
+    auto [it, inserted] = node_of.try_emplace(
+        item, static_cast<int64_t>(graph.nodes.size()));
+    if (inserted) graph.nodes.push_back(item);
+    graph.alias.push_back(it->second);
+  }
+  const int64_t n = graph.num_nodes();
+  tensor::Tensor counts_out({n, n});
+  for (size_t t = 0; t + 1 < session.size(); ++t) {
+    const int64_t u = graph.alias[t];
+    const int64_t v = graph.alias[t + 1];
+    counts_out.at(u, v) += 1.0f;
+  }
+  // Row-normalise outgoing edges; incoming matrix is the row-normalised
+  // transpose.
+  graph.adj_out = tensor::Tensor({n, n});
+  graph.adj_in = tensor::Tensor({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    float out_degree = 0.0f;
+    for (int64_t j = 0; j < n; ++j) out_degree += counts_out.at(i, j);
+    if (out_degree > 0) {
+      for (int64_t j = 0; j < n; ++j) {
+        graph.adj_out.at(i, j) = counts_out.at(i, j) / out_degree;
+      }
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    float in_degree = 0.0f;
+    for (int64_t j = 0; j < n; ++j) in_degree += counts_out.at(j, i);
+    if (in_degree > 0) {
+      for (int64_t j = 0; j < n; ++j) {
+        graph.adj_in.at(i, j) = counts_out.at(j, i) / in_degree;
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace etude::models

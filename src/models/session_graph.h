@@ -1,0 +1,33 @@
+#ifndef ETUDE_MODELS_SESSION_GRAPH_H_
+#define ETUDE_MODELS_SESSION_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace etude::models {
+
+/// The session graph shared by SR-GNN and GC-SAN: unique items become
+/// nodes; each consecutive click pair (i -> j) becomes a directed edge.
+/// Incoming and outgoing adjacency matrices are row-normalised.
+///
+/// In the RecBole implementations this graph is constructed with NumPy
+/// inside the inference function — the host-side step that forces
+/// CPU<->GPU transfers at inference time (the performance bug the paper
+/// reports). Our deployment simulator charges those host syncs via the
+/// models' calibration profile.
+struct SessionGraph {
+  std::vector<int64_t> nodes;  // unique item ids, in first-seen order
+  std::vector<int64_t> alias;  // click position -> node index
+  tensor::Tensor adj_in;       // [n, n], row-normalised incoming edges
+  tensor::Tensor adj_out;      // [n, n], row-normalised outgoing edges
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
+
+  static SessionGraph Build(const std::vector<int64_t>& session);
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_SESSION_GRAPH_H_

@@ -1,0 +1,160 @@
+#include "models/session_model.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "models/calibration.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+std::string_view ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGru4Rec:
+      return "GRU4Rec";
+    case ModelKind::kRepeatNet:
+      return "RepeatNet";
+    case ModelKind::kGcSan:
+      return "GC-SAN";
+    case ModelKind::kSrGnn:
+      return "SR-GNN";
+    case ModelKind::kNarm:
+      return "NARM";
+    case ModelKind::kSine:
+      return "SINE";
+    case ModelKind::kStamp:
+      return "STAMP";
+    case ModelKind::kLightSans:
+      return "LightSANs";
+    case ModelKind::kCore:
+      return "CORE";
+    case ModelKind::kSasRec:
+      return "SASRec";
+  }
+  return "?";
+}
+
+Result<ModelKind> ModelKindFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  for (const ModelKind kind : AllModelKinds()) {
+    if (ToLower(ModelKindToString(kind)) == lower) return kind;
+  }
+  // Accept hyphen-less GNN spellings.
+  if (lower == "gcsan") return ModelKind::kGcSan;
+  if (lower == "srgnn") return ModelKind::kSrGnn;
+  return Status::NotFound("unknown model '" + std::string(name) + "'");
+}
+
+const std::vector<ModelKind>& AllModelKinds() {
+  static const std::vector<ModelKind>* kAll = new std::vector<ModelKind>{
+      ModelKind::kGru4Rec, ModelKind::kRepeatNet, ModelKind::kGcSan,
+      ModelKind::kSrGnn,   ModelKind::kNarm,      ModelKind::kSine,
+      ModelKind::kStamp,   ModelKind::kLightSans, ModelKind::kCore,
+      ModelKind::kSasRec,
+  };
+  return *kAll;
+}
+
+const std::vector<ModelKind>& HealthyModelKinds() {
+  static const std::vector<ModelKind>* kHealthy = new std::vector<ModelKind>{
+      ModelKind::kCore, ModelKind::kGru4Rec, ModelKind::kNarm,
+      ModelKind::kSasRec, ModelKind::kSine, ModelKind::kStamp,
+  };
+  return *kHealthy;
+}
+
+int64_t HeuristicEmbeddingDim(int64_t catalog_size) {
+  ETUDE_CHECK(catalog_size >= 1) << "catalog size must be >= 1";
+  return static_cast<int64_t>(
+      std::ceil(std::pow(static_cast<double>(catalog_size), 0.25)));
+}
+
+Status ValidateSession(const std::vector<int64_t>& session,
+                       const ModelConfig& config) {
+  if (session.empty()) {
+    return Status::InvalidArgument("session must contain at least one click");
+  }
+  for (const int64_t item : session) {
+    if (item < 0 || item >= config.catalog_size) {
+      return Status::OutOfRange(
+          "item id " + std::to_string(item) + " outside catalog of size " +
+          std::to_string(config.catalog_size));
+    }
+  }
+  return Status::OK();
+}
+
+SessionModel::SessionModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  ETUDE_CHECK(config_.catalog_size >= 1) << "catalog size must be >= 1";
+  if (config_.embedding_dim <= 0) {
+    config_.embedding_dim = HeuristicEmbeddingDim(config_.catalog_size);
+  }
+  ETUDE_CHECK(config_.top_k >= 1) << "top_k must be >= 1";
+  // RecBole initialises embedding tables with N(0, 0.02); the weights need
+  // not be trained to measure inference latency (Sec. III).
+  if (config_.materialize_embeddings) {
+    item_embeddings_ = tensor::RandomNormal(
+        {config_.catalog_size, config_.embedding_dim}, 0.02f, &rng_);
+  } else {
+    item_embeddings_ =
+        tensor::RandomNormal({1, config_.embedding_dim}, 0.02f, &rng_);
+  }
+}
+
+Result<Recommendation> SessionModel::Recommend(
+    const std::vector<int64_t>& session) const {
+  if (!config_.materialize_embeddings) {
+    return Status::FailedPrecondition(
+        "model was created cost-only (materialize_embeddings = false)");
+  }
+  ETUDE_RETURN_NOT_OK(ValidateSession(session, config_));
+  // RecBole truncates long sessions to the most recent max_session_length
+  // interactions.
+  std::vector<int64_t> window = session;
+  if (static_cast<int64_t>(window.size()) > config_.max_session_length) {
+    window.assign(window.end() - config_.max_session_length, window.end());
+  }
+  const tensor::Tensor query = EncodeSession(window);
+  ETUDE_CHECK(query.rank() == 1 && query.dim(0) == config_.embedding_dim)
+      << "EncodeSession must return a [d] vector";
+  const tensor::TopKResult top =
+      tensor::Mips(item_embeddings_, query, config_.top_k);
+  Recommendation rec;
+  rec.items = top.indices;
+  rec.scores = top.scores;
+  return rec;
+}
+
+sim::InferenceWork SessionModel::CostModel(ExecutionMode mode,
+                                           int64_t session_length) const {
+  const int64_t l =
+      std::min(std::max<int64_t>(session_length, 1),
+               config_.max_session_length);
+  const double c = static_cast<double>(config_.catalog_size);
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double k = static_cast<double>(config_.top_k);
+
+  const ModelCalibration& cal = GetCalibration(kind());
+  sim::InferenceWork work;
+  work.encode_flops = EncodeFlops(l);
+  // Encoder tensors are small and cache-resident; their memory traffic is
+  // a fraction of the flops.
+  work.encode_bytes = work.encode_flops * 0.5;
+  // MIPS: one multiply-add per catalog entry per dimension, plus the
+  // bounded-heap top-k comparisons — the paper's O(C(d + log k)) term.
+  work.scan_flops = 2.0 * c * d + c * std::log2(std::max(k, 2.0));
+  work.scan_bytes = c * d * 4.0 * (1.0 + ExtraCatalogPasses(l));
+  work.op_count = static_cast<int>(OpCount(l));
+  work.jit_compiled = (mode == ExecutionMode::kJit) && jit_compatible();
+  work.host_sync_points = cal.host_sync_points;
+  work.host_compute_us = cal.host_compute_us;
+  work.batch_share = cal.batch_share;
+  work.cpu_efficiency = cal.cpu_efficiency;
+  work.t4_efficiency = cal.t4_efficiency;
+  work.a100_efficiency = cal.a100_efficiency;
+  return work;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,159 @@
+#ifndef ETUDE_MODELS_SESSION_MODEL_H_
+#define ETUDE_MODELS_SESSION_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/device.h"
+#include "tensor/tensor.h"
+
+namespace etude::models {
+
+/// The ten neural SBR architectures evaluated in the paper (Sec. II,
+/// "Supported models"), as implemented in the RecBole library.
+enum class ModelKind {
+  kGru4Rec,    // RNN: GRU with gating for long-term dependencies
+  kRepeatNet,  // RNN: encoder-decoder with repeat-explore mechanism
+  kGcSan,      // GNN: graph contextualised self-attention
+  kSrGnn,      // GNN: gated graph neural network over session graph
+  kNarm,       // attention: hybrid encoder with attention
+  kSine,       // attention: sparse-interest embeddings
+  kStamp,      // attention: short-term attention/memory priority
+  kLightSans,  // transformer: low-rank decomposed self-attention
+  kCore,       // transformer: consistent representation space
+  kSasRec,     // transformer: self-attentive sequential recommendation
+};
+
+std::string_view ModelKindToString(ModelKind kind);
+Result<ModelKind> ModelKindFromString(std::string_view name);
+
+/// All ten kinds, in the paper's presentation order.
+const std::vector<ModelKind>& AllModelKinds();
+
+/// The six models with correct RecBole implementations, which the paper's
+/// Table I reports on. (SR-GNN, GC-SAN, RepeatNet and LightSANs are
+/// excluded there due to the implementation errors found in Sec. III.)
+const std::vector<ModelKind>& HealthyModelKinds();
+
+/// Execution mode of the deployed model: PyTorch eager, or the
+/// JIT-optimised plan (torch.jit.optimize_for_inference). Models whose
+/// implementation cannot be JIT-compiled (LightSANs, due to dynamic code
+/// paths) silently fall back to eager — mirroring the paper's finding.
+enum class ExecutionMode { kEager, kJit };
+
+/// Hyperparameters shared by all models. The embedding dimension follows
+/// the paper's heuristic d = ceil(C^(1/4)) unless set explicitly.
+struct ModelConfig {
+  int64_t catalog_size = 10000;  // C
+  int64_t embedding_dim = 0;     // d; 0 = use HeuristicEmbeddingDim(C)
+  int64_t top_k = 21;            // number of items to recommend
+  int64_t max_session_length = 50;
+  uint64_t seed = 42;            // weight-initialisation seed
+  // When false, the [C, d] item-embedding table is not allocated and the
+  // model is usable for cost modelling only (Recommend fails with
+  // FailedPrecondition). Deployment simulations at catalog sizes of tens
+  // of millions of items use this to avoid multi-gigabyte allocations.
+  bool materialize_embeddings = true;
+};
+
+/// The paper's embedding-size heuristic: round up the fourth root of the
+/// catalog size.
+int64_t HeuristicEmbeddingDim(int64_t catalog_size);
+
+/// Ranked next-item recommendations for one session.
+struct Recommendation {
+  std::vector<int64_t> items;  // item ids, best first
+  std::vector<float> scores;   // corresponding inner-product scores
+};
+
+/// Base class of all SBR models: owns the item-embedding table and the
+/// shared maximum-inner-product search, and exposes the per-request cost
+/// descriptor consumed by the deployment simulator.
+///
+/// Subclasses implement EncodeSession (the architecture-specific part) and
+/// the analytic cost hooks. The numeric forward pass really executes on
+/// the CPU tensor engine — `Recommend` returns genuine model output.
+class SessionModel {
+ public:
+  virtual ~SessionModel() = default;
+
+  SessionModel(const SessionModel&) = delete;
+  SessionModel& operator=(const SessionModel&) = delete;
+
+  virtual ModelKind kind() const = 0;
+  std::string_view name() const { return ModelKindToString(kind()); }
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Whether torch.jit can compile this implementation. LightSANs returns
+  /// false (dynamic code paths, as found by the paper).
+  virtual bool jit_compatible() const { return true; }
+
+  /// Runs the full inference path for one session: encode the session into
+  /// a d-dimensional vector, then run the top-k maximum inner product
+  /// search over all C item embeddings — the O(C(d + log k)) path of the
+  /// paper's complexity analysis. RepeatNet overrides this to add its
+  /// repeat-mechanism distribution on top of the catalog scores.
+  virtual Result<Recommendation> Recommend(
+      const std::vector<int64_t>& session) const;
+
+  /// Architecture-specific session encoder; returns a [d] vector.
+  /// `session` item ids must be valid (checked by Recommend).
+  virtual tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const = 0;
+
+  /// Analytic per-request cost descriptor for the deployment simulator,
+  /// for a request whose session currently has `session_length` items.
+  sim::InferenceWork CostModel(ExecutionMode mode,
+                               int64_t session_length) const;
+
+  /// The shared [C, d] item-embedding table (a [1, d] placeholder when the
+  /// model was created with materialize_embeddings = false).
+  const tensor::Tensor& item_embeddings() const { return item_embeddings_; }
+
+  /// Size in bytes of the serialised model (dominated by the embedding
+  /// table, whether materialised or not); used for readiness modelling.
+  int64_t SerializedBytes() const {
+    return config_.catalog_size * config_.embedding_dim * 4;
+  }
+
+  bool materialized() const { return config_.materialize_embeddings; }
+
+ protected:
+  explicit SessionModel(const ModelConfig& config);
+
+  /// Floating-point operations of EncodeSession for a length-l session.
+  virtual double EncodeFlops(int64_t l) const = 0;
+
+  /// Number of framework-level ops EncodeSession dispatches (eager-mode
+  /// overhead), for a length-l session.
+  virtual int64_t OpCount(int64_t l) const = 0;
+
+  /// Extra catalog-sized memory passes beyond the single MIPS scan,
+  /// expressed as a fraction of one C*d*4-byte pass. CORE's full-catalog
+  /// softmax and RepeatNet's dense repeat/explore distributions report
+  /// non-zero values here.
+  virtual double ExtraCatalogPasses(int64_t l) const {
+    (void)l;
+    return 0.0;
+  }
+
+  ModelConfig config_;
+  Rng rng_;  // used during construction for weight init
+  tensor::Tensor item_embeddings_;  // [C, d]
+};
+
+/// Validates a session against the model configuration: non-empty, ids in
+/// [0, C). Sessions longer than max_session_length are truncated to their
+/// most recent items by Recommend (as RecBole does), not rejected.
+Status ValidateSession(const std::vector<int64_t>& session,
+                       const ModelConfig& config);
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_SESSION_MODEL_H_

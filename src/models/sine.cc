@@ -1,0 +1,81 @@
+#include "models/sine.h"
+
+#include <algorithm>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+Sine::Sine(const ModelConfig& config)
+    : SessionModel(config),
+      prototype_pool_(tensor::XavierUniform(
+          {kPrototypePoolSize, config_.embedding_dim}, &rng_)),
+      key_proj_(config_.embedding_dim, config_.embedding_dim, false, &rng_),
+      fuse_proj_(config_.embedding_dim, config_.embedding_dim, false,
+                 &rng_) {}
+
+Tensor Sine::EncodeSession(const std::vector<int64_t>& session) const {
+  const Tensor embedded = tensor::Embedding(item_embeddings_, session);
+  const int64_t l = embedded.dim(0), d = embedded.dim(1);
+  const Tensor mean = tensor::MeanRows(embedded);
+
+  // Sparse interest activation: top-k prototypes by affinity to the
+  // session mean.
+  const Tensor affinities = tensor::MatVec(prototype_pool_, mean);  // [P]
+  const tensor::TopKResult active =
+      tensor::TopK(affinities, kActiveInterests);
+
+  // One attention per active prototype aggregates the session items.
+  const Tensor keys = key_proj_.Forward(embedded);  // [l, d]
+  const int64_t n_active = static_cast<int64_t>(active.indices.size());
+  Tensor interests({n_active, d});
+  for (int64_t p = 0; p < n_active; ++p) {
+    const Tensor proto = prototype_pool_.Row(active.indices[
+        static_cast<size_t>(p)]);
+    Tensor logits({l});
+    for (int64_t i = 0; i < l; ++i) {
+      logits[i] = tensor::Dot(keys.Row(i), proto);
+    }
+    const Tensor weights = tensor::Softmax(logits);
+    for (int64_t i = 0; i < l; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        interests.at(p, j) += weights[i] * embedded.at(i, j);
+      }
+    }
+  }
+
+  // Fuse interests weighted by softmaxed affinity of the active
+  // prototypes.
+  Tensor active_scores({n_active});
+  for (int64_t p = 0; p < n_active; ++p) {
+    active_scores[p] = active.scores[static_cast<size_t>(p)];
+  }
+  const Tensor fuse_weights = tensor::Softmax(active_scores);
+  Tensor fused({d});
+  for (int64_t p = 0; p < n_active; ++p) {
+    for (int64_t j = 0; j < d; ++j) {
+      fused[j] += fuse_weights[p] * interests.at(p, j);
+    }
+  }
+  return fuse_proj_.ForwardVector(fused);
+}
+
+double Sine::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  const double p = static_cast<double>(kPrototypePoolSize);
+  const double a = static_cast<double>(kActiveInterests);
+  // Prototype affinities (2 P d) + key projection (2 l d^2) + per-interest
+  // attention (a * 4 l d) + fusion (2 d^2).
+  return 2.0 * p * d + 2.0 * ll * d * d + 4.0 * a * ll * d + 2.0 * d * d;
+}
+
+int64_t Sine::OpCount(int64_t l) const {
+  (void)l;
+  return 6 + kActiveInterests * 4 + 4;
+}
+
+}  // namespace etude::models

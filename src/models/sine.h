@@ -1,0 +1,41 @@
+#ifndef ETUDE_MODELS_SINE_H_
+#define ETUDE_MODELS_SINE_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// SINE (Tan et al., WSDM 2021): sparse-interest network. A pool of
+/// concept prototypes is maintained; for each session the top
+/// `kActiveInterests` prototypes are activated, an attention per active
+/// prototype aggregates the session items into one interest embedding,
+/// and the interests are fused weighted by their affinity to the session
+/// mean.
+class Sine final : public SessionModel {
+ public:
+  static constexpr int64_t kPrototypePoolSize = 50;
+  static constexpr int64_t kActiveInterests = 4;
+
+  explicit Sine(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kSine; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  tensor::Tensor prototype_pool_;  // [kPrototypePoolSize, d]
+  DenseLayer key_proj_;            // [d, d]
+  DenseLayer fuse_proj_;           // [d, d]
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_SINE_H_

@@ -1,0 +1,90 @@
+#include "models/sr_gnn.h"
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+SrGnn::SrGnn(const ModelConfig& config)
+    : SessionModel(config),
+      w_in_(config_.embedding_dim, config_.embedding_dim, true, &rng_),
+      w_out_(config_.embedding_dim, config_.embedding_dim, true, &rng_),
+      gate_input_(2 * config_.embedding_dim, 3 * config_.embedding_dim,
+                  true, &rng_),
+      gate_hidden_(config_.embedding_dim, 3 * config_.embedding_dim, true,
+                   &rng_),
+      attn_last_(config_.embedding_dim, config_.embedding_dim, false, &rng_),
+      attn_node_(config_.embedding_dim, config_.embedding_dim, false, &rng_),
+      attn_q_(tensor::XavierUniform({config_.embedding_dim}, &rng_)),
+      head_(2 * config_.embedding_dim, config_.embedding_dim, false, &rng_) {}
+
+Tensor SrGnn::EncodeGraph(const SessionGraph& graph) const {
+  const int64_t n = graph.num_nodes(), d = config_.embedding_dim;
+  Tensor states = tensor::Embedding(item_embeddings_, graph.nodes);
+  for (int step = 0; step < kPropagationSteps; ++step) {
+    // Messages along both edge directions.
+    const Tensor msg_in =
+        tensor::MatMul(graph.adj_in, w_in_.Forward(states));    // [n, d]
+    const Tensor msg_out =
+        tensor::MatMul(graph.adj_out, w_out_.Forward(states));  // [n, d]
+    const Tensor messages = tensor::Concat(msg_in, msg_out);    // [n, 2d]
+    // GRU-style gated update per node.
+    const Tensor gi = gate_input_.Forward(messages);   // [n, 3d]
+    const Tensor gh = gate_hidden_.Forward(states);    // [n, 3d]
+    Tensor next({n, d});
+    for (int64_t v = 0; v < n; ++v) {
+      for (int64_t j = 0; j < d; ++j) {
+        const float r = 1.0f / (1.0f + std::exp(-(gi.at(v, j) +
+                                                  gh.at(v, j))));
+        const float z = 1.0f / (1.0f + std::exp(-(gi.at(v, d + j) +
+                                                  gh.at(v, d + j))));
+        const float cand = std::tanh(gi.at(v, 2 * d + j) +
+                                     r * gh.at(v, 2 * d + j));
+        next.at(v, j) = (1.0f - z) * cand + z * states.at(v, j);
+      }
+    }
+    states = std::move(next);
+  }
+  return states;
+}
+
+Tensor SrGnn::EncodeSession(const std::vector<int64_t>& session) const {
+  const SessionGraph graph = SessionGraph::Build(session);
+  const Tensor states = EncodeGraph(graph);
+  const int64_t n = graph.num_nodes(), d = config_.embedding_dim;
+  const Tensor last = states.Row(graph.alias.back());
+
+  // Attention readout: alpha_v = q^T sigmoid(W1 v_last + W2 v).
+  const Tensor proj_last = attn_last_.ForwardVector(last);
+  const Tensor proj_nodes = attn_node_.Forward(states);  // [n, d]
+  Tensor global({d});
+  for (int64_t v = 0; v < n; ++v) {
+    const Tensor gate =
+        tensor::Sigmoid(tensor::Add(proj_last, proj_nodes.Row(v)));
+    const float alpha = tensor::Dot(attn_q_, gate);
+    for (int64_t j = 0; j < d; ++j) global[j] += alpha * states.at(v, j);
+  }
+  return head_.ForwardVector(tensor::Concat(last, global));
+}
+
+double SrGnn::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double n = static_cast<double>(l);  // nodes <= clicks
+  // Per propagation step: edge projections (4 n d^2), adjacency matmuls
+  // (4 n^2 d), gate projections (2 n * (3d*2d + 3d*d) = 18 n d^2), update
+  // (~10 n d). Plus readout (4 n d^2 + 4 n d) and head (4 d^2).
+  return kPropagationSteps * (22.0 * n * d * d + 4.0 * n * n * d) +
+         4.0 * n * d * d + 4.0 * d * d;
+}
+
+int64_t SrGnn::OpCount(int64_t l) const {
+  (void)l;
+  // Graph construction, per-step GNN ops and the attention readout.
+  return 40;
+}
+
+}  // namespace etude::models

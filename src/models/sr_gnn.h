@@ -1,0 +1,46 @@
+#ifndef ETUDE_MODELS_SR_GNN_H_
+#define ETUDE_MODELS_SR_GNN_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_graph.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// SR-GNN (Wu et al., AAAI 2019): the session is converted into a directed
+/// item graph; a gated graph neural network propagates information along
+/// the in/out adjacency, and an attention readout combines the last click
+/// (current interest) with a global graph representation (long-term
+/// preference).
+class SrGnn : public SessionModel {
+ public:
+  static constexpr int kPropagationSteps = 1;
+
+  explicit SrGnn(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kSrGnn; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  /// Runs the gated GNN over the session graph; returns [n, d] node states.
+  tensor::Tensor EncodeGraph(const SessionGraph& graph) const;
+
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  DenseLayer w_in_, w_out_;       // edge-type projections [d, d]
+  DenseLayer gate_input_;         // [3d, 2d] GRU-style update from messages
+  DenseLayer gate_hidden_;        // [3d, d]
+  DenseLayer attn_last_, attn_node_;  // readout attention [d, d]
+  tensor::Tensor attn_q_;             // [d]
+  DenseLayer head_;                   // [d, 2d]
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_SR_GNN_H_

@@ -1,0 +1,60 @@
+#include "models/stamp.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+
+using tensor::Tensor;
+
+Stamp::Stamp(const ModelConfig& config)
+    : SessionModel(config),
+      w1_(config_.embedding_dim, config_.embedding_dim, false, &rng_),
+      w2_(config_.embedding_dim, config_.embedding_dim, false, &rng_),
+      w3_(config_.embedding_dim, config_.embedding_dim, false, &rng_),
+      w0_(tensor::XavierUniform({config_.embedding_dim}, &rng_)),
+      ba_(Tensor({config_.embedding_dim})),
+      mlp_a_(config_.embedding_dim, config_.embedding_dim, true, &rng_),
+      mlp_b_(config_.embedding_dim, config_.embedding_dim, true, &rng_) {}
+
+Tensor Stamp::EncodeSession(const std::vector<int64_t>& session) const {
+  const Tensor embedded = tensor::Embedding(item_embeddings_, session);
+  const int64_t l = embedded.dim(0), d = embedded.dim(1);
+  const Tensor last = embedded.Row(l - 1);
+  const Tensor mean = tensor::MeanRows(embedded);
+
+  // a_i = w0^T sigmoid(W1 x_i + W2 x_t + W3 m_s + b_a)
+  const Tensor proj_last = w2_.ForwardVector(last);
+  const Tensor proj_mean = w3_.ForwardVector(mean);
+  const Tensor context =
+      tensor::Add(tensor::Add(proj_last, proj_mean), ba_);
+  const Tensor proj_items = w1_.Forward(embedded);  // [l, d]
+  Tensor memory({d});
+  for (int64_t i = 0; i < l; ++i) {
+    const Tensor gate =
+        tensor::Sigmoid(tensor::Add(proj_items.Row(i), context));
+    const float a = tensor::Dot(w0_, gate);
+    for (int64_t j = 0; j < d; ++j) memory[j] += a * embedded.at(i, j);
+  }
+
+  const Tensor hs = tensor::Tanh(mlp_a_.ForwardVector(memory));
+  const Tensor ht = tensor::Tanh(mlp_b_.ForwardVector(last));
+  return tensor::Mul(hs, ht);
+}
+
+double Stamp::EncodeFlops(int64_t l) const {
+  const double d = static_cast<double>(config_.embedding_dim);
+  const double ll = static_cast<double>(l);
+  // Attention projections (2 l d^2 + 4 d^2), scoring (4 l d), two MLPs
+  // (4 d^2). STAMP has no recurrence, which is why it is among the
+  // cheapest models per request.
+  return 2.0 * ll * d * d + 8.0 * d * d + 4.0 * ll * d;
+}
+
+int64_t Stamp::OpCount(int64_t l) const {
+  (void)l;
+  // Vectorised attention plus two MLPs.
+  return 18;
+}
+
+}  // namespace etude::models

@@ -1,0 +1,39 @@
+#ifndef ETUDE_MODELS_STAMP_H_
+#define ETUDE_MODELS_STAMP_H_
+
+#include <vector>
+
+#include "models/layers.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// STAMP (Liu et al., KDD 2018): short-term attention/memory priority.
+/// An additive attention over the session items — conditioned on the last
+/// click and the session mean — produces a memory vector; two small MLPs
+/// transform the memory and the last click, and their element-wise product
+/// is the session representation.
+class Stamp final : public SessionModel {
+ public:
+  explicit Stamp(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kStamp; }
+
+  tensor::Tensor EncodeSession(
+      const std::vector<int64_t>& session) const override;
+
+ protected:
+  double EncodeFlops(int64_t l) const override;
+  int64_t OpCount(int64_t l) const override;
+
+ private:
+  DenseLayer w1_, w2_, w3_;  // attention projections [d, d]
+  tensor::Tensor w0_;        // attention output vector [d]
+  tensor::Tensor ba_;        // attention bias [d]
+  DenseLayer mlp_a_;         // memory MLP [d, d]
+  DenseLayer mlp_b_;         // last-click MLP [d, d]
+};
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_STAMP_H_

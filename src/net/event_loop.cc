@@ -1,0 +1,137 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace etude::net {
+
+namespace {
+uint32_t ToEpollMask(IoEvents interest) {
+  uint32_t mask = 0;
+  if (interest.readable) mask |= EPOLLIN;
+  if (interest.writable) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  ETUDE_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
+  wakeup_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  ETUDE_CHECK(wakeup_fd_ >= 0) << "eventfd: " << std::strerror(errno);
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wakeup_fd_;
+  ETUDE_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &event) == 0)
+      << "epoll_ctl(wakeup): " << std::strerror(errno);
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) close(wakeup_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::RegisterFd(int fd, IoEvents interest, IoCallback callback) {
+  epoll_event event{};
+  event.events = ToEpollMask(interest);
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Status::IoError(std::string("epoll_ctl(add): ") +
+                           std::strerror(errno));
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status EventLoop::UpdateFd(int fd, IoEvents interest) {
+  epoll_event event{};
+  event.events = ToEpollMask(interest);
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Status::IoError(std::string("epoll_ctl(mod): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::DeregisterFd(int fd) {
+  callbacks_.erase(fd);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Status::IoError(std::string("epoll_ctl(del): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    posted_tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  // A failed wakeup only delays task processing until the next IO event.
+  [[maybe_unused]] const ssize_t written =
+      write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainPostedTasks() {
+  std::deque<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks.swap(posted_tasks_);
+  }
+  for (Task& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  running_.store(true);
+  std::vector<epoll_event> events(256);
+  while (!stop_requested_.load()) {
+    const int ready =
+        epoll_wait(epoll_fd_, events.data(),
+                   static_cast<int>(events.size()), /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ETUDE_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[static_cast<size_t>(i)].data.fd;
+      const uint32_t mask = events[static_cast<size_t>(i)].events;
+      if (fd == wakeup_fd_) {
+        uint64_t value = 0;
+        [[maybe_unused]] const ssize_t bytes =
+            read(wakeup_fd_, &value, sizeof(value));
+        continue;
+      }
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // deregistered meanwhile
+      IoEvents io;
+      io.readable = (mask & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      io.writable = (mask & EPOLLOUT) != 0;
+      it->second(io);
+    }
+    DrainPostedTasks();
+  }
+  DrainPostedTasks();
+  running_.store(false);
+  stop_requested_.store(false);
+}
+
+void EventLoop::Stop() {
+  stop_requested_.store(true);
+  Wakeup();
+}
+
+}  // namespace etude::net

@@ -1,0 +1,77 @@
+#ifndef ETUDE_NET_EVENT_LOOP_H_
+#define ETUDE_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace etude::net {
+
+/// Interest mask for file-descriptor callbacks.
+struct IoEvents {
+  bool readable = false;
+  bool writable = false;
+};
+
+/// A single-threaded epoll event loop — the non-blocking IO core of the
+/// ETUDE inference server (the role Actix's reactor plays in the paper's
+/// Rust implementation).
+///
+/// All Register/Update/Deregister calls must happen on the loop thread;
+/// other threads communicate with the loop via Post(), which is the only
+/// thread-safe entry point (used by inference workers to hand completed
+/// responses back to the IO thread).
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(IoEvents)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watches `fd`. The callback fires with the ready events. The fd must
+  /// be non-blocking.
+  Status RegisterFd(int fd, IoEvents interest, IoCallback callback);
+
+  /// Changes the interest set of a registered fd.
+  Status UpdateFd(int fd, IoEvents interest);
+
+  /// Stops watching `fd` (does not close it).
+  Status DeregisterFd(int fd);
+
+  /// Thread-safe: enqueues `task` to run on the loop thread and wakes the
+  /// loop if it is blocked in epoll_wait.
+  void Post(Task task);
+
+  /// Runs until Stop() is called. Must be invoked from one thread only.
+  void Run();
+
+  /// Thread-safe: requests loop termination.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+ private:
+  void Wakeup();
+  void DrainPostedTasks();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;  // eventfd used by Post()/Stop()
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::map<int, IoCallback> callbacks_;
+  std::mutex tasks_mutex_;
+  std::deque<Task> posted_tasks_;
+};
+
+}  // namespace etude::net
+
+#endif  // ETUDE_NET_EVENT_LOOP_H_

@@ -1,0 +1,174 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace etude::net {
+
+std::string_view HttpRequest::Header(const std::string& name) const {
+  const auto it = headers.find(ToLower(name));
+  if (it == headers.end()) return std::string_view();
+  return it->second;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string_view connection = Header("connection");
+  if (version == "HTTP/1.0") {
+    return ToLower(connection) == "keep-alive";
+  }
+  return ToLower(connection) != "close";
+}
+
+std::string_view HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+HttpResponse HttpResponse::Ok(std::string body, std::string content_type) {
+  HttpResponse response;
+  response.status = 200;
+  response.headers["content-type"] = std::move(content_type);
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Error(int status, std::string message) {
+  HttpResponse response;
+  response.status = status;
+  response.headers["content-type"] = "application/json";
+  response.body = "{\"error\":\"" + message + "\"}";
+  return response;
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(HttpStatusText(status)) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "content-length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "connection: keep-alive\r\n"
+                    : "connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(std::string message) {
+  state_ = State::kError;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data);
+  return Parse();
+}
+
+HttpRequestParser::State HttpRequestParser::Parse() {
+  if (!headers_parsed_) {
+    const size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        return Fail("header section too large");
+      }
+      state_ = State::kIncomplete;
+      return state_;
+    }
+    header_end_ = end + 4;
+
+    // Request line.
+    const size_t line_end = buffer_.find("\r\n");
+    const std::string request_line = buffer_.substr(0, line_end);
+    const std::vector<std::string> parts = Split(request_line, ' ');
+    if (parts.size() != 3) return Fail("malformed request line");
+    request_.method = parts[0];
+    request_.target = parts[1];
+    request_.version = parts[2];
+    if (request_.method.empty() || request_.target.empty() ||
+        !StartsWith(request_.version, "HTTP/")) {
+      return Fail("malformed request line");
+    }
+
+    // Header fields.
+    size_t cursor = line_end + 2;
+    while (cursor < end) {
+      const size_t eol = buffer_.find("\r\n", cursor);
+      const std::string line = buffer_.substr(cursor, eol - cursor);
+      cursor = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) return Fail("malformed header line");
+      const std::string name =
+          ToLower(StripWhitespace(line.substr(0, colon)));
+      const std::string value(StripWhitespace(line.substr(colon + 1)));
+      if (name.empty()) return Fail("empty header name");
+      request_.headers[name] = value;
+    }
+
+    const std::string_view length_header = request_.Header("content-length");
+    if (!length_header.empty()) {
+      char* endptr = nullptr;
+      const std::string length_text(length_header);
+      const long long parsed = std::strtoll(length_text.c_str(), &endptr,
+                                            10);
+      if (endptr == length_text.c_str() || *endptr != '\0' || parsed < 0) {
+        return Fail("invalid content-length");
+      }
+      if (static_cast<size_t>(parsed) > kMaxBodyBytes) {
+        return Fail("body too large");
+      }
+      content_length_ = static_cast<size_t>(parsed);
+    }
+    if (!request_.Header("transfer-encoding").empty()) {
+      return Fail("chunked transfer encoding not supported");
+    }
+    headers_parsed_ = true;
+  }
+
+  if (buffer_.size() < header_end_ + content_length_) {
+    state_ = State::kIncomplete;
+    return state_;
+  }
+  request_.body = buffer_.substr(header_end_, content_length_);
+  state_ = State::kComplete;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Reset() {
+  ETUDE_CHECK(state_ == State::kComplete) << "Reset before completion";
+  // Keep pipelined bytes beyond the completed request.
+  buffer_.erase(0, header_end_ + content_length_);
+  request_ = HttpRequest();
+  header_end_ = 0;
+  content_length_ = 0;
+  headers_parsed_ = false;
+  state_ = State::kIncomplete;
+  if (!buffer_.empty()) return Parse();
+  return state_;
+}
+
+}  // namespace etude::net

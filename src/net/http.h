@@ -1,0 +1,80 @@
+#ifndef ETUDE_NET_HTTP_H_
+#define ETUDE_NET_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace etude::net {
+
+/// A parsed HTTP/1.1 request.
+struct HttpRequest {
+  std::string method;
+  std::string target;   // request path including query
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+
+  /// Case-insensitive header lookup; returns "" when absent.
+  std::string_view Header(const std::string& name) const;
+
+  bool KeepAlive() const;
+};
+
+/// An HTTP/1.1 response under construction.
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  static HttpResponse Ok(std::string body,
+                         std::string content_type = "application/json");
+  static HttpResponse Error(int status, std::string message);
+
+  /// Serialises the response (adds Content-Length automatically).
+  std::string Serialize(bool keep_alive) const;
+};
+
+std::string_view HttpStatusText(int status);
+
+/// Incremental HTTP/1.1 request parser. Feed raw bytes with Consume();
+/// when a full request (headers + Content-Length body) has been received,
+/// state() becomes kComplete and request() is valid. Pipelined requests
+/// are supported: after Reset() the unconsumed remainder is re-parsed.
+class HttpRequestParser {
+ public:
+  enum class State { kIncomplete, kComplete, kError };
+
+  /// Appends bytes and advances the parse. Returns the current state.
+  State Consume(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  const std::string& error() const { return error_; }
+
+  /// Clears the completed request and resumes parsing any buffered
+  /// pipelined bytes; returns the new state.
+  State Reset();
+
+ private:
+  State Parse();
+  State Fail(std::string message);
+
+  std::string buffer_;
+  HttpRequest request_;
+  State state_ = State::kIncomplete;
+  std::string error_;
+  size_t header_end_ = 0;
+  size_t content_length_ = 0;
+  bool headers_parsed_ = false;
+
+  static constexpr size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
+};
+
+}  // namespace etude::net
+
+#endif  // ETUDE_NET_HTTP_H_

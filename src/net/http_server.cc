@@ -1,0 +1,264 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace etude::net {
+
+namespace {
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+HttpServer::HttpServer(const HttpServerConfig& config, Handler handler)
+    : config_(config), handler_(std::move(handler)) {
+  ETUDE_CHECK(handler_ != nullptr) << "handler required";
+  ETUDE_CHECK(config_.worker_threads >= 1) << "need >= 1 worker";
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_.load()) return Status::FailedPrecondition("already started");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(),
+                &address.sin_addr) != 1) {
+    close(listen_fd_);
+    return Status::InvalidArgument("bad bind address " +
+                                   config_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+           sizeof(address)) != 0) {
+    close(listen_fd_);
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 1024) != 0) {
+    close(listen_fd_);
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t length = sizeof(address);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+  ETUDE_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  ETUDE_RETURN_NOT_OK(loop_.RegisterFd(
+      listen_fd_, IoEvents{.readable = true, .writable = false},
+      [this](IoEvents) { AcceptConnections(); }));
+
+  workers_should_exit_ = false;
+  for (int i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  io_thread_ = std::thread([this] { loop_.Run(); });
+  started_.store(true);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    workers_should_exit_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  loop_.Post([this] {
+    for (auto& [fd, connection] : connections_) {
+      (void)loop_.DeregisterFd(fd);
+      close(fd);
+      (void)connection;
+    }
+    connections_.clear();
+  });
+  loop_.Stop();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptConnections() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      ETUDE_LOG(Warning) << "accept: " << std::strerror(errno);
+      return;
+    }
+    const int enable = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connections_[fd] = std::move(connection);
+    const Status status = loop_.RegisterFd(
+        fd, IoEvents{.readable = true, .writable = false},
+        [this, raw](IoEvents events) { OnConnectionEvent(raw->fd, events); });
+    if (!status.ok()) {
+      connections_.erase(fd);
+      close(fd);
+    }
+  }
+}
+
+void HttpServer::OnConnectionEvent(int fd, IoEvents events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection* connection = it->second.get();
+  if (events.readable) ReadFromConnection(connection);
+  // The read may have closed the connection.
+  if (connections_.count(fd) == 0) return;
+  if (events.writable) WriteToConnection(connection);
+}
+
+void HttpServer::ReadFromConnection(Connection* connection) {
+  char buffer[16384];
+  while (true) {
+    const ssize_t bytes = read(connection->fd, buffer, sizeof(buffer));
+    if (bytes > 0) {
+      const auto state = connection->parser.Consume(
+          std::string_view(buffer, static_cast<size_t>(bytes)));
+      if (state == HttpRequestParser::State::kComplete &&
+          !connection->handler_running) {
+        DispatchToWorker(connection);
+      } else if (state == HttpRequestParser::State::kError) {
+        if (!connection->error_sent) {
+          connection->error_sent = true;
+          QueueResponse(connection->fd,
+                        HttpResponse::Error(400, connection->parser.error()),
+                        /*keep_alive=*/false);
+        }
+        return;
+      }
+      continue;
+    }
+    if (bytes == 0) {  // peer closed
+      if (!connection->handler_running && connection->outbox.empty()) {
+        CloseConnection(connection->fd);
+      } else {
+        connection->close_after_write = true;
+      }
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConnection(connection->fd);
+    return;
+  }
+}
+
+void HttpServer::DispatchToWorker(Connection* connection) {
+  connection->handler_running = true;
+  Job job;
+  job.fd = connection->fd;
+  job.request = connection->parser.request();
+  job.keep_alive = job.request.KeepAlive();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void HttpServer::WorkerMain() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_cv_.wait(lock,
+                    [this] { return workers_should_exit_ || !jobs_.empty(); });
+      if (workers_should_exit_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    HttpResponse response = handler_(job.request);
+    QueueResponse(job.fd, response, job.keep_alive);
+  }
+}
+
+void HttpServer::QueueResponse(int fd, const HttpResponse& response,
+                               bool keep_alive) {
+  std::string wire = response.Serialize(keep_alive);
+  requests_served_.fetch_add(1);
+  // Hop (back) to the IO thread; the connection may be gone by then.
+  loop_.Post([this, fd, wire = std::move(wire), keep_alive] {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection* connection = it->second.get();
+    connection->outbox += wire;
+    connection->handler_running = false;
+    if (!keep_alive) connection->close_after_write = true;
+    WriteToConnection(connection);
+    if (connections_.count(fd) == 0) return;  // closed during write
+    if (!keep_alive || connection->error_sent) return;
+    if (connection->parser.state() == HttpRequestParser::State::kComplete) {
+      // Release the handled request; pipelined bytes parse immediately.
+      const auto state = connection->parser.Reset();
+      if (state == HttpRequestParser::State::kComplete) {
+        DispatchToWorker(connection);
+      } else if (state == HttpRequestParser::State::kError) {
+        connection->error_sent = true;
+        QueueResponse(fd,
+                      HttpResponse::Error(400, connection->parser.error()),
+                      /*keep_alive=*/false);
+      }
+    }
+  });
+}
+
+void HttpServer::WriteToConnection(Connection* connection) {
+  while (!connection->outbox.empty()) {
+    const ssize_t bytes = write(connection->fd, connection->outbox.data(),
+                                connection->outbox.size());
+    if (bytes > 0) {
+      connection->outbox.erase(0, static_cast<size_t>(bytes));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      (void)loop_.UpdateFd(connection->fd,
+                           IoEvents{.readable = true, .writable = true});
+      return;
+    }
+    CloseConnection(connection->fd);
+    return;
+  }
+  // Outbox drained.
+  (void)loop_.UpdateFd(connection->fd,
+                       IoEvents{.readable = true, .writable = false});
+  if (connection->close_after_write) CloseConnection(connection->fd);
+}
+
+void HttpServer::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  (void)loop_.DeregisterFd(fd);
+  close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace etude::net

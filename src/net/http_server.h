@@ -1,0 +1,102 @@
+#ifndef ETUDE_NET_HTTP_SERVER_H_
+#define ETUDE_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/http.h"
+
+namespace etude::net {
+
+/// Configuration of the HTTP server.
+struct HttpServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;      // 0 = ephemeral port, see HttpServer::port()
+  int worker_threads = 4; // inference worker pool size (configurable, as
+                          // in the paper's server)
+};
+
+/// A lightweight non-blocking HTTP/1.1 inference server: an epoll reactor
+/// on one IO thread plus a pool of worker threads executing the request
+/// handler — the C++ equivalent of the paper's Actix/tch-rs server.
+///
+/// The handler runs on a worker thread; the response is serialised and
+/// written back from the IO thread. Keep-alive and pipelining are
+/// supported; malformed requests are answered 400 and the connection
+/// closed.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(const HttpServerConfig& config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the IO and worker threads.
+  Status Start();
+
+  /// Stops the server and joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start(); useful with port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Total requests answered (any status).
+  int64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    HttpRequestParser parser;
+    std::string outbox;        // bytes waiting for the socket
+    bool close_after_write = false;
+    bool handler_running = false;
+    bool error_sent = false;  // a 400 is queued; ignore further bytes
+  };
+
+  void AcceptConnections();
+  void OnConnectionEvent(int fd, IoEvents events);
+  void ReadFromConnection(Connection* connection);
+  void WriteToConnection(Connection* connection);
+  void CloseConnection(int fd);
+  void DispatchToWorker(Connection* connection);
+  void WorkerMain();
+  void QueueResponse(int fd, const HttpResponse& response, bool keep_alive);
+
+  HttpServerConfig config_;
+  Handler handler_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<bool> started_{false};
+
+  // Worker queue: (connection fd, parsed request).
+  struct Job {
+    int fd;
+    HttpRequest request;
+    bool keep_alive;
+  };
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool workers_should_exit_ = false;
+};
+
+}  // namespace etude::net
+
+#endif  // ETUDE_NET_HTTP_SERVER_H_

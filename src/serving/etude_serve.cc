@@ -1,0 +1,110 @@
+#include "serving/etude_serve.h"
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace etude::serving {
+
+namespace {
+std::string RecommendationToJson(const models::Recommendation& rec) {
+  JsonValue root = JsonValue::MakeObject();
+  JsonValue items = JsonValue::MakeArray();
+  JsonValue scores = JsonValue::MakeArray();
+  for (size_t i = 0; i < rec.items.size(); ++i) {
+    items.Append(JsonValue(rec.items[i]));
+    scores.Append(JsonValue(static_cast<double>(rec.scores[i])));
+  }
+  root.Set("items", std::move(items));
+  root.Set("scores", std::move(scores));
+  return root.Dump();
+}
+}  // namespace
+
+EtudeServe::EtudeServe(const models::SessionModel* model,
+                       const EtudeServeConfig& config)
+    : model_(model) {
+  ETUDE_CHECK(model_ != nullptr) << "model required";
+  model_route_ = "/predictions/" + ToLower(model_->name());
+  net::HttpServerConfig server_config;
+  server_config.bind_address = config.bind_address;
+  server_config.port = config.port;
+  server_config.worker_threads = config.worker_threads;
+  server_ = std::make_unique<net::HttpServer>(
+      server_config,
+      [this](const net::HttpRequest& request) { return Handle(request); });
+}
+
+Status EtudeServe::Start() { return server_->Start(); }
+
+void EtudeServe::Stop() { server_->Stop(); }
+
+net::HttpResponse EtudeServe::Handle(const net::HttpRequest& request) {
+  if (request.target == "/healthz") {
+    // Readiness probe: the model is loaded at construction time, so the
+    // pod reports ready as soon as the server accepts connections.
+    return net::HttpResponse::Ok("{\"status\":\"ready\"}");
+  }
+  if (request.target == "/metrics") {
+    JsonValue metrics = JsonValue::MakeObject();
+    const int64_t served = predictions_served_.load();
+    metrics.Set("predictions_served", JsonValue(served));
+    metrics.Set("mean_inference_us",
+                JsonValue(served > 0
+                              ? static_cast<double>(
+                                    total_inference_us_.load()) /
+                                    static_cast<double>(served)
+                              : 0.0));
+    metrics.Set("model", JsonValue(std::string(model_->name())));
+    metrics.Set("catalog_size",
+                JsonValue(model_->config().catalog_size));
+    return net::HttpResponse::Ok(metrics.Dump());
+  }
+  if (request.target == model_route_) {
+    if (request.method != "POST") {
+      return net::HttpResponse::Error(405, "use POST");
+    }
+    return HandlePrediction(request);
+  }
+  return net::HttpResponse::Error(404, "no such route");
+}
+
+net::HttpResponse EtudeServe::HandlePrediction(
+    const net::HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok() || !body->is_object() || !body->Get("session").is_array()) {
+    return net::HttpResponse::Error(
+        400, "body must be a JSON object with a 'session' array");
+  }
+  std::vector<int64_t> session;
+  for (const JsonValue& item : body->Get("session").items()) {
+    if (!item.is_number()) {
+      return net::HttpResponse::Error(400, "session items must be numbers");
+    }
+    session.push_back(item.as_int());
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<models::Recommendation> rec = model_->Recommend(session);
+  const auto end = std::chrono::steady_clock::now();
+  if (!rec.ok()) {
+    const int status =
+        rec.status().code() == StatusCode::kInvalidArgument ||
+                rec.status().code() == StatusCode::kOutOfRange
+            ? 400
+            : 500;
+    return net::HttpResponse::Error(status, rec.status().ToString());
+  }
+  const int64_t inference_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  predictions_served_.fetch_add(1);
+  total_inference_us_.fetch_add(inference_us);
+
+  net::HttpResponse response =
+      net::HttpResponse::Ok(RecommendationToJson(*rec));
+  // The inference-duration metric travels in a response header, as in the
+  // paper's benchmark execution design (Sec. II).
+  response.headers["x-inference-us"] = std::to_string(inference_us);
+  return response;
+}
+
+}  // namespace etude::serving

@@ -1,0 +1,59 @@
+#ifndef ETUDE_SERVING_ETUDE_SERVE_H_
+#define ETUDE_SERVING_ETUDE_SERVE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "models/session_model.h"
+#include "net/http_server.h"
+
+namespace etude::serving {
+
+/// Configuration of the real (in-process, socket-backed) ETUDE inference
+/// server.
+struct EtudeServeConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;       // 0 = ephemeral
+  int worker_threads = 4;  // inference workers, as in the paper's server
+};
+
+/// EtudeServe: the paper's Rust/Actix inference server as a working C++
+/// HTTP service, performing genuine CPU inference on the tensor engine.
+///
+/// Routes:
+///   GET  /healthz                 -> 200 once the model is loaded
+///                                    (the Kubernetes readiness probe)
+///   GET  /metrics                 -> request/latency counters (JSON)
+///   POST /predictions/<model>     -> body {"session":[item ids]}
+///        answers {"items":[...],"scores":[...]} and reports the inference
+///        duration via the "x-inference-us" response header, exactly as
+///        the paper's server communicates metrics to the load generator.
+class EtudeServe {
+ public:
+  /// `model` must outlive the server.
+  EtudeServe(const models::SessionModel* model,
+             const EtudeServeConfig& config);
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_->port(); }
+  int64_t predictions_served() const { return predictions_served_.load(); }
+
+ private:
+  net::HttpResponse Handle(const net::HttpRequest& request);
+  net::HttpResponse HandlePrediction(const net::HttpRequest& request);
+
+  const models::SessionModel* model_;
+  std::string model_route_;  // "/predictions/<name>"
+  std::unique_ptr<net::HttpServer> server_;
+  std::atomic<int64_t> predictions_served_{0};
+  std::atomic<int64_t> total_inference_us_{0};
+};
+
+}  // namespace etude::serving
+
+#endif  // ETUDE_SERVING_ETUDE_SERVE_H_

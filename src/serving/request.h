@@ -1,0 +1,50 @@
+#ifndef ETUDE_SERVING_REQUEST_H_
+#define ETUDE_SERVING_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace etude::serving {
+
+/// A recommendation request: the visitor's session so far. In the real
+/// deployment this is the JSON body of a POST to the inference server; in
+/// the simulator it carries the fields that determine cost and ordering.
+struct InferenceRequest {
+  int64_t request_id = 0;
+  int64_t session_id = 0;
+  std::vector<int64_t> session_items;  // clicks so far, oldest first
+};
+
+/// The server's answer, including the inference-duration metric the ETUDE
+/// server reports via HTTP response headers (Sec. II, "Benchmark
+/// execution").
+struct InferenceResponse {
+  int64_t request_id = 0;
+  bool ok = false;
+  int http_status = 0;          // 200, 503 (queue overflow), 500 (timeout)
+  int64_t inference_us = 0;     // server-side inference duration
+  int64_t server_time_us = 0;   // total time spent inside the server
+  std::vector<int64_t> recommended_items;  // filled in functional mode
+};
+
+/// Delivery callback for asynchronous responses (simulated non-blocking
+/// IO): invoked exactly once per accepted request.
+using ResponseCallback = std::function<void(const InferenceResponse&)>;
+
+/// Interface of a simulated inference service; implemented by the ETUDE
+/// server, the TorchServe baseline, and the cluster load balancer.
+class InferenceService {
+ public:
+  virtual ~InferenceService() = default;
+
+  /// Accepts a request; the callback fires (in simulated time) when the
+  /// response is ready. Must never drop a request silently — overloads
+  /// produce error responses.
+  virtual void HandleRequest(const InferenceRequest& request,
+                             ResponseCallback callback) = 0;
+};
+
+}  // namespace etude::serving
+
+#endif  // ETUDE_SERVING_REQUEST_H_

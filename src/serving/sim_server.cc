@@ -1,0 +1,166 @@
+#include "serving/sim_server.h"
+
+#include <cmath>
+#include <utility>
+
+namespace etude::serving {
+
+SimInferenceServer::SimInferenceServer(sim::Simulation* sim,
+                                       const models::SessionModel* model,
+                                       const SimServerConfig& config)
+    : sim_(sim), model_(model), config_(config), rng_(config.seed) {
+  ETUDE_CHECK(sim_ != nullptr) << "simulation required";
+  ETUDE_CHECK(model_ != nullptr) << "model required";
+  ETUDE_CHECK(config_.device.worker_slots >= 1) << "need >= 1 worker";
+}
+
+double SimInferenceServer::JitteredUs(double base_us) {
+  const double factor =
+      std::exp(config_.jitter_sigma * rng_.NextGaussian());
+  return base_us * factor;
+}
+
+double SimInferenceServer::ServiceTimeUs(
+    const InferenceRequest& request) const {
+  const sim::InferenceWork work = model_->CostModel(
+      config_.mode, static_cast<int64_t>(request.session_items.size()));
+  return sim::SerialInferenceUs(config_.device, work);
+}
+
+void SimInferenceServer::HandleRequest(const InferenceRequest& request,
+                                       ResponseCallback callback) {
+  if (pending_ >= config_.max_queue_depth) {
+    ++rejected_;
+    InferenceResponse response;
+    response.request_id = request.request_id;
+    response.ok = false;
+    response.http_status = 503;
+    callback(response);
+    return;
+  }
+  ++pending_;
+  PendingRequest pending;
+  pending.request = request;
+  pending.callback = std::move(callback);
+  pending.enqueued_at_us = sim_->now_us();
+
+  if (config_.device.is_gpu() && config_.device.supports_batching) {
+    forming_batch_.push_back(std::move(pending));
+    if (static_cast<int>(forming_batch_.size()) >=
+        config_.batching.max_batch_size) {
+      // Full buffer: hand it to the executor queue and start a new one.
+      flush_timer_.Cancel();
+      batch_queue_.push_back(std::move(forming_batch_));
+      forming_batch_.clear();
+      if (!gpu_executor_busy_) RunGpuExecutor();
+    } else if (forming_batch_.size() == 1) {
+      // First request of a new batch: arm the flush timer (the paper's
+      // "empty the underlying buffer every two milliseconds"). While the
+      // executor is busy the buffer keeps filling past the timer — the
+      // batch is dispatched as soon as the executor frees up, which is
+      // what lets batching amortise the catalog scan under load.
+      flush_timer_ = sim_->Schedule(config_.batching.flush_interval_us,
+                                    [this] { FlushBatch(); });
+    }
+  } else {
+    queue_.push_back(std::move(pending));
+    StartCpuWorkerIfIdle();
+  }
+}
+
+void SimInferenceServer::StartCpuWorkerIfIdle() {
+  while (active_cpu_workers_ < config_.device.worker_slots &&
+         !queue_.empty()) {
+    ++active_cpu_workers_;
+    RunCpuWorker();
+  }
+}
+
+void SimInferenceServer::RunCpuWorker() {
+  ETUDE_CHECK(!queue_.empty()) << "worker started without work";
+  // Move the request out of the queue into the worker.
+  auto pending = std::make_shared<PendingRequest>(std::move(queue_.front()));
+  queue_.pop_front();
+  const double inference_us = JitteredUs(ServiceTimeUs(pending->request));
+  const double total_us = inference_us + config_.framework_overhead_us;
+  sim_->Schedule(static_cast<int64_t>(total_us), [this, pending,
+                                                  inference_us] {
+    Complete(pending.get(), static_cast<int64_t>(inference_us));
+    --active_cpu_workers_;
+    StartCpuWorkerIfIdle();
+  });
+}
+
+void SimInferenceServer::FlushBatch() {
+  if (forming_batch_.empty()) return;
+  if (gpu_executor_busy_) return;  // dispatched when the executor frees up
+  batch_queue_.push_back(std::move(forming_batch_));
+  forming_batch_.clear();
+  RunGpuExecutor();
+}
+
+void SimInferenceServer::RunGpuExecutor() {
+  ETUDE_CHECK(!batch_queue_.empty()) << "executor started without batches";
+  gpu_executor_busy_ = true;
+  auto batch = std::make_shared<std::vector<PendingRequest>>(
+      std::move(batch_queue_.front()));
+  batch_queue_.pop_front();
+  // Cost of the whole batch: the device model amortises the catalog scan
+  // across batch members. Session lengths vary per request; the batch is
+  // padded to its longest session, as the real batched execution would be.
+  int64_t max_session = 1;
+  for (const PendingRequest& pending : *batch) {
+    max_session = std::max(
+        max_session,
+        static_cast<int64_t>(pending.request.session_items.size()));
+  }
+  const sim::InferenceWork work = model_->CostModel(config_.mode,
+                                                    max_session);
+  const double batch_us = JitteredUs(sim::BatchInferenceUs(
+      config_.device, work, static_cast<int>(batch->size())));
+  const double per_request_us =
+      batch_us / static_cast<double>(batch->size());
+  sim_->Schedule(
+      static_cast<int64_t>(batch_us),
+      [this, batch, per_request_us] {
+        for (PendingRequest& pending : *batch) {
+          Complete(&pending, static_cast<int64_t>(per_request_us));
+        }
+        gpu_executor_busy_ = false;
+        if (!batch_queue_.empty()) {
+          RunGpuExecutor();
+        } else if (!forming_batch_.empty()) {
+          // Everything buffered while the executor was busy ships now.
+          flush_timer_.Cancel();
+          batch_queue_.push_back(std::move(forming_batch_));
+          forming_batch_.clear();
+          RunGpuExecutor();
+        }
+      });
+}
+
+void SimInferenceServer::Complete(PendingRequest* pending,
+                                  int64_t inference_us) {
+  InferenceResponse response;
+  response.request_id = pending->request.request_id;
+  response.ok = true;
+  response.http_status = 200;
+  response.inference_us = inference_us;
+  response.server_time_us = sim_->now_us() - pending->enqueued_at_us;
+  if (config_.functional_inference) {
+    // Real forward pass on the CPU tensor engine; used by functional tests
+    // with small catalogs.
+    Result<models::Recommendation> rec =
+        model_->Recommend(pending->request.session_items);
+    if (rec.ok()) {
+      response.recommended_items = std::move(rec.value().items);
+    } else {
+      response.ok = false;
+      response.http_status = 500;
+    }
+  }
+  --pending_;
+  pending->callback(response);
+}
+
+}  // namespace etude::serving

@@ -1,0 +1,113 @@
+#ifndef ETUDE_SERVING_SIM_SERVER_H_
+#define ETUDE_SERVING_SIM_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "models/session_model.h"
+#include "serving/request.h"
+#include "sim/device.h"
+#include "sim/simulation.h"
+
+namespace etude::serving {
+
+/// Request-batching configuration of the ETUDE inference server: on GPUs,
+/// requests are buffered for up to `flush_interval_us` and executed
+/// together in batches of at most `max_batch_size` (the paper uses 1,024
+/// requests / 2 ms).
+struct BatchingConfig {
+  int max_batch_size = 1024;
+  int64_t flush_interval_us = 2000;
+};
+
+/// Configuration of a simulated ETUDE inference server instance.
+struct SimServerConfig {
+  sim::DeviceSpec device = sim::DeviceSpec::Cpu();
+  models::ExecutionMode mode = models::ExecutionMode::kJit;
+  BatchingConfig batching;
+  // Framework overhead of the Actix-based server per request (parsing,
+  // routing, serialisation) — measured at well under a millisecond in the
+  // paper's infra test.
+  double framework_overhead_us = 150.0;
+  // Requests queued beyond this bound are rejected with HTTP 503. Sized so
+  // the backpressure-aware load generator, not the server, is the normal
+  // regulator.
+  int64_t max_queue_depth = 8192;
+  // Lognormal jitter (sigma) applied to every service time.
+  double jitter_sigma = 0.08;
+  // When true (and the model supports it), inference is executed for real
+  // on the CPU tensor engine and responses carry actual recommendations.
+  // Used by functional tests at small catalog sizes.
+  bool functional_inference = false;
+  uint64_t seed = 7;
+};
+
+/// The ETUDE inference server (the paper's Rust/Actix + tch-rs +
+/// batched-fn stack), simulated in virtual time.
+///
+/// CPU instances run `device.worker_slots` independent workers, each
+/// serving one request at a time from a shared FIFO queue. GPU instances
+/// run a single executor fed by the request-batching stage. Service times
+/// come from the device cost model applied to the model's per-request
+/// InferenceWork.
+class SimInferenceServer : public InferenceService {
+ public:
+  /// `sim` and `model` must outlive the server.
+  SimInferenceServer(sim::Simulation* sim, const models::SessionModel* model,
+                     const SimServerConfig& config);
+
+  void HandleRequest(const InferenceRequest& request,
+                     ResponseCallback callback) override;
+
+  /// Number of requests currently queued or executing.
+  int64_t pending() const { return pending_; }
+
+  /// Total requests rejected with 503 due to queue overflow.
+  int64_t rejected() const { return rejected_; }
+
+  const SimServerConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    InferenceRequest request;
+    ResponseCallback callback;
+    int64_t enqueued_at_us;
+  };
+
+  // CPU path: FIFO queue drained by worker_slots workers.
+  void StartCpuWorkerIfIdle();
+  void RunCpuWorker();
+
+  // GPU path: batch formation then a single executor.
+  void FlushBatch();
+  void RunGpuExecutor();
+
+  void Complete(PendingRequest* pending, int64_t inference_us);
+
+  double JitteredUs(double base_us);
+  double ServiceTimeUs(const InferenceRequest& request) const;
+
+  sim::Simulation* sim_;
+  const models::SessionModel* model_;
+  SimServerConfig config_;
+  Rng rng_;
+
+  std::deque<PendingRequest> queue_;        // CPU FIFO
+  int active_cpu_workers_ = 0;
+
+  std::vector<PendingRequest> forming_batch_;
+  sim::EventHandle flush_timer_;
+  std::deque<std::vector<PendingRequest>> batch_queue_;
+  bool gpu_executor_busy_ = false;
+
+  int64_t pending_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace etude::serving
+
+#endif  // ETUDE_SERVING_SIM_SERVER_H_

@@ -1,0 +1,36 @@
+#include "serving/static_server.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace etude::serving {
+
+StaticResponseServer::StaticResponseServer(sim::Simulation* sim,
+                                           double service_us,
+                                           double jitter_sigma,
+                                           uint64_t seed)
+    : sim_(sim),
+      service_us_(service_us),
+      jitter_sigma_(jitter_sigma),
+      rng_(seed) {
+  ETUDE_CHECK(sim_ != nullptr) << "simulation required";
+}
+
+void StaticResponseServer::HandleRequest(const InferenceRequest& request,
+                                         ResponseCallback callback) {
+  const double us =
+      service_us_ * std::exp(jitter_sigma_ * rng_.NextGaussian());
+  const int64_t request_id = request.request_id;
+  sim_->Schedule(static_cast<int64_t>(us),
+                 [this, request_id, callback = std::move(callback)] {
+                   InferenceResponse response;
+                   response.request_id = request_id;
+                   response.ok = true;
+                   response.http_status = 200;
+                   ++served_;
+                   callback(response);
+                 });
+}
+
+}  // namespace etude::serving

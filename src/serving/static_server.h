@@ -1,0 +1,37 @@
+#ifndef ETUDE_SERVING_STATIC_SERVER_H_
+#define ETUDE_SERVING_STATIC_SERVER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "serving/request.h"
+#include "sim/simulation.h"
+
+namespace etude::serving {
+
+/// The ETUDE/Actix server answering requests with static content and no
+/// model inference — the counterpart of the TorchServe null-model setup in
+/// the paper's Figure 2 infrastructure test. Actix's non-blocking IO means
+/// there is no worker pool to saturate for static answers; every request
+/// pays only the (sub-millisecond) framework overhead.
+class StaticResponseServer : public InferenceService {
+ public:
+  StaticResponseServer(sim::Simulation* sim, double service_us = 150.0,
+                       double jitter_sigma = 0.25, uint64_t seed = 13);
+
+  void HandleRequest(const InferenceRequest& request,
+                     ResponseCallback callback) override;
+
+  int64_t served() const { return served_; }
+
+ private:
+  sim::Simulation* sim_;
+  double service_us_;
+  double jitter_sigma_;
+  Rng rng_;
+  int64_t served_ = 0;
+};
+
+}  // namespace etude::serving
+
+#endif  // ETUDE_SERVING_STATIC_SERVER_H_

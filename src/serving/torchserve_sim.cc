@@ -1,0 +1,98 @@
+#include "serving/torchserve_sim.h"
+
+#include <cmath>
+#include <utility>
+
+namespace etude::serving {
+
+TorchServeSimServer::TorchServeSimServer(sim::Simulation* sim,
+                                         const models::SessionModel* model,
+                                         const TorchServeConfig& config)
+    : sim_(sim), model_(model), config_(config), rng_(config.seed) {
+  ETUDE_CHECK(sim_ != nullptr) << "simulation required";
+  ETUDE_CHECK(config_.null_model || model_ != nullptr)
+      << "model required unless null_model";
+}
+
+double TorchServeSimServer::JitteredUs(double base_us) {
+  return base_us * std::exp(config_.jitter_sigma * rng_.NextGaussian());
+}
+
+void TorchServeSimServer::HandleRequest(const InferenceRequest& request,
+                                        ResponseCallback callback) {
+  if (pending_ >= config_.max_queue_depth) {
+    InferenceResponse response;
+    response.request_id = request.request_id;
+    response.ok = false;
+    response.http_status = 503;
+    callback(response);
+    return;
+  }
+  ++pending_;
+  PendingRequest pending;
+  pending.request = request;
+  pending.callback = std::move(callback);
+  pending.enqueued_at_us = sim_->now_us();
+  queue_.push_back(std::move(pending));
+  StartWorkersIfIdle();
+}
+
+void TorchServeSimServer::StartWorkersIfIdle() {
+  while (active_workers_ < config_.device.worker_slots && !queue_.empty()) {
+    ++active_workers_;
+    RunWorker();
+  }
+}
+
+void TorchServeSimServer::RunWorker() {
+  ETUDE_CHECK(!queue_.empty()) << "worker started without work";
+  auto pending = std::make_shared<PendingRequest>(std::move(queue_.front()));
+  queue_.pop_front();
+
+  const int64_t waited_us = sim_->now_us() - pending->enqueued_at_us;
+  if (waited_us > config_.internal_timeout_us) {
+    // Internal job timeout: the frontend answers with HTTP 500 after only
+    // its own (cheap) handling.
+    const double fail_us = JitteredUs(config_.frontend_overhead_us);
+    sim_->Schedule(static_cast<int64_t>(fail_us), [this, pending] {
+      InferenceResponse response;
+      response.request_id = pending->request.request_id;
+      response.ok = false;
+      response.http_status = 500;
+      --pending_;
+      ++timeouts_;
+      pending->callback(response);
+      --active_workers_;
+      StartWorkersIfIdle();
+    });
+    return;
+  }
+
+  double service_us = config_.frontend_overhead_us +
+                      2.0 * config_.ipc_overhead_us +
+                      config_.python_overhead_us;
+  double inference_us = 0.0;
+  if (!config_.null_model) {
+    const sim::InferenceWork work = model_->CostModel(
+        config_.mode,
+        static_cast<int64_t>(pending->request.session_items.size()));
+    inference_us = sim::SerialInferenceUs(config_.device, work);
+    service_us += inference_us;
+  }
+  service_us = JitteredUs(service_us);
+  sim_->Schedule(
+      static_cast<int64_t>(service_us), [this, pending, inference_us] {
+        InferenceResponse response;
+        response.request_id = pending->request.request_id;
+        response.ok = true;
+        response.http_status = 200;
+        response.inference_us = static_cast<int64_t>(inference_us);
+        response.server_time_us = sim_->now_us() - pending->enqueued_at_us;
+        --pending_;
+        pending->callback(response);
+        --active_workers_;
+        StartWorkersIfIdle();
+      });
+}
+
+}  // namespace etude::serving

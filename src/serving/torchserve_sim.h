@@ -1,0 +1,86 @@
+#ifndef ETUDE_SERVING_TORCHSERVE_SIM_H_
+#define ETUDE_SERVING_TORCHSERVE_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+#include "models/session_model.h"
+#include "serving/request.h"
+#include "sim/device.h"
+#include "sim/simulation.h"
+
+namespace etude::serving {
+
+/// Configuration of the TorchServe baseline. The defaults model the
+/// architecture the paper attributes TorchServe's overhead to: a Java
+/// frontend orchestrating a fixed pool of Python worker processes, with
+/// inter-process handoff per request and a 100 ms internal timeout.
+struct TorchServeConfig {
+  sim::DeviceSpec device = sim::DeviceSpec::CpuSmall();
+  models::ExecutionMode mode = models::ExecutionMode::kEager;
+  // Java frontend request handling (routing, protocol translation).
+  double frontend_overhead_us = 400.0;
+  // Inter-process handoff: request and response each cross the
+  // frontend <-> Python-worker boundary once.
+  double ipc_overhead_us = 1500.0;
+  // Python handler overhead per request (deserialisation, GIL, handler
+  // dispatch) — paid even by a handler that returns an empty response.
+  double python_overhead_us = 4000.0;
+  // TorchServe's internal job timeout: requests that waited longer in the
+  // frontend queue are answered with HTTP 500.
+  int64_t internal_timeout_us = 100000;
+  int64_t max_queue_depth = 16384;
+  double jitter_sigma = 0.15;
+  // When null_model is true the Python handler performs no inference at
+  // all (the paper's Fig. 2 "empty request" infrastructure test).
+  bool null_model = true;
+  uint64_t seed = 11;
+};
+
+/// Queueing simulation of TorchServe serving a PyTorch model.
+///
+/// One Python worker process runs per vCPU; each processes one request at
+/// a time. Requests wait in the frontend queue; on dequeue, requests whose
+/// wait already exceeds the internal timeout fail with HTTP 500 (cheaply),
+/// everything else pays frontend + 2x IPC + Python overhead (+ model
+/// inference unless null_model).
+class TorchServeSimServer : public InferenceService {
+ public:
+  /// `model` may be null when config.null_model is true.
+  TorchServeSimServer(sim::Simulation* sim,
+                      const models::SessionModel* model,
+                      const TorchServeConfig& config);
+
+  void HandleRequest(const InferenceRequest& request,
+                     ResponseCallback callback) override;
+
+  int64_t pending() const { return pending_; }
+  int64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct PendingRequest {
+    InferenceRequest request;
+    ResponseCallback callback;
+    int64_t enqueued_at_us;
+  };
+
+  void StartWorkersIfIdle();
+  void RunWorker();
+  double JitteredUs(double base_us);
+
+  sim::Simulation* sim_;
+  const models::SessionModel* model_;
+  TorchServeConfig config_;
+  Rng rng_;
+
+  std::deque<PendingRequest> queue_;
+  int active_workers_ = 0;
+  int64_t pending_ = 0;
+  int64_t timeouts_ = 0;
+};
+
+}  // namespace etude::serving
+
+#endif  // ETUDE_SERVING_TORCHSERVE_SIM_H_

@@ -1,0 +1,161 @@
+#include "sim/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace etude::sim {
+
+std::string_view DeviceKindToString(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return "CPU";
+    case DeviceKind::kGpuT4:
+      return "GPU-T4";
+    case DeviceKind::kGpuA100:
+      return "GPU-A100";
+  }
+  return "?";
+}
+
+DeviceSpec DeviceSpec::Cpu() {
+  DeviceSpec spec;
+  spec.kind = DeviceKind::kCpu;
+  spec.name = "cpu";
+  // Effective single-worker throughput of fp32 PyTorch kernels on one
+  // e2 vCPU; calibrated so a C=1e6, d=32 catalog scan takes >50 ms (Fig. 3).
+  spec.compute_gflops = 5.0;
+  spec.mem_bandwidth_gbps = 2.5;
+  spec.kernel_launch_us = 50.0;
+  spec.eager_op_overhead_us = 60.0;
+  spec.pcie_roundtrip_us = 0.0;  // host syncs are plain host work on CPU
+  spec.worker_slots = 5;         // 5.5 vCPUs
+  spec.supports_batching = false;
+  spec.memory_gb = 32.0;         // host RAM
+  spec.monthly_cost_usd = 108.09;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::CpuSmall() {
+  DeviceSpec spec = Cpu();
+  spec.name = "cpu-small";
+  spec.worker_slots = 2;  // 2 vCPU / 2 GB machine of the Fig. 2 infra test
+  spec.monthly_cost_usd = 39.30;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::GpuT4() {
+  DeviceSpec spec;
+  spec.kind = DeviceKind::kGpuT4;
+  spec.name = "gpu-t4";
+  // Tesla T4: 8.1 TFLOPs fp32 peak / 320 GB/s peak; effective values for
+  // unoptimised gemv + top-k inference kernels.
+  spec.compute_gflops = 2000.0;
+  spec.mem_bandwidth_gbps = 130.0;
+  spec.kernel_launch_us = 400.0;
+  spec.eager_op_overhead_us = 25.0;
+  spec.pcie_roundtrip_us = 120.0;
+  spec.worker_slots = 1;  // one CUDA stream executor
+  spec.supports_batching = true;
+  spec.memory_gb = 16.0;  // Tesla T4
+  spec.monthly_cost_usd = 268.09;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::GpuA100() {
+  DeviceSpec spec;
+  spec.kind = DeviceKind::kGpuA100;
+  spec.name = "gpu-a100";
+  // Tesla A100 40GB: 19.5 TFLOPs fp32 / 1555 GB/s peak.
+  spec.compute_gflops = 6000.0;
+  spec.mem_bandwidth_gbps = 360.0;
+  spec.kernel_launch_us = 350.0;
+  spec.eager_op_overhead_us = 20.0;
+  spec.pcie_roundtrip_us = 100.0;
+  spec.worker_slots = 1;
+  spec.supports_batching = true;
+  spec.memory_gb = 40.0;  // A100 40GB
+  spec.monthly_cost_usd = 2008.80;
+  return spec;
+}
+
+Result<DeviceSpec> DeviceSpec::FromName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "cpu") return Cpu();
+  if (lower == "cpu-small") return CpuSmall();
+  if (lower == "gpu-t4" || lower == "t4") return GpuT4();
+  if (lower == "gpu-a100" || lower == "a100") return GpuA100();
+  return Status::NotFound("unknown device '" + std::string(name) +
+                          "'; expected cpu, gpu-t4 or gpu-a100");
+}
+
+double DeviceEfficiency(const DeviceSpec& device, const InferenceWork& work) {
+  switch (device.kind) {
+    case DeviceKind::kCpu:
+      return work.cpu_efficiency;
+    case DeviceKind::kGpuT4:
+      return work.t4_efficiency;
+    case DeviceKind::kGpuA100:
+      return work.a100_efficiency;
+  }
+  return 1.0;
+}
+
+namespace {
+
+/// Device time (us) of the tensor work of one request, before dispatch
+/// overheads and host syncs. Memory traffic and compute overlap poorly in
+/// the unoptimised kernels the paper measures, so costs are additive.
+double TensorWorkUs(const DeviceSpec& device, const InferenceWork& work) {
+  double bytes = work.encode_bytes + work.scan_bytes;
+  double flops = work.encode_flops + work.scan_flops;
+  if (!work.jit_compiled) {
+    // Eager execution materialises extra intermediates.
+    bytes *= 1.10;
+  }
+  const double bandwidth_us = bytes / (device.mem_bandwidth_gbps * 1e3);
+  const double compute_us = flops / (device.compute_gflops * 1e3);
+  return (bandwidth_us + compute_us) * DeviceEfficiency(device, work);
+}
+
+/// Per-request cost that can never be amortised by batching: host syncs
+/// (PCIe round trip + host-side NumPy work on GPUs; plain host work on CPU).
+double HostSyncUs(const DeviceSpec& device, const InferenceWork& work) {
+  if (work.host_sync_points == 0) return 0.0;
+  const double per_sync = device.pcie_roundtrip_us + work.host_compute_us;
+  return static_cast<double>(work.host_sync_points) * per_sync;
+}
+
+/// Fixed dispatch cost per executed graph: one fused launch when JIT
+/// compiled, one dispatch per op in eager mode.
+double DispatchUs(const DeviceSpec& device, const InferenceWork& work) {
+  double us = device.kernel_launch_us;
+  if (!work.jit_compiled) {
+    us += static_cast<double>(work.op_count) * device.eager_op_overhead_us;
+  }
+  return us;
+}
+
+}  // namespace
+
+double SerialInferenceUs(const DeviceSpec& device, const InferenceWork& work) {
+  return DispatchUs(device, work) + TensorWorkUs(device, work) +
+         HostSyncUs(device, work);
+}
+
+double BatchInferenceUs(const DeviceSpec& device, const InferenceWork& work,
+                        int batch_size) {
+  ETUDE_CHECK(batch_size >= 1) << "batch size must be >= 1";
+  const double tensor_us = TensorWorkUs(device, work);
+  const double share = std::clamp(work.batch_share, 0.0, 1.0);
+  // First request pays the full graph; each further request adds only its
+  // non-amortisable share of the device work plus its host syncs.
+  const double batched_tensor_us =
+      tensor_us * (1.0 + share * static_cast<double>(batch_size - 1));
+  return DispatchUs(device, work) + batched_tensor_us +
+         static_cast<double>(batch_size) * HostSyncUs(device, work);
+}
+
+}  // namespace etude::sim

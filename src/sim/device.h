@@ -1,0 +1,109 @@
+#ifndef ETUDE_SIM_DEVICE_H_
+#define ETUDE_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace etude::sim {
+
+/// The three instance types of the paper's experimental study (GCP e2
+/// general-purpose CPU instances, and e2 instances with an attached
+/// NVidia Tesla T4 or A100).
+enum class DeviceKind { kCpu, kGpuT4, kGpuA100 };
+
+std::string_view DeviceKindToString(DeviceKind kind);
+
+/// Cost descriptor for one inference request of one model, produced by the
+/// model layer (`SessionModel::CostModel`). The device turns this into
+/// microseconds. All quantities are per single request unless stated.
+///
+/// The paper's complexity analysis (Sec. II) shows SBR inference is
+/// dominated by the O(C·d) maximum-inner-product scan over the catalog;
+/// `scan_bytes`/`scan_flops` carry that term, `encode_*` carries the
+/// (session-length- and d-dependent) encoder work.
+struct InferenceWork {
+  double encode_flops = 0;   // session encoder compute
+  double encode_bytes = 0;   // session encoder memory traffic
+  double scan_flops = 0;     // MIPS compute: ~2*C*d + C*log2(k)
+  double scan_bytes = 0;     // MIPS memory traffic: ~C*d*4 bytes
+  int op_count = 0;          // framework ops executed (eager dispatch cost)
+  bool jit_compiled = true;  // JIT plans skip per-op dispatch overhead
+
+  // Performance-bug mechanisms found in RecBole implementations (Sec. III):
+  int host_sync_points = 0;      // NumPy-on-host steps (SR-GNN, GC-SAN):
+                                 // each forces a synchronous PCIe round trip
+                                 // on GPUs and is never batchable.
+  double host_compute_us = 0;    // host-side work per sync point
+
+  // Fraction of this request's device work that canNOT be amortised by
+  // request batching (kernel scheduling, per-row output traffic).
+  // Healthy models share the catalog read across a batch; RepeatNet's
+  // dense-ops bug materialises per-request catalog-sized tensors, which
+  // shows up as a large batch_share.
+  double batch_share = 0.06;
+
+  // Device-specific efficiency multipliers, calibrated against the paper's
+  // published measurements (see models/calibration.h).
+  double cpu_efficiency = 1.0;
+  double t4_efficiency = 1.0;
+  double a100_efficiency = 1.0;
+};
+
+/// Static description of an instance type: effective performance parameters
+/// plus GCP pricing (1-year commitment, Sec. III-C).
+///
+/// "Effective" bandwidth/FLOPs are what unoptimised PyTorch fp32 kernels
+/// achieve in practice (a fraction of the spec-sheet peak); they are
+/// calibrated so that serial inference latencies match Figure 3:
+/// CPU > 50 ms at C=1e6, GPU more than an order of magnitude faster at
+/// C >= 1e6, GPU on par with CPU at C=1e4.
+struct DeviceSpec {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::string name;
+  double compute_gflops = 0;        // effective fp32 compute per executor
+  double mem_bandwidth_gbps = 0;    // effective memory bandwidth per executor
+  double kernel_launch_us = 0;      // fixed dispatch cost per request/batch
+  double eager_op_overhead_us = 0;  // per-op dispatch cost in eager mode
+  double pcie_roundtrip_us = 0;     // host sync cost (GPUs only)
+  int worker_slots = 1;             // concurrent executors (CPU: vCPUs)
+  bool supports_batching = false;   // request batching (GPUs only)
+  double memory_gb = 0;             // device memory available to the model
+  double monthly_cost_usd = 0;      // GCP, 1-year commitment
+
+  /// GCP e2 instance: 5.5 vCPU Intel Xeon @2.20GHz, 32 GB RAM. $108.09/mo.
+  static DeviceSpec Cpu();
+  /// Small e2 instance (2 vCPU, 2 GB) used for the Figure 2 infra test.
+  static DeviceSpec CpuSmall();
+  /// e2 instance with NVidia Tesla T4 (16 GB). $268.09/mo.
+  static DeviceSpec GpuT4();
+  /// A2 instance with NVidia Tesla A100 (40 GB). $2,008.80/mo.
+  static DeviceSpec GpuA100();
+
+  /// Lookup by name: "cpu", "gpu-t4", "gpu-a100".
+  static Result<DeviceSpec> FromName(std::string_view name);
+
+  bool is_gpu() const { return kind != DeviceKind::kCpu; }
+};
+
+/// Latency (us) of a single request executed alone (no batching), as in the
+/// paper's serial micro-benchmark (Fig. 3).
+double SerialInferenceUs(const DeviceSpec& device, const InferenceWork& work);
+
+/// Total execution time (us) of a batch of `batch_size` identical requests
+/// on one executor. batch_size == 1 degenerates to SerialInferenceUs minus
+/// the non-batchable host-sync work handled separately.
+///
+/// Cost model: amortisable work is paid once per batch; each additional
+/// request adds `batch_share` of the serial device time, plus its full
+/// host-sync cost (host syncs serialise the pipeline and never batch).
+double BatchInferenceUs(const DeviceSpec& device, const InferenceWork& work,
+                        int batch_size);
+
+/// The per-model device efficiency multiplier applicable to `device`.
+double DeviceEfficiency(const DeviceSpec& device, const InferenceWork& work);
+
+}  // namespace etude::sim
+
+#endif  // ETUDE_SIM_DEVICE_H_

@@ -1,0 +1,58 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace etude::sim {
+
+EventHandle Simulation::Schedule(int64_t delay_us, Callback callback) {
+  return ScheduleAt(now_us_ + std::max<int64_t>(delay_us, 0),
+                    std::move(callback));
+}
+
+EventHandle Simulation::ScheduleAt(int64_t time_us, Callback callback) {
+  ETUDE_CHECK(callback != nullptr) << "null callback scheduled";
+  Event event;
+  event.time_us = std::max(time_us, now_us_);
+  event.sequence = next_sequence_++;
+  event.callback = std::move(callback);
+  event.cancelled = std::make_shared<bool>(false);
+  EventHandle handle(event.cancelled);
+  queue_.push(std::move(event));
+  return handle;
+}
+
+int64_t Simulation::Run() {
+  stopped_ = false;
+  int64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_us_ = event.time_us;
+    if (*event.cancelled) continue;
+    event.callback();
+    ++executed;
+  }
+  return executed;
+}
+
+int64_t Simulation::RunUntil(int64_t deadline_us) {
+  stopped_ = false;
+  int64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.time_us > deadline_us) break;
+    Event event = queue_.top();
+    queue_.pop();
+    now_us_ = event.time_us;
+    if (*event.cancelled) continue;
+    event.callback();
+    ++executed;
+  }
+  // Advance the clock to the deadline even if the queue drained early, so
+  // repeated RunUntil calls observe monotonically increasing time.
+  now_us_ = std::max(now_us_, deadline_us);
+  return executed;
+}
+
+}  // namespace etude::sim

@@ -1,0 +1,52 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace etude::tensor {
+
+namespace {
+// fan_in/fan_out follow the PyTorch convention: for rank-2 [out, in] weights
+// fan_in = in, fan_out = out; rank-1 tensors use their length for both.
+void ComputeFans(const std::vector<int64_t>& shape, int64_t* fan_in,
+                 int64_t* fan_out) {
+  if (shape.size() >= 2) {
+    *fan_out = shape[0];
+    *fan_in = shape[1];
+    for (size_t i = 2; i < shape.size(); ++i) {
+      *fan_in *= shape[i];
+      *fan_out *= shape[i];
+    }
+  } else {
+    *fan_in = shape.empty() ? 1 : shape[0];
+    *fan_out = *fan_in;
+  }
+}
+}  // namespace
+
+Tensor XavierUniform(std::vector<int64_t> shape, Rng* rng) {
+  int64_t fan_in = 1, fan_out = 1;
+  ComputeFans(shape, &fan_in, &fan_out);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(std::move(shape), -bound, bound, rng);
+}
+
+Tensor RandomNormal(std::vector<int64_t> shape, float stddev, Rng* rng) {
+  Tensor out(std::move(shape));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return out;
+}
+
+Tensor RandomUniform(std::vector<int64_t> shape, float low, float high,
+                     Rng* rng) {
+  Tensor out(std::move(shape));
+  const float span = high - low;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = low + span * static_cast<float>(rng->NextDouble());
+  }
+  return out;
+}
+
+}  // namespace etude::tensor

@@ -1,0 +1,29 @@
+#ifndef ETUDE_TENSOR_INIT_H_
+#define ETUDE_TENSOR_INIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace etude::tensor {
+
+/// Weight initialisers. The paper benchmarks randomly initialised models
+/// (inference latency does not depend on trained weights), so these match
+/// the PyTorch defaults the RecBole models would be created with.
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(std::vector<int64_t> shape, Rng* rng);
+
+/// Normal with given standard deviation (RecBole uses N(0, 0.02) for
+/// embedding tables).
+Tensor RandomNormal(std::vector<int64_t> shape, float stddev, Rng* rng);
+
+/// Uniform in [low, high).
+Tensor RandomUniform(std::vector<int64_t> shape, float low, float high,
+                     Rng* rng);
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_INIT_H_

@@ -1,0 +1,372 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace etude::tensor {
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  ETUDE_CHECK(a.shape() == b.shape())
+      << op << " requires identical shapes, got " << a.ShapeString()
+      << " vs " << b.ShapeString();
+}
+
+template <typename UnaryFn>
+Tensor ElementwiseUnary(const Tensor& a, UnaryFn fn) {
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) dst[i] = fn(src[i]);
+  return out;
+}
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ETUDE_CHECK(a.rank() == 2 && b.rank() == 2) << "MatMul requires rank 2";
+  ETUDE_CHECK(a.dim(1) == b.dim(0))
+      << "MatMul inner dims mismatch: " << a.ShapeString() << " @ "
+      << b.ShapeString();
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // ikj loop order: streams B row-wise, keeps C row hot.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  ETUDE_CHECK(a.rank() == 2 && x.rank() == 1) << "MatVec shape error";
+  ETUDE_CHECK(a.dim(1) == x.dim(0)) << "MatVec inner dims mismatch";
+  const int64_t m = a.dim(0), k = a.dim(1);
+  Tensor out({m});
+  const float* pa = a.data();
+  const float* px = x.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * k;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < k; ++j) acc += row[j] * px[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Tensor Linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  ETUDE_CHECK(x.rank() == 2 && weight.rank() == 2) << "Linear shape error";
+  ETUDE_CHECK(x.dim(1) == weight.dim(1))
+      << "Linear in-features mismatch: " << x.ShapeString() << " vs "
+      << weight.ShapeString();
+  const int64_t n = x.dim(0), in = x.dim(1), out_features = weight.dim(0);
+  const bool has_bias = bias.numel() > 0;
+  if (has_bias) {
+    ETUDE_CHECK(bias.rank() == 1 && bias.dim(0) == out_features)
+        << "Linear bias shape error";
+  }
+  Tensor out({n, out_features});
+  const float* px = x.data();
+  const float* pw = weight.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* xrow = px + i * in;
+    float* orow = po + i * out_features;
+    for (int64_t o = 0; o < out_features; ++o) {
+      const float* wrow = pw + o * in;
+      float acc = has_bias ? bias[o] : 0.0f;
+      for (int64_t j = 0; j < in; ++j) acc += xrow[j] * wrow[j];
+      orow[o] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor AddRowwise(const Tensor& a, const Tensor& bias) {
+  ETUDE_CHECK(a.rank() == 2 && bias.rank() == 1) << "AddRowwise shape error";
+  ETUDE_CHECK(a.dim(1) == bias.dim(0)) << "AddRowwise width mismatch";
+  Tensor out(a.shape());
+  const int64_t n = a.dim(0), d = a.dim(1);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) out[i * d + j] = a[i * d + j] + bias[j];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float factor) {
+  return ElementwiseUnary(a, [factor](float v) { return v * factor; });
+}
+
+Tensor AddScalar(const Tensor& a, float value) {
+  return ElementwiseUnary(a, [value](float v) { return v + value; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(a, [](float v) { return std::tanh(v); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation, as used by PyTorch's gelu(approximate="tanh").
+  return ElementwiseUnary(a, [](float v) {
+    const float c = 0.7978845608028654f;  // sqrt(2/pi)
+    return 0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+  });
+}
+
+Tensor Softmax(const Tensor& a) {
+  ETUDE_CHECK(a.rank() >= 1) << "Softmax requires rank >= 1";
+  const int64_t width = a.dim(a.rank() - 1);
+  ETUDE_CHECK(width > 0) << "Softmax over empty dimension";
+  const int64_t rows = a.numel() / width;
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = src + r * width;
+    float* o = dst + r * width;
+    float max_value = in[0];
+    for (int64_t j = 1; j < width; ++j) max_value = std::max(max_value, in[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < width; ++j) {
+      o[j] = std::exp(in[j] - max_value);
+      sum += o[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < width; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float epsilon) {
+  ETUDE_CHECK(a.rank() >= 1) << "LayerNorm requires rank >= 1";
+  const int64_t width = a.dim(a.rank() - 1);
+  ETUDE_CHECK(gain.rank() == 1 && gain.dim(0) == width) << "LayerNorm gain";
+  ETUDE_CHECK(bias.rank() == 1 && bias.dim(0) == width) << "LayerNorm bias";
+  const int64_t rows = a.numel() / width;
+  Tensor out(a.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = a.data() + r * width;
+    float* o = out.data() + r * width;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < width; ++j) mean += in[j];
+    mean /= static_cast<float>(width);
+    float var = 0.0f;
+    for (int64_t j = 0; j < width; ++j) {
+      const float delta = in[j] - mean;
+      var += delta * delta;
+    }
+    var /= static_cast<float>(width);
+    const float inv_std = 1.0f / std::sqrt(var + epsilon);
+    for (int64_t j = 0; j < width; ++j) {
+      o[j] = (in[j] - mean) * inv_std * gain[j] + bias[j];
+    }
+  }
+  return out;
+}
+
+Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices) {
+  ETUDE_CHECK(table.rank() == 2) << "Embedding table must be rank 2";
+  const int64_t vocab = table.dim(0), d = table.dim(1);
+  Tensor out({static_cast<int64_t>(indices.size()), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    ETUDE_CHECK(idx >= 0 && idx < vocab)
+        << "Embedding index " << idx << " out of vocab " << vocab;
+    const float* src = table.data() + idx * d;
+    float* dst = out.data() + static_cast<int64_t>(i) * d;
+    std::copy(src, src + d, dst);
+  }
+  return out;
+}
+
+Tensor Concat(const Tensor& a, const Tensor& b) {
+  if (a.rank() == 1 && b.rank() == 1) {
+    Tensor out({a.dim(0) + b.dim(0)});
+    std::copy(a.data(), a.data() + a.numel(), out.data());
+    std::copy(b.data(), b.data() + b.numel(), out.data() + a.numel());
+    return out;
+  }
+  ETUDE_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0))
+      << "Concat requires equal row counts";
+  const int64_t n = a.dim(0), da = a.dim(1), db = b.dim(1);
+  Tensor out({n, da + db});
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(a.data() + i * da, a.data() + (i + 1) * da,
+              out.data() + i * (da + db));
+    std::copy(b.data() + i * db, b.data() + (i + 1) * db,
+              out.data() + i * (da + db) + da);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  ETUDE_CHECK(a.rank() == 2) << "Transpose requires rank 2";
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  Tensor sum = SumRows(a);
+  return Scale(sum, 1.0f / static_cast<float>(a.dim(0)));
+}
+
+Tensor SumRows(const Tensor& a) {
+  ETUDE_CHECK(a.rank() == 2) << "SumRows requires rank 2";
+  const int64_t n = a.dim(0), d = a.dim(1);
+  ETUDE_CHECK(n > 0) << "SumRows over empty tensor";
+  Tensor out({d});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) out[j] += a[i * d + j];
+  }
+  return out;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
+  if (a.rank() == 1) {
+    float norm = 0.0f;
+    for (int64_t i = 0; i < a.numel(); ++i) norm += a[i] * a[i];
+    const float inv = 1.0f / std::sqrt(std::max(norm, epsilon));
+    return Scale(a, inv);
+  }
+  ETUDE_CHECK(a.rank() == 2) << "L2NormalizeRows requires rank 1 or 2";
+  const int64_t n = a.dim(0), d = a.dim(1);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    float norm = 0.0f;
+    for (int64_t j = 0; j < d; ++j) norm += a[i * d + j] * a[i * d + j];
+    const float inv = 1.0f / std::sqrt(std::max(norm, epsilon));
+    for (int64_t j = 0; j < d; ++j) out[i * d + j] = a[i * d + j] * inv;
+  }
+  return out;
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  ETUDE_CHECK(a.rank() == 1 && b.rank() == 1 && a.dim(0) == b.dim(0))
+      << "Dot requires equal-length vectors";
+  float acc = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+int64_t ArgMax(const Tensor& a) {
+  ETUDE_CHECK(a.rank() == 1 && a.numel() > 0) << "ArgMax shape error";
+  int64_t best = 0;
+  for (int64_t i = 1; i < a.numel(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+TopKResult TopK(const Tensor& scores, int64_t k) {
+  ETUDE_CHECK(scores.rank() == 1) << "TopK requires rank 1";
+  ETUDE_CHECK(k > 0) << "TopK requires k > 0";
+  const int64_t n = scores.numel();
+  k = std::min(k, n);
+  // Bounded min-heap of (score, index): O(n log k).
+  using Entry = std::pair<float, int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int64_t i = 0; i < n; ++i) {
+    const float s = scores[i];
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.emplace(s, i);
+    } else if (s > heap.top().first) {
+      heap.pop();
+      heap.emplace(s, i);
+    }
+  }
+  TopKResult result;
+  result.indices.resize(static_cast<size_t>(heap.size()));
+  result.scores.resize(static_cast<size_t>(heap.size()));
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    result.scores[static_cast<size_t>(i)] = heap.top().first;
+    result.indices[static_cast<size_t>(i)] = heap.top().second;
+    heap.pop();
+  }
+  return result;
+}
+
+TopKResult Mips(const Tensor& item_embeddings, const Tensor& query,
+                int64_t k) {
+  Tensor scores = MatVec(item_embeddings, query);
+  return TopK(scores, k);
+}
+
+Tensor GruCell(const Tensor& input, const Tensor& hidden, const Tensor& w_ih,
+               const Tensor& w_hh, const Tensor& b_ih, const Tensor& b_hh) {
+  ETUDE_CHECK(input.rank() == 1 && hidden.rank() == 1) << "GruCell rank";
+  const int64_t h = hidden.dim(0);
+  ETUDE_CHECK(w_ih.rank() == 2 && w_ih.dim(0) == 3 * h &&
+              w_ih.dim(1) == input.dim(0))
+      << "GruCell w_ih shape";
+  ETUDE_CHECK(w_hh.rank() == 2 && w_hh.dim(0) == 3 * h && w_hh.dim(1) == h)
+      << "GruCell w_hh shape";
+  ETUDE_CHECK(b_ih.dim(0) == 3 * h && b_hh.dim(0) == 3 * h)
+      << "GruCell bias shape";
+  const Tensor gi = Add(MatVec(w_ih, input), b_ih);   // [3h]
+  const Tensor gh = Add(MatVec(w_hh, hidden), b_hh);  // [3h]
+  Tensor next({h});
+  for (int64_t j = 0; j < h; ++j) {
+    const float r = 1.0f / (1.0f + std::exp(-(gi[j] + gh[j])));
+    const float z = 1.0f / (1.0f + std::exp(-(gi[h + j] + gh[h + j])));
+    const float n = std::tanh(gi[2 * h + j] + r * gh[2 * h + j]);
+    next[j] = (1.0f - z) * n + z * hidden[j];
+  }
+  return next;
+}
+
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v) {
+  ETUDE_CHECK(q.rank() == 2 && k.rank() == 2 && v.rank() == 2)
+      << "attention requires rank-2 q,k,v";
+  ETUDE_CHECK(q.dim(1) == k.dim(1) && k.dim(0) == v.dim(0))
+      << "attention shape mismatch";
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.dim(1)));
+  Tensor logits = Scale(MatMul(q, Transpose(k)), inv_sqrt_d);  // [n,m]
+  Tensor weights = Softmax(logits);
+  return MatMul(weights, v);  // [n,d]
+}
+
+}  // namespace etude::tensor

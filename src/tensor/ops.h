@@ -1,0 +1,106 @@
+#ifndef ETUDE_TENSOR_OPS_H_
+#define ETUDE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace etude::tensor {
+
+/// Dense operator set covering the inference paths of all ten SBR models.
+/// All ops are pure functions over row-major fp32 tensors; shape mismatches
+/// abort (programmer error).
+
+/// C = A @ B for rank-2 A:[m,k], B:[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// y = A @ x for A:[m,k], x:[k].
+Tensor MatVec(const Tensor& a, const Tensor& x);
+
+/// Fully-connected layer: y = x @ W^T + b, x:[n,in], W:[out,in], b:[out].
+/// Pass an empty bias tensor to skip the bias addition.
+Tensor Linear(const Tensor& x, const Tensor& weight, const Tensor& bias);
+
+/// Element-wise operations (shapes must match exactly).
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Adds a rank-1 bias:[d] to every row of a:[n,d].
+Tensor AddRowwise(const Tensor& a, const Tensor& bias);
+
+/// Scalar operations.
+Tensor Scale(const Tensor& a, float factor);
+Tensor AddScalar(const Tensor& a, float value);
+
+/// Activations (element-wise).
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);
+
+/// Softmax over the last dimension.
+Tensor Softmax(const Tensor& a);
+
+/// Layer normalisation over the last dimension with learned gain/bias
+/// (both rank-1 of size = last dim). `epsilon` stabilises the variance.
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float epsilon = 1e-5f);
+
+/// Gathers rows of `table`:[V,d] at `indices`, producing [len(indices),d].
+Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices);
+
+/// Concatenates two rank-1 tensors, or two rank-2 tensors along dim 1.
+Tensor Concat(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Mean over dim 0 of a rank-2 tensor: [n,d] -> [d].
+Tensor MeanRows(const Tensor& a);
+
+/// Sum over dim 0 of a rank-2 tensor: [n,d] -> [d].
+Tensor SumRows(const Tensor& a);
+
+/// L2-normalises each row of a rank-2 tensor (or the whole rank-1 tensor).
+Tensor L2NormalizeRows(const Tensor& a, float epsilon = 1e-12f);
+
+/// Dot product of two rank-1 tensors of equal length.
+float Dot(const Tensor& a, const Tensor& b);
+
+/// Index of the maximum element of a rank-1 tensor.
+int64_t ArgMax(const Tensor& a);
+
+/// Top-k selection over a rank-1 score vector.
+struct TopKResult {
+  std::vector<int64_t> indices;  // sorted by descending score
+  std::vector<float> scores;
+};
+
+/// Returns the `k` highest-scoring entries of `scores` in descending order.
+/// Implemented as a bounded min-heap partial selection: O(C log k) — this is
+/// the `C(d + log k)` term in the paper's complexity analysis.
+TopKResult TopK(const Tensor& scores, int64_t k);
+
+/// Maximum inner product search: scores = items @ query for items:[C,d],
+/// query:[d], followed by TopK. This is the op that dominates SBR inference
+/// latency (linear in catalog size C).
+TopKResult Mips(const Tensor& item_embeddings, const Tensor& query,
+                int64_t k);
+
+/// A single GRU step. Weights follow the PyTorch GRUCell layout:
+/// w_ih:[3h,in], w_hh:[3h,h], b_ih:[3h], b_hh:[3h] with gate order r,z,n.
+/// Returns the next hidden state [h].
+Tensor GruCell(const Tensor& input, const Tensor& hidden, const Tensor& w_ih,
+               const Tensor& w_hh, const Tensor& b_ih, const Tensor& b_hh);
+
+/// Scaled dot-product attention for a single head.
+/// q:[n,d], k:[m,d], v:[m,d] -> [n,d].
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v);
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_OPS_H_

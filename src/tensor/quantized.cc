@@ -1,0 +1,83 @@
+#include "tensor/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace etude::tensor {
+
+QuantizedMatrix QuantizedMatrix::FromTensor(const Tensor& matrix) {
+  ETUDE_CHECK(matrix.rank() == 2) << "quantisation requires rank 2";
+  QuantizedMatrix q;
+  q.rows_ = matrix.dim(0);
+  q.cols_ = matrix.dim(1);
+  q.data_.resize(static_cast<size_t>(q.rows_ * q.cols_));
+  q.scales_.resize(static_cast<size_t>(q.rows_));
+  for (int64_t r = 0; r < q.rows_; ++r) {
+    const float* row = matrix.data() + r * q.cols_;
+    float max_abs = 0.0f;
+    for (int64_t j = 0; j < q.cols_; ++j) {
+      max_abs = std::max(max_abs, std::abs(row[j]));
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    q.scales_[static_cast<size_t>(r)] = scale;
+    int8_t* out = q.data_.data() + r * q.cols_;
+    for (int64_t j = 0; j < q.cols_; ++j) {
+      out[j] = static_cast<int8_t>(std::lround(row[j] / scale));
+    }
+  }
+  return q;
+}
+
+Tensor QuantizedMatrix::DequantizeRow(int64_t r) const {
+  ETUDE_CHECK(r >= 0 && r < rows_) << "row out of range";
+  Tensor out({cols_});
+  const float scale = scales_[static_cast<size_t>(r)];
+  const int8_t* row = data_.data() + r * cols_;
+  for (int64_t j = 0; j < cols_; ++j) {
+    out[j] = static_cast<float>(row[j]) * scale;
+  }
+  return out;
+}
+
+TopKResult QuantizedMatrix::Mips(const Tensor& query, int64_t k) const {
+  ETUDE_CHECK(query.rank() == 1 && query.dim(0) == cols_)
+      << "query width mismatch";
+  // Quantise the query once (symmetric, its own scale).
+  float max_abs = 0.0f;
+  for (int64_t j = 0; j < cols_; ++j) {
+    max_abs = std::max(max_abs, std::abs(query[j]));
+  }
+  const float query_scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  std::vector<int8_t> q(static_cast<size_t>(cols_));
+  for (int64_t j = 0; j < cols_; ++j) {
+    q[static_cast<size_t>(j)] =
+        static_cast<int8_t>(std::lround(query[j] / query_scale));
+  }
+  // Integer scan with per-row rescale.
+  Tensor scores({rows_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    const int8_t* row = data_.data() + r * cols_;
+    int32_t acc = 0;
+    for (int64_t j = 0; j < cols_; ++j) {
+      acc += static_cast<int32_t>(row[j]) *
+             static_cast<int32_t>(q[static_cast<size_t>(j)]);
+    }
+    scores[r] = static_cast<float>(acc) *
+                scales_[static_cast<size_t>(r)] * query_scale;
+  }
+  return TopK(scores, k);
+}
+
+double RecallAtK(const TopKResult& exact, const TopKResult& approximate) {
+  if (exact.indices.empty()) return 1.0;
+  const std::set<int64_t> truth(exact.indices.begin(), exact.indices.end());
+  int64_t hits = 0;
+  for (const int64_t item : approximate.indices) {
+    if (truth.count(item) > 0) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(exact.indices.size());
+}
+
+}  // namespace etude::tensor

@@ -1,0 +1,52 @@
+#ifndef ETUDE_TENSOR_QUANTIZED_H_
+#define ETUDE_TENSOR_QUANTIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace etude::tensor {
+
+/// Int8-quantised item-embedding table for the catalog scan — the "model
+/// quantisation" latency/quality trade-off the paper names as future work
+/// (Sec. IV). Each row is quantised symmetrically with its own scale:
+///   q[i][j] = round(x[i][j] / scale[i]),  scale[i] = max|x[i]| / 127.
+/// The scan then moves a quarter of the memory the fp32 table moves,
+/// which is exactly the lever for the bandwidth-bound MIPS.
+class QuantizedMatrix {
+ public:
+  /// Quantises a [C, d] fp32 matrix.
+  static QuantizedMatrix FromTensor(const Tensor& matrix);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  /// De-quantises row `r` (for tests and error analysis).
+  Tensor DequantizeRow(int64_t r) const;
+
+  /// Maximum inner product search against an fp32 query: the query is
+  /// quantised once, all dot products run in int32 arithmetic, scores are
+  /// rescaled to fp32 before the top-k selection.
+  TopKResult Mips(const Tensor& query, int64_t k) const;
+
+  /// Bytes moved by one scan (for the cost model): C*d int8 + C scales.
+  int64_t ScanBytes() const {
+    return rows_ * cols_ + rows_ * static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int8_t> data_;    // row-major [C, d]
+  std::vector<float> scales_;   // per-row scale
+};
+
+/// Overlap between an approximate top-k and the exact top-k
+/// (recall@k in [0, 1]).
+double RecallAtK(const TopKResult& exact, const TopKResult& approximate);
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_QUANTIZED_H_

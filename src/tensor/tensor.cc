@@ -1,0 +1,25 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace etude::tensor {
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]f32";
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float tolerance) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::abs(a[i] - b[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace etude::tensor

@@ -1,0 +1,132 @@
+#ifndef ETUDE_TENSOR_TENSOR_H_
+#define ETUDE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace etude::tensor {
+
+/// A dense, row-major, single-precision tensor.
+///
+/// This is the minimal substrate required to execute the inference path of
+/// the ten SBR models: contiguous fp32 storage with shape metadata. Shape
+/// violations are programmer errors and abort via ETUDE_CHECK; user-facing
+/// validation happens at the model API boundary.
+class Tensor {
+ public:
+  /// An empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+    data_.assign(static_cast<size_t>(ComputeNumel(shape_)), 0.0f);
+  }
+
+  /// Allocates a tensor of the given shape with explicit contents
+  /// (row-major order). `values.size()` must equal the shape's element count.
+  Tensor(std::vector<int64_t> shape, std::vector<float> values)
+      : shape_(std::move(shape)), data_(std::move(values)) {
+    ETUDE_CHECK(static_cast<int64_t>(data_.size()) == ComputeNumel(shape_))
+        << "value count " << data_.size() << " does not match shape";
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const {
+    ETUDE_CHECK(i >= 0 && i < rank()) << "dim index out of range";
+    return shape_[static_cast<size_t>(i)];
+  }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    ETUDE_DCHECK(i >= 0 && i < numel()) << "flat index out of range";
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    ETUDE_DCHECK(i >= 0 && i < numel()) << "flat index out of range";
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// 2-D element access (row-major). Tensor must have rank 2.
+  float& at(int64_t row, int64_t col) {
+    ETUDE_DCHECK(rank() == 2) << "at(r,c) requires rank 2";
+    ETUDE_DCHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
+    return data_[static_cast<size_t>(row * shape_[1] + col)];
+  }
+  float at(int64_t row, int64_t col) const {
+    ETUDE_DCHECK(rank() == 2) << "at(r,c) requires rank 2";
+    ETUDE_DCHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
+    return data_[static_cast<size_t>(row * shape_[1] + col)];
+  }
+
+  /// 3-D element access (row-major). Tensor must have rank 3.
+  float& at(int64_t i, int64_t j, int64_t k) {
+    ETUDE_DCHECK(rank() == 3) << "at(i,j,k) requires rank 3";
+    return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  float at(int64_t i, int64_t j, int64_t k) const {
+    ETUDE_DCHECK(rank() == 3) << "at(i,j,k) requires rank 3";
+    return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+
+  /// Sets every element to `value`.
+  void Fill(float value) { data_.assign(data_.size(), value); }
+
+  /// Returns a tensor with the same data reinterpreted under `new_shape`
+  /// (element counts must match).
+  Tensor Reshaped(std::vector<int64_t> new_shape) const {
+    ETUDE_CHECK(ComputeNumel(new_shape) == numel())
+        << "reshape changes element count";
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
+  }
+
+  /// Returns the contiguous row `row` of a rank-2 tensor as a rank-1 copy.
+  Tensor Row(int64_t row) const {
+    ETUDE_CHECK(rank() == 2) << "Row requires rank 2";
+    ETUDE_CHECK(row >= 0 && row < shape_[0]);
+    Tensor out({shape_[1]});
+    const float* src = data() + row * shape_[1];
+    std::copy(src, src + shape_[1], out.data());
+    return out;
+  }
+
+  /// "[2, 3]f32" style debug string.
+  std::string ShapeString() const;
+
+  static int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+    int64_t n = 1;
+    for (int64_t d : shape) {
+      ETUDE_CHECK(d >= 0) << "negative dimension";
+      n *= d;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// True when both tensors have identical shape and all elements are within
+/// `tolerance` of each other.
+bool AllClose(const Tensor& a, const Tensor& b, float tolerance = 1e-5f);
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_TENSOR_H_

@@ -1,0 +1,213 @@
+// etude — the command-line face of the framework.
+//
+// Subcommands:
+//   etude scenarios
+//       List the paper's five built-in use-case scenarios.
+//   etude run <spec.json>
+//       Execute one deployed benchmark from a declarative spec and print
+//       the report (the `make run_deployed_benchmark` equivalent).
+//   etude plan --catalog C --rps R [--p90 MS] [--max-replicas N]
+//       Search cost-efficient deployments for a custom use case.
+//   etude generate --catalog C --clicks N [--alpha-l A] [--alpha-c B]
+//       Emit a synthetic click log (Algorithm 1) as CSV on stdout.
+//   etude serve --model NAME --catalog C [--port P] [--seconds S]
+//       Start the real HTTP inference server on localhost.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/benchmark.h"
+#include "core/cost_planner.h"
+#include "core/spec.h"
+#include "metrics/report.h"
+#include "models/model_factory.h"
+#include "serving/etude_serve.h"
+#include "workload/session_generator.h"
+
+namespace {
+
+using etude::FormatDouble;
+
+/// Parses "--name value" flags after the subcommand.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    std::string name = argv[i];
+    if (etude::StartsWith(name, "--")) {
+      flags[name.substr(2)] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+double FlagOr(const std::map<std::string, std::string>& flags,
+              const std::string& name, double fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int CmdScenarios() {
+  etude::metrics::Table table(
+      {"name", "catalog", "target req/s", "p90 limit [ms]"});
+  for (const auto& scenario : etude::core::PaperScenarios()) {
+    table.AddRow({scenario.name,
+                  etude::FormatWithCommas(scenario.catalog_size),
+                  FormatDouble(scenario.target_rps, 0),
+                  FormatDouble(scenario.p90_limit_ms, 0)});
+  }
+  std::printf("%s", table.ToText().c_str());
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: etude run <spec.json>\n");
+    return 2;
+  }
+  auto spec = etude::core::LoadBenchmarkSpec(argv[2]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto report = etude::core::RunDeployedBenchmark(*spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  return report->meets_slo ? 0 : 3;
+}
+
+int CmdPlan(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv, 2);
+  etude::core::Scenario scenario;
+  scenario.name = "cli";
+  scenario.catalog_size =
+      static_cast<int64_t>(FlagOr(flags, "catalog", 100000));
+  scenario.target_rps = FlagOr(flags, "rps", 250);
+  scenario.p90_limit_ms = FlagOr(flags, "p90", 50);
+
+  etude::core::PlannerOptions options;
+  options.duration_s = 60;
+  options.ramp_s = 30;
+  options.max_replicas =
+      static_cast<int>(FlagOr(flags, "max-replicas", 8));
+  etude::core::CostPlanner planner(options);
+
+  const std::vector<etude::sim::DeviceSpec> devices = {
+      etude::sim::DeviceSpec::Cpu(), etude::sim::DeviceSpec::GpuT4(),
+      etude::sim::DeviceSpec::GpuA100()};
+  etude::metrics::Table table(
+      {"model", "cheapest feasible", "cost/month", "p90 [ms]"});
+  for (const auto model : etude::models::HealthyModelKinds()) {
+    auto plan = planner.PlanModel(scenario, model, devices);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    const auto* best = plan->CheapestFeasible();
+    if (best == nullptr) {
+      table.AddRow({std::string(etude::models::ModelKindToString(model)),
+                    "infeasible", "-", "-"});
+      continue;
+    }
+    std::string cost = "$";
+    cost += FormatDouble(best->monthly_cost_usd, 0);
+    table.AddRow({std::string(etude::models::ModelKindToString(model)),
+                  std::to_string(best->replicas) + " x " +
+                      best->device.name,
+                  std::move(cost),
+                  FormatDouble(best->report.load.steady_p90_ms, 1)});
+  }
+  std::printf("%s", table.ToText().c_str());
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv, 2);
+  const int64_t catalog =
+      static_cast<int64_t>(FlagOr(flags, "catalog", 10000));
+  const int64_t clicks =
+      static_cast<int64_t>(FlagOr(flags, "clicks", 1000));
+  etude::workload::WorkloadStats stats;
+  stats.session_length_alpha = FlagOr(flags, "alpha-l", 2.2);
+  stats.click_count_alpha = FlagOr(flags, "alpha-c", 1.8);
+  auto generator = etude::workload::SessionGenerator::Create(
+      catalog, stats, static_cast<uint64_t>(FlagOr(flags, "seed", 42)));
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("session_id,item_id,timestep\n");
+  for (const auto& click : generator->GenerateClicks(clicks)) {
+    std::printf("%lld,%lld,%lld\n",
+                static_cast<long long>(click.session_id),
+                static_cast<long long>(click.item_id),
+                static_cast<long long>(click.timestep));
+  }
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv, 2);
+  const auto model_it = flags.find("model");
+  etude::models::ModelConfig config;
+  config.catalog_size =
+      static_cast<int64_t>(FlagOr(flags, "catalog", 10000));
+  auto model = etude::models::CreateModel(
+      model_it == flags.end() ? "GRU4Rec" : model_it->second, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  etude::serving::EtudeServeConfig serve_config;
+  serve_config.port = static_cast<uint16_t>(FlagOr(flags, "port", 0));
+  etude::serving::EtudeServe serve(model->get(), serve_config);
+  const etude::Status status = serve.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const int seconds = static_cast<int>(FlagOr(flags, "seconds", 0));
+  std::printf(
+      "serving %s (C=%s) on http://127.0.0.1:%u — POST "
+      "/predictions/%s\n",
+      std::string((*model)->name()).c_str(),
+      etude::FormatWithCommas(config.catalog_size).c_str(), serve.port(),
+      etude::ToLower((*model)->name()).c_str());
+  std::fflush(stdout);
+  if (seconds > 0) {
+    sleep(static_cast<unsigned>(seconds));
+  } else {
+    while (true) sleep(3600);  // until interrupted
+  }
+  serve.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "scenarios") return CmdScenarios();
+  if (command == "run") return CmdRun(argc, argv);
+  if (command == "plan") return CmdPlan(argc, argv);
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
+  std::fprintf(stderr,
+               "usage: etude <scenarios|run|plan|generate|serve> [flags]\n"
+               "  run <spec.json>                    deployed benchmark\n"
+               "  plan --catalog C --rps R           cost-efficient search\n"
+               "  generate --catalog C --clicks N    synthetic click log\n"
+               "  serve --model M --catalog C        real HTTP server\n");
+  return 2;
+}

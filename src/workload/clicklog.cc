@@ -1,0 +1,182 @@
+#include "workload/clicklog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace etude::workload {
+
+RealClickLogModel::RealClickLogModel(const ClickLogModelConfig& config,
+                                     EmpiricalDistribution popularity,
+                                     uint64_t seed)
+    : config_(config), popularity_(std::move(popularity)), rng_(seed) {}
+
+Result<RealClickLogModel> RealClickLogModel::Create(
+    const ClickLogModelConfig& config, uint64_t seed) {
+  if (config.catalog_size < 2) {
+    return Status::InvalidArgument("catalog size must be >= 2");
+  }
+  if (config.max_session_length < 1) {
+    return Status::InvalidArgument("max session length must be >= 1");
+  }
+  // Item popularity: Zipf base with multiplicative lognormal noise and a
+  // small set of "trending" items whose popularity is boosted. We build
+  // integer pseudo-counts so EmpiricalDistribution can consume them.
+  Rng rng(seed ^ 0x5EEDF00DCAFE1234ULL);
+  std::vector<int64_t> counts(static_cast<size_t>(config.catalog_size));
+  for (int64_t i = 0; i < config.catalog_size; ++i) {
+    const double rank = static_cast<double>(i) + 1.0;
+    double weight = std::pow(rank, -config.zipf_exponent);
+    if (config.popularity_noise > 0) {
+      weight *= std::exp(config.popularity_noise * rng.NextGaussian());
+    }
+    if (rng.NextDouble() < config.trending_fraction) {
+      weight *= config.trending_boost;
+    }
+    // Scale into integer pseudo-counts; +1 keeps every item reachable.
+    counts[static_cast<size_t>(i)] =
+        static_cast<int64_t>(weight * 1e9) + 1;
+  }
+  ETUDE_ASSIGN_OR_RETURN(EmpiricalDistribution popularity,
+                         EmpiricalDistribution::FromCounts(counts));
+  return RealClickLogModel(config, std::move(popularity), seed);
+}
+
+int64_t RealClickLogModel::SampleLength() {
+  // Mixture: mostly short sessions (geometric), with a heavy tail
+  // (bounded Pareto-like) for long browsing sessions.
+  int64_t length;
+  if (rng_.NextDouble() < config_.length_tail_mix) {
+    // Heavy tail: inverse-transform of x^-1.5 over [3, max].
+    const double u = rng_.NextDoublePositive();
+    const double lo = std::pow(3.0, -0.5);
+    const double hi =
+        std::pow(static_cast<double>(config_.max_session_length), -0.5);
+    const double x = std::pow(lo - u * (lo - hi), -2.0);
+    length = static_cast<int64_t>(x);
+  } else {
+    // Geometric with mean ~2.2 clicks, shifted to start at 1.
+    length = 1;
+    while (rng_.NextDouble() < 0.55 &&
+           length < config_.max_session_length) {
+      ++length;
+    }
+  }
+  return std::clamp<int64_t>(length, 1, config_.max_session_length);
+}
+
+std::vector<Session> RealClickLogModel::Generate(int64_t num_clicks) {
+  std::vector<Session> sessions;
+  int64_t generated = 0;
+  while (generated < num_clicks) {
+    Session session;
+    session.session_id = next_session_id_++;
+    const int64_t length = SampleLength();
+    session.items.reserve(static_cast<size_t>(length));
+    for (int64_t i = 0; i < length; ++i) {
+      // Visitors frequently return to an item seen earlier in the session
+      // (the behaviour RepeatNet models); Algorithm 1 has no such term,
+      // which is exactly why round-tripping through marginals is a real
+      // test of the paper's validation claim.
+      if (!session.items.empty() &&
+          rng_.NextDouble() < config_.repeat_probability) {
+        const size_t j = static_cast<size_t>(
+            rng_.NextBounded(session.items.size()));
+        session.items.push_back(session.items[j]);
+      } else {
+        session.items.push_back(popularity_.Sample(&rng_));
+      }
+    }
+    generated += static_cast<int64_t>(session.items.size());
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+Result<WorkloadStats> EstimateWorkloadStats(
+    const std::vector<Session>& sessions, int64_t catalog_size) {
+  if (sessions.size() < 2) {
+    return Status::InvalidArgument("need at least two sessions");
+  }
+  if (catalog_size < 2) {
+    return Status::InvalidArgument("catalog size must be >= 2");
+  }
+  std::vector<int64_t> lengths;
+  lengths.reserve(sessions.size());
+  std::vector<int64_t> counts(static_cast<size_t>(catalog_size), 0);
+  int64_t max_length = 1;
+  for (const Session& session : sessions) {
+    const int64_t length = static_cast<int64_t>(session.items.size());
+    lengths.push_back(length);
+    max_length = std::max(max_length, length);
+    for (const int64_t item : session.items) {
+      if (item >= 0 && item < catalog_size) {
+        ++counts[static_cast<size_t>(item)];
+      }
+    }
+  }
+  // Click-count power law is fitted over items that received clicks.
+  std::vector<int64_t> observed_counts;
+  observed_counts.reserve(counts.size());
+  for (const int64_t c : counts) {
+    if (c > 0) observed_counts.push_back(c);
+  }
+  WorkloadStats stats;
+  ETUDE_ASSIGN_OR_RETURN(stats.session_length_alpha,
+                         FitPowerLawExponent(lengths, /*x_min=*/1));
+  ETUDE_ASSIGN_OR_RETURN(stats.click_count_alpha,
+                         FitPowerLawExponent(observed_counts, /*x_min=*/1));
+  stats.max_session_length = max_length;
+  return stats;
+}
+
+ClickLogSummary SummarizeClickLog(const std::vector<Session>& sessions,
+                                  int64_t catalog_size) {
+  ClickLogSummary summary;
+  summary.num_sessions = static_cast<int64_t>(sessions.size());
+  std::vector<int64_t> lengths;
+  lengths.reserve(sessions.size());
+  std::vector<int64_t> counts(static_cast<size_t>(catalog_size), 0);
+  for (const Session& session : sessions) {
+    lengths.push_back(static_cast<int64_t>(session.items.size()));
+    summary.num_clicks += static_cast<int64_t>(session.items.size());
+    for (const int64_t item : session.items) {
+      if (item >= 0 && item < catalog_size) {
+        ++counts[static_cast<size_t>(item)];
+      }
+    }
+  }
+  if (summary.num_sessions == 0) return summary;
+  summary.mean_session_length =
+      static_cast<double>(summary.num_clicks) /
+      static_cast<double>(summary.num_sessions);
+  std::sort(lengths.begin(), lengths.end());
+  summary.p90_session_length = static_cast<double>(
+      lengths[static_cast<size_t>(0.9 * static_cast<double>(
+          lengths.size() - 1))]);
+
+  std::sort(counts.begin(), counts.end());  // ascending
+  const double total = static_cast<double>(
+      std::accumulate(counts.begin(), counts.end(), int64_t{0}));
+  if (total > 0) {
+    // Share of clicks captured by the most-clicked 1% of the catalog.
+    const size_t top = std::max<size_t>(1, counts.size() / 100);
+    int64_t top_clicks = 0;
+    for (size_t i = counts.size() - top; i < counts.size(); ++i) {
+      top_clicks += counts[i];
+    }
+    summary.top1pct_click_share = static_cast<double>(top_clicks) / total;
+    // Gini coefficient over the sorted counts.
+    double weighted = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      weighted += static_cast<double>(2 * (i + 1)) *
+                  static_cast<double>(counts[i]);
+    }
+    const double n = static_cast<double>(counts.size());
+    summary.gini_coefficient = weighted / (n * total) - (n + 1.0) / n;
+  }
+  return summary;
+}
+
+}  // namespace etude::workload

@@ -1,0 +1,79 @@
+#ifndef ETUDE_WORKLOAD_CLICKLOG_H_
+#define ETUDE_WORKLOAD_CLICKLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "workload/session_generator.h"
+
+namespace etude::workload {
+
+/// Configuration of the "ground-truth" e-Commerce click-log model.
+///
+/// The paper validates its synthetic generator by replaying a *real*
+/// bol.com click log and comparing the latencies to a synthetic workload
+/// generated from the log's marginal statistics. We do not have that log,
+/// so this model stands in for reality: it is a *richer* generative process
+/// than Algorithm 1 (popularity noise, trending items, within-session
+/// repeat clicks, heavy-tailed length mixture), so that fitting marginals
+/// on it and regenerating with Algorithm 1 is a meaningful round trip.
+struct ClickLogModelConfig {
+  int64_t catalog_size = 100000;
+  double zipf_exponent = 1.05;        // base item popularity
+  double popularity_noise = 0.35;     // lognormal noise on popularity
+  double trending_fraction = 0.001;   // fraction of items boosted
+  double trending_boost = 25.0;       // popularity multiplier for trending
+  double repeat_probability = 0.18;   // P(re-click an earlier session item)
+  double length_tail_mix = 0.15;      // weight of the heavy length tail
+  int64_t max_session_length = 50;
+};
+
+/// Generates a reference click log with the above behavioural structure.
+class RealClickLogModel {
+ public:
+  static Result<RealClickLogModel> Create(const ClickLogModelConfig& config,
+                                          uint64_t seed);
+
+  /// Generates sessions totalling at least `num_clicks` clicks.
+  std::vector<Session> Generate(int64_t num_clicks);
+
+  const ClickLogModelConfig& config() const { return config_; }
+
+ private:
+  RealClickLogModel(const ClickLogModelConfig& config,
+                    EmpiricalDistribution popularity, uint64_t seed);
+
+  int64_t SampleLength();
+
+  ClickLogModelConfig config_;
+  EmpiricalDistribution popularity_;
+  Rng rng_;
+  int64_t next_session_id_ = 0;
+};
+
+/// Estimates the two marginal statistics of Algorithm 1 (α_l, α_c) from an
+/// observed click log, exactly as a data scientist would estimate them once
+/// from a production log (Sec. II). Returns InvalidArgument for degenerate
+/// logs (fewer than two sessions or items).
+Result<WorkloadStats> EstimateWorkloadStats(
+    const std::vector<Session>& sessions, int64_t catalog_size);
+
+/// Summary statistics used to compare a synthetic log against a reference
+/// log in the VAL-SYN experiment.
+struct ClickLogSummary {
+  int64_t num_sessions = 0;
+  int64_t num_clicks = 0;
+  double mean_session_length = 0;
+  double p90_session_length = 0;
+  double top1pct_click_share = 0;  // share of clicks on the top 1% items
+  double gini_coefficient = 0;     // inequality of item popularity
+};
+
+ClickLogSummary SummarizeClickLog(const std::vector<Session>& sessions,
+                                  int64_t catalog_size);
+
+}  // namespace etude::workload
+
+#endif  // ETUDE_WORKLOAD_CLICKLOG_H_

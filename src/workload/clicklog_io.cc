@@ -1,0 +1,100 @@
+#include "workload/clicklog_io.h"
+
+#include <cstdlib>
+#include <unordered_set>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace etude::workload {
+
+Status WriteClickLogCsv(const std::vector<Session>& sessions,
+                        std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  *out << "session_id,item_id,timestep\n";
+  int64_t timestep = 0;
+  for (const Session& session : sessions) {
+    for (const int64_t item : session.items) {
+      *out << session.session_id << ',' << item << ',' << ++timestep
+           << '\n';
+    }
+  }
+  if (!out->good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status WriteClickLogCsvFile(const std::vector<Session>& sessions,
+                            const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  return WriteClickLogCsv(sessions, &file);
+}
+
+Result<std::vector<Session>> ReadClickLogCsv(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("empty click log");
+  }
+  if (ToLower(StripWhitespace(line)) != "session_id,item_id,timestep") {
+    return Status::InvalidArgument(
+        "expected 'session_id,item_id,timestep' header, got '" + line +
+        "'");
+  }
+  std::vector<Session> sessions;
+  std::unordered_set<int64_t> seen_sessions;
+  int64_t previous_timestep = 0;
+  int64_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    const std::vector<std::string> fields = Split(stripped, ',');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected 3 fields");
+    }
+    char* end = nullptr;
+    const int64_t session_id = std::strtoll(fields[0].c_str(), &end, 10);
+    if (*end != '\0') {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": bad session id");
+    }
+    const int64_t item_id = std::strtoll(fields[1].c_str(), &end, 10);
+    if (*end != '\0' || item_id < 0) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": bad item id");
+    }
+    const int64_t timestep = std::strtoll(fields[2].c_str(), &end, 10);
+    if (*end != '\0' || timestep <= previous_timestep) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": timesteps must be increasing");
+    }
+    previous_timestep = timestep;
+    if (sessions.empty() || sessions.back().session_id != session_id) {
+      // Clicks of one session must be contiguous.
+      if (!seen_sessions.insert(session_id).second) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": session " +
+            std::to_string(session_id) + " is not contiguous");
+      }
+      Session session;
+      session.session_id = session_id;
+      sessions.push_back(std::move(session));
+    }
+    sessions.back().items.push_back(item_id);
+  }
+  return sessions;
+}
+
+Result<std::vector<Session>> ReadClickLogCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  return ReadClickLogCsv(&file);
+}
+
+}  // namespace etude::workload

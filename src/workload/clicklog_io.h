@@ -1,0 +1,35 @@
+#ifndef ETUDE_WORKLOAD_CLICKLOG_IO_H_
+#define ETUDE_WORKLOAD_CLICKLOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/session_generator.h"
+
+namespace etude::workload {
+
+/// Click-log CSV interchange, so that ETUDE can replay *actual* click
+/// logs (the paper validates its synthetic generator against a real
+/// bol.com log) and so that `etude generate` output can be re-ingested.
+///
+/// Format: a `session_id,item_id,timestep` header followed by one click
+/// per line, grouped by session and ordered by timestep — exactly the
+/// (s, i, t) tuples of Algorithm 1.
+
+/// Serialises sessions to CSV.
+Status WriteClickLogCsv(const std::vector<Session>& sessions,
+                        std::ostream* out);
+Status WriteClickLogCsvFile(const std::vector<Session>& sessions,
+                            const std::string& path);
+
+/// Parses a click-log CSV back into sessions (clicks of one session must
+/// be contiguous; timesteps must be non-decreasing). Returns
+/// InvalidArgument on malformed rows.
+Result<std::vector<Session>> ReadClickLogCsv(std::istream* in);
+Result<std::vector<Session>> ReadClickLogCsvFile(const std::string& path);
+
+}  // namespace etude::workload
+
+#endif  // ETUDE_WORKLOAD_CLICKLOG_IO_H_

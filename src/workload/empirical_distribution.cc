@@ -1,0 +1,105 @@
+#include "workload/empirical_distribution.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace etude::workload {
+
+Result<EmpiricalDistribution> EmpiricalDistribution::FromCounts(
+    const std::vector<int64_t>& counts) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("counts must be non-empty");
+  }
+  double total = 0.0;
+  for (const int64_t c : counts) {
+    if (c < 0) return Status::InvalidArgument("negative click count");
+    total += static_cast<double>(c);
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("at least one count must be positive");
+  }
+  EmpiricalDistribution dist;
+  dist.prob_.resize(counts.size());
+  dist.cumulative_.resize(counts.size());
+  double running = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    dist.prob_[i] = static_cast<double>(counts[i]) / total;
+    running += dist.prob_[i];
+    dist.cumulative_[i] = running;
+  }
+  dist.cumulative_.back() = 1.0;  // guard against rounding
+  dist.BuildAliasTable();
+  return dist;
+}
+
+void EmpiricalDistribution::BuildAliasTable() {
+  const size_t n = prob_.size();
+  alias_prob_.assign(n, 0.0);
+  alias_index_.assign(n, 0);
+  // Walker/Vose: split the scaled probabilities into "small" (< 1) and
+  // "large" (>= 1) work lists and pair them up.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = prob_[i] * static_cast<double>(n);
+  }
+  std::vector<int64_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<int64_t>(i));
+    } else {
+      large.push_back(static_cast<int64_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const int64_t s = small.back();
+    small.pop_back();
+    const int64_t l = large.back();
+    large.pop_back();
+    alias_prob_[static_cast<size_t>(s)] = scaled[static_cast<size_t>(s)];
+    alias_index_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] =
+        scaled[static_cast<size_t>(l)] + scaled[static_cast<size_t>(s)] - 1.0;
+    if (scaled[static_cast<size_t>(l)] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Whatever remains has scaled probability ~1 (up to rounding).
+  for (const int64_t i : large) {
+    alias_prob_[static_cast<size_t>(i)] = 1.0;
+    alias_index_[static_cast<size_t>(i)] = i;
+  }
+  for (const int64_t i : small) {
+    alias_prob_[static_cast<size_t>(i)] = 1.0;
+    alias_index_[static_cast<size_t>(i)] = i;
+  }
+}
+
+int64_t EmpiricalDistribution::Sample(Rng* rng) const {
+  const int64_t n = num_items();
+  const int64_t column = static_cast<int64_t>(rng->NextBounded(
+      static_cast<uint64_t>(n)));
+  const double u = rng->NextDouble();
+  return u < alias_prob_[static_cast<size_t>(column)]
+             ? column
+             : alias_index_[static_cast<size_t>(column)];
+}
+
+int64_t EmpiricalDistribution::SampleInverseTransform(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) return num_items() - 1;
+  return static_cast<int64_t>(it - cumulative_.begin());
+}
+
+double EmpiricalDistribution::Probability(int64_t i) const {
+  ETUDE_CHECK(i >= 0 && i < num_items()) << "item id out of range";
+  return prob_[static_cast<size_t>(i)];
+}
+
+}  // namespace etude::workload

@@ -1,0 +1,54 @@
+#ifndef ETUDE_WORKLOAD_EMPIRICAL_DISTRIBUTION_H_
+#define ETUDE_WORKLOAD_EMPIRICAL_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace etude::workload {
+
+/// A discrete distribution over item ids 0..C-1 built from per-item click
+/// counts (the "empirical CDF of C click counts" of Algorithm 1, line 7).
+///
+/// Two sampling strategies are provided:
+///  * `SampleInverseTransform` — binary search over the cumulative counts,
+///    O(log C) per draw; this is the literal Algorithm 1, line 14.
+///  * `Sample` — Walker/Vose alias method, O(1) per draw after O(C) setup.
+///    The alias table is what lets the generator exceed one million clicks
+///    per second on a single core at C = 10M (validated in
+///    bench_workload_gen).
+class EmpiricalDistribution {
+ public:
+  /// `counts[i]` is the click count of item i; at least one count must be
+  /// positive, none may be negative.
+  static Result<EmpiricalDistribution> FromCounts(
+      const std::vector<int64_t>& counts);
+
+  /// O(1) alias-method draw of an item id, distributed ∝ counts.
+  int64_t Sample(Rng* rng) const;
+
+  /// O(log C) inverse-transform draw from the cumulative distribution.
+  int64_t SampleInverseTransform(Rng* rng) const;
+
+  /// Probability of item `i`.
+  double Probability(int64_t i) const;
+
+  int64_t num_items() const { return static_cast<int64_t>(prob_.size()); }
+
+ private:
+  EmpiricalDistribution() = default;
+
+  void BuildAliasTable();
+
+  std::vector<double> prob_;        // normalised probabilities
+  std::vector<double> cumulative_;  // inclusive prefix sums of prob_
+  // Alias method tables.
+  std::vector<double> alias_prob_;
+  std::vector<int64_t> alias_index_;
+};
+
+}  // namespace etude::workload
+
+#endif  // ETUDE_WORKLOAD_EMPIRICAL_DISTRIBUTION_H_

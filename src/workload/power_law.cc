@@ -1,0 +1,109 @@
+#include "workload/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace etude::workload {
+
+PowerLawSampler::PowerLawSampler(double alpha, int64_t min_value,
+                                 int64_t max_value)
+    : alpha_(alpha), min_value_(min_value), max_value_(max_value) {
+  one_minus_alpha_ = 1.0 - alpha;
+  const double lo = static_cast<double>(min_value);
+  // +1 so that the value max_value itself has non-zero probability after
+  // the floor() in Sample().
+  const double hi = static_cast<double>(max_value) + 1.0;
+  lo_pow_ = std::pow(lo, one_minus_alpha_);
+  pow_span_ = lo_pow_ - std::pow(hi, one_minus_alpha_);
+}
+
+Result<PowerLawSampler> PowerLawSampler::Create(double alpha,
+                                                int64_t min_value,
+                                                int64_t max_value) {
+  if (!(alpha > 1.0)) {
+    return Status::InvalidArgument(
+        "power law exponent must be > 1, got " + std::to_string(alpha));
+  }
+  if (min_value < 1 || max_value < min_value) {
+    return Status::InvalidArgument("require 1 <= min_value <= max_value");
+  }
+  return PowerLawSampler(alpha, min_value, max_value);
+}
+
+int64_t PowerLawSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const double x =
+      std::pow(lo_pow_ - u * pow_span_, 1.0 / one_minus_alpha_);
+  const int64_t value = static_cast<int64_t>(x);
+  return std::clamp(value, min_value_, max_value_);
+}
+
+Result<double> FitPowerLawExponent(const std::vector<int64_t>& values,
+                                   int64_t x_min) {
+  if (x_min < 1) {
+    return Status::InvalidArgument("x_min must be >= 1");
+  }
+  // Exact maximum-likelihood fit of the discretised Pareto: an integer
+  // observation k >= x_min represents the continuous range [k, k+1) (this
+  // is precisely how PowerLawSampler discretises its draws), so
+  //   P(k) = (k^(1-a) - (k+1)^(1-a)) / x_min^(1-a).
+  // The log-likelihood is unimodal in a; we maximise it with a golden-
+  // section search. The classic Clauset (x_min - 0.5) approximation is
+  // badly biased in the x_min = 1 regime of session lengths and click
+  // counts, which is why the exact form is used here.
+  std::map<int64_t, int64_t> histogram;
+  int64_t n = 0;
+  int64_t max_value = x_min;
+  for (const int64_t v : values) {
+    if (v < x_min) continue;
+    ++histogram[v];
+    ++n;
+    max_value = std::max(max_value, v);
+  }
+  if (n < 2 || (histogram.size() < 2)) {
+    return Status::InvalidArgument(
+        "need at least two distinct observations >= x_min to fit a power "
+        "law");
+  }
+  const double lower_edge = static_cast<double>(x_min);
+  const auto log_likelihood = [&](double alpha) {
+    const double one_minus_alpha = 1.0 - alpha;
+    const double log_norm = one_minus_alpha * std::log(lower_edge);
+    double total = 0.0;
+    for (const auto& [value, count] : histogram) {
+      const double x = static_cast<double>(value);
+      const double p = std::pow(x, one_minus_alpha) -
+                       std::pow(x + 1.0, one_minus_alpha);
+      total += static_cast<double>(count) *
+               (std::log(std::max(p, 1e-300)) - log_norm);
+    }
+    return total;
+  };
+  // Golden-section search over a unimodal likelihood.
+  constexpr double kGolden = 0.6180339887498949;
+  double lo = 1.0001, hi = 20.0;
+  double mid1 = hi - kGolden * (hi - lo);
+  double mid2 = lo + kGolden * (hi - lo);
+  double f1 = log_likelihood(mid1);
+  double f2 = log_likelihood(mid2);
+  for (int iteration = 0; iteration < 80; ++iteration) {
+    if (f1 < f2) {
+      lo = mid1;
+      mid1 = mid2;
+      f1 = f2;
+      mid2 = lo + kGolden * (hi - lo);
+      f2 = log_likelihood(mid2);
+    } else {
+      hi = mid2;
+      mid2 = mid1;
+      f2 = f1;
+      mid1 = hi - kGolden * (hi - lo);
+      f1 = log_likelihood(mid1);
+    }
+    if (hi - lo < 1e-7) break;
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace etude::workload

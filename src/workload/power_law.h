@@ -1,0 +1,57 @@
+#ifndef ETUDE_WORKLOAD_POWER_LAW_H_
+#define ETUDE_WORKLOAD_POWER_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace etude::workload {
+
+/// Samples from a discrete, bounded power-law distribution
+/// P(x) ∝ x^(-alpha) for x in [min_value, max_value].
+///
+/// This is the distribution family behind both workload statistics in the
+/// paper (Sec. II): session lengths (exponent α_l) and item click counts
+/// (exponent α_c), estimated once from a real click log.
+///
+/// Sampling uses the inverse transform of the continuous bounded Pareto and
+/// rounds down, which is O(1) per sample and accurate for the exponents of
+/// interest (α in [1.2, 4]).
+class PowerLawSampler {
+ public:
+  /// `alpha` must be > 1 and `1 <= min_value <= max_value`.
+  static Result<PowerLawSampler> Create(double alpha, int64_t min_value,
+                                        int64_t max_value);
+
+  /// Draws one value in [min_value, max_value].
+  int64_t Sample(Rng* rng) const;
+
+  double alpha() const { return alpha_; }
+  int64_t min_value() const { return min_value_; }
+  int64_t max_value() const { return max_value_; }
+
+ private:
+  PowerLawSampler(double alpha, int64_t min_value, int64_t max_value);
+
+  double alpha_;
+  int64_t min_value_;
+  int64_t max_value_;
+  // Precomputed constants of the inverse CDF:
+  // x = (lo^(1-a) - u * (lo^(1-a) - hi^(1-a)))^(1/(1-a)).
+  double one_minus_alpha_;
+  double lo_pow_;
+  double pow_span_;
+};
+
+/// Maximum-likelihood estimate of the exponent of a (discrete) power law
+/// from observed values >= x_min, using the Clauset et al. approximation
+/// alpha = 1 + n / sum(ln(x_i / (x_min - 0.5))).
+/// Returns InvalidArgument when fewer than two usable observations exist.
+Result<double> FitPowerLawExponent(const std::vector<int64_t>& values,
+                                   int64_t x_min = 1);
+
+}  // namespace etude::workload
+
+#endif  // ETUDE_WORKLOAD_POWER_LAW_H_

@@ -1,0 +1,89 @@
+#include "workload/session_generator.h"
+
+#include <utility>
+
+namespace etude::workload {
+
+SessionGenerator::SessionGenerator(int64_t catalog_size,
+                                   const WorkloadStats& stats,
+                                   PowerLawSampler length_sampler,
+                                   EmpiricalDistribution item_distribution,
+                                   std::vector<int64_t> item_click_counts,
+                                   uint64_t seed)
+    : catalog_size_(catalog_size),
+      stats_(stats),
+      length_sampler_(std::move(length_sampler)),
+      item_distribution_(std::move(item_distribution)),
+      item_click_counts_(std::move(item_click_counts)),
+      rng_(seed) {}
+
+Result<SessionGenerator> SessionGenerator::Create(int64_t catalog_size,
+                                                  const WorkloadStats& stats,
+                                                  uint64_t seed) {
+  if (catalog_size < 1) {
+    return Status::InvalidArgument("catalog size must be >= 1");
+  }
+  if (stats.max_session_length < 1) {
+    return Status::InvalidArgument("max session length must be >= 1");
+  }
+  ETUDE_ASSIGN_OR_RETURN(
+      PowerLawSampler length_sampler,
+      PowerLawSampler::Create(stats.session_length_alpha, 1,
+                              stats.max_session_length));
+  // Algorithm 1, line 7: sample C click counts from the click-count power
+  // law. A dedicated RNG stream keeps the counts independent of how many
+  // sessions are later drawn.
+  ETUDE_ASSIGN_OR_RETURN(
+      PowerLawSampler count_sampler,
+      PowerLawSampler::Create(stats.click_count_alpha, 1,
+                              1000000));  // counts capped at 1e6 clicks/item
+  Rng count_rng(seed ^ 0xC0FFEE123456789AULL);
+  std::vector<int64_t> counts(static_cast<size_t>(catalog_size));
+  for (auto& c : counts) c = count_sampler.Sample(&count_rng);
+  ETUDE_ASSIGN_OR_RETURN(EmpiricalDistribution item_distribution,
+                         EmpiricalDistribution::FromCounts(counts));
+  return SessionGenerator(catalog_size, stats, std::move(length_sampler),
+                          std::move(item_distribution), std::move(counts),
+                          seed);
+}
+
+Session SessionGenerator::NextSession() {
+  Session session;
+  session.session_id = next_session_id_++;
+  const int64_t length = length_sampler_.Sample(&rng_);
+  session.items.reserve(static_cast<size_t>(length));
+  for (int64_t i = 0; i < length; ++i) {
+    session.items.push_back(item_distribution_.Sample(&rng_));
+  }
+  return session;
+}
+
+std::vector<Session> SessionGenerator::GenerateSessions(int64_t num_clicks) {
+  std::vector<Session> sessions;
+  int64_t generated = 0;
+  while (generated < num_clicks) {
+    sessions.push_back(NextSession());
+    generated += static_cast<int64_t>(sessions.back().items.size());
+  }
+  return sessions;
+}
+
+std::vector<Click> SessionGenerator::GenerateClicks(int64_t num_clicks) {
+  std::vector<Click> clicks;
+  clicks.reserve(static_cast<size_t>(num_clicks));
+  int64_t generated = 0;
+  while (generated < num_clicks) {
+    const Session session = NextSession();
+    for (const int64_t item : session.items) {
+      Click click;
+      click.session_id = session.session_id;
+      click.item_id = item;
+      click.timestep = ++next_timestep_;
+      clicks.push_back(click);
+      ++generated;
+    }
+  }
+  return clicks;
+}
+
+}  // namespace etude::workload

@@ -1,0 +1,91 @@
+#ifndef ETUDE_WORKLOAD_SESSION_GENERATOR_H_
+#define ETUDE_WORKLOAD_SESSION_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "workload/empirical_distribution.h"
+#include "workload/power_law.h"
+
+namespace etude::workload {
+
+/// One synthetic click: item `item_id` clicked as the `timestep`-th click
+/// overall, inside session `session_id` (Algorithm 1's tuple (s, i, t)).
+struct Click {
+  int64_t session_id = 0;
+  int64_t item_id = 0;
+  int64_t timestep = 0;
+};
+
+/// One synthetic session: the ordered item ids a visitor interacted with.
+struct Session {
+  int64_t session_id = 0;
+  std::vector<int64_t> items;
+};
+
+/// The two marginal statistics a user supplies, estimated once from a real
+/// click log (Sec. II): the power-law exponents of the session-length and
+/// click-count distributions. Defaults are the bol.com marginals used in
+/// the paper's experiments.
+struct WorkloadStats {
+  double session_length_alpha = 2.2;  // α_l
+  double click_count_alpha = 1.8;     // α_c
+  int64_t max_session_length = 50;    // truncation of the length power law
+};
+
+/// Synthetic workload generator implementing Algorithm 1 of the paper:
+/// given a catalog size C and the exponents (α_l, α_c), it first samples C
+/// click counts from a power law, then emits sessions whose lengths follow
+/// the length power law and whose items are drawn from the empirical
+/// distribution of the click counts.
+///
+/// The generator is deterministic for a fixed seed and fast enough for
+/// online load generation (>1M clicks/second on one core at C = 10M;
+/// see bench_workload_gen).
+class SessionGenerator {
+ public:
+  static Result<SessionGenerator> Create(int64_t catalog_size,
+                                         const WorkloadStats& stats,
+                                         uint64_t seed);
+
+  /// Generates the next session (streaming interface used by the load
+  /// generator).
+  Session NextSession();
+
+  /// Generates whole sessions until at least `num_clicks` clicks have been
+  /// produced (Algorithm 1's main loop, lines 8-15).
+  std::vector<Session> GenerateSessions(int64_t num_clicks);
+
+  /// Flattens GenerateSessions into the paper's (s, i, t) click tuples.
+  std::vector<Click> GenerateClicks(int64_t num_clicks);
+
+  int64_t catalog_size() const { return catalog_size_; }
+  const WorkloadStats& stats() const { return stats_; }
+
+  /// The per-item click counts sampled upfront (Algorithm 1, line 7);
+  /// exposed for validation/statistics.
+  const std::vector<int64_t>& item_click_counts() const {
+    return item_click_counts_;
+  }
+
+ private:
+  SessionGenerator(int64_t catalog_size, const WorkloadStats& stats,
+                   PowerLawSampler length_sampler,
+                   EmpiricalDistribution item_distribution,
+                   std::vector<int64_t> item_click_counts, uint64_t seed);
+
+  int64_t catalog_size_;
+  WorkloadStats stats_;
+  PowerLawSampler length_sampler_;
+  EmpiricalDistribution item_distribution_;
+  std::vector<int64_t> item_click_counts_;
+  Rng rng_;
+  int64_t next_session_id_ = 0;
+  int64_t next_timestep_ = 0;
+};
+
+}  // namespace etude::workload
+
+#endif  // ETUDE_WORKLOAD_SESSION_GENERATOR_H_

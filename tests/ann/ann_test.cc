@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ann/ivf_index.h"
+#include "ann/kmeans.h"
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/quantized.h"
+
+namespace etude::ann {
+namespace {
+
+using tensor::Tensor;
+
+Tensor ClusteredPoints(int64_t per_cluster, Rng* rng) {
+  // Three well-separated clusters in 2D.
+  const float centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  Tensor points({3 * per_cluster, 2});
+  for (int64_t i = 0; i < 3 * per_cluster; ++i) {
+    const int cluster = static_cast<int>(i / per_cluster);
+    points.at(i, 0) = centers[cluster][0] +
+                      0.5f * static_cast<float>(rng->NextGaussian());
+    points.at(i, 1) = centers[cluster][1] +
+                      0.5f * static_cast<float>(rng->NextGaussian());
+  }
+  return points;
+}
+
+TEST(KMeansTest, RejectsInvalidInput) {
+  Rng rng(1);
+  EXPECT_FALSE(KMeans(Tensor(), 2).ok());
+  Tensor points = tensor::RandomNormal({5, 2}, 1.0f, &rng);
+  EXPECT_FALSE(KMeans(points, 0).ok());
+  EXPECT_FALSE(KMeans(points, 6).ok());
+}
+
+TEST(KMeansTest, SingleClusterIsCentroidOfAll) {
+  Tensor points({4, 1}, {0, 2, 4, 6});
+  auto result = KMeans(points, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0], 3.0f, 1e-4);
+  for (const int64_t a : result->assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(2);
+  const Tensor points = ClusteredPoints(200, &rng);
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  // Every ground-truth cluster maps to exactly one k-means cluster.
+  std::set<int64_t> labels;
+  for (int cluster = 0; cluster < 3; ++cluster) {
+    const int64_t label =
+        result->assignments[static_cast<size_t>(cluster * 200)];
+    labels.insert(label);
+    for (int64_t i = 0; i < 200; ++i) {
+      EXPECT_EQ(result->assignments[static_cast<size_t>(
+                    cluster * 200 + i)],
+                label)
+          << "point " << i << " of cluster " << cluster;
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_LT(result->inertia / 600.0, 1.0);  // tight clusters
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseInertia) {
+  Rng rng(3);
+  Tensor points = tensor::RandomNormal({500, 8}, 1.0f, &rng);
+  double previous = 1e300;
+  for (const int64_t k : {1, 4, 16, 64}) {
+    auto result = KMeans(points, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, previous * 1.02) << "k=" << k;
+    previous = result->inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(4);
+  Tensor points = tensor::RandomNormal({300, 4}, 1.0f, &rng);
+  KMeansOptions options;
+  options.seed = 9;
+  auto a = KMeans(points, 8, options);
+  auto b = KMeans(points, 8, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+class IvfIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    items_ = tensor::RandomNormal({4000, 16}, 0.02f, &rng);
+    query_ = tensor::RandomNormal({16}, 1.0f, &rng);
+    IvfIndex::BuildOptions options;
+    options.nlist = 64;
+    auto index = IvfIndex::Build(items_, options);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<IvfIndex>(std::move(index).value());
+  }
+
+  Tensor items_, query_;
+  std::unique_ptr<IvfIndex> index_;
+};
+
+TEST_F(IvfIndexTest, PartitionCoversAllItemsExactlyOnce) {
+  EXPECT_EQ(index_->num_items(), 4000);
+  EXPECT_EQ(index_->nlist(), 64);
+  int64_t total = 0;
+  for (int64_t l = 0; l < index_->nlist(); ++l) {
+    total += index_->ListSize(l);
+  }
+  EXPECT_EQ(total, 4000);
+}
+
+TEST_F(IvfIndexTest, FullProbeEqualsExactSearch) {
+  const auto exact = tensor::Mips(items_, query_, 21);
+  const auto approx = index_->Search(query_, 21, /*nprobe=*/64);
+  EXPECT_EQ(approx.indices, exact.indices);
+}
+
+TEST_F(IvfIndexTest, RecallGrowsWithProbes) {
+  const auto exact = tensor::Mips(items_, query_, 21);
+  double previous = -1;
+  for (const int64_t nprobe : {1, 4, 16, 64}) {
+    const auto approx = index_->Search(query_, 21, nprobe);
+    const double recall = tensor::RecallAtK(exact, approx);
+    EXPECT_GE(recall, previous - 0.05) << "nprobe=" << nprobe;
+    previous = recall;
+  }
+  EXPECT_DOUBLE_EQ(previous, 1.0);  // full probe is exact
+}
+
+TEST_F(IvfIndexTest, ReasonableRecallAtModestProbes) {
+  // Averaged over queries, IVF with 25% of the lists probed should find
+  // the large majority of the true top-k.
+  Rng rng(6);
+  double total_recall = 0;
+  constexpr int kQueries = 20;
+  for (int q = 0; q < kQueries; ++q) {
+    const Tensor query = tensor::RandomNormal({16}, 1.0f, &rng);
+    const auto exact = tensor::Mips(items_, query, 21);
+    const auto approx = index_->Search(query, 21, 16);
+    total_recall += tensor::RecallAtK(exact, approx);
+  }
+  EXPECT_GT(total_recall / kQueries, 0.7);
+}
+
+TEST_F(IvfIndexTest, ScanFractionMatchesProbeRatio) {
+  EXPECT_DOUBLE_EQ(index_->ExpectedScanFraction(16), 0.25);
+  EXPECT_DOUBLE_EQ(index_->ExpectedScanFraction(64), 1.0);
+  EXPECT_DOUBLE_EQ(index_->ExpectedScanFraction(1000), 1.0);  // clamped
+}
+
+TEST(IvfIndexTest2, HeuristicNlistAndErrors) {
+  Rng rng(7);
+  Tensor items = tensor::RandomNormal({1000, 4}, 1.0f, &rng);
+  auto index = IvfIndex::Build(items);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->nlist(), 1);
+  EXPECT_LE(index->nlist(), 1000);
+
+  EXPECT_FALSE(IvfIndex::Build(Tensor()).ok());
+  IvfIndex::BuildOptions options;
+  options.nlist = 2000;
+  EXPECT_FALSE(IvfIndex::Build(items, options).ok());
+}
+
+TEST(QuantizedMatrixTest, RoundTripErrorIsBounded) {
+  Rng rng(8);
+  const Tensor matrix = tensor::RandomNormal({50, 24}, 0.02f, &rng);
+  const auto quantized = tensor::QuantizedMatrix::FromTensor(matrix);
+  for (int64_t r = 0; r < 50; ++r) {
+    const Tensor row = quantized.DequantizeRow(r);
+    float max_abs = 0;
+    for (int64_t j = 0; j < 24; ++j) {
+      max_abs = std::max(max_abs, std::abs(matrix.at(r, j)));
+    }
+    for (int64_t j = 0; j < 24; ++j) {
+      // Error bounded by half a quantisation step.
+      EXPECT_NEAR(row[j], matrix.at(r, j), max_abs / 127.0f);
+    }
+  }
+}
+
+TEST(QuantizedMatrixTest, ScanBytesAreAQuarterOfFp32) {
+  Rng rng(9);
+  const Tensor matrix = tensor::RandomNormal({1000, 32}, 0.02f, &rng);
+  const auto quantized = tensor::QuantizedMatrix::FromTensor(matrix);
+  const int64_t fp32_bytes = 1000 * 32 * 4;
+  EXPECT_LT(quantized.ScanBytes(), fp32_bytes / 3);
+}
+
+TEST(QuantizedMatrixTest, MipsRecallNearExact) {
+  Rng rng(10);
+  const Tensor matrix = tensor::RandomNormal({5000, 32}, 0.02f, &rng);
+  const auto quantized = tensor::QuantizedMatrix::FromTensor(matrix);
+  double total_recall = 0;
+  constexpr int kQueries = 10;
+  for (int q = 0; q < kQueries; ++q) {
+    const Tensor query = tensor::RandomNormal({32}, 1.0f, &rng);
+    const auto exact = tensor::Mips(matrix, query, 21);
+    const auto approx = quantized.Mips(query, 21);
+    total_recall += tensor::RecallAtK(exact, approx);
+  }
+  EXPECT_GT(total_recall / kQueries, 0.9);  // int8 is nearly lossless here
+}
+
+TEST(QuantizedMatrixTest, ZeroRowHandled) {
+  Tensor matrix({2, 3});
+  matrix.at(1, 0) = 1.0f;
+  const auto quantized = tensor::QuantizedMatrix::FromTensor(matrix);
+  const Tensor row = quantized.DequantizeRow(0);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(row[j], 0.0f);
+}
+
+TEST(RecallAtKTest, Basics) {
+  tensor::TopKResult exact;
+  exact.indices = {1, 2, 3, 4};
+  tensor::TopKResult approx;
+  approx.indices = {4, 3, 9, 8};
+  EXPECT_DOUBLE_EQ(tensor::RecallAtK(exact, approx), 0.5);
+  EXPECT_DOUBLE_EQ(tensor::RecallAtK(exact, exact), 1.0);
+  tensor::TopKResult empty;
+  EXPECT_DOUBLE_EQ(tensor::RecallAtK(empty, approx), 1.0);
+}
+
+}  // namespace
+}  // namespace etude::ann

@@ -1,0 +1,127 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model_factory.h"
+
+namespace etude::cluster {
+namespace {
+
+std::unique_ptr<models::SessionModel> MakeModel(int64_t catalog = 10000) {
+  models::ModelConfig config;
+  config.catalog_size = catalog;
+  config.materialize_embeddings = false;
+  auto model = models::CreateModel(models::ModelKind::kStamp, config);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+serving::InferenceRequest MakeRequest(int64_t id) {
+  serving::InferenceRequest request;
+  request.request_id = id;
+  request.session_items = {1, 2};
+  return request;
+}
+
+TEST(ReadinessTest, DelayGrowsWithModelSize) {
+  DeploymentConfig config;
+  auto small = MakeModel(10000);
+  auto large = MakeModel(1000000);
+  const int64_t small_delay = ComputeReadinessDelayUs(config, *small);
+  const int64_t large_delay = ComputeReadinessDelayUs(config, *large);
+  EXPECT_GT(large_delay, small_delay);
+  EXPECT_GE(small_delay, config.pod_startup_us);
+}
+
+TEST(DeploymentTest, PodsBecomeReadyAtReadinessTime) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  config.replicas = 2;
+  Deployment deployment(&sim, model.get(), config);
+  EXPECT_FALSE(deployment.AllReady());
+  sim.RunUntil(deployment.ReadyAtUs() - 1000);
+  EXPECT_FALSE(deployment.AllReady());
+  sim.RunUntil(deployment.ReadyAtUs());
+  EXPECT_TRUE(deployment.AllReady());
+}
+
+TEST(DeploymentTest, RequestsBeforeReadinessGet503) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  Deployment deployment(&sim, model.get(), config);
+  serving::InferenceResponse response;
+  deployment.service()->HandleRequest(
+      MakeRequest(1),
+      [&](const serving::InferenceResponse& r) { response = r; });
+  EXPECT_EQ(response.http_status, 503);
+  EXPECT_FALSE(response.ok);
+}
+
+TEST(DeploymentTest, ServesAfterReadiness) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  Deployment deployment(&sim, model.get(), config);
+  sim.RunUntil(deployment.ReadyAtUs());
+  serving::InferenceResponse response;
+  deployment.service()->HandleRequest(
+      MakeRequest(1),
+      [&](const serving::InferenceResponse& r) { response = r; });
+  sim.Run();
+  EXPECT_TRUE(response.ok);
+}
+
+TEST(DeploymentTest, MonthlyCostScalesWithReplicas) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  config.device = sim::DeviceSpec::GpuT4();
+  config.replicas = 5;
+  Deployment deployment(&sim, model.get(), config);
+  EXPECT_DOUBLE_EQ(deployment.MonthlyCostUsd(), 5 * 268.09);
+}
+
+TEST(ClusterIpTest, RoundRobinSpreadsLoad) {
+  // With R replicas and R*k simultaneous requests, each pod receives
+  // exactly k (round robin over ready endpoints).
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  config.replicas = 3;
+  Deployment deployment(&sim, model.get(), config);
+  sim.RunUntil(deployment.ReadyAtUs());
+
+  // All CPU workers execute concurrently; with perfect round robin over
+  // 3 pods x 5 workers, 15 requests all finish in ~1 service time.
+  int answered = 0;
+  std::vector<int64_t> completions;
+  for (int i = 0; i < 15; ++i) {
+    deployment.service()->HandleRequest(
+        MakeRequest(i), [&](const serving::InferenceResponse& r) {
+          EXPECT_TRUE(r.ok);
+          ++answered;
+          completions.push_back(sim.now_us());
+        });
+  }
+  sim.Run();
+  EXPECT_EQ(answered, 15);
+  // If one pod had received more than 5, its extra request would finish
+  // a full service time later than the rest.
+  const int64_t spread = completions.back() - completions.front();
+  const int64_t service = completions.front() - deployment.ReadyAtUs();
+  EXPECT_LT(spread, service / 2);
+}
+
+TEST(ClusterIpTest, RequiresAtLeastOnePod) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  config.replicas = 1;
+  Deployment deployment(&sim, model.get(), config);
+  EXPECT_EQ(deployment.config().replicas, 1);
+}
+
+}  // namespace
+}  // namespace etude::cluster

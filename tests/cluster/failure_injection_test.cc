@@ -1,0 +1,193 @@
+// Failure injection: pod crashes, recovery, and the routing behaviour
+// around them (round robin vs session affinity).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "models/model_factory.h"
+
+namespace etude::cluster {
+namespace {
+
+std::unique_ptr<models::SessionModel> MakeModel() {
+  models::ModelConfig config;
+  config.catalog_size = 10000;
+  config.materialize_embeddings = false;
+  auto model = models::CreateModel(models::ModelKind::kStamp, config);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+serving::InferenceRequest MakeRequest(int64_t id, int64_t session) {
+  serving::InferenceRequest request;
+  request.request_id = id;
+  request.session_id = session;
+  request.session_items = {1, 2};
+  return request;
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void Deploy(int replicas, bool affinity = false) {
+    model_ = MakeModel();
+    DeploymentConfig config;
+    config.replicas = replicas;
+    config.session_affinity = affinity;
+    deployment_ =
+        std::make_unique<Deployment>(&sim_, model_.get(), config);
+    sim_.RunUntil(deployment_->ReadyAtUs());
+    ASSERT_TRUE(deployment_->AllReady());
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<models::SessionModel> model_;
+  std::unique_ptr<Deployment> deployment_;
+};
+
+TEST_F(FailureInjectionTest, SurvivingPodsAbsorbTraffic) {
+  Deploy(3);
+  deployment_->KillPod(0);
+  EXPECT_FALSE(deployment_->AllReady());
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    deployment_->service()->HandleRequest(
+        MakeRequest(i, i), [&](const serving::InferenceResponse& r) {
+          if (r.ok) ++ok;
+        });
+  }
+  sim_.Run();
+  EXPECT_EQ(ok, 30);  // two survivors route everything
+}
+
+TEST_F(FailureInjectionTest, TotalOutageYields503UntilRecovery) {
+  Deploy(2);
+  deployment_->KillPod(0);
+  deployment_->KillPod(1);
+  int rejected = 0;
+  deployment_->service()->HandleRequest(
+      MakeRequest(1, 1), [&](const serving::InferenceResponse& r) {
+        if (r.http_status == 503) ++rejected;
+      });
+  EXPECT_EQ(rejected, 1);
+
+  // Replacement containers come back after the full readiness delay.
+  const int64_t recovery_us =
+      ComputeReadinessDelayUs(deployment_->config(), *model_);
+  sim_.RunUntil(sim_.now_us() + recovery_us + 1000);
+  EXPECT_TRUE(deployment_->AllReady());
+  int ok = 0;
+  deployment_->service()->HandleRequest(
+      MakeRequest(2, 2), [&](const serving::InferenceResponse& r) {
+        if (r.ok) ++ok;
+      });
+  sim_.Run();
+  EXPECT_EQ(ok, 1);
+}
+
+TEST_F(FailureInjectionTest, KilledPodDoesNotRecoverEarly) {
+  Deploy(1);
+  deployment_->KillPod(0);
+  const int64_t recovery_us =
+      ComputeReadinessDelayUs(deployment_->config(), *model_);
+  sim_.RunUntil(sim_.now_us() + recovery_us / 2);
+  EXPECT_FALSE(deployment_->AllReady());
+  sim_.RunUntil(sim_.now_us() + recovery_us);
+  EXPECT_TRUE(deployment_->AllReady());
+}
+
+TEST_F(FailureInjectionTest, RepeatedKillsExtendTheOutage) {
+  Deploy(1);
+  deployment_->KillPod(0);
+  const int64_t recovery_us =
+      ComputeReadinessDelayUs(deployment_->config(), *model_);
+  // Kill again halfway through recovery: the first replacement's
+  // readiness event must not mark the second replacement ready.
+  sim_.RunUntil(sim_.now_us() + recovery_us / 2);
+  deployment_->KillPod(0);
+  sim_.RunUntil(sim_.now_us() + recovery_us / 2 + 1000);
+  EXPECT_FALSE(deployment_->AllReady());  // first event was invalidated
+  sim_.RunUntil(sim_.now_us() + recovery_us);
+  EXPECT_TRUE(deployment_->AllReady());
+}
+
+TEST(SessionAffinityTest, SameSessionSticksToOnePod) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  config.replicas = 3;
+  config.session_affinity = true;
+  Deployment deployment(&sim, model.get(), config);
+  sim.RunUntil(deployment.ReadyAtUs());
+
+  // With sticky routing, requests of one session are served strictly
+  // serially by one pod: issuing 3 concurrent requests for the same
+  // session completes in 3 service times, while 3 different sessions
+  // spread over the pods and complete in ~1.
+  auto run_burst = [&](bool same_session) {
+    std::vector<int64_t> completions;
+    for (int i = 0; i < 3; ++i) {
+      deployment.service()->HandleRequest(
+          MakeRequest(i, same_session ? 7 : i),
+          [&](const serving::InferenceResponse& r) {
+            EXPECT_TRUE(r.ok);
+            completions.push_back(sim.now_us());
+          });
+    }
+    const int64_t start = sim.now_us();
+    sim.Run();
+    return completions.back() - start;
+  };
+  // Pods have multiple CPU workers, so a single pod still parallelises;
+  // force serialisation by checking distribution instead: one pod's
+  // worker pool (5 slots) absorbs 3 same-session requests in one wave,
+  // so instead compare 15 requests.
+  std::vector<int64_t> same, spread;
+  for (int i = 0; i < 15; ++i) {
+    deployment.service()->HandleRequest(
+        MakeRequest(100 + i, 7), [&](const serving::InferenceResponse& r) {
+          EXPECT_TRUE(r.ok);
+          same.push_back(sim.now_us());
+        });
+  }
+  sim.Run();
+  for (int i = 0; i < 15; ++i) {
+    deployment.service()->HandleRequest(
+        MakeRequest(200 + i, i), [&](const serving::InferenceResponse& r) {
+          EXPECT_TRUE(r.ok);
+          spread.push_back(sim.now_us());
+        });
+  }
+  sim.Run();
+  ASSERT_EQ(same.size(), 15u);
+  ASSERT_EQ(spread.size(), 15u);
+  // 15 same-session requests on one pod (5 workers) need ~3 waves;
+  // spread over 3 pods (15 workers) they need ~1.
+  const int64_t same_span = same.back() - same.front();
+  const int64_t spread_span = spread.back() - spread.front();
+  EXPECT_GT(same_span, spread_span);
+  (void)run_burst;
+}
+
+TEST(SessionAffinityTest, FallsBackWhenHomePodDies) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  DeploymentConfig config;
+  config.replicas = 2;
+  config.session_affinity = true;
+  Deployment deployment(&sim, model.get(), config);
+  sim.RunUntil(deployment.ReadyAtUs());
+  // Kill the home pod of session 0 (0 % 2 = pod 0).
+  deployment.KillPod(0);
+  int ok = 0;
+  deployment.service()->HandleRequest(
+      MakeRequest(1, 0), [&](const serving::InferenceResponse& r) {
+        if (r.ok) ++ok;
+      });
+  sim.Run();
+  EXPECT_EQ(ok, 1);  // pod 1 took over
+}
+
+}  // namespace
+}  // namespace etude::cluster

@@ -1,0 +1,80 @@
+#include "cluster/pricing.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::cluster {
+namespace {
+
+TEST(PricingTest, GcpRowsMatchThePaper) {
+  EXPECT_DOUBLE_EQ(
+      FindOffering(CloudProvider::kGcp, sim::DeviceKind::kCpu)
+          ->monthly_cost_usd,
+      108.09);
+  EXPECT_DOUBLE_EQ(
+      FindOffering(CloudProvider::kGcp, sim::DeviceKind::kGpuT4)
+          ->monthly_cost_usd,
+      268.09);
+  EXPECT_DOUBLE_EQ(
+      FindOffering(CloudProvider::kGcp, sim::DeviceKind::kGpuA100)
+          ->monthly_cost_usd,
+      2008.80);
+}
+
+TEST(PricingTest, EveryProviderCoversEveryDeviceClass) {
+  for (const CloudProvider provider :
+       {CloudProvider::kGcp, CloudProvider::kAws, CloudProvider::kAzure}) {
+    const auto offerings = OfferingsFor(provider);
+    EXPECT_EQ(offerings.size(), 3u)
+        << CloudProviderToString(provider);
+    for (const sim::DeviceKind device :
+         {sim::DeviceKind::kCpu, sim::DeviceKind::kGpuT4,
+          sim::DeviceKind::kGpuA100}) {
+      auto offering = FindOffering(provider, device);
+      ASSERT_TRUE(offering.ok());
+      EXPECT_GT(offering->monthly_cost_usd, 0);
+      EXPECT_FALSE(offering->instance_name.empty());
+    }
+  }
+}
+
+TEST(PricingTest, PricesOrderedByDeviceClassWithinProvider) {
+  for (const CloudProvider provider :
+       {CloudProvider::kGcp, CloudProvider::kAws, CloudProvider::kAzure}) {
+    const double cpu =
+        FindOffering(provider, sim::DeviceKind::kCpu)->monthly_cost_usd;
+    const double t4 =
+        FindOffering(provider, sim::DeviceKind::kGpuT4)->monthly_cost_usd;
+    const double a100 =
+        FindOffering(provider, sim::DeviceKind::kGpuA100)
+            ->monthly_cost_usd;
+    EXPECT_LT(cpu, t4);
+    EXPECT_LT(t4, a100);
+  }
+}
+
+TEST(PricingTest, FleetCostIsLinear) {
+  auto one = MonthlyCostUsd(CloudProvider::kAws, sim::DeviceKind::kGpuT4, 1);
+  auto five =
+      MonthlyCostUsd(CloudProvider::kAws, sim::DeviceKind::kGpuT4, 5);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(five.ok());
+  EXPECT_DOUBLE_EQ(*five, 5 * *one);
+  EXPECT_FALSE(
+      MonthlyCostUsd(CloudProvider::kAws, sim::DeviceKind::kGpuT4, 0).ok());
+}
+
+TEST(PricingTest, PaperCostConclusionHoldsAcrossClouds) {
+  // 5x T4 stays cheaper than 2x A100 everywhere.
+  for (const CloudProvider provider :
+       {CloudProvider::kGcp, CloudProvider::kAws, CloudProvider::kAzure}) {
+    const double t4_fleet =
+        *MonthlyCostUsd(provider, sim::DeviceKind::kGpuT4, 5);
+    const double a100_pair =
+        *MonthlyCostUsd(provider, sim::DeviceKind::kGpuA100, 2);
+    EXPECT_LT(t4_fleet, a100_pair)
+        << CloudProviderToString(provider);
+  }
+}
+
+}  // namespace
+}  // namespace etude::cluster

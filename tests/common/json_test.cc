@@ -1,0 +1,124 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace etude {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->as_bool());
+  EXPECT_FALSE(ParseJson("false")->as_bool());
+  EXPECT_DOUBLE_EQ(ParseJson("3.5")->as_number(), 3.5);
+  EXPECT_EQ(ParseJson("-12")->as_int(), -12);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructure) {
+  auto result = ParseJson(R"({
+    "name": "etude",
+    "sizes": [1, 2, 3],
+    "nested": {"ok": true, "pi": 3.14}
+  })");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JsonValue& root = *result;
+  EXPECT_EQ(root.GetStringOr("name", ""), "etude");
+  ASSERT_TRUE(root.Get("sizes").is_array());
+  EXPECT_EQ(root.Get("sizes").items().size(), 3u);
+  EXPECT_EQ(root.Get("sizes").items()[2].as_int(), 3);
+  EXPECT_TRUE(root.Get("nested").GetBoolOr("ok", false));
+  EXPECT_DOUBLE_EQ(root.Get("nested").GetNumberOr("pi", 0), 3.14);
+}
+
+TEST(JsonParseTest, HandlesEscapes) {
+  auto result = ParseJson(R"("line\nbreak \"quoted\" tab\t back\\slash")");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_string(), "line\nbreak \"quoted\" tab\t back\\slash");
+}
+
+TEST(JsonParseTest, HandlesUnicodeEscapes) {
+  auto result = ParseJson(R"("Aé")");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_string(), "A\xC3\xA9");  // "Aé" in UTF-8
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("{}")->members().empty());
+  EXPECT_TRUE(ParseJson("[]")->items().empty());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto result = ParseJson("  { \"a\" :\n[ 1 ,\t2 ] }  ");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Get("a").items().size(), 2u);
+}
+
+struct BadInput {
+  const char* name;
+  const char* text;
+};
+
+class JsonErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(JsonErrorTest, RejectsMalformedInput) {
+  auto result = ParseJson(GetParam().text);
+  EXPECT_FALSE(result.ok()) << GetParam().name;
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonErrorTest,
+    ::testing::Values(
+        BadInput{"empty", ""}, BadInput{"bare_word", "hello"},
+        BadInput{"trailing", "1 2"}, BadInput{"unclosed_object", "{\"a\":1"},
+        BadInput{"unclosed_array", "[1, 2"},
+        BadInput{"unclosed_string", "\"abc"},
+        BadInput{"missing_colon", "{\"a\" 1}"},
+        BadInput{"missing_comma", "[1 2]"},
+        BadInput{"bad_escape", "\"\\q\""},
+        BadInput{"bad_unicode", "\"\\u12g4\""},
+        BadInput{"bad_literal", "tru"},
+        BadInput{"nonstring_key", "{1: 2}"},
+        BadInput{"bad_number", "[1.2.3]"},
+        BadInput{"infinity", "1e999"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(JsonDumpTest, RoundTripsThroughText) {
+  const char* inputs[] = {
+      R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5}})",
+      R"([1,2,3])",
+      R"("escaped \"string\"")",
+  };
+  for (const char* input : inputs) {
+    auto first = ParseJson(input);
+    ASSERT_TRUE(first.ok());
+    auto second = ParseJson(first->Dump());
+    ASSERT_TRUE(second.ok()) << first->Dump();
+    EXPECT_EQ(first->Dump(), second->Dump());
+  }
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutFraction) {
+  JsonValue v(static_cast<int64_t>(42));
+  EXPECT_EQ(v.Dump(), "42");
+}
+
+TEST(JsonValueTest, GetOnMissingKeyReturnsNull) {
+  JsonValue object = JsonValue::MakeObject();
+  EXPECT_TRUE(object.Get("nope").is_null());
+  EXPECT_FALSE(object.Contains("nope"));
+  EXPECT_EQ(object.GetIntOr("nope", 9), 9);
+  EXPECT_EQ(object.GetStringOr("nope", "d"), "d");
+  EXPECT_TRUE(object.GetBoolOr("nope", true));
+}
+
+TEST(JsonValueTest, TypedAccessorsIgnoreWrongTypes) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("s", JsonValue(std::string("text")));
+  EXPECT_EQ(object.GetIntOr("s", 3), 3);       // string is not a number
+  EXPECT_EQ(object.GetStringOr("s", ""), "text");
+}
+
+}  // namespace
+}  // namespace etude

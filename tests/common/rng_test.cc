@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace etude {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(55);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Seed(55);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double value = rng.NextDoublePositive();
+    EXPECT_GT(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(13);
+  for (const uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(17);
+  constexpr uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) {
+    counts[rng.NextBounded(kBound)]++;
+  }
+  for (const int count : counts) {
+    // Each bucket expects 10,000; allow 5 sigma (~sqrt(9000) ~ 95).
+    EXPECT_NEAR(count, kN / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  constexpr int kN = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  constexpr int kN = 200000;
+  for (const double lambda : {0.5, 2.0}) {
+    double sum = 0;
+    for (int i = 0; i < kN; ++i) sum += rng.NextExponential(lambda);
+    EXPECT_NEAR(sum / kN, 1.0 / lambda, 0.05 / lambda);
+  }
+}
+
+TEST(RngTest, ExponentialIsNonNegative) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextExponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, U64HasHighEntropy) {
+  Rng rng(31);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.NextU64());
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions expected
+}
+
+}  // namespace
+}  // namespace etude

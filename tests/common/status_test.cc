@@ -1,0 +1,121 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace etude {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::OutOfRange("e"), StatusCode::kOutOfRange},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented},
+      {Status::Internal("g"), StatusCode::kInternal},
+      {Status::Unavailable("h"), StatusCode::kUnavailable},
+      {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded},
+      {Status::ResourceExhausted("j"), StatusCode::kResourceExhausted},
+      {Status::IoError("k"), StatusCode::kIoError},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringContainsCodeNameAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_NE(status.ToString().find("NotFound"), std::string::npos);
+  EXPECT_NE(status.ToString().find("missing thing"), std::string::npos);
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_NE(StatusCodeToString(StatusCode::kInternal),
+            StatusCodeToString(StatusCode::kIoError));
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> result((Status()));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("hello"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+Status FailingFunction() { return Status::Internal("boom"); }
+
+Status UsesReturnNotOk() {
+  ETUDE_RETURN_NOT_OK(FailingFunction());
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kInternal);
+}
+
+Result<int> ProducesValue() { return 10; }
+Result<int> ProducesError() { return Status::OutOfRange("too big"); }
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  int value = 0;
+  if (fail) {
+    ETUDE_ASSIGN_OR_RETURN(value, ProducesError());
+  } else {
+    ETUDE_ASSIGN_OR_RETURN(value, ProducesValue());
+  }
+  return value + 1;
+}
+
+TEST(MacroTest, AssignOrReturnAssigns) {
+  Result<int> result = UsesAssignOrReturn(false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 11);
+}
+
+TEST(MacroTest, AssignOrReturnPropagatesError) {
+  Result<int> result = UsesAssignOrReturn(true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace etude

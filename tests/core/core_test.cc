@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "core/benchmark.h"
+#include "core/cost_planner.h"
+#include "core/scenario.h"
+#include "core/spec.h"
+
+namespace etude::core {
+namespace {
+
+TEST(ScenarioTest, PaperScenariosMatchTableOne) {
+  const auto scenarios = PaperScenarios();
+  ASSERT_EQ(scenarios.size(), 5u);
+  EXPECT_EQ(scenarios[0].catalog_size, 10000);
+  EXPECT_EQ(scenarios[0].target_rps, 100);
+  EXPECT_EQ(scenarios[1].catalog_size, 100000);
+  EXPECT_EQ(scenarios[1].target_rps, 250);
+  EXPECT_EQ(scenarios[2].catalog_size, 1000000);
+  EXPECT_EQ(scenarios[2].target_rps, 500);
+  EXPECT_EQ(scenarios[3].catalog_size, 10000000);
+  EXPECT_EQ(scenarios[3].target_rps, 1000);
+  EXPECT_EQ(scenarios[4].catalog_size, 20000000);
+  EXPECT_EQ(scenarios[4].target_rps, 1000);
+  for (const Scenario& scenario : scenarios) {
+    EXPECT_DOUBLE_EQ(scenario.p90_limit_ms, 50.0);  // paper's SLO
+  }
+}
+
+TEST(ScenarioTest, LookupByName) {
+  auto fashion = PaperScenarioByName("fashion");
+  ASSERT_TRUE(fashion.ok());
+  EXPECT_EQ(fashion->catalog_size, 1000000);
+  EXPECT_FALSE(PaperScenarioByName("books").ok());
+}
+
+TEST(SpecTest, ParsesFullSpec) {
+  auto spec = ParseBenchmarkSpec(R"({
+    "scenario": {
+      "name": "shop",
+      "catalog_size": 50000,
+      "target_rps": 300,
+      "p90_limit_ms": 40,
+      "session_length_alpha": 2.0,
+      "click_count_alpha": 1.7
+    },
+    "model": "NARM",
+    "mode": "eager",
+    "device": "gpu-t4",
+    "replicas": 2,
+    "duration_s": 120,
+    "seed": 9
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->scenario.name, "shop");
+  EXPECT_EQ(spec->scenario.catalog_size, 50000);
+  EXPECT_DOUBLE_EQ(spec->scenario.target_rps, 300);
+  EXPECT_DOUBLE_EQ(spec->scenario.p90_limit_ms, 40);
+  EXPECT_DOUBLE_EQ(spec->scenario.workload.session_length_alpha, 2.0);
+  EXPECT_EQ(spec->model, models::ModelKind::kNarm);
+  EXPECT_EQ(spec->mode, models::ExecutionMode::kEager);
+  EXPECT_EQ(spec->device.kind, sim::DeviceKind::kGpuT4);
+  EXPECT_EQ(spec->replicas, 2);
+  EXPECT_EQ(spec->duration_s, 120);
+  EXPECT_EQ(spec->seed, 9u);
+}
+
+TEST(SpecTest, ResolvesNamedPaperScenario) {
+  auto spec = ParseBenchmarkSpec(R"({"scenario": "Platform"})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->scenario.catalog_size, 20000000);
+}
+
+TEST(SpecTest, DefaultsApply) {
+  auto spec = ParseBenchmarkSpec(R"({"scenario": {"catalog_size": 100}})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->model, models::ModelKind::kGru4Rec);
+  EXPECT_EQ(spec->mode, models::ExecutionMode::kJit);
+  EXPECT_EQ(spec->device.kind, sim::DeviceKind::kCpu);
+  EXPECT_EQ(spec->replicas, 1);
+}
+
+TEST(SpecTest, RejectsInvalidSpecs) {
+  EXPECT_FALSE(ParseBenchmarkSpec("not json").ok());
+  EXPECT_FALSE(ParseBenchmarkSpec("[]").ok());
+  EXPECT_FALSE(ParseBenchmarkSpec("{}").ok());  // missing scenario
+  EXPECT_FALSE(ParseBenchmarkSpec(
+                   R"({"scenario": {"catalog_size": 0}})")
+                   .ok());
+  EXPECT_FALSE(ParseBenchmarkSpec(
+                   R"({"scenario": {"target_rps": -5}})")
+                   .ok());
+  EXPECT_FALSE(
+      ParseBenchmarkSpec(R"({"scenario": "Fashion", "mode": "turbo"})")
+          .ok());
+  EXPECT_FALSE(
+      ParseBenchmarkSpec(R"({"scenario": "Fashion", "model": "DIN"})")
+          .ok());
+  EXPECT_FALSE(
+      ParseBenchmarkSpec(R"({"scenario": "Fashion", "device": "tpu"})")
+          .ok());
+  EXPECT_FALSE(
+      ParseBenchmarkSpec(R"({"scenario": "Fashion", "replicas": 0})")
+          .ok());
+  EXPECT_FALSE(ParseBenchmarkSpec(R"({"scenario": "NoSuch"})").ok());
+}
+
+TEST(SpecTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(LoadBenchmarkSpec("/no/such/spec.json").ok());
+}
+
+BenchmarkSpec SmallBenchmark() {
+  BenchmarkSpec spec;
+  spec.scenario.name = "test";
+  spec.scenario.catalog_size = 50000;
+  spec.scenario.target_rps = 100;
+  spec.duration_s = 20;
+  spec.ramp_s = 10;
+  return spec;
+}
+
+TEST(BenchmarkRunnerTest, RunsEndToEnd) {
+  auto report = RunDeployedBenchmark(SmallBenchmark());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->scenario_name, "test");
+  EXPECT_EQ(report->model_name, "GRU4Rec");
+  EXPECT_EQ(report->replicas, 1);
+  EXPECT_GT(report->ready_after_ms, 0);
+  EXPECT_NEAR(report->load.steady_achieved_rps, 100.0, 5.0);
+  EXPECT_GT(report->load.steady_p90_ms, 0.0);
+  EXPECT_TRUE(report->meets_slo);  // 50k catalog at 100 rps is easy
+  EXPECT_DOUBLE_EQ(report->monthly_cost_usd, 108.09);
+  EXPECT_FALSE(report->Summary().empty());
+}
+
+TEST(BenchmarkRunnerTest, DeterministicForSeed) {
+  auto a = RunDeployedBenchmark(SmallBenchmark());
+  auto b = RunDeployedBenchmark(SmallBenchmark());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->load.steady_p90_ms, b->load.steady_p90_ms);
+  EXPECT_EQ(a->load.total_requests, b->load.total_requests);
+}
+
+TEST(BenchmarkRunnerTest, RejectsInvalidSpec) {
+  BenchmarkSpec spec = SmallBenchmark();
+  spec.replicas = 0;
+  EXPECT_FALSE(RunDeployedBenchmark(spec).ok());
+  spec = SmallBenchmark();
+  spec.duration_s = 1;
+  EXPECT_FALSE(RunDeployedBenchmark(spec).ok());
+}
+
+TEST(BenchmarkRunnerTest, OverloadedDeploymentFailsSlo) {
+  BenchmarkSpec spec = SmallBenchmark();
+  spec.scenario.catalog_size = 1000000;   // >50 ms per CPU prediction
+  spec.scenario.target_rps = 500;
+  auto report = RunDeployedBenchmark(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->meets_slo);
+  // Backpressure caps the achieved throughput below the target.
+  EXPECT_LT(report->load.steady_achieved_rps, 450.0);
+}
+
+TEST(CostPlannerTest, FindsSingleCpuForEasyScenario) {
+  PlannerOptions options;
+  options.duration_s = 16;
+  options.ramp_s = 8;
+  options.repetitions = 1;
+  CostPlanner planner(options);
+  Scenario easy;
+  easy.name = "easy";
+  easy.catalog_size = 20000;
+  easy.target_rps = 100;
+  auto plan = planner.PlanModelOnDevice(easy, models::ModelKind::kStamp,
+                                        sim::DeviceSpec::Cpu());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->feasible());
+  EXPECT_EQ(plan->replicas, 1);
+  EXPECT_DOUBLE_EQ(plan->monthly_cost_usd, 108.09);
+}
+
+TEST(BenchmarkRunnerTest, ModelMustFitInDeviceMemory) {
+  // A 200M-item catalog needs a ~68 GB embedding table (d=120): too big
+  // for a 16 GB T4 and a 40 GB A100 alike.
+  BenchmarkSpec spec = SmallBenchmark();
+  spec.scenario.catalog_size = 200000000;
+  spec.device = sim::DeviceSpec::GpuT4();
+  auto report = RunDeployedBenchmark(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  spec.device = sim::DeviceSpec::GpuA100();
+  EXPECT_FALSE(RunDeployedBenchmark(spec).ok());
+}
+
+TEST(CostPlannerTest, MemoryGateMakesDeviceInfeasible) {
+  PlannerOptions options;
+  options.duration_s = 16;
+  options.ramp_s = 8;
+  options.repetitions = 1;
+  CostPlanner planner(options);
+  Scenario huge;
+  huge.name = "huge";
+  huge.catalog_size = 200000000;
+  huge.target_rps = 10;
+  auto plan = planner.PlanModelOnDevice(huge, models::ModelKind::kStamp,
+                                        sim::DeviceSpec::GpuT4());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->feasible());
+}
+
+TEST(CostPlannerTest, ReportsInfeasibleWhenHopeless) {
+  PlannerOptions options;
+  options.duration_s = 16;
+  options.ramp_s = 8;
+  options.repetitions = 1;
+  options.max_replicas = 2;
+  CostPlanner planner(options);
+  Scenario hard;
+  hard.name = "hard";
+  hard.catalog_size = 10000000;
+  hard.target_rps = 1000;
+  auto plan = planner.PlanModelOnDevice(hard, models::ModelKind::kGru4Rec,
+                                        sim::DeviceSpec::Cpu());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->feasible());
+  EXPECT_EQ(plan->replicas, 0);
+}
+
+TEST(CostPlannerTest, CheapestFeasibleSelectsByCost) {
+  ModelPlan plan;
+  plan.model = models::ModelKind::kStamp;
+  DeploymentPlan cpu;
+  cpu.device = sim::DeviceSpec::Cpu();
+  cpu.replicas = 3;
+  cpu.monthly_cost_usd = 324.27;
+  DeploymentPlan t4;
+  t4.device = sim::DeviceSpec::GpuT4();
+  t4.replicas = 1;
+  t4.monthly_cost_usd = 268.09;
+  DeploymentPlan infeasible;
+  plan.options = {cpu, t4, infeasible};
+  const DeploymentPlan* best = plan.CheapestFeasible();
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->device.kind, sim::DeviceKind::kGpuT4);
+
+  ModelPlan empty;
+  empty.options = {infeasible};
+  EXPECT_EQ(empty.CheapestFeasible(), nullptr);
+}
+
+}  // namespace
+}  // namespace etude::core

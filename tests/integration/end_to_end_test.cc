@@ -1,0 +1,157 @@
+// Cross-module integration tests: properties that only hold when the
+// whole pipeline (workload -> loadgen -> cluster -> serving -> device
+// model -> metrics) cooperates.
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.h"
+#include "core/scenario.h"
+#include "models/model_factory.h"
+
+namespace etude::core {
+namespace {
+
+BenchmarkSpec BaseSpec() {
+  BenchmarkSpec spec;
+  spec.scenario.name = "integration";
+  spec.scenario.catalog_size = 1000000;  // Fashion-sized
+  spec.scenario.target_rps = 400;
+  spec.duration_s = 30;
+  spec.ramp_s = 15;
+  spec.device = sim::DeviceSpec::Cpu();
+  spec.model = models::ModelKind::kStamp;  // CPU-efficient model
+  return spec;
+}
+
+TEST(EndToEndTest, CapacityScalesWithReplicas) {
+  // Doubling the fleet should (roughly) double the sustainable
+  // throughput: with 2 CPU instances STAMP saturates well below a
+  // 600 req/s target (capacity ~2 x 190 req/s), with 4 it serves it.
+  BenchmarkSpec two = BaseSpec();
+  two.scenario.target_rps = 600;
+  two.replicas = 2;
+  BenchmarkSpec four = two;
+  four.replicas = 4;
+  auto report_two = RunDeployedBenchmark(two);
+  auto report_four = RunDeployedBenchmark(four);
+  ASSERT_TRUE(report_two.ok());
+  ASSERT_TRUE(report_four.ok());
+  EXPECT_LT(report_two->load.steady_achieved_rps, 540.0);
+  EXPECT_GT(report_four->load.steady_achieved_rps, 580.0);
+  const double ratio = report_four->load.steady_achieved_rps /
+                       report_two->load.steady_achieved_rps;
+  EXPECT_GT(ratio, 1.2);
+  // And cost scales exactly linearly.
+  EXPECT_DOUBLE_EQ(report_four->monthly_cost_usd,
+                   2 * report_two->monthly_cost_usd);
+}
+
+TEST(EndToEndTest, GpuBeatsCpuFleetAtScale) {
+  // The Fig. 4 story in one assertion: at 1M items, one T4 beats three
+  // CPU instances on p90 for a scan-heavy model.
+  BenchmarkSpec cpu = BaseSpec();
+  cpu.model = models::ModelKind::kGru4Rec;
+  cpu.replicas = 3;
+  BenchmarkSpec gpu = cpu;
+  gpu.device = sim::DeviceSpec::GpuT4();
+  gpu.replicas = 1;
+  auto cpu_report = RunDeployedBenchmark(cpu);
+  auto gpu_report = RunDeployedBenchmark(gpu);
+  ASSERT_TRUE(cpu_report.ok());
+  ASSERT_TRUE(gpu_report.ok());
+  EXPECT_LT(gpu_report->load.steady_p90_ms,
+            cpu_report->load.steady_p90_ms / 3.0);
+  EXPECT_TRUE(gpu_report->meets_slo);
+  EXPECT_FALSE(cpu_report->meets_slo);
+}
+
+TEST(EndToEndTest, EagerModeStrictlyWorseThanJit) {
+  BenchmarkSpec jit = BaseSpec();
+  jit.scenario.catalog_size = 100000;
+  jit.scenario.target_rps = 200;
+  jit.replicas = 1;
+  BenchmarkSpec eager = jit;
+  eager.mode = models::ExecutionMode::kEager;
+  auto jit_report = RunDeployedBenchmark(jit);
+  auto eager_report = RunDeployedBenchmark(eager);
+  ASSERT_TRUE(jit_report.ok());
+  ASSERT_TRUE(eager_report.ok());
+  EXPECT_LT(jit_report->load.steady_p90_ms,
+            eager_report->load.steady_p90_ms);
+}
+
+TEST(EndToEndTest, BuggyModelNeedsMoreHardwareThanHealthyOne) {
+  // RepeatNet's dense-ops bug must surface end to end: on the same
+  // 1x GPU-T4 Fashion deployment a healthy model passes, RepeatNet
+  // fails.
+  BenchmarkSpec healthy = BaseSpec();
+  healthy.scenario.target_rps = 500;
+  healthy.model = models::ModelKind::kGru4Rec;
+  healthy.device = sim::DeviceSpec::GpuT4();
+  healthy.replicas = 1;
+  BenchmarkSpec buggy = healthy;
+  buggy.model = models::ModelKind::kRepeatNet;
+  auto healthy_report = RunDeployedBenchmark(healthy);
+  auto buggy_report = RunDeployedBenchmark(buggy);
+  ASSERT_TRUE(healthy_report.ok());
+  ASSERT_TRUE(buggy_report.ok());
+  EXPECT_TRUE(healthy_report->meets_slo);
+  EXPECT_FALSE(buggy_report->meets_slo);
+}
+
+TEST(EndToEndTest, WholePipelineIsSeedDeterministic) {
+  BenchmarkSpec spec = BaseSpec();
+  spec.replicas = 2;
+  auto a = RunDeployedBenchmark(spec);
+  auto b = RunDeployedBenchmark(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->load.total_requests, b->load.total_requests);
+  EXPECT_EQ(a->load.total_ok, b->load.total_ok);
+  EXPECT_DOUBLE_EQ(a->load.steady_p90_ms, b->load.steady_p90_ms);
+  // A different seed produces a different (but close) run: the latency
+  // jitter stream changes, so the aggregate mean latency moves.
+  spec.seed = 4711;
+  auto c = RunDeployedBenchmark(spec);
+  ASSERT_TRUE(c.ok());
+  const double mean_a = a->load.timeline.AggregateLatencies().mean();
+  const double mean_c = c->load.timeline.AggregateLatencies().mean();
+  EXPECT_NE(mean_a, mean_c);
+  EXPECT_NEAR(mean_a, mean_c, 0.5 * mean_a);  // but statistically close
+}
+
+TEST(EndToEndTest, ReadinessDelayGrowsWithCatalog) {
+  BenchmarkSpec small = BaseSpec();
+  small.scenario.catalog_size = 10000;
+  small.scenario.target_rps = 50;
+  BenchmarkSpec large = BaseSpec();
+  large.scenario.catalog_size = 10000000;
+  large.scenario.target_rps = 50;
+  large.device = sim::DeviceSpec::GpuT4();
+  auto small_report = RunDeployedBenchmark(small);
+  auto large_report = RunDeployedBenchmark(large);
+  ASSERT_TRUE(small_report.ok());
+  ASSERT_TRUE(large_report.ok());
+  // The 10M x 57 fp32 table takes ~11 s to fetch at 200 MB/s on top of
+  // pod startup.
+  EXPECT_GT(large_report->ready_after_ms,
+            small_report->ready_after_ms + 5000);
+}
+
+TEST(EndToEndTest, HigherTargetNeverLowersAchievedThroughput) {
+  // Monotonicity of the load generator + server under increasing load.
+  double previous = 0;
+  for (const double target : {100.0, 200.0, 400.0}) {
+    BenchmarkSpec spec = BaseSpec();
+    spec.scenario.catalog_size = 100000;
+    spec.scenario.target_rps = target;
+    spec.replicas = 1;
+    auto report = RunDeployedBenchmark(spec);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->load.steady_achieved_rps, previous);
+    previous = report->load.steady_achieved_rps;
+  }
+}
+
+}  // namespace
+}  // namespace etude::core

@@ -1,0 +1,256 @@
+#include "loadgen/load_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "serving/static_server.h"
+
+namespace etude::loadgen {
+namespace {
+
+using serving::InferenceRequest;
+using serving::InferenceResponse;
+using serving::ResponseCallback;
+
+workload::SessionGenerator MakeSessions(uint64_t seed = 3) {
+  auto generator = workload::SessionGenerator::Create(
+      1000, workload::WorkloadStats{}, seed);
+  EXPECT_TRUE(generator.ok());
+  return std::move(generator).value();
+}
+
+TEST(LoadGeneratorTest, ReachesTargetThroughput) {
+  sim::Simulation sim;
+  serving::StaticResponseServer server(&sim, 150.0, 0.0);
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 200;
+  config.duration_s = 20;
+  config.ramp_s = 10;  // hold the target over the steady-state window
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  EXPECT_TRUE(generator.finished());
+  const LoadResult result = generator.BuildResult();
+  // Final tick sends the full target rate.
+  const auto& ticks = result.timeline.ticks();
+  ASSERT_EQ(ticks.size(), 20u);
+  EXPECT_NEAR(static_cast<double>(ticks.back().requests_sent), 200.0, 5.0);
+  EXPECT_NEAR(result.steady_achieved_rps, 200.0, 10.0);
+  EXPECT_EQ(result.total_errors, 0);
+}
+
+TEST(LoadGeneratorTest, RampIsProportional) {
+  sim::Simulation sim;
+  serving::StaticResponseServer server(&sim, 150.0, 0.0);
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 100;
+  config.duration_s = 10;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  const LoadResult result = generator.BuildResult();
+  const auto& ticks = result.timeline.ticks();
+  // TIMEPROP_RAMPUP: tick t targets target * (t+1)/duration.
+  for (size_t t = 0; t < ticks.size(); ++t) {
+    const double expected = 100.0 * static_cast<double>(t + 1) / 10.0;
+    EXPECT_NEAR(static_cast<double>(ticks[t].requests_sent), expected, 3.0)
+        << "tick " << t;
+  }
+}
+
+TEST(LoadGeneratorTest, RampWithHoldPhase) {
+  sim::Simulation sim;
+  serving::StaticResponseServer server(&sim, 150.0, 0.0);
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 100;
+  config.duration_s = 20;
+  config.ramp_s = 5;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  const LoadResult result = generator.BuildResult();
+  const auto& ticks = result.timeline.ticks();
+  for (size_t t = 5; t < 20; ++t) {
+    EXPECT_NEAR(static_cast<double>(ticks[t].requests_sent), 100.0, 3.0);
+  }
+}
+
+/// A service that never responds until released — for backpressure tests.
+class StallingService : public serving::InferenceService {
+ public:
+  void HandleRequest(const InferenceRequest& request,
+                     ResponseCallback callback) override {
+    ++received_;
+    stalled_.emplace_back(request.request_id, std::move(callback));
+  }
+
+  void ReleaseAll() {
+    for (auto& [id, callback] : stalled_) {
+      InferenceResponse response;
+      response.request_id = id;
+      response.ok = true;
+      response.http_status = 200;
+      callback(response);
+    }
+    stalled_.clear();
+  }
+
+  int64_t received() const { return received_; }
+
+ private:
+  int64_t received_ = 0;
+  std::vector<std::pair<int64_t, ResponseCallback>> stalled_;
+};
+
+TEST(LoadGeneratorTest, BackpressureCapsInFlightRequests) {
+  // Against a stalled server, the generator must stop sending once the
+  // pending count reaches the per-tick rate (Algorithm 2, lines 8-12).
+  sim::Simulation sim;
+  StallingService server;
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 50;
+  config.duration_s = 10;
+  config.network_jitter_us = 0;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  // Without backpressure ~275 requests would be sent (sum of the ramp);
+  // with a stalled server the pending cap is the final tick rate.
+  EXPECT_LE(server.received(), 50);
+  EXPECT_EQ(generator.in_flight(), server.received());
+  EXPECT_FALSE(generator.finished());  // responses still outstanding
+
+  server.ReleaseAll();
+  sim.Run();
+  EXPECT_EQ(generator.in_flight(), 0);
+}
+
+/// Records the session ordering constraint: for each session, click k+1
+/// must arrive after the response to click k was sent.
+class OrderCheckingService : public serving::InferenceService {
+ public:
+  explicit OrderCheckingService(sim::Simulation* sim) : sim_(sim) {}
+
+  void HandleRequest(const InferenceRequest& request,
+                     ResponseCallback callback) override {
+    const size_t expected = expected_prefix_[request.session_id];
+    if (request.session_items.size() != expected + 1) ordering_ok_ = false;
+    expected_prefix_[request.session_id] = request.session_items.size();
+    // Respond after a delay, so ordering violations would surface.
+    sim_->Schedule(3000, [request, callback = std::move(callback)] {
+      InferenceResponse response;
+      response.request_id = request.request_id;
+      response.ok = true;
+      response.http_status = 200;
+      callback(response);
+    });
+  }
+
+  bool ordering_ok() const { return ordering_ok_; }
+
+ private:
+  sim::Simulation* sim_;
+  std::map<int64_t, size_t> expected_prefix_;
+  bool ordering_ok_ = true;
+};
+
+TEST(LoadGeneratorTest, RespectsSessionOrder) {
+  sim::Simulation sim;
+  OrderCheckingService server(&sim);
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 100;
+  config.duration_s = 8;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  EXPECT_TRUE(server.ordering_ok());
+  EXPECT_TRUE(generator.finished());
+}
+
+TEST(LoadGeneratorTest, SessionPrefixGrowsByOneClick) {
+  // The request payload for the k-th click of a session carries exactly
+  // the first k items.
+  sim::Simulation sim;
+  OrderCheckingService server(&sim);
+  auto sessions = MakeSessions(11);
+  LoadGeneratorConfig config;
+  config.target_rps = 30;
+  config.duration_s = 5;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  EXPECT_TRUE(server.ordering_ok());
+}
+
+/// A service that fails every request.
+class FailingService : public serving::InferenceService {
+ public:
+  void HandleRequest(const InferenceRequest& request,
+                     ResponseCallback callback) override {
+    InferenceResponse response;
+    response.request_id = request.request_id;
+    response.ok = false;
+    response.http_status = 500;
+    callback(response);
+  }
+};
+
+TEST(LoadGeneratorTest, ErrorsAreCountedNotRecordedAsLatency) {
+  sim::Simulation sim;
+  FailingService server;
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 50;
+  config.duration_s = 6;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  const LoadResult result = generator.BuildResult();
+  EXPECT_GT(result.total_errors, 0);
+  EXPECT_EQ(result.total_ok, 0);
+  EXPECT_EQ(result.timeline.AggregateLatencies().count(), 0);
+  EXPECT_NEAR(result.steady_error_rate, 1.0, 1e-9);
+  EXPECT_FALSE(result.MeetsSlo(50, 50));
+}
+
+TEST(LoadResultTest, MeetsSloCriteria) {
+  LoadResult result;
+  result.steady_achieved_rps = 100;
+  result.steady_p90_ms = 40;
+  result.steady_error_rate = 0.0;
+  EXPECT_TRUE(result.MeetsSlo(100, 50));
+  EXPECT_TRUE(result.MeetsSlo(101, 50));   // within 2%
+  EXPECT_FALSE(result.MeetsSlo(120, 50));  // throughput shortfall
+  result.steady_p90_ms = 51;
+  EXPECT_FALSE(result.MeetsSlo(100, 50));  // latency violation
+  result.steady_p90_ms = 40;
+  result.steady_error_rate = 0.05;
+  EXPECT_FALSE(result.MeetsSlo(100, 50));  // error violation
+}
+
+TEST(LoadGeneratorTest, LatenciesIncludeNetworkRoundTrip) {
+  sim::Simulation sim;
+  serving::StaticResponseServer server(&sim, 100.0, 0.0);
+  auto sessions = MakeSessions();
+  LoadGeneratorConfig config;
+  config.target_rps = 20;
+  config.duration_s = 5;
+  config.network_one_way_us = 5000;
+  config.network_jitter_us = 0;
+  LoadGenerator generator(&sim, &server, &sessions, config);
+  generator.Start();
+  sim.Run();
+  const LoadResult result = generator.BuildResult();
+  const auto aggregate = result.timeline.AggregateLatencies();
+  EXPECT_GE(aggregate.min(), 10000);  // two network legs
+}
+
+}  // namespace
+}  // namespace etude::loadgen

@@ -1,0 +1,165 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace etude::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.mean(), 1234.0);
+  EXPECT_EQ(h.p50(), 1234);  // capped at max
+  EXPECT_EQ(h.p99(), 1234);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (int64_t v = 0; v < 64; ++v) h.Record(v);
+  // Values below 64 land in exact unit buckets.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 63);
+  const int64_t p50 = h.p50();
+  EXPECT_GE(p50, 30);
+  EXPECT_LE(p50, 33);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(HistogramTest, RecordManyCounts) {
+  LatencyHistogram h;
+  h.RecordMany(100, 10);
+  h.RecordMany(200, 0);   // no-op
+  h.RecordMany(200, -3);  // no-op
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_EQ(h.mean(), 100.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(300);
+  EXPECT_EQ(h.mean(), 200.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  LatencyHistogram a, b;
+  a.Record(10);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000000);
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a, b;
+  b.Record(55);
+  a.Merge(b);
+  EXPECT_EQ(a.min(), 55);
+  EXPECT_EQ(a.max(), 55);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.p90(), 0);
+}
+
+TEST(HistogramTest, QuantilesNeverExceedMax) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(100000)));
+  }
+  EXPECT_LE(h.ValueAtQuantile(1.0), h.max());
+  EXPECT_GE(h.ValueAtQuantile(0.0), 0);
+}
+
+TEST(HistogramTest, QuantilesMonotone) {
+  LatencyHistogram h;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(5000000)));
+  }
+  int64_t previous = 0;
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const int64_t value = h.ValueAtQuantile(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+/// Property: across magnitudes, the histogram quantile is within ~2%
+/// relative error of the exact (sorted-vector) quantile.
+class HistogramAccuracyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramAccuracyTest, QuantilesMatchSortedGroundTruth) {
+  const int64_t scale = GetParam();
+  LatencyHistogram h;
+  Rng rng(static_cast<uint64_t>(scale));
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Mixture of uniform and exponential tails around `scale`.
+    const int64_t v = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(scale)) +
+        scale * rng.NextExponential(4.0));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const int64_t exact =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    const int64_t approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.02 * static_cast<double>(exact) + 2.0)
+        << "q=" << q << " scale=" << scale;
+  }
+  // Mean is tracked exactly.
+  double exact_mean = 0;
+  for (const int64_t v : values) exact_mean += static_cast<double>(v);
+  exact_mean /= static_cast<double>(values.size());
+  EXPECT_NEAR(h.mean(), exact_mean, 1e-6 * exact_mean + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracyTest,
+                         ::testing::Values(100, 1000, 50000, 1000000,
+                                           100000000));
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.Record(int64_t{1} << 50);  // beyond the covered magnitude range
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GT(h.ValueAtQuantile(0.5), 0);
+}
+
+}  // namespace
+}  // namespace etude::metrics

@@ -1,0 +1,65 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace etude::metrics {
+namespace {
+
+TEST(TableTest, RendersAlignedText) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  // One header + separator + two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TableTest, EmptyTableStillRendersHeader) {
+  Table table({"only", "header"});
+  EXPECT_NE(table.ToText().find("only"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table table({"a", "b"});
+  table.AddRow({"has,comma", "has\"quote"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderAndRows) {
+  Table table({"x"});
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.ToCsv(), "x\n1\n2\n");
+}
+
+TEST(TableTest, WriteCsvToFile) {
+  Table table({"k", "v"});
+  table.AddRow({"a", "1"});
+  const std::string path = ::testing::TempDir() + "/etude_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\na,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvToBadPathFails) {
+  Table table({"k"});
+  const Status status = table.WriteCsv("/nonexistent-dir/zzz/file.csv");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace etude::metrics

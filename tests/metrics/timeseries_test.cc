@@ -1,0 +1,79 @@
+#include "metrics/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::metrics {
+namespace {
+
+TEST(TimeSeriesTest, StartsEmpty) {
+  TimeSeriesRecorder recorder;
+  EXPECT_EQ(recorder.num_ticks(), 0);
+  EXPECT_EQ(recorder.TotalRequests(), 0);
+  EXPECT_EQ(recorder.AchievedThroughput(), 0.0);
+}
+
+TEST(TimeSeriesTest, RecordsRequestsPerTick) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordRequest(0);
+  recorder.RecordRequest(0);
+  recorder.RecordRequest(2);
+  ASSERT_EQ(recorder.num_ticks(), 3);
+  EXPECT_EQ(recorder.ticks()[0].requests_sent, 2);
+  EXPECT_EQ(recorder.ticks()[1].requests_sent, 0);  // gap filled
+  EXPECT_EQ(recorder.ticks()[2].requests_sent, 1);
+  EXPECT_EQ(recorder.TotalRequests(), 3);
+}
+
+TEST(TimeSeriesTest, TickIdsAreAssigned) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordRequest(5);
+  for (int64_t i = 0; i <= 5; ++i) {
+    EXPECT_EQ(recorder.ticks()[static_cast<size_t>(i)].tick, i);
+  }
+}
+
+TEST(TimeSeriesTest, SeparatesOkAndErrors) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordResponse(0, 1000, true);
+  recorder.RecordResponse(0, 2000, true);
+  recorder.RecordResponse(0, 0, false);
+  EXPECT_EQ(recorder.TotalOk(), 2);
+  EXPECT_EQ(recorder.TotalErrors(), 1);
+  EXPECT_EQ(recorder.ticks()[0].latencies.count(), 2);
+}
+
+TEST(TimeSeriesTest, ErrorLatenciesNotRecorded) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordResponse(0, 99999, false);
+  EXPECT_EQ(recorder.ticks()[0].latencies.count(), 0);
+}
+
+TEST(TimeSeriesTest, OutOfOrderTicksSupported) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordResponse(3, 100, true);
+  recorder.RecordResponse(1, 200, true);
+  EXPECT_EQ(recorder.num_ticks(), 4);
+  EXPECT_EQ(recorder.ticks()[1].responses_ok, 1);
+  EXPECT_EQ(recorder.ticks()[3].responses_ok, 1);
+}
+
+TEST(TimeSeriesTest, AggregateLatenciesMergesTicks) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordResponse(0, 100, true);
+  recorder.RecordResponse(1, 300, true);
+  const LatencyHistogram aggregate = recorder.AggregateLatencies();
+  EXPECT_EQ(aggregate.count(), 2);
+  EXPECT_EQ(aggregate.mean(), 200.0);
+}
+
+TEST(TimeSeriesTest, AchievedThroughputIsOkPerSecond) {
+  TimeSeriesRecorder recorder;
+  recorder.RecordResponse(0, 1, true);
+  recorder.RecordResponse(0, 1, true);
+  recorder.RecordResponse(1, 1, true);
+  recorder.RecordResponse(1, 1, false);
+  EXPECT_DOUBLE_EQ(recorder.AchievedThroughput(), 1.5);
+}
+
+}  // namespace
+}  // namespace etude::metrics

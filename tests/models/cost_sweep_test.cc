@@ -1,0 +1,90 @@
+// Property sweeps over every model's cost descriptor across catalog
+// sizes: the O(C(d + log k)) structure of Sec. II must hold uniformly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "models/model_factory.h"
+#include "sim/device.h"
+
+namespace etude::models {
+namespace {
+
+using SweepParam = std::tuple<ModelKind, int64_t>;
+
+class CostSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  std::unique_ptr<SessionModel> MakeModel(int64_t catalog) const {
+    ModelConfig config;
+    config.catalog_size = catalog;
+    config.materialize_embeddings = false;
+    auto model = CreateModel(std::get<0>(GetParam()), config);
+    EXPECT_TRUE(model.ok());
+    return std::move(model).value();
+  }
+  int64_t Catalog() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CostSweepTest, ScanDominatesEncodeAtScale) {
+  // The paper's central observation: inference is dominated by the
+  // catalog term for every architecture once C is large.
+  auto model = MakeModel(Catalog());
+  const auto work = model->CostModel(ExecutionMode::kJit, 5);
+  if (Catalog() >= 1000000) {
+    EXPECT_GT(work.scan_bytes, 10 * work.encode_bytes)
+        << model->name();
+  }
+}
+
+TEST_P(CostSweepTest, CostsArePositiveAndFinite) {
+  auto model = MakeModel(Catalog());
+  for (const auto mode : {ExecutionMode::kEager, ExecutionMode::kJit}) {
+    for (const int64_t l : {1, 5, 50}) {
+      const auto work = model->CostModel(mode, l);
+      EXPECT_GT(work.encode_flops, 0);
+      EXPECT_GT(work.scan_bytes, 0);
+      EXPECT_TRUE(std::isfinite(work.encode_flops));
+      EXPECT_TRUE(std::isfinite(work.scan_bytes));
+      EXPECT_GT(work.op_count, 0);
+      EXPECT_GE(work.batch_share, 0.0);
+      EXPECT_LE(work.batch_share, 1.0);
+    }
+  }
+}
+
+TEST_P(CostSweepTest, DeviceOrderingHoldsAtScale) {
+  // At 1M+ items every model is faster on T4 than CPU, and at least as
+  // fast on A100 as on T4 — except where a host-sync bug or calibrated
+  // inefficiency intervenes, which may shrink but not invert the
+  // CPU-vs-GPU ordering.
+  if (Catalog() < 1000000) return;
+  auto model = MakeModel(Catalog());
+  const auto work = model->CostModel(ExecutionMode::kJit, 5);
+  const double cpu =
+      sim::SerialInferenceUs(sim::DeviceSpec::Cpu(), work);
+  const double t4 =
+      sim::SerialInferenceUs(sim::DeviceSpec::GpuT4(), work);
+  EXPECT_GT(cpu, 3 * t4) << model->name();
+}
+
+TEST_P(CostSweepTest, SerializedBytesMatchEmbeddingTable) {
+  auto model = MakeModel(Catalog());
+  EXPECT_EQ(model->SerializedBytes(),
+            Catalog() * model->config().embedding_dim * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostSweepTest,
+    ::testing::Combine(::testing::ValuesIn(AllModelKinds()),
+                       ::testing::Values(int64_t{10000}, int64_t{1000000},
+                                         int64_t{10000000})),
+    [](const auto& info) {
+      std::string name(ModelKindToString(std::get<0>(info.param)));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_C" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace etude::models

@@ -1,0 +1,122 @@
+#include "models/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+namespace {
+
+using tensor::Tensor;
+
+TEST(GruLayerTest, OutputShapeAndDeterminism) {
+  Rng rng_a(1), rng_b(1);
+  GruLayer a(8, 16, &rng_a);
+  GruLayer b(8, 16, &rng_b);
+  Rng data_rng(2);
+  const Tensor inputs = tensor::RandomNormal({5, 8}, 1.0f, &data_rng);
+  const Tensor states_a = a.RunSequence(inputs);
+  const Tensor states_b = b.RunSequence(inputs);
+  EXPECT_EQ(states_a.dim(0), 5);
+  EXPECT_EQ(states_a.dim(1), 16);
+  EXPECT_TRUE(tensor::AllClose(states_a, states_b, 0.0f));
+}
+
+TEST(GruLayerTest, StateEvolvesAcrossSteps) {
+  Rng rng(3);
+  GruLayer gru(4, 4, &rng);
+  Rng data_rng(4);
+  const Tensor inputs = tensor::RandomNormal({3, 4}, 1.0f, &data_rng);
+  const Tensor states = gru.RunSequence(inputs);
+  EXPECT_FALSE(tensor::AllClose(states.Row(0), states.Row(2), 1e-6f));
+}
+
+TEST(GruLayerTest, BoundedActivations) {
+  Rng rng(5);
+  GruLayer gru(6, 6, &rng);
+  Rng data_rng(6);
+  const Tensor inputs = tensor::RandomNormal({50, 6}, 3.0f, &data_rng);
+  const Tensor states = gru.RunSequence(inputs);
+  for (int64_t i = 0; i < states.numel(); ++i) {
+    EXPECT_LE(std::abs(states[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST(DenseLayerTest, VectorAndMatrixFormAgree) {
+  Rng rng(7);
+  DenseLayer dense(6, 3, /*bias=*/true, &rng);
+  Rng data_rng(8);
+  const Tensor x = tensor::RandomNormal({6}, 1.0f, &data_rng);
+  const Tensor via_vector = dense.ForwardVector(x);
+  const Tensor via_matrix = dense.Forward(x.Reshaped({1, 6}));
+  EXPECT_TRUE(tensor::AllClose(via_vector,
+                               via_matrix.Reshaped({3}), 1e-6f));
+}
+
+TEST(TransformerBlockTest, PreservesShapeAndIsDeterministic) {
+  Rng rng_a(9), rng_b(9);
+  TransformerBlock a(16, 64, &rng_a);
+  TransformerBlock b(16, 64, &rng_b);
+  Rng data_rng(10);
+  const Tensor x = tensor::RandomNormal({7, 16}, 1.0f, &data_rng);
+  const Tensor out_a = a.Forward(x);
+  const Tensor out_b = b.Forward(x);
+  EXPECT_EQ(out_a.dim(0), 7);
+  EXPECT_EQ(out_a.dim(1), 16);
+  EXPECT_TRUE(tensor::AllClose(out_a, out_b, 0.0f));
+}
+
+TEST(TransformerBlockTest, OutputIsLayerNormalised) {
+  // Post-norm block: each output row has ~zero mean and ~unit variance.
+  Rng rng(11);
+  TransformerBlock block(32, 128, &rng);
+  Rng data_rng(12);
+  const Tensor x = tensor::RandomNormal({5, 32}, 2.0f, &data_rng);
+  const Tensor out = block.Forward(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    float mean = 0;
+    for (int64_t j = 0; j < 32; ++j) mean += out.at(r, j);
+    mean /= 32;
+    EXPECT_NEAR(mean, 0.0f, 0.05f);
+  }
+}
+
+TEST(TransformerBlockTest, MixesInformationAcrossPositions) {
+  // Changing one position's input must influence other positions' output
+  // (self-attention), unlike a per-position MLP.
+  Rng rng(13);
+  TransformerBlock block(8, 32, &rng);
+  Rng data_rng(14);
+  Tensor x = tensor::RandomNormal({4, 8}, 1.0f, &data_rng);
+  const Tensor base = block.Forward(x);
+  x.at(0, 0) += 5.0f;  // perturb position 0 only
+  const Tensor perturbed = block.Forward(x);
+  bool other_positions_changed = false;
+  for (int64_t j = 0; j < 8; ++j) {
+    if (std::abs(perturbed.at(3, j) - base.at(3, j)) > 1e-5f) {
+      other_positions_changed = true;
+    }
+  }
+  EXPECT_TRUE(other_positions_changed);
+}
+
+TEST(PositionalEmbeddingTest, AddsPositionDependentOffsets) {
+  Rng rng(15);
+  PositionalEmbedding positions(10, 4, &rng);
+  Tensor x({3, 4});  // zeros
+  const Tensor out = positions.AddTo(x);
+  // Output rows equal the positional table rows; different positions get
+  // different offsets.
+  EXPECT_FALSE(tensor::AllClose(out.Row(0), out.Row(1), 1e-6f));
+  // Same item at different positions encodes differently.
+  Tensor same_item({2, 4});
+  same_item.Fill(1.0f);
+  const Tensor encoded = positions.AddTo(same_item);
+  EXPECT_FALSE(tensor::AllClose(encoded.Row(0), encoded.Row(1), 1e-6f));
+}
+
+}  // namespace
+}  // namespace etude::models

@@ -1,0 +1,73 @@
+#include "models/session_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::models {
+namespace {
+
+TEST(SessionGraphTest, SingleClickGraph) {
+  const SessionGraph graph = SessionGraph::Build({42});
+  EXPECT_EQ(graph.num_nodes(), 1);
+  EXPECT_EQ(graph.nodes[0], 42);
+  EXPECT_EQ(graph.alias, (std::vector<int64_t>{0}));
+  EXPECT_EQ(graph.adj_in.at(0, 0), 0.0f);  // no self edge from one click
+}
+
+TEST(SessionGraphTest, NodesAreUniqueInFirstSeenOrder) {
+  const SessionGraph graph = SessionGraph::Build({5, 9, 5, 7, 9});
+  ASSERT_EQ(graph.num_nodes(), 3);
+  EXPECT_EQ(graph.nodes, (std::vector<int64_t>{5, 9, 7}));
+  EXPECT_EQ(graph.alias, (std::vector<int64_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(SessionGraphTest, EdgesFollowConsecutiveClicks) {
+  // Session 1 -> 2 -> 3: out-edges 1->2, 2->3.
+  const SessionGraph graph = SessionGraph::Build({1, 2, 3});
+  EXPECT_EQ(graph.adj_out.at(0, 1), 1.0f);
+  EXPECT_EQ(graph.adj_out.at(1, 2), 1.0f);
+  EXPECT_EQ(graph.adj_out.at(2, 0), 0.0f);
+  EXPECT_EQ(graph.adj_in.at(1, 0), 1.0f);
+  EXPECT_EQ(graph.adj_in.at(2, 1), 1.0f);
+}
+
+TEST(SessionGraphTest, OutgoingRowsAreNormalised) {
+  // Node 0 has two distinct successors -> each edge weight 0.5.
+  const SessionGraph graph = SessionGraph::Build({1, 2, 1, 3});
+  const int64_t n = graph.num_nodes();
+  ASSERT_EQ(n, 3);
+  EXPECT_FLOAT_EQ(graph.adj_out.at(0, 1), 0.5f);
+  EXPECT_FLOAT_EQ(graph.adj_out.at(0, 2), 0.5f);
+  for (int64_t i = 0; i < n; ++i) {
+    float row_sum = 0;
+    for (int64_t j = 0; j < n; ++j) row_sum += graph.adj_out.at(i, j);
+    EXPECT_TRUE(row_sum == 0.0f || std::abs(row_sum - 1.0f) < 1e-6)
+        << "row " << i;
+  }
+}
+
+TEST(SessionGraphTest, IncomingRowsAreNormalised) {
+  const SessionGraph graph = SessionGraph::Build({1, 3, 2, 3});
+  const int64_t n = graph.num_nodes();
+  for (int64_t i = 0; i < n; ++i) {
+    float row_sum = 0;
+    for (int64_t j = 0; j < n; ++j) row_sum += graph.adj_in.at(i, j);
+    EXPECT_TRUE(row_sum == 0.0f || std::abs(row_sum - 1.0f) < 1e-6);
+  }
+}
+
+TEST(SessionGraphTest, RepeatedEdgeAccumulatesBeforeNormalisation) {
+  // 1->2 appears twice, 1->3 once: weights 2/3 and 1/3.
+  const SessionGraph graph = SessionGraph::Build({1, 2, 1, 2, 1, 3});
+  EXPECT_NEAR(graph.adj_out.at(0, 1), 2.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(graph.adj_out.at(0, 2), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(SessionGraphTest, SelfLoopFromRepeatedClick) {
+  const SessionGraph graph = SessionGraph::Build({4, 4});
+  ASSERT_EQ(graph.num_nodes(), 1);
+  EXPECT_FLOAT_EQ(graph.adj_out.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(graph.adj_in.at(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace etude::models

@@ -1,0 +1,228 @@
+#include "models/session_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/model_factory.h"
+
+namespace etude::models {
+namespace {
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.catalog_size = 2000;
+  config.top_k = 10;
+  return config;
+}
+
+TEST(HeuristicEmbeddingDimTest, FourthRootRoundedUp) {
+  EXPECT_EQ(HeuristicEmbeddingDim(10000), 10);
+  EXPECT_EQ(HeuristicEmbeddingDim(100000), 18);
+  EXPECT_EQ(HeuristicEmbeddingDim(1000000), 32);
+  EXPECT_EQ(HeuristicEmbeddingDim(10000000), 57);
+  EXPECT_EQ(HeuristicEmbeddingDim(20000000), 67);
+  EXPECT_EQ(HeuristicEmbeddingDim(1), 1);
+}
+
+TEST(ModelKindTest, NamesRoundTrip) {
+  for (const ModelKind kind : AllModelKinds()) {
+    auto parsed = ModelKindFromString(ModelKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ModelKindFromString("gru4rec").ok());  // case-insensitive
+  EXPECT_TRUE(ModelKindFromString("srgnn").ok());    // hyphen-less alias
+  EXPECT_FALSE(ModelKindFromString("bert4rec").ok());
+}
+
+TEST(ModelKindTest, TenModelsSixHealthy) {
+  EXPECT_EQ(AllModelKinds().size(), 10u);
+  EXPECT_EQ(HealthyModelKinds().size(), 6u);
+  for (const ModelKind kind : HealthyModelKinds()) {
+    EXPECT_NE(kind, ModelKind::kRepeatNet);
+    EXPECT_NE(kind, ModelKind::kSrGnn);
+    EXPECT_NE(kind, ModelKind::kGcSan);
+    EXPECT_NE(kind, ModelKind::kLightSans);
+  }
+}
+
+TEST(ModelFactoryTest, RejectsInvalidConfigs) {
+  ModelConfig config = SmallConfig();
+  config.catalog_size = 0;
+  EXPECT_FALSE(CreateModel(ModelKind::kGru4Rec, config).ok());
+  config = SmallConfig();
+  config.top_k = 0;
+  EXPECT_FALSE(CreateModel(ModelKind::kGru4Rec, config).ok());
+  config = SmallConfig();
+  config.max_session_length = 0;
+  EXPECT_FALSE(CreateModel(ModelKind::kGru4Rec, config).ok());
+  config = SmallConfig();
+  config.embedding_dim = -3;
+  EXPECT_FALSE(CreateModel(ModelKind::kGru4Rec, config).ok());
+}
+
+TEST(ModelFactoryTest, CreatesByName) {
+  auto model = CreateModel("STAMP", SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->kind(), ModelKind::kStamp);
+}
+
+TEST(ValidateSessionTest, ChecksEmptinessAndRange) {
+  const ModelConfig config = SmallConfig();
+  EXPECT_FALSE(ValidateSession({}, config).ok());
+  EXPECT_FALSE(ValidateSession({-1}, config).ok());
+  EXPECT_FALSE(ValidateSession({2000}, config).ok());
+  EXPECT_TRUE(ValidateSession({0, 1999}, config).ok());
+}
+
+/// Behavioural properties shared by all ten architectures.
+class AllModelsTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  std::unique_ptr<SessionModel> MakeModel(uint64_t seed = 42) {
+    ModelConfig config = SmallConfig();
+    config.seed = seed;
+    auto model = CreateModel(GetParam(), config);
+    EXPECT_TRUE(model.ok());
+    return std::move(model).value();
+  }
+};
+
+TEST_P(AllModelsTest, EmbeddingDimFollowsHeuristic) {
+  auto model = MakeModel();
+  EXPECT_EQ(model->config().embedding_dim, HeuristicEmbeddingDim(2000));
+  EXPECT_EQ(model->item_embeddings().dim(0), 2000);
+}
+
+TEST_P(AllModelsTest, EncodeSessionReturnsQueryVector) {
+  auto model = MakeModel();
+  const tensor::Tensor query = model->EncodeSession({1, 2, 3});
+  EXPECT_EQ(query.rank(), 1);
+  EXPECT_EQ(query.dim(0), model->config().embedding_dim);
+  for (int64_t i = 0; i < query.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(query[i]));
+    EXPECT_FALSE(std::isinf(query[i]));
+  }
+}
+
+TEST_P(AllModelsTest, RecommendReturnsTopK) {
+  auto model = MakeModel();
+  auto rec = model->Recommend({5, 17, 123});
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->items.size(), 10u);
+  EXPECT_EQ(rec->scores.size(), 10u);
+  std::set<int64_t> unique(rec->items.begin(), rec->items.end());
+  EXPECT_EQ(unique.size(), 10u);  // no duplicate recommendations
+  for (const int64_t item : rec->items) {
+    EXPECT_GE(item, 0);
+    EXPECT_LT(item, 2000);
+  }
+  for (size_t i = 1; i < rec->scores.size(); ++i) {
+    EXPECT_GE(rec->scores[i - 1], rec->scores[i]);  // descending scores
+  }
+}
+
+TEST_P(AllModelsTest, RecommendRejectsBadSessions) {
+  auto model = MakeModel();
+  EXPECT_FALSE(model->Recommend({}).ok());
+  EXPECT_FALSE(model->Recommend({99999}).ok());
+}
+
+TEST_P(AllModelsTest, SingleClickSessionWorks) {
+  auto model = MakeModel();
+  auto rec = model->Recommend({42});
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->items.size(), 10u);
+}
+
+TEST_P(AllModelsTest, LongSessionsTruncated) {
+  auto model = MakeModel();
+  std::vector<int64_t> session(200, 7);  // longer than max_session_length
+  auto rec = model->Recommend(session);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+}
+
+TEST_P(AllModelsTest, DeterministicForSameSeed) {
+  auto a = MakeModel(7);
+  auto b = MakeModel(7);
+  auto rec_a = a->Recommend({1, 2, 3});
+  auto rec_b = b->Recommend({1, 2, 3});
+  ASSERT_TRUE(rec_a.ok());
+  ASSERT_TRUE(rec_b.ok());
+  EXPECT_EQ(rec_a->items, rec_b->items);
+}
+
+TEST_P(AllModelsTest, DifferentSessionsGiveDifferentQueries) {
+  auto model = MakeModel();
+  const tensor::Tensor q1 = model->EncodeSession({1, 2, 3});
+  const tensor::Tensor q2 = model->EncodeSession({900, 800, 700});
+  EXPECT_FALSE(tensor::AllClose(q1, q2, 1e-7f));
+}
+
+TEST_P(AllModelsTest, CostModelScalesLinearlyWithCatalog) {
+  ModelConfig small = SmallConfig();
+  small.catalog_size = 100000;
+  small.embedding_dim = 32;
+  small.materialize_embeddings = false;
+  ModelConfig big = small;
+  big.catalog_size = 1000000;
+  auto model_small = CreateModel(GetParam(), small);
+  auto model_big = CreateModel(GetParam(), big);
+  const auto work_small =
+      (*model_small)->CostModel(ExecutionMode::kJit, 3);
+  const auto work_big = (*model_big)->CostModel(ExecutionMode::kJit, 3);
+  EXPECT_NEAR(work_big.scan_bytes / work_small.scan_bytes, 10.0, 0.5);
+  EXPECT_NEAR(work_big.scan_flops / work_small.scan_flops, 10.0, 0.5);
+}
+
+TEST_P(AllModelsTest, CostModelEncodeGrowsWithSessionLength) {
+  auto model = MakeModel();
+  const auto short_work = model->CostModel(ExecutionMode::kJit, 1);
+  const auto long_work = model->CostModel(ExecutionMode::kJit, 40);
+  EXPECT_GT(long_work.encode_flops, short_work.encode_flops);
+}
+
+TEST_P(AllModelsTest, JitFlagRespectsCompatibility) {
+  auto model = MakeModel();
+  const auto jit = model->CostModel(ExecutionMode::kJit, 3);
+  const auto eager = model->CostModel(ExecutionMode::kEager, 3);
+  EXPECT_FALSE(eager.jit_compiled);
+  EXPECT_EQ(jit.jit_compiled, model->jit_compatible());
+}
+
+TEST_P(AllModelsTest, CostModelClampsSessionLength) {
+  auto model = MakeModel();
+  const auto clamped = model->CostModel(ExecutionMode::kJit, 100000);
+  const auto max_len = model->CostModel(
+      ExecutionMode::kJit, model->config().max_session_length);
+  EXPECT_DOUBLE_EQ(clamped.encode_flops, max_len.encode_flops);
+  const auto zero = model->CostModel(ExecutionMode::kJit, 0);
+  const auto one = model->CostModel(ExecutionMode::kJit, 1);
+  EXPECT_DOUBLE_EQ(zero.encode_flops, one.encode_flops);
+}
+
+TEST_P(AllModelsTest, CostOnlyModelRefusesRecommend) {
+  ModelConfig config = SmallConfig();
+  config.materialize_embeddings = false;
+  auto model = CreateModel(GetParam(), config);
+  ASSERT_TRUE(model.ok());
+  auto rec = (*model)->Recommend({1, 2});
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kFailedPrecondition);
+  // Cost modelling still works.
+  const auto work = (*model)->CostModel(ExecutionMode::kJit, 3);
+  EXPECT_GT(work.scan_bytes, 0);
+  EXPECT_EQ((*model)->SerializedBytes(),
+            2000 * (*model)->config().embedding_dim * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AllModelsTest, ::testing::ValuesIn(AllModelKinds()),
+    [](const auto& info) {
+      std::string name(ModelKindToString(info.param));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::models

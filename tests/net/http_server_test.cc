@@ -1,0 +1,167 @@
+#include "net/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tests/net/test_http_client.h"
+
+namespace etude::net {
+namespace {
+
+using testing::ClientResponse;
+using testing::TestHttpClient;
+
+HttpServerConfig TestConfig() {
+  HttpServerConfig config;
+  config.port = 0;  // ephemeral
+  config.worker_threads = 2;
+  return config;
+}
+
+TEST(HttpServerTest, StartsOnEphemeralPort) {
+  HttpServer server(TestConfig(), [](const HttpRequest&) {
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+}
+
+TEST(HttpServerTest, AnswersGetRequest) {
+  HttpServer server(TestConfig(), [](const HttpRequest& request) {
+    EXPECT_EQ(request.method, "GET");
+    return HttpResponse::Ok("{\"target\":\"" + request.target + "\"}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestHttpClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const ClientResponse response = client.Request("GET", "/ping");
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "{\"target\":\"/ping\"}");
+  server.Stop();
+}
+
+TEST(HttpServerTest, EchoesPostBody) {
+  HttpServer server(TestConfig(), [](const HttpRequest& request) {
+    return HttpResponse::Ok(request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestHttpClient client(server.port());
+  const ClientResponse response =
+      client.Request("POST", "/echo", "{\"x\": [1, 2, 3]}");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "{\"x\": [1, 2, 3]}");
+  server.Stop();
+}
+
+TEST(HttpServerTest, KeepAliveServesSequentialRequests) {
+  std::atomic<int> handled{0};
+  HttpServer server(TestConfig(), [&](const HttpRequest&) {
+    ++handled;
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestHttpClient client(server.port());
+  for (int i = 0; i < 10; ++i) {
+    const ClientResponse response = client.Request("GET", "/r");
+    ASSERT_EQ(response.status, 200) << "request " << i;
+  }
+  EXPECT_EQ(handled.load(), 10);
+  EXPECT_EQ(server.requests_served(), 10);
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestGets400) {
+  HttpServer server(TestConfig(), [](const HttpRequest&) {
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestHttpClient client(server.port());
+  ASSERT_TRUE(client.SendRaw("THIS IS NOT HTTP\r\n\r\n"));
+  const ClientResponse response = client.ReadResponse();
+  EXPECT_EQ(response.status, 400);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  std::atomic<int> handled{0};
+  HttpServer server(TestConfig(), [&](const HttpRequest&) {
+    ++handled;
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 25;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      TestHttpClient client(server.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const ClientResponse response = client.Request("GET", "/load");
+        if (response.status != 200) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(handled.load(), kThreads * kRequestsPerThread);
+  server.Stop();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAnsweredInOrder) {
+  HttpServer server(TestConfig(), [](const HttpRequest& request) {
+    return HttpResponse::Ok(request.target);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestHttpClient client(server.port());
+  ASSERT_TRUE(client.SendRaw(
+      "GET /one HTTP/1.1\r\nhost: x\r\n\r\n"
+      "GET /two HTTP/1.1\r\nhost: x\r\n\r\n"));
+  const ClientResponse first = client.ReadResponse();
+  const ClientResponse second = client.ReadResponse();
+  EXPECT_EQ(first.body, "/one");
+  EXPECT_EQ(second.body, "/two");
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConnectionCloseHonoured) {
+  HttpServer server(TestConfig(), [](const HttpRequest&) {
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestHttpClient client(server.port());
+  const ClientResponse response =
+      client.Request("GET", "/bye", "", /*keep_alive=*/false);
+  EXPECT_EQ(response.status, 200);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotent) {
+  HttpServer server(TestConfig(), [](const HttpRequest&) {
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Stop();  // must not crash or hang
+}
+
+TEST(HttpServerTest, DoubleStartFails) {
+  HttpServer server(TestConfig(), [](const HttpRequest&) {
+    return HttpResponse::Ok("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace etude::net

@@ -1,0 +1,136 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::net {
+namespace {
+
+using State = HttpRequestParser::State;
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n"),
+            State::kComplete);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.Header("Host"), "x");
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /predictions/gru4rec HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 17\r\n"
+      "\r\n"
+      "{\"session\":[1,2]}";
+  EXPECT_EQ(parser.Consume(wire), State::kComplete);
+  EXPECT_EQ(parser.request().body, "{\"session\":[1,2]}");
+  EXPECT_EQ(parser.request().Header("content-type"), "application/json");
+}
+
+TEST(HttpParserTest, IncrementalByteFeeding) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+  for (size_t i = 0; i < wire.size(); ++i) {
+    const State state = parser.Consume(wire.substr(i, 1));
+    if (i + 1 < wire.size()) {
+      EXPECT_EQ(state, State::kIncomplete) << "byte " << i;
+    } else {
+      EXPECT_EQ(state, State::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, HeaderNamesLowerCasedValuesTrimmed) {
+  HttpRequestParser parser;
+  parser.Consume("GET / HTTP/1.1\r\nX-Custom-Header:   spaced value  \r\n\r\n");
+  EXPECT_EQ(parser.request().Header("x-custom-header"), "spaced value");
+}
+
+TEST(HttpParserTest, PipelinedRequests) {
+  HttpRequestParser parser;
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(parser.Consume(two), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_EQ(parser.Reset(), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_EQ(parser.Reset(), State::kIncomplete);
+}
+
+TEST(HttpParserTest, RejectsMalformedInput) {
+  const char* bad_inputs[] = {
+      "NOT-A-REQUEST\r\n\r\n",
+      "GET /\r\n\r\n",                                // missing version
+      "GET / NOTHTTP\r\n\r\n",                        // bad version token
+      "GET / HTTP/1.1\r\nbad header line\r\n\r\n",    // no colon
+      "GET / HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
+      "GET / HTTP/1.1\r\ncontent-length: -5\r\n\r\n",
+      "GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+  };
+  for (const char* input : bad_inputs) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Consume(input), State::kError) << input;
+    EXPECT_FALSE(parser.error().empty());
+  }
+}
+
+TEST(HttpParserTest, ErrorStateSticks) {
+  HttpRequestParser parser;
+  parser.Consume("garbage\r\n\r\n");
+  EXPECT_EQ(parser.state(), State::kError);
+  EXPECT_EQ(parser.Consume("GET / HTTP/1.1\r\n\r\n"), State::kError);
+}
+
+TEST(HttpParserTest, OversizedBodyRejected) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume(
+                "POST / HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n"),
+            State::kError);
+}
+
+TEST(HttpRequestTest, KeepAliveSemantics) {
+  HttpRequest request;
+  request.version = "HTTP/1.1";
+  EXPECT_TRUE(request.KeepAlive());  // 1.1 default
+  request.headers["connection"] = "close";
+  EXPECT_FALSE(request.KeepAlive());
+  request.version = "HTTP/1.0";
+  request.headers.clear();
+  EXPECT_FALSE(request.KeepAlive());  // 1.0 default
+  request.headers["connection"] = "keep-alive";
+  EXPECT_TRUE(request.KeepAlive());
+}
+
+TEST(HttpResponseTest, SerializeIncludesLengthAndStatus) {
+  HttpResponse response = HttpResponse::Ok("{\"a\":1}");
+  const std::string wire = response.Serialize(true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"a\":1}"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorFactory) {
+  HttpResponse response = HttpResponse::Error(404, "nope");
+  EXPECT_EQ(response.status, 404);
+  const std::string wire = response.Serialize(false);
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(wire.find("connection: close"), std::string::npos);
+  EXPECT_NE(wire.find("nope"), std::string::npos);
+}
+
+TEST(HttpStatusTextTest, KnownCodes) {
+  EXPECT_EQ(HttpStatusText(200), "OK");
+  EXPECT_EQ(HttpStatusText(503), "Service Unavailable");
+  EXPECT_EQ(HttpStatusText(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace etude::net

@@ -1,0 +1,134 @@
+#ifndef ETUDE_TESTS_NET_TEST_HTTP_CLIENT_H_
+#define ETUDE_TESTS_NET_TEST_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace etude::net::testing {
+
+/// Response captured by the blocking test client.
+struct ClientResponse {
+  bool ok = false;           // transport-level success
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// A deliberately simple blocking HTTP/1.1 client for tests: one
+/// connection per object, supports sequential keep-alive requests.
+class TestHttpClient {
+ public:
+  explicit TestHttpClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestHttpClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends raw bytes (for malformed-input tests).
+  bool SendRaw(const std::string& data) {
+    if (fd_ < 0) return false;
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = write(fd_, data.data() + sent, data.size() - sent);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Sends one request and blocks for the full response.
+  ClientResponse Request(const std::string& method,
+                         const std::string& target,
+                         const std::string& body = "",
+                         bool keep_alive = true) {
+    ClientResponse response;
+    std::string wire = method + " " + target + " HTTP/1.1\r\n";
+    wire += "host: 127.0.0.1\r\n";
+    if (!keep_alive) wire += "connection: close\r\n";
+    if (!body.empty()) {
+      wire += "content-type: application/json\r\n";
+      wire += "content-length: " + std::to_string(body.size()) + "\r\n";
+    }
+    wire += "\r\n" + body;
+    if (!SendRaw(wire)) return response;
+    return ReadResponse();
+  }
+
+  /// Reads one full response (requires a content-length header, which the
+  /// server always sends). Surplus bytes — e.g. the second of two
+  /// pipelined responses arriving in one TCP segment — stay buffered for
+  /// the next call.
+  ClientResponse ReadResponse() {
+    ClientResponse response;
+    size_t header_end;
+    size_t content_length = 0;
+    char chunk[4096];
+    while (true) {
+      header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const size_t length_pos = buffer_.find("content-length:");
+        if (length_pos != std::string::npos && length_pos < header_end) {
+          content_length = static_cast<size_t>(
+              std::strtoll(buffer_.c_str() + length_pos + 15, nullptr, 10));
+          if (buffer_.size() >= header_end + 4 + content_length) {
+            response.body = buffer_.substr(header_end + 4, content_length);
+            break;
+          }
+        }
+      }
+      const ssize_t n = read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return response;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    // Status line: "HTTP/1.1 200 OK".
+    const size_t space = buffer_.find(' ');
+    if (space == std::string::npos || space > header_end) return response;
+    response.status = std::atoi(buffer_.c_str() + space + 1);
+    // Headers.
+    size_t cursor = buffer_.find("\r\n") + 2;
+    while (cursor < header_end) {
+      const size_t eol = buffer_.find("\r\n", cursor);
+      const std::string line = buffer_.substr(cursor, eol - cursor);
+      cursor = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string name = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+        response.headers[name] = value;
+      }
+    }
+    // Keep any pipelined surplus for the next ReadResponse call.
+    buffer_.erase(0, header_end + 4 + content_length);
+    response.ok = true;
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // unconsumed bytes across ReadResponse calls
+};
+
+}  // namespace etude::net::testing
+
+#endif  // ETUDE_TESTS_NET_TEST_HTTP_CLIENT_H_

@@ -1,0 +1,119 @@
+#include "serving/etude_serve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "models/model_factory.h"
+#include "tests/net/test_http_client.h"
+
+namespace etude::serving {
+namespace {
+
+using net::testing::ClientResponse;
+using net::testing::TestHttpClient;
+
+class EtudeServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    models::ModelConfig config;
+    config.catalog_size = 5000;
+    config.top_k = 7;
+    auto model = models::CreateModel(models::ModelKind::kGru4Rec, config);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+    serve_ = std::make_unique<EtudeServe>(model_.get(), EtudeServeConfig{});
+    ASSERT_TRUE(serve_->Start().ok());
+  }
+
+  void TearDown() override { serve_->Stop(); }
+
+  std::unique_ptr<models::SessionModel> model_;
+  std::unique_ptr<EtudeServe> serve_;
+};
+
+TEST_F(EtudeServeTest, HealthzAnswersReady) {
+  TestHttpClient client(serve_->port());
+  const ClientResponse response = client.Request("GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("ready"), std::string::npos);
+}
+
+TEST_F(EtudeServeTest, ServesRealPredictions) {
+  TestHttpClient client(serve_->port());
+  const ClientResponse response = client.Request(
+      "POST", "/predictions/gru4rec", "{\"session\": [12, 99, 4000]}");
+  ASSERT_EQ(response.status, 200);
+
+  auto body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok()) << response.body;
+  const JsonValue& items = body->Get("items");
+  ASSERT_TRUE(items.is_array());
+  ASSERT_EQ(items.items().size(), 7u);
+
+  // The HTTP answer must equal a direct model call (same weights).
+  auto direct = model_->Recommend({12, 99, 4000});
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(items.items()[i].as_int(), direct->items[i]) << "rank " << i;
+  }
+}
+
+TEST_F(EtudeServeTest, ReportsInferenceDurationHeader) {
+  TestHttpClient client(serve_->port());
+  const ClientResponse response = client.Request(
+      "POST", "/predictions/gru4rec", "{\"session\": [1]}");
+  ASSERT_EQ(response.status, 200);
+  const auto it = response.headers.find("x-inference-us");
+  ASSERT_NE(it, response.headers.end());
+  EXPECT_GE(std::stoll(it->second), 0);
+}
+
+TEST_F(EtudeServeTest, RejectsBadPayloads) {
+  TestHttpClient client(serve_->port());
+  EXPECT_EQ(client.Request("POST", "/predictions/gru4rec", "not json")
+                .status,
+            400);
+  EXPECT_EQ(client.Request("POST", "/predictions/gru4rec", "{}").status,
+            400);
+  EXPECT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": [\"a\"]}")
+                .status,
+            400);
+  // Valid JSON, invalid item id.
+  EXPECT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": [999999]}")
+                .status,
+            400);
+  // Empty session.
+  EXPECT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": []}")
+                .status,
+            400);
+}
+
+TEST_F(EtudeServeTest, UnknownRouteIs404MethodIs405) {
+  TestHttpClient client(serve_->port());
+  EXPECT_EQ(client.Request("GET", "/predictions/bert").status, 404);
+  EXPECT_EQ(client.Request("GET", "/predictions/gru4rec").status, 405);
+}
+
+TEST_F(EtudeServeTest, MetricsTrackServedPredictions) {
+  TestHttpClient client(serve_->port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client.Request("POST", "/predictions/gru4rec",
+                             "{\"session\": [5]}")
+                  .status,
+              200);
+  }
+  const ClientResponse response = client.Request("GET", "/metrics");
+  ASSERT_EQ(response.status, 200);
+  auto metrics = ParseJson(response.body);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->GetIntOr("predictions_served", -1), 3);
+  EXPECT_EQ(metrics->GetStringOr("model", ""), "GRU4Rec");
+  EXPECT_EQ(metrics->GetIntOr("catalog_size", -1), 5000);
+  EXPECT_EQ(serve_->predictions_served(), 3);
+}
+
+}  // namespace
+}  // namespace etude::serving

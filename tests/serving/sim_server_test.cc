@@ -1,0 +1,231 @@
+#include "serving/sim_server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/model_factory.h"
+
+namespace etude::serving {
+namespace {
+
+std::unique_ptr<models::SessionModel> MakeModel(int64_t catalog = 2000,
+                                                bool materialize = true) {
+  models::ModelConfig config;
+  config.catalog_size = catalog;
+  config.top_k = 5;
+  config.materialize_embeddings = materialize;
+  auto model = models::CreateModel(models::ModelKind::kStamp, config);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+InferenceRequest MakeRequest(int64_t id) {
+  InferenceRequest request;
+  request.request_id = id;
+  request.session_id = id;
+  request.session_items = {1, 2, 3};
+  return request;
+}
+
+TEST(SimServerTest, AnswersSingleRequest) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  SimServerConfig config;
+  SimInferenceServer server(&sim, model.get(), config);
+  InferenceResponse response;
+  server.HandleRequest(MakeRequest(1),
+                       [&](const InferenceResponse& r) { response = r; });
+  sim.Run();
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.http_status, 200);
+  EXPECT_EQ(response.request_id, 1);
+  EXPECT_GT(response.inference_us, 0);
+  EXPECT_GE(response.server_time_us, response.inference_us);
+  EXPECT_EQ(server.pending(), 0);
+}
+
+TEST(SimServerTest, CpuWorkersRunConcurrently) {
+  // With W workers, W identical requests finish in ~one service time,
+  // W+1 requests take ~two.
+  sim::Simulation sim;
+  auto model = MakeModel();
+  SimServerConfig config;
+  config.jitter_sigma = 0.0;
+  const int workers = config.device.worker_slots;
+  SimInferenceServer server(&sim, model.get(), config);
+  std::vector<int64_t> completion_times;
+  for (int i = 0; i < workers + 1; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse&) {
+      completion_times.push_back(sim.now_us());
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(static_cast<int>(completion_times.size()), workers + 1);
+  const int64_t first = completion_times.front();
+  const int64_t last = completion_times.back();
+  EXPECT_NEAR(static_cast<double>(last), 2.0 * static_cast<double>(first),
+              0.05 * static_cast<double>(first));
+}
+
+TEST(SimServerTest, QueueOverflowYields503) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  SimServerConfig config;
+  config.max_queue_depth = 4;
+  SimInferenceServer server(&sim, model.get(), config);
+  int rejected = 0, accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse& r) {
+      if (r.http_status == 503) {
+        ++rejected;
+      } else {
+        ++accepted;
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(rejected, 6);
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(server.rejected(), 6);
+}
+
+TEST(SimServerTest, FunctionalInferenceReturnsRealRecommendations) {
+  sim::Simulation sim;
+  auto model = MakeModel();
+  SimServerConfig config;
+  config.functional_inference = true;
+  SimInferenceServer server(&sim, model.get(), config);
+  InferenceResponse response;
+  server.HandleRequest(MakeRequest(1),
+                       [&](const InferenceResponse& r) { response = r; });
+  sim.Run();
+  ASSERT_TRUE(response.ok);
+  ASSERT_EQ(response.recommended_items.size(), 5u);
+  // Must agree with calling the model directly.
+  auto direct = model->Recommend({1, 2, 3});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(response.recommended_items, direct->items);
+}
+
+TEST(SimServerTest, FunctionalInferenceSurfacesModelErrors) {
+  sim::Simulation sim;
+  auto model = MakeModel(2000, /*materialize=*/false);
+  SimServerConfig config;
+  config.functional_inference = true;
+  SimInferenceServer server(&sim, model.get(), config);
+  InferenceResponse response;
+  server.HandleRequest(MakeRequest(1),
+                       [&](const InferenceResponse& r) { response = r; });
+  sim.Run();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.http_status, 500);
+}
+
+TEST(SimServerTest, GpuBatchesRequestsWithinFlushWindow) {
+  sim::Simulation sim;
+  auto model = MakeModel(100000, /*materialize=*/false);
+  SimServerConfig config;
+  config.device = sim::DeviceSpec::GpuT4();
+  config.jitter_sigma = 0.0;
+  SimInferenceServer server(&sim, model.get(), config);
+
+  // Two requests arriving within 2 ms share one batch: the difference in
+  // completion times is zero (same batch), and the total cost is less
+  // than two serial executions.
+  std::vector<int64_t> completions;
+  server.HandleRequest(MakeRequest(1), [&](const InferenceResponse&) {
+    completions.push_back(sim.now_us());
+  });
+  sim.Schedule(500, [&] {
+    server.HandleRequest(MakeRequest(2), [&](const InferenceResponse&) {
+      completions.push_back(sim.now_us());
+    });
+  });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], completions[1]);  // same batch
+
+  const auto work = model->CostModel(models::ExecutionMode::kJit, 3);
+  const double serial = sim::SerialInferenceUs(config.device, work);
+  // Flush waits 2 ms from the first request, then executes the batch.
+  const double batch = sim::BatchInferenceUs(config.device, work, 2);
+  EXPECT_NEAR(static_cast<double>(completions[0]), 2000.0 + batch,
+              0.01 * batch + 2.0);
+  EXPECT_LT(static_cast<double>(completions[0]), 2000.0 + 2 * serial);
+}
+
+TEST(SimServerTest, GpuFullBufferFlushesEarly) {
+  sim::Simulation sim;
+  auto model = MakeModel(100000, /*materialize=*/false);
+  SimServerConfig config;
+  config.device = sim::DeviceSpec::GpuT4();
+  config.batching.max_batch_size = 4;
+  config.jitter_sigma = 0.0;
+  SimInferenceServer server(&sim, model.get(), config);
+  std::vector<int64_t> completions;
+  for (int i = 0; i < 4; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse&) {
+      completions.push_back(sim.now_us());
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 4u);
+  // A full buffer dispatches immediately, well before the 2 ms window.
+  const auto work = model->CostModel(models::ExecutionMode::kJit, 3);
+  const double batch = sim::BatchInferenceUs(config.device, work, 4);
+  EXPECT_NEAR(static_cast<double>(completions[0]), batch,
+              0.01 * batch + 2.0);
+}
+
+TEST(SimServerTest, RequestsBufferedWhileExecutorBusy) {
+  // Requests arriving during a batch execution accumulate and ship as one
+  // batch when the executor frees up — the behaviour that amortises the
+  // catalog scan under load.
+  sim::Simulation sim;
+  auto model = MakeModel(1000000, /*materialize=*/false);
+  SimServerConfig config;
+  config.device = sim::DeviceSpec::GpuT4();
+  config.jitter_sigma = 0.0;
+  SimInferenceServer server(&sim, model.get(), config);
+  std::vector<int64_t> completions;
+  auto record = [&](const InferenceResponse&) {
+    completions.push_back(sim.now_us());
+  };
+  server.HandleRequest(MakeRequest(0), record);
+  // While batch 1 runs (>= ~1 ms after the 2 ms flush), send 8 more.
+  for (int i = 1; i <= 8; ++i) {
+    sim.Schedule(2100 + i * 50, [&, i] {
+      server.HandleRequest(MakeRequest(i), record);
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 9u);
+  // The last eight all complete at the same time (one shared batch).
+  for (size_t i = 2; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i], completions[1]);
+  }
+  EXPECT_GT(completions[1], completions[0]);
+}
+
+TEST(SimServerTest, JitModeFasterThanEager) {
+  auto model = MakeModel(100000, /*materialize=*/false);
+  auto run = [&](models::ExecutionMode mode) {
+    sim::Simulation sim;
+    SimServerConfig config;
+    config.mode = mode;
+    config.jitter_sigma = 0.0;
+    SimInferenceServer server(&sim, model.get(), config);
+    int64_t completion = 0;
+    server.HandleRequest(MakeRequest(1), [&](const InferenceResponse&) {
+      completion = sim.now_us();
+    });
+    sim.Run();
+    return completion;
+  };
+  EXPECT_LT(run(models::ExecutionMode::kJit),
+            run(models::ExecutionMode::kEager));
+}
+
+}  // namespace
+}  // namespace etude::serving

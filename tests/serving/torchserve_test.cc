@@ -1,0 +1,178 @@
+#include "serving/torchserve_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/model_factory.h"
+#include "serving/static_server.h"
+
+namespace etude::serving {
+namespace {
+
+InferenceRequest MakeRequest(int64_t id) {
+  InferenceRequest request;
+  request.request_id = id;
+  request.session_items = {1};
+  return request;
+}
+
+TEST(TorchServeTest, NullModelAnswersWithoutInference) {
+  sim::Simulation sim;
+  TorchServeConfig config;
+  config.jitter_sigma = 0.0;
+  TorchServeSimServer server(&sim, nullptr, config);
+  InferenceResponse response;
+  server.HandleRequest(MakeRequest(1),
+                       [&](const InferenceResponse& r) { response = r; });
+  sim.Run();
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.inference_us, 0);
+  // Service cost = frontend + 2x IPC + python overhead.
+  const double expected = config.frontend_overhead_us +
+                          2 * config.ipc_overhead_us +
+                          config.python_overhead_us;
+  EXPECT_NEAR(static_cast<double>(response.server_time_us), expected, 2.0);
+}
+
+TEST(TorchServeTest, PerRequestOverheadFarAboveEtudeServer) {
+  // The architectural comparison behind Fig. 2: TorchServe's empty-request
+  // cost is orders of magnitude above the Actix-style server's.
+  sim::Simulation sim;
+  TorchServeConfig ts_config;
+  ts_config.jitter_sigma = 0.0;
+  TorchServeSimServer torchserve(&sim, nullptr, ts_config);
+  StaticResponseServer etude_server(&sim, 150.0, 0.0);
+  int64_t ts_time = 0, es_time = 0;
+  torchserve.HandleRequest(MakeRequest(1), [&](const InferenceResponse& r) {
+    ts_time = r.server_time_us;
+  });
+  int64_t start = sim.now_us();
+  etude_server.HandleRequest(MakeRequest(2), [&](const InferenceResponse&) {
+    es_time = sim.now_us() - start;
+  });
+  sim.Run();
+  EXPECT_GT(ts_time, 20 * es_time);
+}
+
+TEST(TorchServeTest, RequestsQueuedPastTimeoutFailWith500) {
+  sim::Simulation sim;
+  TorchServeConfig config;
+  config.jitter_sigma = 0.0;
+  config.device.worker_slots = 1;
+  TorchServeSimServer server(&sim, nullptr, config);
+  // Service time ~7.4 ms; the internal timeout is 100 ms, so with one
+  // worker, requests queued behind the ~14th wait >100 ms and fail.
+  int ok = 0, errors = 0;
+  for (int i = 0; i < 50; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse& r) {
+      if (r.ok) {
+        ++ok;
+      } else {
+        EXPECT_EQ(r.http_status, 500);
+        ++errors;
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_GT(errors, 20);
+  EXPECT_GT(ok, 5);
+  EXPECT_EQ(ok + errors, 50);
+  EXPECT_EQ(server.timeouts(), errors);
+}
+
+TEST(TorchServeTest, TimedOutRequestsFailFast) {
+  // A timed-out request only pays the frontend cost, which is what lets
+  // an overloaded TorchServe shed load via errors (Fig. 2).
+  sim::Simulation sim;
+  TorchServeConfig config;
+  config.jitter_sigma = 0.0;
+  config.device.worker_slots = 1;
+  TorchServeSimServer server(&sim, nullptr, config);
+  std::vector<int64_t> error_times;
+  int64_t last_ok_time = 0;
+  for (int i = 0; i < 40; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse& r) {
+      if (r.ok) {
+        last_ok_time = sim.now_us();
+      } else {
+        error_times.push_back(sim.now_us());
+      }
+    });
+  }
+  sim.Run();
+  ASSERT_FALSE(error_times.empty());
+  // Errors are emitted in a burst right after the timeout boundary, long
+  // before 40 full service times would have elapsed.
+  EXPECT_LT(error_times.back(), 40 * 7400);
+  EXPECT_GT(last_ok_time, 0);
+}
+
+TEST(TorchServeTest, QueueOverflowYields503) {
+  sim::Simulation sim;
+  TorchServeConfig config;
+  config.max_queue_depth = 2;
+  TorchServeSimServer server(&sim, nullptr, config);
+  int rejections = 0;
+  for (int i = 0; i < 5; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse& r) {
+      if (r.http_status == 503) ++rejections;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(rejections, 3);
+}
+
+TEST(TorchServeTest, ServesRealModelWhenConfigured) {
+  sim::Simulation sim;
+  models::ModelConfig model_config;
+  model_config.catalog_size = 50000;
+  model_config.materialize_embeddings = false;
+  auto model = models::CreateModel(models::ModelKind::kGru4Rec,
+                                   model_config);
+  ASSERT_TRUE(model.ok());
+  TorchServeConfig config;
+  config.null_model = false;
+  config.jitter_sigma = 0.0;
+  TorchServeSimServer server(&sim, model->get(), config);
+  InferenceResponse response;
+  server.HandleRequest(MakeRequest(1),
+                       [&](const InferenceResponse& r) { response = r; });
+  sim.Run();
+  EXPECT_TRUE(response.ok);
+  EXPECT_GT(response.inference_us, 0);
+}
+
+TEST(StaticServerTest, CountsServedRequests) {
+  sim::Simulation sim;
+  StaticResponseServer server(&sim, 100.0, 0.0);
+  int answered = 0;
+  for (int i = 0; i < 10; ++i) {
+    server.HandleRequest(MakeRequest(i),
+                         [&](const InferenceResponse& r) {
+                           EXPECT_TRUE(r.ok);
+                           ++answered;
+                         });
+  }
+  sim.Run();
+  EXPECT_EQ(answered, 10);
+  EXPECT_EQ(server.served(), 10);
+}
+
+TEST(StaticServerTest, NoWorkerPoolToSaturate) {
+  // Non-blocking IO: 1000 concurrent requests all complete ~service time,
+  // not 1000 x service time.
+  sim::Simulation sim;
+  StaticResponseServer server(&sim, 150.0, 0.0);
+  int64_t last_completion = 0;
+  for (int i = 0; i < 1000; ++i) {
+    server.HandleRequest(MakeRequest(i), [&](const InferenceResponse&) {
+      last_completion = sim.now_us();
+    });
+  }
+  sim.Run();
+  EXPECT_LE(last_completion, 200);
+}
+
+}  // namespace
+}  // namespace etude::serving

@@ -1,0 +1,110 @@
+// Property sweeps over the device cost model: invariants that must hold
+// for every (device, catalog size, embedding dim) combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "models/session_model.h"
+#include "sim/device.h"
+
+namespace etude::sim {
+namespace {
+
+using SweepParam = std::tuple<const char*, int64_t>;  // device, catalog
+
+class DeviceSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  DeviceSpec Device() const {
+    return *DeviceSpec::FromName(std::get<0>(GetParam()));
+  }
+  int64_t Catalog() const { return std::get<1>(GetParam()); }
+
+  InferenceWork Work(double catalog_scale = 1.0) const {
+    const double c = static_cast<double>(Catalog()) * catalog_scale;
+    const double d = static_cast<double>(
+        models::HeuristicEmbeddingDim(static_cast<int64_t>(c)));
+    InferenceWork work;
+    work.encode_flops = 24 * 5 * d * d;
+    work.encode_bytes = work.encode_flops / 2;
+    work.scan_flops = 2 * c * d + c * 4.4;
+    work.scan_bytes = c * d * 4;
+    work.op_count = 25;
+    return work;
+  }
+};
+
+TEST_P(DeviceSweepTest, LatencyIsPositiveAndFinite) {
+  const double us = SerialInferenceUs(Device(), Work());
+  EXPECT_GT(us, 0);
+  EXPECT_TRUE(std::isfinite(us));
+}
+
+TEST_P(DeviceSweepTest, LatencyMonotoneInCatalogSize) {
+  const DeviceSpec device = Device();
+  double previous = 0;
+  for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+    const double us = SerialInferenceUs(device, Work(scale));
+    EXPECT_GT(us, previous) << "scale " << scale;
+    previous = us;
+  }
+}
+
+TEST_P(DeviceSweepTest, EagerNeverFasterThanJit) {
+  InferenceWork work = Work();
+  const double jit = SerialInferenceUs(Device(), work);
+  work.jit_compiled = false;
+  EXPECT_GE(SerialInferenceUs(Device(), work), jit);
+}
+
+TEST_P(DeviceSweepTest, BatchCostBetweenOneAndNSerials) {
+  const DeviceSpec device = Device();
+  if (!device.supports_batching) return;
+  const InferenceWork work = Work();
+  const double serial = SerialInferenceUs(device, work);
+  for (const int batch : {2, 8, 64, 512}) {
+    const double cost = BatchInferenceUs(device, work, batch);
+    EXPECT_GT(cost, serial) << "batch " << batch;
+    EXPECT_LT(cost, batch * serial) << "batch " << batch;
+  }
+}
+
+TEST_P(DeviceSweepTest, BatchMarginalCostIsConstant) {
+  // The batch cost model is affine in the batch size.
+  const DeviceSpec device = Device();
+  const InferenceWork work = Work();
+  const double step_a = BatchInferenceUs(device, work, 11) -
+                        BatchInferenceUs(device, work, 10);
+  const double step_b = BatchInferenceUs(device, work, 101) -
+                        BatchInferenceUs(device, work, 100);
+  EXPECT_NEAR(step_a, step_b, 1e-6 * std::max(step_a, 1.0));
+}
+
+TEST_P(DeviceSweepTest, EfficiencyMultiplierIsProportional) {
+  InferenceWork work = Work();
+  const DeviceSpec device = Device();
+  const double launch = device.kernel_launch_us;
+  const double base = SerialInferenceUs(device, work) - launch;
+  work.cpu_efficiency = 2.0;
+  work.t4_efficiency = 2.0;
+  work.a100_efficiency = 2.0;
+  const double doubled = SerialInferenceUs(device, work) - launch;
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-6 * doubled);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeviceSweepTest,
+    ::testing::Combine(::testing::Values("cpu", "gpu-t4", "gpu-a100"),
+                       ::testing::Values(int64_t{10000}, int64_t{1000000},
+                                         int64_t{20000000})),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_C" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace etude::sim

@@ -1,0 +1,159 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::sim {
+namespace {
+
+InferenceWork HealthyWork(double catalog, double dim) {
+  InferenceWork work;
+  work.encode_flops = 1e5;
+  work.encode_bytes = 5e4;
+  work.scan_flops = 2 * catalog * dim;
+  work.scan_bytes = catalog * dim * 4;
+  work.op_count = 20;
+  work.jit_compiled = true;
+  return work;
+}
+
+TEST(DeviceSpecTest, FactoriesMatchPaperPricing) {
+  EXPECT_DOUBLE_EQ(DeviceSpec::Cpu().monthly_cost_usd, 108.09);
+  EXPECT_DOUBLE_EQ(DeviceSpec::GpuT4().monthly_cost_usd, 268.09);
+  EXPECT_DOUBLE_EQ(DeviceSpec::GpuA100().monthly_cost_usd, 2008.80);
+}
+
+TEST(DeviceSpecTest, CpuHasWorkersGpuHasBatching) {
+  EXPECT_GT(DeviceSpec::Cpu().worker_slots, 1);
+  EXPECT_FALSE(DeviceSpec::Cpu().supports_batching);
+  EXPECT_EQ(DeviceSpec::GpuT4().worker_slots, 1);
+  EXPECT_TRUE(DeviceSpec::GpuT4().supports_batching);
+  EXPECT_TRUE(DeviceSpec::GpuA100().supports_batching);
+}
+
+TEST(DeviceSpecTest, FromNameResolvesAliases) {
+  EXPECT_EQ(DeviceSpec::FromName("cpu")->kind, DeviceKind::kCpu);
+  EXPECT_EQ(DeviceSpec::FromName("GPU-T4")->kind, DeviceKind::kGpuT4);
+  EXPECT_EQ(DeviceSpec::FromName("t4")->kind, DeviceKind::kGpuT4);
+  EXPECT_EQ(DeviceSpec::FromName("a100")->kind, DeviceKind::kGpuA100);
+  EXPECT_FALSE(DeviceSpec::FromName("tpu").ok());
+}
+
+TEST(DeviceSpecTest, KindNames) {
+  EXPECT_EQ(DeviceKindToString(DeviceKind::kCpu), "CPU");
+  EXPECT_EQ(DeviceKindToString(DeviceKind::kGpuT4), "GPU-T4");
+  EXPECT_EQ(DeviceKindToString(DeviceKind::kGpuA100), "GPU-A100");
+}
+
+TEST(SerialInferenceTest, LinearInCatalogSize) {
+  // Paper Sec. II: inference time dominated by the catalog size; latency
+  // scales linearly with C (Fig. 3).
+  const DeviceSpec cpu = DeviceSpec::Cpu();
+  const double t1 = SerialInferenceUs(cpu, HealthyWork(1e6, 32));
+  const double t10 = SerialInferenceUs(cpu, HealthyWork(1e7, 32));
+  EXPECT_NEAR(t10 / t1, 10.0, 0.5);  // fixed overheads break exactness
+}
+
+TEST(SerialInferenceTest, CpuSlowerThanGpuAtLargeCatalogs) {
+  const double cpu = SerialInferenceUs(DeviceSpec::Cpu(),
+                                       HealthyWork(1e6, 32));
+  const double t4 = SerialInferenceUs(DeviceSpec::GpuT4(),
+                                      HealthyWork(1e6, 32));
+  EXPECT_GT(cpu, 50000.0);     // paper: >50 ms at C=1e6
+  EXPECT_GT(cpu / t4, 10.0);   // paper: GPU >10x faster
+}
+
+TEST(SerialInferenceTest, GpuLaunchDominatesAtSmallCatalogs) {
+  // Paper: CPU on par with or faster than GPU at C=1e4.
+  const double cpu = SerialInferenceUs(DeviceSpec::Cpu(),
+                                       HealthyWork(1e4, 10));
+  const double t4 = SerialInferenceUs(DeviceSpec::GpuT4(),
+                                      HealthyWork(1e4, 10));
+  EXPECT_LT(cpu, t4 * 1.2);
+}
+
+TEST(SerialInferenceTest, A100FasterThanT4) {
+  const InferenceWork work = HealthyWork(1e7, 57);
+  EXPECT_LT(SerialInferenceUs(DeviceSpec::GpuA100(), work),
+            SerialInferenceUs(DeviceSpec::GpuT4(), work));
+}
+
+TEST(SerialInferenceTest, EagerSlowerThanJit) {
+  InferenceWork work = HealthyWork(1e5, 18);
+  const double jit = SerialInferenceUs(DeviceSpec::Cpu(), work);
+  work.jit_compiled = false;
+  const double eager = SerialInferenceUs(DeviceSpec::Cpu(), work);
+  EXPECT_GT(eager, jit);
+}
+
+TEST(SerialInferenceTest, EfficiencyMultiplierScalesTensorWork) {
+  InferenceWork work = HealthyWork(1e6, 32);
+  const double base = SerialInferenceUs(DeviceSpec::Cpu(), work);
+  work.cpu_efficiency = 2.0;
+  const double slowed = SerialInferenceUs(DeviceSpec::Cpu(), work);
+  EXPECT_GT(slowed, 1.8 * base);  // launch overhead is not scaled
+  // GPU multiplier does not affect CPU time.
+  work.cpu_efficiency = 1.0;
+  work.t4_efficiency = 5.0;
+  EXPECT_DOUBLE_EQ(SerialInferenceUs(DeviceSpec::Cpu(), work), base);
+}
+
+TEST(SerialInferenceTest, HostSyncsAddCost) {
+  InferenceWork work = HealthyWork(1e5, 18);
+  const double base = SerialInferenceUs(DeviceSpec::GpuT4(), work);
+  work.host_sync_points = 3;
+  work.host_compute_us = 800;
+  const double with_syncs = SerialInferenceUs(DeviceSpec::GpuT4(), work);
+  EXPECT_NEAR(with_syncs - base,
+              3 * (DeviceSpec::GpuT4().pcie_roundtrip_us + 800), 1.0);
+}
+
+TEST(BatchInferenceTest, BatchOfOneEqualsSerial) {
+  const InferenceWork work = HealthyWork(1e6, 32);
+  EXPECT_DOUBLE_EQ(BatchInferenceUs(DeviceSpec::GpuT4(), work, 1),
+                   SerialInferenceUs(DeviceSpec::GpuT4(), work));
+}
+
+TEST(BatchInferenceTest, BatchingAmortisesTheScan) {
+  const InferenceWork work = HealthyWork(1e7, 57);
+  const DeviceSpec t4 = DeviceSpec::GpuT4();
+  const double serial = SerialInferenceUs(t4, work);
+  const double batch32 = BatchInferenceUs(t4, work, 32);
+  // 32 requests batched cost far less than 32 serial executions...
+  EXPECT_LT(batch32, 0.25 * 32 * serial);
+  // ...but more than a single one.
+  EXPECT_GT(batch32, serial);
+}
+
+TEST(BatchInferenceTest, MonotoneInBatchSize) {
+  const InferenceWork work = HealthyWork(1e6, 32);
+  double previous = 0;
+  for (int b = 1; b <= 256; b *= 2) {
+    const double cost = BatchInferenceUs(DeviceSpec::GpuA100(), work, b);
+    EXPECT_GT(cost, previous);
+    previous = cost;
+  }
+}
+
+TEST(BatchInferenceTest, HighBatchShareLimitsAmortisation) {
+  InferenceWork work = HealthyWork(1e6, 32);
+  work.batch_share = 1.0;  // fully unbatchable (RepeatNet-like)
+  const DeviceSpec t4 = DeviceSpec::GpuT4();
+  const double serial = SerialInferenceUs(t4, work);
+  const double batch8 = BatchInferenceUs(t4, work, 8);
+  // Cost is essentially 8 serial tensor executions (launch paid once).
+  EXPECT_GT(batch8, 8 * (serial - t4.kernel_launch_us) * 0.99);
+}
+
+TEST(BatchInferenceTest, HostSyncsNeverBatch) {
+  InferenceWork work = HealthyWork(1e5, 18);
+  work.host_sync_points = 2;
+  work.host_compute_us = 500;
+  const DeviceSpec t4 = DeviceSpec::GpuT4();
+  const double per_sync = 2 * (t4.pcie_roundtrip_us + 500);
+  const double b1 = BatchInferenceUs(t4, work, 1);
+  const double b16 = BatchInferenceUs(t4, work, 16);
+  EXPECT_GT(b16 - b1, 15 * per_sync * 0.99);
+}
+
+}  // namespace
+}  // namespace etude::sim

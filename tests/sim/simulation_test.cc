@@ -1,0 +1,146 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace etude::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now_us(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now_us(), 300);
+}
+
+TEST(SimulationTest, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    ++fired;
+    sim.Schedule(10, [&] {
+      ++fired;
+      EXPECT_EQ(sim.now_us(), 20);
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool fired = false;
+  sim.Schedule(100, [&] {
+    sim.Schedule(-50, [&] {
+      fired = true;
+      EXPECT_EQ(sim.now_us(), 100);
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, ScheduleAtPastClampsToNow) {
+  Simulation sim;
+  int64_t fire_time = -1;
+  sim.Schedule(100, [&] {
+    sim.ScheduleAt(20, [&] { fire_time = sim.now_us(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fire_time, 100);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.Schedule(10, [&] { fired = true; });
+  handle.Cancel();
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle handle = sim.Schedule(10, [&] { ++fired; });
+  sim.Run();
+  handle.Cancel();  // already fired; must not crash
+  handle.Cancel();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<int64_t> fired;
+  sim.Schedule(100, [&] { fired.push_back(100); });
+  sim.Schedule(200, [&] { fired.push_back(200); });
+  sim.Schedule(300, [&] { fired.push_back(300); });
+  EXPECT_EQ(sim.RunUntil(200), 2);
+  EXPECT_EQ(fired, (std::vector<int64_t>{100, 200}));
+  EXPECT_EQ(sim.now_us(), 200);
+  EXPECT_EQ(sim.pending_events(), 1);
+  sim.Run();
+  EXPECT_EQ(fired.back(), 300);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulation sim;
+  sim.Schedule(10, [] {});
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.now_us(), 500);
+}
+
+TEST(SimulationTest, StopTerminatesRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1);
+  // A subsequent Run resumes.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, ManyEventsStressOrdering) {
+  Simulation sim;
+  int64_t last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.Schedule((i * 7919) % 1000, [&, i] {
+      if (sim.now_us() < last) monotone = false;
+      last = sim.now_us();
+      (void)i;
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace etude::sim

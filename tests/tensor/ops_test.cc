@@ -1,0 +1,328 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+
+namespace etude::tensor {
+namespace {
+
+TEST(MatMulTest, HandComputed) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Rng rng(1);
+  Tensor a = RandomNormal({4, 4}, 1.0f, &rng);
+  Tensor eye({4, 4});
+  for (int i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a));
+  EXPECT_TRUE(AllClose(MatMul(eye, a), a));
+}
+
+TEST(MatMulTest, MatVecAgreesWithMatMul) {
+  Rng rng(2);
+  Tensor a = RandomNormal({5, 7}, 1.0f, &rng);
+  Tensor x = RandomNormal({7}, 1.0f, &rng);
+  Tensor via_matmul = MatMul(a, x.Reshaped({7, 1})).Reshaped({5});
+  EXPECT_TRUE(AllClose(MatVec(a, x), via_matmul, 1e-4f));
+}
+
+TEST(LinearTest, MatchesManualComputation) {
+  Tensor x({1, 2}, {1, 2});
+  Tensor w({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor b({3}, {10, 20, 30});
+  Tensor y = Linear(x, w, b);
+  EXPECT_TRUE(AllClose(y, Tensor({1, 3}, {11, 22, 33})));
+}
+
+TEST(LinearTest, EmptyBiasSkipsBias) {
+  Tensor x({1, 2}, {1, 2});
+  Tensor w({1, 2}, {3, 4});
+  Tensor y = Linear(x, w, Tensor());
+  EXPECT_FLOAT_EQ(y[0], 11.0f);
+}
+
+TEST(ElementwiseTest, AddSubMul) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(Sub(b, a), Tensor({3}, {3, 3, 3})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor({3}, {4, 10, 18})));
+}
+
+TEST(ElementwiseTest, ScaleAndAddScalar) {
+  Tensor a({2}, {1, -2});
+  EXPECT_TRUE(AllClose(Scale(a, 3.0f), Tensor({2}, {3, -6})));
+  EXPECT_TRUE(AllClose(AddScalar(a, 1.0f), Tensor({2}, {2, -1})));
+}
+
+TEST(ElementwiseTest, AddRowwise) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor bias({2}, {10, 20});
+  EXPECT_TRUE(AllClose(AddRowwise(a, bias), Tensor({2, 2}, {11, 22, 13, 24})));
+}
+
+TEST(ActivationTest, SigmoidKnownValues) {
+  Tensor a({3}, {0.0f, 100.0f, -100.0f});
+  Tensor s = Sigmoid(a);
+  EXPECT_NEAR(s[0], 0.5f, 1e-6);
+  EXPECT_NEAR(s[1], 1.0f, 1e-6);
+  EXPECT_NEAR(s[2], 0.0f, 1e-6);
+}
+
+TEST(ActivationTest, TanhAndRelu) {
+  Tensor a({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_NEAR(Tanh(a)[0], std::tanh(-1.0f), 1e-6);
+  Tensor r = Relu(a);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[2], 2.0f);
+}
+
+TEST(ActivationTest, GeluApproximation) {
+  Tensor a({2}, {0.0f, 3.0f});
+  Tensor g = Gelu(a);
+  EXPECT_NEAR(g[0], 0.0f, 1e-6);
+  EXPECT_NEAR(g[1], 3.0f, 0.02f);  // gelu(3) ~ 2.996
+  // gelu is monotone-ish and bounded below by a small negative value.
+  Tensor neg({1}, {-10.0f});
+  EXPECT_NEAR(Gelu(neg)[0], 0.0f, 1e-3);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(3);
+  Tensor a = RandomNormal({4, 9}, 2.0f, &rng);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int64_t j = 0; j < 9; ++j) {
+      const float p = s.at(r, j);
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToShift) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor shifted = AddScalar(a, 100.0f);
+  EXPECT_TRUE(AllClose(Softmax(a), Softmax(shifted), 1e-5f));
+}
+
+TEST(SoftmaxTest, LargeValuesDoNotOverflow) {
+  Tensor a({2}, {1000.0f, 1001.0f});
+  Tensor s = Softmax(a);
+  EXPECT_FALSE(std::isnan(s[0]));
+  EXPECT_NEAR(s[0] + s[1], 1.0f, 1e-5);
+}
+
+TEST(LayerNormTest, NormalisesMeanAndVariance) {
+  Rng rng(4);
+  Tensor a = RandomNormal({3, 16}, 5.0f, &rng);
+  Tensor gain({16});
+  gain.Fill(1.0f);
+  Tensor bias({16});
+  Tensor n = LayerNorm(a, gain, bias);
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (int64_t j = 0; j < 16; ++j) mean += n.at(r, j);
+    mean /= 16;
+    for (int64_t j = 0; j < 16; ++j) {
+      var += (n.at(r, j) - mean) * (n.at(r, j) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GainAndBiasApplied) {
+  Tensor a({1, 2}, {-1, 1});
+  Tensor gain({2}, {2, 2});
+  Tensor bias({2}, {5, 5});
+  Tensor n = LayerNorm(a, gain, bias);
+  EXPECT_NEAR(n[0], 5.0f - 2.0f, 1e-4);
+  EXPECT_NEAR(n[1], 5.0f + 2.0f, 1e-4);
+}
+
+TEST(EmbeddingTest, GathersRows) {
+  Tensor table({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor out = Embedding(table, {2, 0, 2});
+  EXPECT_TRUE(AllClose(out, Tensor({3, 2}, {20, 21, 0, 1, 20, 21})));
+}
+
+TEST(ConcatTest, Rank1AndRank2) {
+  Tensor a({2}, {1, 2});
+  Tensor b({3}, {3, 4, 5});
+  EXPECT_TRUE(AllClose(Concat(a, b), Tensor({5}, {1, 2, 3, 4, 5})));
+  Tensor m({2, 1}, {1, 2});
+  Tensor n({2, 2}, {3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(Concat(m, n), Tensor({2, 3}, {1, 3, 4, 2, 5, 6})));
+}
+
+TEST(TransposeTest, TransposesAndInvolutes) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.at(2, 1), 5.0f);
+  EXPECT_TRUE(AllClose(Transpose(t), a));
+}
+
+TEST(ReductionTest, SumAndMeanRows) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(SumRows(a), Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(MeanRows(a), Tensor({3}, {2.5, 3.5, 4.5})));
+}
+
+TEST(L2NormalizeTest, RowsHaveUnitNorm) {
+  Rng rng(5);
+  Tensor a = RandomNormal({4, 8}, 3.0f, &rng);
+  Tensor n = L2NormalizeRows(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float norm = 0;
+    for (int64_t j = 0; j < 8; ++j) norm += n.at(r, j) * n.at(r, j);
+    EXPECT_NEAR(norm, 1.0f, 1e-5);
+  }
+}
+
+TEST(L2NormalizeTest, Rank1Vector) {
+  Tensor v({2}, {3, 4});
+  Tensor n = L2NormalizeRows(v);
+  EXPECT_NEAR(n[0], 0.6f, 1e-6);
+  EXPECT_NEAR(n[1], 0.8f, 1e-6);
+}
+
+TEST(DotTest, HandComputed) {
+  EXPECT_FLOAT_EQ(Dot(Tensor({3}, {1, 2, 3}), Tensor({3}, {4, 5, 6})), 32.0f);
+}
+
+TEST(ArgMaxTest, FindsFirstMaximum) {
+  EXPECT_EQ(ArgMax(Tensor({4}, {1, 5, 5, 2})), 1);
+  EXPECT_EQ(ArgMax(Tensor({1}, {0})), 0);
+}
+
+TEST(TopKTest, AgreesWithFullSort) {
+  Rng rng(6);
+  Tensor scores = RandomNormal({500}, 1.0f, &rng);
+  const TopKResult top = TopK(scores, 21);
+  ASSERT_EQ(top.indices.size(), 21u);
+  std::vector<float> sorted(scores.data(), scores.data() + scores.numel());
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (size_t i = 0; i < 21; ++i) {
+    EXPECT_FLOAT_EQ(top.scores[i], sorted[i]) << "rank " << i;
+    EXPECT_FLOAT_EQ(scores[top.indices[i]], top.scores[i]);
+  }
+}
+
+TEST(TopKTest, DescendingOrder) {
+  Rng rng(7);
+  Tensor scores = RandomNormal({100}, 1.0f, &rng);
+  const TopKResult top = TopK(scores, 10);
+  for (size_t i = 1; i < top.scores.size(); ++i) {
+    EXPECT_GE(top.scores[i - 1], top.scores[i]);
+  }
+}
+
+TEST(TopKTest, KLargerThanInputReturnsAll) {
+  Tensor scores({3}, {3, 1, 2});
+  const TopKResult top = TopK(scores, 10);
+  ASSERT_EQ(top.indices.size(), 3u);
+  EXPECT_EQ(top.indices[0], 0);
+  EXPECT_EQ(top.indices[1], 2);
+  EXPECT_EQ(top.indices[2], 1);
+}
+
+TEST(MipsTest, FindsNearestByInnerProduct) {
+  // Items: three orthogonal-ish rows; the query aligned with row 1.
+  Tensor items({3, 2}, {1, 0, 0, 1, -1, 0});
+  Tensor query({2}, {0.1f, 0.9f});
+  const TopKResult top = Mips(items, query, 1);
+  EXPECT_EQ(top.indices[0], 1);
+}
+
+TEST(GruCellTest, ZeroWeightsInterpolateToCandidate) {
+  // With all-zero weights: r=z=0.5, n=tanh(0)=0 -> h' = 0.5*h.
+  const int64_t d = 4;
+  Tensor x({d}), h({d});
+  h.Fill(1.0f);
+  Tensor w_ih({3 * d, d}), w_hh({3 * d, d}), b_ih({3 * d}), b_hh({3 * d});
+  Tensor next = GruCell(x, h, w_ih, w_hh, b_ih, b_hh);
+  for (int64_t j = 0; j < d; ++j) EXPECT_NEAR(next[j], 0.5f, 1e-6);
+}
+
+TEST(GruCellTest, OutputBounded) {
+  // GRU state stays in a bounded range by construction.
+  Rng rng(8);
+  const int64_t d = 8;
+  Tensor w_ih = XavierUniform({3 * d, d}, &rng);
+  Tensor w_hh = XavierUniform({3 * d, d}, &rng);
+  Tensor b({3 * d});
+  Tensor h({d});
+  for (int step = 0; step < 50; ++step) {
+    Tensor x = RandomNormal({d}, 1.0f, &rng);
+    h = GruCell(x, h, w_ih, w_hh, b, b);
+    for (int64_t j = 0; j < d; ++j) {
+      EXPECT_LE(std::abs(h[j]), 1.0f + 1e-5);
+    }
+  }
+}
+
+TEST(AttentionTest, UniformWhenQueryOrthogonal) {
+  // If q.k == 0 for all keys, the output is the mean of the values.
+  Tensor q({1, 2}, {0, 0});
+  Tensor k({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor v({3, 2}, {3, 0, 0, 3, 3, 3});
+  Tensor out = ScaledDotProductAttention(q, k, v);
+  EXPECT_NEAR(out.at(0, 0), 2.0f, 1e-5);
+  EXPECT_NEAR(out.at(0, 1), 2.0f, 1e-5);
+}
+
+TEST(AttentionTest, SharpQuerySelectsMatchingValue) {
+  Tensor q({1, 2}, {100, 0});
+  Tensor k({2, 2}, {1, 0, -1, 0});
+  Tensor v({2, 2}, {1, 2, 3, 4});
+  Tensor out = ScaledDotProductAttention(q, k, v);
+  EXPECT_NEAR(out.at(0, 0), 1.0f, 1e-3);
+  EXPECT_NEAR(out.at(0, 1), 2.0f, 1e-3);
+}
+
+TEST(InitTest, XavierUniformWithinBound) {
+  Rng rng(9);
+  Tensor w = XavierUniform({64, 32}, &rng);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::abs(w[i]), bound);
+  }
+}
+
+TEST(InitTest, RandomNormalMoments) {
+  Rng rng(10);
+  Tensor w = RandomNormal({100, 100}, 0.02f, &rng);
+  double sum = 0, sum_sq = 0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    sum += w[i];
+    sum_sq += static_cast<double>(w[i]) * w[i];
+  }
+  EXPECT_NEAR(sum / w.numel(), 0.0, 1e-3);
+  EXPECT_NEAR(std::sqrt(sum_sq / w.numel()), 0.02, 2e-3);
+}
+
+TEST(InitTest, DeterministicForSeed) {
+  Rng rng1(11), rng2(11);
+  Tensor a = XavierUniform({8, 8}, &rng1);
+  Tensor b = XavierUniform({8, 8}, &rng2);
+  EXPECT_TRUE(AllClose(a, b, 0.0f));
+}
+
+}  // namespace
+}  // namespace etude::tensor

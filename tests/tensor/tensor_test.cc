@@ -1,0 +1,99 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t[4], 4.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, Rank3Access) {
+  Tensor t({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at(1, 0, 1), 5.0f);
+  EXPECT_EQ(t.at(0, 1, 0), 2.0f);
+}
+
+TEST(TensorTest, FillSetsEveryElement) {
+  Tensor t({3, 3});
+  t.Fill(2.5f);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.rank(), 2);
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at(2, 1), 5.0f);
+}
+
+TEST(TensorTest, RowCopiesContiguousRow) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor row = t.Row(1);
+  EXPECT_EQ(row.rank(), 1);
+  EXPECT_EQ(row.dim(0), 3);
+  EXPECT_EQ(row[0], 3.0f);
+  EXPECT_EQ(row[2], 5.0f);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2, 3]f32");
+  EXPECT_EQ(Tensor().ShapeString(), "[]f32");
+}
+
+TEST(TensorTest, ComputeNumel) {
+  EXPECT_EQ(Tensor::ComputeNumel({}), 1);
+  EXPECT_EQ(Tensor::ComputeNumel({4}), 4);
+  EXPECT_EQ(Tensor::ComputeNumel({2, 0, 3}), 0);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 9;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 9.0f);
+}
+
+TEST(AllCloseTest, ComparesWithTolerance) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b));
+  Tensor c({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_TRUE(AllClose(a, c, 0.2f));
+}
+
+TEST(AllCloseTest, ShapeMismatchIsNotClose) {
+  Tensor a({2}, {1, 2});
+  Tensor b({1, 2}, {1, 2});
+  EXPECT_FALSE(AllClose(a, b));
+}
+
+}  // namespace
+}  // namespace etude::tensor

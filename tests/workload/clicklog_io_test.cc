@@ -1,0 +1,97 @@
+#include "workload/clicklog_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace etude::workload {
+namespace {
+
+std::vector<Session> SampleSessions() {
+  return {{7, {1, 2, 3}}, {9, {5}}, {12, {2, 2, 8}}};
+}
+
+TEST(ClickLogIoTest, WriteProducesAlgorithmOneTuples) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClickLogCsv(SampleSessions(), &out).ok());
+  EXPECT_EQ(out.str(),
+            "session_id,item_id,timestep\n"
+            "7,1,1\n7,2,2\n7,3,3\n"
+            "9,5,4\n"
+            "12,2,5\n12,2,6\n12,8,7\n");
+}
+
+TEST(ClickLogIoTest, RoundTrip) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClickLogCsv(SampleSessions(), &out).ok());
+  std::istringstream in(out.str());
+  auto sessions = ReadClickLogCsv(&in);
+  ASSERT_TRUE(sessions.ok()) << sessions.status().ToString();
+  ASSERT_EQ(sessions->size(), 3u);
+  EXPECT_EQ((*sessions)[0].session_id, 7);
+  EXPECT_EQ((*sessions)[0].items, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ((*sessions)[2].items, (std::vector<int64_t>{2, 2, 8}));
+}
+
+TEST(ClickLogIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/etude_clicklog.csv";
+  ASSERT_TRUE(WriteClickLogCsvFile(SampleSessions(), path).ok());
+  auto sessions = ReadClickLogCsvFile(path);
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_EQ(sessions->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ClickLogIoTest, SkipsBlankLines) {
+  std::istringstream in(
+      "session_id,item_id,timestep\n1,2,1\n\n1,3,2\n");
+  auto sessions = ReadClickLogCsv(&in);
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_EQ((*sessions)[0].items.size(), 2u);
+}
+
+TEST(ClickLogIoTest, RejectsMalformedInput) {
+  const char* bad_inputs[] = {
+      "",                                             // empty
+      "wrong,header,row\n1,2,3\n",                    // bad header
+      "session_id,item_id,timestep\n1,2\n",           // missing field
+      "session_id,item_id,timestep\nx,2,1\n",         // bad session id
+      "session_id,item_id,timestep\n1,-2,1\n",        // negative item
+      "session_id,item_id,timestep\n1,2,1\n1,3,1\n",  // non-increasing t
+      "session_id,item_id,timestep\n1,2,1\n2,3,2\n1,4,3\n",  // split sess.
+  };
+  for (const char* input : bad_inputs) {
+    std::istringstream in(input);
+    EXPECT_FALSE(ReadClickLogCsv(&in).ok()) << input;
+  }
+}
+
+TEST(ClickLogIoTest, NullStreamRejected) {
+  EXPECT_FALSE(WriteClickLogCsv({}, nullptr).ok());
+  EXPECT_FALSE(ReadClickLogCsv(nullptr).ok());
+}
+
+TEST(ClickLogIoTest, MissingFileRejected) {
+  EXPECT_FALSE(ReadClickLogCsvFile("/no/such/log.csv").ok());
+}
+
+TEST(ClickLogIoTest, GeneratorOutputRoundTrips) {
+  // The `etude generate` pipeline: Algorithm 1 -> CSV -> sessions.
+  auto generator =
+      SessionGenerator::Create(500, WorkloadStats{}, 19);
+  ASSERT_TRUE(generator.ok());
+  const auto original = generator->GenerateSessions(2000);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClickLogCsv(original, &out).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadClickLogCsv(&in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].session_id, original[i].session_id);
+    EXPECT_EQ((*parsed)[i].items, original[i].items);
+  }
+}
+
+}  // namespace
+}  // namespace etude::workload

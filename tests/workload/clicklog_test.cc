@@ -1,0 +1,118 @@
+#include "workload/clicklog.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::workload {
+namespace {
+
+ClickLogModelConfig SmallConfig() {
+  ClickLogModelConfig config;
+  config.catalog_size = 5000;
+  return config;
+}
+
+TEST(RealClickLogModelTest, RejectsInvalidConfig) {
+  ClickLogModelConfig config;
+  config.catalog_size = 1;
+  EXPECT_FALSE(RealClickLogModel::Create(config, 1).ok());
+  config = SmallConfig();
+  config.max_session_length = 0;
+  EXPECT_FALSE(RealClickLogModel::Create(config, 1).ok());
+}
+
+TEST(RealClickLogModelTest, GeneratesWellFormedSessions) {
+  auto model = RealClickLogModel::Create(SmallConfig(), 11);
+  ASSERT_TRUE(model.ok());
+  const auto sessions = model->Generate(10000);
+  int64_t clicks = 0;
+  int64_t previous_id = -1;
+  for (const Session& session : sessions) {
+    EXPECT_GT(session.session_id, previous_id);
+    previous_id = session.session_id;
+    EXPECT_GE(session.items.size(), 1u);
+    EXPECT_LE(static_cast<int64_t>(session.items.size()),
+              SmallConfig().max_session_length);
+    clicks += static_cast<int64_t>(session.items.size());
+    for (const int64_t item : session.items) {
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, SmallConfig().catalog_size);
+    }
+  }
+  EXPECT_GE(clicks, 10000);
+}
+
+TEST(RealClickLogModelTest, RepeatBehaviourPresent) {
+  // With repeat_probability > 0, sessions must contain within-session
+  // duplicates noticeably more often than independent draws would.
+  ClickLogModelConfig config = SmallConfig();
+  config.repeat_probability = 0.5;
+  auto model = RealClickLogModel::Create(config, 12);
+  const auto sessions = model->Generate(30000);
+  int64_t with_repeat = 0, long_sessions = 0;
+  for (const Session& session : sessions) {
+    if (session.items.size() < 3) continue;
+    ++long_sessions;
+    std::set<int64_t> unique(session.items.begin(), session.items.end());
+    if (unique.size() < session.items.size()) ++with_repeat;
+  }
+  ASSERT_GT(long_sessions, 100);
+  EXPECT_GT(static_cast<double>(with_repeat) /
+                static_cast<double>(long_sessions),
+            0.5);
+}
+
+TEST(EstimateWorkloadStatsTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(EstimateWorkloadStats({}, 100).ok());
+  std::vector<Session> one = {{0, {1, 2}}};
+  EXPECT_FALSE(EstimateWorkloadStats(one, 100).ok());
+  std::vector<Session> two = {{0, {1}}, {1, {2}}};
+  EXPECT_FALSE(EstimateWorkloadStats(two, 1).ok());
+}
+
+TEST(EstimateWorkloadStatsTest, RecoversMarginalsFromSyntheticLog) {
+  // Round trip: Algorithm 1 -> estimate -> exponents close to the inputs.
+  WorkloadStats stats;
+  stats.session_length_alpha = 2.4;
+  stats.click_count_alpha = 1.9;
+  auto generator = SessionGenerator::Create(20000, stats, 13);
+  ASSERT_TRUE(generator.ok());
+  const auto sessions = generator->GenerateSessions(200000);
+  auto estimated = EstimateWorkloadStats(sessions, 20000);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_NEAR(estimated->session_length_alpha, 2.4, 0.25);
+  EXPECT_GT(estimated->click_count_alpha, 1.0);
+  EXPECT_GE(estimated->max_session_length, 1);
+}
+
+TEST(SummarizeClickLogTest, ComputesBasicStatistics) {
+  std::vector<Session> sessions = {
+      {0, {0, 1, 2, 3}},
+      {1, {0}},
+      {2, {0, 0, 0}},
+  };
+  const ClickLogSummary summary = SummarizeClickLog(sessions, 10);
+  EXPECT_EQ(summary.num_sessions, 3);
+  EXPECT_EQ(summary.num_clicks, 8);
+  EXPECT_NEAR(summary.mean_session_length, 8.0 / 3.0, 1e-9);
+  EXPECT_GT(summary.gini_coefficient, 0.0);   // item 0 dominates
+  EXPECT_LE(summary.gini_coefficient, 1.0);
+  EXPECT_GT(summary.top1pct_click_share, 0.5);  // item 0 has 5 of 8 clicks
+}
+
+TEST(SummarizeClickLogTest, UniformLogHasLowGini) {
+  std::vector<Session> sessions;
+  for (int64_t i = 0; i < 100; ++i) {
+    sessions.push_back({i, {i}});  // every item clicked exactly once
+  }
+  const ClickLogSummary summary = SummarizeClickLog(sessions, 100);
+  EXPECT_NEAR(summary.gini_coefficient, 0.0, 1e-9);
+}
+
+TEST(SummarizeClickLogTest, EmptyLog) {
+  const ClickLogSummary summary = SummarizeClickLog({}, 10);
+  EXPECT_EQ(summary.num_sessions, 0);
+  EXPECT_EQ(summary.num_clicks, 0);
+}
+
+}  // namespace
+}  // namespace etude::workload

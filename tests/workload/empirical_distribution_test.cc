@@ -1,0 +1,105 @@
+#include "workload/empirical_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace etude::workload {
+namespace {
+
+TEST(EmpiricalDistributionTest, RejectsInvalidCounts) {
+  EXPECT_FALSE(EmpiricalDistribution::FromCounts({}).ok());
+  EXPECT_FALSE(EmpiricalDistribution::FromCounts({0, 0, 0}).ok());
+  EXPECT_FALSE(EmpiricalDistribution::FromCounts({5, -1}).ok());
+}
+
+TEST(EmpiricalDistributionTest, ProbabilitiesNormalised) {
+  auto dist = EmpiricalDistribution::FromCounts({1, 2, 3, 4});
+  ASSERT_TRUE(dist.ok());
+  double total = 0;
+  for (int64_t i = 0; i < dist->num_items(); ++i) {
+    total += dist->Probability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(dist->Probability(3), 0.4, 1e-12);
+}
+
+TEST(EmpiricalDistributionTest, ZeroCountItemsNeverSampled) {
+  auto dist = EmpiricalDistribution::FromCounts({0, 10, 0, 10, 0});
+  ASSERT_TRUE(dist.ok());
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t item = dist->Sample(&rng);
+    EXPECT_TRUE(item == 1 || item == 3) << item;
+  }
+}
+
+TEST(EmpiricalDistributionTest, SingleItem) {
+  auto dist = EmpiricalDistribution::FromCounts({7});
+  ASSERT_TRUE(dist.ok());
+  Rng rng(2);
+  EXPECT_EQ(dist->Sample(&rng), 0);
+  EXPECT_EQ(dist->SampleInverseTransform(&rng), 0);
+}
+
+TEST(EmpiricalDistributionTest, AliasSamplingMatchesProbabilities) {
+  const std::vector<int64_t> counts = {10, 30, 60};
+  auto dist = EmpiricalDistribution::FromCounts(counts);
+  Rng rng(3);
+  constexpr int kN = 300000;
+  std::vector<int64_t> histogram(counts.size(), 0);
+  for (int i = 0; i < kN; ++i) histogram[dist->Sample(&rng)]++;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double expected =
+        static_cast<double>(counts[i]) / 100.0 * kN;
+    EXPECT_NEAR(histogram[i], expected, 0.03 * kN) << "item " << i;
+  }
+}
+
+TEST(EmpiricalDistributionTest, InverseTransformMatchesProbabilities) {
+  const std::vector<int64_t> counts = {50, 25, 25};
+  auto dist = EmpiricalDistribution::FromCounts(counts);
+  Rng rng(4);
+  constexpr int kN = 200000;
+  std::vector<int64_t> histogram(counts.size(), 0);
+  for (int i = 0; i < kN; ++i) {
+    histogram[dist->SampleInverseTransform(&rng)]++;
+  }
+  EXPECT_NEAR(histogram[0], kN / 2, 0.03 * kN);
+  EXPECT_NEAR(histogram[1], kN / 4, 0.03 * kN);
+}
+
+TEST(EmpiricalDistributionTest, AliasAndInverseTransformAgree) {
+  // Both sampling strategies draw from the same distribution: compare
+  // their empirical frequencies on a skewed 100-item catalog.
+  std::vector<int64_t> counts;
+  for (int i = 0; i < 100; ++i) counts.push_back((i % 10 == 0) ? 100 : 1);
+  auto dist = EmpiricalDistribution::FromCounts(counts);
+  Rng rng_a(5), rng_b(6);
+  constexpr int kN = 200000;
+  std::vector<double> freq_alias(100, 0), freq_inverse(100, 0);
+  for (int i = 0; i < kN; ++i) {
+    freq_alias[dist->Sample(&rng_a)] += 1.0 / kN;
+    freq_inverse[dist->SampleInverseTransform(&rng_b)] += 1.0 / kN;
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(freq_alias[i], freq_inverse[i], 0.01) << "item " << i;
+  }
+}
+
+TEST(EmpiricalDistributionTest, HandlesLargeSkew) {
+  // One overwhelmingly popular item.
+  std::vector<int64_t> counts(1000, 1);
+  counts[123] = 1000000;
+  auto dist = EmpiricalDistribution::FromCounts(counts);
+  Rng rng(7);
+  int64_t hits = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (dist->Sample(&rng) == 123) ++hits;
+  }
+  EXPECT_GT(hits, kN * 95 / 100);
+}
+
+}  // namespace
+}  // namespace etude::workload

@@ -1,0 +1,117 @@
+// Property sweeps over the synthetic workload generator: statistical
+// invariants across the (alpha_l, alpha_c) grid a data scientist might
+// estimate from different click logs.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/power_law.h"
+#include "workload/session_generator.h"
+
+namespace etude::workload {
+namespace {
+
+using SweepParam = std::tuple<double, double>;  // alpha_l, alpha_c
+
+class GeneratorSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  WorkloadStats Stats() const {
+    WorkloadStats stats;
+    stats.session_length_alpha = std::get<0>(GetParam());
+    stats.click_count_alpha = std::get<1>(GetParam());
+    return stats;
+  }
+};
+
+TEST_P(GeneratorSweepTest, SessionsValidAcrossGrid) {
+  auto generator = SessionGenerator::Create(5000, Stats(), 101);
+  ASSERT_TRUE(generator.ok());
+  for (int i = 0; i < 2000; ++i) {
+    const Session session = generator->NextSession();
+    ASSERT_GE(session.items.size(), 1u);
+    ASSERT_LE(static_cast<int64_t>(session.items.size()),
+              Stats().max_session_length);
+    for (const int64_t item : session.items) {
+      ASSERT_GE(item, 0);
+      ASSERT_LT(item, 5000);
+    }
+  }
+}
+
+TEST_P(GeneratorSweepTest, LengthExponentRoundTrips) {
+  auto generator = SessionGenerator::Create(5000, Stats(), 102);
+  ASSERT_TRUE(generator.ok());
+  std::vector<int64_t> lengths;
+  for (int i = 0; i < 40000; ++i) {
+    lengths.push_back(
+        static_cast<int64_t>(generator->NextSession().items.size()));
+  }
+  auto fitted = FitPowerLawExponent(lengths, 1);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(*fitted, Stats().session_length_alpha,
+              0.15 * Stats().session_length_alpha);
+}
+
+TEST_P(GeneratorSweepTest, DeterministicAcrossGrid) {
+  auto a = SessionGenerator::Create(5000, Stats(), 103);
+  auto b = SessionGenerator::Create(5000, Stats(), 103);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a->NextSession().items, b->NextSession().items);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGrid, GeneratorSweepTest,
+    ::testing::Combine(::testing::Values(1.6, 2.2, 3.0),
+                       ::testing::Values(1.4, 1.8, 2.5)),
+    [](const auto& info) {
+      std::string name = "l";
+      name += std::to_string(static_cast<int>(std::get<0>(info.param) * 10));
+      name += "_c";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+      return name;
+    });
+
+TEST(GeneratorMonotonicityTest, SteeperLengthAlphaShortensSessions) {
+  // Mean session length decreases monotonically in alpha_l.
+  double previous_mean = 1e9;
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0, 3.5}) {
+    WorkloadStats stats;
+    stats.session_length_alpha = alpha;
+    auto generator = SessionGenerator::Create(1000, stats, 104);
+    ASSERT_TRUE(generator.ok());
+    int64_t clicks = 0;
+    constexpr int kSessions = 30000;
+    for (int i = 0; i < kSessions; ++i) {
+      clicks += static_cast<int64_t>(generator->NextSession().items.size());
+    }
+    const double mean = static_cast<double>(clicks) / kSessions;
+    EXPECT_LT(mean, previous_mean) << "alpha " << alpha;
+    previous_mean = mean;
+  }
+}
+
+TEST(GeneratorMonotonicityTest, HeavierClickTailConcentratesPopularity) {
+  // A heavier click-count tail (smaller alpha_c) concentrates clicks:
+  // the most-clicked item's share is far larger at alpha 1.5 than at a
+  // light-tailed alpha 3.0. (The relation is not monotone all the way to
+  // alpha -> 1, where *many* items become heavy and the single-item share
+  // dilutes again, so we compare two well-separated regimes.)
+  auto share_for = [](double alpha) {
+    WorkloadStats stats;
+    stats.click_count_alpha = alpha;
+    auto generator = SessionGenerator::Create(2000, stats, 105);
+    EXPECT_TRUE(generator.ok());
+    std::vector<int64_t> counts(2000, 0);
+    const auto clicks = generator->GenerateClicks(120000);
+    for (const Click& click : clicks) counts[click.item_id]++;
+    return static_cast<double>(
+               *std::max_element(counts.begin(), counts.end())) /
+           static_cast<double>(clicks.size());
+  };
+  EXPECT_GT(share_for(1.5), 3.0 * share_for(3.0));
+}
+
+}  // namespace
+}  // namespace etude::workload

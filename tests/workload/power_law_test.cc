@@ -1,0 +1,108 @@
+#include "workload/power_law.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace etude::workload {
+namespace {
+
+TEST(PowerLawTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(PowerLawSampler::Create(1.0, 1, 10).ok());   // alpha <= 1
+  EXPECT_FALSE(PowerLawSampler::Create(0.5, 1, 10).ok());
+  EXPECT_FALSE(PowerLawSampler::Create(2.0, 0, 10).ok());   // min < 1
+  EXPECT_FALSE(PowerLawSampler::Create(2.0, 5, 4).ok());    // max < min
+}
+
+TEST(PowerLawTest, AcceptsDegenerateRange) {
+  auto sampler = PowerLawSampler::Create(2.0, 3, 3);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler->Sample(&rng), 3);
+}
+
+TEST(PowerLawTest, SamplesStayInBounds) {
+  auto sampler = PowerLawSampler::Create(2.2, 1, 50);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = sampler->Sample(&rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(PowerLawTest, SmallValuesDominate) {
+  auto sampler = PowerLawSampler::Create(2.2, 1, 50);
+  Rng rng(3);
+  int64_t ones = 0, total = 100000;
+  for (int64_t i = 0; i < total; ++i) {
+    if (sampler->Sample(&rng) == 1) ++ones;
+  }
+  // For alpha=2.2 over [1,50], P(1) is roughly 0.55-0.75.
+  EXPECT_GT(ones, total / 2);
+  EXPECT_LT(ones, total * 9 / 10);
+}
+
+TEST(PowerLawTest, SteeperExponentConcentratesMore) {
+  Rng rng(4);
+  auto shallow = PowerLawSampler::Create(1.5, 1, 1000);
+  auto steep = PowerLawSampler::Create(3.0, 1, 1000);
+  double shallow_mean = 0, steep_mean = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    shallow_mean += static_cast<double>(shallow->Sample(&rng));
+    steep_mean += static_cast<double>(steep->Sample(&rng));
+  }
+  EXPECT_GT(shallow_mean / kN, 2.0 * steep_mean / kN);
+}
+
+TEST(PowerLawTest, DeterministicGivenRngState) {
+  auto sampler = PowerLawSampler::Create(2.0, 1, 100);
+  Rng a(9), b(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler->Sample(&a), sampler->Sample(&b));
+  }
+}
+
+/// Property: fitting the exponent on samples drawn from a known power law
+/// recovers the exponent — the round trip a data scientist performs when
+/// estimating workload statistics from a click log (paper Sec. II).
+class PowerLawFitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawFitTest, FitRecoversExponent) {
+  const double alpha = GetParam();
+  auto sampler = PowerLawSampler::Create(alpha, 1, 1000000);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(static_cast<uint64_t>(alpha * 1000));
+  std::vector<int64_t> samples;
+  samples.reserve(200000);
+  for (int i = 0; i < 200000; ++i) samples.push_back(sampler->Sample(&rng));
+  auto fitted = FitPowerLawExponent(samples, 1);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(*fitted, alpha, 0.15) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawFitTest,
+                         ::testing::Values(1.5, 1.8, 2.2, 2.8, 3.5));
+
+TEST(PowerLawFitTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitPowerLawExponent({}, 1).ok());
+  EXPECT_FALSE(FitPowerLawExponent({1}, 1).ok());
+  EXPECT_FALSE(FitPowerLawExponent({5, 7}, 0).ok());   // x_min < 1
+  EXPECT_FALSE(FitPowerLawExponent({1, 2}, 10).ok());  // all below x_min
+}
+
+TEST(PowerLawFitTest, IgnoresValuesBelowXmin) {
+  // Values below x_min must not contribute.
+  std::vector<int64_t> values = {1, 1, 1, 10, 20, 40, 80};
+  auto with_small = FitPowerLawExponent(values, 10);
+  std::vector<int64_t> only_large = {10, 20, 40, 80};
+  auto without_small = FitPowerLawExponent(only_large, 10);
+  ASSERT_TRUE(with_small.ok());
+  ASSERT_TRUE(without_small.ok());
+  EXPECT_DOUBLE_EQ(*with_small, *without_small);
+}
+
+}  // namespace
+}  // namespace etude::workload

@@ -1,0 +1,142 @@
+#include "workload/session_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/power_law.h"
+
+namespace etude::workload {
+namespace {
+
+WorkloadStats DefaultStats() { return WorkloadStats{}; }
+
+TEST(SessionGeneratorTest, RejectsInvalidConfig) {
+  EXPECT_FALSE(SessionGenerator::Create(0, DefaultStats(), 1).ok());
+  WorkloadStats bad = DefaultStats();
+  bad.max_session_length = 0;
+  EXPECT_FALSE(SessionGenerator::Create(100, bad, 1).ok());
+  bad = DefaultStats();
+  bad.session_length_alpha = 0.9;  // power law requires alpha > 1
+  EXPECT_FALSE(SessionGenerator::Create(100, bad, 1).ok());
+}
+
+TEST(SessionGeneratorTest, SessionsAreWellFormed) {
+  auto generator = SessionGenerator::Create(1000, DefaultStats(), 42);
+  ASSERT_TRUE(generator.ok());
+  for (int i = 0; i < 1000; ++i) {
+    const Session session = generator->NextSession();
+    EXPECT_EQ(session.session_id, i);  // monotone ids
+    EXPECT_GE(session.items.size(), 1u);
+    EXPECT_LE(static_cast<int64_t>(session.items.size()),
+              DefaultStats().max_session_length);
+    for (const int64_t item : session.items) {
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, 1000);
+    }
+  }
+}
+
+TEST(SessionGeneratorTest, DeterministicForSeed) {
+  auto a = SessionGenerator::Create(500, DefaultStats(), 7);
+  auto b = SessionGenerator::Create(500, DefaultStats(), 7);
+  for (int i = 0; i < 100; ++i) {
+    const Session sa = a->NextSession();
+    const Session sb = b->NextSession();
+    EXPECT_EQ(sa.items, sb.items);
+  }
+}
+
+TEST(SessionGeneratorTest, DifferentSeedsDiffer) {
+  auto a = SessionGenerator::Create(500, DefaultStats(), 1);
+  auto b = SessionGenerator::Create(500, DefaultStats(), 2);
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a->NextSession().items == b->NextSession().items) ++identical;
+  }
+  EXPECT_LT(identical, 25);
+}
+
+TEST(SessionGeneratorTest, GenerateSessionsCoversClickBudget) {
+  auto generator = SessionGenerator::Create(1000, DefaultStats(), 3);
+  const auto sessions = generator->GenerateSessions(5000);
+  int64_t clicks = 0;
+  for (const Session& session : sessions) {
+    clicks += static_cast<int64_t>(session.items.size());
+  }
+  EXPECT_GE(clicks, 5000);
+  // Overshoot bounded by one maximal session.
+  EXPECT_LT(clicks, 5000 + DefaultStats().max_session_length);
+}
+
+TEST(SessionGeneratorTest, ClickTuplesFollowAlgorithmOne) {
+  // Algorithm 1 emits (s, i, t) with a globally increasing timestep.
+  auto generator = SessionGenerator::Create(1000, DefaultStats(), 4);
+  const auto clicks = generator->GenerateClicks(2000);
+  ASSERT_GE(clicks.size(), 2000u);
+  int64_t previous_t = 0;
+  int64_t previous_s = 0;
+  for (const Click& click : clicks) {
+    EXPECT_EQ(click.timestep, previous_t + 1);
+    previous_t = click.timestep;
+    EXPECT_GE(click.session_id, previous_s);  // sessions in order
+    previous_s = click.session_id;
+    EXPECT_GE(click.item_id, 0);
+    EXPECT_LT(click.item_id, 1000);
+  }
+}
+
+TEST(SessionGeneratorTest, ClickCountsSampledUpfront) {
+  auto generator = SessionGenerator::Create(2000, DefaultStats(), 5);
+  const auto& counts = generator->item_click_counts();
+  ASSERT_EQ(counts.size(), 2000u);
+  for (const int64_t count : counts) EXPECT_GE(count, 1);
+}
+
+TEST(SessionGeneratorTest, PopularItemsClickedMoreOften) {
+  // The empirical click distribution must reflect the sampled counts:
+  // items with the largest counts should dominate the generated clicks.
+  auto generator = SessionGenerator::Create(200, DefaultStats(), 6);
+  const auto& counts = generator->item_click_counts();
+  int64_t popular_item = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[static_cast<size_t>(popular_item)]) {
+      popular_item = static_cast<int64_t>(i);
+    }
+  }
+  std::vector<int64_t> observed(200, 0);
+  const auto clicks = generator->GenerateClicks(100000);
+  for (const Click& click : clicks) observed[click.item_id]++;
+  // The most popular item must be among the most clicked ones.
+  int64_t better = 0;
+  for (const int64_t count : observed) {
+    if (count > observed[popular_item]) ++better;
+  }
+  EXPECT_LE(better, 10);
+}
+
+TEST(SessionGeneratorTest, SessionLengthsFollowPowerLaw) {
+  // Fitting the generated session lengths recovers alpha_l — the
+  // statistical fidelity the paper's validation experiment relies on.
+  WorkloadStats stats;
+  stats.session_length_alpha = 2.5;
+  auto generator = SessionGenerator::Create(10000, stats, 8);
+  std::vector<int64_t> lengths;
+  for (int i = 0; i < 50000; ++i) {
+    lengths.push_back(
+        static_cast<int64_t>(generator->NextSession().items.size()));
+  }
+  auto fitted = FitPowerLawExponent(lengths, 1);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(*fitted, 2.5, 0.2);
+}
+
+TEST(SessionGeneratorTest, TinyCatalogWorks) {
+  auto generator = SessionGenerator::Create(1, DefaultStats(), 9);
+  ASSERT_TRUE(generator.ok());
+  const Session session = generator->NextSession();
+  for (const int64_t item : session.items) EXPECT_EQ(item, 0);
+}
+
+}  // namespace
+}  // namespace etude::workload
