@@ -62,7 +62,11 @@ std::string ToLower(std::string_view input) {
 }
 
 std::string FormatWithCommas(int64_t value) {
-  std::string digits = std::to_string(value < 0 ? -value : value);
+  // Negate in unsigned space: -INT64_MIN overflows int64_t.
+  const uint64_t magnitude =
+      value < 0 ? ~static_cast<uint64_t>(value) + 1
+                : static_cast<uint64_t>(value);
+  std::string digits = std::to_string(magnitude);
   std::string out;
   int count = 0;
   for (auto it = digits.rbegin(); it != digits.rend(); ++it) {

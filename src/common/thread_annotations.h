@@ -1,0 +1,70 @@
+#ifndef ETUDE_COMMON_THREAD_ANNOTATIONS_H_
+#define ETUDE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations.
+///
+/// These macros attach lock-discipline contracts to mutexes and the data
+/// they protect; compiling with Clang and `-Wthread-safety` (the ETUDE
+/// build adds `-Wthread-safety -Werror` automatically, see the top-level
+/// CMakeLists.txt) turns every violation — touching a GUARDED_BY member
+/// without its mutex, calling a REQUIRES function unlocked, double
+/// acquisition of an EXCLUDES mutex — into a compile error. Under GCC and
+/// other compilers the macros expand to nothing.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ETUDE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ETUDE_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a data member as protected by the given mutex: every read or
+/// write must happen with that mutex held.
+#define ETUDE_GUARDED_BY(x) ETUDE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Marks a pointer member whose *pointee* is protected by the mutex.
+#define ETUDE_PT_GUARDED_BY(x) ETUDE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that a function must be called with the mutex(es) held.
+#define ETUDE_REQUIRES(...) \
+  ETUDE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that a function must be called with the mutex(es) NOT held
+/// (it acquires them itself; re-entry would deadlock).
+#define ETUDE_EXCLUDES(...) \
+  ETUDE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and does not release before returning.
+#define ETUDE_ACQUIRE(...) \
+  ETUDE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases mutex(es) the caller acquired.
+#define ETUDE_RELEASE(...) \
+  ETUDE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Marks a class as a lockable capability (std::mutex is pre-annotated in
+/// libc++/libstdc++ when the analysis is on; this is for custom locks).
+#define ETUDE_CAPABILITY(x) ETUDE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII guard class that acquires in its constructor and releases
+/// in its destructor.
+#define ETUDE_SCOPED_CAPABILITY ETUDE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares a lock-acquisition ordering edge (acquire x before y).
+#define ETUDE_ACQUIRED_BEFORE(...) \
+  ETUDE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ETUDE_ACQUIRED_AFTER(...) \
+  ETUDE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the mutex protecting this value (for wrappers).
+#define ETUDE_RETURN_CAPABILITY(x) \
+  ETUDE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only for code
+/// the analysis cannot model (e.g. conditional locking); justify in a
+/// comment at each use site.
+#define ETUDE_NO_THREAD_SAFETY_ANALYSIS \
+  ETUDE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // ETUDE_COMMON_THREAD_ANNOTATIONS_H_

@@ -43,6 +43,28 @@ Tensor Core::EncodeSession(const std::vector<int64_t>& session) const {
   return tensor::Scale(tensor::L2NormalizeRows(repr), 1.0f / kTemperature);
 }
 
+tensor::SymTensor Core::TraceEncode(tensor::ShapeChecker& checker,
+                                    ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());
+  tensor::SymTensor x = trace::PositionalAdd(checker, embedded, sym::d());
+  for (int i = 0; i < kNumLayers; ++i) {
+    checker.SetContext(std::string(name()) + " block " + std::to_string(i));
+    x = trace::Transformer(checker, x, sym::d(), sym::d() * 4);
+  }
+  checker.SetContext(std::string(name()) + " encoder");
+  // Per-position weights from the encoder, softmax-normalised.
+  const tensor::SymTensor logits = checker.Reshape(
+      trace::Dense(checker, x, sym::d(), 1, /*bias=*/false), {sym::L()});
+  const tensor::SymTensor alpha = checker.Softmax(logits);
+  // Weighted sum of the raw item embeddings (representation-consistent).
+  const tensor::SymTensor repr =
+      checker.MatVec(checker.Transpose(embedded), alpha);  // [d]
+  return checker.Scale(checker.L2NormalizeRows(repr));
+}
+
 double Core::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

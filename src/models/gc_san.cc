@@ -40,6 +40,25 @@ Tensor GcSan::EncodeSession(const std::vector<int64_t>& session) const {
                      tensor::Scale(gnn_last, 1.0f - kBlend));
 }
 
+tensor::SymTensor GcSan::TraceEncode(tensor::ShapeChecker& checker,
+                                     ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor node_states = TraceGraphEncode(checker);  // [n, d]
+  // Gather of the alias rows maps the node states back onto the click
+  // sequence: [n, d] -> [L, d].
+  const tensor::SymTensor sequence = checker.Embedding(node_states, sym::L());
+  tensor::SymTensor attended = sequence;
+  for (int i = 0; i < kAttentionLayers; ++i) {
+    checker.SetContext(std::string(name()) + " block " + std::to_string(i));
+    attended = trace::Transformer(checker, attended, sym::d(), sym::d() * 4);
+  }
+  checker.SetContext(std::string(name()) + " encoder");
+  const tensor::SymTensor attn_last = checker.Row(attended);
+  const tensor::SymTensor gnn_last = checker.Row(sequence);
+  return checker.Add(checker.Scale(attn_last), checker.Scale(gnn_last));
+}
+
 double GcSan::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

@@ -19,6 +19,18 @@ Tensor Gru4Rec::EncodeSession(const std::vector<int64_t>& session) const {
   return head_.ForwardVector(last);
 }
 
+tensor::SymTensor Gru4Rec::TraceEncode(tensor::ShapeChecker& checker,
+                                       ExecutionMode mode) const {
+  (void)mode;  // eager and JIT execute the same graph
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());  // [L, d]
+  const tensor::SymTensor states =
+      trace::Gru(checker, embedded, sym::d(), sym::d());  // [L, d]
+  const tensor::SymTensor last = checker.Row(states);     // [d]
+  return trace::DenseVector(checker, last, sym::d(), sym::d(), /*bias=*/true);
+}
+
 double Gru4Rec::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   // GRU step: 6 d^2 multiply-adds (two 3d x d gemvs) -> 12 d^2 flops; plus

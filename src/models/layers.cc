@@ -91,4 +91,78 @@ Tensor PositionalEmbedding::AddTo(const Tensor& x) const {
   return out;
 }
 
+namespace trace {
+
+using tensor::ShapeChecker;
+using tensor::SymDim;
+using tensor::SymTensor;
+
+SymTensor Dense(ShapeChecker& checker, const SymTensor& x, const SymDim& in,
+                const SymDim& out, bool bias) {
+  const SymTensor weight = checker.Input("dense.weight", {out, in});
+  const SymTensor bias_vec =
+      bias ? checker.Input("dense.bias", {out}) : SymTensor{{}, true};
+  return checker.Linear(x, weight, bias_vec);
+}
+
+SymTensor DenseVector(ShapeChecker& checker, const SymTensor& x,
+                      const SymDim& in, const SymDim& out, bool bias) {
+  // ForwardVector reshapes [in] -> [1, in], applies Linear, and flattens
+  // the [1, out] result.
+  const SymTensor widened = checker.Reshape(x, {1, in});
+  const SymTensor result = Dense(checker, widened, in, out, bias);
+  return checker.Reshape(result, {out});
+}
+
+SymTensor Gru(ShapeChecker& checker, const SymTensor& inputs,
+              const SymDim& in, const SymDim& hidden) {
+  // RunSequence applies one GruCell per step; the step shapes are
+  // loop-invariant, so a single symbolic step covers every length.
+  const SymDim three_h = hidden * 3;
+  const SymTensor w_ih = checker.Input("gru.w_ih", {three_h, in});
+  const SymTensor w_hh = checker.Input("gru.w_hh", {three_h, hidden});
+  const SymTensor b_ih = checker.Input("gru.b_ih", {three_h});
+  const SymTensor b_hh = checker.Input("gru.b_hh", {three_h});
+  const SymTensor step_input = checker.Row(inputs);  // [in]
+  const SymTensor state = checker.Input("gru.h0", {hidden});
+  const SymTensor next =
+      checker.GruCell(step_input, state, w_ih, w_hh, b_ih, b_hh);
+  if (!next.valid || !inputs.valid) return tensor::SymTensor::Invalid();
+  // States of every step, stacked: [len, hidden].
+  return checker.Input("gru.states", {inputs.shape[0], next.shape[0]});
+}
+
+SymTensor Transformer(ShapeChecker& checker, const SymTensor& x,
+                      const SymDim& dim, const SymDim& ffn_dim) {
+  const SymTensor q = Dense(checker, x, dim, dim, /*bias=*/true);
+  const SymTensor k = Dense(checker, x, dim, dim, /*bias=*/true);
+  const SymTensor v = Dense(checker, x, dim, dim, /*bias=*/true);
+  const SymTensor attended =
+      Dense(checker, checker.Attention(q, k, v), dim, dim, /*bias=*/true);
+  const SymTensor norm_gain = checker.Input("block.norm_gain", {dim});
+  const SymTensor norm_bias = checker.Input("block.norm_bias", {dim});
+  const SymTensor h =
+      checker.LayerNorm(checker.Add(x, attended), norm_gain, norm_bias);
+  const SymTensor ffn = Dense(
+      checker, checker.Gelu(Dense(checker, h, dim, ffn_dim, /*bias=*/true)),
+      ffn_dim, dim, /*bias=*/true);
+  return checker.LayerNorm(checker.Add(h, ffn), norm_gain, norm_bias);
+}
+
+SymTensor PositionalAdd(ShapeChecker& checker, const SymTensor& x,
+                        const SymDim& dim) {
+  if (!x.valid) return tensor::SymTensor::Invalid();
+  if (x.rank() != 2) {
+    checker.Require(x, {tensor::sym::L(), dim}, "PositionalEmbedding input");
+    return tensor::SymTensor::Invalid();
+  }
+  // The first len rows of the [max_len, dim] table, added element-wise.
+  const SymTensor table =
+      checker.Input("positions.table", {SymDim::Sym("max_len"), dim});
+  const SymTensor rows = checker.Embedding(table, x.shape[0]);
+  return checker.Add(x, rows);
+}
+
+}  // namespace trace
+
 }  // namespace etude::models

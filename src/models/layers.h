@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/shape_check.h"
 #include "tensor/tensor.h"
 
 namespace etude::models {
@@ -80,6 +81,41 @@ class PositionalEmbedding {
  private:
   tensor::Tensor table_;  // [max_length, dim]
 };
+
+/// Symbolic mirrors of the layer forward passes, used by the shape linter
+/// (SessionModel::TraceEncode). Each helper replays the exact op sequence
+/// of the corresponding Forward on symbolic shapes, parameterised by the
+/// symbolic dims the layer was constructed with.
+namespace trace {
+
+/// DenseLayer::Forward: x [n, in] -> [n, out].
+tensor::SymTensor Dense(tensor::ShapeChecker& checker,
+                        const tensor::SymTensor& x, const tensor::SymDim& in,
+                        const tensor::SymDim& out, bool bias);
+
+/// DenseLayer::ForwardVector: x [in] -> [out].
+tensor::SymTensor DenseVector(tensor::ShapeChecker& checker,
+                              const tensor::SymTensor& x,
+                              const tensor::SymDim& in,
+                              const tensor::SymDim& out, bool bias);
+
+/// GruLayer::RunSequence: inputs [len, in] -> states [len, hidden].
+tensor::SymTensor Gru(tensor::ShapeChecker& checker,
+                      const tensor::SymTensor& inputs,
+                      const tensor::SymDim& in, const tensor::SymDim& hidden);
+
+/// TransformerBlock::Forward: x [len, dim] -> [len, dim].
+tensor::SymTensor Transformer(tensor::ShapeChecker& checker,
+                              const tensor::SymTensor& x,
+                              const tensor::SymDim& dim,
+                              const tensor::SymDim& ffn_dim);
+
+/// PositionalEmbedding::AddTo: x [len, dim] -> [len, dim].
+tensor::SymTensor PositionalAdd(tensor::ShapeChecker& checker,
+                                const tensor::SymTensor& x,
+                                const tensor::SymDim& dim);
+
+}  // namespace trace
 
 }  // namespace etude::models
 

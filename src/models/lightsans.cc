@@ -64,6 +64,57 @@ Tensor LightSans::EncodeSession(const std::vector<int64_t>& session) const {
   return x.Row(x.dim(0) - 1);
 }
 
+tensor::SymTensor LightSans::TraceEncode(tensor::ShapeChecker& checker,
+                                         ExecutionMode mode) const {
+  (void)mode;  // not JIT-compatible; the compiled plan equals eager
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());
+  tensor::SymTensor x = trace::PositionalAdd(checker, embedded, sym::d());
+  // The runtime number of latent interests min(kMaxInterests, L) is a
+  // fresh symbol: the dynamic control flow that defeats torch.jit.
+  const tensor::SymDim k_int = tensor::SymDim::Sym("k_int");
+  for (int i = 0; i < kNumLayers; ++i) {
+    checker.SetContext(std::string(name()) + " layer " + std::to_string(i));
+    const tensor::SymTensor q =
+        trace::Dense(checker, x, sym::d(), sym::d(), /*bias=*/true);
+    const tensor::SymTensor k =
+        trace::Dense(checker, x, sym::d(), sym::d(), /*bias=*/true);
+    const tensor::SymTensor v =
+        trace::Dense(checker, x, sym::d(), sym::d(), /*bias=*/true);
+    const tensor::SymTensor assign_logits = trace::Dense(
+        checker, x, sym::d(), kMaxInterests, /*bias=*/false);  // [L, kMax]
+    const tensor::SymTensor assign = checker.Truncate(
+        checker.Transpose(assign_logits), /*axis=*/0, k_int);  // [k_int, L]
+    const tensor::SymTensor assign_soft = checker.Softmax(assign);
+    const tensor::SymTensor latent_k =
+        checker.MatMul(assign_soft, k);  // [k_int, d]
+    const tensor::SymTensor latent_v =
+        checker.MatMul(assign_soft, v);  // [k_int, d]
+    const tensor::SymTensor attended =
+        trace::Dense(checker, checker.Attention(q, latent_k, latent_v),
+                     sym::d(), sym::d(), /*bias=*/true);
+    const tensor::SymTensor norm1_gain =
+        checker.Input("layer.norm1_gain", {sym::d()});
+    const tensor::SymTensor norm1_bias =
+        checker.Input("layer.norm1_bias", {sym::d()});
+    const tensor::SymTensor h = checker.LayerNorm(checker.Add(x, attended),
+                                                  norm1_gain, norm1_bias);
+    const tensor::SymTensor ffn = trace::Dense(
+        checker,
+        checker.Gelu(trace::Dense(checker, h, sym::d(), sym::d() * 4,
+                                  /*bias=*/true)),
+        sym::d() * 4, sym::d(), /*bias=*/true);
+    const tensor::SymTensor norm2_gain =
+        checker.Input("layer.norm2_gain", {sym::d()});
+    const tensor::SymTensor norm2_bias =
+        checker.Input("layer.norm2_bias", {sym::d()});
+    x = checker.LayerNorm(checker.Add(h, ffn), norm2_gain, norm2_bias);
+  }
+  checker.SetContext(std::string(name()) + " encoder");
+  return checker.Row(x);
+}
+
 double LightSans::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

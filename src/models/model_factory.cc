@@ -13,6 +13,18 @@
 
 namespace etude::models {
 
+namespace {
+// Every freshly constructed model passes the static op-graph shape lint
+// before it is handed out: a mis-wired architecture is rejected here, at
+// load time, instead of aborting mid-benchmark on the first request.
+Result<std::unique_ptr<SessionModel>> LintAndReturn(
+    std::unique_ptr<SessionModel> model) {
+  ETUDE_RETURN_NOT_OK(model->CheckShapes(ExecutionMode::kEager));
+  ETUDE_RETURN_NOT_OK(model->CheckShapes(ExecutionMode::kJit));
+  return model;
+}
+}  // namespace
+
 Result<std::unique_ptr<SessionModel>> CreateModel(ModelKind kind,
                                                   const ModelConfig& config) {
   if (config.catalog_size < 1) {
@@ -29,25 +41,27 @@ Result<std::unique_ptr<SessionModel>> CreateModel(ModelKind kind,
   }
   switch (kind) {
     case ModelKind::kGru4Rec:
-      return std::unique_ptr<SessionModel>(new Gru4Rec(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new Gru4Rec(config)));
     case ModelKind::kRepeatNet:
-      return std::unique_ptr<SessionModel>(new RepeatNet(config));
+      return LintAndReturn(
+          std::unique_ptr<SessionModel>(new RepeatNet(config)));
     case ModelKind::kGcSan:
-      return std::unique_ptr<SessionModel>(new GcSan(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new GcSan(config)));
     case ModelKind::kSrGnn:
-      return std::unique_ptr<SessionModel>(new SrGnn(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new SrGnn(config)));
     case ModelKind::kNarm:
-      return std::unique_ptr<SessionModel>(new Narm(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new Narm(config)));
     case ModelKind::kSine:
-      return std::unique_ptr<SessionModel>(new Sine(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new Sine(config)));
     case ModelKind::kStamp:
-      return std::unique_ptr<SessionModel>(new Stamp(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new Stamp(config)));
     case ModelKind::kLightSans:
-      return std::unique_ptr<SessionModel>(new LightSans(config));
+      return LintAndReturn(
+          std::unique_ptr<SessionModel>(new LightSans(config)));
     case ModelKind::kCore:
-      return std::unique_ptr<SessionModel>(new Core(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new Core(config)));
     case ModelKind::kSasRec:
-      return std::unique_ptr<SessionModel>(new SasRec(config));
+      return LintAndReturn(std::unique_ptr<SessionModel>(new SasRec(config)));
   }
   return Status::InvalidArgument("unknown model kind");
 }

@@ -36,6 +36,30 @@ Tensor Narm::EncodeSession(const std::vector<int64_t>& session) const {
   return head_.ForwardVector(tensor::Concat(global, local));
 }
 
+tensor::SymTensor Narm::TraceEncode(tensor::ShapeChecker& checker,
+                                    ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());
+  const tensor::SymTensor states =
+      trace::Gru(checker, embedded, sym::d(), sym::d());  // [L, d]
+  const tensor::SymTensor global = checker.Row(states);   // [d]
+  // Additive attention: alpha_j = v^T sigmoid(A1 h_l + A2 h_j).
+  const tensor::SymTensor proj_global = trace::DenseVector(
+      checker, global, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor proj_states =
+      trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor gate =
+      checker.Sigmoid(checker.Add(proj_global, checker.Row(proj_states)));
+  checker.Dot(checker.Input("narm.attn_v", {sym::d()}), gate);
+  const tensor::SymTensor alphas = checker.Input("narm.alphas", {sym::L()});
+  const tensor::SymTensor local =
+      checker.MatVec(checker.Transpose(states), alphas);  // [d]
+  return trace::DenseVector(checker, checker.Concat(global, local),
+                            sym::d() * 2, sym::d(), /*bias=*/false);
+}
+
 double Narm::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

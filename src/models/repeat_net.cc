@@ -111,6 +111,72 @@ Result<Recommendation> RepeatNet::Recommend(
   return rec;
 }
 
+tensor::SymTensor RepeatNet::TracePoolContext(
+    tensor::ShapeChecker& checker, const tensor::SymTensor& states) const {
+  namespace sym = tensor::sym;
+  // context_attn projection, then per-step additive scoring; the scalar
+  // scores are stacked into the [L] logit vector.
+  const tensor::SymTensor proj =
+      trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor context_q =
+      checker.Input("repeatnet.context_q", {sym::d()});
+  checker.Dot(context_q, checker.Tanh(checker.Row(proj)));
+  const tensor::SymTensor weights =
+      checker.Softmax(checker.Input("repeatnet.context_logits", {sym::L()}));
+  // Weighted sum of the state rows: [d, L] x [L] -> [d].
+  return checker.MatVec(checker.Transpose(states), weights);
+}
+
+tensor::SymTensor RepeatNet::TraceEncode(tensor::ShapeChecker& checker,
+                                         ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());
+  const tensor::SymTensor states =
+      trace::Gru(checker, embedded, sym::d(), sym::d());
+  const tensor::SymTensor last = checker.Row(states);
+  const tensor::SymTensor context = TracePoolContext(checker, states);
+  return trace::DenseVector(checker, checker.Concat(last, context),
+                            sym::d() * 2, sym::d(), /*bias=*/false);
+}
+
+tensor::SymTensor RepeatNet::TraceScoring(
+    tensor::ShapeChecker& checker, const tensor::SymTensor& encoded) const {
+  namespace sym = tensor::sym;
+  checker.SetContext(std::string(name()) + " scoring");
+  // Mode gate over [last; context].
+  const tensor::SymTensor states =
+      checker.Input("gru.states", {sym::L(), sym::d()});
+  const tensor::SymTensor last = checker.Row(states);
+  const tensor::SymTensor context = TracePoolContext(checker, states);
+  checker.Softmax(trace::DenseVector(checker, checker.Concat(last, context),
+                                     sym::d() * 2, 2, /*bias=*/true));
+  // Repeat decoder: additive attention over the session positions.
+  const tensor::SymTensor rep_proj =
+      trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor repeat_q =
+      checker.Input("repeatnet.repeat_q", {sym::d()});
+  checker.Dot(repeat_q, checker.Tanh(checker.Row(rep_proj)));
+  const tensor::SymTensor rep_weights =
+      checker.Softmax(checker.Input("repeatnet.repeat_logits", {sym::L()}));
+  // The RecBole bug: the L-sparse repeat distribution is expanded to the
+  // full catalog via a dense one-hot [L, C] matrix multiplication.
+  const tensor::SymTensor onehot =
+      checker.Input("repeatnet.onehot", {sym::L(), sym::C()});
+  const tensor::SymTensor repeat_dense = checker.Reshape(
+      checker.MatMul(checker.Reshape(rep_weights, {1, sym::L()}), onehot),
+      {sym::C()});  // [C]
+  // Explore decoder: dense softmax over all catalog scores.
+  const tensor::SymTensor table = TraceEmbeddingTable(checker);
+  const tensor::SymTensor explore_probs =
+      checker.Softmax(checker.MatVec(table, encoded));  // [C]
+  // Dense mixture of the two distributions, then top-k.
+  const tensor::SymTensor final_scores = checker.Add(
+      checker.Scale(repeat_dense), checker.Scale(explore_probs));
+  return checker.TopK(final_scores, sym::k());
+}
+
 double RepeatNet::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

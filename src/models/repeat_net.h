@@ -36,6 +36,13 @@ class RepeatNet final : public SessionModel {
       const std::vector<int64_t>& session) const override;
 
  protected:
+  tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
+                                ExecutionMode mode) const override;
+  /// Replays the dense repeat/explore mixture of Recommend instead of the
+  /// generic MIPS tail — including the one-hot [L, C] expansion bug.
+  tensor::SymTensor TraceScoring(
+      tensor::ShapeChecker& checker,
+      const tensor::SymTensor& encoded) const override;
   double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
   double ExtraCatalogPasses(int64_t l) const override;
@@ -43,6 +50,9 @@ class RepeatNet final : public SessionModel {
  private:
   /// Attention-pooled session context from the GRU states.
   tensor::Tensor PoolContext(const tensor::Tensor& states) const;
+  /// Symbolic mirror of PoolContext: states [L, d] -> context [d].
+  tensor::SymTensor TracePoolContext(tensor::ShapeChecker& checker,
+                                     const tensor::SymTensor& states) const;
 
   GruLayer gru_;
   DenseLayer mode_gate_;      // [2, 2d]: p(repeat), p(explore)

@@ -25,6 +25,21 @@ Tensor SasRec::EncodeSession(const std::vector<int64_t>& session) const {
   return x.Row(x.dim(0) - 1);
 }
 
+tensor::SymTensor SasRec::TraceEncode(tensor::ShapeChecker& checker,
+                                      ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());
+  tensor::SymTensor x = trace::PositionalAdd(checker, embedded, sym::d());
+  for (int i = 0; i < kNumLayers; ++i) {
+    checker.SetContext(std::string(name()) + " block " + std::to_string(i));
+    x = trace::Transformer(checker, x, sym::d(), sym::d() * 4);
+  }
+  checker.SetContext(std::string(name()) + " encoder");
+  return checker.Row(x);
+}
+
 double SasRec::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

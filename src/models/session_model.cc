@@ -127,6 +127,40 @@ Result<Recommendation> SessionModel::Recommend(
   return rec;
 }
 
+tensor::SymTensor SessionModel::TraceEmbeddingTable(
+    tensor::ShapeChecker& checker) const {
+  return checker.Input("item_embeddings",
+                       {tensor::sym::C(), tensor::sym::d()});
+}
+
+tensor::SymTensor SessionModel::TraceScoring(
+    tensor::ShapeChecker& checker, const tensor::SymTensor& encoded) const {
+  checker.SetContext(std::string(name()) + " scoring");
+  const tensor::SymTensor table = TraceEmbeddingTable(checker);
+  return checker.Mips(table, encoded, tensor::sym::k());
+}
+
+Status SessionModel::CheckShapes(ExecutionMode mode) const {
+  tensor::ShapeChecker checker;
+  checker.SetContext(std::string(name()) + " encoder");
+  const tensor::SymTensor encoded = TraceEncode(checker, mode);
+  checker.SetContext(std::string(name()) + " encoder output");
+  checker.Require(encoded, {tensor::sym::d()},
+                  "EncodeSession must produce a [d] session vector");
+  checker.SetContext("");
+  const tensor::SymTensor scores = TraceScoring(checker, encoded);
+  checker.SetContext(std::string(name()) + " scoring output");
+  checker.Require(scores, {tensor::sym::k()},
+                  "scoring must produce a [k] recommendation list");
+  if (!checker.ok()) {
+    return Status::InvalidArgument(
+        "op-graph shape lint failed for " + std::string(name()) + " (" +
+        (mode == ExecutionMode::kJit ? "jit" : "eager") + "):\n" +
+        checker.Report());
+  }
+  return Status::OK();
+}
+
 sim::InferenceWork SessionModel::CostModel(ExecutionMode mode,
                                            int64_t session_length) const {
   const int64_t l =

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/device.h"
+#include "tensor/shape_check.h"
 #include "tensor/tensor.h"
 
 namespace etude::models {
@@ -107,6 +108,14 @@ class SessionModel {
   virtual tensor::Tensor EncodeSession(
       const std::vector<int64_t>& session) const = 0;
 
+  /// Statically lints the model's inference op graph: replays the exact
+  /// op sequence of EncodeSession plus the scoring tail on symbolic
+  /// shapes over the dims {C, d, L, k} and returns InvalidArgument
+  /// describing every rank/dim mismatch found. Independent of concrete
+  /// catalog or session sizes — one pass covers all inputs. Run by
+  /// CreateModel at construction time and by the `lint_models` tool.
+  Status CheckShapes(ExecutionMode mode) const;
+
   /// Analytic per-request cost descriptor for the deployment simulator,
   /// for a request whose session currently has `session_length` items.
   sim::InferenceWork CostModel(ExecutionMode mode,
@@ -126,6 +135,25 @@ class SessionModel {
 
  protected:
   explicit SessionModel(const ModelConfig& config);
+
+  /// Symbolic replay of EncodeSession for the shape linter: issues the
+  /// same op sequence against `checker` using the symbolic dims
+  /// {C, d, L, k} (tensor::sym) and returns the encoder output, which
+  /// must be [d]. `mode` lets implementations whose compiled plan differs
+  /// structurally from eager trace both variants.
+  virtual tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
+                                        ExecutionMode mode) const = 0;
+
+  /// Symbolic replay of the scoring tail of Recommend: the shared
+  /// maximum-inner-product search over the [C, d] table, returning the
+  /// [k] recommendation list. RepeatNet overrides this with its dense
+  /// repeat/explore mixture.
+  virtual tensor::SymTensor TraceScoring(tensor::ShapeChecker& checker,
+                                         const tensor::SymTensor& encoded)
+      const;
+
+  /// The symbolic [C, d] item-embedding table for traces.
+  tensor::SymTensor TraceEmbeddingTable(tensor::ShapeChecker& checker) const;
 
   /// Floating-point operations of EncodeSession for a length-l session.
   virtual double EncodeFlops(int64_t l) const = 0;

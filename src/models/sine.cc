@@ -63,6 +63,36 @@ Tensor Sine::EncodeSession(const std::vector<int64_t>& session) const {
   return fuse_proj_.ForwardVector(fused);
 }
 
+tensor::SymTensor Sine::TraceEncode(tensor::ShapeChecker& checker,
+                                    ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());  // [L, d]
+  const tensor::SymTensor mean = checker.MeanRows(embedded);      // [d]
+  const tensor::SymTensor pool =
+      checker.Input("sine.prototype_pool", {kPrototypePoolSize, sym::d()});
+  const tensor::SymTensor affinities = checker.MatVec(pool, mean);  // [P]
+  const tensor::SymTensor active_scores =
+      checker.TopK(affinities, kActiveInterests);  // [a]
+  // One attention per active prototype; the step shapes are identical for
+  // every prototype, so one symbolic pass covers all of them.
+  const tensor::SymTensor keys =
+      trace::Dense(checker, embedded, sym::d(), sym::d(), /*bias=*/false);
+  checker.Dot(checker.Row(keys), checker.Row(pool));
+  const tensor::SymTensor weights =
+      checker.Softmax(checker.Input("sine.attn_logits", {sym::L()}));
+  checker.MatVec(checker.Transpose(embedded), weights);  // one interest [d]
+  // Fuse the [a, d] interests weighted by their softmaxed affinities.
+  const tensor::SymTensor interests =
+      checker.Input("sine.interests", {kActiveInterests, sym::d()});
+  const tensor::SymTensor fuse_weights = checker.Softmax(active_scores);
+  const tensor::SymTensor fused =
+      checker.MatVec(checker.Transpose(interests), fuse_weights);  // [d]
+  return trace::DenseVector(checker, fused, sym::d(), sym::d(),
+                            /*bias=*/false);
+}
+
 double Sine::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

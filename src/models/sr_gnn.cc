@@ -71,6 +71,55 @@ Tensor SrGnn::EncodeSession(const std::vector<int64_t>& session) const {
   return head_.ForwardVector(tensor::Concat(last, global));
 }
 
+tensor::SymTensor SrGnn::TraceGraphEncode(
+    tensor::ShapeChecker& checker) const {
+  namespace sym = tensor::sym;
+  tensor::SymTensor states =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::n());  // [n, d]
+  const tensor::SymTensor adj_in =
+      checker.Input("graph.adj_in", {sym::n(), sym::n()});
+  const tensor::SymTensor adj_out =
+      checker.Input("graph.adj_out", {sym::n(), sym::n()});
+  for (int step = 0; step < kPropagationSteps; ++step) {
+    const tensor::SymTensor msg_in = checker.MatMul(
+        adj_in,
+        trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/true));
+    const tensor::SymTensor msg_out = checker.MatMul(
+        adj_out,
+        trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/true));
+    const tensor::SymTensor messages =
+        checker.Concat(msg_in, msg_out);  // [n, 2d]
+    const tensor::SymTensor gi = trace::Dense(
+        checker, messages, sym::d() * 2, sym::d() * 3, /*bias=*/true);
+    const tensor::SymTensor gh = trace::Dense(
+        checker, states, sym::d(), sym::d() * 3, /*bias=*/true);
+    states = checker.GatedUpdate(gi, gh, states);
+  }
+  return states;
+}
+
+tensor::SymTensor SrGnn::TraceEncode(tensor::ShapeChecker& checker,
+                                     ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor states = TraceGraphEncode(checker);  // [n, d]
+  const tensor::SymTensor last = checker.Row(states);          // [d]
+  // Attention readout: alpha_v = q^T sigmoid(W1 v_last + W2 v).
+  const tensor::SymTensor proj_last =
+      trace::DenseVector(checker, last, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor proj_nodes =
+      trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor gate =
+      checker.Sigmoid(checker.Add(proj_last, checker.Row(proj_nodes)));
+  checker.Dot(checker.Input("srgnn.attn_q", {sym::d()}), gate);
+  // Weighted sum of the node states by the per-node attention scalars.
+  const tensor::SymTensor alphas = checker.Input("srgnn.alphas", {sym::n()});
+  const tensor::SymTensor global =
+      checker.MatVec(checker.Transpose(states), alphas);  // [d]
+  return trace::DenseVector(checker, checker.Concat(last, global),
+                            sym::d() * 2, sym::d(), /*bias=*/false);
+}
+
 double SrGnn::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double n = static_cast<double>(l);  // nodes <= clicks

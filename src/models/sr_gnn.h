@@ -29,6 +29,12 @@ class SrGnn : public SessionModel {
   /// Runs the gated GNN over the session graph; returns [n, d] node states.
   tensor::Tensor EncodeGraph(const SessionGraph& graph) const;
 
+  /// Symbolic mirror of EncodeGraph: [n, d] node states over the symbolic
+  /// node count n. Shared with GC-SAN, which reuses the gated GNN.
+  tensor::SymTensor TraceGraphEncode(tensor::ShapeChecker& checker) const;
+
+  tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
+                                ExecutionMode mode) const override;
   double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
 

@@ -42,6 +42,37 @@ Tensor Stamp::EncodeSession(const std::vector<int64_t>& session) const {
   return tensor::Mul(hs, ht);
 }
 
+tensor::SymTensor Stamp::TraceEncode(tensor::ShapeChecker& checker,
+                                     ExecutionMode mode) const {
+  (void)mode;
+  namespace sym = tensor::sym;
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());  // [L, d]
+  const tensor::SymTensor last = checker.Row(embedded);           // [d]
+  const tensor::SymTensor mean = checker.MeanRows(embedded);      // [d]
+  // a_i = w0^T sigmoid(W1 x_i + W2 x_t + W3 m_s + b_a)
+  const tensor::SymTensor proj_last =
+      trace::DenseVector(checker, last, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor proj_mean =
+      trace::DenseVector(checker, mean, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor ba = checker.Input("stamp.ba", {sym::d()});
+  const tensor::SymTensor context =
+      checker.Add(checker.Add(proj_last, proj_mean), ba);
+  const tensor::SymTensor proj_items =
+      trace::Dense(checker, embedded, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor gate =
+      checker.Sigmoid(checker.Add(checker.Row(proj_items), context));
+  checker.Dot(checker.Input("stamp.w0", {sym::d()}), gate);
+  const tensor::SymTensor alphas = checker.Input("stamp.alphas", {sym::L()});
+  const tensor::SymTensor memory =
+      checker.MatVec(checker.Transpose(embedded), alphas);  // [d]
+  const tensor::SymTensor hs = checker.Tanh(trace::DenseVector(
+      checker, memory, sym::d(), sym::d(), /*bias=*/true));
+  const tensor::SymTensor ht = checker.Tanh(trace::DenseVector(
+      checker, last, sym::d(), sym::d(), /*bias=*/true));
+  return checker.Mul(hs, ht);
+}
+
 double Stamp::EncodeFlops(int64_t l) const {
   const double d = static_cast<double>(config_.embedding_dim);
   const double ll = static_cast<double>(l);

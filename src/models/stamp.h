@@ -23,6 +23,8 @@ class Stamp final : public SessionModel {
       const std::vector<int64_t>& session) const override;
 
  protected:
+  tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
+                                ExecutionMode mode) const override;
   double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
 

@@ -72,7 +72,7 @@ Status EventLoop::DeregisterFd(int fd) {
 
 void EventLoop::Post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    MutexLock lock(tasks_mutex_);
     posted_tasks_.push_back(std::move(task));
   }
   Wakeup();
@@ -88,7 +88,7 @@ void EventLoop::Wakeup() {
 void EventLoop::DrainPostedTasks() {
   std::deque<Task> tasks;
   {
-    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    MutexLock lock(tasks_mutex_);
     tasks.swap(posted_tasks_);
   }
   for (Task& task : tasks) task();

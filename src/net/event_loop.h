@@ -6,9 +6,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace etude::net {
 
@@ -49,7 +50,7 @@ class EventLoop {
 
   /// Thread-safe: enqueues `task` to run on the loop thread and wakes the
   /// loop if it is blocked in epoll_wait.
-  void Post(Task task);
+  void Post(Task task) ETUDE_EXCLUDES(tasks_mutex_);
 
   /// Runs until Stop() is called. Must be invoked from one thread only.
   void Run();
@@ -61,15 +62,17 @@ class EventLoop {
 
  private:
   void Wakeup();
-  void DrainPostedTasks();
+  void DrainPostedTasks() ETUDE_EXCLUDES(tasks_mutex_);
 
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;  // eventfd used by Post()/Stop()
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  // Loop-thread-confined (only touched by Register/Update/Deregister and
+  // Run, which the API contract pins to the loop thread); needs no lock.
   std::map<int, IoCallback> callbacks_;
-  std::mutex tasks_mutex_;
-  std::deque<Task> posted_tasks_;
+  Mutex tasks_mutex_;
+  std::deque<Task> posted_tasks_ ETUDE_GUARDED_BY(tasks_mutex_);
 };
 
 }  // namespace etude::net

@@ -68,7 +68,10 @@ Status HttpServer::Start() {
       listen_fd_, IoEvents{.readable = true, .writable = false},
       [this](IoEvents) { AcceptConnections(); }));
 
-  workers_should_exit_ = false;
+  {
+    MutexLock lock(jobs_mutex_);
+    workers_should_exit_ = false;
+  }
   for (int i = 0; i < config_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
   }
@@ -80,10 +83,10 @@ Status HttpServer::Start() {
 void HttpServer::Stop() {
   if (!started_.exchange(false)) return;
   {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    MutexLock lock(jobs_mutex_);
     workers_should_exit_ = true;
   }
-  jobs_cv_.notify_all();
+  jobs_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   loop_.Post([this] {
@@ -179,19 +182,20 @@ void HttpServer::DispatchToWorker(Connection* connection) {
   job.request = connection->parser.request();
   job.keep_alive = job.request.KeepAlive();
   {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    MutexLock lock(jobs_mutex_);
     jobs_.push_back(std::move(job));
   }
-  jobs_cv_.notify_one();
+  jobs_cv_.NotifyOne();
 }
 
 void HttpServer::WorkerMain() {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(jobs_mutex_);
-      jobs_cv_.wait(lock,
-                    [this] { return workers_should_exit_ || !jobs_.empty(); });
+      MutexLock lock(jobs_mutex_);
+      while (!workers_should_exit_ && jobs_.empty()) {
+        jobs_cv_.Wait(jobs_mutex_);
+      }
       if (workers_should_exit_ && jobs_.empty()) return;
       job = std::move(jobs_.front());
       jobs_.pop_front();

@@ -2,16 +2,16 @@
 #define ETUDE_NET_HTTP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/event_loop.h"
 #include "net/http.h"
 
@@ -70,8 +70,8 @@ class HttpServer {
   void ReadFromConnection(Connection* connection);
   void WriteToConnection(Connection* connection);
   void CloseConnection(int fd);
-  void DispatchToWorker(Connection* connection);
-  void WorkerMain();
+  void DispatchToWorker(Connection* connection) ETUDE_EXCLUDES(jobs_mutex_);
+  void WorkerMain() ETUDE_EXCLUDES(jobs_mutex_);
   void QueueResponse(int fd, const HttpResponse& response, bool keep_alive);
 
   HttpServerConfig config_;
@@ -81,6 +81,8 @@ class HttpServer {
   uint16_t port_ = 0;
   std::thread io_thread_;
   std::vector<std::thread> workers_;
+  // IO-thread-confined: only touched from loop_ callbacks and tasks
+  // Post()ed to the loop; never needs a lock.
   std::map<int, std::unique_ptr<Connection>> connections_;
   std::atomic<int64_t> requests_served_{0};
   std::atomic<bool> started_{false};
@@ -91,10 +93,10 @@ class HttpServer {
     HttpRequest request;
     bool keep_alive;
   };
-  std::mutex jobs_mutex_;
-  std::condition_variable jobs_cv_;
-  std::deque<Job> jobs_;
-  bool workers_should_exit_ = false;
+  Mutex jobs_mutex_;
+  CondVar jobs_cv_;
+  std::deque<Job> jobs_ ETUDE_GUARDED_BY(jobs_mutex_);
+  bool workers_should_exit_ ETUDE_GUARDED_BY(jobs_mutex_) = false;
 };
 
 }  // namespace etude::net

@@ -48,12 +48,14 @@ net::HttpResponse EtudeServe::Handle(const net::HttpRequest& request) {
     JsonValue metrics = JsonValue::MakeObject();
     const int64_t served = predictions_served_.load();
     metrics.Set("predictions_served", JsonValue(served));
-    metrics.Set("mean_inference_us",
-                JsonValue(served > 0
-                              ? static_cast<double>(
-                                    total_inference_us_.load()) /
-                                    static_cast<double>(served)
-                              : 0.0));
+    {
+      MutexLock lock(stats_mutex_);
+      metrics.Set("mean_inference_us",
+                  JsonValue(inference_latency_us_.mean()));
+      metrics.Set("p50_inference_us", JsonValue(inference_latency_us_.p50()));
+      metrics.Set("p90_inference_us", JsonValue(inference_latency_us_.p90()));
+      metrics.Set("p99_inference_us", JsonValue(inference_latency_us_.p99()));
+    }
     metrics.Set("model", JsonValue(std::string(model_->name())));
     metrics.Set("catalog_size",
                 JsonValue(model_->config().catalog_size));
@@ -97,7 +99,10 @@ net::HttpResponse EtudeServe::HandlePrediction(
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
           .count();
   predictions_served_.fetch_add(1);
-  total_inference_us_.fetch_add(inference_us);
+  {
+    MutexLock lock(stats_mutex_);
+    inference_latency_us_.Record(inference_us);
+  }
 
   net::HttpResponse response =
       net::HttpResponse::Ok(RecommendationToJson(*rec));

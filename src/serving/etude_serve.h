@@ -6,7 +6,10 @@
 #include <memory>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "metrics/histogram.h"
 #include "models/session_model.h"
 #include "net/http_server.h"
 
@@ -26,7 +29,8 @@ struct EtudeServeConfig {
 /// Routes:
 ///   GET  /healthz                 -> 200 once the model is loaded
 ///                                    (the Kubernetes readiness probe)
-///   GET  /metrics                 -> request/latency counters (JSON)
+///   GET  /metrics                 -> request counters and inference
+///                                    latency percentiles (JSON)
 ///   POST /predictions/<model>     -> body {"session":[item ids]}
 ///        answers {"items":[...],"scores":[...]} and reports the inference
 ///        duration via the "x-inference-us" response header, exactly as
@@ -44,14 +48,21 @@ class EtudeServe {
   int64_t predictions_served() const { return predictions_served_.load(); }
 
  private:
-  net::HttpResponse Handle(const net::HttpRequest& request);
-  net::HttpResponse HandlePrediction(const net::HttpRequest& request);
+  net::HttpResponse Handle(const net::HttpRequest& request)
+      ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse HandlePrediction(const net::HttpRequest& request)
+      ETUDE_EXCLUDES(stats_mutex_);
 
   const models::SessionModel* model_;
   std::string model_route_;  // "/predictions/<name>"
   std::unique_ptr<net::HttpServer> server_;
   std::atomic<int64_t> predictions_served_{0};
-  std::atomic<int64_t> total_inference_us_{0};
+
+  // Inference-latency distribution, recorded by every worker thread and
+  // read by /metrics (the quantity the paper's load generator collects).
+  mutable Mutex stats_mutex_;
+  metrics::LatencyHistogram inference_latency_us_
+      ETUDE_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace etude::serving

@@ -22,9 +22,28 @@ EventHandle Simulation::ScheduleAt(int64_t time_us, Callback callback) {
   return handle;
 }
 
+void Simulation::PostExternal(Callback callback) {
+  ETUDE_CHECK(callback != nullptr) << "null callback posted";
+  MutexLock lock(external_mutex_);
+  external_.push_back(std::move(callback));
+  has_external_.store(true, std::memory_order_release);
+}
+
+void Simulation::DrainExternal() {
+  if (!has_external_.load(std::memory_order_acquire)) return;
+  std::vector<Callback> pending;
+  {
+    MutexLock lock(external_mutex_);
+    pending.swap(external_);
+    has_external_.store(false, std::memory_order_release);
+  }
+  for (Callback& callback : pending) callback();
+}
+
 int64_t Simulation::Run() {
   stopped_ = false;
   int64_t executed = 0;
+  DrainExternal();
   while (!queue_.empty() && !stopped_) {
     Event event = queue_.top();
     queue_.pop();
@@ -32,6 +51,7 @@ int64_t Simulation::Run() {
     if (*event.cancelled) continue;
     event.callback();
     ++executed;
+    DrainExternal();
   }
   return executed;
 }
@@ -39,6 +59,7 @@ int64_t Simulation::Run() {
 int64_t Simulation::RunUntil(int64_t deadline_us) {
   stopped_ = false;
   int64_t executed = 0;
+  DrainExternal();
   while (!queue_.empty() && !stopped_) {
     const Event& top = queue_.top();
     if (top.time_us > deadline_us) break;
@@ -48,6 +69,7 @@ int64_t Simulation::RunUntil(int64_t deadline_us) {
     if (*event.cancelled) continue;
     event.callback();
     ++executed;
+    DrainExternal();
   }
   // Advance the clock to the deadline even if the queue drained early, so
   // repeated RunUntil calls observe monotonically increasing time.

@@ -1,6 +1,7 @@
 #ifndef ETUDE_SIM_SIMULATION_H_
 #define ETUDE_SIM_SIMULATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -8,6 +9,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace etude::sim {
 
@@ -42,6 +45,11 @@ class EventHandle {
 ///
 /// Time is in integer microseconds. Events scheduled for the same time fire
 /// in FIFO order of scheduling (stable), which keeps runs reproducible.
+///
+/// The kernel is single-threaded: Schedule/Run/Stop must all happen on the
+/// simulation thread. The only thread-safe entry point is PostExternal(),
+/// which hands a callback from a foreign thread (e.g. a real HTTP worker
+/// feeding a hybrid experiment) to the simulation thread.
 class Simulation {
  public:
   using Callback = std::function<void()>;
@@ -61,6 +69,12 @@ class Simulation {
   /// Schedules `callback` at the absolute virtual time `time_us`
   /// (>= now_us(), otherwise clamped to now).
   EventHandle ScheduleAt(int64_t time_us, Callback callback);
+
+  /// Thread-safe: enqueues `callback` to run on the simulation thread at
+  /// the virtual time current when the running Run()/RunUntil() picks it
+  /// up (injected callbacks fire before the next regular event). Externally
+  /// posted work is drained in FIFO order.
+  void PostExternal(Callback callback) ETUDE_EXCLUDES(external_mutex_);
 
   /// Runs until the event queue is empty or Stop() is called.
   /// Returns the number of events executed.
@@ -93,10 +107,19 @@ class Simulation {
     }
   };
 
+  /// Runs all externally posted callbacks (simulation thread only).
+  void DrainExternal() ETUDE_EXCLUDES(external_mutex_);
+
   int64_t now_us_ = 0;
   int64_t next_sequence_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+
+  // Cross-thread injection queue; has_external_ keeps the virtual-time hot
+  // loop lock-free when no foreign thread is involved (the common case).
+  Mutex external_mutex_;
+  std::vector<Callback> external_ ETUDE_GUARDED_BY(external_mutex_);
+  std::atomic<bool> has_external_{false};
 };
 
 }  // namespace etude::sim

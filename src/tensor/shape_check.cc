@@ -1,0 +1,471 @@
+#include "tensor/shape_check.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace etude::tensor {
+
+SymDim SymDim::Sym(std::string name, int64_t coef, int64_t offset) {
+  if (coef == 0) return SymDim(offset);
+  return SymDim(coef, std::move(name), offset);
+}
+
+SymDim SymDim::operator*(int64_t factor) const {
+  if (concrete() || factor == 0) return SymDim(offset_ * factor);
+  return SymDim(coef_ * factor, name_, offset_ * factor);
+}
+
+SymDim SymDim::operator+(const SymDim& other) const {
+  if (concrete()) {
+    SymDim out = other;
+    out.offset_ += offset_;
+    return out;
+  }
+  if (other.concrete()) {
+    SymDim out = *this;
+    out.offset_ += other.offset_;
+    return out;
+  }
+  if (name_ == other.name_) {
+    return Sym(name_, coef_ + other.coef_, offset_ + other.offset_);
+  }
+  // Unrelated symbols: fold into an opaque compound symbol. Comparisons
+  // against the same compound still work (string equality).
+  return Sym("(" + ToString() + "+" + other.ToString() + ")");
+}
+
+std::string SymDim::ToString() const {
+  if (concrete()) return std::to_string(offset_);
+  std::string out;
+  if (coef_ == -1) {
+    out = "-" + name_;
+  } else if (coef_ == 1) {
+    out = name_;
+  } else {
+    out = std::to_string(coef_) + name_;
+  }
+  if (offset_ > 0) out += "+" + std::to_string(offset_);
+  if (offset_ < 0) out += std::to_string(offset_);
+  return out;
+}
+
+namespace sym {
+SymDim C() { return SymDim::Sym("C"); }
+SymDim d() { return SymDim::Sym("d"); }
+SymDim L() { return SymDim::Sym("L"); }
+SymDim k() { return SymDim::Sym("k"); }
+SymDim n() { return SymDim::Sym("n"); }
+}  // namespace sym
+
+std::string ShapeToString(const SymShape& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += shape[i].ToString();
+  }
+  return out + "]";
+}
+
+std::string ShapeViolation::ToString() const {
+  std::string out = op;
+  if (!context.empty()) out += " (in " + context + ")";
+  return out + ": " + message;
+}
+
+SymTensor ShapeChecker::Input(const std::string& name, SymShape shape) {
+  (void)name;  // names exist for readability at call sites
+  return SymTensor{std::move(shape), true};
+}
+
+SymTensor ShapeChecker::Fail(const std::string& op,
+                             const std::string& message) {
+  violations_.push_back(ShapeViolation{op, context_, message});
+  return SymTensor::Invalid();
+}
+
+bool ShapeChecker::Usable(std::initializer_list<const SymTensor*> operands) {
+  return std::all_of(operands.begin(), operands.end(),
+                     [](const SymTensor* t) { return t->valid; });
+}
+
+SymTensor ShapeChecker::MatMul(const SymTensor& a, const SymTensor& b) {
+  if (!Usable({&a, &b})) return SymTensor::Invalid();
+  if (a.rank() != 2 || b.rank() != 2) {
+    return Fail("MatMul", "requires rank-2 operands, got a=" +
+                              ShapeToString(a.shape) +
+                              ", b=" + ShapeToString(b.shape));
+  }
+  if (a.shape[1] != b.shape[0]) {
+    return Fail("MatMul", "inner dims " + a.shape[1].ToString() + " vs " +
+                              b.shape[0].ToString() + " do not match: a=" +
+                              ShapeToString(a.shape) +
+                              ", b=" + ShapeToString(b.shape));
+  }
+  return SymTensor{{a.shape[0], b.shape[1]}, true};
+}
+
+SymTensor ShapeChecker::MatVec(const SymTensor& a, const SymTensor& x) {
+  if (!Usable({&a, &x})) return SymTensor::Invalid();
+  if (a.rank() != 2 || x.rank() != 1) {
+    return Fail("MatVec", "requires a rank-2 matrix and rank-1 vector, got "
+                          "a=" +
+                              ShapeToString(a.shape) +
+                              ", x=" + ShapeToString(x.shape));
+  }
+  if (a.shape[1] != x.shape[0]) {
+    return Fail("MatVec", "matrix columns " + a.shape[1].ToString() +
+                              " vs vector length " + x.shape[0].ToString() +
+                              " do not match");
+  }
+  return SymTensor{{a.shape[0]}, true};
+}
+
+SymTensor ShapeChecker::Linear(const SymTensor& x, const SymTensor& weight,
+                               const SymTensor& bias) {
+  if (!Usable({&x, &weight, &bias})) return SymTensor::Invalid();
+  if (x.rank() != 2 || weight.rank() != 2) {
+    return Fail("Linear", "requires rank-2 input and weight, got x=" +
+                              ShapeToString(x.shape) +
+                              ", W=" + ShapeToString(weight.shape));
+  }
+  if (x.shape[1] != weight.shape[1]) {
+    return Fail("Linear", "input width " + x.shape[1].ToString() +
+                              " vs weight in-dim " +
+                              weight.shape[1].ToString() +
+                              " do not match: x=" + ShapeToString(x.shape) +
+                              ", W=" + ShapeToString(weight.shape));
+  }
+  // An empty bias (rank 0) skips the bias addition, like the runtime op.
+  if (bias.rank() != 0) {
+    if (bias.rank() != 1 || bias.shape[0] != weight.shape[0]) {
+      return Fail("Linear", "bias " + ShapeToString(bias.shape) +
+                                " does not match weight out-dim " +
+                                weight.shape[0].ToString());
+    }
+  }
+  return SymTensor{{x.shape[0], weight.shape[0]}, true};
+}
+
+SymTensor ShapeChecker::Elementwise(const std::string& op, const SymTensor& a,
+                                    const SymTensor& b) {
+  if (!Usable({&a, &b})) return SymTensor::Invalid();
+  if (a.shape != b.shape) {
+    return Fail(op, "operand shapes " + ShapeToString(a.shape) + " and " +
+                        ShapeToString(b.shape) + " differ");
+  }
+  return a;
+}
+
+SymTensor ShapeChecker::Add(const SymTensor& a, const SymTensor& b) {
+  return Elementwise("Add", a, b);
+}
+SymTensor ShapeChecker::Sub(const SymTensor& a, const SymTensor& b) {
+  return Elementwise("Sub", a, b);
+}
+SymTensor ShapeChecker::Mul(const SymTensor& a, const SymTensor& b) {
+  return Elementwise("Mul", a, b);
+}
+
+SymTensor ShapeChecker::AddRowwise(const SymTensor& a, const SymTensor& bias) {
+  if (!Usable({&a, &bias})) return SymTensor::Invalid();
+  if (a.rank() != 2 || bias.rank() != 1 || a.shape[1] != bias.shape[0]) {
+    return Fail("AddRowwise", "requires a=[n, d] and bias=[d], got a=" +
+                                  ShapeToString(a.shape) + ", bias=" +
+                                  ShapeToString(bias.shape));
+  }
+  return a;
+}
+
+SymTensor ShapeChecker::Unary(const std::string& op, const SymTensor& a) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (a.rank() == 0) {
+    return Fail(op, "requires a tensor operand, got a scalar");
+  }
+  return a;
+}
+
+SymTensor ShapeChecker::Scale(const SymTensor& a) { return Unary("Scale", a); }
+SymTensor ShapeChecker::Sigmoid(const SymTensor& a) {
+  return Unary("Sigmoid", a);
+}
+SymTensor ShapeChecker::Tanh(const SymTensor& a) { return Unary("Tanh", a); }
+SymTensor ShapeChecker::Relu(const SymTensor& a) { return Unary("Relu", a); }
+SymTensor ShapeChecker::Gelu(const SymTensor& a) { return Unary("Gelu", a); }
+SymTensor ShapeChecker::Softmax(const SymTensor& a) {
+  return Unary("Softmax", a);
+}
+
+SymTensor ShapeChecker::LayerNorm(const SymTensor& a, const SymTensor& gain,
+                                  const SymTensor& bias) {
+  if (!Usable({&a, &gain, &bias})) return SymTensor::Invalid();
+  if (a.rank() < 1) return Fail("LayerNorm", "requires rank >= 1");
+  const SymDim& last = a.shape.back();
+  if (gain.rank() != 1 || gain.shape[0] != last) {
+    return Fail("LayerNorm", "gain " + ShapeToString(gain.shape) +
+                                 " does not match normalised dim " +
+                                 last.ToString());
+  }
+  if (bias.rank() != 1 || bias.shape[0] != last) {
+    return Fail("LayerNorm", "bias " + ShapeToString(bias.shape) +
+                                 " does not match normalised dim " +
+                                 last.ToString());
+  }
+  return a;
+}
+
+SymTensor ShapeChecker::Embedding(const SymTensor& table, const SymDim& count) {
+  if (!table.valid) return SymTensor::Invalid();
+  if (table.rank() != 2) {
+    return Fail("Embedding",
+                "table must be rank 2, got " + ShapeToString(table.shape));
+  }
+  return SymTensor{{count, table.shape[1]}, true};
+}
+
+SymTensor ShapeChecker::Concat(const SymTensor& a, const SymTensor& b) {
+  if (!Usable({&a, &b})) return SymTensor::Invalid();
+  if (a.rank() == 1 && b.rank() == 1) {
+    return SymTensor{{a.shape[0] + b.shape[0]}, true};
+  }
+  if (a.rank() == 2 && b.rank() == 2) {
+    if (a.shape[0] != b.shape[0]) {
+      return Fail("Concat", "row counts " + a.shape[0].ToString() + " vs " +
+                                b.shape[0].ToString() +
+                                " differ: a=" + ShapeToString(a.shape) +
+                                ", b=" + ShapeToString(b.shape));
+    }
+    return SymTensor{{a.shape[0], a.shape[1] + b.shape[1]}, true};
+  }
+  return Fail("Concat", "requires two rank-1 or two rank-2 operands, got a=" +
+                            ShapeToString(a.shape) +
+                            ", b=" + ShapeToString(b.shape));
+}
+
+SymTensor ShapeChecker::Transpose(const SymTensor& a) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (a.rank() != 2) {
+    return Fail("Transpose",
+                "requires rank 2, got " + ShapeToString(a.shape));
+  }
+  return SymTensor{{a.shape[1], a.shape[0]}, true};
+}
+
+SymTensor ShapeChecker::MeanRows(const SymTensor& a) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (a.rank() != 2) {
+    return Fail("MeanRows", "requires rank 2, got " + ShapeToString(a.shape));
+  }
+  return SymTensor{{a.shape[1]}, true};
+}
+
+SymTensor ShapeChecker::SumRows(const SymTensor& a) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (a.rank() != 2) {
+    return Fail("SumRows", "requires rank 2, got " + ShapeToString(a.shape));
+  }
+  return SymTensor{{a.shape[1]}, true};
+}
+
+SymTensor ShapeChecker::L2NormalizeRows(const SymTensor& a) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (a.rank() != 1 && a.rank() != 2) {
+    return Fail("L2NormalizeRows",
+                "requires rank 1 or 2, got " + ShapeToString(a.shape));
+  }
+  return a;
+}
+
+SymTensor ShapeChecker::Dot(const SymTensor& a, const SymTensor& b) {
+  if (!Usable({&a, &b})) return SymTensor::Invalid();
+  if (a.rank() != 1 || b.rank() != 1 || a.shape[0] != b.shape[0]) {
+    return Fail("Dot", "requires two equal-length rank-1 operands, got a=" +
+                           ShapeToString(a.shape) +
+                           ", b=" + ShapeToString(b.shape));
+  }
+  return SymTensor{{}, true};  // scalar
+}
+
+SymTensor ShapeChecker::TopK(const SymTensor& scores, const SymDim& k) {
+  if (!scores.valid) return SymTensor::Invalid();
+  if (scores.rank() != 1) {
+    return Fail("TopK", "scores must be rank 1, got " +
+                            ShapeToString(scores.shape));
+  }
+  return SymTensor{{k}, true};
+}
+
+SymTensor ShapeChecker::Mips(const SymTensor& items, const SymTensor& query,
+                             const SymDim& k) {
+  if (!Usable({&items, &query})) return SymTensor::Invalid();
+  if (items.rank() != 2 || query.rank() != 1) {
+    return Fail("Mips", "requires items=[C, d] and query=[d], got items=" +
+                            ShapeToString(items.shape) +
+                            ", query=" + ShapeToString(query.shape));
+  }
+  if (items.shape[1] != query.shape[0]) {
+    return Fail("Mips", "item width " + items.shape[1].ToString() +
+                            " vs query length " + query.shape[0].ToString() +
+                            " do not match");
+  }
+  return SymTensor{{k}, true};
+}
+
+SymTensor ShapeChecker::GruCell(const SymTensor& input, const SymTensor& hidden,
+                                const SymTensor& w_ih, const SymTensor& w_hh,
+                                const SymTensor& b_ih, const SymTensor& b_hh) {
+  if (!Usable({&input, &hidden, &w_ih, &w_hh, &b_ih, &b_hh})) {
+    return SymTensor::Invalid();
+  }
+  if (input.rank() != 1 || hidden.rank() != 1) {
+    return Fail("GruCell", "input and hidden must be rank 1, got input=" +
+                               ShapeToString(input.shape) + ", hidden=" +
+                               ShapeToString(hidden.shape));
+  }
+  const SymDim three_h = hidden.shape[0] * 3;
+  if (w_ih.rank() != 2 || w_ih.shape[0] != three_h ||
+      w_ih.shape[1] != input.shape[0]) {
+    return Fail("GruCell", "w_ih must be [" + three_h.ToString() + ", " +
+                               input.shape[0].ToString() + "], got " +
+                               ShapeToString(w_ih.shape));
+  }
+  if (w_hh.rank() != 2 || w_hh.shape[0] != three_h ||
+      w_hh.shape[1] != hidden.shape[0]) {
+    return Fail("GruCell", "w_hh must be [" + three_h.ToString() + ", " +
+                               hidden.shape[0].ToString() + "], got " +
+                               ShapeToString(w_hh.shape));
+  }
+  if (b_ih.rank() != 1 || b_ih.shape[0] != three_h || b_hh.rank() != 1 ||
+      b_hh.shape[0] != three_h) {
+    return Fail("GruCell", "biases must be [" + three_h.ToString() +
+                               "], got b_ih=" + ShapeToString(b_ih.shape) +
+                               ", b_hh=" + ShapeToString(b_hh.shape));
+  }
+  return SymTensor{{hidden.shape[0]}, true};
+}
+
+SymTensor ShapeChecker::Attention(const SymTensor& q, const SymTensor& k,
+                                  const SymTensor& v) {
+  if (!Usable({&q, &k, &v})) return SymTensor::Invalid();
+  if (q.rank() != 2 || k.rank() != 2 || v.rank() != 2) {
+    return Fail("Attention", "requires rank-2 q, k, v, got q=" +
+                                 ShapeToString(q.shape) +
+                                 ", k=" + ShapeToString(k.shape) +
+                                 ", v=" + ShapeToString(v.shape));
+  }
+  if (q.shape[1] != k.shape[1]) {
+    return Fail("Attention", "query width " + q.shape[1].ToString() +
+                                 " vs key width " + k.shape[1].ToString() +
+                                 " do not match");
+  }
+  if (k.shape[0] != v.shape[0]) {
+    return Fail("Attention", "key count " + k.shape[0].ToString() +
+                                 " vs value count " + v.shape[0].ToString() +
+                                 " do not match");
+  }
+  return SymTensor{{q.shape[0], v.shape[1]}, true};
+}
+
+SymTensor ShapeChecker::Row(const SymTensor& a) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (a.rank() != 2) {
+    return Fail("Row", "requires rank 2, got " + ShapeToString(a.shape));
+  }
+  return SymTensor{{a.shape[1]}, true};
+}
+
+namespace {
+// Canonical form of a symbolic element count: the product of all concrete
+// factors (including symbolic coefficients) plus the sorted multiset of
+// symbol names. Dimensions with additive offsets are kept atomic.
+struct CanonicalProduct {
+  int64_t concrete = 1;
+  std::vector<std::string> symbols;
+
+  bool operator==(const CanonicalProduct& other) const {
+    return concrete == other.concrete && symbols == other.symbols;
+  }
+};
+
+CanonicalProduct Canonicalize(const SymShape& shape) {
+  CanonicalProduct out;
+  for (const SymDim& dim : shape) {
+    if (dim.concrete()) {
+      out.concrete *= dim.offset();
+    } else if (dim.offset() == 0) {
+      out.concrete *= dim.coef();
+      out.symbols.push_back(dim.symbol());
+    } else {
+      out.symbols.push_back(dim.ToString());  // atomic: "d+1" etc.
+    }
+  }
+  std::sort(out.symbols.begin(), out.symbols.end());
+  return out;
+}
+}  // namespace
+
+SymTensor ShapeChecker::Reshape(const SymTensor& a, SymShape new_shape) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (!(Canonicalize(a.shape) == Canonicalize(new_shape))) {
+    return Fail("Reshape", "element count of " + ShapeToString(a.shape) +
+                               " cannot be proven equal to " +
+                               ShapeToString(new_shape));
+  }
+  return SymTensor{std::move(new_shape), true};
+}
+
+SymTensor ShapeChecker::Truncate(const SymTensor& a, int axis,
+                                 const SymDim& new_dim) {
+  if (!a.valid) return SymTensor::Invalid();
+  if (axis < 0 || axis >= a.rank()) {
+    return Fail("Truncate", "axis " + std::to_string(axis) +
+                                " out of range for " +
+                                ShapeToString(a.shape));
+  }
+  SymTensor out = a;
+  out.shape[static_cast<size_t>(axis)] = new_dim;
+  return out;
+}
+
+SymTensor ShapeChecker::GatedUpdate(const SymTensor& gate_input,
+                                    const SymTensor& gate_hidden,
+                                    const SymTensor& state) {
+  if (!Usable({&gate_input, &gate_hidden, &state})) {
+    return SymTensor::Invalid();
+  }
+  if (state.rank() != 2) {
+    return Fail("GatedUpdate",
+                "state must be rank 2, got " + ShapeToString(state.shape));
+  }
+  const SymShape expected_gates = {state.shape[0], state.shape[1] * 3};
+  if (gate_input.shape != expected_gates ||
+      gate_hidden.shape != expected_gates) {
+    return Fail("GatedUpdate",
+                "gates must be " + ShapeToString(expected_gates) +
+                    " for state " + ShapeToString(state.shape) +
+                    ", got gate_input=" + ShapeToString(gate_input.shape) +
+                    ", gate_hidden=" + ShapeToString(gate_hidden.shape));
+  }
+  return state;
+}
+
+bool ShapeChecker::Require(const SymTensor& a, const SymShape& expected,
+                           const std::string& what) {
+  if (!a.valid) return false;  // already reported upstream
+  if (a.shape != expected) {
+    Fail("Require", what + ": expected " + ShapeToString(expected) +
+                        ", got " + ShapeToString(a.shape));
+    return false;
+  }
+  return true;
+}
+
+std::string ShapeChecker::Report() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << violations_[i].ToString();
+  }
+  return out.str();
+}
+
+}  // namespace etude::tensor

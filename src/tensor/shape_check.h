@@ -1,0 +1,199 @@
+#ifndef ETUDE_TENSOR_SHAPE_CHECK_H_
+#define ETUDE_TENSOR_SHAPE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etude::tensor {
+
+/// Static shape linting for the model op graphs.
+///
+/// The ten SBR architectures execute fixed op sequences whose tensor
+/// shapes are linear in a handful of symbolic quantities: the catalog
+/// size C, the embedding dimension d, the session length L and the
+/// recommendation count k (plus derived symbols such as the session-graph
+/// node count n). A shape bug in one of those sequences — a transposed
+/// weight, a forgotten Concat doubling, a head wired to [d] instead of
+/// [2d] — would otherwise only surface as an ETUDE_CHECK abort in the
+/// middle of a benchmark run, for one particular session length.
+///
+/// ShapeChecker propagates *symbolic* shapes through the same op sequence
+/// the model executes (each model declares its graph via
+/// SessionModel::TraceEncode) and reports every rank or dimension
+/// mismatch with the op name and the offending symbolic dims. The check
+/// runs at model-construction time and in the `lint_models` tool; it is
+/// independent of any concrete C, d or session, so one pass covers every
+/// input the model can ever see.
+
+/// A symbolic tensor dimension of the form `coef * symbol + offset`.
+/// `symbol` is empty for concrete dimensions. Dimensions print as the
+/// paper's symbols: "C", "d", "3d", "2d", "L", "k", "n", "42".
+class SymDim {
+ public:
+  /// A concrete dimension (implicit: ops accept plain integers).
+  SymDim(int64_t value) : offset_(value) {}  // NOLINT(runtime/explicit)
+
+  /// A symbolic dimension `coef * name + offset`.
+  static SymDim Sym(std::string name, int64_t coef = 1, int64_t offset = 0);
+
+  bool concrete() const { return name_.empty(); }
+  int64_t coef() const { return coef_; }
+  const std::string& symbol() const { return name_; }
+  int64_t offset() const { return offset_; }
+
+  /// Scales the dimension: 3 * d -> "3d".
+  SymDim operator*(int64_t factor) const;
+
+  /// Adds two dimensions (used by Concat). Same-symbol and concrete
+  /// operands combine exactly; unrelated symbols fold into an opaque
+  /// compound symbol like "(L+n)".
+  SymDim operator+(const SymDim& other) const;
+
+  bool operator==(const SymDim& other) const {
+    return coef_ == other.coef_ && name_ == other.name_ &&
+           offset_ == other.offset_;
+  }
+  bool operator!=(const SymDim& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  SymDim(int64_t coef, std::string name, int64_t offset)
+      : coef_(coef), name_(std::move(name)), offset_(offset) {}
+
+  int64_t coef_ = 0;       // 0 when concrete
+  std::string name_;       // "" when concrete
+  int64_t offset_ = 0;     // the value itself when concrete
+};
+
+/// The canonical symbols of the paper's complexity analysis (Sec. II).
+namespace sym {
+SymDim C();  ///< catalog size
+SymDim d();  ///< embedding dimension
+SymDim L();  ///< session length (after truncation)
+SymDim k();  ///< recommendation count (top-k)
+SymDim n();  ///< session-graph node count (GNN models; n <= L)
+}  // namespace sym
+
+using SymShape = std::vector<SymDim>;
+
+/// "[L, 3d]" style rendering.
+std::string ShapeToString(const SymShape& shape);
+
+/// A symbolic tensor value flowing through the checker. Invalid values
+/// poison downstream ops without producing cascading violations.
+struct SymTensor {
+  SymShape shape;
+  bool valid = true;
+
+  static SymTensor Invalid() { return SymTensor{{}, false}; }
+  int rank() const { return static_cast<int>(shape.size()); }
+};
+
+/// One detected mismatch: the op that rejected and a message naming the
+/// mismatched symbolic dimensions.
+struct ShapeViolation {
+  std::string op;       // e.g. "MatMul"
+  std::string context;  // e.g. "SASRec block 1" (may be empty)
+  std::string message;  // e.g. "inner dims L vs d do not match ..."
+
+  std::string ToString() const;
+};
+
+/// Symbolic mirror of the tensor op set (tensor/ops.h) plus the Tensor
+/// member ops the models use (Row, Reshaped). Every method validates its
+/// operands like the runtime op would, records a ShapeViolation on
+/// mismatch, and returns the symbolic result shape (or an invalid tensor
+/// that suppresses follow-on errors).
+class ShapeChecker {
+ public:
+  /// Introduces a leaf tensor (weights, embeddings, zero accumulators).
+  SymTensor Input(const std::string& name, SymShape shape);
+
+  /// Sets a free-form location label attached to subsequent violations
+  /// (e.g. "TransformerBlock 2"). Empty clears it.
+  void SetContext(std::string context) { context_ = std::move(context); }
+
+  // --- ops.h mirrors -------------------------------------------------------
+  SymTensor MatMul(const SymTensor& a, const SymTensor& b);
+  SymTensor MatVec(const SymTensor& a, const SymTensor& x);
+  SymTensor Linear(const SymTensor& x, const SymTensor& weight,
+                   const SymTensor& bias);
+  SymTensor Add(const SymTensor& a, const SymTensor& b);
+  SymTensor Sub(const SymTensor& a, const SymTensor& b);
+  SymTensor Mul(const SymTensor& a, const SymTensor& b);
+  SymTensor AddRowwise(const SymTensor& a, const SymTensor& bias);
+  SymTensor Scale(const SymTensor& a);
+  SymTensor Sigmoid(const SymTensor& a);
+  SymTensor Tanh(const SymTensor& a);
+  SymTensor Relu(const SymTensor& a);
+  SymTensor Gelu(const SymTensor& a);
+  SymTensor Softmax(const SymTensor& a);
+  SymTensor LayerNorm(const SymTensor& a, const SymTensor& gain,
+                      const SymTensor& bias);
+  /// Gather of `count` rows from a rank-2 table -> [count, table_width].
+  SymTensor Embedding(const SymTensor& table, const SymDim& count);
+  SymTensor Concat(const SymTensor& a, const SymTensor& b);
+  SymTensor Transpose(const SymTensor& a);
+  SymTensor MeanRows(const SymTensor& a);
+  SymTensor SumRows(const SymTensor& a);
+  SymTensor L2NormalizeRows(const SymTensor& a);
+  /// Rank-1 x rank-1 dot product -> scalar (rank 0).
+  SymTensor Dot(const SymTensor& a, const SymTensor& b);
+  /// Top-k over a rank-1 score vector -> [k] (indices/scores).
+  SymTensor TopK(const SymTensor& scores, const SymDim& k);
+  /// MIPS: items [C, d] x query [d] -> top-k [k].
+  SymTensor Mips(const SymTensor& items, const SymTensor& query,
+                 const SymDim& k);
+  SymTensor GruCell(const SymTensor& input, const SymTensor& hidden,
+                    const SymTensor& w_ih, const SymTensor& w_hh,
+                    const SymTensor& b_ih, const SymTensor& b_hh);
+  /// Scaled dot-product attention: q [n,d] k [m,d] v [m,d] -> [n,d].
+  SymTensor Attention(const SymTensor& q, const SymTensor& k,
+                      const SymTensor& v);
+
+  // --- Tensor member mirrors ----------------------------------------------
+  /// Tensor::Row of a rank-2 tensor -> rank-1 [width].
+  SymTensor Row(const SymTensor& a);
+  /// Tensor::Reshaped: element count must match symbolically.
+  SymTensor Reshape(const SymTensor& a, SymShape new_shape);
+
+  // --- structural helpers --------------------------------------------------
+  /// Dynamic truncation of one axis to a (smaller) runtime-dependent
+  /// extent, e.g. LightSANs' min(kMaxInterests, L) latent interests.
+  /// Always shape-safe; introduces the new symbolic extent.
+  SymTensor Truncate(const SymTensor& a, int axis, const SymDim& new_dim);
+  /// GRU-style gated state update: gates [n, 3h] x2 applied to state
+  /// [n, h] -> [n, h] (the SR-GNN node update).
+  SymTensor GatedUpdate(const SymTensor& gate_input,
+                        const SymTensor& gate_hidden, const SymTensor& state);
+
+  /// Asserts `a` has exactly `expected` shape; records a violation naming
+  /// `what` otherwise. Returns whether it matched.
+  bool Require(const SymTensor& a, const SymShape& expected,
+               const std::string& what);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<ShapeViolation>& violations() const {
+    return violations_;
+  }
+  /// All violations joined into one human-readable report line-by-line.
+  std::string Report() const;
+
+ private:
+  /// Records a violation for `op` and returns an invalid tensor.
+  SymTensor Fail(const std::string& op, const std::string& message);
+  /// True when every operand is valid (invalid operands poison silently).
+  static bool Usable(std::initializer_list<const SymTensor*> operands);
+  SymTensor Elementwise(const std::string& op, const SymTensor& a,
+                        const SymTensor& b);
+  SymTensor Unary(const std::string& op, const SymTensor& a);
+
+  std::string context_;
+  std::vector<ShapeViolation> violations_;
+};
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_SHAPE_CHECK_H_

@@ -1,0 +1,87 @@
+// lint_models: runs the static op-graph shape linter over every supported
+// model architecture in both execution modes and exits nonzero if any
+// graph is mis-shaped. Intended for CI: the check is symbolic in
+// {C, d, L, k}, so it needs no weights, no requests and no benchmark run.
+//
+// Usage: lint_models [--verbose]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "models/model_factory.h"
+#include "models/session_model.h"
+
+namespace {
+
+const char* ModeName(etude::models::ExecutionMode mode) {
+  return mode == etude::models::ExecutionMode::kJit ? "jit" : "eager";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--verbose]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The lint is independent of concrete sizes, but exercise several
+  // catalog scales anyway: they cover the d = ceil(C^(1/4)) heuristic and
+  // the construction-time validation around it.
+  const std::vector<int64_t> catalog_sizes = {100, 10'000, 1'000'000};
+
+  int failures = 0;
+  int checked = 0;
+  for (const etude::models::ModelKind kind :
+       etude::models::AllModelKinds()) {
+    for (const int64_t catalog : catalog_sizes) {
+      etude::models::ModelConfig config;
+      config.catalog_size = catalog;
+      config.materialize_embeddings = false;  // cost-only: no [C, d] alloc
+      // CreateModel already lints both modes at construction; a failure
+      // surfaces here as an InvalidArgument status.
+      auto model = etude::models::CreateModel(kind, config);
+      if (!model.ok()) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s (C=%lld):\n%s\n",
+                     std::string(etude::models::ModelKindToString(kind))
+                         .c_str(),
+                     static_cast<long long>(catalog),
+                     model.status().ToString().c_str());
+        continue;
+      }
+      for (const etude::models::ExecutionMode mode :
+           {etude::models::ExecutionMode::kEager,
+            etude::models::ExecutionMode::kJit}) {
+        ++checked;
+        const etude::Status status = (*model)->CheckShapes(mode);
+        if (!status.ok()) {
+          ++failures;
+          std::fprintf(stderr, "FAIL %s %s (C=%lld):\n%s\n",
+                       std::string((*model)->name()).c_str(), ModeName(mode),
+                       static_cast<long long>(catalog),
+                       status.ToString().c_str());
+        } else if (verbose) {
+          std::printf("ok   %-10s %-5s C=%lld\n",
+                      std::string((*model)->name()).c_str(), ModeName(mode),
+                      static_cast<long long>(catalog));
+        }
+      }
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "lint_models: %d of %d checks failed\n", failures,
+                 checked);
+    return 1;
+  }
+  std::printf("lint_models: %d op-graph shape checks passed\n", checked);
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <thread>
 #include <vector>
 
 namespace etude::sim {
@@ -125,6 +127,46 @@ TEST(SimulationTest, StopTerminatesRun) {
   // A subsequent Run resumes.
   sim.Run();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, PostExternalRunsBeforeNextEvent) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.PostExternal([&] { order.push_back(0); });  // drained at Run() entry
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimulationTest, PostExternalFromAnotherThreadIsPickedUp) {
+  Simulation sim;
+  bool injected = false;
+  // A long quiet event chain keeps the loop alive while the other thread
+  // posts into it.
+  std::function<void()> tick = [&] {
+    if (injected) {
+      sim.Stop();
+    } else {
+      sim.Schedule(sim.now_us() + 10, tick);
+    }
+  };
+  sim.Schedule(0, tick);
+  std::thread poster([&] { sim.PostExternal([&] { injected = true; }); });
+  sim.Run();
+  poster.join();
+  EXPECT_TRUE(injected);
+}
+
+TEST(SimulationTest, PostExternalDoesNotAdvanceVirtualTime) {
+  Simulation sim;
+  int64_t seen_at = -1;
+  sim.Schedule(500, [&] {});
+  sim.PostExternal([&] { seen_at = sim.now_us(); });
+  sim.Run();
+  // The injected callback ran at the virtual time current when it was
+  // drained (before the first event), not at some wall-clock-derived time.
+  EXPECT_EQ(seen_at, 0);
+  EXPECT_EQ(sim.now_us(), 500);
 }
 
 TEST(SimulationTest, ManyEventsStressOrdering) {

@@ -1,0 +1,390 @@
+#include "tensor/shape_check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "models/model_factory.h"
+#include "models/session_model.h"
+
+namespace etude::tensor {
+namespace {
+
+// --- SymDim algebra ---------------------------------------------------------
+
+TEST(SymDimTest, ConcreteAndSymbolicPrinting) {
+  EXPECT_EQ(SymDim(7).ToString(), "7");
+  EXPECT_EQ(sym::d().ToString(), "d");
+  EXPECT_EQ((sym::d() * 3).ToString(), "3d");
+  EXPECT_EQ((sym::L() + 1).ToString(), "L+1");
+  EXPECT_EQ((sym::d() + sym::d()).ToString(), "2d");
+}
+
+TEST(SymDimTest, EqualityIsStructural) {
+  EXPECT_EQ(sym::d(), sym::d());
+  EXPECT_NE(sym::d(), sym::L());
+  EXPECT_NE(sym::d(), sym::d() * 2);
+  EXPECT_EQ(sym::d() * 2, sym::d() + sym::d());
+  EXPECT_NE(SymDim(3), SymDim(4));
+  EXPECT_NE(sym::d(), SymDim(3));
+}
+
+TEST(SymDimTest, UnrelatedSymbolsFoldToCompound) {
+  const SymDim mixed = sym::L() + sym::n();
+  EXPECT_EQ(mixed.ToString(), "(L+n)");
+  EXPECT_EQ(mixed, sym::L() + sym::n());  // same compound compares equal
+}
+
+// --- per-op accept/reject ---------------------------------------------------
+
+TEST(ShapeCheckerTest, MatMulAcceptsMatchingInnerDims) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  const SymTensor b = checker.Input("b", {sym::d(), sym::k()});
+  const SymTensor c = checker.MatMul(a, b);
+  EXPECT_TRUE(checker.ok());
+  ASSERT_EQ(c.rank(), 2);
+  EXPECT_EQ(c.shape[0], sym::L());
+  EXPECT_EQ(c.shape[1], sym::k());
+}
+
+TEST(ShapeCheckerTest, MatMulRejectsMismatchedInnerDims) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  const SymTensor b = checker.Input("b", {sym::L(), sym::d()});
+  const SymTensor c = checker.MatMul(a, b);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_FALSE(c.valid);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].op, "MatMul");
+  // The message names the mismatched symbolic dims.
+  EXPECT_NE(checker.violations()[0].message.find("d vs L"),
+            std::string::npos);
+}
+
+TEST(ShapeCheckerTest, MatVecAcceptAndReject) {
+  ShapeChecker checker;
+  const SymTensor m = checker.Input("m", {sym::C(), sym::d()});
+  const SymTensor v = checker.Input("v", {sym::d()});
+  EXPECT_TRUE(checker.MatVec(m, v).valid);
+  EXPECT_TRUE(checker.ok());
+  const SymTensor wrong = checker.Input("w", {sym::L()});
+  EXPECT_FALSE(checker.MatVec(m, wrong).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, LinearChecksWeightOrientationAndBias) {
+  ShapeChecker checker;
+  const SymTensor x = checker.Input("x", {sym::L(), sym::d()});
+  const SymTensor w = checker.Input("w", {sym::d() * 2, sym::d()});
+  const SymTensor bias = checker.Input("b", {sym::d() * 2});
+  const SymTensor y = checker.Linear(x, w, bias);
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(y.shape[1], sym::d() * 2);
+
+  // Transposed weight: [d, 2d] against input width d must reject.
+  ShapeChecker bad;
+  const SymTensor xt = bad.Input("x", {sym::L(), sym::d()});
+  const SymTensor wt = bad.Input("w", {sym::d(), sym::d() * 2});
+  EXPECT_FALSE(bad.Linear(xt, wt, SymTensor{{}, true}).valid);
+  EXPECT_FALSE(bad.ok());
+
+  // Bias length must equal the out-dim.
+  ShapeChecker badb;
+  const SymTensor xb = badb.Input("x", {sym::L(), sym::d()});
+  const SymTensor wb = badb.Input("w", {sym::d() * 2, sym::d()});
+  const SymTensor bb = badb.Input("b", {sym::d()});
+  EXPECT_FALSE(badb.Linear(xb, wb, bb).valid);
+  EXPECT_FALSE(badb.ok());
+}
+
+TEST(ShapeCheckerTest, ElementwiseOpsRequireIdenticalShapes) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  const SymTensor b = checker.Input("b", {sym::L(), sym::d()});
+  EXPECT_TRUE(checker.Add(a, b).valid);
+  EXPECT_TRUE(checker.Mul(a, b).valid);
+  EXPECT_TRUE(checker.Sub(a, b).valid);
+  EXPECT_TRUE(checker.ok());
+  const SymTensor c = checker.Input("c", {sym::d(), sym::L()});
+  EXPECT_FALSE(checker.Add(a, c).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, AddRowwiseAcceptAndReject) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  EXPECT_TRUE(checker.AddRowwise(a, checker.Input("b", {sym::d()})).valid);
+  EXPECT_TRUE(checker.ok());
+  EXPECT_FALSE(checker.AddRowwise(a, checker.Input("b", {sym::L()})).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, UnaryOpsPreserveShapeAndRejectScalars) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  EXPECT_EQ(checker.Sigmoid(a).shape, a.shape);
+  EXPECT_EQ(checker.Tanh(a).shape, a.shape);
+  EXPECT_EQ(checker.Relu(a).shape, a.shape);
+  EXPECT_EQ(checker.Gelu(a).shape, a.shape);
+  EXPECT_EQ(checker.Softmax(a).shape, a.shape);
+  EXPECT_EQ(checker.Scale(a).shape, a.shape);
+  EXPECT_TRUE(checker.ok());
+  const SymTensor scalar = checker.Dot(checker.Input("u", {sym::d()}),
+                                       checker.Input("v", {sym::d()}));
+  EXPECT_FALSE(checker.Tanh(scalar).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, LayerNormChecksGainAndBiasAgainstLastDim) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  const SymTensor gain = checker.Input("g", {sym::d()});
+  const SymTensor bias = checker.Input("b", {sym::d()});
+  EXPECT_TRUE(checker.LayerNorm(a, gain, bias).valid);
+  EXPECT_TRUE(checker.ok());
+  const SymTensor wrong = checker.Input("g2", {sym::d() * 2});
+  EXPECT_FALSE(checker.LayerNorm(a, wrong, bias).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, EmbeddingGathersRowsOfRank2Table) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("t", {sym::C(), sym::d()});
+  const SymTensor rows = checker.Embedding(table, sym::L());
+  EXPECT_TRUE(checker.ok());
+  ASSERT_EQ(rows.rank(), 2);
+  EXPECT_EQ(rows.shape[0], sym::L());
+  EXPECT_EQ(rows.shape[1], sym::d());
+  const SymTensor vec = checker.Input("v", {sym::d()});
+  EXPECT_FALSE(checker.Embedding(vec, sym::L()).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, ConcatAddsDimsSymbolically) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::d()});
+  const SymTensor b = checker.Input("b", {sym::d()});
+  const SymTensor ab = checker.Concat(a, b);
+  EXPECT_EQ(ab.shape[0], sym::d() * 2);
+  const SymTensor m1 = checker.Input("m1", {sym::n(), sym::d()});
+  const SymTensor m2 = checker.Input("m2", {sym::n(), sym::d()});
+  const SymTensor m = checker.Concat(m1, m2);
+  EXPECT_EQ(m.shape[0], sym::n());
+  EXPECT_EQ(m.shape[1], sym::d() * 2);
+  EXPECT_TRUE(checker.ok());
+  // Row-count mismatch on rank-2 concat rejects.
+  const SymTensor m3 = checker.Input("m3", {sym::L(), sym::d()});
+  EXPECT_FALSE(checker.Concat(m1, m3).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, TransposeRowReductionsAndNormalize) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  const SymTensor at = checker.Transpose(a);
+  EXPECT_EQ(at.shape[0], sym::d());
+  EXPECT_EQ(at.shape[1], sym::L());
+  EXPECT_EQ(checker.MeanRows(a).shape[0], sym::d());
+  EXPECT_EQ(checker.SumRows(a).shape[0], sym::d());
+  EXPECT_EQ(checker.L2NormalizeRows(a).shape, a.shape);
+  EXPECT_TRUE(checker.ok());
+  const SymTensor v = checker.Input("v", {sym::d()});
+  EXPECT_FALSE(checker.Transpose(v).valid);
+  EXPECT_FALSE(checker.MeanRows(v).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, DotRequiresEqualLengthVectors) {
+  ShapeChecker checker;
+  const SymTensor u = checker.Input("u", {sym::d()});
+  const SymTensor v = checker.Input("v", {sym::d()});
+  const SymTensor s = checker.Dot(u, v);
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(s.rank(), 0);
+  const SymTensor w = checker.Input("w", {sym::d() * 2});
+  EXPECT_FALSE(checker.Dot(u, w).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, TopKAndMips) {
+  ShapeChecker checker;
+  const SymTensor scores = checker.Input("s", {sym::C()});
+  EXPECT_EQ(checker.TopK(scores, sym::k()).shape[0], sym::k());
+  const SymTensor items = checker.Input("items", {sym::C(), sym::d()});
+  const SymTensor query = checker.Input("q", {sym::d()});
+  EXPECT_EQ(checker.Mips(items, query, sym::k()).shape[0], sym::k());
+  EXPECT_TRUE(checker.ok());
+  // Query in the wrong space rejects, naming both dims.
+  const SymTensor bad_query = checker.Input("q2", {sym::d() * 2});
+  EXPECT_FALSE(checker.Mips(items, bad_query, sym::k()).valid);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.violations().back().op, "Mips");
+  EXPECT_NE(checker.violations().back().message.find("item width d"),
+            std::string::npos);
+  EXPECT_NE(checker.violations().back().message.find("query length 2d"),
+            std::string::npos);
+}
+
+TEST(ShapeCheckerTest, GruCellValidatesAllSixOperands) {
+  ShapeChecker checker;
+  const SymTensor input = checker.Input("x", {sym::d()});
+  const SymTensor hidden = checker.Input("h", {sym::d()});
+  const SymTensor w_ih = checker.Input("w_ih", {sym::d() * 3, sym::d()});
+  const SymTensor w_hh = checker.Input("w_hh", {sym::d() * 3, sym::d()});
+  const SymTensor b = checker.Input("b", {sym::d() * 3});
+  EXPECT_TRUE(checker.GruCell(input, hidden, w_ih, w_hh, b, b).valid);
+  EXPECT_TRUE(checker.ok());
+  // Transposed w_hh rejects.
+  ShapeChecker bad;
+  const SymTensor i2 = bad.Input("x", {sym::d()});
+  const SymTensor h2 = bad.Input("h", {sym::d()});
+  const SymTensor wi2 = bad.Input("w_ih", {sym::d() * 3, sym::d()});
+  const SymTensor wh2 = bad.Input("w_hh", {sym::d(), sym::d() * 3});
+  const SymTensor b2 = bad.Input("b", {sym::d() * 3});
+  EXPECT_FALSE(bad.GruCell(i2, h2, wi2, wh2, b2, b2).valid);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ShapeCheckerTest, AttentionChecksWidthsAndCounts) {
+  ShapeChecker checker;
+  const SymTensor q = checker.Input("q", {sym::L(), sym::d()});
+  const SymTensor k = checker.Input("k", {sym::n(), sym::d()});
+  const SymTensor v = checker.Input("v", {sym::n(), sym::d()});
+  const SymTensor out = checker.Attention(q, k, v);
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(out.shape[0], sym::L());
+  EXPECT_EQ(out.shape[1], sym::d());
+  // Key/value count mismatch rejects.
+  const SymTensor v2 = checker.Input("v2", {sym::L(), sym::d()});
+  EXPECT_FALSE(checker.Attention(q, k, v2).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, RowAndReshape) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  EXPECT_EQ(checker.Row(a).shape[0], sym::d());
+  // [L, d] -> [d, L] reshape preserves the symbolic element count.
+  EXPECT_TRUE(checker.Reshape(a, {sym::d(), sym::L()}).valid);
+  // Flattening a [1, d] to [d] works (the DenseVector pattern).
+  const SymTensor one_row = checker.Input("r", {1, sym::d()});
+  EXPECT_TRUE(checker.Reshape(one_row, {sym::d()}).valid);
+  EXPECT_TRUE(checker.ok());
+  // Changing the symbolic element count rejects.
+  EXPECT_FALSE(checker.Reshape(a, {sym::L(), sym::d() * 2}).valid);
+  EXPECT_FALSE(checker.Reshape(a, {sym::L(), sym::L()}).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, TruncateReplacesOneAxis) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {8, sym::L()});
+  const SymTensor t = checker.Truncate(a, 0, SymDim::Sym("k_int"));
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(t.shape[0], SymDim::Sym("k_int"));
+  EXPECT_EQ(t.shape[1], sym::L());
+  EXPECT_FALSE(checker.Truncate(a, 2, sym::k()).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, GatedUpdateChecksGateWidths) {
+  ShapeChecker checker;
+  const SymTensor state = checker.Input("s", {sym::n(), sym::d()});
+  const SymTensor gates = checker.Input("g", {sym::n(), sym::d() * 3});
+  EXPECT_TRUE(checker.GatedUpdate(gates, gates, state).valid);
+  EXPECT_TRUE(checker.ok());
+  const SymTensor narrow = checker.Input("g2", {sym::n(), sym::d() * 2});
+  EXPECT_FALSE(checker.GatedUpdate(narrow, gates, state).valid);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(ShapeCheckerTest, InvalidOperandsPoisonWithoutCascading) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::L(), sym::d()});
+  const SymTensor b = checker.Input("b", {sym::d(), sym::L()});
+  const SymTensor bad = checker.Add(a, b);  // one violation
+  EXPECT_FALSE(bad.valid);
+  // Everything downstream of the poisoned value is silent.
+  checker.Row(checker.MatMul(bad, checker.Tanh(bad)));
+  EXPECT_EQ(checker.violations().size(), 1u);
+}
+
+TEST(ShapeCheckerTest, ContextIsAttachedToViolations) {
+  ShapeChecker checker;
+  checker.SetContext("STAMP attention");
+  const SymTensor u = checker.Input("u", {sym::d()});
+  const SymTensor w = checker.Input("w", {sym::L()});
+  checker.Dot(u, w);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].context, "STAMP attention");
+  EXPECT_NE(checker.violations()[0].ToString().find("STAMP attention"),
+            std::string::npos);
+}
+
+TEST(ShapeCheckerTest, RequireNamesExpectationAndActual) {
+  ShapeChecker checker;
+  const SymTensor a = checker.Input("a", {sym::d() * 2});
+  EXPECT_FALSE(checker.Require(a, {sym::d()}, "encoder output"));
+  ASSERT_FALSE(checker.ok());
+  const std::string report = checker.Report();
+  EXPECT_NE(report.find("encoder output"), std::string::npos);
+  EXPECT_NE(report.find("[d]"), std::string::npos);
+  EXPECT_NE(report.find("[2d]"), std::string::npos);
+}
+
+// --- a deliberately mis-shaped model op sequence ----------------------------
+
+// A transposed projection weight — the classic wiring bug the linter
+// exists to catch. The violation names the op and both symbolic dims.
+TEST(ShapeCheckerTest, MisShapedEncoderIsRejectedWithOpAndDims) {
+  ShapeChecker checker;
+  checker.SetContext("bad encoder");
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  const SymTensor embedded = checker.Embedding(table, sym::L());
+  // Forgot the transpose: [d, 2d] used where the runtime needs [2d, d].
+  const SymTensor weight = checker.Input("w", {sym::d(), sym::d() * 2});
+  const SymTensor out =
+      checker.Linear(embedded, weight, SymTensor{{}, true});
+  EXPECT_FALSE(out.valid);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  const ShapeViolation& v = checker.violations()[0];
+  EXPECT_EQ(v.op, "Linear");
+  EXPECT_EQ(v.context, "bad encoder");
+  EXPECT_NE(v.message.find("d"), std::string::npos);
+  EXPECT_NE(v.message.find("2d"), std::string::npos);
+}
+
+// --- regression: the ten real models lint clean -----------------------------
+
+class ModelShapeLintTest
+    : public ::testing::TestWithParam<models::ModelKind> {};
+
+TEST_P(ModelShapeLintTest, AllCatalogSizesBothModes) {
+  for (const int64_t catalog : {100, 10'000, 1'000'000}) {
+    models::ModelConfig config;
+    config.catalog_size = catalog;
+    config.materialize_embeddings = false;
+    auto model = models::CreateModel(GetParam(), config);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    for (const models::ExecutionMode mode :
+         {models::ExecutionMode::kEager, models::ExecutionMode::kJit}) {
+      const Status status = (*model)->CheckShapes(mode);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelShapeLintTest,
+    ::testing::ValuesIn(models::AllModelKinds()),
+    [](const ::testing::TestParamInfo<models::ModelKind>& info) {
+      std::string name{models::ModelKindToString(info.param)};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::tensor

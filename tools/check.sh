@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI-runnable correctness gate: builds and tests ETUDE under every
+# static/dynamic analysis mode this machine's toolchain supports.
+#
+#   tools/check.sh            # release + asan-ubsan + tsan (+ clang-tsa)
+#   tools/check.sh tsan       # a single preset
+#
+# Every mode uses its own build-<preset>/ tree (gitignored). Sanitizer
+# reports make ctest fail: ASan/TSan abort on error by default and UBSan
+# is built with -fno-sanitize-recover. Exits nonzero on the first failing
+# mode.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+# ASan: fail on leaks too. TSan: second-deadlock detection on.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+run_mode() {
+  local preset="$1"
+  shift
+  echo "=== [${preset}] configure ==="
+  cmake -B "build-${preset}" -S . "$@" >/dev/null
+  echo "=== [${preset}] build ==="
+  cmake --build "build-${preset}" -j "${JOBS}"
+  echo "=== [${preset}] ctest ==="
+  ctest --test-dir "build-${preset}" --output-on-failure -j "${JOBS}"
+  echo "=== [${preset}] OK ==="
+}
+
+mode_args() {
+  case "$1" in
+    release)    echo "-DCMAKE_BUILD_TYPE=Release" ;;
+    asan-ubsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DETUDE_SANITIZE=address,undefined" ;;
+    tsan)       echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DETUDE_SANITIZE=thread" ;;
+    clang-tsa)  echo "-DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_COMPILER=clang++" ;;
+    *) echo "unknown mode: $1 (expected release|asan-ubsan|tsan|clang-tsa)" >&2; return 1 ;;
+  esac
+}
+
+if [ "$#" -gt 0 ]; then
+  MODES=("$@")
+else
+  MODES=(release asan-ubsan tsan)
+  # The thread-safety analysis needs clang; include it when available.
+  if command -v clang++ >/dev/null 2>&1; then
+    MODES+=(clang-tsa)
+  else
+    echo "NOTE: clang++ not found; skipping the clang-tsa (-Wthread-safety) mode" >&2
+  fi
+fi
+
+for mode in "${MODES[@]}"; do
+  # Assign first: a failing substitution in an argument list would be
+  # ignored, but a failing assignment trips `set -e`.
+  args="$(mode_args "${mode}")"
+  # shellcheck disable=SC2086
+  run_mode "${mode}" ${args}
+done
+
+echo "All modes passed: ${MODES[*]}"
