@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace etude::loadgen {
 
 namespace {
@@ -140,6 +142,20 @@ void LoadGenerator::OnResponse(int64_t tick, int64_t sent_at_us,
   --in_flight_;
   const int64_t latency_us = sim_->now_us() - sent_at_us;
   timeline_.RecordResponse(tick, latency_us, response.ok);
+  if (obs::Tracer::enabled()) {
+    // Virtual-time request span, as seen from the load generator (network
+    // + queueing + service). Lanes spread concurrent sessions over a few
+    // trace rows; the trace id matches the sim server's spans.
+    obs::TraceEvent event;
+    event.name = response.ok ? "request" : "request[error]";
+    event.category = "loadgen";
+    event.ts_us = sent_at_us;
+    event.dur_us = latency_us;
+    event.pid = obs::kVirtualClockPid;
+    event.tid = 1000 + (cursor->session.session_id % 32);
+    event.trace_id = "sim-" + std::to_string(response.request_id);
+    obs::Tracer::Get().Record(std::move(event));
+  }
   // Release the session for its next click (sessions whose previous click
   // errored are abandoned, as a real visitor's page would be broken).
   if (response.ok &&

@@ -80,6 +80,17 @@ int64_t LatencyHistogram::ValueAtQuantile(double q) const {
   return max_;
 }
 
+void LatencyHistogram::ForEachBucket(
+    const std::function<void(int64_t upper_bound_us,
+                             int64_t cumulative_count)>& fn) const {
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    running += buckets_[i];
+    fn(BucketUpperBound(static_cast<int>(i)), running);
+  }
+}
+
 void LatencyHistogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   total_count_ = 0;

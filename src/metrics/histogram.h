@@ -2,6 +2,7 @@
 #define ETUDE_METRICS_HISTOGRAM_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace etude::metrics {
@@ -36,6 +37,8 @@ class LatencyHistogram {
   int64_t p99() const { return ValueAtQuantile(0.99); }
 
   int64_t count() const { return total_count_; }
+  /// Sum of all recorded values (us), for Prometheus `_sum` exposition.
+  int64_t sum() const { return sum_; }
   int64_t min() const { return total_count_ == 0 ? 0 : min_; }
   int64_t max() const { return total_count_ == 0 ? 0 : max_; }
   double mean() const {
@@ -46,6 +49,14 @@ class LatencyHistogram {
 
   /// Discards all recorded values.
   void Reset();
+
+  /// Iterates the non-empty buckets in ascending value order, invoking
+  /// fn(upper_bound_us, cumulative_count) with the count of observations
+  /// <= upper_bound_us — the cumulative form Prometheus histogram
+  /// `_bucket{le="..."}` series require. No-op on an empty histogram.
+  void ForEachBucket(
+      const std::function<void(int64_t upper_bound_us,
+                               int64_t cumulative_count)>& fn) const;
 
  private:
   static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per magnitude

@@ -1,0 +1,66 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace etude::obs {
+
+namespace {
+
+JsonValue MetadataEvent(int32_t pid, const std::string& process_name) {
+  JsonValue event = JsonValue::MakeObject();
+  event.Set("name", JsonValue(std::string("process_name")));
+  event.Set("ph", JsonValue(std::string("M")));
+  event.Set("ts", JsonValue(static_cast<int64_t>(0)));
+  event.Set("dur", JsonValue(static_cast<int64_t>(0)));
+  event.Set("pid", JsonValue(static_cast<int64_t>(pid)));
+  event.Set("tid", JsonValue(static_cast<int64_t>(0)));
+  JsonValue args = JsonValue::MakeObject();
+  args.Set("name", JsonValue(process_name));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  JsonValue root = JsonValue::MakeArray();
+  root.Append(MetadataEvent(kWallClockPid, "etude (wall clock)"));
+  root.Append(MetadataEvent(kVirtualClockPid, "etude-sim (virtual time)"));
+  for (const TraceEvent& event : events) {
+    JsonValue object = JsonValue::MakeObject();
+    object.Set("name", JsonValue(event.name));
+    object.Set("cat", JsonValue(event.category.empty() ? "etude"
+                                                       : event.category));
+    object.Set("ph", JsonValue(std::string("X")));
+    object.Set("ts", JsonValue(event.ts_us));
+    object.Set("dur", JsonValue(event.dur_us));
+    object.Set("pid", JsonValue(static_cast<int64_t>(event.pid)));
+    object.Set("tid", JsonValue(event.tid));
+    if (!event.trace_id.empty()) {
+      JsonValue args = JsonValue::MakeObject();
+      args.Set("trace_id", JsonValue(event.trace_id));
+      object.Set("args", std::move(args));
+    }
+    root.Append(std::move(object));
+  }
+  return root.Dump();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  const std::string json = ToChromeTraceJson(events);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != json.size() || close_result != 0) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace etude::obs

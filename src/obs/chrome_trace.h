@@ -1,0 +1,25 @@
+#ifndef ETUDE_OBS_CHROME_TRACE_H_
+#define ETUDE_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace etude::obs {
+
+/// Serialises events to the Chrome trace-event JSON array format: each
+/// event becomes {"name","cat","ph":"X","ts","dur","pid","tid"[,"args"]}.
+/// The output loads directly in Perfetto (ui.perfetto.dev) and
+/// chrome://tracing. Metadata events naming the two clock "processes"
+/// (wall clock / virtual time) are prepended.
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes ToChromeTraceJson(events) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_CHROME_TRACE_H_

@@ -1,0 +1,27 @@
+#include "obs/op_hook.h"
+
+namespace etude::obs {
+
+namespace {
+thread_local OpSink* thread_sink = nullptr;
+}  // namespace
+
+OpSink* SetThreadOpSink(OpSink* sink) {
+  OpSink* previous = thread_sink;
+  thread_sink = sink;
+  return previous;
+}
+
+OpSink* ThreadOpSink() { return thread_sink; }
+
+void ScopedOp::RecordTraceEvent(int64_t duration_ns) const {
+  Tracer& tracer = Tracer::Get();
+  TraceEvent event;
+  event.name = name_;
+  event.category = "op";
+  event.dur_us = duration_ns / 1000;
+  event.ts_us = tracer.NowUs() - event.dur_us;
+  tracer.Record(std::move(event));
+}
+
+}  // namespace etude::obs

@@ -1,0 +1,65 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "metrics/report.h"
+
+namespace etude::obs {
+
+void OpProfile::OnOp(const char* name, int64_t duration_ns, double flops) {
+  MutexLock lock(mutex_);
+  OpProfileEntry& entry = by_op_[name];
+  if (entry.op.empty()) entry.op = name;
+  entry.calls += 1;
+  entry.total_ns += duration_ns;
+  entry.flops += flops;
+}
+
+std::vector<OpProfileEntry> OpProfile::Entries() const {
+  std::vector<OpProfileEntry> entries;
+  {
+    MutexLock lock(mutex_);
+    entries.reserve(by_op_.size());
+    for (const auto& [_, entry] : by_op_) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const OpProfileEntry& a, const OpProfileEntry& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return entries;
+}
+
+int64_t OpProfile::TotalNs() const {
+  MutexLock lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [_, entry] : by_op_) total += entry.total_ns;
+  return total;
+}
+
+void OpProfile::Clear() {
+  MutexLock lock(mutex_);
+  by_op_.clear();
+}
+
+std::string OpProfile::ToText() const {
+  const std::vector<OpProfileEntry> entries = Entries();
+  int64_t total_ns = 0;
+  for (const OpProfileEntry& entry : entries) total_ns += entry.total_ns;
+  metrics::Table table({"op", "calls", "total [us]", "% of inference",
+                        "GFLOP/s"});
+  for (const OpProfileEntry& entry : entries) {
+    const double share =
+        total_ns > 0
+            ? 100.0 * static_cast<double>(entry.total_ns) /
+                  static_cast<double>(total_ns)
+            : 0.0;
+    table.AddRow({entry.op, std::to_string(entry.calls),
+                  FormatDouble(entry.total_us(), 1), FormatDouble(share, 1),
+                  entry.flops > 0 ? FormatDouble(entry.gflops_per_s(), 2)
+                                  : "-"});
+  }
+  return table.ToText();
+}
+
+}  // namespace etude::obs

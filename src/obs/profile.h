@@ -1,0 +1,56 @@
+#ifndef ETUDE_OBS_PROFILE_H_
+#define ETUDE_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/op_hook.h"
+
+namespace etude::obs {
+
+/// Aggregated statistics of one framework-level op across a profiled run.
+struct OpProfileEntry {
+  std::string op;
+  int64_t calls = 0;
+  int64_t total_ns = 0;
+  double flops = 0;  // summed analytic FLOPs across all calls
+
+  double total_us() const { return static_cast<double>(total_ns) / 1e3; }
+  /// Achieved compute rate; 0 for pure data-movement ops.
+  double gflops_per_s() const {
+    return total_ns > 0 ? flops / static_cast<double>(total_ns) : 0.0;
+  }
+};
+
+/// Per-op profile table: an OpSink that aggregates name -> (calls, time,
+/// FLOPs). Thread-safe, so one profile can be attached to several worker
+/// threads at once and read while they run.
+class OpProfile : public OpSink {
+ public:
+  void OnOp(const char* name, int64_t duration_ns, double flops) override
+      ETUDE_EXCLUDES(mutex_);
+
+  /// Entries sorted by descending total time.
+  std::vector<OpProfileEntry> Entries() const ETUDE_EXCLUDES(mutex_);
+
+  /// Sum of total_ns over all ops (the profiled inference time).
+  int64_t TotalNs() const ETUDE_EXCLUDES(mutex_);
+
+  void Clear() ETUDE_EXCLUDES(mutex_);
+
+  /// Renders the per-op breakdown: op, calls, total us, % of inference,
+  /// GFLOP/s — the `etude profile` output.
+  std::string ToText() const ETUDE_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, OpProfileEntry> by_op_ ETUDE_GUARDED_BY(mutex_);
+};
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_PROFILE_H_

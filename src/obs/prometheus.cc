@@ -1,0 +1,145 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+
+namespace etude::obs {
+
+namespace {
+
+std::string FormatValue(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+bool IsMetricNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Validates one `name{labels} value` sample line.
+bool ValidSampleLine(std::string_view line) {
+  size_t pos = 0;
+  // Metric name.
+  while (pos < line.size() && IsMetricNameChar(line[pos], pos == 0)) ++pos;
+  if (pos == 0) return false;
+  // Optional label set.
+  if (pos < line.size() && line[pos] == '{') {
+    const size_t close = line.find('}', pos);
+    if (close == std::string_view::npos) return false;
+    std::string_view inner = line.substr(pos + 1, close - pos - 1);
+    // Each label must look like name="value"; quotes must balance.
+    size_t quotes = 0;
+    for (const char c : inner) quotes += (c == '"') ? 1 : 0;
+    if (!inner.empty() && (quotes == 0 || quotes % 2 != 0 ||
+                           inner.find('=') == std::string_view::npos)) {
+      return false;
+    }
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  // Value: a float, or the spec's +Inf/-Inf/NaN.
+  std::string_view value = line.substr(pos + 1);
+  if (value.empty()) return false;
+  if (value == "+Inf" || value == "-Inf" || value == "NaN") return true;
+  const std::string value_string(value);
+  char* end = nullptr;
+  std::strtod(value_string.c_str(), &end);
+  return end != value_string.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+void PrometheusWriter::Header(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  if (declared_.find(name) != declared_.end()) return;
+  declared_.insert(std::string(name));
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PrometheusWriter::Sample(std::string_view name, std::string_view labels,
+                              double value) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  out_ += FormatValue(value);
+  out_ += '\n';
+}
+
+void PrometheusWriter::Counter(std::string_view name, std::string_view help,
+                               double value, std::string_view labels) {
+  Header(name, help, "counter");
+  Sample(name, labels, value);
+}
+
+void PrometheusWriter::Gauge(std::string_view name, std::string_view help,
+                             double value, std::string_view labels) {
+  Header(name, help, "gauge");
+  Sample(name, labels, value);
+}
+
+void PrometheusWriter::Histogram(std::string_view name,
+                                 std::string_view help,
+                                 const metrics::LatencyHistogram& histogram,
+                                 std::string_view labels) {
+  Header(name, help, "histogram");
+  const std::string bucket_name = std::string(name) + "_bucket";
+  const std::string prefix =
+      labels.empty() ? std::string() : std::string(labels) + ",";
+  histogram.ForEachBucket([&](int64_t upper_bound_us,
+                              int64_t cumulative_count) {
+    const std::string bucket_labels =
+        prefix + "le=\"" + std::to_string(upper_bound_us) + "\"";
+    Sample(bucket_name, bucket_labels,
+           static_cast<double>(cumulative_count));
+  });
+  Sample(bucket_name, prefix + "le=\"+Inf\"",
+         static_cast<double>(histogram.count()));
+  Sample(std::string(name) + "_sum", labels,
+         static_cast<double>(histogram.sum()));
+  Sample(std::string(name) + "_count", labels,
+         static_cast<double>(histogram.count()));
+}
+
+Status ValidatePrometheusText(std::string_view text) {
+  size_t line_number = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped[0] == '#') {
+      // Comments must be HELP/TYPE annotations or free-form "# ".
+      continue;
+    }
+    if (!ValidSampleLine(stripped)) {
+      return Status::InvalidArgument(
+          "invalid Prometheus sample at line " +
+          std::to_string(line_number) + ": '" + std::string(stripped) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace etude::obs

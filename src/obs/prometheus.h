@@ -1,0 +1,52 @@
+#ifndef ETUDE_OBS_PROMETHEUS_H_
+#define ETUDE_OBS_PROMETHEUS_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "metrics/histogram.h"
+
+namespace etude::obs {
+
+/// Renders metrics in the Prometheus text exposition format (version
+/// 0.0.4): `# HELP`/`# TYPE` comments followed by sample lines, one metric
+/// family per Counter/Gauge/Histogram call. Repeated calls with the same
+/// family name (different labels) emit the header once.
+class PrometheusWriter {
+ public:
+  /// `labels` is the inner label list without braces, e.g.
+  /// `route="/metrics"`, or empty for an unlabelled sample.
+  void Counter(std::string_view name, std::string_view help, double value,
+               std::string_view labels = "");
+  void Gauge(std::string_view name, std::string_view help, double value,
+             std::string_view labels = "");
+
+  /// Emits a full histogram family from a LatencyHistogram: cumulative
+  /// `_bucket{le="..."}` samples at every non-empty bucket boundary (plus
+  /// `+Inf`), `_sum` and `_count`. Values stay in microseconds.
+  void Histogram(std::string_view name, std::string_view help,
+                 const metrics::LatencyHistogram& histogram,
+                 std::string_view labels = "");
+
+  const std::string& text() const { return out_; }
+
+ private:
+  void Header(std::string_view name, std::string_view help,
+              std::string_view type);
+  void Sample(std::string_view name, std::string_view labels, double value);
+
+  std::string out_;
+  std::set<std::string, std::less<>> declared_;
+};
+
+/// Validates Prometheus text-format output line by line: every line must be
+/// a comment (`# ...`), blank, or a sample of the form
+/// `metric_name{labels} value`. Returns InvalidArgument naming the first
+/// offending line. Used by tests and the CI smoke check.
+Status ValidatePrometheusText(std::string_view text);
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_PROMETHEUS_H_

@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace etude::obs {
+
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  // Leaked singleton: thread buffers must stay valid during static
+  // destruction of detached worker threads.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  // One buffer per (thread, process lifetime); the registry keeps it alive
+  // after thread exit so its spans survive into Snapshot().
+  static thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto* fresh = new ThreadBuffer();
+    MutexLock lock(registry_mutex_);
+    fresh->lane = static_cast<int64_t>(buffers_.size());
+    buffers_.push_back(fresh);
+    buffer = fresh;
+  }
+  return buffer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (event.pid == kWallClockPid && event.tid == 0) {
+    event.tid = buffer->lane;
+  }
+  MutexLock lock(buffer->mutex);
+  if (static_cast<int64_t>(buffer->events.size()) >=
+      thread_capacity_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    MutexLock registry_lock(registry_mutex_);
+    for (const ThreadBuffer* buffer : buffers_) {
+      MutexLock lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.ts_us < b.ts_us;
+                   });
+  return merged;
+}
+
+void Tracer::Clear() {
+  MutexLock registry_lock(registry_mutex_);
+  for (ThreadBuffer* buffer : buffers_) {
+    MutexLock lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace etude::obs

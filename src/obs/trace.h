@@ -1,0 +1,167 @@
+#ifndef ETUDE_OBS_TRACE_H_
+#define ETUDE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace etude::obs {
+
+/// Chrome-trace process ids used to separate the two clocks a single ETUDE
+/// process can emit spans on: real threads stamped with the steady clock,
+/// and discrete-event simulation components stamped with virtual time.
+/// Exporters render them as two distinct "processes" in Perfetto.
+inline constexpr int32_t kWallClockPid = 1;
+inline constexpr int32_t kVirtualClockPid = 2;
+
+/// One trace-event, modelled on the Chrome trace-event format's complete
+/// event ('X'): a named interval [ts_us, ts_us + dur_us] on track
+/// (pid, tid). `trace_id` correlates all spans of one request across
+/// components (exported as args.trace_id).
+struct TraceEvent {
+  std::string name;
+  std::string category;  // "op", "server", "loadgen", "sim-server", ...
+  int64_t ts_us = 0;     // steady-clock us since tracer epoch, or virtual us
+  int64_t dur_us = 0;
+  int32_t pid = kWallClockPid;
+  int64_t tid = 0;  // wall-clock events: per-thread lane, assigned on first use
+  std::string trace_id;
+};
+
+/// The global span/event recorder.
+///
+/// Design constraints (the Figure 2-4 numbers must stay valid):
+///  - runtime-off by default: the only cost on an untraced hot path is one
+///    relaxed atomic load and a branch;
+///  - compile-time removable: building with -DETUDE_DISABLE_TRACING turns
+///    the ETUDE_TRACE_SPAN macro into nothing;
+///  - thread-aware: each recording thread appends to its own buffer under
+///    an uncontended per-thread mutex, so concurrent workers never touch a
+///    shared cache line on the record path.
+///
+/// Buffers are bounded (`set_thread_capacity`); events beyond the bound are
+/// dropped and counted rather than growing without limit.
+class Tracer {
+ public:
+  /// The process-wide tracer instance.
+  static Tracer& Get();
+
+  /// Cheap global check, safe from any thread.
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  void Enable() { enabled_flag_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_flag_.store(false, std::memory_order_relaxed); }
+
+  /// Microseconds on the tracer's steady clock (wall-clock span timestamps).
+  int64_t NowUs() const;
+
+  /// Records one event on the calling thread's buffer. If `event.pid` is
+  /// kWallClockPid and `event.tid` is 0, the thread's lane id is filled in.
+  /// No-op (with a drop counted) once the thread buffer is full.
+  void Record(TraceEvent event);
+
+  /// Merged view of all thread buffers, sorted by (pid, ts).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Discards all recorded events (buffers stay registered) and resets the
+  /// drop counter.
+  void Clear();
+
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Bound on events buffered per recording thread (default 1M).
+  void set_thread_capacity(int64_t capacity) {
+    thread_capacity_.store(capacity, std::memory_order_relaxed);
+  }
+
+ private:
+  struct ThreadBuffer {
+    mutable Mutex mutex;
+    std::vector<TraceEvent> events ETUDE_GUARDED_BY(mutex);
+    int64_t lane = 0;  // stable small tid for this thread's wall-clock spans
+  };
+
+  Tracer();
+  ThreadBuffer* BufferForThisThread() ETUDE_EXCLUDES(registry_mutex_);
+
+  static std::atomic<bool> enabled_flag_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex registry_mutex_;
+  // Owned for the process lifetime: a buffer must outlive its thread so
+  // Snapshot() after a worker pool shut down still sees its spans.
+  std::vector<ThreadBuffer*> buffers_ ETUDE_GUARDED_BY(registry_mutex_);
+  std::atomic<int64_t> thread_capacity_{1 << 20};
+  std::atomic<int64_t> dropped_{0};
+};
+
+/// RAII wall-clock span: captures the start time at construction and
+/// records a complete event at destruction — if tracing was enabled at
+/// construction. `name` and `category` must outlive the span (string
+/// literals in practice).
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::string_view category,
+             std::string trace_id = "")
+      : active_(Tracer::enabled()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      trace_id_ = std::move(trace_id);
+      start_us_ = Tracer::Get().NowUs();
+    }
+  }
+  ~ScopedSpan() {
+    if (!active_) return;
+    Tracer& tracer = Tracer::Get();
+    TraceEvent event;
+    event.name = std::string(name_);
+    event.category = std::string(category_);
+    event.ts_us = start_us_;
+    event.dur_us = tracer.NowUs() - start_us_;
+    event.trace_id = std::move(trace_id_);
+    tracer.Record(std::move(event));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string_view name_;
+  std::string_view category_;
+  std::string trace_id_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace etude::obs
+
+// Compile-time removable span macro. ETUDE_TRACE_SPAN("parse", "server")
+// opens a span for the rest of the enclosing scope; building with
+// -DETUDE_DISABLE_TRACING removes it (and its string literals) entirely.
+#ifdef ETUDE_DISABLE_TRACING
+// sizeof keeps the operands formally "used" (no evaluation, no code).
+#define ETUDE_TRACE_SPAN(name, category) \
+  static_cast<void>(sizeof((name)))
+#define ETUDE_TRACE_SPAN_ID(name, category, trace_id) \
+  static_cast<void>(sizeof((name)) + sizeof((trace_id)))
+#else
+#define ETUDE_TRACE_SPAN_CONCAT2(a, b) a##b
+#define ETUDE_TRACE_SPAN_CONCAT(a, b) ETUDE_TRACE_SPAN_CONCAT2(a, b)
+#define ETUDE_TRACE_SPAN(name, category)                     \
+  ::etude::obs::ScopedSpan ETUDE_TRACE_SPAN_CONCAT(          \
+      etude_trace_span_, __LINE__)(name, category)
+#define ETUDE_TRACE_SPAN_ID(name, category, trace_id)        \
+  ::etude::obs::ScopedSpan ETUDE_TRACE_SPAN_CONCAT(          \
+      etude_trace_span_, __LINE__)(name, category, trace_id)
+#endif  // ETUDE_DISABLE_TRACING
+
+#endif  // ETUDE_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 
 namespace etude::serving {
 
@@ -18,11 +20,33 @@ std::string RecommendationToJson(const models::Recommendation& rec) {
   root.Set("scores", std::move(scores));
   return root.Dump();
 }
+
+/// True when the request asks for the Prometheus text format, either via
+/// content negotiation or an explicit ?format= query.
+bool WantsPrometheus(const net::HttpRequest& request,
+                     MetricsFormat default_format) {
+  const size_t query = request.target.find('?');
+  if (query != std::string::npos) {
+    const std::string_view args =
+        std::string_view(request.target).substr(query + 1);
+    if (args.find("format=prometheus") != std::string_view::npos) return true;
+    if (args.find("format=json") != std::string_view::npos) return false;
+  }
+  const std::string accept = ToLower(request.Header("accept"));
+  if (accept.find("text/plain") != std::string::npos ||
+      accept.find("openmetrics") != std::string::npos) {
+    return true;
+  }
+  if (accept.find("application/json") != std::string::npos) return false;
+  return default_format == MetricsFormat::kPrometheus;
+}
 }  // namespace
 
 EtudeServe::EtudeServe(const models::SessionModel* model,
                        const EtudeServeConfig& config)
-    : model_(model) {
+    : model_(model),
+      config_(config),
+      started_at_(std::chrono::steady_clock::now()) {
   ETUDE_CHECK(model_ != nullptr) << "model required";
   model_route_ = "/predictions/" + ToLower(model_->name());
   net::HttpServerConfig server_config;
@@ -34,58 +58,155 @@ EtudeServe::EtudeServe(const models::SessionModel* model,
       [this](const net::HttpRequest& request) { return Handle(request); });
 }
 
-Status EtudeServe::Start() { return server_->Start(); }
+Status EtudeServe::Start() {
+  started_at_ = std::chrono::steady_clock::now();
+  return server_->Start();
+}
 
 void EtudeServe::Stop() { server_->Stop(); }
 
+double EtudeServe::UptimeSeconds() const {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - started_at_)
+      .count();
+}
+
 net::HttpResponse EtudeServe::Handle(const net::HttpRequest& request) {
+  // Request scope: a stable id correlates the response header with every
+  // span this request records.
+  const std::string trace_id =
+      "req-" + std::to_string(next_trace_id_.fetch_add(1));
+  net::HttpResponse response = Route(request, trace_id);
+  if (response.status >= 500) {
+    errors_5xx_.fetch_add(1);
+  } else if (response.status >= 400) {
+    errors_4xx_.fetch_add(1);
+  }
+  response.headers["x-trace-id"] = trace_id;
+  return response;
+}
+
+net::HttpResponse EtudeServe::Route(const net::HttpRequest& request,
+                                    const std::string& trace_id) {
   if (request.target == "/healthz") {
+    requests_healthz_.fetch_add(1);
     // Readiness probe: the model is loaded at construction time, so the
     // pod reports ready as soon as the server accepts connections.
     return net::HttpResponse::Ok("{\"status\":\"ready\"}");
   }
-  if (request.target == "/metrics") {
-    JsonValue metrics = JsonValue::MakeObject();
-    const int64_t served = predictions_served_.load();
-    metrics.Set("predictions_served", JsonValue(served));
-    {
-      MutexLock lock(stats_mutex_);
-      metrics.Set("mean_inference_us",
-                  JsonValue(inference_latency_us_.mean()));
-      metrics.Set("p50_inference_us", JsonValue(inference_latency_us_.p50()));
-      metrics.Set("p90_inference_us", JsonValue(inference_latency_us_.p90()));
-      metrics.Set("p99_inference_us", JsonValue(inference_latency_us_.p99()));
-    }
-    metrics.Set("model", JsonValue(std::string(model_->name())));
-    metrics.Set("catalog_size",
-                JsonValue(model_->config().catalog_size));
-    return net::HttpResponse::Ok(metrics.Dump());
+  if (request.target == "/metrics" ||
+      StartsWith(request.target, "/metrics?")) {
+    requests_metrics_.fetch_add(1);
+    return HandleMetrics(request);
   }
   if (request.target == model_route_) {
+    requests_predictions_.fetch_add(1);
     if (request.method != "POST") {
       return net::HttpResponse::Error(405, "use POST");
     }
-    return HandlePrediction(request);
+    return HandlePrediction(request, trace_id);
   }
+  requests_other_.fetch_add(1);
   return net::HttpResponse::Error(404, "no such route");
 }
 
+std::string EtudeServe::JsonMetrics() {
+  JsonValue metrics = JsonValue::MakeObject();
+  metrics.Set("predictions_served", JsonValue(predictions_served_.load()));
+  {
+    MutexLock lock(stats_mutex_);
+    metrics.Set("mean_inference_us", JsonValue(inference_latency_us_.mean()));
+    metrics.Set("p50_inference_us", JsonValue(inference_latency_us_.p50()));
+    metrics.Set("p90_inference_us", JsonValue(inference_latency_us_.p90()));
+    metrics.Set("p99_inference_us", JsonValue(inference_latency_us_.p99()));
+  }
+  metrics.Set("model", JsonValue(std::string(model_->name())));
+  metrics.Set("catalog_size", JsonValue(model_->config().catalog_size));
+  metrics.Set("uptime_seconds", JsonValue(UptimeSeconds()));
+  metrics.Set("errors_4xx", JsonValue(errors_4xx_.load()));
+  metrics.Set("errors_5xx", JsonValue(errors_5xx_.load()));
+  JsonValue routes = JsonValue::MakeObject();
+  routes.Set("/healthz", JsonValue(requests_healthz_.load()));
+  routes.Set("/metrics", JsonValue(requests_metrics_.load()));
+  routes.Set(model_route_, JsonValue(requests_predictions_.load()));
+  routes.Set("other", JsonValue(requests_other_.load()));
+  metrics.Set("requests_by_route", std::move(routes));
+  return metrics.Dump();
+}
+
+std::string EtudeServe::PrometheusMetrics() {
+  obs::PrometheusWriter writer;
+  writer.Counter("etude_predictions_total",
+                 "Successful predictions served.",
+                 static_cast<double>(predictions_served_.load()));
+  const char* route_help = "Requests received, by route.";
+  writer.Counter("etude_requests_total", route_help,
+                 static_cast<double>(requests_healthz_.load()),
+                 "route=\"/healthz\"");
+  writer.Counter("etude_requests_total", route_help,
+                 static_cast<double>(requests_metrics_.load()),
+                 "route=\"/metrics\"");
+  writer.Counter("etude_requests_total", route_help,
+                 static_cast<double>(requests_predictions_.load()),
+                 "route=\"" + model_route_ + "\"");
+  writer.Counter("etude_requests_total", route_help,
+                 static_cast<double>(requests_other_.load()),
+                 "route=\"other\"");
+  const char* error_help = "Error responses, by status class.";
+  writer.Counter("etude_http_errors_total", error_help,
+                 static_cast<double>(errors_4xx_.load()),
+                 "class=\"4xx\"");
+  writer.Counter("etude_http_errors_total", error_help,
+                 static_cast<double>(errors_5xx_.load()),
+                 "class=\"5xx\"");
+  writer.Gauge("etude_uptime_seconds",
+               "Seconds since the server started.", UptimeSeconds());
+  writer.Gauge("etude_model_catalog_size",
+               "Catalog size (C) of the served model.",
+               static_cast<double>(model_->config().catalog_size));
+  {
+    MutexLock lock(stats_mutex_);
+    writer.Histogram("etude_inference_latency_us",
+                     "Server-side inference latency in microseconds.",
+                     inference_latency_us_);
+  }
+  return writer.text();
+}
+
+net::HttpResponse EtudeServe::HandleMetrics(const net::HttpRequest& request) {
+  if (WantsPrometheus(request, config_.default_metrics_format)) {
+    return net::HttpResponse::Ok(PrometheusMetrics(),
+                                 "text/plain; version=0.0.4");
+  }
+  return net::HttpResponse::Ok(JsonMetrics());
+}
+
 net::HttpResponse EtudeServe::HandlePrediction(
-    const net::HttpRequest& request) {
-  Result<JsonValue> body = ParseJson(request.body);
-  if (!body.ok() || !body->is_object() || !body->Get("session").is_array()) {
-    return net::HttpResponse::Error(
-        400, "body must be a JSON object with a 'session' array");
-  }
+    const net::HttpRequest& request, const std::string& trace_id) {
+  ETUDE_TRACE_SPAN_ID(model_route_.c_str(), "server", trace_id);
   std::vector<int64_t> session;
-  for (const JsonValue& item : body->Get("session").items()) {
-    if (!item.is_number()) {
-      return net::HttpResponse::Error(400, "session items must be numbers");
+  {
+    ETUDE_TRACE_SPAN_ID("parse", "server", trace_id);
+    Result<JsonValue> body = ParseJson(request.body);
+    if (!body.ok() || !body->is_object() ||
+        !body->Get("session").is_array()) {
+      return net::HttpResponse::Error(
+          400, "body must be a JSON object with a 'session' array");
     }
-    session.push_back(item.as_int());
+    for (const JsonValue& item : body->Get("session").items()) {
+      if (!item.is_number()) {
+        return net::HttpResponse::Error(400,
+                                        "session items must be numbers");
+      }
+      session.push_back(item.as_int());
+    }
   }
+
   const auto start = std::chrono::steady_clock::now();
-  Result<models::Recommendation> rec = model_->Recommend(session);
+  Result<models::Recommendation> rec = [&] {
+    ETUDE_TRACE_SPAN_ID("inference", "server", trace_id);
+    return model_->Recommend(session);
+  }();
   const auto end = std::chrono::steady_clock::now();
   if (!rec.ok()) {
     const int status =
@@ -104,8 +225,11 @@ net::HttpResponse EtudeServe::HandlePrediction(
     inference_latency_us_.Record(inference_us);
   }
 
-  net::HttpResponse response =
-      net::HttpResponse::Ok(RecommendationToJson(*rec));
+  net::HttpResponse response;
+  {
+    ETUDE_TRACE_SPAN_ID("serialize", "server", trace_id);
+    response = net::HttpResponse::Ok(RecommendationToJson(*rec));
+  }
   // The inference-duration metric travels in a response header, as in the
   // paper's benchmark execution design (Sec. II).
   response.headers["x-inference-us"] = std::to_string(inference_us);

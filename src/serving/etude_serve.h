@@ -15,12 +15,21 @@
 
 namespace etude::serving {
 
+/// /metrics exposition formats. The JSON format is the original one the
+/// load generator consumes; the Prometheus text format (0.0.4) serves
+/// standard scrapers. Requests choose per-call via the Accept header
+/// ("text/plain" or "application/openmetrics-text" selects Prometheus) or
+/// a "?format=prometheus|json" query; `MetricsFormat` is only the default
+/// when the request expresses no preference.
+enum class MetricsFormat { kJson, kPrometheus };
+
 /// Configuration of the real (in-process, socket-backed) ETUDE inference
 /// server.
 struct EtudeServeConfig {
   std::string bind_address = "127.0.0.1";
   uint16_t port = 0;       // 0 = ephemeral
   int worker_threads = 4;  // inference workers, as in the paper's server
+  MetricsFormat default_metrics_format = MetricsFormat::kJson;
 };
 
 /// EtudeServe: the paper's Rust/Actix inference server as a working C++
@@ -29,12 +38,19 @@ struct EtudeServeConfig {
 /// Routes:
 ///   GET  /healthz                 -> 200 once the model is loaded
 ///                                    (the Kubernetes readiness probe)
-///   GET  /metrics                 -> request counters and inference
-///                                    latency percentiles (JSON)
+///   GET  /metrics                 -> request counters, error counters,
+///                                    uptime and inference-latency
+///                                    distribution; JSON by default,
+///                                    Prometheus text format under
+///                                    `Accept: text/plain`
 ///   POST /predictions/<model>     -> body {"session":[item ids]}
 ///        answers {"items":[...],"scores":[...]} and reports the inference
 ///        duration via the "x-inference-us" response header, exactly as
 ///        the paper's server communicates metrics to the load generator.
+///
+/// Every response carries an "x-trace-id" header; when the global
+/// obs::Tracer is enabled, the prediction path additionally records
+/// request-scoped parse/inference/serialize spans tagged with that id.
 class EtudeServe {
  public:
   /// `model` must outlive the server.
@@ -46,17 +62,42 @@ class EtudeServe {
 
   uint16_t port() const { return server_->port(); }
   int64_t predictions_served() const { return predictions_served_.load(); }
+  int64_t errors_4xx() const { return errors_4xx_.load(); }
+  int64_t errors_5xx() const { return errors_5xx_.load(); }
 
  private:
   net::HttpResponse Handle(const net::HttpRequest& request)
       ETUDE_EXCLUDES(stats_mutex_);
-  net::HttpResponse HandlePrediction(const net::HttpRequest& request)
+  net::HttpResponse Route(const net::HttpRequest& request,
+                          const std::string& trace_id)
       ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse HandleMetrics(const net::HttpRequest& request)
+      ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse HandlePrediction(const net::HttpRequest& request,
+                                     const std::string& trace_id)
+      ETUDE_EXCLUDES(stats_mutex_);
+
+  std::string JsonMetrics() ETUDE_EXCLUDES(stats_mutex_);
+  std::string PrometheusMetrics() ETUDE_EXCLUDES(stats_mutex_);
+
+  double UptimeSeconds() const;
 
   const models::SessionModel* model_;
   std::string model_route_;  // "/predictions/<name>"
+  EtudeServeConfig config_;
   std::unique_ptr<net::HttpServer> server_;
+  std::chrono::steady_clock::time_point started_at_;
+
   std::atomic<int64_t> predictions_served_{0};
+  std::atomic<int64_t> next_trace_id_{0};
+  // Per-route request counters plus the 4xx/5xx split — before these, only
+  // successful predictions were observable.
+  std::atomic<int64_t> requests_healthz_{0};
+  std::atomic<int64_t> requests_metrics_{0};
+  std::atomic<int64_t> requests_predictions_{0};
+  std::atomic<int64_t> requests_other_{0};
+  std::atomic<int64_t> errors_4xx_{0};
+  std::atomic<int64_t> errors_5xx_{0};
 
   // Inference-latency distribution, recorded by every worker thread and
   // read by /metrics (the quantity the paper's load generator collects).

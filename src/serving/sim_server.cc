@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace etude::serving {
 
 SimInferenceServer::SimInferenceServer(sim::Simulation* sim,
@@ -25,6 +27,76 @@ double SimInferenceServer::ServiceTimeUs(
   const sim::InferenceWork work = model_->CostModel(
       config_.mode, static_cast<int64_t>(request.session_items.size()));
   return sim::SerialInferenceUs(config_.device, work);
+}
+
+int64_t SimInferenceServer::AcquireTraceLane() {
+  if (!free_trace_lanes_.empty()) {
+    const int64_t lane = free_trace_lanes_.back();
+    free_trace_lanes_.pop_back();
+    return lane;
+  }
+  return next_trace_lane_++;
+}
+
+void SimInferenceServer::ReleaseTraceLane(int64_t lane) {
+  free_trace_lanes_.push_back(lane);
+}
+
+namespace {
+void RecordSimSpan(std::string name, const char* category, int64_t ts_us,
+                   double dur_us, int64_t lane, int64_t request_id) {
+  obs::TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_us = ts_us;
+  event.dur_us = static_cast<int64_t>(dur_us);
+  event.pid = obs::kVirtualClockPid;
+  event.tid = lane;
+  if (request_id >= 0) {
+    event.trace_id = "sim-" + std::to_string(request_id);
+  }
+  obs::Tracer::Get().Record(std::move(event));
+}
+}  // namespace
+
+void SimInferenceServer::TraceExecution(const PendingRequest& pending,
+                                        int64_t lane, double inference_us,
+                                        int batch_size) const {
+  const int64_t now = sim_->now_us();
+  const int64_t request_id = pending.request.request_id;
+  RecordSimSpan("queue", "sim-server", pending.enqueued_at_us,
+                static_cast<double>(now - pending.enqueued_at_us), lane,
+                request_id);
+  std::string name(model_->name());
+  if (batch_size > 1) name += " batch[" + std::to_string(batch_size) + "]";
+  RecordSimSpan(std::move(name), "sim-server", now,
+                inference_us + config_.framework_overhead_us, lane,
+                request_id);
+  // Op-level attribution inside the execution: scale the device cost
+  // model's phase decomposition to the (jittered) scheduled duration.
+  const sim::InferenceWork work = model_->CostModel(
+      config_.mode,
+      static_cast<int64_t>(pending.request.session_items.size()));
+  const sim::InferencePhases phases =
+      sim::SerialInferencePhasesUs(config_.device, work);
+  const double scale =
+      phases.total_us() > 0 ? inference_us / phases.total_us() : 0.0;
+  double cursor = static_cast<double>(now) + config_.framework_overhead_us;
+  RecordSimSpan("framework", "op", now, config_.framework_overhead_us, lane,
+                request_id);
+  const struct {
+    const char* name;
+    double us;
+  } ops[] = {{"dispatch", phases.dispatch_us * scale},
+             {"encode", phases.encode_us * scale},
+             {"catalog_scan", phases.scan_us * scale},
+             {"host_sync", phases.host_sync_us * scale}};
+  for (const auto& op : ops) {
+    if (op.us <= 0) continue;
+    RecordSimSpan(op.name, "op", static_cast<int64_t>(cursor), op.us, lane,
+                  request_id);
+    cursor += op.us;
+  }
 }
 
 void SimInferenceServer::HandleRequest(const InferenceRequest& request,
@@ -83,9 +155,15 @@ void SimInferenceServer::RunCpuWorker() {
   queue_.pop_front();
   const double inference_us = JitteredUs(ServiceTimeUs(pending->request));
   const double total_us = inference_us + config_.framework_overhead_us;
+  int64_t lane = -1;
+  if (obs::Tracer::enabled()) {
+    lane = AcquireTraceLane();
+    TraceExecution(*pending, lane, inference_us, /*batch_size=*/1);
+  }
   sim_->Schedule(static_cast<int64_t>(total_us), [this, pending,
-                                                  inference_us] {
+                                                  inference_us, lane] {
     Complete(pending.get(), static_cast<int64_t>(inference_us));
+    if (lane >= 0) ReleaseTraceLane(lane);
     --active_cpu_workers_;
     StartCpuWorkerIfIdle();
   });
@@ -120,6 +198,12 @@ void SimInferenceServer::RunGpuExecutor() {
       config_.device, work, static_cast<int>(batch->size())));
   const double per_request_us =
       batch_us / static_cast<double>(batch->size());
+  if (obs::Tracer::enabled()) {
+    // The single GPU executor is one lane; the batch's spans describe its
+    // longest (padded) request.
+    TraceExecution(batch->front(), /*lane=*/0, batch_us,
+                   static_cast<int>(batch->size()));
+  }
   sim_->Schedule(
       static_cast<int64_t>(batch_us),
       [this, batch, per_request_us] {

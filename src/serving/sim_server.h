@@ -91,6 +91,15 @@ class SimInferenceServer : public InferenceService {
   double JitteredUs(double base_us);
   double ServiceTimeUs(const InferenceRequest& request) const;
 
+  // Virtual-time tracing (only on when the global obs::Tracer is enabled):
+  // emits queue/framework/encode/catalog-scan spans per executed request or
+  // batch on the virtual-clock trace process. CPU workers occupy lanes
+  // (trace tids) so overlapping executions render side by side.
+  int64_t AcquireTraceLane();
+  void ReleaseTraceLane(int64_t lane);
+  void TraceExecution(const PendingRequest& pending, int64_t lane,
+                      double inference_us, int batch_size) const;
+
   sim::Simulation* sim_;
   const models::SessionModel* model_;
   SimServerConfig config_;
@@ -106,6 +115,10 @@ class SimInferenceServer : public InferenceService {
 
   int64_t pending_ = 0;
   int64_t rejected_ = 0;
+
+  // Free-list lane allocator for trace tids of concurrent CPU workers.
+  std::vector<int64_t> free_trace_lanes_;
+  int64_t next_trace_lane_ = 0;
 };
 
 }  // namespace etude::serving

@@ -105,12 +105,12 @@ double DeviceEfficiency(const DeviceSpec& device, const InferenceWork& work) {
 
 namespace {
 
-/// Device time (us) of the tensor work of one request, before dispatch
-/// overheads and host syncs. Memory traffic and compute overlap poorly in
-/// the unoptimised kernels the paper measures, so costs are additive.
-double TensorWorkUs(const DeviceSpec& device, const InferenceWork& work) {
-  double bytes = work.encode_bytes + work.scan_bytes;
-  double flops = work.encode_flops + work.scan_flops;
+/// Device time (us) of one tensor-work component (bytes, flops) of a
+/// request, before dispatch overheads and host syncs. Memory traffic and
+/// compute overlap poorly in the unoptimised kernels the paper measures, so
+/// costs are additive.
+double ComponentUs(const DeviceSpec& device, const InferenceWork& work,
+                   double bytes, double flops) {
   if (!work.jit_compiled) {
     // Eager execution materialises extra intermediates.
     bytes *= 1.10;
@@ -118,6 +118,11 @@ double TensorWorkUs(const DeviceSpec& device, const InferenceWork& work) {
   const double bandwidth_us = bytes / (device.mem_bandwidth_gbps * 1e3);
   const double compute_us = flops / (device.compute_gflops * 1e3);
   return (bandwidth_us + compute_us) * DeviceEfficiency(device, work);
+}
+
+double TensorWorkUs(const DeviceSpec& device, const InferenceWork& work) {
+  return ComponentUs(device, work, work.encode_bytes + work.scan_bytes,
+                     work.encode_flops + work.scan_flops);
 }
 
 /// Per-request cost that can never be amortised by batching: host syncs
@@ -143,6 +148,17 @@ double DispatchUs(const DeviceSpec& device, const InferenceWork& work) {
 double SerialInferenceUs(const DeviceSpec& device, const InferenceWork& work) {
   return DispatchUs(device, work) + TensorWorkUs(device, work) +
          HostSyncUs(device, work);
+}
+
+InferencePhases SerialInferencePhasesUs(const DeviceSpec& device,
+                                        const InferenceWork& work) {
+  InferencePhases phases;
+  phases.dispatch_us = DispatchUs(device, work);
+  phases.encode_us =
+      ComponentUs(device, work, work.encode_bytes, work.encode_flops);
+  phases.scan_us = ComponentUs(device, work, work.scan_bytes, work.scan_flops);
+  phases.host_sync_us = HostSyncUs(device, work);
+  return phases;
 }
 
 double BatchInferenceUs(const DeviceSpec& device, const InferenceWork& work,

@@ -91,6 +91,24 @@ struct DeviceSpec {
 /// paper's serial micro-benchmark (Fig. 3).
 double SerialInferenceUs(const DeviceSpec& device, const InferenceWork& work);
 
+/// Phase decomposition of SerialInferenceUs, in execution order. The
+/// observability layer turns these into op-level child spans of simulated
+/// inference executions (encode vs. catalog scan attribution); the phases
+/// always sum to SerialInferenceUs for the same inputs.
+struct InferencePhases {
+  double dispatch_us = 0;   // kernel launch + eager per-op dispatch
+  double encode_us = 0;     // session-encoder tensor work
+  double scan_us = 0;       // catalog MIPS-scan tensor work
+  double host_sync_us = 0;  // non-batchable host-sync round trips
+
+  double total_us() const {
+    return dispatch_us + encode_us + scan_us + host_sync_us;
+  }
+};
+
+InferencePhases SerialInferencePhasesUs(const DeviceSpec& device,
+                                        const InferenceWork& work);
+
 /// Total execution time (us) of a batch of `batch_size` identical requests
 /// on one executor. batch_size == 1 degenerates to SerialInferenceUs minus
 /// the non-batchable host-sync work handled separately.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/op_hook.h"
+
 namespace etude::tensor {
 
 namespace {
@@ -29,6 +31,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul inner dims mismatch: " << a.ShapeString() << " @ "
       << b.ShapeString();
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  ETUDE_OP_SPAN("MatMul", 2.0 * static_cast<double>(m * k) * static_cast<double>(n));
   Tensor out({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -50,6 +53,7 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   ETUDE_CHECK(a.rank() == 2 && x.rank() == 1) << "MatVec shape error";
   ETUDE_CHECK(a.dim(1) == x.dim(0)) << "MatVec inner dims mismatch";
   const int64_t m = a.dim(0), k = a.dim(1);
+  ETUDE_OP_SPAN("MatVec", 2.0 * static_cast<double>(m * k));
   Tensor out({m});
   const float* pa = a.data();
   const float* px = x.data();
@@ -73,6 +77,7 @@ Tensor Linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
     ETUDE_CHECK(bias.rank() == 1 && bias.dim(0) == out_features)
         << "Linear bias shape error";
   }
+  ETUDE_OP_SPAN("Linear", 2.0 * static_cast<double>(n * in) * static_cast<double>(out_features));
   Tensor out({n, out_features});
   const float* px = x.data();
   const float* pw = weight.data();
@@ -92,6 +97,7 @@ Tensor Linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
+  ETUDE_OP_SPAN("Add", 1.0 * static_cast<double>(a.numel()));
   Tensor out(a.shape());
   for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
   return out;
@@ -99,6 +105,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
+  ETUDE_OP_SPAN("Sub", 1.0 * static_cast<double>(a.numel()));
   Tensor out(a.shape());
   for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
   return out;
@@ -106,6 +113,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
+  ETUDE_OP_SPAN("Mul", 1.0 * static_cast<double>(a.numel()));
   Tensor out(a.shape());
   for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
   return out;
@@ -114,6 +122,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor AddRowwise(const Tensor& a, const Tensor& bias) {
   ETUDE_CHECK(a.rank() == 2 && bias.rank() == 1) << "AddRowwise shape error";
   ETUDE_CHECK(a.dim(1) == bias.dim(0)) << "AddRowwise width mismatch";
+  ETUDE_OP_SPAN("AddRowwise", 1.0 * static_cast<double>(a.numel()));
   Tensor out(a.shape());
   const int64_t n = a.dim(0), d = a.dim(1);
   for (int64_t i = 0; i < n; ++i) {
@@ -123,27 +132,33 @@ Tensor AddRowwise(const Tensor& a, const Tensor& bias) {
 }
 
 Tensor Scale(const Tensor& a, float factor) {
+  ETUDE_OP_SPAN("Scale", 1.0 * static_cast<double>(a.numel()));
   return ElementwiseUnary(a, [factor](float v) { return v * factor; });
 }
 
 Tensor AddScalar(const Tensor& a, float value) {
+  ETUDE_OP_SPAN("AddScalar", 1.0 * static_cast<double>(a.numel()));
   return ElementwiseUnary(a, [value](float v) { return v + value; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  ETUDE_OP_SPAN("Sigmoid", 4.0 * static_cast<double>(a.numel()));
   return ElementwiseUnary(
       a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
 }
 
 Tensor Tanh(const Tensor& a) {
+  ETUDE_OP_SPAN("Tanh", 4.0 * static_cast<double>(a.numel()));
   return ElementwiseUnary(a, [](float v) { return std::tanh(v); });
 }
 
 Tensor Relu(const Tensor& a) {
+  ETUDE_OP_SPAN("Relu", 1.0 * static_cast<double>(a.numel()));
   return ElementwiseUnary(a, [](float v) { return v > 0.0f ? v : 0.0f; });
 }
 
 Tensor Gelu(const Tensor& a) {
+  ETUDE_OP_SPAN("Gelu", 8.0 * static_cast<double>(a.numel()));
   // tanh approximation, as used by PyTorch's gelu(approximate="tanh").
   return ElementwiseUnary(a, [](float v) {
     const float c = 0.7978845608028654f;  // sqrt(2/pi)
@@ -155,6 +170,7 @@ Tensor Softmax(const Tensor& a) {
   ETUDE_CHECK(a.rank() >= 1) << "Softmax requires rank >= 1";
   const int64_t width = a.dim(a.rank() - 1);
   ETUDE_CHECK(width > 0) << "Softmax over empty dimension";
+  ETUDE_OP_SPAN("Softmax", 3.0 * static_cast<double>(a.numel()));
   const int64_t rows = a.numel() / width;
   Tensor out(a.shape());
   const float* src = a.data();
@@ -181,6 +197,7 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   const int64_t width = a.dim(a.rank() - 1);
   ETUDE_CHECK(gain.rank() == 1 && gain.dim(0) == width) << "LayerNorm gain";
   ETUDE_CHECK(bias.rank() == 1 && bias.dim(0) == width) << "LayerNorm bias";
+  ETUDE_OP_SPAN("LayerNorm", 6.0 * static_cast<double>(a.numel()));
   const int64_t rows = a.numel() / width;
   Tensor out(a.shape());
   for (int64_t r = 0; r < rows; ++r) {
@@ -206,6 +223,7 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
 Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices) {
   ETUDE_CHECK(table.rank() == 2) << "Embedding table must be rank 2";
   const int64_t vocab = table.dim(0), d = table.dim(1);
+  ETUDE_OP_SPAN("Embedding", 0.0);
   Tensor out({static_cast<int64_t>(indices.size()), d});
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t idx = indices[i];
@@ -219,6 +237,7 @@ Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices) {
 }
 
 Tensor Concat(const Tensor& a, const Tensor& b) {
+  ETUDE_OP_SPAN("Concat", 0.0);
   if (a.rank() == 1 && b.rank() == 1) {
     Tensor out({a.dim(0) + b.dim(0)});
     std::copy(a.data(), a.data() + a.numel(), out.data());
@@ -241,6 +260,7 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   ETUDE_CHECK(a.rank() == 2) << "Transpose requires rank 2";
   const int64_t m = a.dim(0), n = a.dim(1);
+  ETUDE_OP_SPAN("Transpose", 0.0);
   Tensor out({n, m});
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
@@ -249,6 +269,7 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor MeanRows(const Tensor& a) {
+  ETUDE_OP_SPAN("MeanRows", 1.0 * static_cast<double>(a.numel()));
   Tensor sum = SumRows(a);
   return Scale(sum, 1.0f / static_cast<float>(a.dim(0)));
 }
@@ -257,6 +278,7 @@ Tensor SumRows(const Tensor& a) {
   ETUDE_CHECK(a.rank() == 2) << "SumRows requires rank 2";
   const int64_t n = a.dim(0), d = a.dim(1);
   ETUDE_CHECK(n > 0) << "SumRows over empty tensor";
+  ETUDE_OP_SPAN("SumRows", 1.0 * static_cast<double>(a.numel()));
   Tensor out({d});
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) out[j] += a[i * d + j];
@@ -265,6 +287,7 @@ Tensor SumRows(const Tensor& a) {
 }
 
 Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
+  ETUDE_OP_SPAN("L2NormalizeRows", 3.0 * static_cast<double>(a.numel()));
   if (a.rank() == 1) {
     float norm = 0.0f;
     for (int64_t i = 0; i < a.numel(); ++i) norm += a[i] * a[i];
@@ -286,6 +309,7 @@ Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
 float Dot(const Tensor& a, const Tensor& b) {
   ETUDE_CHECK(a.rank() == 1 && b.rank() == 1 && a.dim(0) == b.dim(0))
       << "Dot requires equal-length vectors";
+  ETUDE_OP_SPAN("Dot", 2.0 * static_cast<double>(a.numel()));
   float acc = 0.0f;
   for (int64_t i = 0; i < a.numel(); ++i) acc += a[i] * b[i];
   return acc;
@@ -293,6 +317,7 @@ float Dot(const Tensor& a, const Tensor& b) {
 
 int64_t ArgMax(const Tensor& a) {
   ETUDE_CHECK(a.rank() == 1 && a.numel() > 0) << "ArgMax shape error";
+  ETUDE_OP_SPAN("ArgMax", 1.0 * static_cast<double>(a.numel()));
   int64_t best = 0;
   for (int64_t i = 1; i < a.numel(); ++i) {
     if (a[i] > a[best]) best = i;
@@ -305,6 +330,7 @@ TopKResult TopK(const Tensor& scores, int64_t k) {
   ETUDE_CHECK(k > 0) << "TopK requires k > 0";
   const int64_t n = scores.numel();
   k = std::min(k, n);
+  ETUDE_OP_SPAN("TopK", static_cast<double>(n) * std::log2(static_cast<double>(std::max<int64_t>(k, 2))));
   // Bounded min-heap of (score, index): O(n log k).
   using Entry = std::pair<float, int64_t>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
@@ -330,6 +356,12 @@ TopKResult TopK(const Tensor& scores, int64_t k) {
 
 TopKResult Mips(const Tensor& item_embeddings, const Tensor& query,
                 int64_t k) {
+  // The paper's O(C(d + log k)) term: the op that dominates SBR inference.
+  ETUDE_OP_SPAN("Mips",
+                2.0 * static_cast<double>(item_embeddings.dim(0)) *
+                        static_cast<double>(query.dim(0)) +
+                    static_cast<double>(item_embeddings.dim(0)) *
+                        std::log2(static_cast<double>(std::max<int64_t>(k, 2))));
   Tensor scores = MatVec(item_embeddings, query);
   return TopK(scores, k);
 }
@@ -345,6 +377,10 @@ Tensor GruCell(const Tensor& input, const Tensor& hidden, const Tensor& w_ih,
       << "GruCell w_hh shape";
   ETUDE_CHECK(b_ih.dim(0) == 3 * h && b_hh.dim(0) == 3 * h)
       << "GruCell bias shape";
+  ETUDE_OP_SPAN("GruCell",
+                6.0 * static_cast<double>(h) *
+                        static_cast<double>(input.dim(0) + h) +
+                    12.0 * static_cast<double>(h));
   const Tensor gi = Add(MatVec(w_ih, input), b_ih);   // [3h]
   const Tensor gh = Add(MatVec(w_hh, hidden), b_hh);  // [3h]
   Tensor next({h});
@@ -363,6 +399,12 @@ Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
       << "attention requires rank-2 q,k,v";
   ETUDE_CHECK(q.dim(1) == k.dim(1) && k.dim(0) == v.dim(0))
       << "attention shape mismatch";
+  ETUDE_OP_SPAN("ScaledDotProductAttention",
+                4.0 * static_cast<double>(q.dim(0)) *
+                        static_cast<double>(k.dim(0)) *
+                        static_cast<double>(q.dim(1)) +
+                    3.0 * static_cast<double>(q.dim(0)) *
+                        static_cast<double>(k.dim(0)));
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.dim(1)));
   Tensor logits = Scale(MatMul(q, Transpose(k)), inv_sqrt_d);  // [n,m]
   Tensor weights = Softmax(logits);

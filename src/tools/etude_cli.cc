@@ -3,14 +3,21 @@
 // Subcommands:
 //   etude scenarios
 //       List the paper's five built-in use-case scenarios.
-//   etude run <spec.json>
+//   etude run <spec.json> [--trace-out FILE]
 //       Execute one deployed benchmark from a declarative spec and print
-//       the report (the `make run_deployed_benchmark` equivalent).
+//       the report (the `make run_deployed_benchmark` equivalent). With
+//       --trace-out, the virtual-time spans of the simulated servers and
+//       load generator are written as a Chrome trace-event file.
 //   etude plan --catalog C --rps R [--p90 MS] [--max-replicas N]
 //       Search cost-efficient deployments for a custom use case.
 //   etude generate --catalog C --clicks N [--alpha-l A] [--alpha-c B]
 //       Emit a synthetic click log (Algorithm 1) as CSV on stdout.
+//   etude profile <model|all> [--mode eager|jit|both] [--catalog C]
+//                 [--requests N] [--seed S] [--trace-out FILE]
+//       Run real inference on the tensor engine and print the per-op
+//       latency/FLOP breakdown of each model.
 //   etude serve --model NAME --catalog C [--port P] [--seconds S]
+//               [--metrics-format json|prometheus]
 //       Start the real HTTP inference server on localhost.
 
 #include <unistd.h>
@@ -28,6 +35,10 @@
 #include "core/spec.h"
 #include "metrics/report.h"
 #include "models/model_factory.h"
+#include "obs/chrome_trace.h"
+#include "obs/op_hook.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "serving/etude_serve.h"
 #include "workload/session_generator.h"
 
@@ -35,15 +46,32 @@ namespace {
 
 using etude::FormatDouble;
 
-/// Parses "--name value" flags after the subcommand.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int start) {
+/// Parses "--name value" flags after `argv[start]`. Flags outside
+/// `allowed` and flags missing their value are reported as errors — a
+/// misspelled flag must never be silently ignored.
+etude::Result<std::map<std::string, std::string>> ParseFlags(
+    int argc, char** argv, int start,
+    const std::vector<std::string>& allowed) {
   std::map<std::string, std::string> flags;
-  for (int i = start; i + 1 < argc; i += 2) {
-    std::string name = argv[i];
-    if (etude::StartsWith(name, "--")) {
-      flags[name.substr(2)] = argv[i + 1];
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!etude::StartsWith(arg, "--")) {
+      return etude::Status::InvalidArgument(
+          "unexpected argument '" + arg + "'; flags are --name value pairs");
     }
+    const std::string name = arg.substr(2);
+    bool known = false;
+    for (const std::string& a : allowed) known = known || a == name;
+    if (!known) {
+      return etude::Status::InvalidArgument(
+          "unknown flag --" + name + "; allowed flags: --" +
+          etude::Join(allowed, ", --"));
+    }
+    if (i + 1 >= argc) {
+      return etude::Status::InvalidArgument("flag --" + name +
+                                            " requires a value");
+    }
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -52,6 +80,30 @@ double FlagOr(const std::map<std::string, std::string>& flags,
               const std::string& name, double fallback) {
   const auto it = flags.find(name);
   return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& name, const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+/// Writes the tracer's snapshot to `path` as Chrome trace-event JSON.
+int WriteTraceFile(const std::string& path) {
+  auto& tracer = etude::obs::Tracer::Get();
+  const std::vector<etude::obs::TraceEvent> events = tracer.Snapshot();
+  const etude::Status status = etude::obs::WriteChromeTrace(path, events);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu trace events to %s\n", events.size(),
+               path.c_str());
+  if (tracer.dropped() > 0) {
+    std::fprintf(stderr, "warning: %lld trace events dropped (buffer full)\n",
+                 static_cast<long long>(tracer.dropped()));
+  }
+  return 0;
 }
 
 int CmdScenarios() {
@@ -68,8 +120,13 @@ int CmdScenarios() {
 }
 
 int CmdRun(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: etude run <spec.json>\n");
+  if (argc < 3 || etude::StartsWith(argv[2], "--")) {
+    std::fprintf(stderr, "usage: etude run <spec.json> [--trace-out FILE]\n");
+    return 2;
+  }
+  const auto flags = ParseFlags(argc, argv, 3, {"trace-out"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
   auto spec = etude::core::LoadBenchmarkSpec(argv[2]);
@@ -77,29 +134,40 @@ int CmdRun(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
     return 1;
   }
+  const std::string trace_out = FlagOr(*flags, "trace-out", "");
+  if (!trace_out.empty()) etude::obs::Tracer::Get().Enable();
   auto report = etude::core::RunDeployedBenchmark(*spec);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
   std::printf("%s\n", report->Summary().c_str());
+  if (!trace_out.empty()) {
+    const int rc = WriteTraceFile(trace_out);
+    if (rc != 0) return rc;
+  }
   return report->meets_slo ? 0 : 3;
 }
 
 int CmdPlan(int argc, char** argv) {
-  const auto flags = ParseFlags(argc, argv, 2);
+  const auto flags =
+      ParseFlags(argc, argv, 2, {"catalog", "rps", "p90", "max-replicas"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
   etude::core::Scenario scenario;
   scenario.name = "cli";
   scenario.catalog_size =
-      static_cast<int64_t>(FlagOr(flags, "catalog", 100000));
-  scenario.target_rps = FlagOr(flags, "rps", 250);
-  scenario.p90_limit_ms = FlagOr(flags, "p90", 50);
+      static_cast<int64_t>(FlagOr(*flags, "catalog", 100000));
+  scenario.target_rps = FlagOr(*flags, "rps", 250);
+  scenario.p90_limit_ms = FlagOr(*flags, "p90", 50);
 
   etude::core::PlannerOptions options;
   options.duration_s = 60;
   options.ramp_s = 30;
   options.max_replicas =
-      static_cast<int>(FlagOr(flags, "max-replicas", 8));
+      static_cast<int>(FlagOr(*flags, "max-replicas", 8));
   etude::core::CostPlanner planner(options);
 
   const std::vector<etude::sim::DeviceSpec> devices = {
@@ -132,16 +200,22 @@ int CmdPlan(int argc, char** argv) {
 }
 
 int CmdGenerate(int argc, char** argv) {
-  const auto flags = ParseFlags(argc, argv, 2);
+  const auto flags = ParseFlags(argc, argv, 2,
+                                {"catalog", "clicks", "alpha-l", "alpha-c",
+                                 "seed"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
   const int64_t catalog =
-      static_cast<int64_t>(FlagOr(flags, "catalog", 10000));
+      static_cast<int64_t>(FlagOr(*flags, "catalog", 10000));
   const int64_t clicks =
-      static_cast<int64_t>(FlagOr(flags, "clicks", 1000));
+      static_cast<int64_t>(FlagOr(*flags, "clicks", 1000));
   etude::workload::WorkloadStats stats;
-  stats.session_length_alpha = FlagOr(flags, "alpha-l", 2.2);
-  stats.click_count_alpha = FlagOr(flags, "alpha-c", 1.8);
+  stats.session_length_alpha = FlagOr(*flags, "alpha-l", 2.2);
+  stats.click_count_alpha = FlagOr(*flags, "alpha-c", 1.8);
   auto generator = etude::workload::SessionGenerator::Create(
-      catalog, stats, static_cast<uint64_t>(FlagOr(flags, "seed", 42)));
+      catalog, stats, static_cast<uint64_t>(FlagOr(*flags, "seed", 42)));
   if (!generator.ok()) {
     std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
     return 1;
@@ -156,27 +230,173 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+/// Profiles one (model, mode) pair: runs `requests` real inference
+/// requests with the per-op profiler attached and prints the breakdown.
+int ProfileOne(etude::models::ModelKind kind,
+               etude::models::ExecutionMode mode, int64_t catalog,
+               int requests, uint64_t seed) {
+  etude::models::ModelConfig config;
+  config.catalog_size = catalog;
+  config.seed = seed;
+  auto model = etude::models::CreateModel(kind, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto generator = etude::workload::SessionGenerator::Create(
+      catalog, etude::workload::WorkloadStats(), seed);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<int64_t>> sessions;
+  while (static_cast<int>(sessions.size()) < requests) {
+    etude::workload::Session session = generator->NextSession();
+    if (!session.items.empty()) sessions.push_back(std::move(session.items));
+  }
+
+  const bool jit_fallback = mode == etude::models::ExecutionMode::kJit &&
+                            !(*model)->jit_compatible();
+  std::string header = "== " + std::string((*model)->name()) +
+                       (mode == etude::models::ExecutionMode::kJit
+                            ? " (jit"
+                            : " (eager");
+  if (jit_fallback) header += " -> eager fallback: not jit-compatible";
+  header += ") ==";
+
+  // Warm up caches and allocators outside the profiled window.
+  for (int i = 0; i < 4; ++i) {
+    auto rec = (*model)->Recommend(sessions[i % sessions.size()]);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  etude::obs::OpProfile profile;
+  {
+    etude::obs::ScopedOpSink sink(&profile);
+    for (int i = 0; i < requests; ++i) {
+      ETUDE_TRACE_SPAN("recommend", "inference");
+      auto rec = (*model)->Recommend(sessions[i % sessions.size()]);
+      if (!rec.ok()) {
+        std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("%s\n", header.c_str());
+  std::printf("catalog %s, d=%lld, %d requests, %.1f us/request\n",
+              etude::FormatWithCommas(catalog).c_str(),
+              static_cast<long long>((*model)->config().embedding_dim),
+              requests,
+              static_cast<double>(profile.TotalNs()) / 1e3 / requests);
+  std::printf("%s\n", profile.ToText().c_str());
+  return 0;
+}
+
+int CmdProfile(int argc, char** argv) {
+  if (argc < 3 || etude::StartsWith(argv[2], "--")) {
+    std::fprintf(stderr,
+                 "usage: etude profile <model|all> [--mode eager|jit|both] "
+                 "[--catalog C] [--requests N] [--seed S] "
+                 "[--trace-out FILE]\n");
+    return 2;
+  }
+  const auto flags = ParseFlags(
+      argc, argv, 3, {"mode", "catalog", "requests", "seed", "trace-out"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const std::string model_arg = argv[2];
+  std::vector<etude::models::ModelKind> kinds;
+  if (etude::ToLower(model_arg) == "all") {
+    kinds = etude::models::AllModelKinds();
+  } else {
+    auto kind = etude::models::ModelKindFromString(model_arg);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      return 2;
+    }
+    kinds.push_back(*kind);
+  }
+
+  const std::string mode_arg = etude::ToLower(FlagOr(*flags, "mode", "both"));
+  std::vector<etude::models::ExecutionMode> modes;
+  if (mode_arg == "eager") {
+    modes = {etude::models::ExecutionMode::kEager};
+  } else if (mode_arg == "jit") {
+    modes = {etude::models::ExecutionMode::kJit};
+  } else if (mode_arg == "both") {
+    modes = {etude::models::ExecutionMode::kEager,
+             etude::models::ExecutionMode::kJit};
+  } else {
+    std::fprintf(stderr,
+                 "invalid --mode '%s'; expected eager, jit or both\n",
+                 mode_arg.c_str());
+    return 2;
+  }
+
+  const int64_t catalog =
+      static_cast<int64_t>(FlagOr(*flags, "catalog", 10000));
+  const int requests = static_cast<int>(FlagOr(*flags, "requests", 64));
+  const uint64_t seed = static_cast<uint64_t>(FlagOr(*flags, "seed", 42));
+  if (requests < 1) {
+    std::fprintf(stderr, "--requests must be >= 1\n");
+    return 2;
+  }
+  const std::string trace_out = FlagOr(*flags, "trace-out", "");
+  if (!trace_out.empty()) etude::obs::Tracer::Get().Enable();
+
+  for (const auto kind : kinds) {
+    for (const auto mode : modes) {
+      const int rc = ProfileOne(kind, mode, catalog, requests, seed);
+      if (rc != 0) return rc;
+    }
+  }
+  if (!trace_out.empty()) return WriteTraceFile(trace_out);
+  return 0;
+}
+
 int CmdServe(int argc, char** argv) {
-  const auto flags = ParseFlags(argc, argv, 2);
-  const auto model_it = flags.find("model");
+  const auto flags = ParseFlags(
+      argc, argv, 2,
+      {"model", "catalog", "port", "seconds", "metrics-format"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
   etude::models::ModelConfig config;
   config.catalog_size =
-      static_cast<int64_t>(FlagOr(flags, "catalog", 10000));
-  auto model = etude::models::CreateModel(
-      model_it == flags.end() ? "GRU4Rec" : model_it->second, config);
+      static_cast<int64_t>(FlagOr(*flags, "catalog", 10000));
+  auto model =
+      etude::models::CreateModel(FlagOr(*flags, "model", "GRU4Rec"), config);
   if (!model.ok()) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
   etude::serving::EtudeServeConfig serve_config;
-  serve_config.port = static_cast<uint16_t>(FlagOr(flags, "port", 0));
+  serve_config.port = static_cast<uint16_t>(FlagOr(*flags, "port", 0));
+  const std::string format =
+      etude::ToLower(FlagOr(*flags, "metrics-format", "json"));
+  if (format == "prometheus") {
+    serve_config.default_metrics_format =
+        etude::serving::MetricsFormat::kPrometheus;
+  } else if (format != "json") {
+    std::fprintf(stderr,
+                 "invalid --metrics-format '%s'; expected json or "
+                 "prometheus\n",
+                 format.c_str());
+    return 2;
+  }
   etude::serving::EtudeServe serve(model->get(), serve_config);
   const etude::Status status = serve.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  const int seconds = static_cast<int>(FlagOr(flags, "seconds", 0));
+  const int seconds = static_cast<int>(FlagOr(*flags, "seconds", 0));
   std::printf(
       "serving %s (C=%s) on http://127.0.0.1:%u — POST "
       "/predictions/%s\n",
@@ -193,6 +413,30 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: etude <scenarios|run|plan|generate|profile|serve> [flags]\n"
+      "  scenarios                          list built-in scenarios\n"
+      "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
+      "                                     write a Chrome trace-event file\n"
+      "                                     of the simulated execution\n"
+      "  plan --catalog C --rps R           cost-efficient search\n"
+      "       [--p90 MS] [--max-replicas N]\n"
+      "  generate --catalog C --clicks N    synthetic click log\n"
+      "       [--alpha-l A] [--alpha-c B] [--seed S]\n"
+      "  profile <model|all>                per-op inference breakdown\n"
+      "       [--mode eager|jit|both] [--catalog C] [--requests N]\n"
+      "       [--seed S] [--trace-out F]\n"
+      "  serve --model M --catalog C        real HTTP server\n"
+      "       [--port P] [--seconds S] [--metrics-format json|prometheus]\n"
+      "\n"
+      "Unknown flags are errors. /metrics of `serve` answers JSON by\n"
+      "default and Prometheus text format under `Accept: text/plain` (or\n"
+      "`?format=prometheus`); --metrics-format sets the default.\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,12 +446,11 @@ int main(int argc, char** argv) {
   if (command == "run") return CmdRun(argc, argv);
   if (command == "plan") return CmdPlan(argc, argv);
   if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "profile") return CmdProfile(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
-  std::fprintf(stderr,
-               "usage: etude <scenarios|run|plan|generate|serve> [flags]\n"
-               "  run <spec.json>                    deployed benchmark\n"
-               "  plan --catalog C --rps R           cost-efficient search\n"
-               "  generate --catalog C --clicks N    synthetic click log\n"
-               "  serve --model M --catalog C        real HTTP server\n");
-  return 2;
+  if (command == "--help" || command == "-h" || command == "help") {
+    Usage();
+    return 0;
+  }
+  return Usage();
 }

@@ -161,5 +161,87 @@ TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
   EXPECT_GT(h.ValueAtQuantile(0.5), 0);
 }
 
+TEST(HistogramTest, SumTracksRecordedValues) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.sum(), 0);
+  h.Record(10);
+  h.Record(25);
+  h.RecordMany(3, 4);
+  EXPECT_EQ(h.sum(), 10 + 25 + 3 * 4);
+}
+
+TEST(HistogramTest, ForEachBucketIsCumulativeAndOrdered) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Record(5);
+  h.Record(40);
+  h.RecordMany(2000, 3);
+  std::vector<int64_t> bounds;
+  std::vector<int64_t> cumulative;
+  h.ForEachBucket([&](int64_t upper_bound_us, int64_t count) {
+    bounds.push_back(upper_bound_us);
+    cumulative.push_back(count);
+  });
+  ASSERT_EQ(bounds.size(), 3u);
+  // Small values land in exact buckets; bounds ascend strictly.
+  EXPECT_EQ(bounds[0], 5);
+  EXPECT_EQ(bounds[1], 40);
+  EXPECT_GE(bounds[2], 2000);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  // Counts are cumulative (the Prometheus `le` form), ending at count().
+  EXPECT_EQ(cumulative[0], 2);
+  EXPECT_EQ(cumulative[1], 3);
+  EXPECT_EQ(cumulative[2], 6);
+  EXPECT_EQ(cumulative.back(), h.count());
+}
+
+TEST(HistogramTest, ForEachBucketOnEmptyHistogramIsNoOp) {
+  LatencyHistogram h;
+  int calls = 0;
+  h.ForEachBucket([&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(HistogramTest, MergeWithDisjointRanges) {
+  LatencyHistogram low;
+  low.Record(1);
+  low.Record(2);
+  LatencyHistogram high;
+  high.Record(1000000);
+  high.Record(2000000);
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 4);
+  EXPECT_EQ(low.sum(), 1 + 2 + 1000000 + 2000000);
+  EXPECT_EQ(low.min(), 1);
+  EXPECT_EQ(low.max(), 2000000);
+  // The merged distribution spans both ranges: the median stays low, the
+  // upper quantiles come from the high histogram.
+  EXPECT_LE(low.ValueAtQuantile(0.25), 2);
+  EXPECT_GE(low.ValueAtQuantile(0.99), 1000000);
+  int64_t last_cumulative = 0;
+  low.ForEachBucket(
+      [&](int64_t, int64_t cumulative) { last_cumulative = cumulative; });
+  EXPECT_EQ(last_cumulative, 4);
+}
+
+TEST(HistogramTest, ResetThenRecordStartsFresh) {
+  LatencyHistogram h;
+  h.RecordMany(77, 100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0);
+  int calls = 0;
+  h.ForEachBucket([&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Recording after Reset behaves like a brand-new histogram.
+  h.Record(9);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 9);
+  EXPECT_EQ(h.min(), 9);
+  EXPECT_EQ(h.max(), 9);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 9);
+}
+
 }  // namespace
 }  // namespace etude::metrics

@@ -56,15 +56,20 @@ class TestHttpClient {
     return true;
   }
 
-  /// Sends one request and blocks for the full response.
-  ClientResponse Request(const std::string& method,
-                         const std::string& target,
-                         const std::string& body = "",
-                         bool keep_alive = true) {
+  /// Sends one request and blocks for the full response. `extra_headers`
+  /// are appended verbatim (e.g. {{"accept", "text/plain"}} for metrics
+  /// content-negotiation tests).
+  ClientResponse Request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "", bool keep_alive = true,
+      const std::map<std::string, std::string>& extra_headers = {}) {
     ClientResponse response;
     std::string wire = method + " " + target + " HTTP/1.1\r\n";
     wire += "host: 127.0.0.1\r\n";
     if (!keep_alive) wire += "connection: close\r\n";
+    for (const auto& [name, value] : extra_headers) {
+      wire += name + ": " + value + "\r\n";
+    }
     if (!body.empty()) {
       wire += "content-type: application/json\r\n";
       wire += "content-length: " + std::to_string(body.size()) + "\r\n";

@@ -1,0 +1,100 @@
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace etude::obs {
+namespace {
+
+std::vector<TraceEvent> SampleEvents() {
+  std::vector<TraceEvent> events(2);
+  TraceEvent& op = events[0];
+  op.name = "Mips";
+  op.category = "op";
+  op.ts_us = 100;
+  op.dur_us = 40;
+  op.pid = kWallClockPid;
+  op.tid = 1;
+
+  TraceEvent& request = events[1];
+  request.name = "request";
+  request.category = "loadgen";
+  request.ts_us = 5000;
+  request.dur_us = 250;
+  request.pid = kVirtualClockPid;
+  request.tid = 1000;
+  request.trace_id = "sim-3";
+  return events;
+}
+
+/// Golden test: the exact serialised form of the Chrome trace-event
+/// format. JsonValue objects serialise keys alphabetically, so the output
+/// is fully deterministic.
+TEST(ChromeTraceTest, GoldenOutput) {
+  const std::string json = ToChromeTraceJson(SampleEvents());
+  const std::string expected =
+      "["
+      "{\"args\":{\"name\":\"etude (wall clock)\"},\"dur\":0,"
+      "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0},"
+      "{\"args\":{\"name\":\"etude-sim (virtual time)\"},\"dur\":0,"
+      "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"ts\":0},"
+      "{\"cat\":\"op\",\"dur\":40,\"name\":\"Mips\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":1,\"ts\":100},"
+      "{\"args\":{\"trace_id\":\"sim-3\"},\"cat\":\"loadgen\",\"dur\":250,"
+      "\"name\":\"request\",\"ph\":\"X\",\"pid\":2,\"tid\":1000,"
+      "\"ts\":5000}"
+      "]";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ChromeTraceTest, OutputIsValidJsonWithRequiredEventKeys) {
+  const Result<JsonValue> parsed = ParseJson(ToChromeTraceJson(SampleEvents()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  // 2 metadata events + 2 spans.
+  ASSERT_EQ(parsed->items().size(), 4u);
+  for (const JsonValue& event : parsed->items()) {
+    ASSERT_TRUE(event.is_object());
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      EXPECT_FALSE(event.Get(key).is_null()) << "missing key " << key;
+    }
+    const std::string ph = event.Get("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "M") << "unexpected phase " << ph;
+  }
+}
+
+TEST(ChromeTraceTest, EmptyInputStillEmitsProcessMetadata) {
+  const Result<JsonValue> parsed = ParseJson(ToChromeTraceJson({}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->items().size(), 2u);
+  EXPECT_EQ(parsed->items()[0].Get("ph").as_string(), "M");
+}
+
+TEST(ChromeTraceTest, WriteChromeTraceRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path, SampleEvents()).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, ToChromeTraceJson(SampleEvents()));
+}
+
+TEST(ChromeTraceTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(
+      WriteChromeTrace("/no/such/directory/trace.json", SampleEvents()).ok());
+}
+
+}  // namespace
+}  // namespace etude::obs

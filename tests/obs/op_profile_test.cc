@@ -1,0 +1,163 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/op_hook.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace etude::obs {
+namespace {
+
+/// Sink that records every callback verbatim.
+class RecordingSink : public OpSink {
+ public:
+  struct Call {
+    std::string name;
+    int64_t duration_ns;
+    double flops;
+  };
+
+  void OnOp(const char* name, int64_t duration_ns, double flops) override {
+    calls.push_back({name, duration_ns, flops});
+  }
+
+  std::vector<Call> calls;
+};
+
+TEST(OpHookTest, NoSinkNoTracingRecordsNothing) {
+  ASSERT_EQ(ThreadOpSink(), nullptr);
+  ETUDE_OP_SPAN("Standalone", 10.0);
+  // Nothing to observe — the assertion is that this compiles and runs with
+  // no sink attached (the common production configuration).
+}
+
+TEST(OpHookTest, SinkReceivesOp) {
+  RecordingSink sink;
+  {
+    ScopedOpSink attach(&sink);
+    ScopedOp op("MatMul", 128.0);
+  }
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].name, "MatMul");
+  EXPECT_DOUBLE_EQ(sink.calls[0].flops, 128.0);
+  EXPECT_GE(sink.calls[0].duration_ns, 0);
+}
+
+TEST(OpHookTest, NestedOpsReportOnlyTheOutermost) {
+  RecordingSink sink;
+  {
+    ScopedOpSink attach(&sink);
+    ScopedOp outer("Mips", 1000.0);
+    {
+      ScopedOp inner("MatVec", 900.0);
+      ScopedOp innermost("TopK", 100.0);
+    }
+  }
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].name, "Mips");
+}
+
+TEST(OpHookTest, ScopedOpSinkRestoresPrevious) {
+  RecordingSink outer_sink;
+  RecordingSink inner_sink;
+  ScopedOpSink attach_outer(&outer_sink);
+  {
+    ScopedOpSink attach_inner(&inner_sink);
+    EXPECT_EQ(ThreadOpSink(), &inner_sink);
+  }
+  EXPECT_EQ(ThreadOpSink(), &outer_sink);
+  SetThreadOpSink(nullptr);
+}
+
+TEST(OpHookTest, SinkIsPerThread) {
+  RecordingSink sink;
+  ScopedOpSink attach(&sink);
+  std::thread other([] {
+    EXPECT_EQ(ThreadOpSink(), nullptr);
+    ScopedOp op("OtherThreadOp", 1.0);
+  });
+  other.join();
+  EXPECT_TRUE(sink.calls.empty())
+      << "an op on a thread without a sink must not leak into this one";
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+TEST(OpHookTest, RealTensorOpsReportToTheSink) {
+  RecordingSink sink;
+  {
+    ScopedOpSink attach(&sink);
+    tensor::Tensor a({4, 8});
+    tensor::Tensor b({8, 3});
+    tensor::MatMul(a, b);
+  }
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].name, "MatMul");
+  // 2*m*k*n analytic FLOPs.
+  EXPECT_DOUBLE_EQ(sink.calls[0].flops, 2.0 * 4 * 8 * 3);
+}
+#endif  // ETUDE_DISABLE_TRACING
+
+TEST(OpProfileTest, AggregatesByOp) {
+  OpProfile profile;
+  profile.OnOp("Mips", 3000, 600.0);
+  profile.OnOp("Mips", 1000, 200.0);
+  profile.OnOp("GruCell", 500, 50.0);
+  const std::vector<OpProfileEntry> entries = profile.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // Sorted by descending total time.
+  EXPECT_EQ(entries[0].op, "Mips");
+  EXPECT_EQ(entries[0].calls, 2);
+  EXPECT_EQ(entries[0].total_ns, 4000);
+  EXPECT_DOUBLE_EQ(entries[0].flops, 800.0);
+  EXPECT_DOUBLE_EQ(entries[0].gflops_per_s(), 800.0 / 4000.0);
+  EXPECT_EQ(entries[1].op, "GruCell");
+  EXPECT_EQ(profile.TotalNs(), 4500);
+}
+
+TEST(OpProfileTest, ToTextListsEveryOpWithPercentages) {
+  OpProfile profile;
+  profile.OnOp("Mips", 9000, 900.0);
+  profile.OnOp("Embedding", 1000, 0.0);
+  const std::string text = profile.ToText();
+  EXPECT_NE(text.find("op"), std::string::npos);
+  EXPECT_NE(text.find("% of inference"), std::string::npos);
+  EXPECT_NE(text.find("GFLOP/s"), std::string::npos);
+  EXPECT_NE(text.find("Mips"), std::string::npos);
+  EXPECT_NE(text.find("90.0"), std::string::npos);
+  EXPECT_NE(text.find("Embedding"), std::string::npos);
+}
+
+TEST(OpProfileTest, ClearEmptiesTheProfile) {
+  OpProfile profile;
+  profile.OnOp("Mips", 100, 1.0);
+  profile.Clear();
+  EXPECT_TRUE(profile.Entries().empty());
+  EXPECT_EQ(profile.TotalNs(), 0);
+}
+
+TEST(OpProfileTest, ConcurrentRecordingIsSafe) {
+  OpProfile profile;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profile] {
+      ScopedOpSink attach(&profile);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        ScopedOp op("Shared", 2.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::vector<OpProfileEntry> entries = profile.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].calls, kThreads * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace etude::obs

@@ -1,0 +1,118 @@
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/histogram.h"
+
+namespace etude::obs {
+namespace {
+
+TEST(PrometheusWriterTest, CounterAndGaugeFormat) {
+  PrometheusWriter writer;
+  writer.Counter("etude_requests_total", "Requests received.", 42);
+  writer.Gauge("etude_uptime_seconds", "Uptime.", 1.5);
+  EXPECT_EQ(writer.text(),
+            "# HELP etude_requests_total Requests received.\n"
+            "# TYPE etude_requests_total counter\n"
+            "etude_requests_total 42\n"
+            "# HELP etude_uptime_seconds Uptime.\n"
+            "# TYPE etude_uptime_seconds gauge\n"
+            "etude_uptime_seconds 1.5\n");
+}
+
+TEST(PrometheusWriterTest, RepeatedFamilyDeclaresHeaderOnce) {
+  PrometheusWriter writer;
+  writer.Counter("etude_requests_total", "Requests.", 1, "route=\"/a\"");
+  writer.Counter("etude_requests_total", "Requests.", 2, "route=\"/b\"");
+  const std::string text = writer.text();
+  size_t first = text.find("# TYPE etude_requests_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE etude_requests_total", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("etude_requests_total{route=\"/a\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etude_requests_total{route=\"/b\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusWriterTest, HistogramEmitsCumulativeBuckets) {
+  metrics::LatencyHistogram histogram;
+  histogram.Record(10);
+  histogram.Record(10);
+  histogram.Record(500);
+  PrometheusWriter writer;
+  writer.Histogram("etude_latency_us", "Latency.", histogram);
+  const std::string text = writer.text();
+  EXPECT_NE(text.find("# TYPE etude_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  // The second bucket is cumulative: all three observations.
+  EXPECT_NE(text.find("} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_sum 520\n"), std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_count 3\n"), std::string::npos);
+  EXPECT_TRUE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusWriterTest, HistogramWithLabelsMergesLabelSets) {
+  metrics::LatencyHistogram histogram;
+  histogram.Record(7);
+  PrometheusWriter writer;
+  writer.Histogram("etude_latency_us", "Latency.", histogram,
+                   "model=\"narm\"");
+  const std::string text = writer.text();
+  EXPECT_NE(text.find("etude_latency_us_bucket{model=\"narm\",le=\"7\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_sum{model=\"narm\"} 7\n"),
+            std::string::npos);
+  EXPECT_TRUE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusWriterTest, EmptyHistogramStillEmitsSumAndCount) {
+  metrics::LatencyHistogram histogram;
+  PrometheusWriter writer;
+  writer.Histogram("etude_latency_us", "Latency.", histogram);
+  const std::string text = writer.text();
+  EXPECT_NE(text.find("etude_latency_us_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("etude_latency_us_count 0\n"), std::string::npos);
+  EXPECT_TRUE(ValidatePrometheusText(text).ok());
+}
+
+TEST(ValidatePrometheusTextTest, AcceptsWellFormedExposition) {
+  EXPECT_TRUE(ValidatePrometheusText("# HELP a_total Things.\n"
+                                     "# TYPE a_total counter\n"
+                                     "a_total 1\n"
+                                     "a_total{x=\"y\",z=\"w\"} 2.5\n"
+                                     "b_bucket{le=\"+Inf\"} 3\n"
+                                     "\n")
+                  .ok());
+}
+
+TEST(ValidatePrometheusTextTest, RejectsMalformedLines) {
+  // Bad metric name.
+  EXPECT_FALSE(ValidatePrometheusText("9metric 1\n").ok());
+  // Missing value.
+  EXPECT_FALSE(ValidatePrometheusText("metric\n").ok());
+  // Non-numeric value.
+  EXPECT_FALSE(ValidatePrometheusText("metric abc\n").ok());
+  // Unbalanced label quotes.
+  EXPECT_FALSE(ValidatePrometheusText("metric{x=\"y} 1\n").ok());
+  // Missing closing brace.
+  EXPECT_FALSE(ValidatePrometheusText("metric{x=\"y\" 1\n").ok());
+}
+
+TEST(ValidatePrometheusTextTest, ReportsTheOffendingLine) {
+  const Status status = ValidatePrometheusText("ok_total 1\nbad line here\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("line 2"), std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace etude::obs

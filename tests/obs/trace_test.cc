@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace etude::obs {
+namespace {
+
+/// The tracer is process-global; every test starts from a clean, disabled
+/// state and leaves one behind.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+    Tracer::Get().set_thread_capacity(1 << 20);
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  { ETUDE_TRACE_SPAN("ignored", "test"); }
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+TEST_F(TraceTest, MacroExpandsToARecordingSpan) {
+  Tracer::Get().Enable();
+  { ETUDE_TRACE_SPAN_ID("macro", "test", std::string("req-1")); }
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "macro");
+  EXPECT_EQ(events[0].trace_id, "req-1");
+}
+#endif  // ETUDE_DISABLE_TRACING
+
+TEST_F(TraceTest, ScopedSpanRecordsWhenEnabled) {
+  Tracer::Get().Enable();
+  { ScopedSpan span("work", "test"); }
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].pid, kWallClockPid);
+  EXPECT_GE(events[0].ts_us, 0);
+  EXPECT_GE(events[0].dur_us, 0);
+}
+
+TEST_F(TraceTest, SpanCarriesTraceId) {
+  Tracer::Get().Enable();
+  { ScopedSpan span("request", "server", "req-17"); }
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, "req-17");
+}
+
+TEST_F(TraceTest, SpanEnabledStateIsCapturedAtConstruction) {
+  // A span opened while tracing is off must not record even if tracing is
+  // switched on before it closes (its start timestamp was never taken).
+  {
+    ScopedSpan span("late", "test");
+    Tracer::Get().Enable();
+  }
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+}
+
+TEST_F(TraceTest, VirtualTimeEventsKeepTheirCoordinates) {
+  Tracer::Get().Enable();
+  TraceEvent event;
+  event.name = "queue";
+  event.category = "sim-server";
+  event.ts_us = 1234;
+  event.dur_us = 56;
+  event.pid = kVirtualClockPid;
+  event.tid = 7;
+  Tracer::Get().Record(std::move(event));
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pid, kVirtualClockPid);
+  EXPECT_EQ(events[0].tid, 7);
+  EXPECT_EQ(events[0].ts_us, 1234);
+  EXPECT_EQ(events[0].dur_us, 56);
+}
+
+TEST_F(TraceTest, SnapshotIsSortedByTimestamp) {
+  Tracer::Get().Enable();
+  for (const int64_t ts : {300, 100, 200}) {
+    TraceEvent event;
+    event.name = "e";
+    event.ts_us = ts;
+    event.pid = kVirtualClockPid;
+    Tracer::Get().Record(std::move(event));
+  }
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts_us, 100);
+  EXPECT_EQ(events[1].ts_us, 200);
+  EXPECT_EQ(events[2].ts_us, 300);
+}
+
+TEST_F(TraceTest, FullBufferDropsAndCounts) {
+  Tracer::Get().Enable();
+  Tracer::Get().set_thread_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event;
+    event.name = "e";
+    event.pid = kVirtualClockPid;
+    Tracer::Get().Record(std::move(event));
+  }
+  EXPECT_EQ(Tracer::Get().Snapshot().size(), 4u);
+  EXPECT_EQ(Tracer::Get().dropped(), 6);
+  Tracer::Get().Clear();
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+  EXPECT_EQ(Tracer::Get().dropped(), 0);
+}
+
+TEST_F(TraceTest, ConcurrentRecordingFromManyThreadsIsComplete) {
+  // Run under tsan (the CI tsan job builds this test) to prove the
+  // per-thread buffer design is race-free.
+  Tracer::Get().Enable();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span("span", "test");
+        // Interleave a snapshot reader with the writers now and then.
+        if (t == 0 && i % 100 == 0) Tracer::Get().Snapshot();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  EXPECT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(Tracer::Get().dropped(), 0);
+}
+
+TEST_F(TraceTest, WallClockThreadsGetDistinctLanes) {
+  Tracer::Get().Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] { ScopedSpan span("lane", "test"); });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  std::vector<int64_t> lanes;
+  for (const TraceEvent& event : events) lanes.push_back(event.tid);
+  std::sort(lanes.begin(), lanes.end());
+  EXPECT_EQ(std::unique(lanes.begin(), lanes.end()), lanes.end())
+      << "each recording thread must own a distinct trace lane";
+}
+
+}  // namespace
+}  // namespace etude::obs

@@ -4,6 +4,8 @@
 
 #include "common/json.h"
 #include "models/model_factory.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "tests/net/test_http_client.h"
 
 namespace etude::serving {
@@ -114,6 +116,132 @@ TEST_F(EtudeServeTest, MetricsTrackServedPredictions) {
   EXPECT_EQ(metrics->GetIntOr("catalog_size", -1), 5000);
   EXPECT_EQ(serve_->predictions_served(), 3);
 }
+
+TEST_F(EtudeServeTest, EveryResponseCarriesATraceId) {
+  TestHttpClient client(serve_->port());
+  const ClientResponse first = client.Request("GET", "/healthz");
+  const ClientResponse second = client.Request(
+      "POST", "/predictions/gru4rec", "{\"session\": [5]}");
+  const auto first_id = first.headers.find("x-trace-id");
+  const auto second_id = second.headers.find("x-trace-id");
+  ASSERT_NE(first_id, first.headers.end());
+  ASSERT_NE(second_id, second.headers.end());
+  EXPECT_NE(first_id->second, second_id->second)
+      << "trace ids must be unique per request";
+}
+
+TEST_F(EtudeServeTest, MetricsReportUptimeErrorsAndRoutes) {
+  TestHttpClient client(serve_->port());
+  ASSERT_EQ(client.Request("GET", "/healthz").status, 200);
+  ASSERT_EQ(client.Request("GET", "/no/such/route").status, 404);
+  ASSERT_EQ(
+      client.Request("POST", "/predictions/gru4rec", "not json").status,
+      400);
+  const ClientResponse response = client.Request("GET", "/metrics");
+  ASSERT_EQ(response.status, 200);
+  auto metrics = ParseJson(response.body);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->GetIntOr("errors_4xx", -1), 2);  // the 404 and the 400
+  EXPECT_EQ(metrics->GetIntOr("errors_5xx", -1), 0);
+  EXPECT_GE(metrics->GetNumberOr("uptime_seconds", -1.0), 0.0);
+  const JsonValue& routes = metrics->Get("requests_by_route");
+  ASSERT_TRUE(routes.is_object());
+  EXPECT_EQ(routes.GetIntOr("/healthz", -1), 1);
+  EXPECT_EQ(routes.GetIntOr("/predictions/gru4rec", -1), 1);
+  EXPECT_EQ(routes.GetIntOr("/metrics", -1), 1);
+  EXPECT_EQ(routes.GetIntOr("other", -1), 1);
+  EXPECT_EQ(serve_->errors_4xx(), 2);
+  EXPECT_EQ(serve_->errors_5xx(), 0);
+}
+
+TEST_F(EtudeServeTest, MetricsDefaultToJsonAndNegotiatePrometheus) {
+  TestHttpClient client(serve_->port());
+  ASSERT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": [5]}")
+                .status,
+            200);
+
+  // Default: the JSON document the load generator consumes.
+  const ClientResponse json = client.Request("GET", "/metrics");
+  ASSERT_EQ(json.status, 200);
+  EXPECT_NE(json.headers.at("content-type").find("application/json"),
+            std::string::npos);
+  ASSERT_TRUE(ParseJson(json.body).ok());
+
+  // Accept: text/plain switches to the Prometheus exposition format.
+  const ClientResponse prom = client.Request(
+      "GET", "/metrics", "", true, {{"accept", "text/plain"}});
+  ASSERT_EQ(prom.status, 200);
+  EXPECT_NE(prom.headers.at("content-type").find("text/plain"),
+            std::string::npos);
+  EXPECT_TRUE(obs::ValidatePrometheusText(prom.body).ok());
+  EXPECT_NE(prom.body.find("etude_predictions_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE etude_inference_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("etude_inference_latency_us_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.body.find("etude_requests_total{route=\"/predictions/gru4rec\"}"),
+      std::string::npos);
+
+  // An explicit JSON Accept keeps JSON, and ?format=prometheus overrides
+  // the Accept header.
+  const ClientResponse json2 = client.Request(
+      "GET", "/metrics", "", true, {{"accept", "application/json"}});
+  ASSERT_TRUE(ParseJson(json2.body).ok());
+  const ClientResponse prom2 = client.Request(
+      "GET", "/metrics?format=prometheus", "", true,
+      {{"accept", "application/json"}});
+  EXPECT_TRUE(obs::ValidatePrometheusText(prom2.body).ok());
+  EXPECT_NE(prom2.body.find("etude_predictions_total"), std::string::npos);
+}
+
+TEST_F(EtudeServeTest, PrometheusDefaultFormatIsConfigurable) {
+  EtudeServeConfig config;
+  config.default_metrics_format = MetricsFormat::kPrometheus;
+  EtudeServe serve(model_.get(), config);
+  ASSERT_TRUE(serve.Start().ok());
+  TestHttpClient client(serve.port());
+  const ClientResponse response = client.Request("GET", "/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_TRUE(obs::ValidatePrometheusText(response.body).ok());
+  // Per-request negotiation still wins over the default.
+  const ClientResponse json = client.Request(
+      "GET", "/metrics?format=json", "", true);
+  EXPECT_TRUE(ParseJson(json.body).ok());
+  serve.Stop();
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+TEST_F(EtudeServeTest, PredictionPathRecordsSpansWhenTraced) {
+  obs::Tracer::Get().Clear();
+  obs::Tracer::Get().Enable();
+  TestHttpClient client(serve_->port());
+  const ClientResponse response = client.Request(
+      "POST", "/predictions/gru4rec", "{\"session\": [5, 6]}");
+  obs::Tracer::Get().Disable();
+  ASSERT_EQ(response.status, 200);
+  const std::string trace_id = response.headers.at("x-trace-id");
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Get().Snapshot();
+  obs::Tracer::Get().Clear();
+  int parse = 0, inference = 0, serialize = 0, route = 0, ops = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.trace_id == trace_id) {
+      parse += event.name == "parse";
+      inference += event.name == "inference";
+      serialize += event.name == "serialize";
+      route += event.name == "/predictions/gru4rec";
+    }
+    ops += event.category == "op";
+  }
+  EXPECT_EQ(parse, 1);
+  EXPECT_EQ(inference, 1);
+  EXPECT_EQ(serialize, 1);
+  EXPECT_EQ(route, 1);
+  EXPECT_GT(ops, 0) << "tensor-engine op spans must appear in the trace";
+}
+#endif  // ETUDE_DISABLE_TRACING
 
 }  // namespace
 }  // namespace etude::serving

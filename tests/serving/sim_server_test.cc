@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "models/model_factory.h"
+#include "obs/trace.h"
 
 namespace etude::serving {
 namespace {
@@ -43,6 +46,42 @@ TEST(SimServerTest, AnswersSingleRequest) {
   EXPECT_GT(response.inference_us, 0);
   EXPECT_GE(response.server_time_us, response.inference_us);
   EXPECT_EQ(server.pending(), 0);
+}
+
+TEST(SimServerTest, TracesVirtualTimeSpansWhenEnabled) {
+  obs::Tracer::Get().Clear();
+  obs::Tracer::Get().Enable();
+  sim::Simulation sim;
+  auto model = MakeModel();
+  SimServerConfig config;
+  SimInferenceServer server(&sim, model.get(), config);
+  int completed = 0;
+  for (int64_t id = 0; id < 3; ++id) {
+    server.HandleRequest(MakeRequest(id),
+                         [&](const InferenceResponse& r) {
+                           EXPECT_TRUE(r.ok);
+                           ++completed;
+                         });
+  }
+  sim.Run();
+  obs::Tracer::Get().Disable();
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Get().Snapshot();
+  obs::Tracer::Get().Clear();
+  ASSERT_EQ(completed, 3);
+  std::map<std::string, int> by_name;
+  for (const obs::TraceEvent& event : events) {
+    EXPECT_EQ(event.pid, obs::kVirtualClockPid);
+    by_name[event.name] += 1;
+  }
+  // Per executed request: queue wait, the model span, framework overhead,
+  // and the cost-model phase decomposition (STAMP has no host syncs, so no
+  // host_sync span).
+  EXPECT_EQ(by_name["queue"], 3);
+  EXPECT_EQ(by_name["STAMP"], 3);
+  EXPECT_EQ(by_name["framework"], 3);
+  EXPECT_EQ(by_name["dispatch"], 3);
+  EXPECT_EQ(by_name["encode"], 3);
+  EXPECT_EQ(by_name["catalog_scan"], 3);
 }
 
 TEST(SimServerTest, CpuWorkersRunConcurrently) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the observability surface, run against an
+# existing build tree (default: build/):
+#
+#   tools/obs_smoke.sh [build-dir]
+#
+# Covers:
+#  - `etude profile` prints a per-op breakdown for eager and jit modes;
+#  - `--trace-out` emits Chrome trace-event JSON with the required keys;
+#  - misspelled CLI flags fail loudly;
+#  - `etude serve` answers /metrics in JSON by default and in parseable
+#    Prometheus text format under `Accept: text/plain`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+ETUDE="${BUILD_DIR}/src/tools/etude"
+[ -x "${ETUDE}" ] || { echo "FAIL: ${ETUDE} not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "${SERVE_PID}" ] && kill "${SERVE_PID}" 2>/dev/null || true
+  rm -rf "${TMP}"
+}
+trap cleanup EXIT
+
+echo "=== profile: per-op table (eager + jit) ==="
+"${ETUDE}" profile GRU4Rec --mode both --catalog 2000 --requests 8 \
+    > "${TMP}/profile.txt"
+grep -q "% of inference" "${TMP}/profile.txt"
+grep -q "GFLOP/s" "${TMP}/profile.txt"
+grep -q "(eager)" "${TMP}/profile.txt"
+grep -q "(jit)" "${TMP}/profile.txt"
+grep -q "Mips" "${TMP}/profile.txt"
+
+echo "=== profile: --trace-out writes Chrome trace JSON ==="
+"${ETUDE}" profile NARM --mode jit --catalog 1000 --requests 4 \
+    --trace-out "${TMP}/trace.json" > /dev/null 2>&1
+python3 - "${TMP}/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace must be a non-empty array"
+for event in events:
+    assert {"name", "ph", "ts", "pid", "tid"} <= set(event), event
+    assert event["ph"] in ("X", "M"), event
+assert any(e.get("cat") == "op" for e in events), "no op-level spans in trace"
+print(f"trace OK: {len(events)} events")
+EOF
+
+echo "=== CLI: unknown flags are errors ==="
+if "${ETUDE}" profile GRU4Rec --no-such-flag 1 2>/dev/null; then
+  echo "FAIL: unknown flag was silently accepted" >&2
+  exit 1
+fi
+
+echo "=== serve: /metrics content negotiation ==="
+PORT=$((20000 + RANDOM % 20000))
+"${ETUDE}" serve --model GRU4Rec --catalog 2000 --port "${PORT}" \
+    --seconds 30 > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  curl -fs "http://127.0.0.1:${PORT}/healthz" > /dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs -X POST "http://127.0.0.1:${PORT}/predictions/gru4rec" \
+    -d '{"session":[1,2,3]}' | grep -q '"items"'
+
+# Default: JSON (the format the load generator consumes).
+curl -fs "http://127.0.0.1:${PORT}/metrics" \
+    | python3 -c 'import json,sys; m = json.load(sys.stdin); \
+assert m["predictions_served"] == 1, m'
+
+# Accept: text/plain: Prometheus text exposition format. Validate every
+# line as a comment, a blank, or `name{labels} value`.
+curl -fs -H "Accept: text/plain" "http://127.0.0.1:${PORT}/metrics" \
+    > "${TMP}/metrics.prom"
+grep -q "^# TYPE etude_predictions_total counter$" "${TMP}/metrics.prom"
+grep -q "^# TYPE etude_inference_latency_us histogram$" "${TMP}/metrics.prom"
+grep -q "_bucket{le=\"+Inf\"}" "${TMP}/metrics.prom"
+if grep -Evq '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+|[+-]Inf|NaN|)$' \
+    "${TMP}/metrics.prom"; then
+  echo "FAIL: malformed Prometheus line:" >&2
+  grep -Ev '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+|[+-]Inf|NaN|)$' \
+      "${TMP}/metrics.prom" >&2
+  exit 1
+fi
+
+kill "${SERVE_PID}" 2>/dev/null || true
+SERVE_PID=""
+
+echo "observability smoke: all checks passed"
