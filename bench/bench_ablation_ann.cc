@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ann/ivf_index.h"
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -43,11 +44,13 @@ double MeasureUs(const std::function<void()>& fn, int repetitions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
+  etude::bench::BenchRun run =
+      etude::bench::BenchRun::CreateOrExit("bench_ablation_ann", argc, argv);
   constexpr int64_t kCatalog = 200000;
   constexpr int64_t kTopK = 21;
-  constexpr int kQueries = 12;
+  const int kQueries = run.quick() ? 4 : 12;
 
   std::printf(
       "=== Ablation: quantisation & ANN for the catalog scan (paper "
@@ -67,7 +70,7 @@ int main() {
 
   // Real session queries.
   auto sessions = etude::workload::SessionGenerator::Create(
-      kCatalog, etude::workload::WorkloadStats{}, 31);
+      kCatalog, etude::workload::WorkloadStats{}, run.seed_or(31));
   ETUDE_CHECK(sessions.ok());
   std::vector<etude::tensor::Tensor> queries;
   for (int q = 0; q < kQueries; ++q) {
@@ -104,8 +107,8 @@ int main() {
   const double fashion_base_ms =
       etude::sim::SerialInferenceUs(cpu, fashion_work) / 1000.0;
 
-  auto add_row = [&](const std::string& name, double latency_us,
-                     double recall, double fraction) {
+  auto add_row = [&](const std::string& name, const std::string& slug,
+                     double latency_us, double recall, double fraction) {
     etude::sim::InferenceWork scaled = fashion_work;
     scaled.scan_bytes *= fraction;
     scaled.scan_flops *= fraction;
@@ -115,6 +118,15 @@ int main() {
                   etude::FormatDouble(recall, 3),
                   etude::FormatDouble(fraction, 3),
                   etude::FormatDouble(projected_ms, 1)});
+    const etude::bench::Params params = {{"method", slug}};
+    run.reporter().AddValue("latency_per_query_ms", "ms", params,
+                            etude::bench::Direction::kLowerIsBetter,
+                            latency_us / 1000.0);
+    run.reporter().AddValue("recall_at_21", "fraction", params,
+                            etude::bench::Direction::kHigherIsBetter,
+                            recall);
+    run.reporter().AddValue("projected_fashion_p90_ms", "ms", params,
+                            etude::bench::Direction::kInfo, projected_ms);
   };
 
   // Exact fp32.
@@ -124,7 +136,8 @@ int main() {
       latency += MeasureUs(
           [&] { etude::tensor::Mips(items, query, kTopK); }, 3);
     }
-    add_row("exact fp32 (baseline)", latency / kQueries, 1.0, 1.0);
+    add_row("exact fp32 (baseline)", "exact_fp32", latency / kQueries, 1.0,
+            1.0);
   }
   // Int8 quantised full scan: bytes drop ~4x.
   {
@@ -139,7 +152,7 @@ int main() {
         static_cast<double>(quantized.ScanBytes()) /
         (static_cast<double>(kCatalog) *
          static_cast<double>(items.dim(1)) * 4.0);
-    add_row("int8 quantised scan", latency / kQueries,
+    add_row("int8 quantised scan", "int8", latency / kQueries,
             recall / kQueries, fraction);
   }
   // IVF with increasing probes.
@@ -152,8 +165,8 @@ int main() {
           [&] { ivf->Search(queries[q], kTopK, nprobe); }, 3);
     }
     add_row("IVF nlist=512 nprobe=" + std::to_string(nprobe),
-            latency / kQueries, recall / kQueries,
-            ivf->ExpectedScanFraction(nprobe));
+            "ivf_nprobe" + std::to_string(nprobe), latency / kQueries,
+            recall / kQueries, ivf->ExpectedScanFraction(nprobe));
   }
 
   std::printf("%s", table.ToText().c_str());
@@ -170,5 +183,5 @@ int main() {
       "worst case for IVF;\ntrained item embeddings cluster by "
       "category and reach far higher recall per probe.\n",
       fashion_base_ms);
-  return 0;
+  return run.Finish();
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/scenario.h"
@@ -25,6 +26,8 @@
 #include "workload/session_generator.h"
 
 namespace {
+
+uint64_t g_session_seed = 41;
 
 struct RunOutcome {
   double p90_ms = 0;
@@ -46,7 +49,7 @@ RunOutcome RunOnce(const etude::serving::SimServerConfig& server_config,
   etude::serving::SimInferenceServer server(&sim, model->get(),
                                             server_config);
   auto sessions = etude::workload::SessionGenerator::Create(
-      1000000, etude::workload::WorkloadStats{}, 41);
+      1000000, etude::workload::WorkloadStats{}, g_session_seed);
   ETUDE_CHECK(sessions.ok());
   etude::loadgen::LoadGeneratorConfig load_config;
   load_config.target_rps = target_rps;
@@ -64,8 +67,12 @@ RunOutcome RunOnce(const etude::serving::SimServerConfig& server_config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_ablation_batching", argc, argv);
+  g_session_seed = run.seed_or(41);
+  const int64_t duration_s = run.quick() ? 30 : 60;
 
   std::printf(
       "=== Ablation 1: GPU request batching (e-Commerce, 1x GPU-T4, "
@@ -89,12 +96,24 @@ int main() {
     config.batching.flush_interval_us = c.flush_us;
     config.batching.max_batch_size = c.max_batch;
     const RunOutcome outcome =
-        RunOnce(config, /*target_rps=*/400, /*duration_s=*/60, true);
+        RunOnce(config, /*target_rps=*/400, duration_s, true);
     batching.AddRow({etude::FormatDouble(c.flush_us / 1000.0, 1) + " ms",
                      std::to_string(c.max_batch),
                      etude::FormatDouble(outcome.p90_ms, 1),
                      etude::FormatDouble(outcome.achieved_rps, 0),
                      etude::FormatDouble(100 * outcome.error_rate, 2)});
+    const etude::bench::Params params = {
+        {"flush_us", std::to_string(c.flush_us)},
+        {"max_batch", std::to_string(c.max_batch)}};
+    run.reporter().AddValue("p90_ms", "ms", params,
+                            etude::bench::Direction::kLowerIsBetter,
+                            outcome.p90_ms);
+    run.reporter().AddValue("achieved_rps", "req/s", params,
+                            etude::bench::Direction::kHigherIsBetter,
+                            outcome.achieved_rps);
+    run.reporter().AddValue("error_pct", "%", params,
+                            etude::bench::Direction::kInfo,
+                            100 * outcome.error_rate);
   }
   std::printf("%s", batching.ToText().c_str());
   std::printf(
@@ -112,13 +131,24 @@ int main() {
     config.device = etude::sim::DeviceSpec::Cpu();
     config.max_queue_depth = 512;
     const RunOutcome outcome = RunOnce(config, /*target_rps=*/150,
-                                       /*duration_s=*/60, enabled,
+                                       duration_s, enabled,
                                        /*catalog_size=*/1000000);
     backpressure.AddRow(
         {enabled ? "backpressure-aware (Algorithm 2)" : "open loop",
          etude::FormatDouble(outcome.p90_ms, 1),
          etude::FormatDouble(outcome.achieved_rps, 0),
          etude::FormatDouble(100 * outcome.error_rate, 2)});
+    const etude::bench::Params params = {
+        {"loadgen", enabled ? "backpressure" : "open_loop"}};
+    run.reporter().AddValue("p90_ms", "ms", params,
+                            etude::bench::Direction::kLowerIsBetter,
+                            outcome.p90_ms);
+    run.reporter().AddValue("achieved_rps", "req/s", params,
+                            etude::bench::Direction::kHigherIsBetter,
+                            outcome.achieved_rps);
+    run.reporter().AddValue("error_pct", "%", params,
+                            etude::bench::Direction::kInfo,
+                            100 * outcome.error_rate);
   }
   std::printf("%s", backpressure.ToText().c_str());
   std::printf(
@@ -127,5 +157,5 @@ int main() {
       "throughput. The open-loop generator floods the\nqueue, which "
       "overflows and sheds load as HTTP 503s — exactly the failure mode "
       "the paper's\ndesign avoids.\n");
-  return 0;
+  return run.Finish();
 }

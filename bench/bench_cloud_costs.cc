@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "cluster/pricing.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -26,8 +27,10 @@ struct Winner {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
+  etude::bench::BenchRun run =
+      etude::bench::BenchRun::CreateOrExit("bench_cloud_costs", argc, argv);
   using etude::cluster::CloudProvider;
   using etude::sim::DeviceKind;
 
@@ -62,6 +65,12 @@ int main() {
       std::string cell = "$";
       cell += etude::FormatDouble(*cost, 0);
       row.push_back(std::move(cell));
+      run.reporter().AddValue(
+          "monthly_cost_usd", "usd",
+          {{"deployment", winner.scenario},
+           {"provider",
+            std::string(CloudProviderToString(provider))}},
+          etude::bench::Direction::kInfo, *cost);
     }
     table.AddRow(std::move(row));
   }
@@ -82,5 +91,5 @@ int main() {
   std::printf(
       "\nthe paper's conclusion — scale out with cheap T4s rather than up "
       "with A100s — holds on\nall three clouds at list prices.\n");
-  return 0;
+  return run.Finish();
 }

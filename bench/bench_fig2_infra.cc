@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "loadgen/load_generator.h"
@@ -91,9 +92,9 @@ void PrintTimeline(const char* label, const LoadResult& result) {
 
 int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
-  const int64_t duration_s = (argc > 1 && std::string(argv[1]) == "--quick")
-                                 ? 120
-                                 : 600;
+  etude::bench::BenchRun run =
+      etude::bench::BenchRun::CreateOrExit("bench_fig2_infra", argc, argv);
+  const int64_t duration_s = run.quick() ? 120 : 600;
 
   std::printf(
       "=== Figure 2: infrastructure test (1,000 req/s of empty requests, "
@@ -141,5 +142,25 @@ int main(int argc, char** argv) {
       "\npaper: TorchServe throws many HTTP errors and serves survivors at "
       "100-200 ms p90;\n       the ETUDE server sustains 1,000 req/s at "
       "~1 ms p90 with zero errors.\n");
-  return 0;
+
+  const auto record = [&run](const std::string& server,
+                             const InfraRunResult& r) {
+    const int64_t answered = r.load.total_ok + r.load.total_errors;
+    const double err_pct =
+        answered > 0 ? 100.0 * static_cast<double>(r.load.total_errors) /
+                           static_cast<double>(answered)
+                     : 0.0;
+    const etude::bench::Params params = {{"server", server}};
+    run.reporter().AddValue("error_pct", "%", params,
+                            etude::bench::Direction::kInfo, err_pct);
+    run.reporter().AddValue("survivor_p90_ms", "ms", params,
+                            etude::bench::Direction::kLowerIsBetter,
+                            r.survivor_p90_ms);
+    run.reporter().AddValue("steady_p90_ms", "ms", params,
+                            etude::bench::Direction::kLowerIsBetter,
+                            r.load.steady_p90_ms);
+  };
+  record("torchserve", ts);
+  record("etude", es);
+  return run.Finish();
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -41,6 +42,8 @@ using etude::sim::DeviceSpec;
 
 constexpr int kSamples = 200;
 
+uint64_t g_session_seed = 17;
+
 /// p90 of the simulated serial prediction latency (ms) over kSamples
 /// requests with realistic session lengths. Deterministic: the same
 /// session-length sample and jitter stream are used for every
@@ -48,7 +51,7 @@ constexpr int kSamples = 200;
 double SerialP90Ms(const etude::models::SessionModel& model,
                    const DeviceSpec& device, ExecutionMode mode) {
   auto sessions = etude::workload::SessionGenerator::Create(
-      10000, etude::workload::WorkloadStats{}, /*seed=*/17);
+      10000, etude::workload::WorkloadStats{}, g_session_seed);
   ETUDE_CHECK(sessions.ok()) << sessions.status().ToString();
   etude::Rng rng(99);
   LatencyHistogram histogram;
@@ -88,7 +91,14 @@ double MeasuredP90Ms(const etude::models::SessionModel& model,
 
 int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
-  const bool measured = argc > 1 && std::string(argv[1]) == "--measured";
+  etude::bench::BenchRun::Options options;
+  options.extra_flags = {
+      {"measured", false,
+       "also time the real CPU forward pass on the tensor engine"}};
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_fig3_micro", argc, argv, std::move(options));
+  const bool measured = run.GetBool("measured");
+  g_session_seed = run.seed_or(17);
 
   const std::vector<int64_t> catalog_sizes = {10000, 100000, 1000000,
                                               10000000};
@@ -121,8 +131,16 @@ int main(int argc, char** argv) {
           config.materialize_embeddings = false;
           auto model = etude::models::CreateModel(kind, config);
           ETUDE_CHECK(model.ok()) << model.status().ToString();
-          row.push_back(
-              etude::FormatDouble(SerialP90Ms(**model, device, mode), 3));
+          const double p90_ms = SerialP90Ms(**model, device, mode);
+          row.push_back(etude::FormatDouble(p90_ms, 3));
+          run.reporter().AddValue(
+              "serial_p90_ms", "ms",
+              {{"model",
+                std::string(etude::models::ModelKindToString(kind))},
+               {"device", device.name},
+               {"exec", mode == ExecutionMode::kJit ? "jit" : "eager"},
+               {"catalog", etude::FormatCompact(c)}},
+              etude::bench::Direction::kLowerIsBetter, p90_ms);
         }
         table.AddRow(row);
       }
@@ -174,6 +192,16 @@ int main(int argc, char** argv) {
   std::printf("JIT never hurts: %s (paper: always beneficial)\n",
               jit_never_hurts ? "yes" : "NO");
 
+  run.reporter().AddValue("cpu_wins_at_10k", "models", {},
+                          etude::bench::Direction::kInfo, cpu_wins_at_10k);
+  run.reporter().AddValue("gpu_speedup_1m_min", "x", {},
+                          etude::bench::Direction::kInfo, min_ratio_1m);
+  run.reporter().AddValue("gpu_speedup_1m_max", "x", {},
+                          etude::bench::Direction::kInfo, max_ratio_1m);
+  run.reporter().AddValue("jit_never_hurts", "bool", {},
+                          etude::bench::Direction::kInfo,
+                          jit_never_hurts ? 1.0 : 0.0);
+
   if (measured) {
     std::printf(
         "\n-- Measured CPU forward passes (real tensor-engine inference) "
@@ -188,14 +216,19 @@ int main(int argc, char** argv) {
         auto model = etude::models::CreateModel(kind, config);
         ETUDE_CHECK(model.ok());
         auto sessions = etude::workload::SessionGenerator::Create(
-            c, etude::workload::WorkloadStats{}, 17);
+            c, etude::workload::WorkloadStats{}, g_session_seed);
         ETUDE_CHECK(sessions.ok());
-        row.push_back(etude::FormatDouble(
-            MeasuredP90Ms(**model, &sessions.value(), 30), 3));
+        const double p90_ms = MeasuredP90Ms(**model, &sessions.value(), 30);
+        row.push_back(etude::FormatDouble(p90_ms, 3));
+        run.reporter().AddValue(
+            "measured_p90_ms", "ms",
+            {{"model", std::string(etude::models::ModelKindToString(kind))},
+             {"catalog", etude::FormatCompact(c)}},
+            etude::bench::Direction::kLowerIsBetter, p90_ms);
       }
       mtable.AddRow(row);
     }
     std::printf("%s", mtable.ToText().c_str());
   }
-  return 0;
+  return run.Finish();
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/benchmark.h"
@@ -40,7 +41,8 @@ struct Panel {
   int replicas;
 };
 
-void RunPanel(const Panel& panel, int64_t duration_s) {
+void RunPanel(const Panel& panel, int64_t duration_s,
+              etude::bench::BenchReporter* reporter) {
   const std::vector<Scenario> scenarios = etude::core::PaperScenarios();
   const Scenario& scenario = scenarios[panel.scenario_index];
   auto device = DeviceSpec::FromName(panel.device);
@@ -71,6 +73,18 @@ void RunPanel(const Panel& panel, int64_t duration_s) {
     auto report = etude::core::RunDeployedBenchmark(spec);
     ETUDE_CHECK(report.ok()) << report.status().ToString();
 
+    const etude::bench::Params params = {
+        {"scenario", scenario.name},
+        {"device", panel.device},
+        {"replicas", std::to_string(panel.replicas)},
+        {"model", std::string(etude::models::ModelKindToString(model))}};
+    reporter->AddValue("steady_rps", "req/s", params,
+                       etude::bench::Direction::kHigherIsBetter,
+                       report->load.steady_achieved_rps);
+    reporter->AddValue("steady_p90_ms", "ms", params,
+                       etude::bench::Direction::kLowerIsBetter,
+                       report->load.steady_p90_ms);
+
     std::vector<std::string> rps_row = {
         std::string(etude::models::ModelKindToString(model)), "req/s"};
     std::vector<std::string> p90_row = {"", "p90[ms]"};
@@ -100,8 +114,13 @@ void RunPanel(const Panel& panel, int64_t duration_s) {
 
 int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
-  const bool full = argc > 1 && std::string(argv[1]) == "--full";
-  const int64_t duration_s = full ? 600 : 180;
+  etude::bench::BenchRun::Options options;
+  options.extra_flags = {
+      {"full", false, "use the paper's full 600 s ramps (default: 180 s)"}};
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_fig4_e2e", argc, argv, std::move(options));
+  const int64_t duration_s =
+      run.GetBool("full") ? 600 : (run.quick() ? 60 : 180);
 
   std::printf(
       "=== Figure 4: end-to-end latency/throughput per scenario and "
@@ -117,12 +136,12 @@ int main(int argc, char** argv) {
       {4, "gpu-a100", 3},  // Platform on 3x GPU-A100
   };
   for (const Panel& panel : panels) {
-    RunPanel(panel, duration_s);
+    RunPanel(panel, duration_s, &run.reporter());
   }
 
   std::printf(
       "\npaper shapes: at 1M items CPUs only sustain SASRec/STAMP; the T4 "
       "handles 1M easily; 10M+ items\nneed GPU fleets, and CORE/SASRec "
       "cannot hold 1,000 req/s at 20M items even on 3x A100.\n");
-  return 0;
+  return run.Finish();
 }

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "bench/gbench_adapter.h"
 #include "common/rng.h"
 #include "models/model_factory.h"
 #include "tensor/init.h"
@@ -75,4 +76,10 @@ BENCHMARK(BM_ModelForward)->DenseRange(0, 9, 1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  etude::bench::BenchRun::Options options;
+  options.gbench_passthrough = true;
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_model_ops", argc, argv, std::move(options));
+  return etude::bench::RunGoogleBenchmarks(run, argv[0]);
+}

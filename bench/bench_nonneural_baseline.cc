@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/scenario.h"
@@ -78,8 +79,10 @@ class VmisService : public etude::serving::InferenceService {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_nonneural_baseline", argc, argv);
   const etude::core::Scenario platform =
       etude::core::PaperScenarios()[4];  // 20M items, 1,000 req/s
 
@@ -93,9 +96,10 @@ int main() {
   // space (the index only ever touches clicked items — a 20M catalog in
   // which ~1M items receive traffic is exactly the Serenade situation).
   auto history_gen = etude::workload::SessionGenerator::Create(
-      1000000, etude::workload::WorkloadStats{}, 71);
+      1000000, etude::workload::WorkloadStats{}, run.seed_or(71));
   ETUDE_CHECK(history_gen.ok());
-  const auto history = history_gen->GenerateSessions(400000);
+  const auto history =
+      history_gen->GenerateSessions(run.quick() ? 100000 : 400000);
   etude::models::VmisKnnConfig knn_config;
   knn_config.catalog_size = platform.catalog_size;
   auto knn = etude::models::VmisKnn::Fit(history, knn_config);
@@ -107,7 +111,7 @@ int main() {
   auto probe_gen = etude::workload::SessionGenerator::Create(
       1000000, etude::workload::WorkloadStats{}, 72);
   double real_us = 0;
-  constexpr int kProbes = 200;
+  const int kProbes = run.quick() ? 50 : 200;
   for (int i = 0; i < kProbes; ++i) {
     const auto session = probe_gen->NextSession();
     const auto start = std::chrono::steady_clock::now();
@@ -131,8 +135,8 @@ int main() {
   ETUDE_CHECK(sessions.ok());
   etude::loadgen::LoadGeneratorConfig load_config;
   load_config.target_rps = platform.target_rps;
-  load_config.duration_s = 120;
-  load_config.ramp_s = 60;
+  load_config.duration_s = run.quick() ? 60 : 120;
+  load_config.ramp_s = load_config.duration_s / 2;
   etude::loadgen::LoadGenerator generator(&sim, &service, &sessions.value(),
                                           load_config);
   generator.Start();
@@ -157,5 +161,20 @@ int main() {
       "\nthe non-neural baseline serves the 20M-item platform workload "
       "~56x cheaper — the paper's\nclosing argument for custom models on "
       "high-cardinality catalogs, reproduced end to end.\n");
-  return 0;
+
+  const etude::bench::Params params = {{"approach", "vmis_knn"}};
+  run.reporter().AddValue("real_inference_us", "us", params,
+                          etude::bench::Direction::kLowerIsBetter,
+                          real_us / kProbes);
+  run.reporter().AddValue("steady_p90_ms", "ms", params,
+                          etude::bench::Direction::kLowerIsBetter,
+                          result.steady_p90_ms);
+  run.reporter().AddValue("steady_rps", "req/s", params,
+                          etude::bench::Direction::kHigherIsBetter,
+                          result.steady_achieved_rps);
+  run.reporter().AddValue(
+      "meets_slo", "bool", params, etude::bench::Direction::kHigherIsBetter,
+      result.MeetsSlo(platform.target_rps, platform.p90_limit_ms) ? 1.0
+                                                                  : 0.0);
+  return run.Finish();
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "loadgen/load_generator.h"
@@ -72,10 +73,12 @@ etude::metrics::LatencyHistogram Replay(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_synth_validation", argc, argv);
   constexpr int64_t kCatalog = 100000;
-  constexpr int64_t kClicks = 60000;
+  const int64_t kClicks = run.quick() ? 15000 : 60000;
 
   std::printf(
       "=== Synthetic-workload validation (paper Sec. III-A) ===\n\n");
@@ -83,8 +86,8 @@ int main() {
   // 1. The "real" click log.
   etude::workload::ClickLogModelConfig log_config;
   log_config.catalog_size = kCatalog;
-  auto real_model = etude::workload::RealClickLogModel::Create(log_config,
-                                                               2024);
+  auto real_model = etude::workload::RealClickLogModel::Create(
+      log_config, run.seed_or(2024));
   ETUDE_CHECK(real_model.ok());
   const std::vector<Session> real_log = real_model->Generate(kClicks);
 
@@ -156,5 +159,16 @@ int main() {
       "\np90 relative gap between real and synthetic replay: %.1f%% "
       "(paper: 'latencies resemble each other closely')\n",
       100.0 * p90_gap);
-  return 0;
+
+  run.reporter().AddSummary("replay_latency_us", "us",
+                            {{"workload", "real"}},
+                            etude::bench::Direction::kLowerIsBetter,
+                            real_latency.Summarize());
+  run.reporter().AddSummary("replay_latency_us", "us",
+                            {{"workload", "synthetic"}},
+                            etude::bench::Direction::kLowerIsBetter,
+                            synth_latency.Summarize());
+  run.reporter().AddValue("p90_gap_pct", "%", {},
+                          etude::bench::Direction::kInfo, 100.0 * p90_gap);
+  return run.Finish();
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/cost_planner.h"
@@ -43,7 +44,9 @@ std::vector<DeviceSpec> AllInstanceTypes() {
 
 int main(int argc, char** argv) {
   etude::SetLogLevel(etude::LogLevel::kWarning);
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  etude::bench::BenchRun run =
+      etude::bench::BenchRun::CreateOrExit("bench_table1_cost", argc, argv);
+  const bool quick = run.quick();
 
   PlannerOptions options;
   options.duration_s = quick ? 40 : 90;
@@ -91,10 +94,23 @@ int main(int argc, char** argv) {
           std::to_string(amount),
           "$" + etude::FormatDouble(
                     amount * device.monthly_cost_usd, 0)};
+      int models_passing = 0;
       for (const ModelPlan& plan : plans) {
-        row.push_back(plan.options[device_index].feasible() ? "yes" : "");
+        const bool feasible = plan.options[device_index].feasible();
+        if (feasible) ++models_passing;
+        row.push_back(feasible ? "yes" : "");
       }
       table.AddRow(row);
+      const etude::bench::Params params = {
+          {"scenario", scenario.name},
+          {"instance",
+           std::string(etude::sim::DeviceKindToString(device.kind))}};
+      run.reporter().AddValue("monthly_cost_usd", "usd", params,
+                              etude::bench::Direction::kInfo,
+                              amount * device.monthly_cost_usd);
+      run.reporter().AddValue("models_passing", "models", params,
+                              etude::bench::Direction::kHigherIsBetter,
+                              models_passing);
     }
   }
   std::printf("%s", table.ToText().c_str());
@@ -145,5 +161,5 @@ int main(int argc, char** argv) {
       "for SASRec & STAMP only; e-Commerce -> 5x T4 ($1,343) or 2x A100\n"
       "($4,017); Platform -> 3x A100 ($6,026) for GRU4Rec, NARM, SINE, "
       "STAMP (CORE and SASRec fail).\n");
-  return 0;
+  return run.Finish();
 }

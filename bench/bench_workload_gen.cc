@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "bench/gbench_adapter.h"
 #include "common/rng.h"
 #include "workload/empirical_distribution.h"
 #include "workload/power_law.h"
@@ -78,4 +79,10 @@ BENCHMARK(BM_GenerateClicks)->Arg(10000)->Arg(1000000)->Arg(10000000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  etude::bench::BenchRun::Options options;
+  options.gbench_passthrough = true;
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_workload_gen", argc, argv, std::move(options));
+  return etude::bench::RunGoogleBenchmarks(run, argv[0]);
+}

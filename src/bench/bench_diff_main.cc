@@ -1,0 +1,14 @@
+// bench_diff — compares two BENCH JSON files (per-binary --json-out
+// output or merged tools/run_bench.sh suites) and exits non-zero when a
+// gated series regresses beyond the threshold. Shared logic with
+// `etude bench-diff` lives in bench/diff.cc.
+
+#include <string>
+#include <vector>
+
+#include "bench/diff.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return etude::bench::DiffMain(args);
+}

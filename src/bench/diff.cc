@@ -1,0 +1,287 @@
+#include "bench/diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "metrics/report.h"
+
+namespace etude::bench {
+
+namespace {
+
+/// The statistics a summary series can be compared on.
+const char* const kKnownStats[] = {"p50", "p90", "p99",
+                                   "mean", "min", "max"};
+
+bool IsKnownStat(const std::string& stat) {
+  for (const char* known : kKnownStats) {
+    if (stat == known) return true;
+  }
+  return false;
+}
+
+/// Identity of one series across files: binary, name and labels.
+std::string SeriesKey(const JsonValue& doc, const JsonValue& series) {
+  // Merged suite files tag each series with its binary; per-binary files
+  // carry it once at the top level.
+  std::string binary = series.GetStringOr("binary", "");
+  if (binary.empty()) binary = doc.GetStringOr("binary", "");
+  std::string key = binary + "/" + series.GetStringOr("name", "?");
+  const JsonValue& params = series.Get("params");
+  if (params.is_object() && !params.members().empty()) {
+    std::vector<std::string> labels;
+    for (const auto& [name, value] : params.members()) {
+      labels.push_back(name + "=" +
+                       (value.is_string()
+                            ? value.as_string()
+                            : FormatDouble(value.as_number(), 6)));
+    }
+    key += '{';
+    key += Join(labels, ",");
+    key += '}';
+  }
+  return key;
+}
+
+/// Extracts the compared statistic from one series.
+Result<double> SeriesStat(const JsonValue& series, const std::string& stat) {
+  if (series.Contains("value")) return series.Get("value").as_number();
+  const JsonValue& summary = series.Get("summary");
+  if (!summary.is_object() || !summary.Contains(stat)) {
+    return Status::InvalidArgument("series '" +
+                                   series.GetStringOr("name", "?") +
+                                   "' has neither a value nor a summary." +
+                                   stat);
+  }
+  return summary.Get(stat).as_number();
+}
+
+struct IndexedSeries {
+  const JsonValue* series = nullptr;
+};
+
+Result<std::map<std::string, IndexedSeries>> IndexDoc(const JsonValue& doc) {
+  std::map<std::string, IndexedSeries> index;
+  const JsonValue& series_list = doc.Get("series");
+  if (!series_list.is_array()) {
+    return Status::InvalidArgument("BENCH document has no series array");
+  }
+  for (const JsonValue& series : series_list.items()) {
+    const std::string key = SeriesKey(doc, series);
+    if (index.count(key) > 0) {
+      return Status::InvalidArgument("duplicate series key: " + key);
+    }
+    index[key].series = &series;
+  }
+  return index;
+}
+
+double DeltaPct(double base, double cand) {
+  if (base == 0.0) return cand == 0.0 ? 0.0 : (cand > 0.0 ? 100.0 : -100.0);
+  return 100.0 * (cand - base) / std::fabs(base);
+}
+
+std::string VerdictToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kUnchanged:
+      return "ok";
+    case Verdict::kImproved:
+      return "improved";
+    case Verdict::kRegressed:
+      return "REGRESSED";
+    case Verdict::kNew:
+      return "new";
+    case Verdict::kMissing:
+      return "missing";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<JsonValue> LoadBenchJson(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot read " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  ETUDE_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text.str()));
+  if (!doc.is_object() || doc.GetIntOr("schema_version", -1) != 1) {
+    return Status::InvalidArgument(
+        path + " is not a schema_version-1 BENCH file");
+  }
+  return doc;
+}
+
+Result<DiffReport> DiffBenchJson(const JsonValue& baseline,
+                                 const JsonValue& candidate,
+                                 const DiffOptions& options) {
+  if (!IsKnownStat(options.stat)) {
+    return Status::InvalidArgument(
+        "unknown stat '" + options.stat +
+        "'; expected one of p50, p90, p99, mean, min, max");
+  }
+  ETUDE_ASSIGN_OR_RETURN(auto base_index, IndexDoc(baseline));
+  ETUDE_ASSIGN_OR_RETURN(auto cand_index, IndexDoc(candidate));
+
+  DiffReport report;
+  report.stat = options.stat;
+  report.threshold_pct = options.threshold_pct;
+
+  for (const auto& [key, base_entry] : base_index) {
+    DiffRow row;
+    row.key = key;
+    row.unit = base_entry.series->GetStringOr("unit", "");
+    row.direction = base_entry.series->GetStringOr("direction", "none");
+    ETUDE_ASSIGN_OR_RETURN(row.base,
+                           SeriesStat(*base_entry.series, options.stat));
+    const auto cand_it = cand_index.find(key);
+    if (cand_it == cand_index.end()) {
+      row.verdict = Verdict::kMissing;
+      report.missing += 1;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    ETUDE_ASSIGN_OR_RETURN(row.cand,
+                           SeriesStat(*cand_it->second.series, options.stat));
+    row.delta_pct = DeltaPct(row.base, row.cand);
+    // A series regresses when it moves against its direction by strictly
+    // more than the threshold; "none" series never gate.
+    if (row.direction == "down") {
+      if (row.delta_pct > options.threshold_pct) {
+        row.verdict = Verdict::kRegressed;
+      } else if (row.delta_pct < -options.threshold_pct) {
+        row.verdict = Verdict::kImproved;
+      }
+    } else if (row.direction == "up") {
+      if (row.delta_pct < -options.threshold_pct) {
+        row.verdict = Verdict::kRegressed;
+      } else if (row.delta_pct > options.threshold_pct) {
+        row.verdict = Verdict::kImproved;
+      }
+    }
+    switch (row.verdict) {
+      case Verdict::kRegressed:
+        report.regressed += 1;
+        break;
+      case Verdict::kImproved:
+        report.improved += 1;
+        break;
+      default:
+        report.unchanged += 1;
+        break;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, cand_entry] : cand_index) {
+    if (base_index.count(key) > 0) continue;
+    DiffRow row;
+    row.key = key;
+    row.unit = cand_entry.series->GetStringOr("unit", "");
+    row.direction = cand_entry.series->GetStringOr("direction", "none");
+    ETUDE_ASSIGN_OR_RETURN(row.cand,
+                           SeriesStat(*cand_entry.series, options.stat));
+    row.verdict = Verdict::kNew;
+    report.added += 1;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string DiffReport::ToText(bool show_all) const {
+  metrics::Table table(
+      {"series", "unit", "base", "candidate", "delta", "verdict"});
+  for (const DiffRow& row : rows) {
+    if (!show_all && row.verdict == Verdict::kUnchanged) continue;
+    const bool compared = row.verdict != Verdict::kNew &&
+                          row.verdict != Verdict::kMissing;
+    std::string delta = "-";
+    if (compared) {
+      delta = FormatDouble(row.delta_pct, 1);
+      if (row.delta_pct >= 0) delta.insert(0, 1, '+');
+      delta += '%';
+    }
+    table.AddRow(
+        {row.key, row.unit,
+         row.verdict == Verdict::kNew ? "-" : FormatDouble(row.base, 3),
+         row.verdict == Verdict::kMissing ? "-"
+                                          : FormatDouble(row.cand, 3),
+         delta, VerdictToString(row.verdict)});
+  }
+  std::string out;
+  if (table.num_rows() > 0) out += table.ToText();
+  out += std::to_string(rows.size()) + " series compared on " + stat + ": " +
+         std::to_string(regressed) + " regressed, " +
+         std::to_string(improved) + " improved, " +
+         std::to_string(unchanged) + " within " +
+         FormatDouble(threshold_pct, 1) + "%, " + std::to_string(added) +
+         " new, " + std::to_string(missing) + " missing\n";
+  return out;
+}
+
+int DiffMain(const std::vector<std::string>& args) {
+  const std::string usage =
+      "usage: bench_diff BASELINE.json CANDIDATE.json [--threshold PCT] "
+      "[--stat p50|p90|p99|mean|min|max] [--fail-on-missing] [--all]\n";
+  DiffOptions options;
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--threshold" || arg == "--stat") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "flag %s requires a value\n%s", arg.c_str(),
+                     usage.c_str());
+        return 2;
+      }
+      const std::string value = args[++i];
+      if (arg == "--threshold") {
+        options.threshold_pct = std::atof(value.c_str());
+      } else {
+        options.stat = value;
+      }
+    } else if (arg == "--fail-on-missing") {
+      options.fail_on_missing = true;
+    } else if (arg == "--all") {
+      options.show_all = true;
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr,
+                   "unknown flag %s; allowed flags: --threshold, --stat, "
+                   "--fail-on-missing, --all\n%s",
+                   arg.c_str(), usage.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "%s", usage.c_str());
+    return 2;
+  }
+
+  Result<JsonValue> baseline = LoadBenchJson(positional[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  Result<JsonValue> candidate = LoadBenchJson(positional[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "%s\n", candidate.status().ToString().c_str());
+    return 1;
+  }
+  Result<DiffReport> report = DiffBenchJson(*baseline, *candidate, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->ToText(options.show_all).c_str());
+  if (report->has_regression()) return 3;
+  if (options.fail_on_missing && report->missing > 0) return 3;
+  return 0;
+}
+
+}  // namespace etude::bench

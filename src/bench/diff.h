@@ -1,0 +1,75 @@
+#ifndef ETUDE_BENCH_DIFF_H_
+#define ETUDE_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace etude::bench {
+
+/// Controls what counts as a regression when diffing two BENCH files.
+struct DiffOptions {
+  /// A gated series regresses when it moves against its direction by
+  /// strictly more than this percentage.
+  double threshold_pct = 10.0;
+  /// Statistic compared for summary series ("p50", "p90", "p99", "mean",
+  /// "min", "max"). Single-valued series always compare their value.
+  std::string stat = "p50";
+  /// Treat series present in the baseline but missing from the candidate
+  /// as failures (they normally only warn — a bench rename is routine).
+  bool fail_on_missing = false;
+  /// Also list unchanged series in the report text.
+  bool show_all = false;
+};
+
+enum class Verdict { kUnchanged, kImproved, kRegressed, kNew, kMissing };
+
+/// One compared series. `key` is "<binary>/<name>{k=v,...}".
+struct DiffRow {
+  std::string key;
+  std::string unit;
+  std::string direction;  // "down", "up" or "none"
+  double base = 0.0;
+  double cand = 0.0;
+  double delta_pct = 0.0;
+  Verdict verdict = Verdict::kUnchanged;
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;  // sorted by key
+  std::string stat;
+  double threshold_pct = 0.0;
+  int regressed = 0;
+  int improved = 0;
+  int unchanged = 0;
+  int added = 0;
+  int missing = 0;
+
+  bool has_regression() const { return regressed > 0; }
+
+  /// Renders the verdict table plus a one-line summary.
+  std::string ToText(bool show_all) const;
+};
+
+/// Reads and parses a BENCH JSON file, rejecting documents whose
+/// schema_version is not 1.
+Result<JsonValue> LoadBenchJson(const std::string& path);
+
+/// Diffs two BENCH documents (either per-binary files from --json-out or
+/// merged suite files from tools/run_bench.sh).
+Result<DiffReport> DiffBenchJson(const JsonValue& baseline,
+                                 const JsonValue& candidate,
+                                 const DiffOptions& options);
+
+/// Command-line entry shared by the bench_diff binary and
+/// `etude bench-diff`: args are `baseline.json candidate.json` plus
+/// --threshold PCT, --stat NAME, --fail-on-missing, --all.
+/// Exit codes: 0 no regression, 1 load/parse error, 2 usage error,
+/// 3 regression beyond threshold.
+int DiffMain(const std::vector<std::string>& args);
+
+}  // namespace etude::bench
+
+#endif  // ETUDE_BENCH_DIFF_H_

@@ -1,0 +1,117 @@
+#include "bench/flags.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace etude::bench {
+
+std::vector<FlagSpec> StandardFlagSpecs() {
+  return {
+      {"json-out", true, "write measured series as BENCH JSON to this path"},
+      {"quick", false, "reduced iteration counts for CI smoke runs"},
+      {"seed", true, "override the binary's default RNG seed"},
+      {"date", true, "ISO date recorded in the JSON env block"},
+      {"git-sha", true, "git revision recorded in the JSON env block"},
+      {"help", false, "print this usage text"},
+  };
+}
+
+namespace {
+
+const FlagSpec* FindSpec(const std::vector<FlagSpec>& specs,
+                         const std::string& name) {
+  for (const FlagSpec& spec : specs) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string AllowedList(const std::vector<FlagSpec>& specs) {
+  std::vector<std::string> names;
+  names.reserve(specs.size());
+  for (const FlagSpec& spec : specs) names.push_back(spec.name);
+  return "--" + Join(names, ", --");
+}
+
+}  // namespace
+
+Result<Flags> Flags::Parse(int argc, char** argv,
+                           const std::vector<FlagSpec>& specs,
+                           bool benchmark_passthrough) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (benchmark_passthrough && StartsWith(arg, "--benchmark_")) {
+      flags.passthrough_.push_back(arg);
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected argument '" + arg +
+                                     "'; allowed flags: " +
+                                     AllowedList(specs));
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    const size_t equals = name.find('=');
+    if (equals != std::string::npos) {
+      value = name.substr(equals + 1);
+      name = name.substr(0, equals);
+      has_inline_value = true;
+    }
+    const FlagSpec* spec = FindSpec(specs, name);
+    if (spec == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name +
+                                     "; allowed flags: " +
+                                     AllowedList(specs));
+    }
+    if (!spec->takes_value) {
+      if (has_inline_value) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " does not take a value");
+      }
+      flags.values_[name] = "";
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " requires a value");
+      }
+      value = argv[++i];
+    }
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end()
+             ? fallback
+             : static_cast<int64_t>(std::atoll(it->second.c_str()));
+}
+
+std::string Flags::Usage(const std::string& binary,
+                         const std::vector<FlagSpec>& specs) {
+  std::string out = "usage: " + binary + " [flags]\n";
+  for (const FlagSpec& spec : specs) {
+    out += "  --" + spec.name + (spec.takes_value ? " VALUE" : "");
+    out += "\n      " + spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace etude::bench

@@ -1,0 +1,58 @@
+#ifndef ETUDE_BENCH_FLAGS_H_
+#define ETUDE_BENCH_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace etude::bench {
+
+/// Declares one flag a bench binary accepts. Boolean flags
+/// (takes_value == false) are set by presence alone; value flags accept
+/// both `--name value` and `--name=value`.
+struct FlagSpec {
+  std::string name;        // without the leading "--"
+  bool takes_value = true;
+  std::string help;
+};
+
+/// The flags every harnessed bench binary understands, before any
+/// binary-specific extras.
+std::vector<FlagSpec> StandardFlagSpecs();
+
+/// Strict command-line parser for bench binaries: an unknown flag or a
+/// missing value is an error that names the full allowed set, so a
+/// misspelled flag can never silently run the wrong experiment.
+class Flags {
+ public:
+  /// Parses argv[1..). When `benchmark_passthrough` is true, arguments
+  /// starting with "--benchmark_" are collected verbatim instead of
+  /// rejected (google-benchmark binaries forward them to the library).
+  static Result<Flags> Parse(int argc, char** argv,
+                             const std::vector<FlagSpec>& specs,
+                             bool benchmark_passthrough = false);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  bool GetBool(const std::string& name) const { return Has(name); }
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Raw --benchmark_* arguments, in order, for benchmark::Initialize.
+  const std::vector<std::string>& passthrough() const { return passthrough_; }
+
+  /// Renders a usage string listing every flag with its help text.
+  static std::string Usage(const std::string& binary,
+                           const std::vector<FlagSpec>& specs);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> passthrough_;
+};
+
+}  // namespace etude::bench
+
+#endif  // ETUDE_BENCH_FLAGS_H_

@@ -1,0 +1,42 @@
+#include "bench/gbench_adapter.h"
+
+#include <cstdio>
+
+namespace etude::bench {
+
+void GBenchReporter::ReportRuns(const std::vector<Run>& reports) {
+  for (const Run& run : reports) {
+    // Aggregates (mean/median/stddev under --benchmark_repetitions) would
+    // duplicate the iteration runs under slightly different names.
+    if (run.run_type != Run::RT_Aggregate && !run.error_occurred) {
+      reporter_->AddValue(run.benchmark_name(),
+                          benchmark::GetTimeUnitString(run.time_unit), {},
+                          Direction::kLowerIsBetter,
+                          run.GetAdjustedRealTime());
+      for (const auto& [name, counter] : run.counters) {
+        const bool is_rate = (static_cast<int>(counter.flags) &
+                              static_cast<int>(benchmark::Counter::kIsRate)) != 0;
+        reporter_->AddValue(
+            run.benchmark_name() + "/" + name, is_rate ? "per_s" : "",
+            {}, is_rate ? Direction::kHigherIsBetter : Direction::kInfo,
+            static_cast<double>(counter.value));
+      }
+    }
+  }
+  ConsoleReporter::ReportRuns(reports);
+}
+
+int RunGoogleBenchmarks(BenchRun& run, const std::string& argv0) {
+  std::vector<std::string> args = run.GBenchArgv(argv0);
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+  GBenchReporter reporter(&run.reporter());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return run.Finish();
+}
+
+}  // namespace etude::bench

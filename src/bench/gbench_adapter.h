@@ -1,0 +1,36 @@
+#ifndef ETUDE_BENCH_GBENCH_ADAPTER_H_
+#define ETUDE_BENCH_GBENCH_ADAPTER_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/reporter.h"
+
+namespace etude::bench {
+
+/// Console reporter that additionally records every google-benchmark run
+/// into a BenchReporter: the per-iteration adjusted real time as a
+/// lower-is-better series named after the benchmark, and each rate
+/// counter (items/s style) as a higher-is-better series.
+class GBenchReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchReporter(BenchReporter* reporter) : reporter_(reporter) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override;
+
+ private:
+  BenchReporter* reporter_;
+};
+
+/// Runs all registered google benchmarks under `run`'s flags
+/// (--benchmark_* passthrough, a short min time under --quick), records
+/// them into run.reporter(), and finishes the run. Returns the process
+/// exit code.
+int RunGoogleBenchmarks(BenchRun& run, const std::string& argv0);
+
+}  // namespace etude::bench
+
+#endif  // ETUDE_BENCH_GBENCH_ADAPTER_H_

@@ -1,0 +1,90 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace etude::bench {
+
+namespace {
+
+std::vector<FlagSpec> CombinedSpecs(const BenchRun::Options& options) {
+  std::vector<FlagSpec> specs = StandardFlagSpecs();
+  for (const FlagSpec& extra : options.extra_flags) specs.push_back(extra);
+  return specs;
+}
+
+}  // namespace
+
+Result<BenchRun> BenchRun::Create(const std::string& binary, int argc,
+                                  char** argv, Options options) {
+  ETUDE_ASSIGN_OR_RETURN(
+      Flags flags, Flags::Parse(argc, argv, CombinedSpecs(options),
+                                options.gbench_passthrough));
+  BenchEnv env = BenchEnv::Capture();
+  env.quick = flags.GetBool("quick");
+  env.date = flags.GetString("date", "");
+  env.git_sha = flags.GetString("git-sha", env.git_sha);
+  if (flags.Has("seed")) env.seed = flags.GetInt("seed", -1);
+  BenchReporter reporter(binary, std::move(env));
+  return BenchRun(std::move(flags), std::move(reporter));
+}
+
+Result<BenchRun> BenchRun::Create(const std::string& binary, int argc,
+                                  char** argv) {
+  return Create(binary, argc, argv, Options());
+}
+
+BenchRun BenchRun::CreateOrExit(const std::string& binary, int argc,
+                                char** argv) {
+  return CreateOrExit(binary, argc, argv, Options());
+}
+
+BenchRun BenchRun::CreateOrExit(const std::string& binary, int argc,
+                                char** argv, Options options) {
+  // --help short-circuits parsing so it works alongside any other flags.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::fputs(Flags::Usage(binary, CombinedSpecs(options)).c_str(),
+                 stdout);
+      std::exit(0);
+    }
+  }
+  Result<BenchRun> run = Create(binary, argc, argv, std::move(options));
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s: %s\n", binary.c_str(),
+                 run.status().message().c_str());
+    std::exit(2);
+  }
+  return std::move(run).value();
+}
+
+std::vector<std::string> BenchRun::GBenchArgv(const std::string& argv0) const {
+  std::vector<std::string> argv = {argv0};
+  bool min_time_set = false;
+  for (const std::string& arg : flags_.passthrough()) {
+    argv.push_back(arg);
+    if (StartsWith(arg, "--benchmark_min_time")) min_time_set = true;
+  }
+  if (quick() && !min_time_set) {
+    argv.push_back("--benchmark_min_time=0.01");
+  }
+  return argv;
+}
+
+int BenchRun::Finish() {
+  const std::string json_out = flags_.GetString("json-out", "");
+  if (json_out.empty()) return 0;
+  const Status status = reporter_.WriteJson(json_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", reporter_.binary().c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu series to %s\n", reporter_.series_count(),
+               json_out.c_str());
+  return 0;
+}
+
+}  // namespace etude::bench

@@ -1,0 +1,86 @@
+#ifndef ETUDE_BENCH_HARNESS_H_
+#define ETUDE_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/flags.h"
+#include "bench/reporter.h"
+#include "common/status.h"
+
+namespace etude::bench {
+
+/// Ties a bench binary's command line to its JSON reporter.
+///
+/// Every harnessed binary follows the same shape:
+///
+///   int main(int argc, char** argv) {
+///     etude::bench::BenchRun run =
+///         etude::bench::BenchRun::CreateOrExit("bench_foo", argc, argv);
+///     ... measure, print tables, run.reporter().AddValue(...) ...
+///     return run.Finish();
+///   }
+///
+/// which gives it --json-out, --quick, --seed, --date, --git-sha and
+/// --help with strict unknown-flag rejection.
+class BenchRun {
+ public:
+  struct Options {
+    /// Binary-specific flags on top of StandardFlagSpecs().
+    std::vector<FlagSpec> extra_flags;
+    /// Forward --benchmark_* arguments instead of rejecting them.
+    bool gbench_passthrough = false;
+  };
+
+  static Result<BenchRun> Create(const std::string& binary, int argc,
+                                 char** argv, Options options);
+  static Result<BenchRun> Create(const std::string& binary, int argc,
+                                 char** argv);
+
+  /// Create(), but prints usage and exits on --help (status 0) or on a
+  /// parse error (status 2, the usage-error convention of bench_diff).
+  static BenchRun CreateOrExit(const std::string& binary, int argc,
+                               char** argv, Options options);
+  static BenchRun CreateOrExit(const std::string& binary, int argc,
+                               char** argv);
+
+  bool quick() const { return flags_.GetBool("quick"); }
+  uint64_t seed_or(uint64_t fallback) const {
+    return static_cast<uint64_t>(
+        flags_.GetInt("seed", static_cast<int64_t>(fallback)));
+  }
+  bool GetBool(const std::string& name) const { return flags_.GetBool(name); }
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    return flags_.GetString(name, fallback);
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    return flags_.GetDouble(name, fallback);
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    return flags_.GetInt(name, fallback);
+  }
+
+  BenchReporter& reporter() { return reporter_; }
+
+  /// Command line for benchmark::Initialize: argv0, the --benchmark_*
+  /// passthrough flags, and (under --quick) a short --benchmark_min_time
+  /// unless the caller already set one.
+  std::vector<std::string> GBenchArgv(const std::string& argv0) const;
+
+  /// Writes the JSON report when --json-out was given. Returns the
+  /// process exit code (1 when the write fails).
+  int Finish();
+
+ private:
+  BenchRun(Flags flags, BenchReporter reporter)
+      : flags_(std::move(flags)), reporter_(std::move(reporter)) {}
+
+  Flags flags_;
+  BenchReporter reporter_;
+};
+
+}  // namespace etude::bench
+
+#endif  // ETUDE_BENCH_HARNESS_H_

@@ -1,0 +1,112 @@
+#include "bench/reporter.h"
+
+#include <cstdio>
+#include <thread>
+
+// Baked in by src/bench/CMakeLists.txt at configure time.
+#ifndef ETUDE_GIT_SHA
+#define ETUDE_GIT_SHA "unknown"
+#endif
+#ifndef ETUDE_BUILD_TYPE
+#define ETUDE_BUILD_TYPE "unknown"
+#endif
+#ifndef ETUDE_SANITIZE_FLAGS
+#define ETUDE_SANITIZE_FLAGS ""
+#endif
+
+namespace etude::bench {
+
+std::string_view DirectionToString(Direction direction) {
+  switch (direction) {
+    case Direction::kLowerIsBetter:
+      return "down";
+    case Direction::kHigherIsBetter:
+      return "up";
+    case Direction::kInfo:
+      return "none";
+  }
+  return "none";
+}
+
+BenchEnv BenchEnv::Capture() {
+  BenchEnv env;
+  env.git_sha = ETUDE_GIT_SHA;
+  env.build_type = ETUDE_BUILD_TYPE;
+  env.sanitizers = ETUDE_SANITIZE_FLAGS;
+  env.cpu_count = static_cast<int>(std::thread::hardware_concurrency());
+  return env;
+}
+
+void BenchReporter::AddValue(const std::string& name, const std::string& unit,
+                             const Params& params, Direction direction,
+                             double value) {
+  JsonValue series = SeriesHeader(name, unit, params, direction);
+  series.Set("value", JsonValue(value));
+  series_.Append(std::move(series));
+}
+
+void BenchReporter::AddSummary(
+    const std::string& name, const std::string& unit, const Params& params,
+    Direction direction, const metrics::LatencyHistogram::Summary& summary) {
+  JsonValue series = SeriesHeader(name, unit, params, direction);
+  JsonValue stats = JsonValue::MakeObject();
+  stats.Set("count", JsonValue(summary.count));
+  stats.Set("sum", JsonValue(summary.sum));
+  stats.Set("min", JsonValue(summary.min));
+  stats.Set("mean", JsonValue(summary.mean));
+  stats.Set("p50", JsonValue(summary.p50));
+  stats.Set("p90", JsonValue(summary.p90));
+  stats.Set("p99", JsonValue(summary.p99));
+  stats.Set("max", JsonValue(summary.max));
+  series.Set("summary", std::move(stats));
+  series_.Append(std::move(series));
+}
+
+JsonValue BenchReporter::SeriesHeader(const std::string& name,
+                                      const std::string& unit,
+                                      const Params& params,
+                                      Direction direction) const {
+  JsonValue series = JsonValue::MakeObject();
+  series.Set("name", JsonValue(name));
+  series.Set("unit", JsonValue(unit));
+  series.Set("direction", JsonValue(std::string(DirectionToString(direction))));
+  JsonValue labels = JsonValue::MakeObject();
+  for (const auto& [key, value] : params) {
+    labels.Set(key, JsonValue(value));
+  }
+  series.Set("params", std::move(labels));
+  return series;
+}
+
+JsonValue BenchReporter::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema_version", JsonValue(static_cast<int64_t>(1)));
+  doc.Set("binary", JsonValue(binary_));
+  JsonValue env = JsonValue::MakeObject();
+  env.Set("git_sha", JsonValue(env_.git_sha));
+  env.Set("build_type", JsonValue(env_.build_type));
+  env.Set("sanitizers", JsonValue(env_.sanitizers));
+  env.Set("cpu_count", JsonValue(static_cast<int64_t>(env_.cpu_count)));
+  env.Set("date", JsonValue(env_.date));
+  env.Set("quick", JsonValue(env_.quick));
+  if (env_.seed >= 0) env.Set("seed", JsonValue(env_.seed));
+  doc.Set("env", std::move(env));
+  doc.Set("series", series_);
+  return doc;
+}
+
+Status BenchReporter::WriteJson(const std::string& path) const {
+  const std::string text = ToJson().Dump() + "\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace etude::bench

@@ -1,0 +1,83 @@
+#ifndef ETUDE_BENCH_REPORTER_H_
+#define ETUDE_BENCH_REPORTER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "metrics/histogram.h"
+
+namespace etude::bench {
+
+/// Whether a smaller or larger value of a series is an improvement.
+/// `kInfo` series (costs, error percentages used as sanity checks, model
+/// counts) are reported but never gate a regression diff.
+enum class Direction { kLowerIsBetter, kHigherIsBetter, kInfo };
+
+/// JSON spelling of a direction: "down", "up" or "none".
+std::string_view DirectionToString(Direction direction);
+
+/// Build/run environment recorded in every BENCH JSON file.
+///
+/// `git_sha`, `build_type` and `sanitizers` default to values baked in at
+/// configure time; `date` stays empty unless passed via --date so bench
+/// output is byte-identical across reruns of the same build.
+struct BenchEnv {
+  std::string git_sha;
+  std::string build_type;
+  std::string sanitizers;
+  int cpu_count = 0;
+  std::string date;
+  bool quick = false;
+  int64_t seed = -1;  // -1: the binary ran with its built-in default seed
+
+  /// Captures the compile-time environment plus the CPU count.
+  static BenchEnv Capture();
+};
+
+/// Ordered key/value labels distinguishing series with the same name,
+/// e.g. {{"model", "GRU4Rec"}, {"catalog", "1M"}}.
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+/// Collects the measured series of one bench binary and serialises them
+/// as a schema-versioned JSON document (see docs/benchmarking.md).
+class BenchReporter {
+ public:
+  BenchReporter(std::string binary, BenchEnv env)
+      : binary_(std::move(binary)), env_(std::move(env)) {}
+
+  /// Adds a single-valued series (a rate, a cost, an error percentage).
+  void AddValue(const std::string& name, const std::string& unit,
+                const Params& params, Direction direction, double value);
+
+  /// Adds a distribution series from a histogram summary. Percentiles
+  /// inherit the histogram's bucket-upper-bound over-estimate (< 1.6%).
+  void AddSummary(const std::string& name, const std::string& unit,
+                  const Params& params, Direction direction,
+                  const metrics::LatencyHistogram::Summary& summary);
+
+  size_t series_count() const { return series_.items().size(); }
+  const std::string& binary() const { return binary_; }
+  BenchEnv& env() { return env_; }
+
+  /// The full document: {schema_version, binary, env, series}.
+  JsonValue ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  JsonValue SeriesHeader(const std::string& name, const std::string& unit,
+                         const Params& params, Direction direction) const;
+
+  std::string binary_;
+  BenchEnv env_;
+  JsonValue series_ = JsonValue::MakeArray();
+};
+
+}  // namespace etude::bench
+
+#endif  // ETUDE_BENCH_REPORTER_H_

@@ -33,6 +33,19 @@ int64_t LatencyHistogram::BucketUpperBound(int index) {
           << magnitude) - 1;
 }
 
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  Summary summary;
+  summary.count = count();
+  summary.sum = sum();
+  summary.min = min();
+  summary.mean = mean();
+  summary.p50 = p50();
+  summary.p90 = p90();
+  summary.p99 = p99();
+  summary.max = max();
+  return summary;
+}
+
 void LatencyHistogram::Record(int64_t value_us) { RecordMany(value_us, 1); }
 
 void LatencyHistogram::RecordMany(int64_t value_us, int64_t count) {

@@ -16,7 +16,26 @@ namespace etude::metrics {
 /// which rules out storing raw samples.
 class LatencyHistogram {
  public:
+  /// One consistent snapshot of the distribution's headline statistics.
+  /// Every exporter (bench JSON, /metrics JSON, Prometheus) renders from
+  /// this struct so the numbers cannot drift between surfaces. Quantiles
+  /// are bucket upper bounds and over-estimate by at most ~1.6% (1/64
+  /// relative bucket width).
+  struct Summary {
+    int64_t count = 0;
+    int64_t sum = 0;  // us
+    int64_t min = 0;
+    double mean = 0.0;
+    int64_t p50 = 0;
+    int64_t p90 = 0;
+    int64_t p99 = 0;
+    int64_t max = 0;
+  };
+
   LatencyHistogram();
+
+  /// All headline statistics in one struct (see Summary).
+  Summary Summarize() const;
 
   /// Records one latency observation (in microseconds, >= 0).
   void Record(int64_t value_us);

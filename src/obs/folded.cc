@@ -1,0 +1,78 @@
+#include "obs/folded.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace etude::obs {
+
+std::vector<FoldedLine> FoldStacks(const std::vector<TraceEvent>& events) {
+  std::set<std::pair<int32_t, int64_t>> lanes;
+  for (const TraceEvent& event : events) {
+    lanes.insert({event.pid, event.tid});
+  }
+  const bool prefix_lanes = lanes.size() > 1;
+
+  // Total time per distinct path. std::map keeps the output sorted and
+  // groups each parent right before its children, which is also the order
+  // the subtraction below relies on being able to look parents up in.
+  std::map<std::string, int64_t> totals;
+  for (const TraceEvent& event : events) {
+    std::string path;
+    if (prefix_lanes) {
+      path += event.pid == kVirtualClockPid ? 'v' : 't';
+      path += std::to_string(event.tid);
+      path += ';';
+    }
+    path += event.stack.empty() ? event.name : event.stack;
+    totals[path] += event.dur_us;
+  }
+
+  // Self time: a frame's total minus the time its recorded children
+  // already account for. Children whose parent span was never recorded
+  // (e.g. tracing enabled mid-span) simply keep their full time.
+  std::map<std::string, int64_t> self = totals;
+  for (const auto& [path, total] : totals) {
+    const size_t separator = path.rfind(';');
+    if (separator == std::string::npos) continue;
+    const auto parent = self.find(path.substr(0, separator));
+    if (parent != self.end()) parent->second -= total;
+  }
+
+  std::vector<FoldedLine> lines;
+  lines.reserve(self.size());
+  for (const auto& [path, self_us] : self) {
+    if (self_us <= 0) continue;  // pure parent frames carry no self time
+    lines.push_back({path, self_us});
+  }
+  return lines;
+}
+
+std::string ToFoldedText(const std::vector<FoldedLine>& lines) {
+  std::string out;
+  for (const FoldedLine& line : lines) {
+    out += line.stack;
+    out += ' ';
+    out += std::to_string(line.self_us);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteFolded(const std::string& path,
+                   const std::vector<TraceEvent>& events) {
+  const std::string text = ToFoldedText(FoldStacks(events));
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace etude::obs

@@ -1,0 +1,43 @@
+#ifndef ETUDE_OBS_FOLDED_H_
+#define ETUDE_OBS_FOLDED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace etude::obs {
+
+/// One aggregated collapsed-stack line: `stack` is the semicolon-joined
+/// frame path, `self_us` the time spent in exactly that path (total time
+/// of the frame minus the time attributed to its recorded children).
+struct FoldedLine {
+  std::string stack;
+  int64_t self_us = 0;
+};
+
+/// Folds trace events into collapsed stacks, the format flamegraph.pl and
+/// speedscope consume: one line per distinct path, self time as the
+/// value.
+///
+/// Events carrying a recorded span stack fold along it; events without
+/// one (virtual-time simulation spans recorded directly) count as root
+/// frames under their own name. When events come from more than one
+/// (pid, tid) lane, each path is prefixed with its lane frame
+/// ("t<lane>" for wall-clock threads, "v<lane>" for virtual-time
+/// tracks) so concurrent threads don't melt into one another.
+/// Lines are sorted by path; zero- and negative-self frames (pure
+/// parents) are omitted.
+std::vector<FoldedLine> FoldStacks(const std::vector<TraceEvent>& events);
+
+/// Renders folded lines as `stack self_us\n` text.
+std::string ToFoldedText(const std::vector<FoldedLine>& lines);
+
+/// Writes ToFoldedText(FoldStacks(events)) to `path`.
+Status WriteFolded(const std::string& path,
+                   const std::vector<TraceEvent>& events);
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_FOLDED_H_

@@ -1,0 +1,152 @@
+#include "obs/memstats.h"
+
+#include <cstdio>
+#include <unistd.h>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace etude::obs {
+
+#ifndef ETUDE_DISABLE_TRACING
+namespace {
+
+/// Per-thread traffic counters. Written with relaxed atomics so another
+/// thread can aggregate them race-free while the owner keeps recording.
+struct ThreadCounters {
+  std::atomic<int64_t> allocated{0};
+  std::atomic<int64_t> freed{0};
+  // Peak-window state, touched only by the owning thread.
+  int64_t window_peak = 0;
+};
+
+Mutex& RegistryMutex() {
+  static Mutex* mutex = new Mutex;
+  return *mutex;
+}
+
+/// Owned for the process lifetime: counters must outlive their thread so
+/// aggregation after a worker pool shut down still sees its traffic.
+std::vector<ThreadCounters*>& Registry() {
+  static std::vector<ThreadCounters*>* registry =
+      new std::vector<ThreadCounters*>;
+  return *registry;
+}
+
+ThreadCounters& Local() {
+  thread_local ThreadCounters* counters = [] {
+    auto* fresh = new ThreadCounters;
+    MutexLock lock(RegistryMutex());
+    Registry().push_back(fresh);
+    return fresh;
+  }();
+  return *counters;
+}
+
+// Process-wide live gauge and its high-water mark. One relaxed RMW per
+// tensor allocation — tensors are allocated per-op, not per-element, so
+// this is far off the per-element hot paths.
+std::atomic<int64_t> g_live{0};
+std::atomic<int64_t> g_peak{0};
+
+int64_t ThreadLive(const ThreadCounters& counters) {
+  return counters.allocated.load(std::memory_order_relaxed) -
+         counters.freed.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+#endif  // ETUDE_DISABLE_TRACING
+
+namespace memdetail {
+
+#ifndef ETUDE_DISABLE_TRACING
+
+void RecordAlloc(int64_t bytes) {
+  if (bytes <= 0) return;
+  ThreadCounters& counters = Local();
+  counters.allocated.fetch_add(bytes, std::memory_order_relaxed);
+  const int64_t thread_live = ThreadLive(counters);
+  if (thread_live > counters.window_peak) {
+    counters.window_peak = thread_live;
+  }
+  const int64_t live =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void RecordFree(int64_t bytes) {
+  if (bytes <= 0) return;
+  Local().freed.fetch_add(bytes, std::memory_order_relaxed);
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+int64_t BeginPeakWindow() {
+  ThreadCounters& counters = Local();
+  const int64_t live = ThreadLive(counters);
+  counters.window_peak = live;
+  return live;
+}
+
+int64_t PeakWindowBytes(int64_t start_live) {
+  const int64_t delta = Local().window_peak - start_live;
+  return delta > 0 ? delta : 0;
+}
+
+#endif  // ETUDE_DISABLE_TRACING
+
+}  // namespace memdetail
+
+MemStats ThreadMemStats() {
+  MemStats stats;
+#ifndef ETUDE_DISABLE_TRACING
+  const ThreadCounters& counters = Local();
+  stats.allocated_bytes = counters.allocated.load(std::memory_order_relaxed);
+  stats.freed_bytes = counters.freed.load(std::memory_order_relaxed);
+  stats.live_bytes = g_live.load(std::memory_order_relaxed);
+  stats.peak_live_bytes = g_peak.load(std::memory_order_relaxed);
+#endif
+  return stats;
+}
+
+MemStats ProcessMemStats() {
+  MemStats stats;
+#ifndef ETUDE_DISABLE_TRACING
+  {
+    MutexLock lock(RegistryMutex());
+    for (const ThreadCounters* counters : Registry()) {
+      stats.allocated_bytes +=
+          counters->allocated.load(std::memory_order_relaxed);
+      stats.freed_bytes += counters->freed.load(std::memory_order_relaxed);
+    }
+  }
+  stats.live_bytes = g_live.load(std::memory_order_relaxed);
+  stats.peak_live_bytes = g_peak.load(std::memory_order_relaxed);
+#endif
+  return stats;
+}
+
+void ResetPeakLiveBytes() {
+#ifndef ETUDE_DISABLE_TRACING
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+#endif
+}
+
+int64_t ProcessRssBytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  const int matched =
+      std::fscanf(statm, "%lld %lld", &total_pages, &resident_pages);
+  std::fclose(statm);
+  if (matched != 2) return 0;
+  return static_cast<int64_t>(resident_pages) *
+         static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace etude::obs

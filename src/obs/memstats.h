@@ -1,0 +1,78 @@
+#ifndef ETUDE_OBS_MEMSTATS_H_
+#define ETUDE_OBS_MEMSTATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace etude::obs {
+
+/// Byte counters of tensor buffer traffic.
+///
+/// `tensor::Tensor` reports every fp32 buffer it allocates and frees here
+/// (logical bytes: numel * sizeof(float)). Allocated/freed accumulate on
+/// thread-local counters so the record path never touches a contended
+/// cache line beyond one global live-bytes gauge; `live_bytes` and
+/// `peak_live_bytes` are process-wide (an allocation on one thread can be
+/// freed on another, so per-thread "live" is not meaningful on its own).
+///
+/// Building with -DETUDE_DISABLE_TRACING compiles the recording calls out
+/// entirely; all queries then report zero.
+struct MemStats {
+  int64_t allocated_bytes = 0;
+  int64_t freed_bytes = 0;
+  int64_t live_bytes = 0;
+  int64_t peak_live_bytes = 0;
+};
+
+/// The calling thread's allocated/freed counters (live/peak are the
+/// process-wide values — see MemStats).
+MemStats ThreadMemStats();
+
+/// Counters aggregated over every thread that ever recorded, plus the
+/// process-wide live gauge and its high-water mark.
+MemStats ProcessMemStats();
+
+/// Resets the process-wide peak to the current live value (the aggregate
+/// allocated/freed counters are monotonic and are not reset). Lets a
+/// profile window measure its own high-water mark.
+void ResetPeakLiveBytes();
+
+/// Resident set size of the process in bytes, read from /proc/self/statm;
+/// 0 where unavailable. Complements the logical tensor counters with what
+/// the OS actually holds.
+int64_t ProcessRssBytes();
+
+namespace memdetail {
+
+#ifdef ETUDE_DISABLE_TRACING
+
+inline void RecordAlloc(int64_t bytes) { static_cast<void>(bytes); }
+inline void RecordFree(int64_t bytes) { static_cast<void>(bytes); }
+inline int64_t BeginPeakWindow() { return 0; }
+inline int64_t PeakWindowBytes(int64_t start_live) {
+  static_cast<void>(start_live);
+  return 0;
+}
+
+#else
+
+/// Called by tensor::Tensor on every buffer allocation/release.
+void RecordAlloc(int64_t bytes);
+void RecordFree(int64_t bytes);
+
+/// Marks the start of a per-op peak window on the calling thread and
+/// returns the thread's net live bytes at that point. Windows do not
+/// nest (ScopedOp only measures the outermost op of a thread).
+int64_t BeginPeakWindow();
+
+/// Highest net allocation above `start_live` (the BeginPeakWindow return
+/// value) the calling thread reached since the window began; >= 0.
+int64_t PeakWindowBytes(int64_t start_live);
+
+#endif  // ETUDE_DISABLE_TRACING
+
+}  // namespace memdetail
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_MEMSTATS_H_

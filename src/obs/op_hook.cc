@@ -21,6 +21,9 @@ void ScopedOp::RecordTraceEvent(int64_t duration_ns) const {
   event.category = "op";
   event.dur_us = duration_ns / 1000;
   event.ts_us = tracer.NowUs() - event.dur_us;
+  // The op's own name is on the thread span stack (pushed when the
+  // outermost traced op opened), so the stack records full ancestry.
+  event.stack = internal::JoinThreadSpanStack();
   tracer.Record(std::move(event));
 }
 

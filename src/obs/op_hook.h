@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/memstats.h"
 #include "obs/trace.h"
 
 namespace etude::obs {
@@ -17,8 +18,12 @@ class OpSink {
 
   /// `name` is a string literal identifying the op ("MatMul", "Mips", ...);
   /// `flops` is the op's analytic floating-point work (0 for pure data
-  /// movement such as Embedding or Concat).
-  virtual void OnOp(const char* name, int64_t duration_ns, double flops) = 0;
+  /// movement such as Embedding or Concat); `peak_bytes` is the highest
+  /// net tensor-buffer allocation the op reached above its starting point
+  /// (its transient working set; 0 when memory accounting is compiled
+  /// out).
+  virtual void OnOp(const char* name, int64_t duration_ns, double flops,
+                    int64_t peak_bytes) = 0;
 };
 
 /// Attaches `sink` to the calling thread (nullptr detaches); returns the
@@ -60,6 +65,8 @@ class ScopedOp {
       sink_ = ThreadOpSink();
       traced_ = Tracer::enabled();
       if (sink_ != nullptr || traced_) {
+        start_live_ = memdetail::BeginPeakWindow();
+        if (traced_) internal::ThreadSpanStack().push_back(name_);
         start_ = std::chrono::steady_clock::now();
       }
     }
@@ -71,8 +78,14 @@ class ScopedOp {
       const int64_t duration_ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
               .count();
-      if (sink_ != nullptr) sink_->OnOp(name_, duration_ns, flops_);
-      if (traced_) RecordTraceEvent(duration_ns);
+      const int64_t peak_bytes = memdetail::PeakWindowBytes(start_live_);
+      if (sink_ != nullptr) {
+        sink_->OnOp(name_, duration_ns, flops_, peak_bytes);
+      }
+      if (traced_) {
+        RecordTraceEvent(duration_ns);
+        internal::ThreadSpanStack().pop_back();
+      }
     }
     nesting_depth() -= 1;
   }
@@ -92,6 +105,7 @@ class ScopedOp {
   double flops_;
   OpSink* sink_ = nullptr;
   bool traced_ = false;
+  int64_t start_live_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

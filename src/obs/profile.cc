@@ -7,13 +7,15 @@
 
 namespace etude::obs {
 
-void OpProfile::OnOp(const char* name, int64_t duration_ns, double flops) {
+void OpProfile::OnOp(const char* name, int64_t duration_ns, double flops,
+                     int64_t peak_bytes) {
   MutexLock lock(mutex_);
   OpProfileEntry& entry = by_op_[name];
   if (entry.op.empty()) entry.op = name;
   entry.calls += 1;
   entry.total_ns += duration_ns;
   entry.flops += flops;
+  entry.peak_bytes = std::max(entry.peak_bytes, peak_bytes);
 }
 
 std::vector<OpProfileEntry> OpProfile::Entries() const {
@@ -47,7 +49,7 @@ std::string OpProfile::ToText() const {
   int64_t total_ns = 0;
   for (const OpProfileEntry& entry : entries) total_ns += entry.total_ns;
   metrics::Table table({"op", "calls", "total [us]", "% of inference",
-                        "GFLOP/s"});
+                        "GFLOP/s", "peak [KiB]"});
   for (const OpProfileEntry& entry : entries) {
     const double share =
         total_ns > 0
@@ -57,7 +59,12 @@ std::string OpProfile::ToText() const {
     table.AddRow({entry.op, std::to_string(entry.calls),
                   FormatDouble(entry.total_us(), 1), FormatDouble(share, 1),
                   entry.flops > 0 ? FormatDouble(entry.gflops_per_s(), 2)
-                                  : "-"});
+                                  : "-",
+                  entry.peak_bytes > 0
+                      ? FormatDouble(
+                            static_cast<double>(entry.peak_bytes) / 1024.0,
+                            1)
+                      : "-"});
   }
   return table.ToText();
 }

@@ -18,6 +18,10 @@ struct OpProfileEntry {
   int64_t calls = 0;
   int64_t total_ns = 0;
   double flops = 0;  // summed analytic FLOPs across all calls
+  /// Largest transient tensor working set any single call reached (net
+  /// bytes allocated above the op's starting point); 0 with accounting
+  /// compiled out.
+  int64_t peak_bytes = 0;
 
   double total_us() const { return static_cast<double>(total_ns) / 1e3; }
   /// Achieved compute rate; 0 for pure data-movement ops.
@@ -31,8 +35,8 @@ struct OpProfileEntry {
 /// threads at once and read while they run.
 class OpProfile : public OpSink {
  public:
-  void OnOp(const char* name, int64_t duration_ns, double flops) override
-      ETUDE_EXCLUDES(mutex_);
+  void OnOp(const char* name, int64_t duration_ns, double flops,
+            int64_t peak_bytes) override ETUDE_EXCLUDES(mutex_);
 
   /// Entries sorted by descending total time.
   std::vector<OpProfileEntry> Entries() const ETUDE_EXCLUDES(mutex_);
@@ -43,7 +47,7 @@ class OpProfile : public OpSink {
   void Clear() ETUDE_EXCLUDES(mutex_);
 
   /// Renders the per-op breakdown: op, calls, total us, % of inference,
-  /// GFLOP/s — the `etude profile` output.
+  /// GFLOP/s, peak KiB — the `etude profile` output.
   std::string ToText() const ETUDE_EXCLUDES(mutex_);
 
  private:

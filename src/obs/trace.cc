@@ -6,6 +6,25 @@ namespace etude::obs {
 
 std::atomic<bool> Tracer::enabled_flag_{false};
 
+namespace internal {
+
+std::vector<std::string_view>& ThreadSpanStack() {
+  static thread_local std::vector<std::string_view> stack;
+  return stack;
+}
+
+std::string JoinThreadSpanStack() {
+  const std::vector<std::string_view>& stack = ThreadSpanStack();
+  std::string joined;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) joined += ';';
+    joined += stack[i];
+  }
+  return joined;
+}
+
+}  // namespace internal
+
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer& Tracer::Get() {

@@ -32,7 +32,25 @@ struct TraceEvent {
   int32_t pid = kWallClockPid;
   int64_t tid = 0;  // wall-clock events: per-thread lane, assigned on first use
   std::string trace_id;
+  /// Semicolon-joined ancestry including this span ("a;b;c"), recorded by
+  /// the scoped span classes from the thread's span stack. Empty for
+  /// events recorded directly (e.g. virtual-time simulation spans); the
+  /// collapsed-stack exporter then treats the event as a root frame.
+  std::string stack;
 };
+
+namespace internal {
+
+/// The calling thread's stack of currently open scoped spans (names only;
+/// string literals, so the pointers stay valid). ScopedSpan/ScopedOp push
+/// on construction and pop on destruction, which is what lets the
+/// collapsed-stack (flamegraph) exporter see nesting.
+std::vector<std::string_view>& ThreadSpanStack();
+
+/// "a;b;c" over the current thread stack.
+std::string JoinThreadSpanStack();
+
+}  // namespace internal
 
 /// The global span/event recorder.
 ///
@@ -116,6 +134,7 @@ class ScopedSpan {
       name_ = name;
       category_ = category;
       trace_id_ = std::move(trace_id);
+      internal::ThreadSpanStack().push_back(name);
       start_us_ = Tracer::Get().NowUs();
     }
   }
@@ -128,6 +147,8 @@ class ScopedSpan {
     event.ts_us = start_us_;
     event.dur_us = tracer.NowUs() - start_us_;
     event.trace_id = std::move(trace_id_);
+    event.stack = internal::JoinThreadSpanStack();
+    internal::ThreadSpanStack().pop_back();
     tracer.Record(std::move(event));
   }
 

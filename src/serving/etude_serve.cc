@@ -2,6 +2,7 @@
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/memstats.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 
@@ -119,7 +120,31 @@ std::string EtudeServe::JsonMetrics() {
     metrics.Set("p50_inference_us", JsonValue(inference_latency_us_.p50()));
     metrics.Set("p90_inference_us", JsonValue(inference_latency_us_.p90()));
     metrics.Set("p99_inference_us", JsonValue(inference_latency_us_.p99()));
+    // Summary block mirroring the BENCH JSON schema; percentiles carry
+    // the histogram's bucket over-estimate (< 1.6%).
+    const metrics::LatencyHistogram::Summary summary =
+        inference_latency_us_.Summarize();
+    JsonValue stats = JsonValue::MakeObject();
+    stats.Set("count", JsonValue(summary.count));
+    stats.Set("sum", JsonValue(summary.sum));
+    stats.Set("min", JsonValue(summary.min));
+    stats.Set("mean", JsonValue(summary.mean));
+    stats.Set("p50", JsonValue(summary.p50));
+    stats.Set("p90", JsonValue(summary.p90));
+    stats.Set("p99", JsonValue(summary.p99));
+    stats.Set("max", JsonValue(summary.max));
+    metrics.Set("inference_us_summary", std::move(stats));
   }
+  {
+    const obs::MemStats mem = obs::ProcessMemStats();
+    JsonValue memory = JsonValue::MakeObject();
+    memory.Set("allocated_bytes", JsonValue(mem.allocated_bytes));
+    memory.Set("freed_bytes", JsonValue(mem.freed_bytes));
+    memory.Set("live_bytes", JsonValue(mem.live_bytes));
+    memory.Set("peak_live_bytes", JsonValue(mem.peak_live_bytes));
+    metrics.Set("tensor_memory", std::move(memory));
+  }
+  metrics.Set("process_rss_bytes", JsonValue(obs::ProcessRssBytes()));
   metrics.Set("model", JsonValue(std::string(model_->name())));
   metrics.Set("catalog_size", JsonValue(model_->config().catalog_size));
   metrics.Set("uptime_seconds", JsonValue(UptimeSeconds()));
@@ -164,6 +189,22 @@ std::string EtudeServe::PrometheusMetrics() {
   writer.Gauge("etude_model_catalog_size",
                "Catalog size (C) of the served model.",
                static_cast<double>(model_->config().catalog_size));
+  const obs::MemStats mem = obs::ProcessMemStats();
+  writer.Counter("etude_tensor_allocated_bytes_total",
+                 "Bytes of tensor buffers allocated since start.",
+                 static_cast<double>(mem.allocated_bytes));
+  writer.Counter("etude_tensor_freed_bytes_total",
+                 "Bytes of tensor buffers freed since start.",
+                 static_cast<double>(mem.freed_bytes));
+  writer.Gauge("etude_tensor_live_bytes",
+               "Bytes of tensor buffers currently alive.",
+               static_cast<double>(mem.live_bytes));
+  writer.Gauge("etude_tensor_peak_live_bytes",
+               "High-water mark of live tensor bytes.",
+               static_cast<double>(mem.peak_live_bytes));
+  writer.Gauge("etude_process_rss_bytes",
+               "Resident set size of the process.",
+               static_cast<double>(obs::ProcessRssBytes()));
   {
     MutexLock lock(stats_mutex_);
     writer.Histogram("etude_inference_latency_us",

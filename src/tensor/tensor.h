@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/memstats.h"
 
 namespace etude::tensor {
 
@@ -17,6 +18,11 @@ namespace etude::tensor {
 /// the ten SBR models: contiguous fp32 storage with shape metadata. Shape
 /// violations are programmer errors and abort via ETUDE_CHECK; user-facing
 /// validation happens at the model API boundary.
+///
+/// Every buffer allocation and release is reported to obs::memstats
+/// (logical bytes, numel * sizeof(float)), which feeds the live/peak
+/// tensor-memory gauges on /metrics and the per-op peak-bytes column of
+/// the profiler. -DETUDE_DISABLE_TRACING compiles the accounting out.
 class Tensor {
  public:
   /// An empty (rank-0, zero-element) tensor.
@@ -25,6 +31,7 @@ class Tensor {
   /// Allocates a zero-initialised tensor of the given shape.
   explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
     data_.assign(static_cast<size_t>(ComputeNumel(shape_)), 0.0f);
+    obs::memdetail::RecordAlloc(ByteSize());
   }
 
   /// Allocates a tensor of the given shape with explicit contents
@@ -33,12 +40,40 @@ class Tensor {
       : shape_(std::move(shape)), data_(std::move(values)) {
     ETUDE_CHECK(static_cast<int64_t>(data_.size()) == ComputeNumel(shape_))
         << "value count " << data_.size() << " does not match shape";
+    obs::memdetail::RecordAlloc(ByteSize());
   }
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  Tensor(const Tensor& other)
+      : shape_(other.shape_), data_(other.data_) {
+    obs::memdetail::RecordAlloc(ByteSize());
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      obs::memdetail::RecordFree(ByteSize());
+      shape_ = other.shape_;
+      data_ = other.data_;
+      obs::memdetail::RecordAlloc(ByteSize());
+    }
+    return *this;
+  }
+  // Moves transfer buffer ownership: nothing is allocated or freed. The
+  // source is left empty so its destructor accounts zero bytes.
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)), data_(std::move(other.data_)) {
+    other.shape_.clear();
+    other.data_.clear();
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      obs::memdetail::RecordFree(ByteSize());
+      shape_ = std::move(other.shape_);
+      data_ = std::move(other.data_);
+      other.shape_.clear();
+      other.data_.clear();
+    }
+    return *this;
+  }
+  ~Tensor() { obs::memdetail::RecordFree(ByteSize()); }
 
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t dim(int i) const {
@@ -90,10 +125,12 @@ class Tensor {
   Tensor Reshaped(std::vector<int64_t> new_shape) const {
     ETUDE_CHECK(ComputeNumel(new_shape) == numel())
         << "reshape changes element count";
-    Tensor out;
-    out.shape_ = std::move(new_shape);
-    out.data_ = data_;
-    return out;
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  /// Logical bytes of the backing buffer (numel * sizeof(float)).
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(data_.size() * sizeof(float));
   }
 
   /// Returns the contiguous row `row` of a rank-2 tensor as a rank-1 copy.

@@ -3,11 +3,15 @@
 // Subcommands:
 //   etude scenarios
 //       List the paper's five built-in use-case scenarios.
-//   etude run <spec.json> [--trace-out FILE]
+//   etude run <spec.json> [--trace-out FILE] [--folded-out FILE]
 //       Execute one deployed benchmark from a declarative spec and print
 //       the report (the `make run_deployed_benchmark` equivalent). With
 //       --trace-out, the virtual-time spans of the simulated servers and
-//       load generator are written as a Chrome trace-event file.
+//       load generator are written as a Chrome trace-event file; with
+//       --folded-out, as collapsed stacks for flamegraph.pl/speedscope.
+//   etude bench-diff BASELINE.json CANDIDATE.json [--threshold PCT]
+//       Compare two BENCH JSON files (bench --json-out output or merged
+//       tools/run_bench.sh suites); exits 3 on regression.
 //   etude plan --catalog C --rps R [--p90 MS] [--max-replicas N]
 //       Search cost-efficient deployments for a custom use case.
 //   etude generate --catalog C --clicks N [--alpha-l A] [--alpha-c B]
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/diff.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/benchmark.h"
@@ -36,6 +41,7 @@
 #include "metrics/report.h"
 #include "models/model_factory.h"
 #include "obs/chrome_trace.h"
+#include "obs/folded.h"
 #include "obs/op_hook.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -106,6 +112,21 @@ int WriteTraceFile(const std::string& path) {
   return 0;
 }
 
+/// Writes the tracer's snapshot to `path` as collapsed stacks
+/// (flamegraph.pl / speedscope input).
+int WriteFoldedFile(const std::string& path) {
+  auto& tracer = etude::obs::Tracer::Get();
+  const std::vector<etude::obs::TraceEvent> events = tracer.Snapshot();
+  const etude::Status status = etude::obs::WriteFolded(path, events);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote collapsed stacks of %zu spans to %s\n",
+               events.size(), path.c_str());
+  return 0;
+}
+
 int CmdScenarios() {
   etude::metrics::Table table(
       {"name", "catalog", "target req/s", "p90 limit [ms]"});
@@ -121,10 +142,12 @@ int CmdScenarios() {
 
 int CmdRun(int argc, char** argv) {
   if (argc < 3 || etude::StartsWith(argv[2], "--")) {
-    std::fprintf(stderr, "usage: etude run <spec.json> [--trace-out FILE]\n");
+    std::fprintf(stderr,
+                 "usage: etude run <spec.json> [--trace-out FILE] "
+                 "[--folded-out FILE]\n");
     return 2;
   }
-  const auto flags = ParseFlags(argc, argv, 3, {"trace-out"});
+  const auto flags = ParseFlags(argc, argv, 3, {"trace-out", "folded-out"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -135,7 +158,10 @@ int CmdRun(int argc, char** argv) {
     return 1;
   }
   const std::string trace_out = FlagOr(*flags, "trace-out", "");
-  if (!trace_out.empty()) etude::obs::Tracer::Get().Enable();
+  const std::string folded_out = FlagOr(*flags, "folded-out", "");
+  if (!trace_out.empty() || !folded_out.empty()) {
+    etude::obs::Tracer::Get().Enable();
+  }
   auto report = etude::core::RunDeployedBenchmark(*spec);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
@@ -144,6 +170,10 @@ int CmdRun(int argc, char** argv) {
   std::printf("%s\n", report->Summary().c_str());
   if (!trace_out.empty()) {
     const int rc = WriteTraceFile(trace_out);
+    if (rc != 0) return rc;
+  }
+  if (!folded_out.empty()) {
+    const int rc = WriteFoldedFile(folded_out);
     if (rc != 0) return rc;
   }
   return report->meets_slo ? 0 : 3;
@@ -300,11 +330,13 @@ int CmdProfile(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: etude profile <model|all> [--mode eager|jit|both] "
                  "[--catalog C] [--requests N] [--seed S] "
-                 "[--trace-out FILE]\n");
+                 "[--trace-out FILE] [--folded-out FILE]\n");
     return 2;
   }
-  const auto flags = ParseFlags(
-      argc, argv, 3, {"mode", "catalog", "requests", "seed", "trace-out"});
+  const auto flags =
+      ParseFlags(argc, argv, 3,
+                 {"mode", "catalog", "requests", "seed", "trace-out",
+                  "folded-out"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -347,7 +379,10 @@ int CmdProfile(int argc, char** argv) {
     return 2;
   }
   const std::string trace_out = FlagOr(*flags, "trace-out", "");
-  if (!trace_out.empty()) etude::obs::Tracer::Get().Enable();
+  const std::string folded_out = FlagOr(*flags, "folded-out", "");
+  if (!trace_out.empty() || !folded_out.empty()) {
+    etude::obs::Tracer::Get().Enable();
+  }
 
   for (const auto kind : kinds) {
     for (const auto mode : modes) {
@@ -355,7 +390,14 @@ int CmdProfile(int argc, char** argv) {
       if (rc != 0) return rc;
     }
   }
-  if (!trace_out.empty()) return WriteTraceFile(trace_out);
+  if (!trace_out.empty()) {
+    const int rc = WriteTraceFile(trace_out);
+    if (rc != 0) return rc;
+  }
+  if (!folded_out.empty()) {
+    const int rc = WriteFoldedFile(folded_out);
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -413,13 +455,22 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+/// `etude bench-diff` — same engine as the bench_diff binary, for
+/// workflows that only have the CLI on PATH.
+int CmdBenchDiff(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  return etude::bench::DiffMain(args);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: etude <scenarios|run|plan|generate|profile|serve> [flags]\n"
+      "usage: etude "
+      "<scenarios|run|plan|generate|profile|serve|bench-diff> [flags]\n"
       "  scenarios                          list built-in scenarios\n"
       "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
-      "                                     write a Chrome trace-event file\n"
+      "      [--folded-out F]               write a Chrome trace-event file\n"
+      "                                     or collapsed flamegraph stacks\n"
       "                                     of the simulated execution\n"
       "  plan --catalog C --rps R           cost-efficient search\n"
       "       [--p90 MS] [--max-replicas N]\n"
@@ -427,9 +478,12 @@ int Usage() {
       "       [--alpha-l A] [--alpha-c B] [--seed S]\n"
       "  profile <model|all>                per-op inference breakdown\n"
       "       [--mode eager|jit|both] [--catalog C] [--requests N]\n"
-      "       [--seed S] [--trace-out F]\n"
+      "       [--seed S] [--trace-out F] [--folded-out F]\n"
       "  serve --model M --catalog C        real HTTP server\n"
       "       [--port P] [--seconds S] [--metrics-format json|prometheus]\n"
+      "  bench-diff BASE.json CAND.json     diff two BENCH files; exit 3\n"
+      "       [--threshold PCT] [--stat S]  on regression beyond threshold\n"
+      "       [--fail-on-missing] [--all]\n"
       "\n"
       "Unknown flags are errors. /metrics of `serve` answers JSON by\n"
       "default and Prometheus text format under `Accept: text/plain` (or\n"
@@ -448,6 +502,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "profile") return CmdProfile(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "bench-diff") return CmdBenchDiff(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     Usage();
     return 0;

@@ -1,0 +1,156 @@
+#include "bench/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/reporter.h"
+#include "common/json.h"
+
+namespace etude::bench {
+namespace {
+
+/// A one-series document: `name{model=X}` with the given direction/value.
+JsonValue Doc(double value, Direction direction = Direction::kLowerIsBetter,
+              const std::string& name = "p90_ms") {
+  BenchReporter reporter("bench_unit", BenchEnv{});
+  reporter.AddValue(name, "ms", {{"model", "X"}}, direction, value);
+  return reporter.ToJson();
+}
+
+DiffReport DiffOrDie(const JsonValue& base, const JsonValue& cand,
+                     const DiffOptions& options = DiffOptions{}) {
+  auto report = DiffBenchJson(base, cand, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *report;
+}
+
+TEST(BenchDiffTest, IdenticalSeriesIsUnchanged) {
+  const DiffReport report = DiffOrDie(Doc(100.0), Doc(100.0));
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.unchanged, 1);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].key, "bench_unit/p90_ms{model=X}");
+  EXPECT_EQ(report.rows[0].verdict, Verdict::kUnchanged);
+}
+
+TEST(BenchDiffTest, LowerIsBetterRegressesWhenValueRises) {
+  const DiffReport report = DiffOrDie(Doc(100.0), Doc(130.0));
+  EXPECT_TRUE(report.has_regression());
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].verdict, Verdict::kRegressed);
+  EXPECT_DOUBLE_EQ(report.rows[0].delta_pct, 30.0);
+}
+
+TEST(BenchDiffTest, LowerIsBetterImprovesWhenValueDrops) {
+  const DiffReport report = DiffOrDie(Doc(100.0), Doc(70.0));
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.improved, 1);
+}
+
+TEST(BenchDiffTest, ExactThresholdIsNotARegression) {
+  // threshold_pct = 10: a +10.0% move is still within budget; only a
+  // strictly larger move gates.
+  DiffOptions options;
+  options.threshold_pct = 10.0;
+  const DiffReport at = DiffOrDie(Doc(100.0), Doc(110.0), options);
+  EXPECT_FALSE(at.has_regression());
+  const DiffReport above = DiffOrDie(Doc(100.0), Doc(110.01), options);
+  EXPECT_TRUE(above.has_regression());
+}
+
+TEST(BenchDiffTest, HigherIsBetterRegressesWhenValueDrops) {
+  const DiffReport report =
+      DiffOrDie(Doc(1000.0, Direction::kHigherIsBetter),
+                Doc(500.0, Direction::kHigherIsBetter));
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_DOUBLE_EQ(report.rows[0].delta_pct, -50.0);
+}
+
+TEST(BenchDiffTest, InfoSeriesNeverGates) {
+  const DiffReport report = DiffOrDie(Doc(100.0, Direction::kInfo),
+                                      Doc(100000.0, Direction::kInfo));
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.rows[0].verdict, Verdict::kUnchanged);
+}
+
+TEST(BenchDiffTest, NewAndMissingSeriesAreCounted) {
+  const DiffReport gained =
+      DiffOrDie(Doc(100.0), Doc(100.0, Direction::kLowerIsBetter, "extra"));
+  EXPECT_EQ(gained.added, 1);
+  EXPECT_EQ(gained.missing, 1);  // p90_ms vanished, extra appeared
+  EXPECT_FALSE(gained.has_regression());
+}
+
+TEST(BenchDiffTest, SummarySeriesComparesTheChosenStat) {
+  auto make = [](int64_t scale) {
+    BenchReporter reporter("bench_unit", BenchEnv{});
+    metrics::LatencyHistogram hist;
+    for (int i = 1; i <= 100; ++i) hist.Record(i * scale);
+    reporter.AddSummary("lat_us", "us", {}, Direction::kLowerIsBetter,
+                        hist.Summarize());
+    return reporter.ToJson();
+  };
+  DiffOptions options;
+  options.stat = "p90";
+  const DiffReport report = DiffOrDie(make(10), make(20), options);
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_EQ(report.stat, "p90");
+
+  options.stat = "latency_of_vibes";
+  EXPECT_FALSE(DiffBenchJson(make(10), make(10), options).ok());
+}
+
+TEST(BenchDiffTest, ReportTextListsRegressionsAndSummaryLine) {
+  const DiffReport report = DiffOrDie(Doc(100.0), Doc(130.0));
+  const std::string text = report.ToText(/*show_all=*/false);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("bench_unit/p90_ms{model=X}"), std::string::npos);
+  EXPECT_NE(text.find("1 regressed"), std::string::npos);
+}
+
+TEST(BenchDiffTest, LoaderRejectsUnknownSchemaVersion) {
+  const std::string path = testing::TempDir() + "/bad_schema.json";
+  {
+    std::ofstream out(path);
+    out << "{\"schema_version\": 99, \"series\": []}";
+  }
+  EXPECT_FALSE(LoadBenchJson(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadBenchJson("/nonexistent/bench.json").ok());
+}
+
+TEST(BenchDiffMainTest, ExitCodesMatchTheContract) {
+  const std::string base = testing::TempDir() + "/diff_base.json";
+  const std::string good = testing::TempDir() + "/diff_good.json";
+  const std::string bad = testing::TempDir() + "/diff_bad.json";
+  auto write = [](const std::string& path, const JsonValue& doc) {
+    std::ofstream out(path);
+    out << doc.Dump();
+  };
+  write(base, Doc(100.0));
+  write(good, Doc(104.0));
+  write(bad, Doc(200.0));
+
+  EXPECT_EQ(DiffMain({base, good}), 0);
+  EXPECT_EQ(DiffMain({base, bad}), 3);
+  EXPECT_EQ(DiffMain({base, bad, "--threshold", "150"}), 0);
+  EXPECT_EQ(DiffMain({base}), 2);                        // usage
+  EXPECT_EQ(DiffMain({base, good, "--bogus"}), 2);       // unknown flag
+  EXPECT_EQ(DiffMain({base, "/nonexistent.json"}), 1);   // load error
+  // A missing series only fails under --fail-on-missing.
+  const std::string renamed = testing::TempDir() + "/diff_renamed.json";
+  write(renamed, Doc(100.0, Direction::kLowerIsBetter, "renamed"));
+  EXPECT_EQ(DiffMain({base, renamed}), 0);
+  EXPECT_EQ(DiffMain({base, renamed, "--fail-on-missing"}), 3);
+
+  for (const std::string& path : {base, good, bad, renamed}) {
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace etude::bench

@@ -1,0 +1,125 @@
+#include "bench/reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/diff.h"
+#include "common/json.h"
+#include "metrics/histogram.h"
+
+namespace etude::bench {
+namespace {
+
+BenchEnv TestEnv() {
+  BenchEnv env;
+  env.git_sha = "abc1234";
+  env.build_type = "Release";
+  env.sanitizers = "";
+  env.cpu_count = 8;
+  env.date = "2026-08-06T00:00:00Z";
+  env.quick = true;
+  return env;
+}
+
+TEST(DirectionTest, JsonSpellings) {
+  EXPECT_EQ(DirectionToString(Direction::kLowerIsBetter), "down");
+  EXPECT_EQ(DirectionToString(Direction::kHigherIsBetter), "up");
+  EXPECT_EQ(DirectionToString(Direction::kInfo), "none");
+}
+
+TEST(BenchEnvTest, CaptureFillsCompileTimeFields) {
+  const BenchEnv env = BenchEnv::Capture();
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_FALSE(env.build_type.empty());
+  EXPECT_GT(env.cpu_count, 0);
+  EXPECT_TRUE(env.date.empty());  // the clock is never read by benches
+}
+
+TEST(BenchReporterTest, ValueSeriesRoundTripsThroughJson) {
+  BenchReporter reporter("bench_unit", TestEnv());
+  reporter.AddValue("steady_p90_ms", "ms",
+                    {{"model", "GRU4Rec"}, {"catalog", "1M"}},
+                    Direction::kLowerIsBetter, 12.5);
+  ASSERT_EQ(reporter.series_count(), 1u);
+
+  auto parsed = ParseJson(reporter.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = *parsed;
+  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 1);
+  EXPECT_EQ(doc.GetStringOr("binary", ""), "bench_unit");
+
+  const JsonValue& env = doc.Get("env");
+  ASSERT_TRUE(env.is_object());
+  EXPECT_EQ(env.GetStringOr("git_sha", ""), "abc1234");
+  EXPECT_EQ(env.GetStringOr("build_type", ""), "Release");
+  EXPECT_EQ(env.GetIntOr("cpu_count", 0), 8);
+  EXPECT_TRUE(env.GetBoolOr("quick", false));
+  // The default seed (-1, "binary used its built-in seed") is omitted.
+  EXPECT_FALSE(env.Contains("seed"));
+
+  const JsonValue& series = doc.Get("series");
+  ASSERT_TRUE(series.is_array());
+  ASSERT_EQ(series.items().size(), 1u);
+  const JsonValue& entry = series.items()[0];
+  EXPECT_EQ(entry.GetStringOr("name", ""), "steady_p90_ms");
+  EXPECT_EQ(entry.GetStringOr("unit", ""), "ms");
+  EXPECT_EQ(entry.GetStringOr("direction", ""), "down");
+  EXPECT_DOUBLE_EQ(entry.GetNumberOr("value", 0.0), 12.5);
+  EXPECT_FALSE(entry.Contains("summary"));
+  const JsonValue& params = entry.Get("params");
+  ASSERT_TRUE(params.is_object());
+  EXPECT_EQ(params.GetStringOr("model", ""), "GRU4Rec");
+  EXPECT_EQ(params.GetStringOr("catalog", ""), "1M");
+}
+
+TEST(BenchReporterTest, SummarySeriesCarriesAllStatistics) {
+  BenchReporter reporter("bench_unit", TestEnv());
+  metrics::LatencyHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.Record(i * 10);
+  reporter.AddSummary("replay_us", "us", {}, Direction::kLowerIsBetter,
+                      hist.Summarize());
+
+  auto parsed = ParseJson(reporter.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& entry = parsed->Get("series").items()[0];
+  EXPECT_FALSE(entry.Contains("value"));
+  const JsonValue& summary = entry.Get("summary");
+  ASSERT_TRUE(summary.is_object());
+  EXPECT_EQ(summary.GetIntOr("count", 0), 100);
+  for (const char* stat : {"sum", "min", "mean", "p50", "p90", "p99", "max"}) {
+    EXPECT_TRUE(summary.Contains(stat)) << stat;
+  }
+  // Percentiles are bucket upper bounds: within +1.6% above the exact
+  // rank value, never below it.
+  const double p50 = summary.GetNumberOr("p50", 0.0);
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 500.0 * 1.016 + 1.0);
+}
+
+TEST(BenchReporterTest, SeedReportedWhenSet) {
+  BenchEnv env = TestEnv();
+  env.seed = 42;
+  BenchReporter reporter("bench_unit", env);
+  auto parsed = ParseJson(reporter.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("env").GetIntOr("seed", -1), 42);
+}
+
+TEST(BenchReporterTest, WriteJsonLoadsBackThroughDiffLoader) {
+  BenchReporter reporter("bench_unit", TestEnv());
+  reporter.AddValue("cost", "usd", {}, Direction::kInfo, 108.0);
+  const std::string path =
+      testing::TempDir() + "/reporter_round_trip.json";
+  ASSERT_TRUE(reporter.WriteJson(path).ok());
+
+  auto loaded = LoadBenchJson(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->GetStringOr("binary", ""), "bench_unit");
+  EXPECT_EQ(loaded->Get("series").items().size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace etude::bench

@@ -1,0 +1,165 @@
+#include "obs/folded.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace etude::obs {
+namespace {
+
+TraceEvent Event(const std::string& stack, int64_t dur_us, int64_t tid = 0,
+                 int32_t pid = kWallClockPid) {
+  TraceEvent event;
+  const size_t last = stack.rfind(';');
+  event.name = last == std::string::npos ? stack : stack.substr(last + 1);
+  event.stack = stack;
+  event.dur_us = dur_us;
+  event.tid = tid;
+  event.pid = pid;
+  return event;
+}
+
+TEST(FoldStacksTest, SelfTimeIsTotalMinusChildren) {
+  // recommend(100) = embed(30) + mips(50) + 20us of its own.
+  const std::vector<TraceEvent> events = {
+      Event("recommend", 100),
+      Event("recommend;embed", 30),
+      Event("recommend;mips", 50),
+  };
+  const std::vector<FoldedLine> lines = FoldStacks(events);
+  ASSERT_EQ(lines.size(), 3u);  // sorted by path
+  EXPECT_EQ(lines[0].stack, "recommend");
+  EXPECT_EQ(lines[0].self_us, 20);
+  EXPECT_EQ(lines[1].stack, "recommend;embed");
+  EXPECT_EQ(lines[1].self_us, 30);
+  EXPECT_EQ(lines[2].stack, "recommend;mips");
+  EXPECT_EQ(lines[2].self_us, 50);
+}
+
+TEST(FoldStacksTest, PureParentFramesAreOmitted) {
+  const std::vector<TraceEvent> events = {
+      Event("outer", 80),
+      Event("outer;inner", 80),
+  };
+  const std::vector<FoldedLine> lines = FoldStacks(events);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].stack, "outer;inner");
+  EXPECT_EQ(lines[0].self_us, 80);
+}
+
+TEST(FoldStacksTest, RepeatedPathsAggregate) {
+  const std::vector<TraceEvent> events = {
+      Event("op", 10), Event("op", 15), Event("op", 20)};
+  const std::vector<FoldedLine> lines = FoldStacks(events);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].self_us, 45);
+}
+
+TEST(FoldStacksTest, StacklessEventsFoldAsRootFrames) {
+  // Virtual-time simulation spans are recorded directly, without a
+  // thread span stack; they count under their own name.
+  TraceEvent event;
+  event.name = "sim-server";
+  event.dur_us = 42;
+  const std::vector<FoldedLine> lines = FoldStacks({event});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].stack, "sim-server");
+}
+
+TEST(FoldStacksTest, MultipleLanesArePrefixed) {
+  const std::vector<TraceEvent> events = {
+      Event("work", 10, /*tid=*/1),
+      Event("work", 20, /*tid=*/2),
+      Event("tick", 30, /*tid=*/0, kVirtualClockPid),
+  };
+  const std::vector<FoldedLine> lines = FoldStacks(events);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].stack, "t1;work");
+  EXPECT_EQ(lines[0].self_us, 10);
+  EXPECT_EQ(lines[1].stack, "t2;work");
+  EXPECT_EQ(lines[1].self_us, 20);
+  EXPECT_EQ(lines[2].stack, "v0;tick");
+  EXPECT_EQ(lines[2].self_us, 30);
+}
+
+TEST(FoldStacksTest, SingleLaneGetsNoPrefix) {
+  const std::vector<TraceEvent> events = {Event("work", 10, /*tid=*/7)};
+  const std::vector<FoldedLine> lines = FoldStacks(events);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].stack, "work");
+}
+
+TEST(ScopedSpanStackTest, NestedSpansRecordTheirAncestry) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    ScopedSpan outer("outer", "test");
+    { ScopedSpan inner("inner", "test"); }
+    { ScopedSpan other("other", "test"); }
+  }
+  tracer.Disable();
+
+  bool saw_inner = false, saw_other = false, saw_outer = false;
+  for (const TraceEvent& event : tracer.Snapshot()) {
+    if (event.name == "inner") {
+      saw_inner = true;
+      EXPECT_EQ(event.stack, "outer;inner");
+    } else if (event.name == "other") {
+      saw_other = true;
+      EXPECT_EQ(event.stack, "outer;other");
+    } else if (event.name == "outer") {
+      saw_outer = true;
+      EXPECT_EQ(event.stack, "outer");
+    }
+  }
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_other);
+  EXPECT_TRUE(saw_outer);
+  tracer.Clear();
+}
+
+TEST(ScopedSpanStackTest, ThreadsKeepSeparateStacks) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable();
+  std::thread worker([] {
+    ScopedSpan span("worker_root", "test");
+    ScopedSpan child("worker_child", "test");
+  });
+  {
+    ScopedSpan span("main_root", "test");
+  }
+  worker.join();
+  tracer.Disable();
+
+  for (const TraceEvent& event : tracer.Snapshot()) {
+    if (event.name == "worker_child") {
+      // The worker's ancestry never includes main's open spans.
+      EXPECT_EQ(event.stack, "worker_root;worker_child");
+    }
+  }
+  tracer.Clear();
+}
+
+TEST(WriteFoldedTest, WritesFlamegraphInputText) {
+  const std::string path = testing::TempDir() + "/spans.folded";
+  const std::vector<TraceEvent> events = {
+      Event("recommend", 100),
+      Event("recommend;mips", 60),
+  };
+  ASSERT_TRUE(WriteFolded(path, events).ok());
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(text.str(), "recommend 40\nrecommend;mips 60\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace etude::obs

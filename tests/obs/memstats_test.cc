@@ -1,0 +1,90 @@
+#include "obs/memstats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/model_factory.h"
+#include "tensor/tensor.h"
+
+namespace etude::obs {
+namespace {
+
+TEST(MemStatsTest, TensorLifecycleIsAccounted) {
+  const MemStats before = ProcessMemStats();
+  {
+    tensor::Tensor t({16, 32});
+    EXPECT_EQ(t.ByteSize(), 16 * 32 * 4);
+    const MemStats during = ProcessMemStats();
+    EXPECT_EQ(during.allocated_bytes - before.allocated_bytes,
+              t.ByteSize());
+    EXPECT_EQ(during.live_bytes - before.live_bytes, t.ByteSize());
+  }
+  const MemStats after = ProcessMemStats();
+  EXPECT_EQ(after.freed_bytes - before.freed_bytes, 16 * 32 * 4);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(MemStatsTest, CopyAndMoveKeepTheBooksBalanced) {
+  const MemStats before = ProcessMemStats();
+  {
+    tensor::Tensor a({8, 8});
+    tensor::Tensor copy = a;                  // second buffer
+    EXPECT_EQ(ProcessMemStats().live_bytes - before.live_bytes,
+              2 * a.ByteSize());
+    tensor::Tensor moved = std::move(copy);   // no new buffer
+    EXPECT_EQ(ProcessMemStats().live_bytes - before.live_bytes,
+              2 * a.ByteSize());
+    static_cast<void>(moved);
+  }
+  EXPECT_EQ(ProcessMemStats().live_bytes, before.live_bytes);
+}
+
+TEST(MemStatsTest, LiveBytesReturnToBaselineAfterModelForward) {
+  const int64_t baseline = ProcessMemStats().live_bytes;
+  int64_t with_model = 0;
+  {
+    models::ModelConfig config;
+    config.catalog_size = 2000;
+    config.top_k = 10;
+    auto model = models::CreateModel("GRU4Rec", config);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    with_model = ProcessMemStats().live_bytes;
+    EXPECT_GT(with_model, baseline);  // weights are tensor-backed
+
+    auto rec = (*model)->Recommend({1, 2, 3, 4});
+    ASSERT_TRUE(rec.ok());
+    // Forward-pass activations are all temporaries: once Recommend
+    // returns, live bytes are back to just the weights.
+    EXPECT_EQ(ProcessMemStats().live_bytes, with_model);
+  }
+  EXPECT_EQ(ProcessMemStats().live_bytes, baseline);
+}
+
+TEST(MemStatsTest, PeakTracksHighWaterMarkAndResets) {
+  ResetPeakLiveBytes();
+  const int64_t floor = ProcessMemStats().peak_live_bytes;
+  { tensor::Tensor big({256, 256}); }
+  const MemStats after = ProcessMemStats();
+  EXPECT_GE(after.peak_live_bytes, floor + 256 * 256 * 4);
+  EXPECT_LT(after.live_bytes, after.peak_live_bytes);
+  ResetPeakLiveBytes();
+  EXPECT_EQ(ProcessMemStats().peak_live_bytes,
+            ProcessMemStats().live_bytes);
+}
+
+TEST(MemStatsTest, ThreadCountersAreLocalLiveIsGlobal) {
+  const MemStats thread_before = ThreadMemStats();
+  { tensor::Tensor t({4, 4}); }
+  const MemStats thread_after = ThreadMemStats();
+  EXPECT_EQ(thread_after.allocated_bytes - thread_before.allocated_bytes,
+            4 * 4 * 4);
+  EXPECT_EQ(thread_after.freed_bytes - thread_before.freed_bytes, 4 * 4 * 4);
+}
+
+TEST(MemStatsTest, RssIsReadable) {
+  EXPECT_GT(ProcessRssBytes(), 0);
+}
+
+}  // namespace
+}  // namespace etude::obs

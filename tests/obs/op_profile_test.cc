@@ -20,10 +20,12 @@ class RecordingSink : public OpSink {
     std::string name;
     int64_t duration_ns;
     double flops;
+    int64_t peak_bytes;
   };
 
-  void OnOp(const char* name, int64_t duration_ns, double flops) override {
-    calls.push_back({name, duration_ns, flops});
+  void OnOp(const char* name, int64_t duration_ns, double flops,
+            int64_t peak_bytes) override {
+    calls.push_back({name, duration_ns, flops, peak_bytes});
   }
 
   std::vector<Call> calls;
@@ -99,14 +101,16 @@ TEST(OpHookTest, RealTensorOpsReportToTheSink) {
   EXPECT_EQ(sink.calls[0].name, "MatMul");
   // 2*m*k*n analytic FLOPs.
   EXPECT_DOUBLE_EQ(sink.calls[0].flops, 2.0 * 4 * 8 * 3);
+  // The op allocated at least its 4x3 fp32 result inside the window.
+  EXPECT_GE(sink.calls[0].peak_bytes, 4 * 3 * 4);
 }
 #endif  // ETUDE_DISABLE_TRACING
 
 TEST(OpProfileTest, AggregatesByOp) {
   OpProfile profile;
-  profile.OnOp("Mips", 3000, 600.0);
-  profile.OnOp("Mips", 1000, 200.0);
-  profile.OnOp("GruCell", 500, 50.0);
+  profile.OnOp("Mips", 3000, 600.0, 4096);
+  profile.OnOp("Mips", 1000, 200.0, 1024);
+  profile.OnOp("GruCell", 500, 50.0, 0);
   const std::vector<OpProfileEntry> entries = profile.Entries();
   ASSERT_EQ(entries.size(), 2u);
   // Sorted by descending total time.
@@ -115,14 +119,15 @@ TEST(OpProfileTest, AggregatesByOp) {
   EXPECT_EQ(entries[0].total_ns, 4000);
   EXPECT_DOUBLE_EQ(entries[0].flops, 800.0);
   EXPECT_DOUBLE_EQ(entries[0].gflops_per_s(), 800.0 / 4000.0);
+  EXPECT_EQ(entries[0].peak_bytes, 4096) << "peak is a max, not a sum";
   EXPECT_EQ(entries[1].op, "GruCell");
   EXPECT_EQ(profile.TotalNs(), 4500);
 }
 
 TEST(OpProfileTest, ToTextListsEveryOpWithPercentages) {
   OpProfile profile;
-  profile.OnOp("Mips", 9000, 900.0);
-  profile.OnOp("Embedding", 1000, 0.0);
+  profile.OnOp("Mips", 9000, 900.0, 2048);
+  profile.OnOp("Embedding", 1000, 0.0, 0);
   const std::string text = profile.ToText();
   EXPECT_NE(text.find("op"), std::string::npos);
   EXPECT_NE(text.find("% of inference"), std::string::npos);
@@ -134,7 +139,7 @@ TEST(OpProfileTest, ToTextListsEveryOpWithPercentages) {
 
 TEST(OpProfileTest, ClearEmptiesTheProfile) {
   OpProfile profile;
-  profile.OnOp("Mips", 100, 1.0);
+  profile.OnOp("Mips", 100, 1.0, 0);
   profile.Clear();
   EXPECT_TRUE(profile.Entries().empty());
   EXPECT_EQ(profile.TotalNs(), 0);

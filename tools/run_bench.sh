@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Runs the full bench suite against an existing build tree and merges the
+# per-binary JSON reports into one schema-versioned suite file:
+#
+#   tools/run_bench.sh [--quick] [--label NAME] [--build-dir DIR] [--out FILE]
+#
+#   --quick       pass --quick to every binary (CI tier, minutes not hours)
+#   --label NAME  suite label; output defaults to BENCH_<label>.json at the
+#                 repo root (label defaults to "quick" or "full")
+#   --build-dir   build tree holding bench/ binaries (default: build)
+#   --out FILE    override the output path entirely
+#
+# Each binary gets --json-out plus a shared --date/--git-sha so the merged
+# environment block is consistent across the suite; the binaries themselves
+# never read the clock, which keeps their measurements deterministic.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+LABEL=""
+BUILD_DIR="build"
+OUT=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --label) LABEL="$2"; shift ;;
+    --label=*) LABEL="${1#*=}" ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --build-dir=*) BUILD_DIR="${1#*=}" ;;
+    --out) OUT="$2"; shift ;;
+    --out=*) OUT="${1#*=}" ;;
+    -h|--help)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "run_bench.sh: unknown flag $1 (see --help)" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ -z "${LABEL}" ]; then
+  [ "${QUICK}" = 1 ] && LABEL="quick" || LABEL="full"
+fi
+[ -z "${OUT}" ] && OUT="BENCH_${LABEL}.json"
+
+BENCH_DIR="${BUILD_DIR}/bench"
+[ -d "${BENCH_DIR}" ] || {
+  echo "FAIL: ${BENCH_DIR} not found; build first (cmake --build ${BUILD_DIR})" >&2
+  exit 1
+}
+
+BINARIES=(
+  bench_fig2_infra
+  bench_fig3_micro
+  bench_fig4_e2e
+  bench_table1_cost
+  bench_synth_validation
+  bench_workload_gen
+  bench_model_ops
+  bench_ablation_ann
+  bench_ablation_batching
+  bench_nonneural_baseline
+  bench_cloud_costs
+)
+
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+COMMON_ARGS=(--date "${DATE}" --git-sha "${GIT_SHA}")
+[ "${QUICK}" = 1 ] && COMMON_ARGS+=(--quick)
+
+for BIN in "${BINARIES[@]}"; do
+  EXE="${BENCH_DIR}/${BIN}"
+  [ -x "${EXE}" ] || { echo "FAIL: ${EXE} not built" >&2; exit 1; }
+  echo "=== ${BIN} ==="
+  "${EXE}" "${COMMON_ARGS[@]}" --json-out "${TMP}/${BIN}.json" \
+      > "${TMP}/${BIN}.log" 2>&1 || {
+    echo "FAIL: ${BIN} exited non-zero; last lines of its log:" >&2
+    tail -20 "${TMP}/${BIN}.log" >&2
+    exit 1
+  }
+  tail -1 "${TMP}/${BIN}.log"
+done
+
+python3 - "${TMP}" "${OUT}" "${LABEL}" <<'PY'
+import json, sys, os
+
+tmp, out, label = sys.argv[1], sys.argv[2], sys.argv[3]
+reports = []
+for name in sorted(os.listdir(tmp)):
+    if not name.endswith(".json"):
+        continue
+    with open(os.path.join(tmp, name)) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"FAIL: {name} has schema_version {doc.get('schema_version')}")
+    reports.append(doc)
+
+series = []
+for doc in reports:
+    for entry in doc["series"]:
+        entry = dict(entry)
+        entry["binary"] = doc["binary"]
+        series.append(entry)
+
+merged = {
+    "schema_version": 1,
+    "label": label,
+    "env": reports[0]["env"] if reports else {},
+    "binaries": [doc["binary"] for doc in reports],
+    "series": series,
+}
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"merged {len(series)} series from {len(reports)} binaries into {out}")
+PY
