@@ -6,10 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
 #include "bench/gbench_adapter.h"
 #include "common/rng.h"
+#include "metrics/histogram.h"
 #include "models/model_factory.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
@@ -33,6 +35,26 @@ void BM_Mips(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * catalog);
 }
 BENCHMARK(BM_Mips)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Dense matmul at transformer-encoder shapes: [L,d] @ [d,n] for session
+// length L and hidden width d (attention projections n=d, FFN n=4d).
+void BM_MatMul(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t k = state.range(1);
+  const int64_t n = state.range(2);
+  etude::Rng rng(8);
+  const Tensor a = etude::tensor::RandomNormal({m, k}, 1.0f, &rng);
+  const Tensor b = etude::tensor::RandomNormal({k, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etude::tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_MatMul)
+    ->Args({50, 64, 64})
+    ->Args({50, 64, 256})
+    ->Args({200, 128, 128})
+    ->Args({200, 128, 512});
 
 void BM_TopK(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -74,6 +96,43 @@ void BM_ModelForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelForward)->DenseRange(0, 9, 1);
 
+// Hand-timed end-to-end forward-pass latency distribution (encode +
+// fused MIPS over the catalog) for one model. google-benchmark only
+// reports means; EXPERIMENTS.md quotes p50/p99, so this records every
+// request into a histogram and emits a summary series.
+void RecordForwardLatency(etude::bench::BenchRun& run, ModelKind kind,
+                          int64_t catalog, int requests) {
+  ModelConfig config;
+  config.catalog_size = catalog;
+  auto model = etude::models::CreateModel(kind, config);
+  if (!model.ok()) return;
+  etude::Rng rng(11);
+  std::vector<std::vector<int64_t>> sessions(
+      static_cast<size_t>(requests));
+  for (auto& session : sessions) {
+    const int len = 2 + static_cast<int>(rng.NextBounded(19));
+    for (int i = 0; i < len; ++i) {
+      session.push_back(static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(catalog))));
+    }
+  }
+  (void)(*model)->Recommend(sessions[0]);  // warm up weights/caches
+  etude::metrics::LatencyHistogram latencies;
+  for (const auto& session : sessions) {
+    const auto start = std::chrono::steady_clock::now();
+    auto rec = (*model)->Recommend(session);
+    benchmark::DoNotOptimize(rec);
+    latencies.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+  }
+  run.reporter().AddSummary(
+      "forward_latency_us", "us",
+      {{"model", std::string(etude::models::ModelKindToString(kind))},
+       {"catalog", std::to_string(catalog)}},
+      etude::bench::Direction::kLowerIsBetter, latencies.Summarize());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,5 +140,8 @@ int main(int argc, char** argv) {
   options.gbench_passthrough = true;
   etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
       "bench_model_ops", argc, argv, std::move(options));
+  const int requests = run.quick() ? 50 : 300;
+  RecordForwardLatency(run, ModelKind::kGru4Rec, 100000, requests);
+  RecordForwardLatency(run, ModelKind::kSasRec, 100000, requests);
   return etude::bench::RunGoogleBenchmarks(run, argv[0]);
 }

@@ -11,6 +11,9 @@ std::vector<FlagSpec> StandardFlagSpecs() {
       {"json-out", true, "write measured series as BENCH JSON to this path"},
       {"quick", false, "reduced iteration counts for CI smoke runs"},
       {"seed", true, "override the binary's default RNG seed"},
+      {"threads", true,
+       "tensor-kernel worker count (default: ETUDE_NUM_THREADS, else all "
+       "hardware threads)"},
       {"date", true, "ISO date recorded in the JSON env block"},
       {"git-sha", true, "git revision recorded in the JSON env block"},
       {"help", false, "print this usage text"},

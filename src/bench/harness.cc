@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace etude::bench {
@@ -22,6 +23,16 @@ Result<BenchRun> BenchRun::Create(const std::string& binary, int argc,
   ETUDE_ASSIGN_OR_RETURN(
       Flags flags, Flags::Parse(argc, argv, CombinedSpecs(options),
                                 options.gbench_passthrough));
+  if (flags.Has("threads")) {
+    const int64_t threads = flags.GetInt("threads", 0);
+    if (threads < 1) {
+      return Status::InvalidArgument(
+          "--threads must be a positive integer, got '" +
+          flags.GetString("threads", "") + "'");
+    }
+    SetNumThreads(static_cast<int>(threads));
+  }
+  // Capture after the flag applied so env.threads records the real count.
   BenchEnv env = BenchEnv::Capture();
   env.quick = flags.GetBool("quick");
   env.date = flags.GetString("date", "");

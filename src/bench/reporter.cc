@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/parallel.h"
+
 // Baked in by src/bench/CMakeLists.txt at configure time.
 #ifndef ETUDE_GIT_SHA
 #define ETUDE_GIT_SHA "unknown"
@@ -34,6 +36,7 @@ BenchEnv BenchEnv::Capture() {
   env.build_type = ETUDE_BUILD_TYPE;
   env.sanitizers = ETUDE_SANITIZE_FLAGS;
   env.cpu_count = static_cast<int>(std::thread::hardware_concurrency());
+  env.threads = NumThreads();
   return env;
 }
 
@@ -87,6 +90,7 @@ JsonValue BenchReporter::ToJson() const {
   env.Set("build_type", JsonValue(env_.build_type));
   env.Set("sanitizers", JsonValue(env_.sanitizers));
   env.Set("cpu_count", JsonValue(static_cast<int64_t>(env_.cpu_count)));
+  env.Set("threads", JsonValue(static_cast<int64_t>(env_.threads)));
   env.Set("date", JsonValue(env_.date));
   env.Set("quick", JsonValue(env_.quick));
   if (env_.seed >= 0) env.Set("seed", JsonValue(env_.seed));

@@ -30,6 +30,7 @@ struct BenchEnv {
   std::string build_type;
   std::string sanitizers;
   int cpu_count = 0;
+  int threads = 0;  // tensor-kernel worker count the run executed with
   std::string date;
   bool quick = false;
   int64_t seed = -1;  // -1: the binary ran with its built-in default seed

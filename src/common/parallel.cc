@@ -1,0 +1,203 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace etude {
+
+namespace {
+
+/// Set while a thread executes chunks of a parallel region (workers for
+/// their whole lifetime, callers while they participate in their own
+/// region). Read by InParallelRegion() to serialise nested ParallelFor.
+thread_local bool t_in_parallel_region = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("ETUDE_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
+
+}  // namespace
+
+int NumThreads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    // Benign race: concurrent first calls compute the same default.
+    n = DefaultNumThreads();
+    g_num_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void SetNumThreads(int n) {
+  g_num_threads.store(std::max(1, n), std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+namespace parallel_detail {
+
+namespace {
+
+/// One ParallelFor invocation: an index range cut into `num_chunks` chunks
+/// of `chunk_size`, handed out via the `next_chunk` ticket counter.
+/// Workers additionally take a participation slot so a pool larger than
+/// the current NumThreads() setting never over-parallelises a region.
+/// Held by shared_ptr: a worker that wakes up late (after the caller
+/// already returned and moved on) still holds a valid, fully-drained
+/// region and simply finds no chunk left.
+struct Region {
+  Region(RangeFunctionRef body_ref, int64_t begin_in, int64_t end_in,
+         int64_t chunk_size_in, int64_t num_chunks_in, int worker_slots_in)
+      : body(body_ref),
+        begin(begin_in),
+        end(end_in),
+        chunk_size(chunk_size_in),
+        num_chunks(num_chunks_in),
+        worker_slots(worker_slots_in) {}
+
+  const RangeFunctionRef body;
+  const int64_t begin;
+  const int64_t end;
+  const int64_t chunk_size;
+  const int64_t num_chunks;
+  std::atomic<int> worker_slots;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> chunks_done{0};
+};
+
+/// Persistent work-sharing pool. Leaked singleton (never destructed):
+/// worker threads live for the process lifetime, so there is no shutdown
+/// race with static destruction order, and Tracer buffers registered by
+/// workers stay valid for late Snapshot() calls.
+class ThreadPool {
+ public:
+  static ThreadPool& Get() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  void Run(int64_t begin, int64_t end, int64_t grain, RangeFunctionRef body)
+      ETUDE_EXCLUDES(mutex_) {
+    const int threads = std::max(1, NumThreads());
+    // At least `grain` per chunk, at most 4 chunks per thread: enough
+    // slack for load balancing without churning the ticket counter.
+    const int64_t range = end - begin;
+    const int64_t min_chunk = (range + 4 * threads - 1) / (4 * threads);
+    const int64_t chunk_size = std::max(grain, min_chunk);
+    const int64_t num_chunks = (range + chunk_size - 1) / chunk_size;
+    if (num_chunks <= 1) {
+      body(begin, end);
+      return;
+    }
+    auto region = std::make_shared<Region>(body, begin, end, chunk_size,
+                                           num_chunks, threads - 1);
+    {
+      MutexLock lock(mutex_);
+      EnsureWorkers(threads - 1);
+      region_ = region;
+      ++epoch_;
+      work_cv_.NotifyAll();
+    }
+    // The caller is one of the region's threads: drain chunks alongside
+    // the workers instead of blocking idle.
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    DrainChunks(*region);
+    t_in_parallel_region = was_in_region;
+    {
+      MutexLock lock(mutex_);
+      while (region->chunks_done.load(std::memory_order_acquire) <
+             region->num_chunks) {
+        done_cv_.Wait(mutex_);
+      }
+      if (region_ == region) region_ = nullptr;
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(int target) ETUDE_REQUIRES(mutex_) {
+    while (static_cast<int>(workers_.size()) < target) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.back().detach();
+    }
+  }
+
+  void WorkerLoop() ETUDE_EXCLUDES(mutex_) {
+    t_in_parallel_region = true;
+    uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        MutexLock lock(mutex_);
+        while (epoch_ == seen_epoch) work_cv_.Wait(mutex_);
+        seen_epoch = epoch_;
+        region = region_;
+      }
+      if (region == nullptr) continue;
+      // Respect the thread count the region was launched with even if the
+      // pool has more workers than that (SetNumThreads shrank it).
+      if (region->worker_slots.fetch_sub(1, std::memory_order_relaxed) <=
+          0) {
+        continue;
+      }
+      DrainChunks(*region);
+    }
+  }
+
+  void DrainChunks(Region& region) ETUDE_EXCLUDES(mutex_) {
+    for (;;) {
+      const int64_t chunk =
+          region.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= region.num_chunks) return;
+      const int64_t chunk_begin = region.begin + chunk * region.chunk_size;
+      const int64_t chunk_end =
+          std::min(region.end, chunk_begin + region.chunk_size);
+      region.body(chunk_begin, chunk_end);
+      if (region.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          region.num_chunks) {
+        // Last chunk: wake the caller. Taking the mutex orders this
+        // notify after the caller's condition check, so the wakeup
+        // cannot be missed.
+        MutexLock lock(mutex_);
+        done_cv_.NotifyAll();
+      }
+    }
+  }
+
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  uint64_t epoch_ ETUDE_GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<Region> region_ ETUDE_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ ETUDE_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     RangeFunctionRef body) {
+  ThreadPool::Get().Run(begin, end, grain, body);
+}
+
+}  // namespace parallel_detail
+
+}  // namespace etude

@@ -1,0 +1,82 @@
+#ifndef ETUDE_COMMON_PARALLEL_H_
+#define ETUDE_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace etude {
+
+/// Degree of parallelism the tensor kernels may use. Resolution order:
+/// SetNumThreads() (the `--threads` flag) > the ETUDE_NUM_THREADS
+/// environment variable > std::thread::hardware_concurrency(). Always >= 1;
+/// 1 means every ParallelFor body runs inline on the calling thread and no
+/// worker threads are ever started.
+int NumThreads();
+
+/// Overrides the thread count for all subsequent parallel regions
+/// (clamped to >= 1). Safe to call at any time; regions already running
+/// finish with the count they started with.
+void SetNumThreads(int n);
+
+/// True on a thread currently executing inside a ParallelFor body (worker
+/// or participating caller). Nested ParallelFor calls detect this and run
+/// serially instead of deadlocking or oversubscribing.
+bool InParallelRegion();
+
+namespace parallel_detail {
+
+/// Non-owning reference to a `void(int64_t begin, int64_t end)` callable.
+/// ParallelFor blocks until every chunk ran, so the referenced callable
+/// always outlives the region; avoiding std::function keeps the dispatch
+/// allocation-free.
+class RangeFunctionRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_reference_t<F>, RangeFunctionRef>>>
+  RangeFunctionRef(F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_(&Call<F>) {}
+
+  void operator()(int64_t begin, int64_t end) const {
+    call_(obj_, begin, end);
+  }
+
+ private:
+  template <typename F>
+  static void Call(void* obj, int64_t begin, int64_t end) {
+    (*static_cast<F*>(obj))(begin, end);
+  }
+
+  void* obj_;
+  void (*call_)(void*, int64_t, int64_t);
+};
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     RangeFunctionRef body);
+
+}  // namespace parallel_detail
+
+/// Runs `body(chunk_begin, chunk_end)` over a partition of [begin, end),
+/// distributing chunks of at least `grain` indices across NumThreads()
+/// threads (persistent pool, work-sharing via an atomic chunk counter).
+/// Returns after every chunk completed.
+///
+/// The serial fallback — thread count 1, a range no larger than one grain,
+/// or a call from inside another parallel region — invokes `body(begin,
+/// end)` inline: zero allocation, zero synchronisation. `body` must be
+/// safe to run concurrently on disjoint chunks and must not throw.
+template <typename Body>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Body&& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  if (end - begin <= grain || NumThreads() <= 1 || InParallelRegion()) {
+    body(begin, end);
+    return;
+  }
+  parallel_detail::ParallelForImpl(begin, end, grain,
+                                   parallel_detail::RangeFunctionRef(body));
+}
+
+}  // namespace etude
+
+#endif  // ETUDE_COMMON_PARALLEL_H_

@@ -18,12 +18,14 @@ class OpSink {
 
   /// `name` is a string literal identifying the op ("MatMul", "Mips", ...);
   /// `flops` is the op's analytic floating-point work (0 for pure data
-  /// movement such as Embedding or Concat); `peak_bytes` is the highest
-  /// net tensor-buffer allocation the op reached above its starting point
-  /// (its transient working set; 0 when memory accounting is compiled
-  /// out).
+  /// movement such as Embedding or Concat); `moved_bytes` is the analytic
+  /// memory traffic of data-movement ops (reads + writes; 0 for compute
+  /// ops, whose cost the FLOP count already captures); `peak_bytes` is the
+  /// highest net tensor-buffer allocation the op reached above its
+  /// starting point (its transient working set; 0 when memory accounting
+  /// is compiled out).
   virtual void OnOp(const char* name, int64_t duration_ns, double flops,
-                    int64_t peak_bytes) = 0;
+                    double moved_bytes, int64_t peak_bytes) = 0;
 };
 
 /// Attaches `sink` to the calling thread (nullptr detaches); returns the
@@ -59,7 +61,8 @@ class ScopedOpSink {
 /// relaxed atomic load — measured at < 1% of the JIT inference path.
 class ScopedOp {
  public:
-  ScopedOp(const char* name, double flops) : name_(name), flops_(flops) {
+  ScopedOp(const char* name, double flops, double moved_bytes = 0.0)
+      : name_(name), flops_(flops), moved_bytes_(moved_bytes) {
     nesting_depth() += 1;
     if (nesting_depth() == 1) {
       sink_ = ThreadOpSink();
@@ -80,7 +83,7 @@ class ScopedOp {
               .count();
       const int64_t peak_bytes = memdetail::PeakWindowBytes(start_live_);
       if (sink_ != nullptr) {
-        sink_->OnOp(name_, duration_ns, flops_, peak_bytes);
+        sink_->OnOp(name_, duration_ns, flops_, moved_bytes_, peak_bytes);
       }
       if (traced_) {
         RecordTraceEvent(duration_ns);
@@ -103,6 +106,7 @@ class ScopedOp {
 
   const char* name_;
   double flops_;
+  double moved_bytes_;
   OpSink* sink_ = nullptr;
   bool traced_ = false;
   int64_t start_live_ = 0;
@@ -116,9 +120,14 @@ class ScopedOp {
 // sizeof keeps the operands formally "used" (no evaluation, no code).
 #define ETUDE_OP_SPAN(name, flops) \
   static_cast<void>(sizeof((name)) + sizeof((flops)))
+#define ETUDE_OP_SPAN_BYTES(name, flops, bytes) \
+  static_cast<void>(sizeof((name)) + sizeof((flops)) + sizeof((bytes)))
 #else
 #define ETUDE_OP_SPAN(name, flops) \
   ::etude::obs::ScopedOp etude_op_span_(name, flops)
+// Data-movement ops report their analytic memory traffic instead of FLOPs.
+#define ETUDE_OP_SPAN_BYTES(name, flops, bytes) \
+  ::etude::obs::ScopedOp etude_op_span_(name, flops, bytes)
 #endif  // ETUDE_DISABLE_TRACING
 
 #endif  // ETUDE_OBS_OP_HOOK_H_

@@ -8,13 +8,14 @@
 namespace etude::obs {
 
 void OpProfile::OnOp(const char* name, int64_t duration_ns, double flops,
-                     int64_t peak_bytes) {
+                     double moved_bytes, int64_t peak_bytes) {
   MutexLock lock(mutex_);
   OpProfileEntry& entry = by_op_[name];
   if (entry.op.empty()) entry.op = name;
   entry.calls += 1;
   entry.total_ns += duration_ns;
   entry.flops += flops;
+  entry.moved_bytes += moved_bytes;
   entry.peak_bytes = std::max(entry.peak_bytes, peak_bytes);
 }
 
@@ -49,7 +50,7 @@ std::string OpProfile::ToText() const {
   int64_t total_ns = 0;
   for (const OpProfileEntry& entry : entries) total_ns += entry.total_ns;
   metrics::Table table({"op", "calls", "total [us]", "% of inference",
-                        "GFLOP/s", "peak [KiB]"});
+                        "GFLOP/s", "GB/s", "peak [KiB]"});
   for (const OpProfileEntry& entry : entries) {
     const double share =
         total_ns > 0
@@ -60,6 +61,9 @@ std::string OpProfile::ToText() const {
                   FormatDouble(entry.total_us(), 1), FormatDouble(share, 1),
                   entry.flops > 0 ? FormatDouble(entry.gflops_per_s(), 2)
                                   : "-",
+                  entry.moved_bytes > 0
+                      ? FormatDouble(entry.gbytes_per_s(), 2)
+                      : "-",
                   entry.peak_bytes > 0
                       ? FormatDouble(
                             static_cast<double>(entry.peak_bytes) / 1024.0,

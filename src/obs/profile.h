@@ -17,7 +17,8 @@ struct OpProfileEntry {
   std::string op;
   int64_t calls = 0;
   int64_t total_ns = 0;
-  double flops = 0;  // summed analytic FLOPs across all calls
+  double flops = 0;        // summed analytic FLOPs across all calls
+  double moved_bytes = 0;  // summed analytic memory traffic (data movement)
   /// Largest transient tensor working set any single call reached (net
   /// bytes allocated above the op's starting point); 0 with accounting
   /// compiled out.
@@ -28,6 +29,10 @@ struct OpProfileEntry {
   double gflops_per_s() const {
     return total_ns > 0 ? flops / static_cast<double>(total_ns) : 0.0;
   }
+  /// Achieved memory bandwidth; 0 for compute ops (which report FLOPs).
+  double gbytes_per_s() const {
+    return total_ns > 0 ? moved_bytes / static_cast<double>(total_ns) : 0.0;
+  }
 };
 
 /// Per-op profile table: an OpSink that aggregates name -> (calls, time,
@@ -36,7 +41,8 @@ struct OpProfileEntry {
 class OpProfile : public OpSink {
  public:
   void OnOp(const char* name, int64_t duration_ns, double flops,
-            int64_t peak_bytes) override ETUDE_EXCLUDES(mutex_);
+            double moved_bytes, int64_t peak_bytes) override
+      ETUDE_EXCLUDES(mutex_);
 
   /// Entries sorted by descending total time.
   std::vector<OpProfileEntry> Entries() const ETUDE_EXCLUDES(mutex_);
@@ -47,7 +53,9 @@ class OpProfile : public OpSink {
   void Clear() ETUDE_EXCLUDES(mutex_);
 
   /// Renders the per-op breakdown: op, calls, total us, % of inference,
-  /// GFLOP/s, peak KiB — the `etude profile` output.
+  /// GFLOP/s, GB/s, peak KiB — the `etude profile` output. Data-movement
+  /// ops (Embedding, Concat, Transpose) show bandwidth instead of a
+  /// misleading zero compute rate.
   std::string ToText() const ETUDE_EXCLUDES(mutex_);
 
  private:

@@ -1,6 +1,7 @@
 #include "serving/etude_serve.h"
 
 #include "common/json.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "obs/memstats.h"
 #include "obs/prometheus.h"
@@ -147,6 +148,8 @@ std::string EtudeServe::JsonMetrics() {
   metrics.Set("process_rss_bytes", JsonValue(obs::ProcessRssBytes()));
   metrics.Set("model", JsonValue(std::string(model_->name())));
   metrics.Set("catalog_size", JsonValue(model_->config().catalog_size));
+  metrics.Set("tensor_threads",
+              JsonValue(static_cast<int64_t>(NumThreads())));
   metrics.Set("uptime_seconds", JsonValue(UptimeSeconds()));
   metrics.Set("errors_4xx", JsonValue(errors_4xx_.load()));
   metrics.Set("errors_5xx", JsonValue(errors_5xx_.load()));
@@ -189,6 +192,9 @@ std::string EtudeServe::PrometheusMetrics() {
   writer.Gauge("etude_model_catalog_size",
                "Catalog size (C) of the served model.",
                static_cast<double>(model_->config().catalog_size));
+  writer.Gauge("etude_tensor_threads",
+               "Worker threads available to the tensor kernels.",
+               static_cast<double>(NumThreads()));
   const obs::MemStats mem = obs::ProcessMemStats();
   writer.Counter("etude_tensor_allocated_bytes_total",
                  "Bytes of tensor buffers allocated since start.",

@@ -1,0 +1,56 @@
+#ifndef ETUDE_TENSOR_KERNELS_H_
+#define ETUDE_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace etude::tensor::kernels {
+
+/// Raw fp32 compute kernels behind the public ops in tensor/ops.h.
+///
+/// Every kernel has two implementations: a portable scalar path (multi-
+/// accumulator, branch-free inner loops — what the compiler can vectorise
+/// for the build's baseline ISA) and an AVX2+FMA path selected at runtime
+/// via __builtin_cpu_supports, so a portable build still uses 256-bit FMA
+/// on machines that have it. All kernels are pure functions over caller-
+/// owned buffers and safe to call concurrently on disjoint output ranges.
+
+/// True when the runtime-dispatched AVX2+FMA paths are in use.
+bool HasAvx2Fma();
+
+/// dot(a, b) over n elements.
+float DotKernel(const float* a, const float* b, int64_t n);
+
+/// out[i] = dot(a + i*k, x) for rows i in [row_begin, row_end) of a:[m,k].
+void MatVecKernel(const float* a, const float* x, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t k);
+
+/// Rows [i_begin, i_end) of C = A @ B with A:[m,k], B:[k,n], C:[m,n].
+/// Fully overwrites the computed C rows (no accumulation into C).
+void MatMulKernel(const float* a, const float* b, float* c, int64_t i_begin,
+                  int64_t i_end, int64_t k, int64_t n);
+
+/// A bounded min-heap candidate: (score, catalog index).
+using ScoredIndex = std::pair<float, int64_t>;
+
+/// Pushes (score, index) into `heap`, a std::push_heap/pop_heap min-heap
+/// bounded at k entries. Tie rule matches TopK: a score equal to the
+/// current minimum does not displace it, so the earliest index among equal
+/// scores survives.
+void HeapPushBounded(std::vector<ScoredIndex>& heap, int64_t k, float score,
+                     int64_t index);
+
+/// Fused MIPS scan: scores rows [row_begin, row_end) of items:[C,d]
+/// against query:[d] and keeps the k best (score, index) pairs in `heap`
+/// without materialising a score vector. `heap` may already hold
+/// candidates from a previous range. The AVX2 path streams four
+/// interleaved sub-ranges to keep multiple memory streams in flight —
+/// the scan is bandwidth-bound at catalog scale.
+void MipsScanKernel(const float* items, const float* query, int64_t d,
+                    int64_t row_begin, int64_t row_end, int64_t k,
+                    std::vector<ScoredIndex>& heap);
+
+}  // namespace etude::tensor::kernels
+
+#endif  // ETUDE_TENSOR_KERNELS_H_

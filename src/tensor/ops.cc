@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <limits>
 
+#include "common/parallel.h"
 #include "obs/op_hook.h"
+#include "obs/trace.h"
+#include "tensor/kernels.h"
 
 namespace etude::tensor {
 
 namespace {
+
+/// Minimum elements per chunk before an elementwise op goes parallel:
+/// below this the pool hand-off costs more than the loop.
+constexpr int64_t kElementwiseGrain = 1 << 15;
+
+/// Minimum FLOPs per chunk for the dense kernels (MatMul/MatVec/Linear).
+constexpr int64_t kDenseFlopGrain = 1 << 17;
+
+/// Minimum catalog rows per fused-MIPS worker range; a smaller range is
+/// not worth a second heap + merge.
+constexpr int64_t kMipsMinRowsPerRange = 4096;
+
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   ETUDE_CHECK(a.shape() == b.shape())
       << op << " requires identical shapes, got " << a.ShapeString()
@@ -20,9 +35,33 @@ Tensor ElementwiseUnary(const Tensor& a, UnaryFn fn) {
   Tensor out(a.shape());
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) dst[i] = fn(src[i]);
+  ParallelFor(0, a.numel(), kElementwiseGrain,
+              [src, dst, &fn](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) dst[i] = fn(src[i]);
+              });
   return out;
 }
+
+template <typename BinaryFn>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, BinaryFn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  ParallelFor(0, a.numel(), kElementwiseGrain,
+              [pa, pb, dst, &fn](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) dst[i] = fn(pa[i], pb[i]);
+              });
+  return out;
+}
+
+/// Row grain so each chunk carries at least `min_flops` of work.
+int64_t RowGrain(double flops_per_row, int64_t min_flops) {
+  if (flops_per_row < 1.0) flops_per_row = 1.0;
+  const double rows = static_cast<double>(min_flops) / flops_per_row;
+  return std::max<int64_t>(1, static_cast<int64_t>(rows));
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -36,16 +75,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  // ikj loop order: streams B row-wise, keeps C row hot.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Keep chunks 4-row aligned so the 4x16 register tile stays engaged.
+  const int64_t grain =
+      (RowGrain(2.0 * static_cast<double>(k) * static_cast<double>(n),
+                kDenseFlopGrain) +
+       3) &
+      ~int64_t{3};
+  ParallelFor(0, m, std::max<int64_t>(4, grain),
+              [pa, pb, pc, k, n](int64_t lo, int64_t hi) {
+                ETUDE_TRACE_SPAN("MatMul.chunk", "op");
+                kernels::MatMulKernel(pa, pb, pc, lo, hi, k, n);
+              });
   return out;
 }
 
@@ -57,12 +97,13 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   Tensor out({m});
   const float* pa = a.data();
   const float* px = x.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * k;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < k; ++j) acc += row[j] * px[j];
-    out[i] = acc;
-  }
+  float* po = out.data();
+  const int64_t grain =
+      RowGrain(2.0 * static_cast<double>(k), kDenseFlopGrain);
+  ParallelFor(0, m, grain, [pa, px, po, k](int64_t lo, int64_t hi) {
+    ETUDE_TRACE_SPAN("MatVec.chunk", "op");
+    kernels::MatVecKernel(pa, px, po, lo, hi, k);
+  });
   return out;
 }
 
@@ -81,42 +122,55 @@ Tensor Linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
   Tensor out({n, out_features});
   const float* px = x.data();
   const float* pw = weight.data();
+  const float* pbias = bias.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* xrow = px + i * in;
-    float* orow = po + i * out_features;
-    for (int64_t o = 0; o < out_features; ++o) {
-      const float* wrow = pw + o * in;
-      float acc = has_bias ? bias[o] : 0.0f;
-      for (int64_t j = 0; j < in; ++j) acc += xrow[j] * wrow[j];
-      orow[o] = acc;
-    }
+  // y = x @ W^T: each output row is a MatVec of W against one x row.
+  // A single input row parallelises over W's rows instead.
+  if (n == 1) {
+    const int64_t grain =
+        RowGrain(2.0 * static_cast<double>(in), kDenseFlopGrain);
+    ParallelFor(0, out_features, grain,
+                [&](int64_t lo, int64_t hi) {
+                  ETUDE_TRACE_SPAN("Linear.chunk", "op");
+                  kernels::MatVecKernel(pw, px, po, lo, hi, in);
+                  if (has_bias) {
+                    for (int64_t o = lo; o < hi; ++o) po[o] += pbias[o];
+                  }
+                });
+    return out;
   }
+  const int64_t grain = RowGrain(
+      2.0 * static_cast<double>(in) * static_cast<double>(out_features),
+      kDenseFlopGrain);
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    ETUDE_TRACE_SPAN("Linear.chunk", "op");
+    for (int64_t i = lo; i < hi; ++i) {
+      float* orow = po + i * out_features;
+      kernels::MatVecKernel(pw, px + i * in, orow, 0, out_features, in);
+      if (has_bias) {
+        for (int64_t o = 0; o < out_features; ++o) orow[o] += pbias[o];
+      }
+    }
+  });
   return out;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
   ETUDE_OP_SPAN("Add", 1.0 * static_cast<double>(a.numel()));
-  Tensor out(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
-  return out;
+  return ElementwiseBinary(a, b, [](float u, float v) { return u + v; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
   ETUDE_OP_SPAN("Sub", 1.0 * static_cast<double>(a.numel()));
-  Tensor out(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
-  return out;
+  return ElementwiseBinary(a, b, [](float u, float v) { return u - v; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
   ETUDE_OP_SPAN("Mul", 1.0 * static_cast<double>(a.numel()));
-  Tensor out(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
-  return out;
+  return ElementwiseBinary(a, b, [](float u, float v) { return u * v; });
 }
 
 Tensor AddRowwise(const Tensor& a, const Tensor& bias) {
@@ -125,9 +179,17 @@ Tensor AddRowwise(const Tensor& a, const Tensor& bias) {
   ETUDE_OP_SPAN("AddRowwise", 1.0 * static_cast<double>(a.numel()));
   Tensor out(a.shape());
   const int64_t n = a.dim(0), d = a.dim(1);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) out[i * d + j] = a[i * d + j] + bias[j];
-  }
+  const float* src = a.data();
+  const float* pb = bias.data();
+  float* dst = out.data();
+  ParallelFor(0, n, RowGrain(static_cast<double>(d), kElementwiseGrain),
+              [src, pb, dst, d](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  for (int64_t j = 0; j < d; ++j) {
+                    dst[i * d + j] = src[i * d + j] + pb[j];
+                  }
+                }
+              });
   return out;
 }
 
@@ -175,19 +237,26 @@ Tensor Softmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = src + r * width;
-    float* o = dst + r * width;
-    float max_value = in[0];
-    for (int64_t j = 1; j < width; ++j) max_value = std::max(max_value, in[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < width; ++j) {
-      o[j] = std::exp(in[j] - max_value);
-      sum += o[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < width; ++j) o[j] *= inv;
-  }
+  ParallelFor(
+      0, rows, RowGrain(static_cast<double>(width), kElementwiseGrain),
+      [src, dst, width](int64_t lo, int64_t hi) {
+        ETUDE_TRACE_SPAN("Softmax.chunk", "op");
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* in = src + r * width;
+          float* o = dst + r * width;
+          float max_value = in[0];
+          for (int64_t j = 1; j < width; ++j) {
+            max_value = std::max(max_value, in[j]);
+          }
+          float sum = 0.0f;
+          for (int64_t j = 0; j < width; ++j) {
+            o[j] = std::exp(in[j] - max_value);
+            sum += o[j];
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t j = 0; j < width; ++j) o[j] *= inv;
+        }
+      });
   return out;
 }
 
@@ -200,30 +269,42 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   ETUDE_OP_SPAN("LayerNorm", 6.0 * static_cast<double>(a.numel()));
   const int64_t rows = a.numel() / width;
   Tensor out(a.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = a.data() + r * width;
-    float* o = out.data() + r * width;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < width; ++j) mean += in[j];
-    mean /= static_cast<float>(width);
-    float var = 0.0f;
-    for (int64_t j = 0; j < width; ++j) {
-      const float delta = in[j] - mean;
-      var += delta * delta;
-    }
-    var /= static_cast<float>(width);
-    const float inv_std = 1.0f / std::sqrt(var + epsilon);
-    for (int64_t j = 0; j < width; ++j) {
-      o[j] = (in[j] - mean) * inv_std * gain[j] + bias[j];
-    }
-  }
+  const float* src = a.data();
+  const float* pgain = gain.data();
+  const float* pbias = bias.data();
+  float* dst = out.data();
+  ParallelFor(
+      0, rows, RowGrain(static_cast<double>(width), kElementwiseGrain),
+      [src, pgain, pbias, dst, width, epsilon](int64_t lo, int64_t hi) {
+        ETUDE_TRACE_SPAN("LayerNorm.chunk", "op");
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* in = src + r * width;
+          float* o = dst + r * width;
+          float mean = 0.0f;
+          for (int64_t j = 0; j < width; ++j) mean += in[j];
+          mean /= static_cast<float>(width);
+          float var = 0.0f;
+          for (int64_t j = 0; j < width; ++j) {
+            const float delta = in[j] - mean;
+            var += delta * delta;
+          }
+          var /= static_cast<float>(width);
+          const float inv_std = 1.0f / std::sqrt(var + epsilon);
+          for (int64_t j = 0; j < width; ++j) {
+            o[j] = (in[j] - mean) * inv_std * pgain[j] + pbias[j];
+          }
+        }
+      });
   return out;
 }
 
 Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices) {
   ETUDE_CHECK(table.rank() == 2) << "Embedding table must be rank 2";
   const int64_t vocab = table.dim(0), d = table.dim(1);
-  ETUDE_OP_SPAN("Embedding", 0.0);
+  const double rows = static_cast<double>(indices.size());
+  // Pure data movement: rows read from the table + rows written out.
+  ETUDE_OP_SPAN_BYTES("Embedding", 0.0,
+                      2.0 * rows * static_cast<double>(d) * sizeof(float));
   Tensor out({static_cast<int64_t>(indices.size()), d});
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t idx = indices[i];
@@ -237,7 +318,9 @@ Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices) {
 }
 
 Tensor Concat(const Tensor& a, const Tensor& b) {
-  ETUDE_OP_SPAN("Concat", 0.0);
+  ETUDE_OP_SPAN_BYTES(
+      "Concat", 0.0,
+      2.0 * static_cast<double>(a.numel() + b.numel()) * sizeof(float));
   if (a.rank() == 1 && b.rank() == 1) {
     Tensor out({a.dim(0) + b.dim(0)});
     std::copy(a.data(), a.data() + a.numel(), out.data());
@@ -260,18 +343,50 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   ETUDE_CHECK(a.rank() == 2) << "Transpose requires rank 2";
   const int64_t m = a.dim(0), n = a.dim(1);
-  ETUDE_OP_SPAN("Transpose", 0.0);
+  ETUDE_OP_SPAN_BYTES("Transpose", 0.0,
+                      2.0 * static_cast<double>(a.numel()) * sizeof(float));
   Tensor out({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
-  }
+  const float* src = a.data();
+  float* dst = out.data();
+  // Blocked: each 32x32 tile fits both its row-major reads and its
+  // column-major writes in L1, instead of striding the full output.
+  constexpr int64_t kTile = 32;
+  ParallelFor(
+      0, m, std::max<int64_t>(kTile, kElementwiseGrain / std::max<int64_t>(1, n)),
+      [src, dst, m, n](int64_t lo, int64_t hi) {
+        for (int64_t i0 = lo; i0 < hi; i0 += kTile) {
+          const int64_t i1 = std::min(hi, i0 + kTile);
+          for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+            const int64_t j1 = std::min(n, j0 + kTile);
+            for (int64_t i = i0; i < i1; ++i) {
+              for (int64_t j = j0; j < j1; ++j) {
+                dst[j * m + i] = src[i * n + j];
+              }
+            }
+          }
+        }
+      });
   return out;
 }
 
 Tensor MeanRows(const Tensor& a) {
-  ETUDE_OP_SPAN("MeanRows", 1.0 * static_cast<double>(a.numel()));
-  Tensor sum = SumRows(a);
-  return Scale(sum, 1.0f / static_cast<float>(a.dim(0)));
+  ETUDE_CHECK(a.rank() == 2) << "MeanRows requires rank 2";
+  const int64_t n = a.dim(0), d = a.dim(1);
+  ETUDE_CHECK(n > 0) << "MeanRows over empty tensor";
+  // Fused sum+scale: one pass, and the op attributes its work exactly
+  // once (n*d adds + d multiplies) instead of delegating to SumRows and
+  // Scale spans.
+  ETUDE_OP_SPAN("MeanRows",
+                static_cast<double>(a.numel()) + static_cast<double>(d));
+  Tensor out({d});
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[i * d + j];
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
+  return out;
 }
 
 Tensor SumRows(const Tensor& a) {
@@ -289,20 +404,27 @@ Tensor SumRows(const Tensor& a) {
 Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
   ETUDE_OP_SPAN("L2NormalizeRows", 3.0 * static_cast<double>(a.numel()));
   if (a.rank() == 1) {
-    float norm = 0.0f;
-    for (int64_t i = 0; i < a.numel(); ++i) norm += a[i] * a[i];
+    const float norm =
+        kernels::DotKernel(a.data(), a.data(), a.numel());
     const float inv = 1.0f / std::sqrt(std::max(norm, epsilon));
     return Scale(a, inv);
   }
   ETUDE_CHECK(a.rank() == 2) << "L2NormalizeRows requires rank 1 or 2";
   const int64_t n = a.dim(0), d = a.dim(1);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    float norm = 0.0f;
-    for (int64_t j = 0; j < d; ++j) norm += a[i * d + j] * a[i * d + j];
-    const float inv = 1.0f / std::sqrt(std::max(norm, epsilon));
-    for (int64_t j = 0; j < d; ++j) out[i * d + j] = a[i * d + j] * inv;
-  }
+  const float* src = a.data();
+  float* dst = out.data();
+  ParallelFor(0, n,
+              RowGrain(3.0 * static_cast<double>(d), kElementwiseGrain),
+              [src, dst, d, epsilon](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  const float* row = src + i * d;
+                  const float norm = kernels::DotKernel(row, row, d);
+                  const float inv =
+                      1.0f / std::sqrt(std::max(norm, epsilon));
+                  for (int64_t j = 0; j < d; ++j) dst[i * d + j] = row[j] * inv;
+                }
+              });
   return out;
 }
 
@@ -310,9 +432,7 @@ float Dot(const Tensor& a, const Tensor& b) {
   ETUDE_CHECK(a.rank() == 1 && b.rank() == 1 && a.dim(0) == b.dim(0))
       << "Dot requires equal-length vectors";
   ETUDE_OP_SPAN("Dot", 2.0 * static_cast<double>(a.numel()));
-  float acc = 0.0f;
-  for (int64_t i = 0; i < a.numel(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::DotKernel(a.data(), b.data(), a.numel());
 }
 
 int64_t ArgMax(const Tensor& a) {
@@ -325,45 +445,105 @@ int64_t ArgMax(const Tensor& a) {
   return best;
 }
 
+namespace {
+
+/// Sorts candidates by (score desc, index asc) — the order TopK/Mips
+/// return — and trims to k.
+TopKResult FinishTopK(std::vector<kernels::ScoredIndex>& candidates,
+                      int64_t k) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const kernels::ScoredIndex& a, const kernels::ScoredIndex& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const size_t keep =
+      std::min<size_t>(candidates.size(), static_cast<size_t>(k));
+  TopKResult result;
+  result.indices.resize(keep);
+  result.scores.resize(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    result.scores[i] = candidates[i].first;
+    result.indices[i] = candidates[i].second;
+  }
+  return result;
+}
+
+}  // namespace
+
 TopKResult TopK(const Tensor& scores, int64_t k) {
   ETUDE_CHECK(scores.rank() == 1) << "TopK requires rank 1";
   ETUDE_CHECK(k > 0) << "TopK requires k > 0";
   const int64_t n = scores.numel();
   k = std::min(k, n);
   ETUDE_OP_SPAN("TopK", static_cast<double>(n) * std::log2(static_cast<double>(std::max<int64_t>(k, 2))));
-  // Bounded min-heap of (score, index): O(n log k).
-  using Entry = std::pair<float, int64_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  // Bounded min-heap of (score, index): O(n log k). The cached cutoff
+  // (heap minimum) keeps the common non-improving element to one
+  // compare instead of an out-of-line heap call.
+  const float* data = scores.data();
+  std::vector<kernels::ScoredIndex> heap;
+  heap.reserve(static_cast<size_t>(k));
+  float cutoff = std::numeric_limits<float>::lowest();
+  int64_t fill = 0;
   for (int64_t i = 0; i < n; ++i) {
-    const float s = scores[i];
-    if (static_cast<int64_t>(heap.size()) < k) {
-      heap.emplace(s, i);
-    } else if (s > heap.top().first) {
-      heap.pop();
-      heap.emplace(s, i);
+    const float s = data[i];
+    if (fill < k) {
+      kernels::HeapPushBounded(heap, k, s, i);
+      if (++fill == k) cutoff = heap.front().first;
+    } else if (s > cutoff) {
+      kernels::HeapPushBounded(heap, k, s, i);
+      cutoff = heap.front().first;
     }
   }
-  TopKResult result;
-  result.indices.resize(static_cast<size_t>(heap.size()));
-  result.scores.resize(static_cast<size_t>(heap.size()));
-  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
-    result.scores[static_cast<size_t>(i)] = heap.top().first;
-    result.indices[static_cast<size_t>(i)] = heap.top().second;
-    heap.pop();
-  }
-  return result;
+  return FinishTopK(heap, k);
 }
 
 TopKResult Mips(const Tensor& item_embeddings, const Tensor& query,
                 int64_t k) {
+  ETUDE_CHECK(item_embeddings.rank() == 2 && query.rank() == 1)
+      << "Mips shape error";
+  ETUDE_CHECK(item_embeddings.dim(1) == query.dim(0))
+      << "Mips dim mismatch: " << item_embeddings.ShapeString() << " vs "
+      << query.ShapeString();
+  ETUDE_CHECK(k > 0) << "Mips requires k > 0";
+  const int64_t c = item_embeddings.dim(0), d = item_embeddings.dim(1);
+  k = std::min(k, c);
   // The paper's O(C(d + log k)) term: the op that dominates SBR inference.
   ETUDE_OP_SPAN("Mips",
-                2.0 * static_cast<double>(item_embeddings.dim(0)) *
-                        static_cast<double>(query.dim(0)) +
-                    static_cast<double>(item_embeddings.dim(0)) *
+                2.0 * static_cast<double>(c) * static_cast<double>(d) +
+                    static_cast<double>(c) *
                         std::log2(static_cast<double>(std::max<int64_t>(k, 2))));
-  Tensor scores = MatVec(item_embeddings, query);
-  return TopK(scores, k);
+  // Fused streaming scan: no [C] score tensor. The catalog is cut into
+  // one contiguous range per worker; each range keeps its own bounded
+  // min-heap (k entries), and the heaps are merged by (score, index) —
+  // memory traffic on scores drops from O(C) writes+reads to
+  // O(k * ranges). The range count depends only on the configured thread
+  // count, so results are deterministic for a fixed --threads N.
+  int64_t num_ranges = 1;
+  if (NumThreads() > 1 && !InParallelRegion() &&
+      c >= 2 * kMipsMinRowsPerRange) {
+    num_ranges = std::min<int64_t>(NumThreads(), c / kMipsMinRowsPerRange);
+  }
+  const float* items = item_embeddings.data();
+  const float* q = query.data();
+  std::vector<std::vector<kernels::ScoredIndex>> heaps(
+      static_cast<size_t>(num_ranges));
+  ParallelFor(0, num_ranges, 1,
+              [items, q, d, c, k, num_ranges, &heaps](int64_t lo,
+                                                      int64_t hi) {
+                for (int64_t r = lo; r < hi; ++r) {
+                  ETUDE_TRACE_SPAN("Mips.chunk", "op");
+                  const int64_t begin = c * r / num_ranges;
+                  const int64_t end = c * (r + 1) / num_ranges;
+                  auto& heap = heaps[static_cast<size_t>(r)];
+                  heap.reserve(static_cast<size_t>(k));
+                  kernels::MipsScanKernel(items, q, d, begin, end, k, heap);
+                }
+              });
+  std::vector<kernels::ScoredIndex> candidates = std::move(heaps[0]);
+  for (size_t r = 1; r < heaps.size(); ++r) {
+    candidates.insert(candidates.end(), heaps[r].begin(), heaps[r].end());
+  }
+  return FinishTopK(candidates, k);
 }
 
 Tensor GruCell(const Tensor& input, const Tensor& hidden, const Tensor& w_ih,

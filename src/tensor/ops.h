@@ -75,18 +75,21 @@ int64_t ArgMax(const Tensor& a);
 
 /// Top-k selection over a rank-1 score vector.
 struct TopKResult {
-  std::vector<int64_t> indices;  // sorted by descending score
+  std::vector<int64_t> indices;  // descending score; ties by ascending index
   std::vector<float> scores;
 };
 
-/// Returns the `k` highest-scoring entries of `scores` in descending order.
-/// Implemented as a bounded min-heap partial selection: O(C log k) — this is
-/// the `C(d + log k)` term in the paper's complexity analysis.
+/// Returns the `k` highest-scoring entries of `scores` in descending order
+/// (equal scores ordered by ascending index). Implemented as a bounded
+/// min-heap partial selection: O(C log k) — this is the `C(d + log k)` term
+/// in the paper's complexity analysis.
 TopKResult TopK(const Tensor& scores, int64_t k);
 
-/// Maximum inner product search: scores = items @ query for items:[C,d],
-/// query:[d], followed by TopK. This is the op that dominates SBR inference
-/// latency (linear in catalog size C).
+/// Maximum inner product search over items:[C,d] and query:[d]. This is
+/// the op that dominates SBR inference latency (linear in catalog size C).
+/// Fused streaming implementation: catalog chunks are scored directly into
+/// per-worker bounded min-heaps and merged — the full [C] score vector is
+/// never materialised. Results are deterministic for a fixed thread count.
 TopKResult Mips(const Tensor& item_embeddings, const Tensor& query,
                 int64_t k);
 

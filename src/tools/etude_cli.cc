@@ -34,6 +34,7 @@
 
 #include "bench/diff.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "core/benchmark.h"
 #include "core/cost_planner.h"
@@ -94,6 +95,21 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Applies `--threads N` (tensor-kernel worker count) when present.
+/// Returns false (after reporting) on an invalid value.
+bool ApplyThreadsFlag(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("threads");
+  if (it == flags.end()) return true;
+  const int threads = std::atoi(it->second.c_str());
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be a positive integer, got '%s'\n",
+                 it->second.c_str());
+    return false;
+  }
+  etude::SetNumThreads(threads);
+  return true;
+}
+
 /// Writes the tracer's snapshot to `path` as Chrome trace-event JSON.
 int WriteTraceFile(const std::string& path) {
   auto& tracer = etude::obs::Tracer::Get();
@@ -147,11 +163,13 @@ int CmdRun(int argc, char** argv) {
                  "[--folded-out FILE]\n");
     return 2;
   }
-  const auto flags = ParseFlags(argc, argv, 3, {"trace-out", "folded-out"});
+  const auto flags =
+      ParseFlags(argc, argv, 3, {"trace-out", "folded-out", "threads"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
+  if (!ApplyThreadsFlag(*flags)) return 2;
   auto spec = etude::core::LoadBenchmarkSpec(argv[2]);
   if (!spec.ok()) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
@@ -336,11 +354,12 @@ int CmdProfile(int argc, char** argv) {
   const auto flags =
       ParseFlags(argc, argv, 3,
                  {"mode", "catalog", "requests", "seed", "trace-out",
-                  "folded-out"});
+                  "folded-out", "threads"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
+  if (!ApplyThreadsFlag(*flags)) return 2;
   const std::string model_arg = argv[2];
   std::vector<etude::models::ModelKind> kinds;
   if (etude::ToLower(model_arg) == "all") {
@@ -404,11 +423,12 @@ int CmdProfile(int argc, char** argv) {
 int CmdServe(int argc, char** argv) {
   const auto flags = ParseFlags(
       argc, argv, 2,
-      {"model", "catalog", "port", "seconds", "metrics-format"});
+      {"model", "catalog", "port", "seconds", "metrics-format", "threads"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
+  if (!ApplyThreadsFlag(*flags)) return 2;
   etude::models::ModelConfig config;
   config.catalog_size =
       static_cast<int64_t>(FlagOr(*flags, "catalog", 10000));
@@ -469,7 +489,7 @@ int Usage() {
       "<scenarios|run|plan|generate|profile|serve|bench-diff> [flags]\n"
       "  scenarios                          list built-in scenarios\n"
       "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
-      "      [--folded-out F]               write a Chrome trace-event file\n"
+      "      [--folded-out F] [--threads N] write a Chrome trace-event file\n"
       "                                     or collapsed flamegraph stacks\n"
       "                                     of the simulated execution\n"
       "  plan --catalog C --rps R           cost-efficient search\n"
@@ -478,16 +498,19 @@ int Usage() {
       "       [--alpha-l A] [--alpha-c B] [--seed S]\n"
       "  profile <model|all>                per-op inference breakdown\n"
       "       [--mode eager|jit|both] [--catalog C] [--requests N]\n"
-      "       [--seed S] [--trace-out F] [--folded-out F]\n"
+      "       [--seed S] [--trace-out F] [--folded-out F] [--threads N]\n"
       "  serve --model M --catalog C        real HTTP server\n"
       "       [--port P] [--seconds S] [--metrics-format json|prometheus]\n"
+      "       [--threads N]\n"
       "  bench-diff BASE.json CAND.json     diff two BENCH files; exit 3\n"
       "       [--threshold PCT] [--stat S]  on regression beyond threshold\n"
       "       [--fail-on-missing] [--all]\n"
       "\n"
       "Unknown flags are errors. /metrics of `serve` answers JSON by\n"
       "default and Prometheus text format under `Accept: text/plain` (or\n"
-      "`?format=prometheus`); --metrics-format sets the default.\n");
+      "`?format=prometheus`); --metrics-format sets the default.\n"
+      "--threads N sets the tensor-kernel worker count (default: the\n"
+      "ETUDE_NUM_THREADS environment variable, else all hardware threads).\n");
   return 2;
 }
 

@@ -1,0 +1,191 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace etude {
+namespace {
+
+/// Restores the thread count on scope exit so tests stay independent.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(NumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParallelTest, NumThreadsIsAtLeastOne) {
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST(ParallelTest, SetNumThreadsClampsToOne) {
+  ThreadCountGuard guard;
+  SetNumThreads(0);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(-7);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+}
+
+TEST(ParallelTest, EmptyRangeNeverInvokesBody) {
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(9, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr int64_t kN = 10013;  // prime: chunks never divide evenly
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, SingleThreadRunsInline) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(0, 1 << 20, 1, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1 << 20);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, SmallRangeRunsInlineRegardlessOfThreads) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 100, 1000, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 100);
+  });
+}
+
+TEST(ParallelTest, GrainBoundsChunkSize) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr int64_t kGrain = 128;
+  std::atomic<int64_t> total{0};
+  std::atomic<bool> grain_ok{true};
+  ParallelFor(0, 4096, kGrain, [&](int64_t begin, int64_t end) {
+    if (end - begin < 1) grain_ok = false;
+    // Every chunk except possibly the last must hold >= grain indices.
+    if (end != 4096 && end - begin < kGrain) grain_ok = false;
+    total.fetch_add(end - begin);
+  });
+  EXPECT_TRUE(grain_ok.load());
+  EXPECT_EQ(total.load(), 4096);
+}
+
+TEST(ParallelTest, NestedParallelForRunsSerially) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int64_t> inner_total{0};
+  ParallelFor(0, 4096, 64, [&](int64_t begin, int64_t end) {
+    EXPECT_TRUE(InParallelRegion());
+    // A nested region must execute inline as one chunk on this thread.
+    int inner_calls = 0;
+    ParallelFor(0, 1 << 20, 1, [&](int64_t b, int64_t e) {
+      ++inner_calls;
+      EXPECT_EQ(b, 0);
+      EXPECT_EQ(e, 1 << 20);
+    });
+    EXPECT_EQ(inner_calls, 1);
+    inner_total.fetch_add(end - begin);
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(inner_total.load(), 4096);
+}
+
+TEST(ParallelTest, ParallelSumMatchesSerial) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr int64_t kN = 1 << 18;
+  std::vector<double> data(kN);
+  std::iota(data.begin(), data.end(), 1.0);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, kN, 1024, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      local += static_cast<int64_t>(data[i]);
+    }
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN + 1) / 2);
+}
+
+TEST(ParallelTest, RepeatedRegionsUnderContention) {
+  // Many back-to-back regions exercise pool wakeup/teardown races — the
+  // case TSan watches. Keep iterations moderate so the test stays fast.
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> total{0};
+    ParallelFor(0, 2048, 16, [&](int64_t begin, int64_t end) {
+      total.fetch_add(end - begin);
+    });
+    ASSERT_EQ(total.load(), 2048);
+  }
+}
+
+TEST(ParallelTest, ShrinkAndGrowThreadCountBetweenRegions) {
+  ThreadCountGuard guard;
+  for (int threads : {4, 1, 8, 2, 1, 4}) {
+    SetNumThreads(threads);
+    std::atomic<int64_t> total{0};
+    ParallelFor(0, 8192, 32, [&](int64_t begin, int64_t end) {
+      total.fetch_add(end - begin);
+    });
+    ASSERT_EQ(total.load(), 8192) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, ConcurrentCallersFromDifferentThreads) {
+  // Two external threads each driving their own regions against the
+  // shared pool: chunks must never leak between regions.
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int64_t> total_a{0};
+  std::atomic<int64_t> total_b{0};
+  std::thread ta([&] {
+    for (int i = 0; i < 50; ++i) {
+      ParallelFor(0, 4096, 64, [&](int64_t begin, int64_t end) {
+        total_a.fetch_add(end - begin);
+      });
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 50; ++i) {
+      ParallelFor(0, 2048, 64, [&](int64_t begin, int64_t end) {
+        total_b.fetch_add(end - begin);
+      });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(total_a.load(), 50 * 4096);
+  EXPECT_EQ(total_b.load(), 50 * 2048);
+}
+
+}  // namespace
+}  // namespace etude

@@ -20,12 +20,13 @@ class RecordingSink : public OpSink {
     std::string name;
     int64_t duration_ns;
     double flops;
+    double moved_bytes;
     int64_t peak_bytes;
   };
 
   void OnOp(const char* name, int64_t duration_ns, double flops,
-            int64_t peak_bytes) override {
-    calls.push_back({name, duration_ns, flops, peak_bytes});
+            double moved_bytes, int64_t peak_bytes) override {
+    calls.push_back({name, duration_ns, flops, moved_bytes, peak_bytes});
   }
 
   std::vector<Call> calls;
@@ -108,9 +109,9 @@ TEST(OpHookTest, RealTensorOpsReportToTheSink) {
 
 TEST(OpProfileTest, AggregatesByOp) {
   OpProfile profile;
-  profile.OnOp("Mips", 3000, 600.0, 4096);
-  profile.OnOp("Mips", 1000, 200.0, 1024);
-  profile.OnOp("GruCell", 500, 50.0, 0);
+  profile.OnOp("Mips", 3000, 600.0, 0.0, 4096);
+  profile.OnOp("Mips", 1000, 200.0, 0.0, 1024);
+  profile.OnOp("GruCell", 500, 50.0, 0.0, 0);
   const std::vector<OpProfileEntry> entries = profile.Entries();
   ASSERT_EQ(entries.size(), 2u);
   // Sorted by descending total time.
@@ -126,20 +127,62 @@ TEST(OpProfileTest, AggregatesByOp) {
 
 TEST(OpProfileTest, ToTextListsEveryOpWithPercentages) {
   OpProfile profile;
-  profile.OnOp("Mips", 9000, 900.0, 2048);
-  profile.OnOp("Embedding", 1000, 0.0, 0);
+  profile.OnOp("Mips", 9000, 900.0, 0.0, 2048);
+  profile.OnOp("Embedding", 1000, 0.0, 8192.0, 0);
   const std::string text = profile.ToText();
   EXPECT_NE(text.find("op"), std::string::npos);
   EXPECT_NE(text.find("% of inference"), std::string::npos);
   EXPECT_NE(text.find("GFLOP/s"), std::string::npos);
+  EXPECT_NE(text.find("GB/s"), std::string::npos);
   EXPECT_NE(text.find("Mips"), std::string::npos);
   EXPECT_NE(text.find("90.0"), std::string::npos);
   EXPECT_NE(text.find("Embedding"), std::string::npos);
 }
 
+TEST(OpProfileTest, DataMovementOpsReportBandwidth) {
+  OpProfile profile;
+  // 8 KiB moved in 1 us = 8.192 GB/s.
+  profile.OnOp("Embedding", 1000, 0.0, 8192.0, 0);
+  const std::vector<OpProfileEntry> entries = profile.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].moved_bytes, 8192.0);
+  EXPECT_DOUBLE_EQ(entries[0].gbytes_per_s(), 8192.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(entries[0].gflops_per_s(), 0.0);
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+TEST(OpProfileTest, RealDataMovementOpsReportBytes) {
+  RecordingSink sink;
+  {
+    ScopedOpSink attach(&sink);
+    tensor::Tensor table({100, 16});
+    tensor::Embedding(table, {3, 7, 42});
+  }
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].name, "Embedding");
+  EXPECT_DOUBLE_EQ(sink.calls[0].flops, 0.0);
+  // 3 rows of 16 floats read + written.
+  EXPECT_DOUBLE_EQ(sink.calls[0].moved_bytes, 2.0 * 3 * 16 * 4);
+}
+
+TEST(OpProfileTest, CompositeMeanRowsAttributesOnce) {
+  RecordingSink sink;
+  {
+    ScopedOpSink attach(&sink);
+    tensor::Tensor a({4, 8});
+    tensor::MeanRows(a);
+  }
+  // One span, with the fused op's own FLOP count (n*d adds + d scales) —
+  // no double-counted SumRows/Scale spans underneath.
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].name, "MeanRows");
+  EXPECT_DOUBLE_EQ(sink.calls[0].flops, 4.0 * 8 + 8);
+}
+#endif  // ETUDE_DISABLE_TRACING
+
 TEST(OpProfileTest, ClearEmptiesTheProfile) {
   OpProfile profile;
-  profile.OnOp("Mips", 100, 1.0, 0);
+  profile.OnOp("Mips", 100, 1.0, 0.0, 0);
   profile.Clear();
   EXPECT_TRUE(profile.Entries().empty());
   EXPECT_EQ(profile.TotalNs(), 0);

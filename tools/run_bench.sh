@@ -3,12 +3,15 @@
 # per-binary JSON reports into one schema-versioned suite file:
 #
 #   tools/run_bench.sh [--quick] [--label NAME] [--build-dir DIR] [--out FILE]
+#                      [--threads N]
 #
 #   --quick       pass --quick to every binary (CI tier, minutes not hours)
 #   --label NAME  suite label; output defaults to BENCH_<label>.json at the
 #                 repo root (label defaults to "quick" or "full")
 #   --build-dir   build tree holding bench/ binaries (default: build)
 #   --out FILE    override the output path entirely
+#   --threads N   tensor-kernel worker count passed to every binary
+#                 (recorded in the env block of the merged JSON)
 #
 # Each binary gets --json-out plus a shared --date/--git-sha so the merged
 # environment block is consistent across the suite; the binaries themselves
@@ -21,6 +24,7 @@ QUICK=0
 LABEL=""
 BUILD_DIR="build"
 OUT=""
+THREADS=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK=1 ;;
@@ -30,8 +34,10 @@ while [ $# -gt 0 ]; do
     --build-dir=*) BUILD_DIR="${1#*=}" ;;
     --out) OUT="$2"; shift ;;
     --out=*) OUT="${1#*=}" ;;
+    --threads) THREADS="$2"; shift ;;
+    --threads=*) THREADS="${1#*=}" ;;
     -h|--help)
-      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "run_bench.sh: unknown flag $1 (see --help)" >&2; exit 2 ;;
   esac
@@ -70,6 +76,7 @@ trap 'rm -rf "${TMP}"' EXIT
 
 COMMON_ARGS=(--date "${DATE}" --git-sha "${GIT_SHA}")
 [ "${QUICK}" = 1 ] && COMMON_ARGS+=(--quick)
+[ -n "${THREADS}" ] && COMMON_ARGS+=(--threads "${THREADS}")
 
 for BIN in "${BINARIES[@]}"; do
   EXE="${BENCH_DIR}/${BIN}"
