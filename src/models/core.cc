@@ -59,30 +59,16 @@ tensor::SymTensor Core::TraceEncode(tensor::ShapeChecker& checker,
   const tensor::SymTensor logits = checker.Reshape(
       trace::Dense(checker, x, sym::d(), 1, /*bias=*/false), {sym::L()});
   const tensor::SymTensor alpha = checker.Softmax(logits);
-  // Weighted sum of the raw item embeddings (representation-consistent).
-  const tensor::SymTensor repr =
-      checker.MatVec(checker.Transpose(embedded), alpha);  // [d]
+  // Weighted sum of the raw item embeddings (representation-consistent),
+  // accumulated into a preallocated [d] vector by a manual loop.
+  const tensor::SymTensor repr = checker.Materialize(
+      "core.repr", {sym::d()}, {&alpha, &embedded});  // [d]
   return checker.Scale(checker.L2NormalizeRows(repr));
-}
-
-double Core::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  return kNumLayers * (24.0 * ll * d * d + 4.0 * ll * ll * d) +
-         2.0 * ll * d;
 }
 
 int64_t Core::OpCount(int64_t l) const {
   (void)l;
   return 3 + kNumLayers * 14 + 5;
-}
-
-double Core::ExtraCatalogPasses(int64_t l) const {
-  (void)l;
-  // The temperature softmax over all C item scores reads and writes the
-  // [C] score vector once more: 2 extra passes of 4 bytes vs the d*4-byte
-  // scan row.
-  return 2.0 / static_cast<double>(config_.embedding_dim);
 }
 
 }  // namespace etude::models

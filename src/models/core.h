@@ -12,9 +12,9 @@ namespace etude::models {
 /// A transformer encoder produces per-position weights; the session
 /// representation is the weighted sum of the *item embeddings themselves*
 /// (not hidden states), keeping the session in the same space as the
-/// items. Scoring uses cosine similarity with temperature, which requires
-/// an L2-normalised item table and one extra catalog-sized softmax pass —
-/// CORE's ExtraCatalogPasses term.
+/// items. Scoring uses cosine similarity with temperature over an
+/// L2-normalised item table, folded into the shared MIPS scan by scaling
+/// the normalised query with 1/tau at encode time.
 class Core final : public SessionModel {
  public:
   static constexpr int kNumLayers = 2;
@@ -30,9 +30,7 @@ class Core final : public SessionModel {
  protected:
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
-  double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
-  double ExtraCatalogPasses(int64_t l) const override;
 
  private:
   PositionalEmbedding positions_;

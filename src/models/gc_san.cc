@@ -45,9 +45,10 @@ tensor::SymTensor GcSan::TraceEncode(tensor::ShapeChecker& checker,
   (void)mode;
   namespace sym = tensor::sym;
   const tensor::SymTensor node_states = TraceGraphEncode(checker);  // [n, d]
-  // Gather of the alias rows maps the node states back onto the click
-  // sequence: [n, d] -> [L, d].
-  const tensor::SymTensor sequence = checker.Embedding(node_states, sym::L());
+  // A manual gather of the alias rows maps the node states back onto the
+  // click sequence, [n, d] -> [L, d] (allocates, dispatches no op).
+  const tensor::SymTensor sequence = checker.Materialize(
+      "gcsan.sequence", {sym::L(), sym::d()}, {&node_states});
   tensor::SymTensor attended = sequence;
   for (int i = 0; i < kAttentionLayers; ++i) {
     checker.SetContext(std::string(name()) + " block " + std::to_string(i));
@@ -57,13 +58,6 @@ tensor::SymTensor GcSan::TraceEncode(tensor::ShapeChecker& checker,
   const tensor::SymTensor attn_last = checker.Row(attended);
   const tensor::SymTensor gnn_last = checker.Row(sequence);
   return checker.Add(checker.Scale(attn_last), checker.Scale(gnn_last));
-}
-
-double GcSan::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  return SrGnn::EncodeFlops(l) +
-         kAttentionLayers * (24.0 * ll * d * d + 4.0 * ll * ll * d);
 }
 
 int64_t GcSan::OpCount(int64_t l) const {

@@ -28,7 +28,6 @@ class GcSan final : public SrGnn {
  protected:
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
-  double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
 
  private:

@@ -31,13 +31,6 @@ tensor::SymTensor Gru4Rec::TraceEncode(tensor::ShapeChecker& checker,
   return trace::DenseVector(checker, last, sym::d(), sym::d(), /*bias=*/true);
 }
 
-double Gru4Rec::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  // GRU step: 6 d^2 multiply-adds (two 3d x d gemvs) -> 12 d^2 flops; plus
-  // the dense head (2 d^2).
-  return 12.0 * static_cast<double>(l) * d * d + 2.0 * d * d;
-}
-
 int64_t Gru4Rec::OpCount(int64_t l) const {
   (void)l;
   // Embedding + fused nn.GRU + dense head (+ a few reshapes): RecBole's

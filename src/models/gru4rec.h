@@ -24,7 +24,6 @@ class Gru4Rec final : public SessionModel {
  protected:
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
-  double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
 
  private:

@@ -116,24 +116,37 @@ SymTensor DenseVector(ShapeChecker& checker, const SymTensor& x,
 
 SymTensor Gru(ShapeChecker& checker, const SymTensor& inputs,
               const SymDim& in, const SymDim& hidden) {
-  // RunSequence applies one GruCell per step; the step shapes are
-  // loop-invariant, so a single symbolic step covers every length.
+  if (!inputs.valid) return tensor::SymTensor::Invalid();
   const SymDim three_h = hidden * 3;
   const SymTensor w_ih = checker.Input("gru.w_ih", {three_h, in});
   const SymTensor w_hh = checker.Input("gru.w_hh", {three_h, hidden});
   const SymTensor b_ih = checker.Input("gru.b_ih", {three_h});
   const SymTensor b_hh = checker.Input("gru.b_hh", {three_h});
+  // RunSequence preallocates the [len, hidden] state stack and the zero
+  // initial hidden state, then dispatches one GruCell per step. The step
+  // shapes are loop-invariant, so one symbolic step under a repeat of
+  // `len` covers every length.
+  checker.PushScope();
+  const SymTensor states =
+      checker.Materialize("gru.states", {inputs.shape[0], hidden}, {});
+  const SymTensor h0 = checker.Materialize("gru.h0", {hidden}, {});
+  checker.BeginRepeat(inputs.shape[0]);
   const SymTensor step_input = checker.Row(inputs);  // [in]
-  const SymTensor state = checker.Input("gru.h0", {hidden});
   const SymTensor next =
-      checker.GruCell(step_input, state, w_ih, w_hh, b_ih, b_hh);
-  if (!next.valid || !inputs.valid) return tensor::SymTensor::Invalid();
-  // States of every step, stacked: [len, hidden].
-  return checker.Input("gru.states", {inputs.shape[0], next.shape[0]});
+      checker.GruCell(step_input, h0, w_ih, w_hh, b_ih, b_hh);
+  checker.EndRepeat();
+  // Each step's hidden state is written into the preallocated stack.
+  checker.Link(states, next);
+  checker.PopScope();
+  if (!next.valid) return tensor::SymTensor::Invalid();
+  return states;
 }
 
 SymTensor Transformer(ShapeChecker& checker, const SymTensor& x,
                       const SymDim& dim, const SymDim& ffn_dim) {
+  // Forward's locals (q, k, v, the attended/ffn activations) live until
+  // the block returns — the scope mirrors that for the liveness pass.
+  checker.PushScope();
   const SymTensor q = Dense(checker, x, dim, dim, /*bias=*/true);
   const SymTensor k = Dense(checker, x, dim, dim, /*bias=*/true);
   const SymTensor v = Dense(checker, x, dim, dim, /*bias=*/true);
@@ -146,7 +159,10 @@ SymTensor Transformer(ShapeChecker& checker, const SymTensor& x,
   const SymTensor ffn = Dense(
       checker, checker.Gelu(Dense(checker, h, dim, ffn_dim, /*bias=*/true)),
       ffn_dim, dim, /*bias=*/true);
-  return checker.LayerNorm(checker.Add(h, ffn), norm_gain, norm_bias);
+  const SymTensor out =
+      checker.LayerNorm(checker.Add(h, ffn), norm_gain, norm_bias);
+  checker.PopScope();
+  return out;
 }
 
 SymTensor PositionalAdd(ShapeChecker& checker, const SymTensor& x,
@@ -156,11 +172,13 @@ SymTensor PositionalAdd(ShapeChecker& checker, const SymTensor& x,
     checker.Require(x, {tensor::sym::L(), dim}, "PositionalEmbedding input");
     return tensor::SymTensor::Invalid();
   }
-  // The first len rows of the [max_len, dim] table, added element-wise.
+  // AddTo is a manual element loop over the first len rows of the
+  // [max_len, dim] table: it allocates the output tensor but dispatches
+  // no tensor op (zero recorded FLOPs).
   const SymTensor table =
       checker.Input("positions.table", {SymDim::Sym("max_len"), dim});
-  const SymTensor rows = checker.Embedding(table, x.shape[0]);
-  return checker.Add(x, rows);
+  return checker.Materialize("positions.add", {x.shape[0], dim},
+                             {&x, &table});
 }
 
 }  // namespace trace

@@ -76,6 +76,8 @@ tensor::SymTensor LightSans::TraceEncode(tensor::ShapeChecker& checker,
   const tensor::SymDim k_int = tensor::SymDim::Sym("k_int");
   for (int i = 0; i < kNumLayers; ++i) {
     checker.SetContext(std::string(name()) + " layer " + std::to_string(i));
+    // RunLayer's locals live until the layer returns.
+    checker.PushScope();
     const tensor::SymTensor q =
         trace::Dense(checker, x, sym::d(), sym::d(), /*bias=*/true);
     const tensor::SymTensor k =
@@ -84,8 +86,10 @@ tensor::SymTensor LightSans::TraceEncode(tensor::ShapeChecker& checker,
         trace::Dense(checker, x, sym::d(), sym::d(), /*bias=*/true);
     const tensor::SymTensor assign_logits = trace::Dense(
         checker, x, sym::d(), kMaxInterests, /*bias=*/false);  // [L, kMax]
-    const tensor::SymTensor assign = checker.Truncate(
-        checker.Transpose(assign_logits), /*axis=*/0, k_int);  // [k_int, L]
+    // The truncated transpose into [k_int, L] is a manual element loop:
+    // it allocates but dispatches no tensor op.
+    const tensor::SymTensor assign = checker.Materialize(
+        "lightsans.assign", {k_int, sym::L()}, {&assign_logits});
     const tensor::SymTensor assign_soft = checker.Softmax(assign);
     const tensor::SymTensor latent_k =
         checker.MatMul(assign_soft, k);  // [k_int, d]
@@ -110,25 +114,21 @@ tensor::SymTensor LightSans::TraceEncode(tensor::ShapeChecker& checker,
     const tensor::SymTensor norm2_bias =
         checker.Input("layer.norm2_bias", {sym::d()});
     x = checker.LayerNorm(checker.Add(h, ffn), norm2_gain, norm2_bias);
+    checker.PopScope();
   }
   checker.SetContext(std::string(name()) + " encoder");
   return checker.Row(x);
 }
 
-double LightSans::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  const double k = static_cast<double>(std::min<int64_t>(kMaxInterests, l));
-  // Per layer: QKVO (8 l d^2) + interest projection (2 l d k) + latent
-  // key/value (4 k l d) + attention over k latents (4 l k d) + FFN
-  // (16 l d^2).
-  return kNumLayers *
-         (24.0 * ll * d * d + 2.0 * ll * d * k + 8.0 * k * ll * d);
-}
-
 int64_t LightSans::OpCount(int64_t l) const {
   (void)l;
   return 3 + kNumLayers * 18;
+}
+
+void LightSans::AddPlanBindings(int64_t session_length,
+                                tensor::Bindings& bindings) const {
+  bindings["k_int"] = static_cast<double>(
+      std::min<int64_t>(kMaxInterests, session_length));
 }
 
 }  // namespace etude::models

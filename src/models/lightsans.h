@@ -26,6 +26,11 @@ class LightSans final : public SessionModel {
 
   ModelKind kind() const override { return ModelKind::kLightSans; }
   bool jit_compatible() const override { return false; }
+  std::string jit_incompatibility_reason() const override {
+    return "interest count min(kMaxInterests, len) is computed from the "
+           "input session length at runtime; torch.jit cannot trace the "
+           "data-dependent tensor shapes";
+  }
 
   tensor::Tensor EncodeSession(
       const std::vector<int64_t>& session) const override;
@@ -33,8 +38,9 @@ class LightSans final : public SessionModel {
  protected:
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
-  double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
+  void AddPlanBindings(int64_t session_length,
+                       tensor::Bindings& bindings) const override;
 
  private:
   struct Layer {

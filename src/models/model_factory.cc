@@ -14,13 +14,31 @@
 namespace etude::models {
 
 namespace {
-// Every freshly constructed model passes the static op-graph shape lint
-// before it is handed out: a mis-wired architecture is rejected here, at
-// load time, instead of aborting mid-benchmark on the first request.
+// Every freshly constructed model passes the static plan lints before it
+// is handed out: a mis-wired architecture (shape mismatches) or a wasteful
+// one (dead ops, catalog-sized tensors no op consumes) is rejected here,
+// at load time, instead of aborting — or silently burning cycles —
+// mid-benchmark on the first request.
+Status CheckPlan(const SessionModel& model, ExecutionMode mode) {
+  ETUDE_RETURN_NOT_OK(model.CheckShapes(mode));
+  const tensor::PlanGraph plan = model.BuildPlan(mode);
+  const std::vector<tensor::PlanDiagnostic> errors = tensor::PlanErrors(plan);
+  if (!errors.empty()) {
+    std::string report;
+    for (const tensor::PlanDiagnostic& error : errors) {
+      report += "  " + error.ToString() + "\n";
+    }
+    return Status::InvalidArgument(
+        "plan lint failed for " + std::string(model.name()) + " (" +
+        (mode == ExecutionMode::kJit ? "jit" : "eager") + "):\n" + report);
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SessionModel>> LintAndReturn(
     std::unique_ptr<SessionModel> model) {
-  ETUDE_RETURN_NOT_OK(model->CheckShapes(ExecutionMode::kEager));
-  ETUDE_RETURN_NOT_OK(model->CheckShapes(ExecutionMode::kJit));
+  ETUDE_RETURN_NOT_OK(CheckPlan(*model, ExecutionMode::kEager));
+  ETUDE_RETURN_NOT_OK(CheckPlan(*model, ExecutionMode::kJit));
   return model;
 }
 }  // namespace

@@ -45,27 +45,26 @@ tensor::SymTensor Narm::TraceEncode(tensor::ShapeChecker& checker,
   const tensor::SymTensor states =
       trace::Gru(checker, embedded, sym::d(), sym::d());  // [L, d]
   const tensor::SymTensor global = checker.Row(states);   // [d]
-  // Additive attention: alpha_j = v^T sigmoid(A1 h_l + A2 h_j).
+  // Additive attention: alpha_j = v^T sigmoid(A1 h_l + A2 h_j), with the
+  // alpha-weighted sum of states accumulated into a preallocated [d]
+  // vector by a manual loop (no tensor op dispatched for the weighted
+  // sum itself).
   const tensor::SymTensor proj_global = trace::DenseVector(
       checker, global, sym::d(), sym::d(), /*bias=*/false);
   const tensor::SymTensor proj_states =
       trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor attn_v = checker.Input("narm.attn_v", {sym::d()});
+  const tensor::SymTensor local =
+      checker.Materialize("narm.local", {sym::d()}, {});
+  checker.BeginRepeat(sym::L());
   const tensor::SymTensor gate =
       checker.Sigmoid(checker.Add(proj_global, checker.Row(proj_states)));
-  checker.Dot(checker.Input("narm.attn_v", {sym::d()}), gate);
-  const tensor::SymTensor alphas = checker.Input("narm.alphas", {sym::L()});
-  const tensor::SymTensor local =
-      checker.MatVec(checker.Transpose(states), alphas);  // [d]
+  const tensor::SymTensor alpha = checker.Dot(attn_v, gate);
+  checker.EndRepeat();
+  checker.Link(local, alpha);
+  checker.Link(local, states);
   return trace::DenseVector(checker, checker.Concat(global, local),
                             sym::d() * 2, sym::d(), /*bias=*/false);
-}
-
-double Narm::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  // GRU (12 l d^2) + attention projections (2 l d^2 + 2 d^2) + scoring
-  // (4 l d) + head (4 d^2).
-  return 12.0 * ll * d * d + 2.0 * ll * d * d + 6.0 * d * d + 4.0 * ll * d;
 }
 
 int64_t Narm::OpCount(int64_t l) const {

@@ -1,0 +1,191 @@
+#include "models/plan_report.h"
+
+#include <cstdio>
+
+#include "models/model_factory.h"
+#include "tensor/plan_analysis.h"
+#include "tensor/plan_ir.h"
+
+namespace etude::models {
+
+namespace {
+
+JsonValue ModeReport(const SessionModel& model, ExecutionMode mode) {
+  const tensor::PlanGraph plan = model.BuildPlan(mode);
+  const tensor::CostSummary cost = tensor::AnalyzeCost(plan);
+  const tensor::Bindings bindings =
+      model.PlanBindings(kPlanReportSessionLength);
+  const tensor::LivenessResult liveness =
+      tensor::AnalyzeLiveness(plan, bindings);
+
+  JsonValue cell = JsonValue::MakeObject();
+  cell.Set("op_count", JsonValue(static_cast<int64_t>(cost.op_count)));
+  cell.Set("flops_poly", JsonValue(cost.total_flops.ToString()));
+  cell.Set("encode_flops_poly", JsonValue(cost.encode_flops.ToString()));
+  cell.Set("score_flops_poly", JsonValue(cost.score_flops.ToString()));
+  cell.Set("traffic_poly",
+           JsonValue((cost.encode_traffic_bytes + cost.score_traffic_bytes)
+                         .ToString()));
+  cell.Set("peak_memory_poly", JsonValue(liveness.peak_poly.ToString()));
+  cell.Set("flops_at_reference",
+           JsonValue(cost.total_flops.Eval(bindings)));
+  cell.Set("peak_memory_at_reference", JsonValue(liveness.peak_bytes));
+  JsonValue diags = JsonValue::MakeArray();
+  for (const tensor::PlanDiagnostic& diag : tensor::AnalyzePlan(plan)) {
+    diags.Append(JsonValue(diag.ToString()));
+  }
+  cell.Set("diagnostics", std::move(diags));
+  return cell;
+}
+
+}  // namespace
+
+ModelConfig PlanReportConfig() {
+  ModelConfig config;
+  config.catalog_size = 1'000'000;
+  config.embedding_dim = 0;  // heuristic: d = ceil(C^(1/4)) = 32
+  config.top_k = 21;
+  config.max_session_length = kPlanReportSessionLength;
+  config.materialize_embeddings = false;  // cost-only: no [C, d] alloc
+  return config;
+}
+
+JsonValue PlanReportJson() {
+  const ModelConfig config = PlanReportConfig();
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("schema", JsonValue(static_cast<int64_t>(1)));
+
+  JsonValue ref = JsonValue::MakeObject();
+  ref.Set("catalog_size", JsonValue(config.catalog_size));
+  ref.Set("embedding_dim",
+          JsonValue(HeuristicEmbeddingDim(config.catalog_size)));
+  ref.Set("top_k", JsonValue(config.top_k));
+  ref.Set("max_session_length", JsonValue(config.max_session_length));
+  ref.Set("session_length", JsonValue(kPlanReportSessionLength));
+  root.Set("reference", std::move(ref));
+
+  JsonValue models = JsonValue::MakeObject();
+  for (const ModelKind kind : AllModelKinds()) {
+    auto model = CreateModel(kind, config);
+    ETUDE_CHECK(model.ok()) << model.status().ToString();
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("jit_compatible", JsonValue((*model)->jit_compatible()));
+    entry.Set("jit_incompatibility_reason",
+              JsonValue((*model)->jit_incompatibility_reason()));
+    JsonValue modes = JsonValue::MakeObject();
+    modes.Set("eager", ModeReport(**model, ExecutionMode::kEager));
+    modes.Set("jit", ModeReport(**model, ExecutionMode::kJit));
+    entry.Set("modes", std::move(modes));
+    models.Set(std::string((*model)->name()), std::move(entry));
+  }
+  root.Set("models", std::move(models));
+  return root;
+}
+
+std::string PlanReportText() {
+  const JsonValue report = PlanReportJson();
+  const JsonValue& ref = report.Get("reference");
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "plan report at C=%lld d=%lld k=%lld L=%lld\n\n",
+                static_cast<long long>(ref.GetIntOr("catalog_size", 0)),
+                static_cast<long long>(ref.GetIntOr("embedding_dim", 0)),
+                static_cast<long long>(ref.GetIntOr("top_k", 0)),
+                static_cast<long long>(ref.GetIntOr("session_length", 0)));
+  out += line;
+  std::snprintf(line, sizeof(line), "%-10s %-6s %4s %14s %12s  %s\n",
+                "model", "mode", "ops", "static FLOPs", "peak bytes",
+                "peak-memory polynomial");
+  out += line;
+  for (const auto& [name, entry] : report.Get("models").members()) {
+    for (const char* mode : {"eager", "jit"}) {
+      const JsonValue& cell = entry.Get("modes").Get(mode);
+      std::snprintf(line, sizeof(line), "%-10s %-6s %4lld %14.6g %12.6g  %s\n",
+                    name.c_str(), mode,
+                    static_cast<long long>(cell.GetIntOr("op_count", 0)),
+                    cell.GetNumberOr("flops_at_reference", 0.0),
+                    cell.GetNumberOr("peak_memory_at_reference", 0.0),
+                    cell.GetStringOr("peak_memory_poly", "").c_str());
+      out += line;
+    }
+  }
+  out += "\nFLOP polynomials:\n";
+  for (const auto& [name, entry] : report.Get("models").members()) {
+    const JsonValue& cell = entry.Get("modes").Get("eager");
+    out += "  " + name + ": " + cell.GetStringOr("flops_poly", "") + "\n";
+  }
+  out += "\ndiagnostics:\n";
+  bool any = false;
+  for (const auto& [name, entry] : report.Get("models").members()) {
+    const std::string reason =
+        entry.GetStringOr("jit_incompatibility_reason", "");
+    if (!reason.empty()) {
+      out += "  " + name + ": jit fallback: " + reason + "\n";
+      any = true;
+    }
+    for (const JsonValue& diag :
+         entry.Get("modes").Get("eager").Get("diagnostics").items()) {
+      out += "  " + name + ": " + diag.as_string() + "\n";
+      any = true;
+    }
+  }
+  if (!any) out += "  (none)\n";
+  return out;
+}
+
+namespace {
+
+void DiffValues(const JsonValue& golden, const JsonValue& current,
+                const std::string& path, std::vector<std::string>* out) {
+  if (golden.type() != current.type()) {
+    out->push_back(path + ": value kinds differ");
+    return;
+  }
+  switch (golden.type()) {
+    case JsonValue::Type::kObject: {
+      for (const auto& [key, value] : golden.members()) {
+        const std::string child = path + "/" + key;
+        if (!current.Contains(key)) {
+          out->push_back(child + ": missing from current report");
+        } else {
+          DiffValues(value, current.Get(key), child, out);
+        }
+      }
+      for (const auto& [key, value] : current.members()) {
+        if (!golden.Contains(key)) {
+          out->push_back(path + "/" + key + ": missing from golden report");
+        }
+      }
+      break;
+    }
+    case JsonValue::Type::kArray: {
+      if (golden.items().size() != current.items().size()) {
+        out->push_back(path + ": " + std::to_string(golden.items().size()) +
+                       " vs " + std::to_string(current.items().size()) +
+                       " entries");
+        break;
+      }
+      for (size_t i = 0; i < golden.items().size(); ++i) {
+        DiffValues(golden.items()[i], current.items()[i],
+                   path + "[" + std::to_string(i) + "]", out);
+      }
+      break;
+    }
+    default:
+      if (golden.Dump() != current.Dump()) {
+        out->push_back(path + ": " + golden.Dump() + " -> " + current.Dump());
+      }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> DiffPlanReports(const JsonValue& golden,
+                                         const JsonValue& current) {
+  std::vector<std::string> diffs;
+  DiffValues(golden, current, "", &diffs);
+  return diffs;
+}
+
+}  // namespace etude::models

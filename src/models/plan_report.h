@@ -1,0 +1,41 @@
+#ifndef ETUDE_MODELS_PLAN_REPORT_H_
+#define ETUDE_MODELS_PLAN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "models/session_model.h"
+
+namespace etude::models {
+
+/// The reference configuration at which the per-model plan report is
+/// generated and pinned: the paper's large-catalog operating point with
+/// the d = ceil(C^(1/4)) heuristic, evaluated at a full-length session.
+ModelConfig PlanReportConfig();
+
+/// The session length the report's polynomials are evaluated at.
+constexpr int64_t kPlanReportSessionLength = 50;
+
+/// Machine-readable plan report over all ten models x both execution
+/// modes: per cell the op count, the symbolic FLOP / memory-traffic /
+/// peak-memory polynomials with their values at the reference point, and
+/// every plan diagnostic (CSE warnings, materialized-[C] notes). Model
+/// level entries carry the JIT-compatibility verdict and the structural
+/// reason for a fallback. Key order is deterministic, so the dump can be
+/// diffed against the committed golden docs/plan_report.json.
+JsonValue PlanReportJson();
+
+/// Human-readable table of the same report: one row per model x mode with
+/// op count, peak-memory and FLOP polynomials, plus a diagnostics section.
+std::string PlanReportText();
+
+/// Compares two plan reports and returns the JSON paths whose values
+/// differ (missing keys included); empty means the reports match.
+std::vector<std::string> DiffPlanReports(const JsonValue& golden,
+                                         const JsonValue& current);
+
+}  // namespace etude::models
+
+#endif  // ETUDE_MODELS_PLAN_REPORT_H_

@@ -115,16 +115,22 @@ tensor::SymTensor RepeatNet::TracePoolContext(
     tensor::ShapeChecker& checker, const tensor::SymTensor& states) const {
   namespace sym = tensor::sym;
   // context_attn projection, then per-step additive scoring; the scalar
-  // scores are stacked into the [L] logit vector.
+  // scores are stacked into a preallocated [L] logit vector and the
+  // weighted sum of the state rows is a manual accumulation loop.
   const tensor::SymTensor proj =
       trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
   const tensor::SymTensor context_q =
       checker.Input("repeatnet.context_q", {sym::d()});
-  checker.Dot(context_q, checker.Tanh(checker.Row(proj)));
-  const tensor::SymTensor weights =
-      checker.Softmax(checker.Input("repeatnet.context_logits", {sym::L()}));
-  // Weighted sum of the state rows: [d, L] x [L] -> [d].
-  return checker.MatVec(checker.Transpose(states), weights);
+  const tensor::SymTensor logits =
+      checker.Materialize("repeatnet.context_logits", {sym::L()}, {});
+  checker.BeginRepeat(sym::L());
+  const tensor::SymTensor score =
+      checker.Dot(context_q, checker.Tanh(checker.Row(proj)));
+  checker.EndRepeat();
+  checker.Link(logits, score);
+  const tensor::SymTensor weights = checker.Softmax(logits);  // [L]
+  return checker.Materialize("repeatnet.context", {sym::d()},
+                             {&weights, &states});
 }
 
 tensor::SymTensor RepeatNet::TraceEncode(tensor::ShapeChecker& checker,
@@ -141,62 +147,77 @@ tensor::SymTensor RepeatNet::TraceEncode(tensor::ShapeChecker& checker,
                             sym::d() * 2, sym::d(), /*bias=*/false);
 }
 
-tensor::SymTensor RepeatNet::TraceScoring(
-    tensor::ShapeChecker& checker, const tensor::SymTensor& encoded) const {
+void RepeatNet::TraceRecommend(tensor::ShapeChecker& checker,
+                               ExecutionMode mode) const {
+  (void)mode;
   namespace sym = tensor::sym;
-  checker.SetContext(std::string(name()) + " scoring");
-  // Mode gate over [last; context].
+  // Recommend's locals all live until the function returns.
+  checker.BeginEncodePhase();
+  checker.PushScope();
+  checker.SetContext(std::string(name()) + " encoder");
+  const tensor::SymTensor embedded =
+      checker.Embedding(TraceEmbeddingTable(checker), sym::L());
   const tensor::SymTensor states =
-      checker.Input("gru.states", {sym::L(), sym::d()});
+      trace::Gru(checker, embedded, sym::d(), sym::d());
   const tensor::SymTensor last = checker.Row(states);
   const tensor::SymTensor context = TracePoolContext(checker, states);
-  checker.Softmax(trace::DenseVector(checker, checker.Concat(last, context),
-                                     sym::d() * 2, 2, /*bias=*/true));
+  // Mode gate: p(repeat) vs p(explore) over [last; context].
+  const tensor::SymTensor mode_probs = checker.Softmax(
+      trace::DenseVector(checker, checker.Concat(last, context),
+                         sym::d() * 2, 2, /*bias=*/true));
   // Repeat decoder: additive attention over the session positions.
   const tensor::SymTensor rep_proj =
       trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
   const tensor::SymTensor repeat_q =
       checker.Input("repeatnet.repeat_q", {sym::d()});
-  checker.Dot(repeat_q, checker.Tanh(checker.Row(rep_proj)));
-  const tensor::SymTensor rep_weights =
-      checker.Softmax(checker.Input("repeatnet.repeat_logits", {sym::L()}));
+  const tensor::SymTensor rep_logits =
+      checker.Materialize("repeatnet.repeat_logits", {sym::L()}, {});
+  checker.BeginRepeat(sym::L());
+  const tensor::SymTensor rep_score =
+      checker.Dot(repeat_q, checker.Tanh(checker.Row(rep_proj)));
+  checker.EndRepeat();
+  checker.Link(rep_logits, rep_score);
+  const tensor::SymTensor rep_weights = checker.Softmax(rep_logits);  // [L]
+
+  checker.BeginScorePhase();
+  checker.SetContext(std::string(name()) + " scoring");
   // The RecBole bug: the L-sparse repeat distribution is expanded to the
   // full catalog via a dense one-hot [L, C] matrix multiplication.
-  const tensor::SymTensor onehot =
-      checker.Input("repeatnet.onehot", {sym::L(), sym::C()});
+  const tensor::SymTensor onehot = checker.Materialize(
+      "repeatnet.onehot", {sym::L(), sym::C()}, {});
   const tensor::SymTensor repeat_dense = checker.Reshape(
       checker.MatMul(checker.Reshape(rep_weights, {1, sym::L()}), onehot),
       {sym::C()});  // [C]
-  // Explore decoder: dense softmax over all catalog scores.
+  // Explore decoder: dense softmax over all catalog scores. The second
+  // Concat over the same [last; context] pair is a genuine duplicated
+  // dispatch in the implementation (reported by the CSE pass).
+  const tensor::SymTensor query = trace::DenseVector(
+      checker, checker.Concat(last, context), sym::d() * 2, sym::d(),
+      /*bias=*/false);
+  checker.SetContext(std::string(name()) + " encoder output");
+  checker.Require(query, {tensor::sym::d()},
+                  "the explore-decoder query must be a [d] session vector");
+  checker.SetContext(std::string(name()) + " scoring");
   const tensor::SymTensor table = TraceEmbeddingTable(checker);
   const tensor::SymTensor explore_probs =
-      checker.Softmax(checker.MatVec(table, encoded));  // [C]
-  // Dense mixture of the two distributions, then top-k.
-  const tensor::SymTensor final_scores = checker.Add(
-      checker.Scale(repeat_dense), checker.Scale(explore_probs));
-  return checker.TopK(final_scores, sym::k());
-}
-
-double RepeatNet::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  // GRU (12 l d^2) + context & repeat attentions (4 l d^2 + 4 l d) +
-  // mode gate (4 d) + explore head (4 d^2).
-  return 12.0 * ll * d * d + 4.0 * ll * d * d + 4.0 * ll * d + 4.0 * d * d;
+      checker.Softmax(checker.MatVec(table, query));  // [C]
+  // Dense mixture of the two distributions (a manual loop over all C
+  // entries), then top-k over the materialised catalog scores.
+  const tensor::SymTensor final_scores = checker.Materialize(
+      "repeatnet.final_scores", {sym::C()},
+      {&mode_probs, &repeat_dense, &explore_probs});
+  const tensor::SymTensor scores = checker.TopK(final_scores, sym::k());
+  checker.PopScope();
+  checker.SetContext(std::string(name()) + " scoring output");
+  checker.Require(scores, {tensor::sym::k()},
+                  "scoring must produce a [k] recommendation list");
+  checker.MarkOutput(scores);
 }
 
 int64_t RepeatNet::OpCount(int64_t l) const {
   (void)l;
   // Encoder GRU + both decoders + the dense scatter/mixture ops.
   return 45;
-}
-
-double RepeatNet::ExtraCatalogPasses(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  // Dense one-hot [l, C] materialisation and multiply (l C-sized rows),
-  // the dense repeat vector, the explore softmax (2 passes over [C]) and
-  // the dense mixture (3 passes), each 4 bytes vs the d*4-byte scan row.
-  return (static_cast<double>(l) + 6.0) / d;
 }
 
 }  // namespace etude::models

@@ -36,16 +36,15 @@ class RepeatNet final : public SessionModel {
       const std::vector<int64_t>& session) const override;
 
  protected:
+  /// Replays Recommend's overridden op sequence end to end: the GRU
+  /// encoder feeds the mode gate and both decoders without re-encoding,
+  /// and the scoring phase is the dense repeat/explore mixture — including
+  /// the one-hot [L, C] expansion bug — instead of the generic MIPS tail.
+  void TraceRecommend(tensor::ShapeChecker& checker,
+                      ExecutionMode mode) const override;
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
-  /// Replays the dense repeat/explore mixture of Recommend instead of the
-  /// generic MIPS tail — including the one-hot [L, C] expansion bug.
-  tensor::SymTensor TraceScoring(
-      tensor::ShapeChecker& checker,
-      const tensor::SymTensor& encoded) const override;
-  double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
-  double ExtraCatalogPasses(int64_t l) const override;
 
  private:
   /// Attention-pooled session context from the GRU states.

@@ -40,14 +40,6 @@ tensor::SymTensor SasRec::TraceEncode(tensor::ShapeChecker& checker,
   return checker.Row(x);
 }
 
-double SasRec::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  // Per block: QKVO projections (8 l d^2), attention matrix (4 l^2 d),
-  // FFN with 4x expansion (16 l d^2).
-  return kNumLayers * (24.0 * ll * d * d + 4.0 * ll * ll * d);
-}
-
 int64_t SasRec::OpCount(int64_t l) const {
   (void)l;
   return 3 + kNumLayers * 14;

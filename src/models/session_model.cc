@@ -140,18 +140,28 @@ tensor::SymTensor SessionModel::TraceScoring(
   return checker.Mips(table, encoded, tensor::sym::k());
 }
 
-Status SessionModel::CheckShapes(ExecutionMode mode) const {
-  tensor::ShapeChecker checker;
+void SessionModel::TraceRecommend(tensor::ShapeChecker& checker,
+                                  ExecutionMode mode) const {
+  checker.BeginEncodePhase();
+  checker.PushScope();  // EncodeSession body
   checker.SetContext(std::string(name()) + " encoder");
   const tensor::SymTensor encoded = TraceEncode(checker, mode);
+  checker.PopScope();
   checker.SetContext(std::string(name()) + " encoder output");
   checker.Require(encoded, {tensor::sym::d()},
                   "EncodeSession must produce a [d] session vector");
+  checker.BeginScorePhase();
   checker.SetContext("");
   const tensor::SymTensor scores = TraceScoring(checker, encoded);
   checker.SetContext(std::string(name()) + " scoring output");
   checker.Require(scores, {tensor::sym::k()},
                   "scoring must produce a [k] recommendation list");
+  checker.MarkOutput(scores);
+}
+
+Status SessionModel::CheckShapes(ExecutionMode mode) const {
+  tensor::ShapeChecker checker;
+  TraceRecommend(checker, mode);
   if (!checker.ok()) {
     return Status::InvalidArgument(
         "op-graph shape lint failed for " + std::string(name()) + " (" +
@@ -161,25 +171,62 @@ Status SessionModel::CheckShapes(ExecutionMode mode) const {
   return Status::OK();
 }
 
+tensor::PlanGraph SessionModel::BuildPlan(ExecutionMode mode) const {
+  tensor::ShapeChecker checker;
+  TraceRecommend(checker, mode);
+  ETUDE_CHECK(checker.ok()) << "BuildPlan on a graph with shape violations "
+                               "for "
+                            << name() << ":\n"
+                            << checker.Report();
+  return checker.plan();
+}
+
+tensor::Bindings SessionModel::PlanBindings(int64_t session_length) const {
+  const int64_t l = std::min(std::max<int64_t>(session_length, 1),
+                             config_.max_session_length);
+  tensor::Bindings bindings;
+  bindings["C"] = static_cast<double>(config_.catalog_size);
+  bindings["d"] = static_cast<double>(config_.embedding_dim);
+  bindings["k"] = static_cast<double>(config_.top_k);
+  bindings["L"] = static_cast<double>(l);
+  // Worst case for the session-graph node count (n <= L; tests bind the
+  // true unique-item count instead).
+  bindings["n"] = static_cast<double>(l);
+  bindings["lgk"] =
+      std::log2(std::max(static_cast<double>(config_.top_k), 2.0));
+  bindings["max_len"] = static_cast<double>(config_.max_session_length);
+  AddPlanBindings(l, bindings);
+  return bindings;
+}
+
+const tensor::CostSummary& SessionModel::PlanCost(ExecutionMode mode) const {
+  const int idx = mode == ExecutionMode::kJit ? 1 : 0;
+  MutexLock lock(plan_cost_mutex_);
+  if (plan_cost_[idx] == nullptr) {
+    const tensor::PlanGraph plan = BuildPlan(mode);
+    plan_cost_[idx] =
+        std::make_unique<tensor::CostSummary>(tensor::AnalyzeCost(plan));
+  }
+  return *plan_cost_[idx];
+}
+
 sim::InferenceWork SessionModel::CostModel(ExecutionMode mode,
                                            int64_t session_length) const {
-  const int64_t l =
-      std::min(std::max<int64_t>(session_length, 1),
-               config_.max_session_length);
-  const double c = static_cast<double>(config_.catalog_size);
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double k = static_cast<double>(config_.top_k);
+  const tensor::CostSummary& cost = PlanCost(mode);
+  const tensor::Bindings bindings = PlanBindings(session_length);
+  const int64_t l = std::min(std::max<int64_t>(session_length, 1),
+                             config_.max_session_length);
 
   const ModelCalibration& cal = GetCalibration(kind());
   sim::InferenceWork work;
-  work.encode_flops = EncodeFlops(l);
-  // Encoder tensors are small and cache-resident; their memory traffic is
-  // a fraction of the flops.
-  work.encode_bytes = work.encode_flops * 0.5;
-  // MIPS: one multiply-add per catalog entry per dimension, plus the
-  // bounded-heap top-k comparisons — the paper's O(C(d + log k)) term.
-  work.scan_flops = 2.0 * c * d + c * std::log2(std::max(k, 2.0));
-  work.scan_bytes = c * d * 4.0 * (1.0 + ExtraCatalogPasses(l));
+  // The encode/scan split evaluates the plan IR's symbolic cost
+  // polynomials at this request's concrete config — the same figures the
+  // runtime's op spans report (cross-checked in tests). The scan phase is
+  // the paper's O(C(d + log k)) term (plus RepeatNet's dense [C] tail).
+  work.encode_flops = cost.encode_flops.Eval(bindings);
+  work.encode_bytes = cost.encode_traffic_bytes.Eval(bindings);
+  work.scan_flops = cost.score_flops.Eval(bindings);
+  work.scan_bytes = cost.score_traffic_bytes.Eval(bindings);
   work.op_count = static_cast<int>(OpCount(l));
   work.jit_compiled = (mode == ExecutionMode::kJit) && jit_compatible();
   work.host_sync_points = cal.host_sync_points;

@@ -7,9 +7,12 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/device.h"
+#include "tensor/plan_analysis.h"
+#include "tensor/plan_ir.h"
 #include "tensor/shape_check.h"
 #include "tensor/tensor.h"
 
@@ -95,6 +98,11 @@ class SessionModel {
   /// false (dynamic code paths, as found by the paper).
   virtual bool jit_compatible() const { return true; }
 
+  /// Structural reason this implementation cannot be JIT-compiled; empty
+  /// when jit_compatible() is true. Surfaced as a first-class diagnostic
+  /// by `lint_models` and `etude profile` instead of a silent fallback.
+  virtual std::string jit_incompatibility_reason() const { return ""; }
+
   /// Runs the full inference path for one session: encode the session into
   /// a d-dimensional vector, then run the top-k maximum inner product
   /// search over all C item embeddings — the O(C(d + log k)) path of the
@@ -116,8 +124,21 @@ class SessionModel {
   /// CreateModel at construction time and by the `lint_models` tool.
   Status CheckShapes(ExecutionMode mode) const;
 
+  /// Builds the retained symbolic plan IR of the full Recommend path
+  /// (encode + scoring) by replaying TraceRecommend. Aborts on a trace
+  /// with shape violations — run CheckShapes first for a Status.
+  tensor::PlanGraph BuildPlan(ExecutionMode mode) const;
+
+  /// Concrete values for the plan's symbols at a given (clamped) session
+  /// length: C, d, k, L, n, lgk, max_len plus model-specific derived
+  /// symbols (LightSANs' k_int). Session-graph models bind n = L here
+  /// (the worst case; tests bind the true unique-item count).
+  tensor::Bindings PlanBindings(int64_t session_length) const;
+
   /// Analytic per-request cost descriptor for the deployment simulator,
   /// for a request whose session currently has `session_length` items.
+  /// FLOP and byte figures are evaluated from the plan IR's symbolic cost
+  /// polynomials (tensor/plan_analysis.h), not hand-written constants.
   sim::InferenceWork CostModel(ExecutionMode mode,
                                int64_t session_length) const;
 
@@ -136,6 +157,14 @@ class SessionModel {
  protected:
   explicit SessionModel(const ModelConfig& config);
 
+  /// Symbolic replay of the whole Recommend path: encode phase (scoped,
+  /// ending in a required [d] session vector), then the scoring phase
+  /// (ending in a required [k] list marked as the plan output). RepeatNet
+  /// overrides this end-to-end because its Recommend override interleaves
+  /// encoding and its repeat/explore scoring without re-encoding.
+  virtual void TraceRecommend(tensor::ShapeChecker& checker,
+                              ExecutionMode mode) const;
+
   /// Symbolic replay of EncodeSession for the shape linter: issues the
   /// same op sequence against `checker` using the symbolic dims
   /// {C, d, L, k} (tensor::sym) and returns the encoder output, which
@@ -146,8 +175,7 @@ class SessionModel {
 
   /// Symbolic replay of the scoring tail of Recommend: the shared
   /// maximum-inner-product search over the [C, d] table, returning the
-  /// [k] recommendation list. RepeatNet overrides this with its dense
-  /// repeat/explore mixture.
+  /// [k] recommendation list.
   virtual tensor::SymTensor TraceScoring(tensor::ShapeChecker& checker,
                                          const tensor::SymTensor& encoded)
       const;
@@ -155,25 +183,31 @@ class SessionModel {
   /// The symbolic [C, d] item-embedding table for traces.
   tensor::SymTensor TraceEmbeddingTable(tensor::ShapeChecker& checker) const;
 
-  /// Floating-point operations of EncodeSession for a length-l session.
-  virtual double EncodeFlops(int64_t l) const = 0;
-
   /// Number of framework-level ops EncodeSession dispatches (eager-mode
-  /// overhead), for a length-l session.
+  /// overhead), for a length-l session. Kept hand-written: it models the
+  /// PyTorch dispatch count after operator fusion, which the (unfused)
+  /// plan IR deliberately does not mirror.
   virtual int64_t OpCount(int64_t l) const = 0;
 
-  /// Extra catalog-sized memory passes beyond the single MIPS scan,
-  /// expressed as a fraction of one C*d*4-byte pass. CORE's full-catalog
-  /// softmax and RepeatNet's dense repeat/explore distributions report
-  /// non-zero values here.
-  virtual double ExtraCatalogPasses(int64_t l) const {
-    (void)l;
-    return 0.0;
+  /// Model-specific derived symbols for PlanBindings (e.g. LightSANs
+  /// binds k_int = min(kMaxInterests, L)).
+  virtual void AddPlanBindings(int64_t session_length,
+                               tensor::Bindings& bindings) const {
+    (void)session_length;
+    (void)bindings;
   }
 
   ModelConfig config_;
   Rng rng_;  // used during construction for weight init
   tensor::Tensor item_embeddings_;  // [C, d]
+
+ private:
+  /// Lazily-built per-mode cost summaries derived from the plan IR.
+  const tensor::CostSummary& PlanCost(ExecutionMode mode) const;
+
+  mutable Mutex plan_cost_mutex_;
+  mutable std::unique_ptr<tensor::CostSummary> plan_cost_[2]
+      ETUDE_GUARDED_BY(plan_cost_mutex_);
 };
 
 /// Validates a session against the model configuration: non-empty, ids in

@@ -73,34 +73,36 @@ tensor::SymTensor Sine::TraceEncode(tensor::ShapeChecker& checker,
   const tensor::SymTensor pool =
       checker.Input("sine.prototype_pool", {kPrototypePoolSize, sym::d()});
   const tensor::SymTensor affinities = checker.MatVec(pool, mean);  // [P]
-  const tensor::SymTensor active_scores =
+  const tensor::SymTensor active =
       checker.TopK(affinities, kActiveInterests);  // [a]
   // One attention per active prototype; the step shapes are identical for
-  // every prototype, so one symbolic pass covers all of them.
+  // every prototype, so one symbolic step under a repeat of `a` covers
+  // all of them. The weighted sums are manual accumulation loops into
+  // preallocated tensors (no op dispatched).
   const tensor::SymTensor keys =
       trace::Dense(checker, embedded, sym::d(), sym::d(), /*bias=*/false);
-  checker.Dot(checker.Row(keys), checker.Row(pool));
-  const tensor::SymTensor weights =
-      checker.Softmax(checker.Input("sine.attn_logits", {sym::L()}));
-  checker.MatVec(checker.Transpose(embedded), weights);  // one interest [d]
+  const tensor::SymTensor interests = checker.Materialize(
+      "sine.interests", {kActiveInterests, sym::d()}, {});
+  checker.BeginRepeat(kActiveInterests);
+  const tensor::SymTensor proto = checker.Row(pool);  // [d]
+  const tensor::SymTensor logits =
+      checker.Materialize("sine.attn_logits", {sym::L()}, {});
+  checker.BeginRepeat(sym::L());
+  const tensor::SymTensor dot = checker.Dot(checker.Row(keys), proto);
+  checker.EndRepeat();
+  checker.Link(logits, dot);
+  const tensor::SymTensor weights = checker.Softmax(logits);  // [L]
+  checker.EndRepeat();
+  checker.Link(interests, weights);
+  checker.Link(interests, embedded);
   // Fuse the [a, d] interests weighted by their softmaxed affinities.
-  const tensor::SymTensor interests =
-      checker.Input("sine.interests", {kActiveInterests, sym::d()});
+  const tensor::SymTensor active_scores = checker.Materialize(
+      "sine.active_scores", {kActiveInterests}, {&active});
   const tensor::SymTensor fuse_weights = checker.Softmax(active_scores);
-  const tensor::SymTensor fused =
-      checker.MatVec(checker.Transpose(interests), fuse_weights);  // [d]
+  const tensor::SymTensor fused = checker.Materialize(
+      "sine.fused", {sym::d()}, {&fuse_weights, &interests});
   return trace::DenseVector(checker, fused, sym::d(), sym::d(),
                             /*bias=*/false);
-}
-
-double Sine::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  const double p = static_cast<double>(kPrototypePoolSize);
-  const double a = static_cast<double>(kActiveInterests);
-  // Prototype affinities (2 P d) + key projection (2 l d^2) + per-interest
-  // attention (a * 4 l d) + fusion (2 d^2).
-  return 2.0 * p * d + 2.0 * ll * d * d + 4.0 * a * ll * d + 2.0 * d * d;
 }
 
 int64_t Sine::OpCount(int64_t l) const {

@@ -74,13 +74,21 @@ Tensor SrGnn::EncodeSession(const std::vector<int64_t>& session) const {
 tensor::SymTensor SrGnn::TraceGraphEncode(
     tensor::ShapeChecker& checker) const {
   namespace sym = tensor::sym;
+  // SessionGraph::Build fills the normalised adjacency matrices with
+  // manual loops: the [n, n] edge-count scratch dies when Build returns,
+  // the two adjacency matrices live on through the propagation steps.
+  checker.PushScope();
+  const tensor::SymTensor counts =
+      checker.Materialize("graph.counts", {sym::n(), sym::n()}, {});
+  const tensor::SymTensor adj_out =
+      checker.Materialize("graph.adj_out", {sym::n(), sym::n()}, {&counts});
+  const tensor::SymTensor adj_in =
+      checker.Materialize("graph.adj_in", {sym::n(), sym::n()}, {&counts});
+  checker.PopScope();
   tensor::SymTensor states =
       checker.Embedding(TraceEmbeddingTable(checker), sym::n());  // [n, d]
-  const tensor::SymTensor adj_in =
-      checker.Input("graph.adj_in", {sym::n(), sym::n()});
-  const tensor::SymTensor adj_out =
-      checker.Input("graph.adj_out", {sym::n(), sym::n()});
   for (int step = 0; step < kPropagationSteps; ++step) {
+    checker.PushScope();
     const tensor::SymTensor msg_in = checker.MatMul(
         adj_in,
         trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/true));
@@ -94,6 +102,7 @@ tensor::SymTensor SrGnn::TraceGraphEncode(
     const tensor::SymTensor gh = trace::Dense(
         checker, states, sym::d(), sym::d() * 3, /*bias=*/true);
     states = checker.GatedUpdate(gi, gh, states);
+    checker.PopScope();
   }
   return states;
 }
@@ -104,30 +113,25 @@ tensor::SymTensor SrGnn::TraceEncode(tensor::ShapeChecker& checker,
   namespace sym = tensor::sym;
   const tensor::SymTensor states = TraceGraphEncode(checker);  // [n, d]
   const tensor::SymTensor last = checker.Row(states);          // [d]
-  // Attention readout: alpha_v = q^T sigmoid(W1 v_last + W2 v).
+  // Attention readout: alpha_v = q^T sigmoid(W1 v_last + W2 v), with the
+  // alpha-weighted sum of node states accumulated into a preallocated
+  // [d] vector by a manual loop.
   const tensor::SymTensor proj_last =
       trace::DenseVector(checker, last, sym::d(), sym::d(), /*bias=*/false);
   const tensor::SymTensor proj_nodes =
       trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor attn_q = checker.Input("srgnn.attn_q", {sym::d()});
+  const tensor::SymTensor global =
+      checker.Materialize("srgnn.global", {sym::d()}, {});
+  checker.BeginRepeat(sym::n());
   const tensor::SymTensor gate =
       checker.Sigmoid(checker.Add(proj_last, checker.Row(proj_nodes)));
-  checker.Dot(checker.Input("srgnn.attn_q", {sym::d()}), gate);
-  // Weighted sum of the node states by the per-node attention scalars.
-  const tensor::SymTensor alphas = checker.Input("srgnn.alphas", {sym::n()});
-  const tensor::SymTensor global =
-      checker.MatVec(checker.Transpose(states), alphas);  // [d]
+  const tensor::SymTensor alpha = checker.Dot(attn_q, gate);
+  checker.EndRepeat();
+  checker.Link(global, alpha);
+  checker.Link(global, states);
   return trace::DenseVector(checker, checker.Concat(last, global),
                             sym::d() * 2, sym::d(), /*bias=*/false);
-}
-
-double SrGnn::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double n = static_cast<double>(l);  // nodes <= clicks
-  // Per propagation step: edge projections (4 n d^2), adjacency matmuls
-  // (4 n^2 d), gate projections (2 n * (3d*2d + 3d*d) = 18 n d^2), update
-  // (~10 n d). Plus readout (4 n d^2 + 4 n d) and head (4 d^2).
-  return kPropagationSteps * (22.0 * n * d * d + 4.0 * n * n * d) +
-         4.0 * n * d * d + 4.0 * d * d;
 }
 
 int64_t SrGnn::OpCount(int64_t l) const {

@@ -60,26 +60,23 @@ tensor::SymTensor Stamp::TraceEncode(tensor::ShapeChecker& checker,
       checker.Add(checker.Add(proj_last, proj_mean), ba);
   const tensor::SymTensor proj_items =
       trace::Dense(checker, embedded, sym::d(), sym::d(), /*bias=*/false);
+  const tensor::SymTensor w0 = checker.Input("stamp.w0", {sym::d()});
+  // The alpha-weighted sum of item embeddings is accumulated into a
+  // preallocated [d] memory vector by a manual loop.
+  const tensor::SymTensor memory =
+      checker.Materialize("stamp.memory", {sym::d()}, {});
+  checker.BeginRepeat(sym::L());
   const tensor::SymTensor gate =
       checker.Sigmoid(checker.Add(checker.Row(proj_items), context));
-  checker.Dot(checker.Input("stamp.w0", {sym::d()}), gate);
-  const tensor::SymTensor alphas = checker.Input("stamp.alphas", {sym::L()});
-  const tensor::SymTensor memory =
-      checker.MatVec(checker.Transpose(embedded), alphas);  // [d]
+  const tensor::SymTensor alpha = checker.Dot(w0, gate);
+  checker.EndRepeat();
+  checker.Link(memory, alpha);
+  checker.Link(memory, embedded);
   const tensor::SymTensor hs = checker.Tanh(trace::DenseVector(
       checker, memory, sym::d(), sym::d(), /*bias=*/true));
   const tensor::SymTensor ht = checker.Tanh(trace::DenseVector(
       checker, last, sym::d(), sym::d(), /*bias=*/true));
   return checker.Mul(hs, ht);
-}
-
-double Stamp::EncodeFlops(int64_t l) const {
-  const double d = static_cast<double>(config_.embedding_dim);
-  const double ll = static_cast<double>(l);
-  // Attention projections (2 l d^2 + 4 d^2), scoring (4 l d), two MLPs
-  // (4 d^2). STAMP has no recurrence, which is why it is among the
-  // cheapest models per request.
-  return 2.0 * ll * d * d + 8.0 * d * d + 4.0 * ll * d;
 }
 
 int64_t Stamp::OpCount(int64_t l) const {

@@ -25,7 +25,6 @@ class Stamp final : public SessionModel {
  protected:
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
-  double EncodeFlops(int64_t l) const override;
   int64_t OpCount(int64_t l) const override;
 
  private:

@@ -45,30 +45,42 @@ void OpProfile::Clear() {
   by_op_.clear();
 }
 
-std::string OpProfile::ToText() const {
+std::string OpProfile::ToText() const { return ToText({}); }
+
+std::string OpProfile::ToText(
+    const std::map<std::string, double>& static_flops) const {
   const std::vector<OpProfileEntry> entries = Entries();
   int64_t total_ns = 0;
   for (const OpProfileEntry& entry : entries) total_ns += entry.total_ns;
-  metrics::Table table({"op", "calls", "total [us]", "% of inference",
-                        "GFLOP/s", "GB/s", "peak [KiB]"});
+  std::vector<std::string> columns = {"op",      "calls", "total [us]",
+                                      "% of inference", "GFLOP/s", "GB/s",
+                                      "peak [KiB]"};
+  if (!static_flops.empty()) {
+    columns.push_back("measured FLOPs");
+    columns.push_back("static FLOPs");
+  }
+  metrics::Table table(columns);
   for (const OpProfileEntry& entry : entries) {
     const double share =
         total_ns > 0
             ? 100.0 * static_cast<double>(entry.total_ns) /
                   static_cast<double>(total_ns)
             : 0.0;
-    table.AddRow({entry.op, std::to_string(entry.calls),
-                  FormatDouble(entry.total_us(), 1), FormatDouble(share, 1),
-                  entry.flops > 0 ? FormatDouble(entry.gflops_per_s(), 2)
-                                  : "-",
-                  entry.moved_bytes > 0
-                      ? FormatDouble(entry.gbytes_per_s(), 2)
-                      : "-",
-                  entry.peak_bytes > 0
-                      ? FormatDouble(
-                            static_cast<double>(entry.peak_bytes) / 1024.0,
-                            1)
-                      : "-"});
+    std::vector<std::string> row = {
+        entry.op, std::to_string(entry.calls),
+        FormatDouble(entry.total_us(), 1), FormatDouble(share, 1),
+        entry.flops > 0 ? FormatDouble(entry.gflops_per_s(), 2) : "-",
+        entry.moved_bytes > 0 ? FormatDouble(entry.gbytes_per_s(), 2) : "-",
+        entry.peak_bytes > 0
+            ? FormatDouble(static_cast<double>(entry.peak_bytes) / 1024.0, 1)
+            : "-"};
+    if (!static_flops.empty()) {
+      row.push_back(entry.flops > 0 ? FormatDouble(entry.flops, 0) : "-");
+      const auto it = static_flops.find(entry.op);
+      row.push_back(it != static_flops.end() ? FormatDouble(it->second, 0)
+                                             : "-");
+    }
+    table.AddRow(std::move(row));
   }
   return table.ToText();
 }

@@ -58,6 +58,14 @@ class OpProfile : public OpSink {
   /// misleading zero compute rate.
   std::string ToText() const ETUDE_EXCLUDES(mutex_);
 
+  /// Same table with an extra "static FLOPs" column fed from an external
+  /// per-op prediction (the plan IR's cost polynomials, evaluated by the
+  /// caller), rendered next to the measured FLOP totals so drift between
+  /// the static model and the runtime is visible at a glance. Ops missing
+  /// from the map show "-".
+  std::string ToText(const std::map<std::string, double>& static_flops) const
+      ETUDE_EXCLUDES(mutex_);
+
  private:
   mutable Mutex mutex_;
   std::map<std::string, OpProfileEntry> by_op_ ETUDE_GUARDED_BY(mutex_);

@@ -1,0 +1,175 @@
+#include "tensor/plan_analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace etude::tensor {
+
+std::vector<int> DeathIndices(const PlanGraph& plan) {
+  std::vector<int> death(static_cast<size_t>(plan.size()));
+  for (const PlanNode& node : plan.nodes()) {
+    death[static_cast<size_t>(node.id)] =
+        std::max(node.id, node.min_death);
+  }
+  for (const PlanNode& node : plan.nodes()) {
+    for (int input : node.inputs) {
+      death[static_cast<size_t>(input)] =
+          std::max(death[static_cast<size_t>(input)], node.id);
+    }
+  }
+  return death;
+}
+
+LivenessResult AnalyzeLiveness(const PlanGraph& plan,
+                               const Bindings& bindings) {
+  const std::vector<int> death = DeathIndices(plan);
+  LivenessResult result;
+  for (int step = 0; step < plan.size(); ++step) {
+    CostPoly live;
+    for (const PlanNode& node : plan.nodes()) {
+      if (node.persistent) continue;
+      if (node.id > step) break;  // nodes are in program order
+      if (death[static_cast<size_t>(node.id)] < step) continue;
+      live += node.alloc_bytes;
+    }
+    live += plan.node(step).scratch_bytes;
+    const double bytes = live.Eval(bindings);
+    if (result.peak_step < 0 || bytes > result.peak_bytes) {
+      result.peak_step = step;
+      result.peak_bytes = bytes;
+      result.peak_poly = live;
+    }
+  }
+  return result;
+}
+
+CostSummary AnalyzeCost(const PlanGraph& plan) {
+  CostSummary summary;
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent) continue;
+    ++summary.op_count;
+    const CostPoly flops = node.flops * node.repeat;
+    const CostPoly traffic = node.traffic_bytes * node.repeat;
+    if (node.phase == PlanPhase::kEncode) {
+      summary.encode_flops += flops;
+      summary.encode_traffic_bytes += traffic;
+    } else {
+      summary.score_flops += flops;
+      summary.score_traffic_bytes += traffic;
+    }
+    summary.total_flops += flops;
+    if (!flops.IsZero()) summary.flops_by_op[node.op] += flops;
+  }
+  return summary;
+}
+
+std::string PlanDiagnostic::ToString() const {
+  const char* tag = severity == Severity::kError     ? "error"
+                    : severity == Severity::kWarning ? "warning"
+                                                     : "info";
+  return std::string(tag) + " [" + pass + "] node " + std::to_string(node) +
+         ": " + message;
+}
+
+namespace {
+
+bool HasCatalogDim(const SymShape& shape) {
+  for (const SymDim& dim : shape) {
+    if (!dim.concrete() && dim.symbol() == "C") return true;
+  }
+  return false;
+}
+
+std::string Describe(const PlanNode& node) {
+  std::string out = node.op + " " + ShapeToString(node.shape);
+  if (!node.label.empty()) out += " (" + node.label + ")";
+  return out;
+}
+
+}  // namespace
+
+std::vector<PlanDiagnostic> AnalyzePlan(const PlanGraph& plan) {
+  std::vector<PlanDiagnostic> findings;
+  std::vector<std::vector<int>> consumers(
+      static_cast<size_t>(plan.size()));
+  for (const PlanNode& node : plan.nodes()) {
+    for (int input : node.inputs) {
+      consumers[static_cast<size_t>(input)].push_back(node.id);
+    }
+  }
+
+  // Pass 3a: dead ops (and the [C]-sized flavour as its own pass name).
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent || node.is_output) continue;
+    if (!consumers[static_cast<size_t>(node.id)].empty()) continue;
+    const bool catalog = HasCatalogDim(node.shape);
+    findings.push_back(PlanDiagnostic{
+        PlanDiagnostic::Severity::kError,
+        catalog ? "unconsumed-C" : "dead-op", node.id,
+        Describe(node) +
+            (catalog ? " is a full-catalog tensor no op consumes"
+                     : " is never consumed and is not the request output")});
+  }
+
+  // Pass 3b: common subexpressions — identical (op, operands, shape)
+  // dispatches. Index-dependent gathers (Row/Embedding) and manual
+  // constructions are excluded: equal operands do not imply equal results.
+  std::map<std::string, int> seen;
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent) continue;
+    if (node.op == "Input" || node.op == "Materialize" || node.op == "Row" ||
+        node.op == "Embedding" || node.op == "Truncate") {
+      continue;
+    }
+    std::string key = node.op + "|" + ShapeToString(node.shape);
+    for (int input : node.inputs) {
+      key += "#";
+      key += std::to_string(input);
+    }
+    auto [it, inserted] = seen.emplace(key, node.id);
+    if (!inserted) {
+      findings.push_back(PlanDiagnostic{
+          PlanDiagnostic::Severity::kWarning, "cse", node.id,
+          Describe(node) + " duplicates node " + std::to_string(it->second) +
+              " (same op over the same operands)"});
+    }
+  }
+
+  // Pass 4: materialized-[C] intermediates that reach TopK. The fused
+  // streaming MIPS op never materialises catalog scores; a [C]-sized
+  // tensor flowing into TopK means this graph pays the memory-bound
+  // full-catalog pass the paper's Sec. V attributes RepeatNet's tail to.
+  std::set<int> reaches_topk;
+  for (int i = plan.size() - 1; i >= 0; --i) {
+    const PlanNode& node = plan.node(i);
+    const bool is_topk = node.op == "TopK";
+    if (is_topk || reaches_topk.count(node.id) > 0) {
+      for (int input : node.inputs) reaches_topk.insert(input);
+    }
+  }
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent || node.op == "Mips") continue;
+    if (!HasCatalogDim(node.shape)) continue;
+    if (reaches_topk.count(node.id) == 0 && node.op != "TopK") continue;
+    if (node.op == "TopK") continue;
+    findings.push_back(PlanDiagnostic{
+        PlanDiagnostic::Severity::kInfo, "materialized-C", node.id,
+        Describe(node) +
+            " materialises a catalog-sized intermediate on the TopK path "
+            "(bypasses the fused MIPS scan)"});
+  }
+  return findings;
+}
+
+std::vector<PlanDiagnostic> PlanErrors(const PlanGraph& plan) {
+  std::vector<PlanDiagnostic> errors;
+  for (PlanDiagnostic& finding : AnalyzePlan(plan)) {
+    if (finding.severity == PlanDiagnostic::Severity::kError) {
+      errors.push_back(std::move(finding));
+    }
+  }
+  return errors;
+}
+
+}  // namespace etude::tensor

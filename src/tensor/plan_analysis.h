@@ -1,0 +1,82 @@
+#ifndef ETUDE_TENSOR_PLAN_ANALYSIS_H_
+#define ETUDE_TENSOR_PLAN_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/plan_ir.h"
+
+namespace etude::tensor {
+
+/// Static analysis passes over the retained plan IR (tensor/plan_ir.h).
+///
+/// Four passes, all purely symbolic:
+///  1. liveness + peak memory  — AnalyzeLiveness
+///  2. static cost model       — AnalyzeCost (feeds SessionModel::CostModel)
+///  3. dead ops + CSE          — AnalyzePlan (kError / kWarning)
+///  4. materialized-[C]        — AnalyzePlan (kInfo)
+
+/// Step at which each node's buffer is released: the later of its last
+/// consumer and the end of its enclosing C++ scope.
+std::vector<int> DeathIndices(const PlanGraph& plan);
+
+/// Result of the liveness pass: the transient live-set (request-scoped
+/// tensor buffers + op-internal scratch; model weights excluded) maximised
+/// over program steps. The maximising step depends on the concrete config,
+/// so the pass takes bindings and reports both the argmax step's symbolic
+/// polynomial and its concrete value.
+struct LivenessResult {
+  int peak_step = -1;       // node index at which the live set peaks
+  CostPoly peak_poly;       // live bytes at that step, symbolic
+  double peak_bytes = 0.0;  // peak_poly evaluated at the bindings
+};
+
+LivenessResult AnalyzeLiveness(const PlanGraph& plan,
+                               const Bindings& bindings);
+
+/// Result of the static cost pass: FLOP and traffic polynomials split by
+/// phase (encode vs catalog scoring) and total FLOPs split by op name
+/// (repeat-scaled), plus the op count. Replaces the hand-written
+/// per-model cost constants that used to feed sim::InferenceWork.
+struct CostSummary {
+  CostPoly encode_flops;
+  CostPoly encode_traffic_bytes;
+  CostPoly score_flops;
+  CostPoly score_traffic_bytes;
+  CostPoly total_flops;
+  std::map<std::string, CostPoly> flops_by_op;
+  int op_count = 0;  // non-persistent plan nodes
+};
+
+CostSummary AnalyzeCost(const PlanGraph& plan);
+
+/// One finding of the structural passes.
+struct PlanDiagnostic {
+  enum class Severity { kError, kWarning, kInfo };
+
+  Severity severity = Severity::kInfo;
+  std::string pass;  // "dead-op" | "unconsumed-C" | "cse" | "materialized-C"
+  int node = -1;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Runs the structural passes:
+///  - dead-op (kError): a non-persistent result no op consumes and that is
+///    not the request output — work the runtime would throw away;
+///  - unconsumed-C (kError): the dead result is [C]-sized — a full-catalog
+///    tensor computed for nothing;
+///  - cse (kWarning): two identical (op, operands) dispatches — duplicated
+///    subtrees, faithful to upstream model code but worth surfacing;
+///  - materialized-C (kInfo): a [C]-sized intermediate flows into TopK
+///    instead of using the fused streaming MIPS path.
+std::vector<PlanDiagnostic> AnalyzePlan(const PlanGraph& plan);
+
+/// Convenience: only the kError findings (the CreateModel lint gate).
+std::vector<PlanDiagnostic> PlanErrors(const PlanGraph& plan);
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_PLAN_ANALYSIS_H_

@@ -1,0 +1,244 @@
+#include "tensor/plan_ir.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace etude::tensor {
+
+namespace {
+
+// Recursive-descent evaluation of the additive expressions SymDim::ToString
+// produces: a sum of signed atoms, each atom being an integer, an optional
+// integer coefficient followed by a symbol name, or a parenthesized
+// sub-expression (possibly with a coefficient, e.g. "2(L+n)").
+double ParseSum(const std::string& expr, size_t& pos, const Bindings& bindings);
+
+double ParseAtom(const std::string& expr, size_t& pos,
+                 const Bindings& bindings) {
+  ETUDE_CHECK(pos < expr.size())
+      << "empty atom in symbolic expression '" << expr << "'";
+  double coef = 1.0;
+  bool saw_coef = false;
+  if (std::isdigit(static_cast<unsigned char>(expr[pos]))) {
+    size_t start = pos;
+    while (pos < expr.size() &&
+           std::isdigit(static_cast<unsigned char>(expr[pos]))) {
+      ++pos;
+    }
+    coef = std::stod(expr.substr(start, pos - start));
+    saw_coef = true;
+  }
+  if (pos < expr.size() && expr[pos] == '(') {
+    size_t open = pos++;
+    double inner = ParseSum(expr, pos, bindings);
+    ETUDE_CHECK(pos < expr.size() && expr[pos] == ')')
+        << "unbalanced parenthesis at " << open << " in '" << expr << "'";
+    ++pos;
+    return coef * inner;
+  }
+  if (pos < expr.size() &&
+      (std::isalpha(static_cast<unsigned char>(expr[pos])) ||
+       expr[pos] == '_')) {
+    size_t start = pos;
+    while (pos < expr.size() &&
+           (std::isalnum(static_cast<unsigned char>(expr[pos])) ||
+            expr[pos] == '_')) {
+      ++pos;
+    }
+    const std::string name = expr.substr(start, pos - start);
+    auto it = bindings.find(name);
+    ETUDE_CHECK(it != bindings.end())
+        << "unbound symbol '" << name << "' in '" << expr << "'";
+    return coef * it->second;
+  }
+  ETUDE_CHECK(saw_coef) << "cannot parse symbolic expression '" << expr
+                        << "' at offset " << pos;
+  return coef;  // a bare integer
+}
+
+double ParseSum(const std::string& expr, size_t& pos,
+                const Bindings& bindings) {
+  double total = 0.0;
+  double sign = 1.0;
+  if (pos < expr.size() && expr[pos] == '-') {
+    sign = -1.0;
+    ++pos;
+  }
+  while (true) {
+    total += sign * ParseAtom(expr, pos, bindings);
+    if (pos < expr.size() && expr[pos] == '+') {
+      sign = 1.0;
+      ++pos;
+    } else if (pos < expr.size() && expr[pos] == '-') {
+      sign = -1.0;
+      ++pos;
+    } else {
+      return total;
+    }
+  }
+}
+
+}  // namespace
+
+double EvalSymbolName(const std::string& name, const Bindings& bindings) {
+  auto it = bindings.find(name);
+  if (it != bindings.end()) return it->second;
+  size_t pos = 0;
+  double value = ParseSum(name, pos, bindings);
+  ETUDE_CHECK(pos == name.size())
+      << "trailing characters in symbolic expression '" << name << "'";
+  return value;
+}
+
+// --- CostPoly ---------------------------------------------------------------
+
+CostPoly CostPoly::Const(double value) {
+  CostPoly out;
+  if (value != 0.0) out.terms_[{}] = value;
+  return out;
+}
+
+CostPoly CostPoly::FromDim(const SymDim& dim) {
+  if (dim.concrete()) return Const(static_cast<double>(dim.offset()));
+  CostPoly out = Const(static_cast<double>(dim.offset()));
+  out.terms_[{dim.symbol()}] += static_cast<double>(dim.coef());
+  if (out.terms_[{dim.symbol()}] == 0.0) out.terms_.erase({dim.symbol()});
+  return out;
+}
+
+CostPoly CostPoly::Numel(const SymShape& shape) {
+  CostPoly out = Const(1.0);
+  for (const SymDim& dim : shape) out = out * FromDim(dim);
+  return out;
+}
+
+CostPoly& CostPoly::operator+=(const CostPoly& other) {
+  for (const auto& [symbols, coef] : other.terms_) {
+    double& mine = terms_[symbols];
+    mine += coef;
+    if (mine == 0.0) terms_.erase(symbols);
+  }
+  return *this;
+}
+
+CostPoly CostPoly::operator+(const CostPoly& other) const {
+  CostPoly out = *this;
+  out += other;
+  return out;
+}
+
+CostPoly CostPoly::operator*(const CostPoly& other) const {
+  CostPoly out;
+  for (const auto& [a_syms, a_coef] : terms_) {
+    for (const auto& [b_syms, b_coef] : other.terms_) {
+      std::vector<std::string> merged = a_syms;
+      merged.insert(merged.end(), b_syms.begin(), b_syms.end());
+      std::sort(merged.begin(), merged.end());
+      double& coef = out.terms_[merged];
+      coef += a_coef * b_coef;
+      if (coef == 0.0) out.terms_.erase(merged);
+    }
+  }
+  return out;
+}
+
+CostPoly CostPoly::operator*(double scalar) const {
+  CostPoly out;
+  if (scalar == 0.0) return out;
+  for (const auto& [symbols, coef] : terms_) {
+    out.terms_[symbols] = coef * scalar;
+  }
+  return out;
+}
+
+double CostPoly::Eval(const Bindings& bindings) const {
+  double total = 0.0;
+  for (const auto& [symbols, coef] : terms_) {
+    double term = coef;
+    for (const std::string& symbol : symbols) {
+      term *= EvalSymbolName(symbol, bindings);
+    }
+    total += term;
+  }
+  return total;
+}
+
+std::string CostPoly::ToString() const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (const auto& [symbols, coef] : terms_) {
+    if (!out.empty()) out += " + ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", coef);
+    std::string term;
+    if (symbols.empty() || std::string(buf) != "1") term = buf;
+    // Collapse repeated symbols into powers: ["L", "L", "d"] -> "L^2*d".
+    for (size_t i = 0; i < symbols.size();) {
+      size_t j = i;
+      while (j < symbols.size() && symbols[j] == symbols[i]) ++j;
+      if (!term.empty()) term += "*";
+      term += symbols[i];
+      if (j - i > 1) {
+        term += "^";
+        term += std::to_string(j - i);
+      }
+      i = j;
+    }
+    out += term;
+  }
+  return out;
+}
+
+// --- PlanGraph --------------------------------------------------------------
+
+int PlanGraph::Add(PlanNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  node.phase = phase_;
+  node.min_death = node.id;
+  CostPoly repeat = CostPoly::Const(1.0);
+  for (const CostPoly& factor : repeat_stack_) repeat = repeat * factor;
+  node.repeat = repeat;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void PlanGraph::PushScope() { scope_starts_.push_back(size()); }
+
+void PlanGraph::PopScope() {
+  ETUDE_CHECK(!scope_starts_.empty()) << "PopScope without PushScope";
+  const int start = scope_starts_.back();
+  scope_starts_.pop_back();
+  const int end = size() - 1;
+  for (int i = start; i < size(); ++i) {
+    PlanNode& n = nodes_[static_cast<size_t>(i)];
+    n.min_death = std::max(n.min_death, end);
+  }
+}
+
+void PlanGraph::BeginRepeat(const CostPoly& times) {
+  repeat_stack_.push_back(times);
+}
+
+void PlanGraph::EndRepeat() {
+  ETUDE_CHECK(!repeat_stack_.empty()) << "EndRepeat without BeginRepeat";
+  repeat_stack_.pop_back();
+}
+
+void PlanGraph::Link(int consumer, int producer) {
+  if (consumer < 0 || producer < 0) return;  // poisoned trace values
+  ETUDE_CHECK(consumer < size() && producer < size())
+      << "Link(" << consumer << ", " << producer << ") out of range";
+  nodes_[static_cast<size_t>(consumer)].inputs.push_back(producer);
+}
+
+void PlanGraph::MarkOutput(int node) {
+  if (node < 0) return;
+  ETUDE_CHECK(node < size()) << "MarkOutput(" << node << ") out of range";
+  nodes_[static_cast<size_t>(node)].is_output = true;
+}
+
+}  // namespace etude::tensor

@@ -1,0 +1,136 @@
+#ifndef ETUDE_TENSOR_PLAN_IR_H_
+#define ETUDE_TENSOR_PLAN_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/shape_check.h"
+
+namespace etude::tensor {
+
+/// A retained symbolic plan of one model's inference op graph.
+///
+/// PR 1's ShapeChecker validated shapes on the fly and threw the trace
+/// away; the plan IR keeps it: every op the runtime would dispatch becomes
+/// a PlanNode with its symbolic output shape, its producer edges and its
+/// cost polynomials in the paper's symbols {C, d, L, k, n}. The analysis
+/// passes in tensor/plan_analysis.h (liveness/peak-memory, static cost,
+/// dead-op/CSE, materialized-[C]) all run over this graph.
+
+/// Concrete values for the symbolic dims, e.g. {C: 1e6, d: 32, L: 50}.
+/// Compound symbols such as "(L+n)" need no explicit entry — they are
+/// evaluated recursively from their parts.
+using Bindings = std::map<std::string, double>;
+
+/// Evaluates a symbol name against `bindings`. Handles the compound
+/// names SymDim::operator+ produces ("(L+n)", "(2d+1+n)"); aborts on a
+/// symbol that is neither bound nor decomposable.
+double EvalSymbolName(const std::string& name, const Bindings& bindings);
+
+/// A multivariate polynomial with double coefficients over the symbolic
+/// dims: each term is coef * product(symbols). Exact mirror of the
+/// analytic FLOP/byte formulas in tensor/ops.cc, so evaluating at a
+/// concrete config reproduces the runtime's own cost attribution.
+class CostPoly {
+ public:
+  CostPoly() = default;
+  static CostPoly Const(double value);
+  /// coef * symbol + offset, from a symbolic dimension.
+  static CostPoly FromDim(const SymDim& dim);
+  /// Product of the dims of a shape (the element count).
+  static CostPoly Numel(const SymShape& shape);
+
+  CostPoly& operator+=(const CostPoly& other);
+  CostPoly operator+(const CostPoly& other) const;
+  CostPoly operator*(const CostPoly& other) const;
+  CostPoly operator*(double scalar) const;
+
+  bool IsZero() const { return terms_.empty(); }
+  double Eval(const Bindings& bindings) const;
+  /// Deterministic rendering, e.g. "24*L*d^2 + 4*L^2*d + 2*d^2".
+  std::string ToString() const;
+
+ private:
+  // Sorted symbol multiset -> coefficient. Zero coefficients are erased.
+  std::map<std::vector<std::string>, double> terms_;
+};
+
+/// Which half of the request a node belongs to: the session encoder or
+/// the catalog-sized scoring tail. Drives the encode/scan split of
+/// sim::InferenceWork.
+enum class PlanPhase { kEncode, kScore };
+
+/// One op of the retained plan.
+struct PlanNode {
+  int id = -1;
+  std::string op;       // runtime op name ("MatMul", "GruCell", ...) or
+                        // "Input" / "Materialize" for leaves and manual
+                        // tensor constructions that dispatch no op
+  std::string label;    // context ("SASRec block 1") or input name
+  SymShape shape;       // symbolic output shape
+  std::vector<int> inputs;  // producer node ids
+  PlanPhase phase = PlanPhase::kEncode;
+  /// Weights/tables owned by the model: allocated at load time, excluded
+  /// from the transient live set.
+  bool persistent = false;
+  bool is_output = false;
+  /// Symbolic multiplicity: how many times the runtime dispatches this op
+  /// per request (loop trip counts, e.g. L GruCell steps). Scales flops
+  /// and traffic; liveness sees one iteration (loop bodies reuse their
+  /// buffers) plus the scope rule below.
+  CostPoly repeat;
+  CostPoly flops;          // per dispatch, mirrors tensor/ops.cc exactly
+  CostPoly traffic_bytes;  // per dispatch, 4*(inputs read + output written)
+  CostPoly alloc_bytes;    // output tensor buffer (0 for scalars)
+  CostPoly scratch_bytes;  // transient internals of composite ops
+  /// Liveness floor from C++ scoping: a value dies no earlier than the
+  /// end of the scope that created it (locals are destroyed at scope
+  /// exit, not after their last use). Index of the last node of the
+  /// enclosing scope; consumers can only extend it.
+  int min_death = -1;
+};
+
+/// The retained plan: nodes in trace (== topological == program) order,
+/// plus the recording state the ShapeChecker drives (phase, scope stack,
+/// repeat multiplicity stack).
+class PlanGraph {
+ public:
+  int Add(PlanNode node);  // applies phase/scope/repeat state; returns id
+
+  void SetPhase(PlanPhase phase) { phase_ = phase; }
+  PlanPhase phase() const { return phase_; }
+
+  /// C++ scope mirror: values created between Push and Pop live at least
+  /// until the Pop (function locals die at return, not at last use).
+  void PushScope();
+  void PopScope();
+
+  /// Repeat region: nodes recorded inside dispatch `times` times per
+  /// request (nesting multiplies).
+  void BeginRepeat(const CostPoly& times);
+  void EndRepeat();
+
+  /// Marks `consumer` as additionally reading `producer` — used for
+  /// manual-loop products whose ingredients the checker cannot see.
+  void Link(int consumer, int producer);
+  void MarkOutput(int node);
+
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+  PlanNode& node(int id) { return nodes_[static_cast<size_t>(id)]; }
+  const PlanNode& node(int id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  std::vector<PlanNode> nodes_;
+  PlanPhase phase_ = PlanPhase::kEncode;
+  std::vector<int> scope_starts_;
+  std::vector<CostPoly> repeat_stack_;
+};
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_PLAN_IR_H_

@@ -1,7 +1,11 @@
 #include "tensor/shape_check.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+
+#include "common/logging.h"
+#include "tensor/plan_ir.h"
 
 namespace etude::tensor {
 
@@ -30,7 +34,8 @@ SymDim SymDim::operator+(const SymDim& other) const {
     return Sym(name_, coef_ + other.coef_, offset_ + other.offset_);
   }
   // Unrelated symbols: fold into an opaque compound symbol. Comparisons
-  // against the same compound still work (string equality).
+  // against the same compound still work (string equality), and
+  // Eval/plan-IR polynomials decompose the compound name recursively.
   return Sym("(" + ToString() + "+" + other.ToString() + ")");
 }
 
@@ -47,6 +52,12 @@ std::string SymDim::ToString() const {
   if (offset_ > 0) out += "+" + std::to_string(offset_);
   if (offset_ < 0) out += std::to_string(offset_);
   return out;
+}
+
+double SymDim::Eval(const std::map<std::string, double>& bindings) const {
+  if (concrete()) return static_cast<double>(offset_);
+  return static_cast<double>(coef_) * EvalSymbolName(name_, bindings) +
+         static_cast<double>(offset_);
 }
 
 namespace sym {
@@ -72,9 +83,65 @@ std::string ShapeViolation::ToString() const {
   return out + ": " + message;
 }
 
+namespace {
+
+constexpr double kF32 = 4.0;  // sizeof(float)
+
+CostPoly Np(const SymShape& shape) { return CostPoly::Numel(shape); }
+CostPoly Dp(const SymDim& dim) { return CostPoly::FromDim(dim); }
+
+/// TopK/Mips heap cost: log2(max(k, 2)), exactly as tensor/ops.cc
+/// computes it. Concrete k folds to a constant; symbolic k becomes the
+/// derived symbol "lgk" which bindings must set to log2(max(k, 2)).
+CostPoly LogKPoly(const SymDim& k) {
+  if (k.concrete()) {
+    return CostPoly::Const(
+        std::log2(static_cast<double>(std::max<int64_t>(k.offset(), 2))));
+  }
+  return Dp(SymDim::Sym("lgk"));
+}
+
+/// Appends one PlanNode. Traffic defaults to 4 * (inputs read + output
+/// written) bytes; ops whose runtime records a different movement figure
+/// (Embedding, Concat, Transpose, Row) pass an override.
+int Rec(PlanGraph& plan, const char* op, const std::string& label,
+        const SymShape& shape, std::initializer_list<const SymTensor*> ins,
+        CostPoly flops, CostPoly alloc, CostPoly scratch = CostPoly(),
+        const CostPoly* traffic_override = nullptr) {
+  PlanNode node;
+  node.op = op;
+  node.label = label;
+  node.shape = shape;
+  for (const SymTensor* t : ins) {
+    if (t->node >= 0) node.inputs.push_back(t->node);
+  }
+  if (traffic_override != nullptr) {
+    node.traffic_bytes = *traffic_override;
+  } else {
+    CostPoly io = Np(shape);
+    for (const SymTensor* t : ins) io += Np(t->shape);
+    node.traffic_bytes = io * kF32;
+  }
+  node.flops = std::move(flops);
+  node.alloc_bytes = std::move(alloc);
+  node.scratch_bytes = std::move(scratch);
+  return plan.Add(std::move(node));
+}
+
+}  // namespace
+
+ShapeChecker::ShapeChecker() : plan_(std::make_unique<PlanGraph>()) {}
+ShapeChecker::~ShapeChecker() = default;
+
 SymTensor ShapeChecker::Input(const std::string& name, SymShape shape) {
-  (void)name;  // names exist for readability at call sites
-  return SymTensor{std::move(shape), true};
+  PlanNode node;
+  node.op = "Input";
+  node.label = name;
+  node.shape = shape;
+  node.persistent = true;
+  node.alloc_bytes = Np(shape) * kF32;
+  const int id = plan_->Add(std::move(node));
+  return SymTensor{std::move(shape), true, id};
 }
 
 SymTensor ShapeChecker::Fail(const std::string& op,
@@ -101,7 +168,12 @@ SymTensor ShapeChecker::MatMul(const SymTensor& a, const SymTensor& b) {
                               ShapeToString(a.shape) +
                               ", b=" + ShapeToString(b.shape));
   }
-  return SymTensor{{a.shape[0], b.shape[1]}, true};
+  SymTensor out{{a.shape[0], b.shape[1]}, true};
+  const CostPoly flops =
+      Dp(a.shape[0]) * Dp(a.shape[1]) * Dp(b.shape[1]) * 2.0;
+  out.node = Rec(*plan_, "MatMul", context_, out.shape, {&a, &b}, flops,
+                 Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::MatVec(const SymTensor& a, const SymTensor& x) {
@@ -117,7 +189,10 @@ SymTensor ShapeChecker::MatVec(const SymTensor& a, const SymTensor& x) {
                               " vs vector length " + x.shape[0].ToString() +
                               " do not match");
   }
-  return SymTensor{{a.shape[0]}, true};
+  SymTensor out{{a.shape[0]}, true};
+  out.node = Rec(*plan_, "MatVec", context_, out.shape, {&a, &x},
+                 Dp(a.shape[0]) * Dp(a.shape[1]) * 2.0, Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Linear(const SymTensor& x, const SymTensor& weight,
@@ -143,7 +218,12 @@ SymTensor ShapeChecker::Linear(const SymTensor& x, const SymTensor& weight,
                                 weight.shape[0].ToString());
     }
   }
-  return SymTensor{{x.shape[0], weight.shape[0]}, true};
+  SymTensor out{{x.shape[0], weight.shape[0]}, true};
+  const CostPoly flops =
+      Dp(x.shape[0]) * Dp(x.shape[1]) * Dp(weight.shape[0]) * 2.0;
+  out.node = Rec(*plan_, "Linear", context_, out.shape, {&x, &weight, &bias},
+                 flops, Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Elementwise(const std::string& op, const SymTensor& a,
@@ -153,7 +233,10 @@ SymTensor ShapeChecker::Elementwise(const std::string& op, const SymTensor& a,
     return Fail(op, "operand shapes " + ShapeToString(a.shape) + " and " +
                         ShapeToString(b.shape) + " differ");
   }
-  return a;
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, op.c_str(), context_, out.shape, {&a, &b},
+                 Np(out.shape), Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Add(const SymTensor& a, const SymTensor& b) {
@@ -173,7 +256,10 @@ SymTensor ShapeChecker::AddRowwise(const SymTensor& a, const SymTensor& bias) {
                                   ShapeToString(a.shape) + ", bias=" +
                                   ShapeToString(bias.shape));
   }
-  return a;
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, "AddRowwise", context_, out.shape, {&a, &bias},
+                 Np(out.shape), Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Unary(const std::string& op, const SymTensor& a) {
@@ -181,7 +267,15 @@ SymTensor ShapeChecker::Unary(const std::string& op, const SymTensor& a) {
   if (a.rank() == 0) {
     return Fail(op, "requires a tensor operand, got a scalar");
   }
-  return a;
+  // FLOPs per element, mirroring tensor/ops.cc spans exactly.
+  double per_element = 1.0;  // Scale, Relu
+  if (op == "Sigmoid" || op == "Tanh") per_element = 4.0;
+  if (op == "Gelu") per_element = 8.0;
+  if (op == "Softmax") per_element = 3.0;
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, op.c_str(), context_, out.shape, {&a},
+                 Np(out.shape) * per_element, Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Scale(const SymTensor& a) { return Unary("Scale", a); }
@@ -210,7 +304,10 @@ SymTensor ShapeChecker::LayerNorm(const SymTensor& a, const SymTensor& gain,
                                  " does not match normalised dim " +
                                  last.ToString());
   }
-  return a;
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, "LayerNorm", context_, out.shape, {&a, &gain, &bias},
+                 Np(out.shape) * 6.0, Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Embedding(const SymTensor& table, const SymDim& count) {
@@ -219,26 +316,38 @@ SymTensor ShapeChecker::Embedding(const SymTensor& table, const SymDim& count) {
     return Fail("Embedding",
                 "table must be rank 2, got " + ShapeToString(table.shape));
   }
-  return SymTensor{{count, table.shape[1]}, true};
+  SymTensor out{{count, table.shape[1]}, true};
+  // Pure data movement: `count` rows read from the table + written out.
+  // The full table is deliberately not charged — a gather touches L rows,
+  // not C.
+  const CostPoly traffic = Np(out.shape) * (2.0 * kF32);
+  out.node = Rec(*plan_, "Embedding", context_, out.shape, {&table},
+                 CostPoly(), Np(out.shape) * kF32, CostPoly(), &traffic);
+  return out;
 }
 
 SymTensor ShapeChecker::Concat(const SymTensor& a, const SymTensor& b) {
   if (!Usable({&a, &b})) return SymTensor::Invalid();
+  SymTensor out;
   if (a.rank() == 1 && b.rank() == 1) {
-    return SymTensor{{a.shape[0] + b.shape[0]}, true};
-  }
-  if (a.rank() == 2 && b.rank() == 2) {
+    out = SymTensor{{a.shape[0] + b.shape[0]}, true};
+  } else if (a.rank() == 2 && b.rank() == 2) {
     if (a.shape[0] != b.shape[0]) {
       return Fail("Concat", "row counts " + a.shape[0].ToString() + " vs " +
                                 b.shape[0].ToString() +
                                 " differ: a=" + ShapeToString(a.shape) +
                                 ", b=" + ShapeToString(b.shape));
     }
-    return SymTensor{{a.shape[0], a.shape[1] + b.shape[1]}, true};
+    out = SymTensor{{a.shape[0], a.shape[1] + b.shape[1]}, true};
+  } else {
+    return Fail("Concat",
+                "requires two rank-1 or two rank-2 operands, got a=" +
+                    ShapeToString(a.shape) + ", b=" + ShapeToString(b.shape));
   }
-  return Fail("Concat", "requires two rank-1 or two rank-2 operands, got a=" +
-                            ShapeToString(a.shape) +
-                            ", b=" + ShapeToString(b.shape));
+  const CostPoly traffic = (Np(a.shape) + Np(b.shape)) * (2.0 * kF32);
+  out.node = Rec(*plan_, "Concat", context_, out.shape, {&a, &b}, CostPoly(),
+                 Np(out.shape) * kF32, CostPoly(), &traffic);
+  return out;
 }
 
 SymTensor ShapeChecker::Transpose(const SymTensor& a) {
@@ -247,7 +356,11 @@ SymTensor ShapeChecker::Transpose(const SymTensor& a) {
     return Fail("Transpose",
                 "requires rank 2, got " + ShapeToString(a.shape));
   }
-  return SymTensor{{a.shape[1], a.shape[0]}, true};
+  SymTensor out{{a.shape[1], a.shape[0]}, true};
+  const CostPoly traffic = Np(a.shape) * (2.0 * kF32);
+  out.node = Rec(*plan_, "Transpose", context_, out.shape, {&a}, CostPoly(),
+                 Np(out.shape) * kF32, CostPoly(), &traffic);
+  return out;
 }
 
 SymTensor ShapeChecker::MeanRows(const SymTensor& a) {
@@ -255,7 +368,10 @@ SymTensor ShapeChecker::MeanRows(const SymTensor& a) {
   if (a.rank() != 2) {
     return Fail("MeanRows", "requires rank 2, got " + ShapeToString(a.shape));
   }
-  return SymTensor{{a.shape[1]}, true};
+  SymTensor out{{a.shape[1]}, true};
+  out.node = Rec(*plan_, "MeanRows", context_, out.shape, {&a},
+                 Np(a.shape) + Dp(a.shape[1]), Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::SumRows(const SymTensor& a) {
@@ -263,7 +379,10 @@ SymTensor ShapeChecker::SumRows(const SymTensor& a) {
   if (a.rank() != 2) {
     return Fail("SumRows", "requires rank 2, got " + ShapeToString(a.shape));
   }
-  return SymTensor{{a.shape[1]}, true};
+  SymTensor out{{a.shape[1]}, true};
+  out.node = Rec(*plan_, "SumRows", context_, out.shape, {&a}, Np(a.shape),
+                 Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::L2NormalizeRows(const SymTensor& a) {
@@ -272,7 +391,10 @@ SymTensor ShapeChecker::L2NormalizeRows(const SymTensor& a) {
     return Fail("L2NormalizeRows",
                 "requires rank 1 or 2, got " + ShapeToString(a.shape));
   }
-  return a;
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, "L2NormalizeRows", context_, out.shape, {&a},
+                 Np(out.shape) * 3.0, Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Dot(const SymTensor& a, const SymTensor& b) {
@@ -282,7 +404,10 @@ SymTensor ShapeChecker::Dot(const SymTensor& a, const SymTensor& b) {
                            ShapeToString(a.shape) +
                            ", b=" + ShapeToString(b.shape));
   }
-  return SymTensor{{}, true};  // scalar
+  SymTensor out{{}, true};  // scalar: a float, no tensor buffer
+  out.node = Rec(*plan_, "Dot", context_, out.shape, {&a, &b},
+                 Dp(a.shape[0]) * 2.0, CostPoly());
+  return out;
 }
 
 SymTensor ShapeChecker::TopK(const SymTensor& scores, const SymDim& k) {
@@ -291,7 +416,11 @@ SymTensor ShapeChecker::TopK(const SymTensor& scores, const SymDim& k) {
     return Fail("TopK", "scores must be rank 1, got " +
                             ShapeToString(scores.shape));
   }
-  return SymTensor{{k}, true};
+  // Result indices/scores are std::vectors, not tensors: no tracked alloc.
+  SymTensor out{{k}, true};
+  out.node = Rec(*plan_, "TopK", context_, out.shape, {&scores},
+                 Np(scores.shape) * LogKPoly(k), CostPoly());
+  return out;
 }
 
 SymTensor ShapeChecker::Mips(const SymTensor& items, const SymTensor& query,
@@ -307,7 +436,14 @@ SymTensor ShapeChecker::Mips(const SymTensor& items, const SymTensor& query,
                             " vs query length " + query.shape[0].ToString() +
                             " do not match");
   }
-  return SymTensor{{k}, true};
+  // Fused streaming scan: per-worker bounded heaps, never a [C] tensor.
+  SymTensor out{{k}, true};
+  const CostPoly flops =
+      Dp(items.shape[0]) * Dp(items.shape[1]) * 2.0 +
+      Dp(items.shape[0]) * LogKPoly(k);
+  out.node = Rec(*plan_, "Mips", context_, out.shape, {&items, &query}, flops,
+                 CostPoly());
+  return out;
 }
 
 SymTensor ShapeChecker::GruCell(const SymTensor& input, const SymTensor& hidden,
@@ -340,7 +476,16 @@ SymTensor ShapeChecker::GruCell(const SymTensor& input, const SymTensor& hidden,
                                "], got b_ih=" + ShapeToString(b_ih.shape) +
                                ", b_hh=" + ShapeToString(b_hh.shape));
   }
-  return SymTensor{{hidden.shape[0]}, true};
+  SymTensor out{{hidden.shape[0]}, true};
+  const CostPoly h = Dp(hidden.shape[0]);
+  const CostPoly flops =
+      h * (Dp(input.shape[0]) + Dp(hidden.shape[0])) * 6.0 + h * 12.0;
+  // Internals: two gate vectors [3h] each plus MatVec/Add temporaries —
+  // conservatively 12h floats of concurrent transient storage.
+  out.node = Rec(*plan_, "GruCell", context_, out.shape,
+                 {&input, &hidden, &w_ih, &w_hh, &b_ih, &b_hh}, flops,
+                 Np(out.shape) * kF32, h * (12.0 * kF32));
+  return out;
 }
 
 SymTensor ShapeChecker::Attention(const SymTensor& q, const SymTensor& k,
@@ -362,7 +507,16 @@ SymTensor ShapeChecker::Attention(const SymTensor& q, const SymTensor& k,
                                  " vs value count " + v.shape[0].ToString() +
                                  " do not match");
   }
-  return SymTensor{{q.shape[0], v.shape[1]}, true};
+  SymTensor out{{q.shape[0], v.shape[1]}, true};
+  const CostPoly nm = Dp(q.shape[0]) * Dp(k.shape[0]);
+  const CostPoly flops = nm * Dp(q.shape[1]) * 4.0 + nm * 3.0;
+  // Internals: Transpose(k) [m,dk] + logits/weights [n,m] (x2 concurrent
+  // at the Scale step) — (m*dk + 3*n*m) floats of transient storage.
+  const CostPoly scratch =
+      (Dp(k.shape[0]) * Dp(k.shape[1]) + nm * 3.0) * kF32;
+  out.node = Rec(*plan_, "ScaledDotProductAttention", context_, out.shape,
+                 {&q, &k, &v}, flops, Np(out.shape) * kF32, scratch);
+  return out;
 }
 
 SymTensor ShapeChecker::Row(const SymTensor& a) {
@@ -370,7 +524,12 @@ SymTensor ShapeChecker::Row(const SymTensor& a) {
   if (a.rank() != 2) {
     return Fail("Row", "requires rank 2, got " + ShapeToString(a.shape));
   }
-  return SymTensor{{a.shape[1]}, true};
+  // Tensor::Row copies one row into a fresh [width] buffer; no op span.
+  SymTensor out{{a.shape[1]}, true};
+  const CostPoly traffic = Np(out.shape) * (2.0 * kF32);
+  out.node = Rec(*plan_, "Row", context_, out.shape, {&a}, CostPoly(),
+                 Np(out.shape) * kF32, CostPoly(), &traffic);
+  return out;
 }
 
 namespace {
@@ -410,7 +569,11 @@ SymTensor ShapeChecker::Reshape(const SymTensor& a, SymShape new_shape) {
                                " cannot be proven equal to " +
                                ShapeToString(new_shape));
   }
-  return SymTensor{std::move(new_shape), true};
+  // Tensor::Reshaped copies the backing buffer; no op span.
+  SymTensor out{std::move(new_shape), true};
+  out.node = Rec(*plan_, "Reshape", context_, out.shape, {&a}, CostPoly(),
+                 Np(out.shape) * kF32);
+  return out;
 }
 
 SymTensor ShapeChecker::Truncate(const SymTensor& a, int axis,
@@ -423,6 +586,10 @@ SymTensor ShapeChecker::Truncate(const SymTensor& a, int axis,
   }
   SymTensor out = a;
   out.shape[static_cast<size_t>(axis)] = new_dim;
+  // Purely symbolic extent adjustment: no runtime op, no allocation.
+  const CostPoly traffic;
+  out.node = Rec(*plan_, "Truncate", context_, out.shape, {&a}, CostPoly(),
+                 CostPoly(), CostPoly(), &traffic);
   return out;
 }
 
@@ -445,8 +612,50 @@ SymTensor ShapeChecker::GatedUpdate(const SymTensor& gate_input,
                     ", got gate_input=" + ShapeToString(gate_input.shape) +
                     ", gate_hidden=" + ShapeToString(gate_hidden.shape));
   }
-  return state;
+  // The SR-GNN node update is a manual element loop: allocates the next
+  // state tensor but dispatches no tensor op (zero recorded FLOPs).
+  SymTensor out{state.shape, true};
+  out.node = Rec(*plan_, "GatedUpdate", context_, out.shape,
+                 {&gate_input, &gate_hidden, &state}, CostPoly(),
+                 Np(out.shape) * kF32);
+  return out;
 }
+
+SymTensor ShapeChecker::Materialize(const std::string& label, SymShape shape,
+                                    std::initializer_list<const SymTensor*>
+                                        deps) {
+  SymTensor out{std::move(shape), true};
+  for (const SymTensor* t : deps) {
+    if (!t->valid) return SymTensor::Invalid();
+  }
+  out.node = Rec(*plan_, "Materialize", label.empty() ? context_ : label,
+                 out.shape, deps, CostPoly(), Np(out.shape) * kF32);
+  return out;
+}
+
+void ShapeChecker::Link(const SymTensor& consumer, const SymTensor& producer) {
+  plan_->Link(consumer.node, producer.node);
+}
+
+void ShapeChecker::MarkOutput(const SymTensor& a) {
+  plan_->MarkOutput(a.node);
+}
+
+void ShapeChecker::BeginRepeat(const SymDim& times) {
+  plan_->BeginRepeat(CostPoly::FromDim(times));
+}
+
+void ShapeChecker::EndRepeat() { plan_->EndRepeat(); }
+
+void ShapeChecker::PushScope() { plan_->PushScope(); }
+
+void ShapeChecker::PopScope() { plan_->PopScope(); }
+
+void ShapeChecker::BeginEncodePhase() {
+  plan_->SetPhase(PlanPhase::kEncode);
+}
+
+void ShapeChecker::BeginScorePhase() { plan_->SetPhase(PlanPhase::kScore); }
 
 bool ShapeChecker::Require(const SymTensor& a, const SymShape& expected,
                            const std::string& what) {

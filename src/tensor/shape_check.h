@@ -2,10 +2,14 @@
 #define ETUDE_TENSOR_SHAPE_CHECK_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace etude::tensor {
+
+class PlanGraph;
 
 /// Static shape linting for the model op graphs.
 ///
@@ -58,6 +62,11 @@ class SymDim {
 
   std::string ToString() const;
 
+  /// Evaluates the dimension at concrete symbol values, e.g.
+  /// {L: 50, n: 12}. Compound symbols such as "(L+n)" are decomposed
+  /// recursively; an unbound plain symbol aborts.
+  double Eval(const std::map<std::string, double>& bindings) const;
+
  private:
   SymDim(int64_t coef, std::string name, int64_t offset)
       : coef_(coef), name_(std::move(name)), offset_(offset) {}
@@ -86,6 +95,9 @@ std::string ShapeToString(const SymShape& shape);
 struct SymTensor {
   SymShape shape;
   bool valid = true;
+  /// Id of the PlanNode that produced this value (-1 for invalid tensors
+  /// and hand-built values that never passed through a ShapeChecker).
+  int node = -1;
 
   static SymTensor Invalid() { return SymTensor{{}, false}; }
   int rank() const { return static_cast<int>(shape.size()); }
@@ -108,7 +120,13 @@ struct ShapeViolation {
 /// that suppresses follow-on errors).
 class ShapeChecker {
  public:
-  /// Introduces a leaf tensor (weights, embeddings, zero accumulators).
+  ShapeChecker();
+  ~ShapeChecker();
+  ShapeChecker(const ShapeChecker&) = delete;
+  ShapeChecker& operator=(const ShapeChecker&) = delete;
+
+  /// Introduces a leaf tensor (weights, embeddings — model-owned storage
+  /// that is allocated at load time, not per request).
   SymTensor Input(const std::string& name, SymShape shape);
 
   /// Sets a free-form location label attached to subsequent violations
@@ -169,6 +187,39 @@ class ShapeChecker {
   SymTensor GatedUpdate(const SymTensor& gate_input,
                         const SymTensor& gate_hidden, const SymTensor& state);
 
+  // --- plan recording ------------------------------------------------------
+  // Every op above also appends a PlanNode to a retained plan IR (see
+  // tensor/plan_ir.h). The hooks below let traces describe the parts of
+  // the runtime the op mirrors cannot see: manual loops, buffers
+  // allocated ahead of their producers, C++ scope lifetimes.
+
+  /// A tensor the runtime builds with a manual element loop (no op
+  /// dispatch, zero FLOPs): session-graph adjacency, attention
+  /// accumulators, RepeatNet's one-hot matrix. `deps` are the values the
+  /// loop reads.
+  SymTensor Materialize(const std::string& label, SymShape shape,
+                        std::initializer_list<const SymTensor*> deps);
+  /// Marks `consumer` as additionally reading `producer` — a dataflow
+  /// edge the op mirrors cannot express (e.g. a preallocated buffer
+  /// filled by later loop iterations).
+  void Link(const SymTensor& consumer, const SymTensor& producer);
+  /// Marks the request's final result (TopK indices); analysis treats it
+  /// as consumed.
+  void MarkOutput(const SymTensor& a);
+  /// Loop region: ops recorded inside dispatch `times` times per request
+  /// (costs scale; liveness sees one iteration, buffers are reused).
+  void BeginRepeat(const SymDim& times);
+  void EndRepeat();
+  /// C++ scope mirror: values recorded between Push and Pop live until
+  /// the Pop (function locals die at scope exit, not at last use).
+  void PushScope();
+  void PopScope();
+  /// Phase split driving the encode/scan halves of sim::InferenceWork.
+  void BeginEncodePhase();
+  void BeginScorePhase();
+
+  const PlanGraph& plan() const { return *plan_; }
+
   /// Asserts `a` has exactly `expected` shape; records a violation naming
   /// `what` otherwise. Returns whether it matched.
   bool Require(const SymTensor& a, const SymShape& expected,
@@ -192,6 +243,7 @@ class ShapeChecker {
 
   std::string context_;
   std::vector<ShapeViolation> violations_;
+  std::unique_ptr<PlanGraph> plan_;
 };
 
 }  // namespace etude::tensor

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,8 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "serving/etude_serve.h"
+#include "tensor/plan_analysis.h"
+#include "tensor/plan_ir.h"
 #include "workload/session_generator.h"
 
 namespace {
@@ -333,13 +336,37 @@ int ProfileOne(etude::models::ModelKind kind,
       }
     }
   }
+  // Static per-op FLOP predictions from the plan IR's cost polynomials,
+  // evaluated at every profiled request's session length and true
+  // session-graph node count, then summed — directly comparable to the
+  // measured per-op totals.
+  const etude::tensor::CostSummary plan_cost =
+      etude::tensor::AnalyzeCost((*model)->BuildPlan(mode));
+  std::map<std::string, double> static_flops;
+  const int64_t max_len = (*model)->config().max_session_length;
+  for (int i = 0; i < requests; ++i) {
+    const std::vector<int64_t>& session = sessions[i % sessions.size()];
+    const size_t start = session.size() > static_cast<size_t>(max_len)
+                             ? session.size() - static_cast<size_t>(max_len)
+                             : 0;
+    const int64_t len = static_cast<int64_t>(session.size() - start);
+    etude::tensor::Bindings bindings = (*model)->PlanBindings(len);
+    bindings["n"] = static_cast<double>(
+        std::set<int64_t>(session.begin() + static_cast<ptrdiff_t>(start),
+                          session.end())
+            .size());
+    for (const auto& [op, poly] : plan_cost.flops_by_op) {
+      static_flops[op] += poly.Eval(bindings);
+    }
+  }
+
   std::printf("%s\n", header.c_str());
   std::printf("catalog %s, d=%lld, %d requests, %.1f us/request\n",
               etude::FormatWithCommas(catalog).c_str(),
               static_cast<long long>((*model)->config().embedding_dim),
               requests,
               static_cast<double>(profile.TotalNs()) / 1e3 / requests);
-  std::printf("%s\n", profile.ToText().c_str());
+  std::printf("%s\n", profile.ToText(static_flops).c_str());
   return 0;
 }
 

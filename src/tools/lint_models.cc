@@ -1,16 +1,28 @@
-// lint_models: runs the static op-graph shape linter over every supported
-// model architecture in both execution modes and exits nonzero if any
-// graph is mis-shaped. Intended for CI: the check is symbolic in
-// {C, d, L, k}, so it needs no weights, no requests and no benchmark run.
+// lint_models: runs the static plan lints over every supported model
+// architecture in both execution modes and exits nonzero if any graph is
+// mis-shaped or wasteful (dead ops, unconsumed catalog-sized tensors).
+// Intended for CI: the checks are symbolic in {C, d, L, k}, so they need
+// no weights, no requests and no benchmark run.
 //
-// Usage: lint_models [--verbose]
+// With --report, additionally prints the per-model x per-mode plan table
+// (op count, peak-memory and FLOP polynomials) plus every diagnostic the
+// analysis passes emit — including the structural reason LightSANs falls
+// back to eager under JIT. --json PATH writes the machine-readable report;
+// --golden PATH diffs it against a committed golden file and fails on
+// drift.
+//
+// Usage: lint_models [--verbose] [--report] [--json PATH] [--golden PATH]
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "models/model_factory.h"
+#include "models/plan_report.h"
 #include "models/session_model.h"
 
 namespace {
@@ -19,15 +31,59 @@ const char* ModeName(etude::models::ExecutionMode mode) {
   return mode == etude::models::ExecutionMode::kJit ? "jit" : "eager";
 }
 
+int DiffAgainstGolden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lint_models: cannot read golden report %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto golden = etude::ParseJson(buffer.str());
+  if (!golden.ok()) {
+    std::fprintf(stderr, "lint_models: golden report %s is not JSON:\n%s\n",
+                 path.c_str(), golden.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> diffs =
+      etude::models::DiffPlanReports(*golden,
+                                     etude::models::PlanReportJson());
+  if (diffs.empty()) {
+    std::printf("lint_models: plan report matches %s\n", path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "lint_models: plan report drifted from %s (%zu paths).\n"
+               "Regenerate with: lint_models --json %s\n",
+               path.c_str(), diffs.size(), path.c_str());
+  for (const std::string& diff : diffs) {
+    std::fprintf(stderr, "  %s\n", diff.c_str());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool verbose = false;
+  bool report = false;
+  std::string json_path;
+  std::string golden_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc) {
+      golden_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--verbose]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--verbose] [--report] [--json PATH] "
+                   "[--golden PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -45,8 +101,9 @@ int main(int argc, char** argv) {
       etude::models::ModelConfig config;
       config.catalog_size = catalog;
       config.materialize_embeddings = false;  // cost-only: no [C, d] alloc
-      // CreateModel already lints both modes at construction; a failure
-      // surfaces here as an InvalidArgument status.
+      // CreateModel already runs the shape lint and the plan-error passes
+      // for both modes at construction; a failure surfaces here as an
+      // InvalidArgument status.
       auto model = etude::models::CreateModel(kind, config);
       if (!model.ok()) {
         ++failures;
@@ -74,6 +131,12 @@ int main(int argc, char** argv) {
                       static_cast<long long>(catalog));
         }
       }
+      // Surface silent JIT fallbacks as first-class diagnostics.
+      if (catalog == catalog_sizes.front() && !(*model)->jit_compatible()) {
+        std::printf("note %s: jit fallback to eager: %s\n",
+                    std::string((*model)->name()).c_str(),
+                    (*model)->jit_incompatibility_reason().c_str());
+      }
     }
   }
 
@@ -82,6 +145,23 @@ int main(int argc, char** argv) {
                  checked);
     return 1;
   }
-  std::printf("lint_models: %d op-graph shape checks passed\n", checked);
+  std::printf("lint_models: %d op-graph plan checks passed\n", checked);
+
+  if (report) {
+    std::printf("\n%s", etude::models::PlanReportText().c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "lint_models: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << etude::models::PlanReportJson().Dump() << "\n";
+    std::printf("lint_models: wrote plan report to %s\n", json_path.c_str());
+  }
+  if (!golden_path.empty()) {
+    return DiffAgainstGolden(golden_path);
+  }
   return 0;
 }

@@ -1,0 +1,183 @@
+// Cross-checks the symbolic plan IR against the real tensor runtime:
+//
+//  1. FLOPs — the plan's per-op cost polynomials, evaluated at each
+//     request's concrete (C, d, L, k, n), must reproduce the runtime's own
+//     per-op FLOP attribution (obs::OpProfile) *exactly*: both sides mirror
+//     the analytic formulas in tensor/ops.cc, so any drift is a bug in the
+//     trace or in an op's cost polynomial.
+//  2. Peak memory — the static liveness pass, which models C++ scope
+//     lifetimes, must upper-bound the transient tensor high-water mark the
+//     allocator actually observed (obs/memstats) during Recommend.
+//
+// Runs every model in both execution modes at two concrete configs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "models/model_factory.h"
+#include "models/session_model.h"
+#include "obs/memstats.h"
+#include "obs/op_hook.h"
+#include "obs/profile.h"
+#include "tensor/plan_analysis.h"
+#include "tensor/plan_ir.h"
+
+namespace etude::models {
+namespace {
+
+struct ConcreteConfig {
+  int64_t catalog;
+  int64_t embedding_dim;  // 0 = paper heuristic ceil(C^(1/4))
+};
+
+// Two configs: heuristic d at a small catalog, explicit d at a larger one.
+const ConcreteConfig kConfigs[] = {{3000, 0}, {6000, 24}};
+
+// Mixed-shape sessions: short distinct, repeated single item (unique
+// count < length), and longer than max_session_length (exercises the
+// truncation window).
+std::vector<std::vector<int64_t>> TestSessions(int64_t catalog) {
+  std::vector<int64_t> longer;
+  for (int64_t i = 0; i < 60; ++i) longer.push_back((i * 37 + 11) % catalog);
+  return {{1, 2, 3}, {7, 7, 7, 7}, longer};
+}
+
+// The truncation window Recommend applies: the most recent max_len items.
+std::vector<int64_t> Window(const std::vector<int64_t>& session,
+                            int64_t max_len) {
+  const size_t start = session.size() > static_cast<size_t>(max_len)
+                           ? session.size() - static_cast<size_t>(max_len)
+                           : 0;
+  return {session.begin() + static_cast<ptrdiff_t>(start), session.end()};
+}
+
+// Bindings for one concrete request, with the session-graph node count n
+// bound to the window's true unique-item count (PlanBindings itself binds
+// the worst case n = L).
+tensor::Bindings RequestBindings(const SessionModel& model,
+                                 const std::vector<int64_t>& window) {
+  tensor::Bindings bindings =
+      model.PlanBindings(static_cast<int64_t>(window.size()));
+  bindings["n"] = static_cast<double>(
+      std::set<int64_t>(window.begin(), window.end()).size());
+  return bindings;
+}
+
+class PlanCrossCheckTest
+    : public ::testing::TestWithParam<std::tuple<ModelKind, ExecutionMode>> {
+ protected:
+  static ModelKind Kind() { return std::get<0>(GetParam()); }
+  static ExecutionMode Mode() { return std::get<1>(GetParam()); }
+
+  static std::unique_ptr<SessionModel> MakeModel(const ConcreteConfig& cc) {
+    ModelConfig config;
+    config.catalog_size = cc.catalog;
+    config.embedding_dim = cc.embedding_dim;
+    auto model = CreateModel(Kind(), config);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+};
+
+TEST_P(PlanCrossCheckTest, StaticFlopsMatchRuntimeExactly) {
+  for (const ConcreteConfig& cc : kConfigs) {
+    auto model = MakeModel(cc);
+    ASSERT_NE(model, nullptr);
+    const tensor::CostSummary cost =
+        tensor::AnalyzeCost(model->BuildPlan(Mode()));
+
+    // Static side: sum each op's polynomial over the profiled requests.
+    std::map<std::string, double> static_flops;
+    const auto sessions = TestSessions(cc.catalog);
+    for (const auto& session : sessions) {
+      const auto window =
+          Window(session, model->config().max_session_length);
+      const tensor::Bindings bindings = RequestBindings(*model, window);
+      for (const auto& [op, poly] : cost.flops_by_op) {
+        static_flops[op] += poly.Eval(bindings);
+      }
+    }
+
+    // Runtime side: the profiler's analytic per-op FLOP attribution.
+    obs::OpProfile profile;
+    {
+      obs::ScopedOpSink attach(&profile);
+      for (const auto& session : sessions) {
+        auto rec = model->Recommend(session);
+        ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+      }
+    }
+    std::map<std::string, double> measured;
+    for (const obs::OpProfileEntry& entry : profile.Entries()) {
+      if (entry.flops > 0) measured[entry.op] = entry.flops;
+    }
+
+    // Exact agreement, op by op, in both directions.
+    for (const auto& [op, flops] : static_flops) {
+      ASSERT_EQ(measured.count(op), 1u)
+          << "plan predicts FLOPs for op " << op
+          << " the runtime never dispatched (C=" << cc.catalog << ")";
+      EXPECT_NEAR(flops, measured[op], 1e-6 * (1.0 + measured[op]))
+          << "op " << op << " at C=" << cc.catalog;
+    }
+    for (const auto& [op, flops] : measured) {
+      EXPECT_EQ(static_flops.count(op), 1u)
+          << "runtime dispatched op " << op << " (" << flops
+          << " FLOPs) missing from the plan (C=" << cc.catalog << ")";
+    }
+  }
+}
+
+TEST_P(PlanCrossCheckTest, StaticPeakUpperBoundsRuntimePeak) {
+  for (const ConcreteConfig& cc : kConfigs) {
+    auto model = MakeModel(cc);
+    ASSERT_NE(model, nullptr);
+    const tensor::PlanGraph plan = model->BuildPlan(Mode());
+
+    for (const auto& session : TestSessions(cc.catalog)) {
+      const auto window =
+          Window(session, model->config().max_session_length);
+      const tensor::LivenessResult liveness =
+          tensor::AnalyzeLiveness(plan, RequestBindings(*model, window));
+
+      obs::ResetPeakLiveBytes();
+      const int64_t live_before = obs::ProcessMemStats().live_bytes;
+      auto rec = model->Recommend(session);
+      ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+      const int64_t transient =
+          obs::ProcessMemStats().peak_live_bytes - live_before;
+
+      EXPECT_GE(liveness.peak_bytes, static_cast<double>(transient))
+          << model->name() << " C=" << cc.catalog << " L=" << window.size()
+          << ": static peak " << liveness.peak_bytes << " ("
+          << liveness.peak_poly.ToString() << " at step "
+          << liveness.peak_step << ") < runtime transient peak "
+          << transient;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsBothModes, PlanCrossCheckTest,
+    ::testing::Combine(::testing::ValuesIn(AllModelKinds()),
+                       ::testing::Values(ExecutionMode::kEager,
+                                         ExecutionMode::kJit)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ModelKind, ExecutionMode>>& info) {
+      std::string name{ModelKindToString(std::get<0>(info.param))};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += std::get<1>(info.param) == ExecutionMode::kJit ? "_jit"
+                                                             : "_eager";
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::models

@@ -1,0 +1,114 @@
+// Tests of the machine-readable plan report and its golden-file gate.
+//
+// The committed golden (docs/plan_report.json) is the reviewed record of
+// every model's symbolic cost and peak-memory polynomials; any change to a
+// model graph or a cost formula must regenerate it deliberately:
+//
+//   build-release/src/tools/lint_models --json docs/plan_report.json
+
+#include "models/plan_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "models/model_factory.h"
+
+namespace etude::models {
+namespace {
+
+TEST(PlanReportTest, CoversAllModelsAndBothModes) {
+  const JsonValue report = PlanReportJson();
+  ASSERT_TRUE(report.Contains("models"));
+  const JsonValue& models = report.Get("models");
+  EXPECT_EQ(models.members().size(), AllModelKinds().size());
+  for (const auto& [name, entry] : models.members()) {
+    ASSERT_TRUE(entry.Contains("modes")) << name;
+    for (const char* mode : {"eager", "jit"}) {
+      const JsonValue& cell = entry.Get("modes").Get(mode);
+      EXPECT_GT(cell.GetIntOr("op_count", 0), 0) << name << " " << mode;
+      EXPECT_FALSE(cell.GetStringOr("flops_poly", "").empty())
+          << name << " " << mode;
+      EXPECT_GT(cell.GetNumberOr("flops_at_reference", 0.0), 0.0)
+          << name << " " << mode;
+      EXPECT_GT(cell.GetNumberOr("peak_memory_at_reference", 0.0), 0.0)
+          << name << " " << mode;
+    }
+  }
+  // The known structural findings are present as diagnostics.
+  EXPECT_FALSE(report.Get("models")
+                   .Get("LightSANs")
+                   .GetStringOr("jit_incompatibility_reason", "")
+                   .empty());
+}
+
+TEST(PlanReportTest, RoundTripsThroughJsonWithNoDiffs) {
+  const JsonValue report = PlanReportJson();
+  auto parsed = ParseJson(report.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(DiffPlanReports(*parsed, report).empty());
+  // Regenerating is deterministic.
+  EXPECT_TRUE(DiffPlanReports(report, PlanReportJson()).empty());
+}
+
+TEST(PlanReportTest, DiffNamesChangedAndMissingPaths) {
+  JsonValue golden = JsonValue::MakeObject();
+  golden.Set("x", JsonValue(static_cast<int64_t>(1)));
+  golden.Set("only_golden", JsonValue(std::string("y")));
+  JsonValue current = JsonValue::MakeObject();
+  current.Set("x", JsonValue(static_cast<int64_t>(2)));
+  current.Set("only_current", JsonValue(std::string("z")));
+
+  const std::vector<std::string> diffs = DiffPlanReports(golden, current);
+  ASSERT_EQ(diffs.size(), 3u);
+  std::string joined;
+  for (const std::string& diff : diffs) joined += diff + "\n";
+  EXPECT_NE(joined.find("/x: 1 -> 2"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("/only_golden: missing from current"),
+            std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("/only_current: missing from golden"),
+            std::string::npos)
+      << joined;
+}
+
+TEST(PlanReportTest, TextReportMentionsEveryModel) {
+  const std::string text = PlanReportText();
+  EXPECT_NE(text.find("plan report at"), std::string::npos);
+  for (const ModelKind kind : AllModelKinds()) {
+    EXPECT_NE(text.find(std::string(ModelKindToString(kind))),
+              std::string::npos)
+        << ModelKindToString(kind);
+  }
+  EXPECT_NE(text.find("peak-memory polynomial"), std::string::npos);
+}
+
+// The golden gate itself, as a ctest-visible check (CI additionally runs
+// `lint_models --golden docs/plan_report.json`).
+TEST(PlanReportGoldenTest, MatchesCommittedGolden) {
+  const std::string path =
+      std::string(ETUDE_SOURCE_DIR) + "/docs/plan_report.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot read golden report " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto golden = ParseJson(buffer.str());
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  const std::vector<std::string> diffs =
+      DiffPlanReports(*golden, PlanReportJson());
+  std::string joined;
+  for (const std::string& diff : diffs) joined += "  " + diff + "\n";
+  EXPECT_TRUE(diffs.empty())
+      << "plan report drifted from " << path << ":\n"
+      << joined
+      << "regenerate with: lint_models --json docs/plan_report.json";
+}
+
+}  // namespace
+}  // namespace etude::models

@@ -1,0 +1,239 @@
+#include "tensor/plan_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tensor/plan_ir.h"
+#include "tensor/shape_check.h"
+
+namespace etude::tensor {
+namespace {
+
+PlanNode MakeNode(std::string op, double alloc_bytes = 0.0,
+                  std::vector<int> inputs = {}) {
+  PlanNode node;
+  node.op = std::move(op);
+  node.alloc_bytes = CostPoly::Const(alloc_bytes);
+  node.inputs = std::move(inputs);
+  return node;
+}
+
+// --- liveness / peak memory -------------------------------------------------
+
+TEST(DeathIndicesTest, LastConsumerExtendsLifetime) {
+  PlanGraph plan;
+  const int a = plan.Add(MakeNode("Embedding"));
+  const int b = plan.Add(MakeNode("Tanh", 0.0, {a}));
+  const int c = plan.Add(MakeNode("MeanRows", 0.0, {a, b}));
+  const std::vector<int> death = DeathIndices(plan);
+  EXPECT_EQ(death[static_cast<size_t>(a)], c);  // read again at c
+  EXPECT_EQ(death[static_cast<size_t>(b)], c);
+  EXPECT_EQ(death[static_cast<size_t>(c)], c);  // never read: dies in place
+}
+
+TEST(LivenessTest, PeakCountsOverlappingBuffers) {
+  PlanGraph plan;
+  // Model weights never enter the transient live set.
+  PlanNode weights = MakeNode("Input", 1e9);
+  weights.persistent = true;
+  plan.Add(weights);
+  const int a = plan.Add(MakeNode("Embedding", 100.0));
+  const int b = plan.Add(MakeNode("Tanh", 40.0, {a}));
+  plan.Add(MakeNode("MeanRows", 8.0, {b}));
+
+  const LivenessResult result = AnalyzeLiveness(plan, {});
+  // a is last read at b, so the live set peaks while both are alive.
+  EXPECT_EQ(result.peak_step, b);
+  EXPECT_DOUBLE_EQ(result.peak_bytes, 140.0);
+  EXPECT_DOUBLE_EQ(result.peak_poly.Eval({}), 140.0);
+}
+
+TEST(LivenessTest, ScopeKeepsLocalsAliveToScopeEnd) {
+  PlanGraph plan;
+  plan.PushScope();
+  const int a = plan.Add(MakeNode("Tanh", 100.0));
+  const int b = plan.Add(MakeNode("Relu", 50.0, {a}));
+  const int c = plan.Add(MakeNode("Sigmoid", 50.0, {b}));
+  plan.PopScope();
+
+  // Without the scope rule a would die at b and the peak would be 150;
+  // the C++ local lives to scope exit, so all three overlap.
+  const LivenessResult result = AnalyzeLiveness(plan, {});
+  EXPECT_EQ(result.peak_step, c);
+  EXPECT_DOUBLE_EQ(result.peak_bytes, 200.0);
+}
+
+TEST(LivenessTest, ScratchCountsOnlyAtItsOwnStep) {
+  PlanGraph plan;
+  const int a = plan.Add(MakeNode("Embedding", 10.0));
+  PlanNode op = MakeNode("GruCell", 10.0, {a});
+  op.scratch_bytes = CostPoly::Const(100.0);
+  const int b = plan.Add(op);
+  plan.Add(MakeNode("MeanRows", 10.0, {b}));
+
+  const LivenessResult result = AnalyzeLiveness(plan, {});
+  EXPECT_EQ(result.peak_step, b);
+  EXPECT_DOUBLE_EQ(result.peak_bytes, 120.0);
+}
+
+TEST(LivenessTest, SymbolicPeakTracksBindings) {
+  PlanGraph plan;
+  PlanNode big = MakeNode("MatVec");
+  big.alloc_bytes = CostPoly::FromDim(sym::C()) * 4.0;
+  const int a = plan.Add(big);
+  PlanNode small = MakeNode("Tanh", 0.0, {a});
+  small.alloc_bytes = CostPoly::FromDim(sym::d()) * 4.0;
+  plan.Add(small);
+
+  const LivenessResult result =
+      AnalyzeLiveness(plan, {{"C", 1000.0}, {"d", 16.0}});
+  EXPECT_DOUBLE_EQ(result.peak_bytes, 4064.0);  // 4C + 4d at the Tanh step
+  EXPECT_EQ(result.peak_poly.ToString(), "4*C + 4*d");
+}
+
+// --- static cost ------------------------------------------------------------
+
+TEST(CostTest, PhaseSplitRepeatScalingAndPerOpTotals) {
+  PlanGraph plan;
+  PlanNode weights = MakeNode("Input");
+  weights.persistent = true;
+  weights.flops = CostPoly::Const(1e9);  // must be excluded everywhere
+  plan.Add(weights);
+
+  plan.BeginRepeat(CostPoly::FromDim(sym::L()));
+  PlanNode gru = MakeNode("GruCell");
+  gru.flops = CostPoly::Const(10.0);
+  gru.traffic_bytes = CostPoly::Const(2.0);
+  plan.Add(gru);
+  plan.EndRepeat();
+
+  plan.SetPhase(PlanPhase::kScore);
+  PlanNode mips = MakeNode("Mips");
+  mips.flops = CostPoly::FromDim(sym::C()) * 2.0;
+  plan.Add(mips);
+
+  const CostSummary cost = AnalyzeCost(plan);
+  EXPECT_EQ(cost.op_count, 2);  // the persistent input is not an op
+  EXPECT_EQ(cost.encode_flops.ToString(), "10*L");
+  EXPECT_EQ(cost.encode_traffic_bytes.ToString(), "2*L");
+  EXPECT_EQ(cost.score_flops.ToString(), "2*C");
+  EXPECT_DOUBLE_EQ(cost.total_flops.Eval({{"C", 100.0}, {"L", 5.0}}), 250.0);
+  EXPECT_EQ(cost.flops_by_op.at("GruCell").ToString(), "10*L");
+  EXPECT_EQ(cost.flops_by_op.at("Mips").ToString(), "2*C");
+  EXPECT_EQ(cost.flops_by_op.count("Input"), 0u);
+}
+
+// --- structural passes over checker-built plans -----------------------------
+
+TEST(PlanLintTest, CleanFusedGraphHasNoFindings) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  const SymTensor pooled =
+      checker.MeanRows(checker.Embedding(table, sym::L()));
+  const SymTensor out = checker.Mips(table, pooled, sym::k());
+  checker.MarkOutput(out);
+  ASSERT_TRUE(checker.ok());
+  EXPECT_TRUE(AnalyzePlan(checker.plan()).empty());
+}
+
+TEST(PlanLintTest, DeadOpIsAnError) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  const SymTensor pooled =
+      checker.MeanRows(checker.Embedding(table, sym::L()));
+  checker.Tanh(pooled);  // result feeds nothing: wasted dispatch
+  const SymTensor out = checker.Mips(table, pooled, sym::k());
+  checker.MarkOutput(out);
+  ASSERT_TRUE(checker.ok());
+
+  const std::vector<PlanDiagnostic> errors = PlanErrors(checker.plan());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pass, "dead-op");
+  EXPECT_EQ(errors[0].severity, PlanDiagnostic::Severity::kError);
+  EXPECT_NE(errors[0].message.find("Tanh"), std::string::npos);
+  EXPECT_NE(errors[0].ToString().find("error [dead-op]"), std::string::npos);
+}
+
+TEST(PlanLintTest, UnconsumedCatalogTensorIsItsOwnPass) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  const SymTensor pooled =
+      checker.MeanRows(checker.Embedding(table, sym::L()));
+  checker.MatVec(table, pooled);  // [C] scores computed, then dropped
+  const SymTensor out = checker.Mips(table, pooled, sym::k());
+  checker.MarkOutput(out);
+  ASSERT_TRUE(checker.ok());
+
+  const std::vector<PlanDiagnostic> errors = PlanErrors(checker.plan());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pass, "unconsumed-C");
+  EXPECT_NE(errors[0].message.find("full-catalog"), std::string::npos);
+}
+
+TEST(PlanLintTest, DuplicateDispatchIsACseWarningNotAnError) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  const SymTensor rows = checker.Embedding(table, sym::L());
+  const SymTensor t1 = checker.Tanh(rows);
+  const SymTensor t2 = checker.Tanh(rows);  // same op over the same operand
+  const SymTensor pooled = checker.MeanRows(checker.Add(t1, t2));
+  const SymTensor out = checker.Mips(table, pooled, sym::k());
+  checker.MarkOutput(out);
+  ASSERT_TRUE(checker.ok());
+
+  int cse = 0;
+  for (const PlanDiagnostic& finding : AnalyzePlan(checker.plan())) {
+    if (finding.pass == "cse") {
+      ++cse;
+      EXPECT_EQ(finding.severity, PlanDiagnostic::Severity::kWarning);
+      EXPECT_NE(finding.message.find("duplicates node"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(cse, 1);
+  EXPECT_TRUE(PlanErrors(checker.plan()).empty());
+}
+
+TEST(PlanLintTest, IndexDependentGathersAreNotCseCandidates) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  // Two Embedding gathers of L rows each: equal shapes, but different
+  // indices at runtime — must not be flagged.
+  const SymTensor r1 = checker.Embedding(table, sym::L());
+  const SymTensor r2 = checker.Embedding(table, sym::L());
+  const SymTensor pooled = checker.MeanRows(checker.Add(r1, r2));
+  const SymTensor out = checker.Mips(table, pooled, sym::k());
+  checker.MarkOutput(out);
+  ASSERT_TRUE(checker.ok());
+  for (const PlanDiagnostic& finding : AnalyzePlan(checker.plan())) {
+    EXPECT_NE(finding.pass, "cse") << finding.ToString();
+  }
+}
+
+TEST(PlanLintTest, CatalogScoresFlowingIntoTopKAreMaterializedC) {
+  ShapeChecker checker;
+  const SymTensor table = checker.Input("emb", {sym::C(), sym::d()});
+  const SymTensor pooled =
+      checker.MeanRows(checker.Embedding(table, sym::L()));
+  // The dense full-catalog path: scores [C] -> Softmax [C] -> TopK.
+  const SymTensor scores = checker.MatVec(table, pooled);
+  const SymTensor probs = checker.Softmax(scores);
+  const SymTensor out = checker.TopK(probs, sym::k());
+  checker.MarkOutput(out);
+  ASSERT_TRUE(checker.ok());
+
+  int materialized = 0;
+  for (const PlanDiagnostic& finding : AnalyzePlan(checker.plan())) {
+    if (finding.pass == "materialized-C") {
+      ++materialized;
+      EXPECT_EQ(finding.severity, PlanDiagnostic::Severity::kInfo);
+    }
+  }
+  EXPECT_EQ(materialized, 2);  // the MatVec and the Softmax
+  // Informational only: the lint gate stays green.
+  EXPECT_TRUE(PlanErrors(checker.plan()).empty());
+}
+
+}  // namespace
+}  // namespace etude::tensor

@@ -1,0 +1,147 @@
+#include "tensor/plan_ir.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tensor/shape_check.h"
+
+namespace etude::tensor {
+namespace {
+
+// --- EvalSymbolName ---------------------------------------------------------
+
+TEST(EvalSymbolNameTest, BoundNameWinsOverParsing) {
+  const Bindings bindings = {{"L", 50.0}, {"n", 12.0}, {"(L+n)", 7.0}};
+  // A direct binding short-circuits the decomposition.
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(L+n)", bindings), 7.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("L", bindings), 50.0);
+}
+
+TEST(EvalSymbolNameTest, ParsesCompoundExpressions) {
+  const Bindings bindings = {{"L", 50.0}, {"n", 12.0}, {"d", 32.0}};
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(L+n)", bindings), 62.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(2L+n+1)", bindings), 113.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(3L-1+n)", bindings), 161.0);
+  // Coefficient on a parenthesized sub-expression, and nesting.
+  EXPECT_DOUBLE_EQ(EvalSymbolName("2(L+n)", bindings), 124.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("((L+n)+d)", bindings), 94.0);
+  // Leading negation and bare integers.
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(-L+n)", bindings), -38.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(42)", bindings), 42.0);
+}
+
+TEST(EvalSymbolNameTest, UnderscoredDerivedSymbols) {
+  const Bindings bindings = {{"k_int", 8.0}, {"lgk", 5.0}, {"L", 50.0}};
+  EXPECT_DOUBLE_EQ(EvalSymbolName("k_int", bindings), 8.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(k_int+L)", bindings), 58.0);
+}
+
+// --- CostPoly ---------------------------------------------------------------
+
+TEST(CostPolyTest, ConstAndZero) {
+  EXPECT_TRUE(CostPoly().IsZero());
+  EXPECT_TRUE(CostPoly::Const(0.0).IsZero());
+  EXPECT_EQ(CostPoly().ToString(), "0");
+  EXPECT_EQ(CostPoly::Const(2.0).ToString(), "2");
+  EXPECT_DOUBLE_EQ(CostPoly::Const(2.0).Eval({}), 2.0);
+}
+
+TEST(CostPolyTest, FromDimKeepsCoefAndOffset) {
+  EXPECT_EQ(CostPoly::FromDim(SymDim(5)).ToString(), "5");
+  EXPECT_EQ(CostPoly::FromDim(sym::L()).ToString(), "L");
+  // 2L+1 becomes the two-term polynomial 1 + 2L.
+  EXPECT_EQ(CostPoly::FromDim(SymDim::Sym("L", 2, 1)).ToString(), "1 + 2*L");
+}
+
+TEST(CostPolyTest, NumelMultipliesDims) {
+  const CostPoly numel = CostPoly::Numel({sym::L(), sym::d() * 2});
+  EXPECT_EQ(numel.ToString(), "2*L*d");
+  EXPECT_DOUBLE_EQ(numel.Eval({{"L", 50.0}, {"d", 32.0}}), 3200.0);
+  // Repeated symbols collapse into powers when rendered.
+  EXPECT_EQ(CostPoly::Numel({sym::L(), sym::L(), sym::d()}).ToString(),
+            "L^2*d");
+}
+
+TEST(CostPolyTest, ArithmeticAndCancellation) {
+  const CostPoly l = CostPoly::FromDim(sym::L());
+  const CostPoly d = CostPoly::FromDim(sym::d());
+  EXPECT_EQ((l + d).ToString(), "L + d");
+  EXPECT_EQ((l * d).ToString(), "L*d");
+  EXPECT_EQ((l * 3.0).ToString(), "3*L");
+  CostPoly acc = l * d;
+  acc += l * d;
+  EXPECT_EQ(acc.ToString(), "2*L*d");
+  // Exact cancellation erases the term entirely.
+  EXPECT_TRUE((acc + acc * -1.0).IsZero());
+  EXPECT_TRUE((l * 0.0).IsZero());
+}
+
+TEST(CostPolyTest, EvalHandlesCompoundSymbolDims) {
+  // Concat of [L, d] and [n, d] rows yields an (L+n)-dim: the polynomial
+  // carries the compound symbol and Eval decomposes it.
+  const CostPoly numel = CostPoly::Numel({sym::L() + sym::n(), sym::d()});
+  EXPECT_DOUBLE_EQ(numel.Eval({{"L", 50.0}, {"n", 12.0}, {"d", 32.0}}),
+                   62.0 * 32.0);
+}
+
+// --- PlanGraph recording ----------------------------------------------------
+
+PlanNode MakeNode(std::string op) {
+  PlanNode node;
+  node.op = std::move(op);
+  return node;
+}
+
+TEST(PlanGraphTest, AddAssignsIdPhaseAndRepeat) {
+  PlanGraph plan;
+  const int a = plan.Add(MakeNode("Input"));
+  plan.SetPhase(PlanPhase::kScore);
+  plan.BeginRepeat(CostPoly::FromDim(sym::L()));
+  plan.BeginRepeat(CostPoly::Const(4.0));
+  const int b = plan.Add(MakeNode("MatMul"));
+  plan.EndRepeat();
+  plan.EndRepeat();
+  const int c = plan.Add(MakeNode("TopK"));
+
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(plan.size(), 3);
+  EXPECT_EQ(plan.node(a).phase, PlanPhase::kEncode);
+  EXPECT_EQ(plan.node(b).phase, PlanPhase::kScore);
+  // Nested repeat regions multiply the dispatch multiplicity.
+  EXPECT_EQ(plan.node(b).repeat.ToString(), "4*L");
+  EXPECT_DOUBLE_EQ(plan.node(a).repeat.Eval({}), 1.0);
+  EXPECT_DOUBLE_EQ(plan.node(c).repeat.Eval({}), 1.0);
+}
+
+TEST(PlanGraphTest, ScopesFloorMinDeathAtScopeEnd) {
+  PlanGraph plan;
+  plan.PushScope();
+  const int a = plan.Add(MakeNode("Tanh"));
+  const int b = plan.Add(MakeNode("Relu"));
+  plan.PopScope();
+  const int c = plan.Add(MakeNode("TopK"));
+  // Locals created inside the scope live at least until its last node.
+  EXPECT_EQ(plan.node(a).min_death, b);
+  EXPECT_EQ(plan.node(b).min_death, b);
+  EXPECT_EQ(plan.node(c).min_death, c);
+}
+
+TEST(PlanGraphTest, LinkAndMarkOutput) {
+  PlanGraph plan;
+  const int a = plan.Add(MakeNode("Input"));
+  const int b = plan.Add(MakeNode("Materialize"));
+  plan.Link(b, a);
+  plan.Link(b, -1);  // poisoned trace values are silently ignored
+  plan.MarkOutput(b);
+  plan.MarkOutput(-1);
+  ASSERT_EQ(plan.node(b).inputs.size(), 1u);
+  EXPECT_EQ(plan.node(b).inputs[0], a);
+  EXPECT_TRUE(plan.node(b).is_output);
+  EXPECT_FALSE(plan.node(a).is_output);
+}
+
+}  // namespace
+}  // namespace etude::tensor

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 
 #include "models/model_factory.h"
@@ -33,6 +34,40 @@ TEST(SymDimTest, UnrelatedSymbolsFoldToCompound) {
   const SymDim mixed = sym::L() + sym::n();
   EXPECT_EQ(mixed.ToString(), "(L+n)");
   EXPECT_EQ(mixed, sym::L() + sym::n());  // same compound compares equal
+}
+
+TEST(SymDimTest, ScalingAppliesToCoefAndOffset) {
+  const SymDim affine = SymDim::Sym("L", 2, 1);  // 2L+1
+  EXPECT_EQ(affine.ToString(), "2L+1");
+  EXPECT_EQ((affine * 3).ToString(), "6L+3");
+  // Scaling by zero collapses to a concrete zero, not a 0-coef symbol.
+  EXPECT_TRUE((affine * 0).concrete());
+  EXPECT_EQ((affine * 0).ToString(), "0");
+  EXPECT_EQ((sym::d() * -1).ToString(), "-d");
+  EXPECT_EQ(((sym::L() + (-2)) * 2).ToString(), "2L-4");
+}
+
+TEST(SymDimTest, CompoundSymbolsComposeFurther) {
+  const SymDim mixed = sym::L() + sym::n();  // "(L+n)"
+  EXPECT_EQ((mixed * 2).ToString(), "2(L+n)");
+  EXPECT_EQ((mixed + 3).ToString(), "(L+n)+3");
+  // A compound summed with yet another symbol nests.
+  EXPECT_EQ((mixed + sym::d()).ToString(), "((L+n)+d)");
+  // Offsets fold into the compound before it is named.
+  EXPECT_EQ(((sym::L() * 3 + (-1)) + sym::n()).ToString(), "(3L-1+n)");
+}
+
+TEST(SymDimTest, EvalDecomposesCompounds) {
+  const std::map<std::string, double> bindings = {
+      {"L", 50.0}, {"n", 12.0}, {"d", 32.0}};
+  EXPECT_DOUBLE_EQ(SymDim(7).Eval(bindings), 7.0);
+  EXPECT_DOUBLE_EQ(sym::d().Eval(bindings), 32.0);
+  EXPECT_DOUBLE_EQ(SymDim::Sym("L", 2, 1).Eval(bindings), 101.0);
+  // Compound symbols are decomposed recursively from their parts.
+  EXPECT_DOUBLE_EQ((sym::L() + sym::n()).Eval(bindings), 62.0);
+  EXPECT_DOUBLE_EQ(((sym::L() + sym::n()) * 2).Eval(bindings), 124.0);
+  EXPECT_DOUBLE_EQ(((sym::L() + sym::n()) + sym::d()).Eval(bindings), 94.0);
+  EXPECT_DOUBLE_EQ(((sym::L() * 3 + (-1)) + sym::n()).Eval(bindings), 161.0);
 }
 
 // --- per-op accept/reject ---------------------------------------------------
