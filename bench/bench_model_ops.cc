@@ -96,6 +96,49 @@ void BM_ModelForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelForward)->DenseRange(0, 9, 1);
 
+// Head-to-head of the execution planner's runtime paths: per-op heap
+// allocation (malloc) vs replaying the statically compiled arena script
+// (arena), under eager dispatch and under jit (which additionally runs
+// the fused/CSE'd schedule). Small catalog so the encode phase — where
+// all the transient allocations happen — is not drowned out by the
+// O(C*d) MIPS scan. Models chosen to cover the three allocation
+// profiles: a step-looped RNN (GRU4Rec, many small per-step buffers), a
+// transformer with fusible Add+LayerNorm chains (SASRec), and an
+// attention MLP (STAMP).
+void BM_ExecPlan(benchmark::State& state) {
+  const ModelKind kind = static_cast<ModelKind>(state.range(0));
+  const etude::models::ExecOptions options{
+      state.range(1) != 0 ? etude::models::ExecutionMode::kJit
+                          : etude::models::ExecutionMode::kEager,
+      state.range(2) != 0 ? etude::models::ExecPlanKind::kArena
+                          : etude::models::ExecPlanKind::kMalloc};
+  ModelConfig config;
+  config.catalog_size = 2000;
+  auto model = etude::models::CreateModel(kind, config);
+  const std::vector<int64_t> session = {12, 57, 391, 1820, 7, 57,
+                                        391, 12, 99, 1820, 3, 57};
+  (void)model.value()->Recommend(session, options);  // compile the plan
+  for (auto _ : state) {
+    auto rec = model.value()->Recommend(session, options);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetLabel(std::string(etude::models::ModelKindToString(kind)));
+}
+BENCHMARK(BM_ExecPlan)
+    ->ArgNames({"model", "jit", "arena"})
+    ->Args({0, 0, 0})  // GRU4Rec
+    ->Args({0, 0, 1})
+    ->Args({0, 1, 0})
+    ->Args({0, 1, 1})
+    ->Args({9, 0, 0})  // SASRec
+    ->Args({9, 0, 1})
+    ->Args({9, 1, 0})
+    ->Args({9, 1, 1})
+    ->Args({6, 0, 0})  // STAMP
+    ->Args({6, 0, 1})
+    ->Args({6, 1, 0})
+    ->Args({6, 1, 1});
+
 // Hand-timed end-to-end forward-pass latency distribution (encode +
 // fused MIPS over the catalog) for one model. google-benchmark only
 // reports means; EXPERIMENTS.md quotes p50/p99, so this records every

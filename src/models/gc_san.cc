@@ -29,9 +29,12 @@ Tensor GcSan::EncodeSession(const std::vector<int64_t>& session) const {
       sequence.at(t, j) = node_states.at(node, j);
     }
   }
-  Tensor attended = sequence;
-  for (const TransformerBlock& block : blocks_) {
-    attended = block.Forward(attended);
+  // Feed the first block straight from the gathered sequence: a seeding
+  // copy (`Tensor attended = sequence`) would be an allocation the
+  // symbolic trace never records, desynchronising the arena script.
+  Tensor attended = blocks_.front().Forward(sequence);
+  for (size_t i = 1; i < blocks_.size(); ++i) {
+    attended = blocks_[i].Forward(attended);
   }
   const Tensor attn_last = attended.Row(l - 1);
   const Tensor gnn_last = sequence.Row(l - 1);
@@ -42,8 +45,8 @@ Tensor GcSan::EncodeSession(const std::vector<int64_t>& session) const {
 
 tensor::SymTensor GcSan::TraceEncode(tensor::ShapeChecker& checker,
                                      ExecutionMode mode) const {
-  (void)mode;
   namespace sym = tensor::sym;
+  const bool fused = mode == ExecutionMode::kJit;
   const tensor::SymTensor node_states = TraceGraphEncode(checker);  // [n, d]
   // A manual gather of the alias rows maps the node states back onto the
   // click sequence, [n, d] -> [L, d] (allocates, dispatches no op).
@@ -52,7 +55,8 @@ tensor::SymTensor GcSan::TraceEncode(tensor::ShapeChecker& checker,
   tensor::SymTensor attended = sequence;
   for (int i = 0; i < kAttentionLayers; ++i) {
     checker.SetContext(std::string(name()) + " block " + std::to_string(i));
-    attended = trace::Transformer(checker, attended, sym::d(), sym::d() * 4);
+    attended =
+        trace::Transformer(checker, attended, sym::d(), sym::d() * 4, fused);
   }
   checker.SetContext(std::string(name()) + " encoder");
   const tensor::SymTensor attn_last = checker.Row(attended);

@@ -66,6 +66,15 @@ Tensor TransformerBlock::Forward(const Tensor& x) const {
   const Tensor v = wv_.Forward(x);
   const Tensor attended =
       wo_.Forward(tensor::ScaledDotProductAttention(q, k, v));
+  // Under JIT dispatch both residual joins run the fused AddLayerNorm
+  // kernel the fusion-legality pass proved safe: bit-identical output,
+  // one dispatch and no materialised Add intermediate.
+  if (tensor::exec::JitDispatchEnabled()) {
+    const Tensor h =
+        tensor::AddLayerNorm(x, attended, norm1_gain_, norm1_bias_);
+    const Tensor ffn = ffn2_.Forward(tensor::Gelu(ffn1_.Forward(h)));
+    return tensor::AddLayerNorm(h, ffn, norm2_gain_, norm2_bias_);
+  }
   const Tensor h = tensor::LayerNorm(tensor::Add(x, attended), norm1_gain_,
                                      norm1_bias_);
   const Tensor ffn = ffn2_.Forward(tensor::Gelu(ffn1_.Forward(h)));
@@ -143,7 +152,7 @@ SymTensor Gru(ShapeChecker& checker, const SymTensor& inputs,
 }
 
 SymTensor Transformer(ShapeChecker& checker, const SymTensor& x,
-                      const SymDim& dim, const SymDim& ffn_dim) {
+                      const SymDim& dim, const SymDim& ffn_dim, bool fused) {
   // Forward's locals (q, k, v, the attended/ffn activations) live until
   // the block returns — the scope mirrors that for the liveness pass.
   checker.PushScope();
@@ -154,13 +163,18 @@ SymTensor Transformer(ShapeChecker& checker, const SymTensor& x,
       Dense(checker, checker.Attention(q, k, v), dim, dim, /*bias=*/true);
   const SymTensor norm_gain = checker.Input("block.norm_gain", {dim});
   const SymTensor norm_bias = checker.Input("block.norm_bias", {dim});
+  // The fused trace mirrors the JIT-dispatch runtime path exactly, so the
+  // compiled arena script lines up with the kernels Forward dispatches.
   const SymTensor h =
-      checker.LayerNorm(checker.Add(x, attended), norm_gain, norm_bias);
+      fused ? checker.AddLayerNorm(x, attended, norm_gain, norm_bias)
+            : checker.LayerNorm(checker.Add(x, attended), norm_gain,
+                                norm_bias);
   const SymTensor ffn = Dense(
       checker, checker.Gelu(Dense(checker, h, dim, ffn_dim, /*bias=*/true)),
       ffn_dim, dim, /*bias=*/true);
   const SymTensor out =
-      checker.LayerNorm(checker.Add(h, ffn), norm_gain, norm_bias);
+      fused ? checker.AddLayerNorm(h, ffn, norm_gain, norm_bias)
+            : checker.LayerNorm(checker.Add(h, ffn), norm_gain, norm_bias);
   checker.PopScope();
   return out;
 }

@@ -104,11 +104,15 @@ tensor::SymTensor Gru(tensor::ShapeChecker& checker,
                       const tensor::SymTensor& inputs,
                       const tensor::SymDim& in, const tensor::SymDim& hidden);
 
-/// TransformerBlock::Forward: x [len, dim] -> [len, dim].
+/// TransformerBlock::Forward: x [len, dim] -> [len, dim]. `fused` traces
+/// the JIT-dispatch variant, whose residual joins are single AddLayerNorm
+/// nodes instead of Add + LayerNorm pairs (the chains the fusion-legality
+/// pass in tensor/plan_exec.h proves safe).
 tensor::SymTensor Transformer(tensor::ShapeChecker& checker,
                               const tensor::SymTensor& x,
                               const tensor::SymDim& dim,
-                              const tensor::SymDim& ffn_dim);
+                              const tensor::SymDim& ffn_dim,
+                              bool fused = false);
 
 /// PositionalEmbedding::AddTo: x [len, dim] -> [len, dim].
 tensor::SymTensor PositionalAdd(tensor::ShapeChecker& checker,

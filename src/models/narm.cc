@@ -26,10 +26,15 @@ Tensor Narm::EncodeSession(const std::vector<int64_t>& session) const {
   // Additive attention: alpha_j = v^T sigmoid(A1 h_l + A2 h_j).
   const Tensor proj_global = attn_global_.ForwardVector(global);  // [d]
   const Tensor proj_states = attn_local_.Forward(states);         // [l, d]
+  const bool fused = tensor::exec::JitDispatchEnabled();
   Tensor local({d});
   for (int64_t j = 0; j < l; ++j) {
-    const Tensor gate = tensor::Sigmoid(
-        tensor::Add(proj_global, proj_states.Row(j)));
+    // JIT dispatch fuses the gate's Sigmoid(Add(...)) chain into one
+    // kernel (bit-identical; proved safe by the fusion-legality pass).
+    const Tensor gate =
+        fused ? tensor::AddSigmoid(proj_global, proj_states.Row(j))
+              : tensor::Sigmoid(
+                    tensor::Add(proj_global, proj_states.Row(j)));
     const float alpha = tensor::Dot(attn_v_, gate);
     for (int64_t i = 0; i < d; ++i) local[i] += alpha * states.at(j, i);
   }
@@ -38,8 +43,8 @@ Tensor Narm::EncodeSession(const std::vector<int64_t>& session) const {
 
 tensor::SymTensor Narm::TraceEncode(tensor::ShapeChecker& checker,
                                     ExecutionMode mode) const {
-  (void)mode;
   namespace sym = tensor::sym;
+  const bool fused = mode == ExecutionMode::kJit;
   const tensor::SymTensor embedded =
       checker.Embedding(TraceEmbeddingTable(checker), sym::L());
   const tensor::SymTensor states =
@@ -58,7 +63,9 @@ tensor::SymTensor Narm::TraceEncode(tensor::ShapeChecker& checker,
       checker.Materialize("narm.local", {sym::d()}, {});
   checker.BeginRepeat(sym::L());
   const tensor::SymTensor gate =
-      checker.Sigmoid(checker.Add(proj_global, checker.Row(proj_states)));
+      fused ? checker.AddSigmoid(proj_global, checker.Row(proj_states))
+            : checker.Sigmoid(
+                  checker.Add(proj_global, checker.Row(proj_states)));
   const tensor::SymTensor alpha = checker.Dot(attn_v, gate);
   checker.EndRepeat();
   checker.Link(local, alpha);

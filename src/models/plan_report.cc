@@ -4,6 +4,7 @@
 
 #include "models/model_factory.h"
 #include "tensor/plan_analysis.h"
+#include "tensor/plan_exec.h"
 #include "tensor/plan_ir.h"
 
 namespace etude::models {
@@ -30,6 +31,17 @@ JsonValue ModeReport(const SessionModel& model, ExecutionMode mode) {
   cell.Set("flops_at_reference",
            JsonValue(cost.total_flops.Eval(bindings)));
   cell.Set("peak_memory_at_reference", JsonValue(liveness.peak_bytes));
+  // The compiled execution plan at the reference point: the exact arena
+  // footprint its offset assignment needs, the symbolic bound it stays
+  // under, and the fusion/CSE findings of the legality passes.
+  const tensor::ExecutionPlan exec =
+      tensor::CompileExecutionPlan(plan, bindings);
+  cell.Set("arena_bytes", JsonValue(exec.arena.arena_bytes));
+  cell.Set("arena_bound_poly", JsonValue(exec.arena_bound_poly.ToString()));
+  cell.Set("fusion_groups",
+           JsonValue(static_cast<int64_t>(exec.fusion_groups.size())));
+  cell.Set("cse_duplicates",
+           JsonValue(static_cast<int64_t>(exec.cse.size())));
   JsonValue diags = JsonValue::MakeArray();
   for (const tensor::PlanDiagnostic& diag : tensor::AnalyzePlan(plan)) {
     diags.Append(JsonValue(diag.ToString()));
@@ -53,7 +65,9 @@ ModelConfig PlanReportConfig() {
 JsonValue PlanReportJson() {
   const ModelConfig config = PlanReportConfig();
   JsonValue root = JsonValue::MakeObject();
-  root.Set("schema", JsonValue(static_cast<int64_t>(1)));
+  // Schema 2: adds the execution-plan columns (arena_bytes,
+  // arena_bound_poly, fusion_groups, cse_duplicates) per mode cell.
+  root.Set("schema", JsonValue(static_cast<int64_t>(2)));
 
   JsonValue ref = JsonValue::MakeObject();
   ref.Set("catalog_size", JsonValue(config.catalog_size));
@@ -94,18 +108,23 @@ std::string PlanReportText() {
                 static_cast<long long>(ref.GetIntOr("top_k", 0)),
                 static_cast<long long>(ref.GetIntOr("session_length", 0)));
   out += line;
-  std::snprintf(line, sizeof(line), "%-10s %-6s %4s %14s %12s  %s\n",
-                "model", "mode", "ops", "static FLOPs", "peak bytes",
-                "peak-memory polynomial");
+  std::snprintf(line, sizeof(line),
+                "%-10s %-6s %4s %14s %12s %12s %6s %4s  %s\n", "model",
+                "mode", "ops", "static FLOPs", "peak bytes", "arena bytes",
+                "fusion", "cse", "peak-memory polynomial");
   out += line;
   for (const auto& [name, entry] : report.Get("models").members()) {
     for (const char* mode : {"eager", "jit"}) {
       const JsonValue& cell = entry.Get("modes").Get(mode);
-      std::snprintf(line, sizeof(line), "%-10s %-6s %4lld %14.6g %12.6g  %s\n",
+      std::snprintf(line, sizeof(line),
+                    "%-10s %-6s %4lld %14.6g %12.6g %12lld %6lld %4lld  %s\n",
                     name.c_str(), mode,
                     static_cast<long long>(cell.GetIntOr("op_count", 0)),
                     cell.GetNumberOr("flops_at_reference", 0.0),
                     cell.GetNumberOr("peak_memory_at_reference", 0.0),
+                    static_cast<long long>(cell.GetIntOr("arena_bytes", 0)),
+                    static_cast<long long>(cell.GetIntOr("fusion_groups", 0)),
+                    static_cast<long long>(cell.GetIntOr("cse_duplicates", 0)),
                     cell.GetStringOr("peak_memory_poly", "").c_str());
       out += line;
     }

@@ -1,7 +1,9 @@
 #include "models/repeat_net.h"
 
 #include <cmath>
+#include <optional>
 
+#include "tensor/arena.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -48,7 +50,7 @@ Tensor RepeatNet::EncodeSession(const std::vector<int64_t>& session) const {
 }
 
 Result<Recommendation> RepeatNet::Recommend(
-    const std::vector<int64_t>& session) const {
+    const std::vector<int64_t>& session, const ExecOptions& options) const {
   if (!config_.materialize_embeddings) {
     return Status::FailedPrecondition(
         "model was created cost-only (materialize_embeddings = false)");
@@ -61,14 +63,31 @@ Result<Recommendation> RepeatNet::Recommend(
   const int64_t l = static_cast<int64_t>(window.size());
   const int64_t c = config_.catalog_size;
 
+  const tensor::ExecutionPlan* plan = PlanFor(options, window);
+  const bool jit = EffectiveMode(options) == ExecutionMode::kJit;
+  const tensor::exec::ScopedJitDispatch dispatch(jit);
+  std::optional<tensor::exec::ScopedArena> arena;
+  if (plan != nullptr) arena.emplace(&plan->arena);
+
   const Tensor embedded = tensor::Embedding(item_embeddings_, window);
   const Tensor states = gru_.RunSequence(embedded);
   const Tensor last = states.Row(l - 1);
   const Tensor context = PoolContext(states);
 
-  // Mode gate: p(repeat) vs p(explore).
-  const Tensor mode = tensor::Softmax(
-      mode_gate_.ForwardVector(tensor::Concat(last, context)));
+  // Mode gate: p(repeat) vs p(explore). The JIT plan deduplicates the
+  // [last; context] Concat and its [1, 2d] widening, which the explore
+  // decoder below re-dispatches in the faithful eager path (the CSE
+  // pass's finding).
+  Tensor lc_wide;  // [1, 2d]; JIT only
+  Tensor mode;
+  if (jit) {
+    const Tensor lc = tensor::Concat(last, context);
+    lc_wide = lc.Reshaped({1, 2 * config_.embedding_dim});
+    mode = tensor::Softmax(mode_gate_.Forward(lc_wide).Reshaped({2}));
+  } else {
+    mode = tensor::Softmax(
+        mode_gate_.ForwardVector(tensor::Concat(last, context)));
+  }
   const float p_repeat = mode[0];
   const float p_explore = mode[1];
 
@@ -94,7 +113,8 @@ Result<Recommendation> RepeatNet::Recommend(
 
   // Explore decoder: dense softmax over the whole catalog.
   const Tensor query =
-      explore_head_.ForwardVector(tensor::Concat(last, context));
+      jit ? explore_head_.Forward(lc_wide).Reshaped({config_.embedding_dim})
+          : explore_head_.ForwardVector(tensor::Concat(last, context));
   const Tensor explore_scores = tensor::MatVec(item_embeddings_, query);
   const Tensor explore_probs = tensor::Softmax(explore_scores);  // [C]
 
@@ -149,8 +169,8 @@ tensor::SymTensor RepeatNet::TraceEncode(tensor::ShapeChecker& checker,
 
 void RepeatNet::TraceRecommend(tensor::ShapeChecker& checker,
                                ExecutionMode mode) const {
-  (void)mode;
   namespace sym = tensor::sym;
+  const bool fused = mode == ExecutionMode::kJit;
   // Recommend's locals all live until the function returns.
   checker.BeginEncodePhase();
   checker.PushScope();
@@ -161,10 +181,22 @@ void RepeatNet::TraceRecommend(tensor::ShapeChecker& checker,
       trace::Gru(checker, embedded, sym::d(), sym::d());
   const tensor::SymTensor last = checker.Row(states);
   const tensor::SymTensor context = TracePoolContext(checker, states);
-  // Mode gate: p(repeat) vs p(explore) over [last; context].
-  const tensor::SymTensor mode_probs = checker.Softmax(
-      trace::DenseVector(checker, checker.Concat(last, context),
-                         sym::d() * 2, 2, /*bias=*/true));
+  // Mode gate: p(repeat) vs p(explore) over [last; context]. The JIT
+  // trace hoists the Concat and its widening reshape shared with the
+  // explore decoder (mirroring Recommend's deduplicated dispatch).
+  tensor::SymTensor lc_wide;
+  tensor::SymTensor mode_probs;
+  if (fused) {
+    const tensor::SymTensor lc = checker.Concat(last, context);
+    lc_wide = checker.Reshape(lc, {1, sym::d() * 2});
+    mode_probs = checker.Softmax(checker.Reshape(
+        trace::Dense(checker, lc_wide, sym::d() * 2, 2, /*bias=*/true),
+        {2}));
+  } else {
+    mode_probs = checker.Softmax(
+        trace::DenseVector(checker, checker.Concat(last, context),
+                           sym::d() * 2, 2, /*bias=*/true));
+  }
   // Repeat decoder: additive attention over the session positions.
   const tensor::SymTensor rep_proj =
       trace::Dense(checker, states, sym::d(), sym::d(), /*bias=*/false);
@@ -188,12 +220,16 @@ void RepeatNet::TraceRecommend(tensor::ShapeChecker& checker,
   const tensor::SymTensor repeat_dense = checker.Reshape(
       checker.MatMul(checker.Reshape(rep_weights, {1, sym::L()}), onehot),
       {sym::C()});  // [C]
-  // Explore decoder: dense softmax over all catalog scores. The second
-  // Concat over the same [last; context] pair is a genuine duplicated
-  // dispatch in the implementation (reported by the CSE pass).
-  const tensor::SymTensor query = trace::DenseVector(
-      checker, checker.Concat(last, context), sym::d() * 2, sym::d(),
-      /*bias=*/false);
+  // Explore decoder: dense softmax over all catalog scores. In eager
+  // mode the second Concat over the same [last; context] pair is a
+  // genuine duplicated dispatch in the implementation (reported by the
+  // CSE pass); the JIT trace reuses the hoisted widened pair.
+  const tensor::SymTensor query =
+      fused ? checker.Reshape(trace::Dense(checker, lc_wide, sym::d() * 2,
+                                           sym::d(), /*bias=*/false),
+                              {sym::d()})
+            : trace::DenseVector(checker, checker.Concat(last, context),
+                                 sym::d() * 2, sym::d(), /*bias=*/false);
   checker.SetContext(std::string(name()) + " encoder output");
   checker.Require(query, {tensor::sym::d()},
                   "the explore-decoder query must be a [d] session vector");

@@ -27,8 +27,9 @@ class RepeatNet final : public SessionModel {
 
   ModelKind kind() const override { return ModelKind::kRepeatNet; }
 
-  Result<Recommendation> Recommend(
-      const std::vector<int64_t>& session) const override;
+  using SessionModel::Recommend;
+  Result<Recommendation> Recommend(const std::vector<int64_t>& session,
+                                   const ExecOptions& options) const override;
 
   /// The explore-decoder query (used when RepeatNet is driven through the
   /// generic encode-then-MIPS path, e.g. in shape tests).

@@ -27,14 +27,14 @@ Tensor SasRec::EncodeSession(const std::vector<int64_t>& session) const {
 
 tensor::SymTensor SasRec::TraceEncode(tensor::ShapeChecker& checker,
                                       ExecutionMode mode) const {
-  (void)mode;
   namespace sym = tensor::sym;
+  const bool fused = mode == ExecutionMode::kJit;
   const tensor::SymTensor embedded =
       checker.Embedding(TraceEmbeddingTable(checker), sym::L());
   tensor::SymTensor x = trace::PositionalAdd(checker, embedded, sym::d());
   for (int i = 0; i < kNumLayers; ++i) {
     checker.SetContext(std::string(name()) + " block " + std::to_string(i));
-    x = trace::Transformer(checker, x, sym::d(), sym::d() * 4);
+    x = trace::Transformer(checker, x, sym::d(), sym::d() * 4, fused);
   }
   checker.SetContext(std::string(name()) + " encoder");
   return checker.Row(x);

@@ -1,9 +1,12 @@
 #include "models/session_model.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/strings.h"
 #include "models/calibration.h"
+#include "tensor/arena.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -103,8 +106,29 @@ SessionModel::SessionModel(const ModelConfig& config)
   }
 }
 
+namespace {
+
+/// Number of distinct item ids in a session window — the session-graph
+/// node count n the compiled plan is specialised on.
+int64_t UniqueItems(const std::vector<int64_t>& window) {
+  std::vector<int64_t> sorted = window;
+  std::sort(sorted.begin(), sorted.end());
+  return std::distance(sorted.begin(),
+                       std::unique(sorted.begin(), sorted.end()));
+}
+
+}  // namespace
+
+const tensor::ExecutionPlan* SessionModel::PlanFor(
+    const ExecOptions& options, const std::vector<int64_t>& window) const {
+  if (options.plan != ExecPlanKind::kArena) return nullptr;
+  return &CompiledPlan(EffectiveMode(options),
+                       static_cast<int64_t>(window.size()),
+                       UniqueItems(window));
+}
+
 Result<Recommendation> SessionModel::Recommend(
-    const std::vector<int64_t>& session) const {
+    const std::vector<int64_t>& session, const ExecOptions& options) const {
   if (!config_.materialize_embeddings) {
     return Status::FailedPrecondition(
         "model was created cost-only (materialize_embeddings = false)");
@@ -116,6 +140,13 @@ Result<Recommendation> SessionModel::Recommend(
   if (static_cast<int64_t>(window.size()) > config_.max_session_length) {
     window.assign(window.end() - config_.max_session_length, window.end());
   }
+  const tensor::ExecutionPlan* plan = PlanFor(options, window);
+  // The fused-kernel dispatch flag and the arena script stay active for
+  // exactly the ops the plan was compiled from: encode plus scoring.
+  const tensor::exec::ScopedJitDispatch dispatch(
+      EffectiveMode(options) == ExecutionMode::kJit);
+  std::optional<tensor::exec::ScopedArena> arena;
+  if (plan != nullptr) arena.emplace(&plan->arena);
   const tensor::Tensor query = EncodeSession(window);
   ETUDE_CHECK(query.rank() == 1 && query.dim(0) == config_.embedding_dim)
       << "EncodeSession must return a [d] vector";
@@ -197,6 +228,24 @@ tensor::Bindings SessionModel::PlanBindings(int64_t session_length) const {
   bindings["max_len"] = static_cast<double>(config_.max_session_length);
   AddPlanBindings(l, bindings);
   return bindings;
+}
+
+const tensor::ExecutionPlan& SessionModel::CompiledPlan(
+    ExecutionMode mode, int64_t session_length, int64_t unique_items) const {
+  const int64_t l = std::min(std::max<int64_t>(session_length, 1),
+                             config_.max_session_length);
+  const int64_t n = std::min(std::max<int64_t>(unique_items, 1), l);
+  const std::tuple<int, int64_t, int64_t> key(
+      mode == ExecutionMode::kJit ? 1 : 0, l, n);
+  MutexLock lock(exec_plan_mutex_);
+  std::unique_ptr<tensor::ExecutionPlan>& slot = exec_plans_[key];
+  if (slot == nullptr) {
+    tensor::Bindings bindings = PlanBindings(l);
+    bindings["n"] = static_cast<double>(n);  // the true node count
+    slot = std::make_unique<tensor::ExecutionPlan>(
+        tensor::CompileExecutionPlan(BuildPlan(mode), bindings));
+  }
+  return *slot;
 }
 
 const tensor::CostSummary& SessionModel::PlanCost(ExecutionMode mode) const {

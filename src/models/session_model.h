@@ -7,11 +7,15 @@
 #include <string_view>
 #include <vector>
 
+#include <map>
+#include <tuple>
+
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/device.h"
 #include "tensor/plan_analysis.h"
+#include "tensor/plan_exec.h"
 #include "tensor/plan_ir.h"
 #include "tensor/shape_check.h"
 #include "tensor/tensor.h"
@@ -49,6 +53,24 @@ const std::vector<ModelKind>& HealthyModelKinds();
 /// implementation cannot be JIT-compiled (LightSANs, due to dynamic code
 /// paths) silently fall back to eager — mirroring the paper's finding.
 enum class ExecutionMode { kEager, kJit };
+
+/// How the transient tensors of one Recommend call are allocated.
+enum class ExecPlanKind {
+  kMalloc,  ///< one heap allocation per tensor (the default)
+  kArena,   ///< statically planned arena offsets (tensor/plan_exec.h):
+            ///< Recommend compiles (and caches) an execution plan for the
+            ///< session's shape and serves every transient buffer from a
+            ///< pre-sized arena — zero per-op malloc on the hot path.
+};
+
+/// Execution options of one Recommend call. kJit additionally dispatches
+/// the fused kernels the fusion-legality pass proved safe (bit-identical
+/// results) and deduplicates the plan's CSE findings; models whose
+/// implementation cannot be JIT-compiled fall back to eager dispatch.
+struct ExecOptions {
+  ExecutionMode mode = ExecutionMode::kEager;
+  ExecPlanKind plan = ExecPlanKind::kMalloc;
+};
 
 /// Hyperparameters shared by all models. The embedding dimension follows
 /// the paper's heuristic d = ceil(C^(1/4)) unless set explicitly.
@@ -106,10 +128,18 @@ class SessionModel {
   /// Runs the full inference path for one session: encode the session into
   /// a d-dimensional vector, then run the top-k maximum inner product
   /// search over all C item embeddings — the O(C(d + log k)) path of the
-  /// paper's complexity analysis. RepeatNet overrides this to add its
-  /// repeat-mechanism distribution on top of the catalog scores.
-  virtual Result<Recommendation> Recommend(
-      const std::vector<int64_t>& session) const;
+  /// paper's complexity analysis. Equivalent to Recommend(session, {}).
+  Result<Recommendation> Recommend(const std::vector<int64_t>& session) const {
+    return Recommend(session, ExecOptions{});
+  }
+
+  /// Recommend under explicit execution options (mode and allocation
+  /// plan). All option combinations return bit-identical recommendations;
+  /// they differ only in dispatch count and allocator traffic. RepeatNet
+  /// overrides this to add its repeat-mechanism distribution on top of
+  /// the catalog scores.
+  virtual Result<Recommendation> Recommend(const std::vector<int64_t>& session,
+                                           const ExecOptions& options) const;
 
   /// Architecture-specific session encoder; returns a [d] vector.
   /// `session` item ids must be valid (checked by Recommend).
@@ -134,6 +164,16 @@ class SessionModel {
   /// symbols (LightSANs' k_int). Session-graph models bind n = L here
   /// (the worst case; tests bind the true unique-item count).
   tensor::Bindings PlanBindings(int64_t session_length) const;
+
+  /// The compiled execution plan — arena offset script, fusion groups and
+  /// CSE findings (tensor/plan_exec.h) — for a session with
+  /// `session_length` clicks over `unique_items` distinct items. Built
+  /// once per (mode, length, unique) key and cached; `mode` must be the
+  /// *effective* mode (kJit only when jit_compatible()), so the script
+  /// matches the kernels Recommend actually dispatches.
+  const tensor::ExecutionPlan& CompiledPlan(ExecutionMode mode,
+                                            int64_t session_length,
+                                            int64_t unique_items) const;
 
   /// Analytic per-request cost descriptor for the deployment simulator,
   /// for a request whose session currently has `session_length` items.
@@ -197,6 +237,21 @@ class SessionModel {
     (void)bindings;
   }
 
+  /// The execution mode Recommend actually runs under `options`: kJit
+  /// silently falls back to eager for JIT-incompatible models (the
+  /// paper's LightSANs finding).
+  ExecutionMode EffectiveMode(const ExecOptions& options) const {
+    return options.mode == ExecutionMode::kJit && jit_compatible()
+               ? ExecutionMode::kJit
+               : ExecutionMode::kEager;
+  }
+
+  /// The compiled plan `options` selects for this (already truncated)
+  /// session window, or nullptr for kMalloc. Shared by Recommend and the
+  /// RepeatNet override.
+  const tensor::ExecutionPlan* PlanFor(
+      const ExecOptions& options, const std::vector<int64_t>& window) const;
+
   ModelConfig config_;
   Rng rng_;  // used during construction for weight init
   tensor::Tensor item_embeddings_;  // [C, d]
@@ -208,6 +263,14 @@ class SessionModel {
   mutable Mutex plan_cost_mutex_;
   mutable std::unique_ptr<tensor::CostSummary> plan_cost_[2]
       ETUDE_GUARDED_BY(plan_cost_mutex_);
+
+  /// Compiled execution plans keyed by (mode, session length, unique
+  /// items). Pointers stay valid once built — Recommend holds one across
+  /// the encode without the lock.
+  mutable Mutex exec_plan_mutex_;
+  mutable std::map<std::tuple<int, int64_t, int64_t>,
+                   std::unique_ptr<tensor::ExecutionPlan>>
+      exec_plans_ ETUDE_GUARDED_BY(exec_plan_mutex_);
 };
 
 /// Validates a session against the model configuration: non-empty, ids in

@@ -61,10 +61,14 @@ Tensor SrGnn::EncodeSession(const std::vector<int64_t>& session) const {
   // Attention readout: alpha_v = q^T sigmoid(W1 v_last + W2 v).
   const Tensor proj_last = attn_last_.ForwardVector(last);
   const Tensor proj_nodes = attn_node_.Forward(states);  // [n, d]
+  const bool fused = tensor::exec::JitDispatchEnabled();
   Tensor global({d});
   for (int64_t v = 0; v < n; ++v) {
+    // JIT dispatch fuses the gate's Sigmoid(Add(...)) chain into one
+    // kernel (bit-identical; proved safe by the fusion-legality pass).
     const Tensor gate =
-        tensor::Sigmoid(tensor::Add(proj_last, proj_nodes.Row(v)));
+        fused ? tensor::AddSigmoid(proj_last, proj_nodes.Row(v))
+              : tensor::Sigmoid(tensor::Add(proj_last, proj_nodes.Row(v)));
     const float alpha = tensor::Dot(attn_q_, gate);
     for (int64_t j = 0; j < d; ++j) global[j] += alpha * states.at(v, j);
   }
@@ -109,8 +113,8 @@ tensor::SymTensor SrGnn::TraceGraphEncode(
 
 tensor::SymTensor SrGnn::TraceEncode(tensor::ShapeChecker& checker,
                                      ExecutionMode mode) const {
-  (void)mode;
   namespace sym = tensor::sym;
+  const bool fused = mode == ExecutionMode::kJit;
   const tensor::SymTensor states = TraceGraphEncode(checker);  // [n, d]
   const tensor::SymTensor last = checker.Row(states);          // [d]
   // Attention readout: alpha_v = q^T sigmoid(W1 v_last + W2 v), with the
@@ -125,7 +129,9 @@ tensor::SymTensor SrGnn::TraceEncode(tensor::ShapeChecker& checker,
       checker.Materialize("srgnn.global", {sym::d()}, {});
   checker.BeginRepeat(sym::n());
   const tensor::SymTensor gate =
-      checker.Sigmoid(checker.Add(proj_last, checker.Row(proj_nodes)));
+      fused ? checker.AddSigmoid(proj_last, checker.Row(proj_nodes))
+            : checker.Sigmoid(
+                  checker.Add(proj_last, checker.Row(proj_nodes)));
   const tensor::SymTensor alpha = checker.Dot(attn_q, gate);
   checker.EndRepeat();
   checker.Link(global, alpha);

@@ -24,6 +24,26 @@ Tensor Stamp::EncodeSession(const std::vector<int64_t>& session) const {
   const Tensor mean = tensor::MeanRows(embedded);
 
   // a_i = w0^T sigmoid(W1 x_i + W2 x_t + W3 m_s + b_a)
+  if (tensor::exec::JitDispatchEnabled()) {
+    // The compiled plan deduplicates the two [1, d] reshapes of `last`
+    // (W2 projection and the ht MLP — the CSE pass's finding) and fuses
+    // each gate's Sigmoid(Add(...)) chain into one kernel.
+    const Tensor last_wide = last.Reshaped({1, d});
+    const Tensor proj_last = w2_.Forward(last_wide).Reshaped({d});
+    const Tensor proj_mean = w3_.ForwardVector(mean);
+    const Tensor context =
+        tensor::Add(tensor::Add(proj_last, proj_mean), ba_);
+    const Tensor proj_items = w1_.Forward(embedded);  // [l, d]
+    Tensor memory({d});
+    for (int64_t i = 0; i < l; ++i) {
+      const Tensor gate = tensor::AddSigmoid(proj_items.Row(i), context);
+      const float a = tensor::Dot(w0_, gate);
+      for (int64_t j = 0; j < d; ++j) memory[j] += a * embedded.at(i, j);
+    }
+    const Tensor hs = tensor::Tanh(mlp_a_.ForwardVector(memory));
+    const Tensor ht = tensor::Tanh(mlp_b_.Forward(last_wide).Reshaped({d}));
+    return tensor::Mul(hs, ht);
+  }
   const Tensor proj_last = w2_.ForwardVector(last);
   const Tensor proj_mean = w3_.ForwardVector(mean);
   const Tensor context =
@@ -44,15 +64,23 @@ Tensor Stamp::EncodeSession(const std::vector<int64_t>& session) const {
 
 tensor::SymTensor Stamp::TraceEncode(tensor::ShapeChecker& checker,
                                      ExecutionMode mode) const {
-  (void)mode;
   namespace sym = tensor::sym;
+  const bool fused = mode == ExecutionMode::kJit;
   const tensor::SymTensor embedded =
       checker.Embedding(TraceEmbeddingTable(checker), sym::L());  // [L, d]
   const tensor::SymTensor last = checker.Row(embedded);           // [d]
   const tensor::SymTensor mean = checker.MeanRows(embedded);      // [d]
-  // a_i = w0^T sigmoid(W1 x_i + W2 x_t + W3 m_s + b_a)
+  // a_i = w0^T sigmoid(W1 x_i + W2 x_t + W3 m_s + b_a). The JIT plan
+  // hoists the [1, d] reshape of `last` shared by the W2 projection and
+  // the ht MLP (the CSE pass's finding); eager reshapes twice.
+  tensor::SymTensor last_wide;
+  if (fused) last_wide = checker.Reshape(last, {1, sym::d()});
   const tensor::SymTensor proj_last =
-      trace::DenseVector(checker, last, sym::d(), sym::d(), /*bias=*/false);
+      fused ? checker.Reshape(trace::Dense(checker, last_wide, sym::d(),
+                                           sym::d(), /*bias=*/false),
+                              {sym::d()})
+            : trace::DenseVector(checker, last, sym::d(), sym::d(),
+                                 /*bias=*/false);
   const tensor::SymTensor proj_mean =
       trace::DenseVector(checker, mean, sym::d(), sym::d(), /*bias=*/false);
   const tensor::SymTensor ba = checker.Input("stamp.ba", {sym::d()});
@@ -67,15 +95,22 @@ tensor::SymTensor Stamp::TraceEncode(tensor::ShapeChecker& checker,
       checker.Materialize("stamp.memory", {sym::d()}, {});
   checker.BeginRepeat(sym::L());
   const tensor::SymTensor gate =
-      checker.Sigmoid(checker.Add(checker.Row(proj_items), context));
+      fused ? checker.AddSigmoid(checker.Row(proj_items), context)
+            : checker.Sigmoid(
+                  checker.Add(checker.Row(proj_items), context));
   const tensor::SymTensor alpha = checker.Dot(w0, gate);
   checker.EndRepeat();
   checker.Link(memory, alpha);
   checker.Link(memory, embedded);
   const tensor::SymTensor hs = checker.Tanh(trace::DenseVector(
       checker, memory, sym::d(), sym::d(), /*bias=*/true));
-  const tensor::SymTensor ht = checker.Tanh(trace::DenseVector(
-      checker, last, sym::d(), sym::d(), /*bias=*/true));
+  const tensor::SymTensor ht =
+      fused ? checker.Tanh(checker.Reshape(
+                  trace::Dense(checker, last_wide, sym::d(), sym::d(),
+                               /*bias=*/true),
+                  {sym::d()}))
+            : checker.Tanh(trace::DenseVector(checker, last, sym::d(),
+                                              sym::d(), /*bias=*/true));
   return checker.Mul(hs, ht);
 }
 

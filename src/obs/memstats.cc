@@ -98,7 +98,28 @@ int64_t PeakWindowBytes(int64_t start_live) {
 
 #endif  // ETUDE_DISABLE_TRACING
 
+namespace {
+// Owned by the calling thread alone; readers query their own thread.
+thread_local ArenaMemStats t_arena_stats;
+}  // namespace
+
+void ArenaActivate(int64_t planned_bytes) {
+  t_arena_stats = ArenaMemStats{};
+  t_arena_stats.planned_bytes = planned_bytes;
+}
+
+void ArenaServe(int64_t watermark_bytes) {
+  ++t_arena_stats.served_allocs;
+  if (watermark_bytes > t_arena_stats.high_water_bytes) {
+    t_arena_stats.high_water_bytes = watermark_bytes;
+  }
+}
+
+void ArenaFallback() { ++t_arena_stats.fallback_allocs; }
+
 }  // namespace memdetail
+
+ArenaMemStats ThreadArenaStats() { return memdetail::t_arena_stats; }
 
 MemStats ThreadMemStats() {
   MemStats stats;

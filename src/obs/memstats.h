@@ -42,6 +42,25 @@ void ResetPeakLiveBytes();
 /// the OS actually holds.
 int64_t ProcessRssBytes();
 
+/// Gauges of the arena executor (tensor/arena.h) on the calling thread:
+/// the statically planned arena size, the high-water mark the runtime
+/// actually reached while serving from it, and how many allocations were
+/// served from the arena vs fell back to the heap. Reset each time a
+/// script is activated, so after a request the stats describe exactly
+/// that request. Unlike the traffic counters above these are NOT compiled
+/// out under -DETUDE_DISABLE_TRACING: they feed the planner's correctness
+/// cross-checks (static arena size == runtime high-water mark), not just
+/// observability, and cost one thread-local write per tensor — never a
+/// per-element path.
+struct ArenaMemStats {
+  int64_t planned_bytes = 0;
+  int64_t high_water_bytes = 0;
+  int64_t served_allocs = 0;
+  int64_t fallback_allocs = 0;
+};
+
+ArenaMemStats ThreadArenaStats();
+
 namespace memdetail {
 
 #ifdef ETUDE_DISABLE_TRACING
@@ -70,6 +89,12 @@ int64_t BeginPeakWindow();
 int64_t PeakWindowBytes(int64_t start_live);
 
 #endif  // ETUDE_DISABLE_TRACING
+
+/// Called by the arena executor (tensor/arena.cc); see ArenaMemStats for
+/// why these stay compiled in under ETUDE_DISABLE_TRACING.
+void ArenaActivate(int64_t planned_bytes);
+void ArenaServe(int64_t watermark_bytes);
+void ArenaFallback();
 
 }  // namespace memdetail
 

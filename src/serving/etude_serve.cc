@@ -23,6 +23,14 @@ std::string RecommendationToJson(const models::Recommendation& rec) {
   return root.Dump();
 }
 
+const char* ExecModeName(models::ExecutionMode mode) {
+  return mode == models::ExecutionMode::kJit ? "jit" : "eager";
+}
+
+const char* ExecPlanName(models::ExecPlanKind plan) {
+  return plan == models::ExecPlanKind::kArena ? "arena" : "malloc";
+}
+
 /// True when the request asks for the Prometheus text format, either via
 /// content negotiation or an explicit ?format= query.
 bool WantsPrometheus(const net::HttpRequest& request,
@@ -147,6 +155,8 @@ std::string EtudeServe::JsonMetrics() {
   }
   metrics.Set("process_rss_bytes", JsonValue(obs::ProcessRssBytes()));
   metrics.Set("model", JsonValue(std::string(model_->name())));
+  metrics.Set("exec_mode", JsonValue(std::string(ExecModeName(config_.exec.mode))));
+  metrics.Set("exec_plan", JsonValue(std::string(ExecPlanName(config_.exec.plan))));
   metrics.Set("catalog_size", JsonValue(model_->config().catalog_size));
   metrics.Set("tensor_threads",
               JsonValue(static_cast<int64_t>(NumThreads())));
@@ -192,6 +202,10 @@ std::string EtudeServe::PrometheusMetrics() {
   writer.Gauge("etude_model_catalog_size",
                "Catalog size (C) of the served model.",
                static_cast<double>(model_->config().catalog_size));
+  writer.Gauge("etude_exec_config_info",
+               "Execution mode and memory plan serving predictions.", 1.0,
+               std::string("mode=\"") + ExecModeName(config_.exec.mode) +
+                   "\",plan=\"" + ExecPlanName(config_.exec.plan) + "\"");
   writer.Gauge("etude_tensor_threads",
                "Worker threads available to the tensor kernels.",
                static_cast<double>(NumThreads()));
@@ -252,7 +266,7 @@ net::HttpResponse EtudeServe::HandlePrediction(
   const auto start = std::chrono::steady_clock::now();
   Result<models::Recommendation> rec = [&] {
     ETUDE_TRACE_SPAN_ID("inference", "server", trace_id);
-    return model_->Recommend(session);
+    return model_->Recommend(session, config_.exec);
   }();
   const auto end = std::chrono::steady_clock::now();
   if (!rec.ok()) {

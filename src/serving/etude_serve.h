@@ -30,6 +30,10 @@ struct EtudeServeConfig {
   uint16_t port = 0;       // 0 = ephemeral
   int worker_threads = 4;  // inference workers, as in the paper's server
   MetricsFormat default_metrics_format = MetricsFormat::kJson;
+  // Execution mode and memory plan every prediction runs under. With
+  // ExecPlanKind::kArena each worker replays the model's compiled arena
+  // script instead of per-op heap allocation.
+  models::ExecOptions exec;
 };
 
 /// EtudeServe: the paper's Rust/Actix inference server as a working C++

@@ -1,0 +1,82 @@
+#include "tensor/arena.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/memstats.h"
+
+namespace etude::tensor::exec {
+
+namespace {
+
+constexpr int64_t kAlignment = 64;
+
+int64_t RoundUpAlign(int64_t bytes) {
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+// One lazily grown, 64-byte aligned buffer per thread, reused across
+// activations so steady-state serving performs no arena mallocs at all.
+struct ThreadArena {
+  const ArenaScript* script = nullptr;
+  char* base = nullptr;
+  int64_t capacity = 0;
+  size_t cursor = 0;  // next script event to serve
+
+  ~ThreadArena() { std::free(base); }
+};
+
+thread_local ThreadArena t_arena;
+thread_local bool t_jit_dispatch = false;
+
+}  // namespace
+
+ScopedArena::ScopedArena(const ArenaScript* script) {
+  ETUDE_CHECK(script != nullptr) << "ScopedArena requires a script";
+  ETUDE_CHECK(t_arena.script == nullptr)
+      << "arena activations do not nest (a plan is already active)";
+  const int64_t need = RoundUpAlign(script->arena_bytes);
+  if (need > t_arena.capacity) {
+    std::free(t_arena.base);
+    t_arena.base = static_cast<char*>(
+        std::aligned_alloc(kAlignment, static_cast<size_t>(need)));
+    ETUDE_CHECK(t_arena.base != nullptr)
+        << "arena allocation of " << need << " bytes failed";
+    t_arena.capacity = need;
+  }
+  t_arena.script = script;
+  t_arena.cursor = 0;
+  obs::memdetail::ArenaActivate(script->arena_bytes);
+}
+
+ScopedArena::~ScopedArena() { t_arena.script = nullptr; }
+
+float* ArenaTryAlloc(int64_t bytes) {
+  ThreadArena& arena = t_arena;
+  if (arena.script == nullptr) return nullptr;
+  const ArenaScript& script = *arena.script;
+  if (arena.cursor >= script.bytes.size() ||
+      script.bytes[arena.cursor] != bytes) {
+    // Deviation from the compiled schedule: do not advance the cursor, so
+    // every subsequent allocation also falls back and the activation's
+    // fallback count exposes the divergence instead of serving buffers at
+    // offsets computed for a different allocation sequence.
+    obs::memdetail::ArenaFallback();
+    return nullptr;
+  }
+  const int64_t offset = script.offsets[arena.cursor];
+  ++arena.cursor;
+  obs::memdetail::ArenaServe(offset + bytes);
+  return reinterpret_cast<float*>(arena.base + offset);
+}
+
+ScopedJitDispatch::ScopedJitDispatch(bool enabled) {
+  previous_ = t_jit_dispatch;
+  t_jit_dispatch = enabled;
+}
+
+ScopedJitDispatch::~ScopedJitDispatch() { t_jit_dispatch = previous_; }
+
+bool JitDispatchEnabled() { return t_jit_dispatch; }
+
+}  // namespace etude::tensor::exec

@@ -1,0 +1,71 @@
+#ifndef ETUDE_TENSOR_ARENA_H_
+#define ETUDE_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace etude::tensor::exec {
+
+/// Runtime half of the static execution planner (tensor/plan_exec.h).
+///
+/// CompileExecutionPlan turns a model's retained plan into an ordered
+/// allocation script: the i-th transient tensor buffer the runtime
+/// allocates during a request takes the i-th precomputed (offset, bytes)
+/// slot of one pre-sized arena. While a script is active on a thread,
+/// Tensor's constructors serve buffers from the arena (no malloc on the
+/// hot path) and Tensor's destructor is a no-op for them — slot reuse is
+/// already encoded in the offsets, which the planner derived from the
+/// plan's liveness. An allocation that deviates from the script (size
+/// mismatch or overrun) falls back to the heap and is counted; the
+/// cross-check tests assert zero fallbacks and that the high-water mark
+/// the runtime reaches equals the statically computed arena size exactly.
+
+/// The allocation script of one (model, mode, session shape): parallel
+/// arrays of event sizes and their assigned arena offsets.
+struct ArenaScript {
+  std::vector<int64_t> bytes;    // per allocation event, exact buffer bytes
+  std::vector<int64_t> offsets;  // per allocation event, 64-byte aligned
+  /// max(offset + bytes) over the events: the exact high-water mark a
+  /// conforming run reaches once every event has been served.
+  int64_t arena_bytes = 0;
+};
+
+/// Activates `script` on the calling thread for the lifetime of the
+/// object. The script must outlive the activation; activations do not
+/// nest. The thread's arena buffer is grown (never shrunk) to the
+/// script's size and reused across activations.
+class ScopedArena {
+ public:
+  explicit ScopedArena(const ArenaScript* script);
+  ~ScopedArena();
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+};
+
+/// Serves the next scripted slot of the calling thread's active arena.
+/// Returns nullptr — caller allocates from the heap — when no arena is
+/// active, or when the request deviates from the script (counted as a
+/// fallback in obs::ThreadArenaStats; the cursor does not advance, so
+/// one deviation fails the whole activation loudly rather than
+/// resynchronising onto wrong offsets).
+float* ArenaTryAlloc(int64_t bytes);
+
+/// Thread-local dispatch switch for the jit execution path: models and
+/// layers consult it to dispatch fused kernels (AddLayerNorm/AddSigmoid)
+/// and CSE-deduplicated subexpressions, mirroring the jit-mode plan.
+class ScopedJitDispatch {
+ public:
+  explicit ScopedJitDispatch(bool enabled);
+  ~ScopedJitDispatch();
+  ScopedJitDispatch(const ScopedJitDispatch&) = delete;
+  ScopedJitDispatch& operator=(const ScopedJitDispatch&) = delete;
+
+ private:
+  bool previous_;
+};
+
+bool JitDispatchEnabled();
+
+}  // namespace etude::tensor::exec
+
+#endif  // ETUDE_TENSOR_ARENA_H_

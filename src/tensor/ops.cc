@@ -298,6 +298,64 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   return out;
 }
 
+Tensor AddLayerNorm(const Tensor& a, const Tensor& b, const Tensor& gain,
+                    const Tensor& bias, float epsilon) {
+  CheckSameShape(a, b, "AddLayerNorm");
+  ETUDE_CHECK(a.rank() >= 1) << "AddLayerNorm requires rank >= 1";
+  const int64_t width = a.dim(a.rank() - 1);
+  ETUDE_CHECK(gain.rank() == 1 && gain.dim(0) == width)
+      << "AddLayerNorm gain";
+  ETUDE_CHECK(bias.rank() == 1 && bias.dim(0) == width)
+      << "AddLayerNorm bias";
+  // 1 add + 6 LayerNorm FLOPs per element: the unfused pair's total.
+  ETUDE_OP_SPAN("AddLayerNorm", 7.0 * static_cast<double>(a.numel()));
+  const int64_t rows = a.numel() / width;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const float* pgain = gain.data();
+  const float* pbias = bias.data();
+  float* dst = out.data();
+  ParallelFor(
+      0, rows, RowGrain(static_cast<double>(width), kElementwiseGrain),
+      [pa, pb, pgain, pbias, dst, width, epsilon](int64_t lo, int64_t hi) {
+        ETUDE_TRACE_SPAN("AddLayerNorm.chunk", "op");
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* ra = pa + r * width;
+          const float* rb = pb + r * width;
+          float* o = dst + r * width;
+          // The sum lands in the output row first, so the normalisation
+          // below reads the exact float values the unfused Add would
+          // have materialised — keeps the fused path bit-identical.
+          for (int64_t j = 0; j < width; ++j) o[j] = ra[j] + rb[j];
+          float mean = 0.0f;
+          for (int64_t j = 0; j < width; ++j) mean += o[j];
+          mean /= static_cast<float>(width);
+          float var = 0.0f;
+          for (int64_t j = 0; j < width; ++j) {
+            const float delta = o[j] - mean;
+            var += delta * delta;
+          }
+          var /= static_cast<float>(width);
+          const float inv_std = 1.0f / std::sqrt(var + epsilon);
+          for (int64_t j = 0; j < width; ++j) {
+            o[j] = (o[j] - mean) * inv_std * pgain[j] + pbias[j];
+          }
+        }
+      });
+  return out;
+}
+
+Tensor AddSigmoid(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "AddSigmoid");
+  // 1 add + 4 sigmoid FLOPs per element: the unfused pair's total.
+  ETUDE_OP_SPAN("AddSigmoid", 5.0 * static_cast<double>(a.numel()));
+  return ElementwiseBinary(a, b, [](float u, float v) {
+    const float sum = u + v;
+    return 1.0f / (1.0f + std::exp(-sum));
+  });
+}
+
 Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices) {
   ETUDE_CHECK(table.rank() == 2) << "Embedding table must be rank 2";
   const int64_t vocab = table.dim(0), d = table.dim(1);

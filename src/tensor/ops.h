@@ -49,6 +49,18 @@ Tensor Softmax(const Tensor& a);
 Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
                  float epsilon = 1e-5f);
 
+/// Fused kernels for the chains the fusion-legality pass
+/// (tensor/plan_exec.h) proves safe: one dispatch, one output buffer, no
+/// materialised intermediate. Both are bit-identical to their unfused
+/// compositions — the cross-check tests depend on it.
+
+/// LayerNorm(Add(a, b), gain, bias) — the transformer residual join.
+Tensor AddLayerNorm(const Tensor& a, const Tensor& b, const Tensor& gain,
+                    const Tensor& bias, float epsilon = 1e-5f);
+
+/// Sigmoid(Add(a, b)) — the additive-attention gate.
+Tensor AddSigmoid(const Tensor& a, const Tensor& b);
+
 /// Gathers rows of `table`:[V,d] at `indices`, producing [len(indices),d].
 Tensor Embedding(const Tensor& table, const std::vector<int64_t>& indices);
 

@@ -1,0 +1,470 @@
+#include "tensor/plan_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "tensor/plan_analysis.h"
+
+namespace etude::tensor {
+
+namespace {
+
+constexpr int64_t kAlignment = 64;
+
+int64_t RoundUpAlign(int64_t bytes) {
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+int64_t EvalBytes(const CostPoly& poly, const Bindings& bindings) {
+  return std::llround(poly.Eval(bindings));
+}
+
+std::vector<std::vector<int>> ConsumerIndex(const PlanGraph& plan) {
+  std::vector<std::vector<int>> consumers(static_cast<size_t>(plan.size()));
+  for (const PlanNode& node : plan.nodes()) {
+    for (int input : node.inputs) {
+      consumers[static_cast<size_t>(input)].push_back(node.id);
+    }
+  }
+  return consumers;
+}
+
+/// Innermost repeat region per node (-1 at top level). Parents precede
+/// children in plan.regions(), so a child's assignment overwrites its
+/// parent's.
+std::vector<int> RegionOf(const PlanGraph& plan) {
+  std::vector<int> region_of(static_cast<size_t>(plan.size()), -1);
+  const std::vector<RepeatRegion>& regions = plan.regions();
+  for (size_t r = 0; r < regions.size(); ++r) {
+    for (int i = regions[r].begin; i <= regions[r].end; ++i) {
+      region_of[static_cast<size_t>(i)] = static_cast<int>(r);
+    }
+  }
+  return region_of;
+}
+
+/// Greedy best-fit offset allocator over a free-list of 64-byte aligned
+/// blocks: Alloc carves the smallest free block that fits (ties to the
+/// lowest offset) or extends the arena; Free returns the block and
+/// coalesces neighbours. The reported arena size is the high-water mark
+/// of offset + RAW bytes — trailing alignment padding of the last block
+/// is never touched, so the runtime buffer does not need it.
+class BestFitArena {
+ public:
+  int64_t Alloc(int64_t bytes) {
+    const int64_t need = RoundUpAlign(bytes);
+    auto best = free_blocks_.end();
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+      if (it->second < need) continue;
+      if (best == free_blocks_.end() || it->second < best->second) best = it;
+    }
+    int64_t offset;
+    if (best != free_blocks_.end()) {
+      offset = best->first;
+      const int64_t remaining = best->second - need;
+      free_blocks_.erase(best);
+      if (remaining > 0) free_blocks_.emplace(offset + need, remaining);
+    } else {
+      offset = end_;
+      end_ += need;
+    }
+    live_.emplace(offset, need);
+    high_water_ = std::max(high_water_, offset + bytes);
+    max_live_slots_ =
+        std::max(max_live_slots_, static_cast<int>(live_.size()));
+    return offset;
+  }
+
+  void Free(int64_t offset) {
+    auto it = live_.find(offset);
+    ETUDE_CHECK(it != live_.end())
+        << "plan compiler freed unallocated offset " << offset;
+    int64_t size = it->second;
+    live_.erase(it);
+    auto next = free_blocks_.lower_bound(offset);
+    if (next != free_blocks_.end() && offset + size == next->first) {
+      size += next->second;
+      next = free_blocks_.erase(next);
+    }
+    if (next != free_blocks_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second == offset) {
+        offset = prev->first;
+        size += prev->second;
+        free_blocks_.erase(prev);
+      }
+    }
+    free_blocks_.emplace(offset, size);
+  }
+
+  int64_t high_water() const { return high_water_; }
+  int max_live_slots() const { return max_live_slots_; }
+  bool all_free() const { return live_.empty(); }
+
+ private:
+  std::map<int64_t, int64_t> free_blocks_;  // offset -> aligned size
+  std::map<int64_t, int64_t> live_;         // offset -> aligned size
+  int64_t end_ = 0;
+  int64_t high_water_ = 0;
+  int max_live_slots_ = 0;
+};
+
+/// How the planner releases a node's per-instance output slot. The one
+/// safety criterion: a slot's static free position must not precede the
+/// runtime's last read of that buffer (frees are arena no-ops at
+/// runtime, so freeing *later* than the runtime destructor is always
+/// safe — it only costs arena bytes).
+enum class FreeMode {
+  /// Top-level node: free after the last instance of its death node
+  /// (last consumer or enclosing-scope end, whichever is later) — the
+  /// exact point AnalyzeLiveness retires it, mirroring C++ scoping.
+  kAtDeath,
+  /// Repeat-region node whose every consumer sits later in the same
+  /// innermost region: the value is an iteration-local, dead when the
+  /// iteration ends. Freed there, so the loop body reuses one slot.
+  kIterEnd,
+  /// Repeat-region node with no later consumer recorded (a loop-carried
+  /// value like a GRU hidden state: the next iteration consumes it via
+  /// a backward Link): instance i is freed right after instance i+1 is
+  /// allocated — the move-assignment timing, when the runtime releases
+  /// the old value — and the final instance at the node's death.
+  kGrace,
+};
+
+struct Slot {
+  int64_t offset = 0;
+  bool live = false;
+};
+
+class PlanExpander {
+ public:
+  PlanExpander(const PlanGraph& plan, const Bindings& bindings,
+               ExecutionPlan& out)
+      : plan_(plan), bindings_(bindings), out_(out) {
+    death_ = DeathIndices(plan);
+    region_of_ = RegionOf(plan);
+    const std::vector<std::vector<int>> consumers = ConsumerIndex(plan);
+    const int n = plan.size();
+    mode_.resize(static_cast<size_t>(n), FreeMode::kAtDeath);
+    pending_.resize(static_cast<size_t>(n));
+    deferred_.resize(static_cast<size_t>(n));
+    for (int id = 0; id < n; ++id) {
+      const int region = region_of_[static_cast<size_t>(id)];
+      if (region < 0) continue;
+      int last_consumer = -1;
+      for (int c : consumers[static_cast<size_t>(id)]) {
+        last_consumer = std::max(last_consumer, c);
+      }
+      mode_[static_cast<size_t>(id)] =
+          (last_consumer > id &&
+           last_consumer <= plan.regions()[static_cast<size_t>(region)].end)
+              ? FreeMode::kIterEnd
+              : FreeMode::kGrace;
+    }
+  }
+
+  void Run() {
+    EmitRange(0, plan_.size() - 1, -1);
+    // Whatever is still live (request outputs, nodes whose death never
+    // re-executed because a trip count was zero) retires at the end of
+    // the request; position is immaterial, but the allocator invariant
+    // that everything allocated is freed keeps the replay honest.
+    for (size_t id = 0; id < pending_.size(); ++id) {
+      ReleasePending(static_cast<int>(id));
+      for (int64_t offset : deferred_[id]) FreeSlot(offset);
+      deferred_[id].clear();
+    }
+    ETUDE_CHECK(arena_.all_free()) << "plan compiler leaked arena slots";
+    out_.arena.arena_bytes = arena_.high_water();
+    out_.max_live_slots = arena_.max_live_slots();
+  }
+
+ private:
+  int64_t EmitAlloc(int node, int64_t bytes) {
+    const int64_t offset = arena_.Alloc(bytes);
+    out_.arena.bytes.push_back(bytes);
+    out_.arena.offsets.push_back(offset);
+    out_.event_nodes.push_back(node);
+    out_.event_frees.push_back(-1);  // patched by FreeSlot
+    live_event_.emplace(offset, static_cast<int>(out_.event_frees.size()) - 1);
+    return offset;
+  }
+
+  /// Releases one slot, recording at which event count it retired so the
+  /// script carries reconstructible lifetimes (ExecutionPlan::event_frees).
+  void FreeSlot(int64_t offset) {
+    const auto it = live_event_.find(offset);
+    ETUDE_CHECK(it != live_event_.end())
+        << "plan compiler freed untracked offset " << offset;
+    out_.event_frees[static_cast<size_t>(it->second)] =
+        static_cast<int>(out_.arena.bytes.size());
+    live_event_.erase(it);
+    arena_.Free(offset);
+  }
+
+  void ReleasePending(int node) {
+    Slot& slot = pending_[static_cast<size_t>(node)];
+    if (!slot.live) return;
+    FreeSlot(slot.offset);
+    slot.live = false;
+  }
+
+  bool OnFinalPath() const {
+    return std::all_of(final_stack_.begin(), final_stack_.end(),
+                       [](bool f) { return f; });
+  }
+
+  /// Emits the allocation events of one dispatch of `id`, mirroring the
+  /// internal Tensor constructions of tensor/ops.cc. Returns the output
+  /// slot offset, or -1 when the op allocates no output buffer.
+  int64_t EmitOpEvents(const PlanNode& node) {
+    const int64_t out_bytes = EvalBytes(node.alloc_bytes, bindings_);
+    if (node.op == "GruCell" && out_bytes > 0) {
+      // gi = Add(MatVec(w_ih, x), b_ih); gh = Add(MatVec(w_hh, h), b_hh);
+      // next = Tensor({h}) — two [3h] temporaries per gate vector.
+      const int64_t gate = 3 * out_bytes;
+      const int64_t t1 = EmitAlloc(node.id, gate);
+      const int64_t gi = EmitAlloc(node.id, gate);
+      FreeSlot(t1);
+      const int64_t t2 = EmitAlloc(node.id, gate);
+      const int64_t gh = EmitAlloc(node.id, gate);
+      FreeSlot(t2);
+      const int64_t out = EmitAlloc(node.id, out_bytes);
+      FreeSlot(gi);
+      FreeSlot(gh);
+      return out;
+    }
+    if (node.op == "ScaledDotProductAttention" && out_bytes > 0) {
+      // Scale(MatMul(q, Transpose(k))) then Softmax then MatMul(w, v):
+      // transpose [m,dk], logits/scaled/weights [n,m].
+      ETUDE_CHECK(node.inputs.size() >= 3)
+          << "attention node " << node.id << " lacks q/k/v inputs";
+      const SymShape& q = plan_.node(node.inputs[0]).shape;
+      const SymShape& k = plan_.node(node.inputs[1]).shape;
+      const auto dim = [&](const SymDim& d) {
+        return static_cast<int64_t>(std::llround(d.Eval(bindings_)));
+      };
+      const int64_t rows = dim(q[0]), width = dim(q[1]), keys = dim(k[0]);
+      const int64_t kt = EmitAlloc(node.id, 4 * keys * width);
+      const int64_t logits = EmitAlloc(node.id, 4 * rows * keys);
+      const int64_t scaled = EmitAlloc(node.id, 4 * rows * keys);
+      FreeSlot(logits);
+      FreeSlot(kt);
+      const int64_t weights = EmitAlloc(node.id, 4 * rows * keys);
+      const int64_t out = EmitAlloc(node.id, out_bytes);
+      FreeSlot(weights);
+      FreeSlot(scaled);
+      return out;
+    }
+    // Every other op constructs exactly its output tensor (verified by
+    // the zero-fallback cross-check); scalar results (Dot), vector
+    // results (TopK/Mips) and symbolic-only ops (Truncate) have a zero
+    // alloc polynomial and produce no event.
+    if (out_bytes > 0) return EmitAlloc(node.id, out_bytes);
+    return -1;
+  }
+
+  void EmitNode(int id) {
+    const PlanNode& node = plan_.node(id);
+    if (!node.persistent) {
+      const int64_t out_offset = EmitOpEvents(node);
+      if (out_offset >= 0) {
+        switch (mode_[static_cast<size_t>(id)]) {
+          case FreeMode::kAtDeath: {
+            const int d = death_[static_cast<size_t>(id)];
+            deferred_[static_cast<size_t>(d)].push_back(out_offset);
+            break;
+          }
+          case FreeMode::kIterEnd:
+            iter_frees_.back().push_back(out_offset);
+            break;
+          case FreeMode::kGrace: {
+            ReleasePending(id);
+            Slot& slot = pending_[static_cast<size_t>(id)];
+            slot.offset = out_offset;
+            slot.live = true;
+            if (OnFinalPath()) {
+              const int d = death_[static_cast<size_t>(id)];
+              deferred_[static_cast<size_t>(d)].push_back(out_offset);
+              slot.live = false;
+            }
+            break;
+          }
+        }
+      }
+    }
+    // Retire everything whose death this node is, once its last dispatch
+    // of the request has been emitted.
+    if (OnFinalPath()) {
+      for (int64_t offset : deferred_[static_cast<size_t>(id)]) {
+        FreeSlot(offset);
+      }
+      deferred_[static_cast<size_t>(id)].clear();
+    }
+  }
+
+  /// Emits nodes [begin, end] at nesting level `parent`: plain nodes in
+  /// program order, each child region expanded at its concrete trip
+  /// count.
+  void EmitRange(int begin, int end, int parent) {
+    const std::vector<RepeatRegion>& regions = plan_.regions();
+    int id = begin;
+    while (id <= end) {
+      int child = -1;
+      for (size_t r = 0; r < regions.size(); ++r) {
+        if (regions[r].parent == parent && regions[r].begin == id) {
+          child = static_cast<int>(r);
+          break;
+        }
+      }
+      if (child < 0) {
+        EmitNode(id);
+        ++id;
+        continue;
+      }
+      const RepeatRegion& region = regions[static_cast<size_t>(child)];
+      const int64_t trips =
+          std::llround(region.trips.Eval(bindings_));
+      ETUDE_CHECK(trips >= 0)
+          << "negative trip count for repeat region at node " << id;
+      for (int64_t it = 0; it < trips; ++it) {
+        final_stack_.push_back(it == trips - 1);
+        iter_frees_.emplace_back();
+        EmitRange(region.begin, region.end, child);
+        for (int64_t offset : iter_frees_.back()) FreeSlot(offset);
+        iter_frees_.pop_back();
+        final_stack_.pop_back();
+      }
+      id = region.end + 1;
+    }
+  }
+
+  const PlanGraph& plan_;
+  const Bindings& bindings_;
+  ExecutionPlan& out_;
+  BestFitArena arena_;
+  std::vector<int> death_;
+  std::vector<int> region_of_;
+  std::vector<FreeMode> mode_;
+  std::vector<Slot> pending_;                    // per node: grace slot
+  std::vector<std::vector<int64_t>> deferred_;   // per death node: slots
+  std::vector<std::vector<int64_t>> iter_frees_;  // per nesting level
+  std::vector<bool> final_stack_;
+  std::map<int64_t, int> live_event_;  // live offset -> allocation event
+};
+
+}  // namespace
+
+bool FusibleOp(const std::string& op) {
+  static const std::set<std::string>* const kFusible =
+      new std::set<std::string>{"Add",     "Sub",       "Mul",
+                                "Scale",   "Sigmoid",   "Tanh",
+                                "Relu",    "Gelu",      "AddRowwise",
+                                "LayerNorm", "AddLayerNorm", "AddSigmoid"};
+  return kFusible->count(op) > 0;
+}
+
+std::vector<FusionGroup> AnalyzeFusion(const PlanGraph& plan) {
+  const std::vector<std::vector<int>> consumers = ConsumerIndex(plan);
+  const std::vector<int> region_of = RegionOf(plan);
+
+  // Producer -> sole adjacent consumer edges that satisfy every rule.
+  const auto fusible_edge = [&](int producer, int consumer) {
+    const PlanNode& p = plan.node(producer);
+    const PlanNode& c = plan.node(consumer);
+    if (!FusibleOp(p.op) || !FusibleOp(c.op)) return false;
+    if (p.persistent || p.is_output) return false;
+    if (consumers[static_cast<size_t>(producer)].size() != 1) return false;
+    if (std::find(c.inputs.begin(), c.inputs.end(), producer) ==
+        c.inputs.end()) {
+      return false;
+    }
+    if (p.phase != c.phase) return false;
+    if (region_of[static_cast<size_t>(producer)] !=
+        region_of[static_cast<size_t>(consumer)]) {
+      return false;
+    }
+    return p.shape == c.shape;
+  };
+
+  std::vector<FusionGroup> groups;
+  std::vector<bool> in_group(static_cast<size_t>(plan.size()), false);
+  for (int id = 0; id < plan.size(); ++id) {
+    if (in_group[static_cast<size_t>(id)]) continue;
+    std::vector<int> chain{id};
+    while (chain.back() + 1 < plan.size() &&
+           fusible_edge(chain.back(), chain.back() + 1)) {
+      chain.push_back(chain.back() + 1);
+    }
+    if (chain.size() < 2) continue;
+    for (int member : chain) in_group[static_cast<size_t>(member)] = true;
+    FusionGroup group;
+    group.nodes = std::move(chain);
+    if (group.nodes.size() == 2) {
+      const std::string& first = plan.node(group.nodes[0]).op;
+      const std::string& second = plan.node(group.nodes[1]).op;
+      if (first == "Add" && second == "LayerNorm") {
+        group.kernel = "AddLayerNorm";
+      } else if (first == "Add" && second == "Sigmoid") {
+        group.kernel = "AddSigmoid";
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<CseDuplicate> AnalyzeCse(const PlanGraph& plan) {
+  // The congruence key must match the analysis pass's cse warning
+  // (plan_analysis.cc) term for term, so planner and linter agree on
+  // what counts as a duplicate.
+  std::map<std::string, size_t> groups_by_key;
+  std::vector<CseDuplicate> groups;
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent) continue;
+    if (node.op == "Input" || node.op == "Materialize" || node.op == "Row" ||
+        node.op == "Embedding" || node.op == "Truncate") {
+      continue;
+    }
+    std::string key = node.op + "|" + ShapeToString(node.shape);
+    for (int input : node.inputs) {
+      key += "#";
+      key += std::to_string(input);
+    }
+    auto it = groups_by_key.find(key);
+    if (it == groups_by_key.end()) {
+      groups_by_key.emplace(std::move(key), groups.size());
+      groups.push_back(CseDuplicate{node.id, {}});
+    } else {
+      groups[it->second].drop.push_back(node.id);
+    }
+  }
+  std::vector<CseDuplicate> duplicates;
+  for (CseDuplicate& group : groups) {
+    if (!group.drop.empty()) duplicates.push_back(std::move(group));
+  }
+  return duplicates;
+}
+
+ExecutionPlan CompileExecutionPlan(const PlanGraph& plan,
+                                   const Bindings& bindings) {
+  ExecutionPlan out;
+  PlanExpander expander(plan, bindings, out);
+  expander.Run();
+  const std::vector<int> region_of = RegionOf(plan);
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent) continue;
+    const bool in_region = region_of[static_cast<size_t>(node.id)] >= 0;
+    out.arena_bound_poly += node.alloc_bytes * (in_region ? 2.0 : 1.0);
+    out.arena_bound_poly += node.scratch_bytes;
+  }
+  out.fusion_groups = AnalyzeFusion(plan);
+  out.cse = AnalyzeCse(plan);
+  return out;
+}
+
+}  // namespace etude::tensor

@@ -1,0 +1,106 @@
+#ifndef ETUDE_TENSOR_PLAN_EXEC_H_
+#define ETUDE_TENSOR_PLAN_EXEC_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/arena.h"
+#include "tensor/plan_ir.h"
+
+namespace etude::tensor {
+
+/// Static execution planning over the retained plan IR: the passes that
+/// close the loop from analysis (tensor/plan_analysis.h, which lints and
+/// predicts) to the runtime schedule (which executes).
+///
+///  1. arena assignment   — CompileExecutionPlan expands the plan's
+///     repeat regions at concrete trip counts into the exact ordered
+///     sequence of transient buffer allocations the runtime performs,
+///     replays that sequence against a greedy best-fit free-list with
+///     64-byte aligned offsets, and emits the allocation script the
+///     arena executor (tensor/arena.h) serves — plus the arena's exact
+///     byte size and a symbolic size bound.
+///  2. fusion legality    — AnalyzeFusion finds single-consumer
+///     elementwise/activation chains that are provably safe to dispatch
+///     as one kernel (adjacent in program order, shape-equal, same
+///     phase, same repeat region, no interleaved consumer).
+///  3. CSE materialization — AnalyzeCse turns the analysis pass's cse
+///     warnings into a dedup plan: which node to keep and which
+///     congruent re-dispatches to drop.
+///
+/// The passes are verified against the runtime, not trusted: the
+/// cross-check tests assert that the statically computed arena size
+/// equals the runtime high-water mark exactly (every allocation served,
+/// zero fallbacks) and that planned execution is bit-identical to the
+/// unplanned path for every model in both modes.
+
+/// A provably fusible chain of adjacent nodes, in program order.
+struct FusionGroup {
+  std::vector<int> nodes;  // >= 2 node ids, each the sole consumer of
+                           // its predecessor
+  /// Runtime kernel that dispatches the whole chain ("AddLayerNorm",
+  /// "AddSigmoid"); empty when the chain is legal but no fused kernel
+  /// exists yet.
+  std::string kernel;
+};
+
+/// Ops eligible for chain membership: one output element per input
+/// element, no reduction across elements (LayerNorm normalises within a
+/// row, which the fused kernels preserve).
+bool FusibleOp(const std::string& op);
+
+/// Legality rules, applied to each adjacent producer/consumer pair of a
+/// chain: producer feeds only its successor (no interleaved consumer can
+/// observe the unfused intermediate), both shapes are symbolically
+/// equal, both nodes share phase and innermost repeat region, and the
+/// producer is neither persistent nor the request output.
+std::vector<FusionGroup> AnalyzeFusion(const PlanGraph& plan);
+
+/// One congruence class of duplicated dispatches: `keep` is the first
+/// occurrence, `drop` the later nodes computing the same (op, operands,
+/// shape). Uses the same congruence key as the analysis pass's cse
+/// warning, so every warning maps to exactly one drop entry.
+struct CseDuplicate {
+  int keep = -1;
+  std::vector<int> drop;
+};
+
+std::vector<CseDuplicate> AnalyzeCse(const PlanGraph& plan);
+
+/// The compiled schedule of one (plan, bindings): everything the runtime
+/// needs to execute the model with zero per-op malloc.
+struct ExecutionPlan {
+  /// Ordered allocation script; the runtime serves it via ScopedArena.
+  exec::ArenaScript arena;
+  /// Plan node that produces each script event (parallel to
+  /// arena.bytes/offsets) — lets tests and reports attribute offsets.
+  std::vector<int> event_nodes;
+  /// Per event, the total number of allocation events emitted when the
+  /// planner released its slot (parallel to arena.bytes): event i's slot
+  /// is live while events j with i < j < event_frees[i] are allocated.
+  /// The property tests rebuild liveness from this to verify that slots
+  /// with overlapping lifetimes never share arena bytes.
+  std::vector<int> event_frees;
+  /// Symbolic bound on the bytes simultaneously live under the
+  /// planner's free rules, ignoring alignment padding: per-iteration
+  /// values of a repeat region count twice (the planner keeps a
+  /// loop-carried value until its successor exists, mirroring
+  /// move-assignment), everything else once, plus composite-op scratch.
+  CostPoly arena_bound_poly;
+  /// Peak number of simultaneously live arena slots — bounds the
+  /// alignment padding the arena can add over the raw live bytes
+  /// (< 64 bytes per live slot).
+  int max_live_slots = 0;
+  std::vector<FusionGroup> fusion_groups;
+  std::vector<CseDuplicate> cse;
+};
+
+/// Compiles `plan` for the session shape fixed by `bindings` (which must
+/// bind every symbol the plan's trip counts and allocation polynomials
+/// use — L, n, d, ...). Deterministic; aborts on a malformed plan.
+ExecutionPlan CompileExecutionPlan(const PlanGraph& plan,
+                                   const Bindings& bindings);
+
+}  // namespace etude::tensor
+
+#endif  // ETUDE_TENSOR_PLAN_EXEC_H_

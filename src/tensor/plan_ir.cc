@@ -221,11 +221,27 @@ void PlanGraph::PopScope() {
 
 void PlanGraph::BeginRepeat(const CostPoly& times) {
   repeat_stack_.push_back(times);
+  RepeatRegion region;
+  region.begin = size();
+  region.trips = times;
+  region.parent = open_regions_.empty() ? -1 : open_regions_.back();
+  open_regions_.push_back(static_cast<int>(regions_.size()));
+  regions_.push_back(std::move(region));
 }
 
 void PlanGraph::EndRepeat() {
   ETUDE_CHECK(!repeat_stack_.empty()) << "EndRepeat without BeginRepeat";
   repeat_stack_.pop_back();
+  ETUDE_CHECK(!open_regions_.empty()) << "EndRepeat without BeginRepeat";
+  RepeatRegion& region = regions_[static_cast<size_t>(open_regions_.back())];
+  open_regions_.pop_back();
+  region.end = size() - 1;
+  if (region.end < region.begin) {
+    // An empty region records no nodes and constrains nothing; drop it.
+    // It can only be the most recently opened one, so this never orphans
+    // a child's parent index.
+    regions_.pop_back();
+  }
 }
 
 void PlanGraph::Link(int consumer, int producer) {

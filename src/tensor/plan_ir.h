@@ -92,6 +92,19 @@ struct PlanNode {
   int min_death = -1;
 };
 
+/// A repeat region of the plan: the contiguous node range [begin, end]
+/// recorded between BeginRepeat and EndRepeat, dispatched `trips` times
+/// per request. Regions nest (SINE's per-interest loop contains the
+/// per-key loop); `parent` is the index of the enclosing region, -1 at
+/// top level. Retained so the execution planner (tensor/plan_exec.h) can
+/// expand loop iterations when scheduling buffer reuse.
+struct RepeatRegion {
+  int begin = -1;   // first node id inside the region
+  int end = -1;     // last node id inside the region (inclusive)
+  CostPoly trips;   // iteration count, symbolic
+  int parent = -1;  // enclosing region index, -1 when top-level
+};
+
 /// The retained plan: nodes in trace (== topological == program) order,
 /// plus the recording state the ShapeChecker drives (phase, scope stack,
 /// repeat multiplicity stack).
@@ -124,11 +137,17 @@ class PlanGraph {
   }
   int size() const { return static_cast<int>(nodes_.size()); }
 
+  /// Every non-empty repeat region, in the order the regions were opened
+  /// (so a parent always precedes its children).
+  const std::vector<RepeatRegion>& regions() const { return regions_; }
+
  private:
   std::vector<PlanNode> nodes_;
   PlanPhase phase_ = PlanPhase::kEncode;
   std::vector<int> scope_starts_;
   std::vector<CostPoly> repeat_stack_;
+  std::vector<RepeatRegion> regions_;
+  std::vector<int> open_regions_;  // indices into regions_, innermost last
 };
 
 }  // namespace etude::tensor

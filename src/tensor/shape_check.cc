@@ -310,6 +310,50 @@ SymTensor ShapeChecker::LayerNorm(const SymTensor& a, const SymTensor& gain,
   return out;
 }
 
+SymTensor ShapeChecker::AddLayerNorm(const SymTensor& a, const SymTensor& b,
+                                     const SymTensor& gain,
+                                     const SymTensor& bias) {
+  if (!Usable({&a, &b, &gain, &bias})) return SymTensor::Invalid();
+  if (a.shape != b.shape) {
+    return Fail("AddLayerNorm", "operand shapes " + ShapeToString(a.shape) +
+                                    " and " + ShapeToString(b.shape) +
+                                    " differ");
+  }
+  if (a.rank() < 1) return Fail("AddLayerNorm", "requires rank >= 1");
+  const SymDim& last = a.shape.back();
+  if (gain.rank() != 1 || gain.shape[0] != last) {
+    return Fail("AddLayerNorm", "gain " + ShapeToString(gain.shape) +
+                                    " does not match normalised dim " +
+                                    last.ToString());
+  }
+  if (bias.rank() != 1 || bias.shape[0] != last) {
+    return Fail("AddLayerNorm", "bias " + ShapeToString(bias.shape) +
+                                    " does not match normalised dim " +
+                                    last.ToString());
+  }
+  // 1 (add) + 6 (layer norm) FLOPs per element: the unfused pair's total,
+  // so fusing never changes a model's FLOP polynomial.
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, "AddLayerNorm", context_, out.shape,
+                 {&a, &b, &gain, &bias}, Np(out.shape) * 7.0,
+                 Np(out.shape) * kF32);
+  return out;
+}
+
+SymTensor ShapeChecker::AddSigmoid(const SymTensor& a, const SymTensor& b) {
+  if (!Usable({&a, &b})) return SymTensor::Invalid();
+  if (a.shape != b.shape) {
+    return Fail("AddSigmoid", "operand shapes " + ShapeToString(a.shape) +
+                                  " and " + ShapeToString(b.shape) +
+                                  " differ");
+  }
+  // 1 (add) + 4 (sigmoid) FLOPs per element.
+  SymTensor out{a.shape, true};
+  out.node = Rec(*plan_, "AddSigmoid", context_, out.shape, {&a, &b},
+                 Np(out.shape) * 5.0, Np(out.shape) * kF32);
+  return out;
+}
+
 SymTensor ShapeChecker::Embedding(const SymTensor& table, const SymDim& count) {
   if (!table.valid) return SymTensor::Invalid();
   if (table.rank() != 2) {

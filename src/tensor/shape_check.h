@@ -150,6 +150,11 @@ class ShapeChecker {
   SymTensor Softmax(const SymTensor& a);
   SymTensor LayerNorm(const SymTensor& a, const SymTensor& gain,
                       const SymTensor& bias);
+  /// Fused LayerNorm(Add(a, b)) — one dispatch, one output buffer.
+  SymTensor AddLayerNorm(const SymTensor& a, const SymTensor& b,
+                         const SymTensor& gain, const SymTensor& bias);
+  /// Fused Sigmoid(Add(a, b)).
+  SymTensor AddSigmoid(const SymTensor& a, const SymTensor& b);
   /// Gather of `count` rows from a rank-2 table -> [count, table_width].
   SymTensor Embedding(const SymTensor& table, const SymDim& count);
   SymTensor Concat(const SymTensor& a, const SymTensor& b);

@@ -1,6 +1,7 @@
 #ifndef ETUDE_TENSOR_TENSOR_H_
 #define ETUDE_TENSOR_TENSOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
 #include <numeric>
@@ -9,6 +10,7 @@
 
 #include "common/logging.h"
 #include "obs/memstats.h"
+#include "tensor/arena.h"
 
 namespace etude::tensor {
 
@@ -19,10 +21,18 @@ namespace etude::tensor {
 /// violations are programmer errors and abort via ETUDE_CHECK; user-facing
 /// validation happens at the model API boundary.
 ///
+/// Storage is a raw buffer, not a std::vector, so an active execution plan
+/// (tensor/arena.h) can serve it from a pre-sized arena: when
+/// exec::ArenaTryAlloc accepts the request the buffer lives at a
+/// statically assigned offset and the destructor releases nothing — slot
+/// reuse is already encoded in the plan's offsets. Otherwise the buffer
+/// is heap-owned as before.
+///
 /// Every buffer allocation and release is reported to obs::memstats
-/// (logical bytes, numel * sizeof(float)), which feeds the live/peak
-/// tensor-memory gauges on /metrics and the per-op peak-bytes column of
-/// the profiler. -DETUDE_DISABLE_TRACING compiles the accounting out.
+/// (logical bytes, numel * sizeof(float)) regardless of where the buffer
+/// lives, which feeds the live/peak tensor-memory gauges on /metrics and
+/// the per-op peak-bytes column of the profiler. -DETUDE_DISABLE_TRACING
+/// compiles the accounting out.
 class Tensor {
  public:
   /// An empty (rank-0, zero-element) tensor.
@@ -30,50 +40,60 @@ class Tensor {
 
   /// Allocates a zero-initialised tensor of the given shape.
   explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
-    data_.assign(static_cast<size_t>(ComputeNumel(shape_)), 0.0f);
-    obs::memdetail::RecordAlloc(ByteSize());
+    Allocate();
+    std::fill(data_, data_ + numel_, 0.0f);
   }
 
   /// Allocates a tensor of the given shape with explicit contents
   /// (row-major order). `values.size()` must equal the shape's element count.
-  Tensor(std::vector<int64_t> shape, std::vector<float> values)
-      : shape_(std::move(shape)), data_(std::move(values)) {
-    ETUDE_CHECK(static_cast<int64_t>(data_.size()) == ComputeNumel(shape_))
-        << "value count " << data_.size() << " does not match shape";
-    obs::memdetail::RecordAlloc(ByteSize());
+  Tensor(std::vector<int64_t> shape, const std::vector<float>& values)
+      : shape_(std::move(shape)) {
+    ETUDE_CHECK(static_cast<int64_t>(values.size()) == ComputeNumel(shape_))
+        << "value count " << values.size() << " does not match shape";
+    Allocate();
+    std::copy(values.begin(), values.end(), data_);
   }
 
-  Tensor(const Tensor& other)
-      : shape_(other.shape_), data_(other.data_) {
-    obs::memdetail::RecordAlloc(ByteSize());
+  Tensor(const Tensor& other) : shape_(other.shape_) {
+    Allocate();
+    std::copy(other.data_, other.data_ + numel_, data_);
   }
   Tensor& operator=(const Tensor& other) {
     if (this != &other) {
-      obs::memdetail::RecordFree(ByteSize());
+      Release();
       shape_ = other.shape_;
-      data_ = other.data_;
-      obs::memdetail::RecordAlloc(ByteSize());
+      Allocate();
+      std::copy(other.data_, other.data_ + numel_, data_);
     }
     return *this;
   }
   // Moves transfer buffer ownership: nothing is allocated or freed. The
   // source is left empty so its destructor accounts zero bytes.
   Tensor(Tensor&& other) noexcept
-      : shape_(std::move(other.shape_)), data_(std::move(other.data_)) {
+      : shape_(std::move(other.shape_)),
+        data_(other.data_),
+        numel_(other.numel_),
+        arena_(other.arena_) {
     other.shape_.clear();
-    other.data_.clear();
+    other.data_ = nullptr;
+    other.numel_ = 0;
+    other.arena_ = false;
   }
   Tensor& operator=(Tensor&& other) noexcept {
     if (this != &other) {
-      obs::memdetail::RecordFree(ByteSize());
+      Release();
       shape_ = std::move(other.shape_);
-      data_ = std::move(other.data_);
+      data_ = other.data_;
+      numel_ = other.numel_;
+      arena_ = other.arena_;
       other.shape_.clear();
-      other.data_.clear();
+      other.data_ = nullptr;
+      other.numel_ = 0;
+      other.arena_ = false;
     }
     return *this;
   }
-  ~Tensor() { obs::memdetail::RecordFree(ByteSize()); }
+  ~Tensor() { Release(); }
 
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t dim(int i) const {
@@ -81,65 +101,73 @@ class Tensor {
     return shape_[static_cast<size_t>(i)];
   }
   int rank() const { return static_cast<int>(shape_.size()); }
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return numel_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
   float& operator[](int64_t i) {
     ETUDE_DCHECK(i >= 0 && i < numel()) << "flat index out of range";
-    return data_[static_cast<size_t>(i)];
+    return data_[i];
   }
   float operator[](int64_t i) const {
     ETUDE_DCHECK(i >= 0 && i < numel()) << "flat index out of range";
-    return data_[static_cast<size_t>(i)];
+    return data_[i];
   }
 
   /// 2-D element access (row-major). Tensor must have rank 2.
   float& at(int64_t row, int64_t col) {
     ETUDE_DCHECK(rank() == 2) << "at(r,c) requires rank 2";
     ETUDE_DCHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
-    return data_[static_cast<size_t>(row * shape_[1] + col)];
+    return data_[row * shape_[1] + col];
   }
   float at(int64_t row, int64_t col) const {
     ETUDE_DCHECK(rank() == 2) << "at(r,c) requires rank 2";
     ETUDE_DCHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
-    return data_[static_cast<size_t>(row * shape_[1] + col)];
+    return data_[row * shape_[1] + col];
   }
 
   /// 3-D element access (row-major). Tensor must have rank 3.
   float& at(int64_t i, int64_t j, int64_t k) {
     ETUDE_DCHECK(rank() == 3) << "at(i,j,k) requires rank 3";
-    return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
   }
   float at(int64_t i, int64_t j, int64_t k) const {
     ETUDE_DCHECK(rank() == 3) << "at(i,j,k) requires rank 3";
-    return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
   }
 
   /// Sets every element to `value`.
-  void Fill(float value) { data_.assign(data_.size(), value); }
+  void Fill(float value) { std::fill(data_, data_ + numel_, value); }
 
   /// Returns a tensor with the same data reinterpreted under `new_shape`
-  /// (element counts must match).
+  /// (element counts must match). Copies the buffer — the copy is a
+  /// distinct allocation the execution planner accounts as a Reshape
+  /// node, so it must stay one.
   Tensor Reshaped(std::vector<int64_t> new_shape) const {
     ETUDE_CHECK(ComputeNumel(new_shape) == numel())
         << "reshape changes element count";
-    return Tensor(std::move(new_shape), data_);
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.Allocate();
+    std::copy(data_, data_ + numel_, out.data_);
+    return out;
   }
 
   /// Logical bytes of the backing buffer (numel * sizeof(float)).
   int64_t ByteSize() const {
-    return static_cast<int64_t>(data_.size() * sizeof(float));
+    return numel_ * static_cast<int64_t>(sizeof(float));
   }
 
   /// Returns the contiguous row `row` of a rank-2 tensor as a rank-1 copy.
   Tensor Row(int64_t row) const {
     ETUDE_CHECK(rank() == 2) << "Row requires rank 2";
     ETUDE_CHECK(row >= 0 && row < shape_[0]);
-    Tensor out({shape_[1]});
+    Tensor out;
+    out.shape_ = {shape_[1]};
+    out.Allocate();
     const float* src = data() + row * shape_[1];
-    std::copy(src, src + shape_[1], out.data());
+    std::copy(src, src + shape_[1], out.data_);
     return out;
   }
 
@@ -156,8 +184,31 @@ class Tensor {
   }
 
  private:
+  /// Sizes the buffer for shape_, from the active arena script when one
+  /// accepts the request, from the heap otherwise. Contents are
+  /// uninitialised (arena slots are reused); callers fill or copy.
+  void Allocate() {
+    numel_ = ComputeNumel(shape_);
+    if (numel_ > 0) {
+      data_ = exec::ArenaTryAlloc(ByteSize());
+      arena_ = data_ != nullptr;
+      if (!arena_) data_ = new float[static_cast<size_t>(numel_)];
+    }
+    obs::memdetail::RecordAlloc(ByteSize());
+  }
+
+  void Release() {
+    obs::memdetail::RecordFree(ByteSize());
+    if (!arena_) delete[] data_;
+    data_ = nullptr;
+    numel_ = 0;
+    arena_ = false;
+  }
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  float* data_ = nullptr;
+  int64_t numel_ = 0;
+  bool arena_ = false;
 };
 
 /// True when both tensors have identical shape and all elements are within

@@ -9,6 +9,9 @@
 //       --trace-out, the virtual-time spans of the simulated servers and
 //       load generator are written as a Chrome trace-event file; with
 //       --folded-out, as collapsed stacks for flamegraph.pl/speedscope.
+//       With --exec-plan arena, additionally prints the compiled static
+//       execution plan (arena bytes, fusion groups) each deployed worker
+//       would replay for the spec's model and mode.
 //   etude bench-diff BASELINE.json CANDIDATE.json [--threshold PCT]
 //       Compare two BENCH JSON files (bench --json-out output or merged
 //       tools/run_bench.sh suites); exits 3 on regression.
@@ -18,10 +21,13 @@
 //       Emit a synthetic click log (Algorithm 1) as CSV on stdout.
 //   etude profile <model|all> [--mode eager|jit|both] [--catalog C]
 //                 [--requests N] [--seed S] [--trace-out FILE]
+//                 [--exec-plan arena|malloc]
 //       Run real inference on the tensor engine and print the per-op
-//       latency/FLOP breakdown of each model.
+//       latency/FLOP breakdown of each model. --exec-plan arena replays
+//       the compiled arena script instead of per-op heap allocation.
 //   etude serve --model NAME --catalog C [--port P] [--seconds S]
 //               [--metrics-format json|prometheus]
+//               [--mode eager|jit] [--exec-plan arena|malloc]
 //       Start the real HTTP inference server on localhost.
 
 #include <unistd.h>
@@ -44,6 +50,7 @@
 #include "models/model_factory.h"
 #include "obs/chrome_trace.h"
 #include "obs/folded.h"
+#include "obs/memstats.h"
 #include "obs/op_hook.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -96,6 +103,26 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
                    const std::string& name, const std::string& fallback) {
   const auto it = flags.find(name);
   return it == flags.end() ? fallback : it->second;
+}
+
+/// Parses `--exec-plan arena|malloc` (default malloc) into `out`.
+/// Returns false (after reporting) on an invalid value.
+bool ParseExecPlanFlag(const std::map<std::string, std::string>& flags,
+                       etude::models::ExecPlanKind* out) {
+  const std::string value =
+      etude::ToLower(FlagOr(flags, "exec-plan", "malloc"));
+  if (value == "arena") {
+    *out = etude::models::ExecPlanKind::kArena;
+    return true;
+  }
+  if (value == "malloc") {
+    *out = etude::models::ExecPlanKind::kMalloc;
+    return true;
+  }
+  std::fprintf(stderr,
+               "invalid --exec-plan '%s'; expected arena or malloc\n",
+               value.c_str());
+  return false;
 }
 
 /// Applies `--threads N` (tensor-kernel worker count) when present.
@@ -163,16 +190,19 @@ int CmdRun(int argc, char** argv) {
   if (argc < 3 || etude::StartsWith(argv[2], "--")) {
     std::fprintf(stderr,
                  "usage: etude run <spec.json> [--trace-out FILE] "
-                 "[--folded-out FILE]\n");
+                 "[--folded-out FILE] [--exec-plan arena|malloc]\n");
     return 2;
   }
-  const auto flags =
-      ParseFlags(argc, argv, 3, {"trace-out", "folded-out", "threads"});
+  const auto flags = ParseFlags(
+      argc, argv, 3, {"trace-out", "folded-out", "threads", "exec-plan"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
   if (!ApplyThreadsFlag(*flags)) return 2;
+  etude::models::ExecPlanKind exec_plan =
+      etude::models::ExecPlanKind::kMalloc;
+  if (!ParseExecPlanFlag(*flags, &exec_plan)) return 2;
   auto spec = etude::core::LoadBenchmarkSpec(argv[2]);
   if (!spec.ok()) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
@@ -189,6 +219,31 @@ int CmdRun(int argc, char** argv) {
     return 1;
   }
   std::printf("%s\n", report->Summary().c_str());
+  if (exec_plan == etude::models::ExecPlanKind::kArena) {
+    // The deployed benchmark itself runs in virtual time; --exec-plan
+    // arena additionally compiles the static execution plan each deployed
+    // worker would replay for this spec's model and mode, and prints its
+    // footprint (the per-worker transient-memory budget).
+    etude::models::ModelConfig config;
+    config.catalog_size = spec->scenario.catalog_size;
+    config.materialize_embeddings = false;  // cost-only: no [C, d] alloc
+    auto model = etude::models::CreateModel(spec->model, config);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    const int64_t length = (*model)->config().max_session_length;
+    const etude::tensor::ExecutionPlan& plan =
+        (*model)->CompiledPlan(spec->mode, length, length);
+    std::printf(
+        "exec plan (%s, L=%lld): arena %s bytes, %zu allocation events, "
+        "%zu fusion groups, %zu cse reuses\n",
+        spec->mode == etude::models::ExecutionMode::kJit ? "jit" : "eager",
+        static_cast<long long>(length),
+        etude::FormatWithCommas(plan.arena.arena_bytes).c_str(),
+        plan.arena.bytes.size(), plan.fusion_groups.size(),
+        plan.cse.size());
+  }
   if (!trace_out.empty()) {
     const int rc = WriteTraceFile(trace_out);
     if (rc != 0) return rc;
@@ -284,7 +339,8 @@ int CmdGenerate(int argc, char** argv) {
 /// Profiles one (model, mode) pair: runs `requests` real inference
 /// requests with the per-op profiler attached and prints the breakdown.
 int ProfileOne(etude::models::ModelKind kind,
-               etude::models::ExecutionMode mode, int64_t catalog,
+               etude::models::ExecutionMode mode,
+               etude::models::ExecPlanKind plan, int64_t catalog,
                int requests, uint64_t seed) {
   etude::models::ModelConfig config;
   config.catalog_size = catalog;
@@ -306,18 +362,21 @@ int ProfileOne(etude::models::ModelKind kind,
     if (!session.items.empty()) sessions.push_back(std::move(session.items));
   }
 
+  const etude::models::ExecOptions options{mode, plan};
   const bool jit_fallback = mode == etude::models::ExecutionMode::kJit &&
                             !(*model)->jit_compatible();
   std::string header = "== " + std::string((*model)->name()) +
                        (mode == etude::models::ExecutionMode::kJit
                             ? " (jit"
                             : " (eager");
+  if (plan == etude::models::ExecPlanKind::kArena) header += ", arena";
   if (jit_fallback) header += " -> eager fallback: not jit-compatible";
   header += ") ==";
 
-  // Warm up caches and allocators outside the profiled window.
+  // Warm up caches, allocators and the compiled-plan cache outside the
+  // profiled window.
   for (int i = 0; i < 4; ++i) {
-    auto rec = (*model)->Recommend(sessions[i % sessions.size()]);
+    auto rec = (*model)->Recommend(sessions[i % sessions.size()], options);
     if (!rec.ok()) {
       std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
       return 1;
@@ -329,7 +388,7 @@ int ProfileOne(etude::models::ModelKind kind,
     etude::obs::ScopedOpSink sink(&profile);
     for (int i = 0; i < requests; ++i) {
       ETUDE_TRACE_SPAN("recommend", "inference");
-      auto rec = (*model)->Recommend(sessions[i % sessions.size()]);
+      auto rec = (*model)->Recommend(sessions[i % sessions.size()], options);
       if (!rec.ok()) {
         std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
         return 1;
@@ -366,6 +425,18 @@ int ProfileOne(etude::models::ModelKind kind,
               static_cast<long long>((*model)->config().embedding_dim),
               requests,
               static_cast<double>(profile.TotalNs()) / 1e3 / requests);
+  if (plan == etude::models::ExecPlanKind::kArena) {
+    // Arena stats of the last request on this thread: how much of the
+    // compiled script the runtime replayed (fallbacks should be 0).
+    const etude::obs::ArenaMemStats arena = etude::obs::ThreadArenaStats();
+    std::printf(
+        "arena: %s bytes planned, high water %s, %lld allocs served, "
+        "%lld heap fallbacks\n",
+        etude::FormatWithCommas(arena.planned_bytes).c_str(),
+        etude::FormatWithCommas(arena.high_water_bytes).c_str(),
+        static_cast<long long>(arena.served_allocs),
+        static_cast<long long>(arena.fallback_allocs));
+  }
   std::printf("%s\n", profile.ToText(static_flops).c_str());
   return 0;
 }
@@ -375,13 +446,14 @@ int CmdProfile(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: etude profile <model|all> [--mode eager|jit|both] "
                  "[--catalog C] [--requests N] [--seed S] "
-                 "[--trace-out FILE] [--folded-out FILE]\n");
+                 "[--trace-out FILE] [--folded-out FILE] "
+                 "[--exec-plan arena|malloc]\n");
     return 2;
   }
   const auto flags =
       ParseFlags(argc, argv, 3,
                  {"mode", "catalog", "requests", "seed", "trace-out",
-                  "folded-out", "threads"});
+                  "folded-out", "threads", "exec-plan"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -424,6 +496,8 @@ int CmdProfile(int argc, char** argv) {
     std::fprintf(stderr, "--requests must be >= 1\n");
     return 2;
   }
+  etude::models::ExecPlanKind plan = etude::models::ExecPlanKind::kMalloc;
+  if (!ParseExecPlanFlag(*flags, &plan)) return 2;
   const std::string trace_out = FlagOr(*flags, "trace-out", "");
   const std::string folded_out = FlagOr(*flags, "folded-out", "");
   if (!trace_out.empty() || !folded_out.empty()) {
@@ -432,7 +506,7 @@ int CmdProfile(int argc, char** argv) {
 
   for (const auto kind : kinds) {
     for (const auto mode : modes) {
-      const int rc = ProfileOne(kind, mode, catalog, requests, seed);
+      const int rc = ProfileOne(kind, mode, plan, catalog, requests, seed);
       if (rc != 0) return rc;
     }
   }
@@ -448,9 +522,10 @@ int CmdProfile(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  const auto flags = ParseFlags(
-      argc, argv, 2,
-      {"model", "catalog", "port", "seconds", "metrics-format", "threads"});
+  const auto flags = ParseFlags(argc, argv, 2,
+                                {"model", "catalog", "port", "seconds",
+                                 "metrics-format", "threads", "mode",
+                                 "exec-plan"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -479,6 +554,15 @@ int CmdServe(int argc, char** argv) {
                  format.c_str());
     return 2;
   }
+  const std::string mode = etude::ToLower(FlagOr(*flags, "mode", "eager"));
+  if (mode == "jit") {
+    serve_config.exec.mode = etude::models::ExecutionMode::kJit;
+  } else if (mode != "eager") {
+    std::fprintf(stderr, "invalid --mode '%s'; expected eager or jit\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (!ParseExecPlanFlag(*flags, &serve_config.exec.plan)) return 2;
   etude::serving::EtudeServe serve(model->get(), serve_config);
   const etude::Status status = serve.Start();
   if (!status.ok()) {
@@ -517,8 +601,10 @@ int Usage() {
       "  scenarios                          list built-in scenarios\n"
       "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
       "      [--folded-out F] [--threads N] write a Chrome trace-event file\n"
-      "                                     or collapsed flamegraph stacks\n"
-      "                                     of the simulated execution\n"
+      "      [--exec-plan arena|malloc]     or collapsed flamegraph stacks\n"
+      "                                     of the simulated execution;\n"
+      "                                     arena prints the compiled\n"
+      "                                     per-worker execution plan\n"
       "  plan --catalog C --rps R           cost-efficient search\n"
       "       [--p90 MS] [--max-replicas N]\n"
       "  generate --catalog C --clicks N    synthetic click log\n"
@@ -526,9 +612,10 @@ int Usage() {
       "  profile <model|all>                per-op inference breakdown\n"
       "       [--mode eager|jit|both] [--catalog C] [--requests N]\n"
       "       [--seed S] [--trace-out F] [--folded-out F] [--threads N]\n"
+      "       [--exec-plan arena|malloc]\n"
       "  serve --model M --catalog C        real HTTP server\n"
       "       [--port P] [--seconds S] [--metrics-format json|prometheus]\n"
-      "       [--threads N]\n"
+      "       [--threads N] [--mode eager|jit] [--exec-plan arena|malloc]\n"
       "  bench-diff BASE.json CAND.json     diff two BENCH files; exit 3\n"
       "       [--threshold PCT] [--stat S]  on regression beyond threshold\n"
       "       [--fail-on-missing] [--all]\n"
@@ -537,7 +624,10 @@ int Usage() {
       "default and Prometheus text format under `Accept: text/plain` (or\n"
       "`?format=prometheus`); --metrics-format sets the default.\n"
       "--threads N sets the tensor-kernel worker count (default: the\n"
-      "ETUDE_NUM_THREADS environment variable, else all hardware threads).\n");
+      "ETUDE_NUM_THREADS environment variable, else all hardware threads).\n"
+      "--exec-plan arena replays the statically compiled arena script\n"
+      "(zero per-op heap allocation, fused kernels under jit); malloc is\n"
+      "the default per-op allocating path.\n");
   return 2;
 }
 

@@ -5,13 +5,21 @@
 // no weights, no requests and no benchmark run.
 //
 // With --report, additionally prints the per-model x per-mode plan table
-// (op count, peak-memory and FLOP polynomials) plus every diagnostic the
-// analysis passes emit — including the structural reason LightSANs falls
-// back to eager under JIT. --json PATH writes the machine-readable report;
-// --golden PATH diffs it against a committed golden file and fails on
-// drift.
+// (op count, peak-memory and FLOP polynomials, compiled arena bytes,
+// fusion groups) plus every diagnostic the analysis passes emit —
+// including the structural reason LightSANs falls back to eager under
+// JIT. --json PATH writes the machine-readable report; --golden PATH
+// diffs it against a committed golden file and fails on drift
+// (--update-golden rewrites it in place instead).
 //
-// Usage: lint_models [--verbose] [--report] [--json PATH] [--golden PATH]
+// --strict promotes kWarning diagnostics in *JIT-mode* plans to a nonzero
+// exit: the JIT plan is what the execution planner deduplicates, so a
+// surviving CSE warning there means a hoist was missed. Eager plans keep
+// their warnings — they are faithful reproductions of upstream RecBole
+// dispatch sequences.
+//
+// Usage: lint_models [--verbose] [--report] [--strict] [--json PATH]
+//                    [--golden PATH] [--update-golden]
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +32,7 @@
 #include "models/model_factory.h"
 #include "models/plan_report.h"
 #include "models/session_model.h"
+#include "tensor/plan_analysis.h"
 
 namespace {
 
@@ -55,7 +64,7 @@ int DiffAgainstGolden(const std::string& path) {
   }
   std::fprintf(stderr,
                "lint_models: plan report drifted from %s (%zu paths).\n"
-               "Regenerate with: lint_models --json %s\n",
+               "Regenerate with: lint_models --golden %s --update-golden\n",
                path.c_str(), diffs.size(), path.c_str());
   for (const std::string& diff : diffs) {
     std::fprintf(stderr, "  %s\n", diff.c_str());
@@ -68,6 +77,8 @@ int DiffAgainstGolden(const std::string& path) {
 int main(int argc, char** argv) {
   bool verbose = false;
   bool report = false;
+  bool strict = false;
+  bool update_golden = false;
   std::string json_path;
   std::string golden_path;
   for (int i = 1; i < argc; ++i) {
@@ -75,17 +86,25 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (std::strcmp(argv[i], "--report") == 0) {
       report = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--update-golden") == 0) {
+      update_golden = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc) {
       golden_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--verbose] [--report] [--json PATH] "
-                   "[--golden PATH]\n",
+                   "usage: %s [--verbose] [--report] [--strict] "
+                   "[--json PATH] [--golden PATH] [--update-golden]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (update_golden && golden_path.empty()) {
+    std::fprintf(stderr, "lint_models: --update-golden requires --golden\n");
+    return 2;
   }
 
   // The lint is independent of concrete sizes, but exercise several
@@ -137,6 +156,24 @@ int main(int argc, char** argv) {
                     std::string((*model)->name()).c_str(),
                     (*model)->jit_incompatibility_reason().c_str());
       }
+      // --strict: a kWarning (duplicated dispatch) surviving in the JIT
+      // plan means the execution planner missed a hoist. The diagnostics
+      // are symbolic, so checking one catalog size covers all of them.
+      if (strict && catalog == catalog_sizes.front()) {
+        const etude::tensor::PlanGraph jit_plan =
+            (*model)->BuildPlan(etude::models::ExecutionMode::kJit);
+        for (const etude::tensor::PlanDiagnostic& diag :
+             etude::tensor::AnalyzePlan(jit_plan)) {
+          if (diag.severity !=
+              etude::tensor::PlanDiagnostic::Severity::kWarning) {
+            continue;
+          }
+          ++failures;
+          std::fprintf(stderr, "FAIL %s jit (--strict): %s\n",
+                       std::string((*model)->name()).c_str(),
+                       diag.ToString().c_str());
+        }
+      }
     }
   }
 
@@ -159,6 +196,18 @@ int main(int argc, char** argv) {
     }
     out << etude::models::PlanReportJson().Dump() << "\n";
     std::printf("lint_models: wrote plan report to %s\n", json_path.c_str());
+  }
+  if (update_golden) {
+    std::ofstream out(golden_path);
+    if (!out) {
+      std::fprintf(stderr, "lint_models: cannot write %s\n",
+                   golden_path.c_str());
+      return 1;
+    }
+    out << etude::models::PlanReportJson().Dump() << "\n";
+    std::printf("lint_models: updated golden plan report %s\n",
+                golden_path.c_str());
+    return 0;
   }
   if (!golden_path.empty()) {
     return DiffAgainstGolden(golden_path);

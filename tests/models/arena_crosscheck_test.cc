@@ -1,0 +1,157 @@
+// Runtime cross-checks of the static execution planner (tensor/plan_exec)
+// against the arena executor (tensor/arena), for every model in both
+// execution modes:
+//
+//  1. Exact arena equality — running Recommend under ExecPlanKind::kArena
+//     must serve *every* allocation from the compiled script (zero heap
+//     fallbacks, served count == script event count) and reach a runtime
+//     high-water mark exactly equal to the statically computed arena size
+//     (obs::ThreadArenaStats). Any drift means the planner's replay of
+//     tensor/ops.cc allocation behaviour is wrong.
+//
+//  2. Bit identity — the planned paths (arena, and the jit fused/CSE'd
+//     dispatch) must return exactly the items and bit-identical scores of
+//     the unplanned eager/malloc reference. The fused kernels were written
+//     to preserve the unfused arithmetic order, so this is exact float
+//     equality, not a tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "models/model_factory.h"
+#include "models/session_model.h"
+#include "obs/memstats.h"
+#include "tensor/plan_exec.h"
+
+namespace etude::models {
+namespace {
+
+struct ConcreteConfig {
+  int64_t catalog;
+  int64_t embedding_dim;  // 0 = paper heuristic ceil(C^(1/4))
+};
+
+// Heuristic d at a small catalog, explicit d at a larger one — the same
+// pair the FLOP/peak cross-checks use (plan_crosscheck_test.cc).
+const ConcreteConfig kConfigs[] = {{3000, 0}, {6000, 24}};
+
+// Mixed shapes: short distinct, repeated single item (unique count <
+// length), longer than the max window (exercises truncation).
+std::vector<std::vector<int64_t>> TestSessions(int64_t catalog) {
+  std::vector<int64_t> longer;
+  for (int64_t i = 0; i < 60; ++i) longer.push_back((i * 37 + 11) % catalog);
+  return {{1, 2, 3}, {7, 7, 7, 7}, longer};
+}
+
+std::vector<int64_t> Window(const std::vector<int64_t>& session,
+                            int64_t max_len) {
+  const size_t start = session.size() > static_cast<size_t>(max_len)
+                           ? session.size() - static_cast<size_t>(max_len)
+                           : 0;
+  return {session.begin() + static_cast<ptrdiff_t>(start), session.end()};
+}
+
+class ArenaCrossCheckTest
+    : public ::testing::TestWithParam<std::tuple<ModelKind, ExecutionMode>> {
+ protected:
+  static ModelKind Kind() { return std::get<0>(GetParam()); }
+  static ExecutionMode Mode() { return std::get<1>(GetParam()); }
+
+  static std::unique_ptr<SessionModel> MakeModel(const ConcreteConfig& cc) {
+    ModelConfig config;
+    config.catalog_size = cc.catalog;
+    config.embedding_dim = cc.embedding_dim;
+    auto model = CreateModel(Kind(), config);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+};
+
+TEST_P(ArenaCrossCheckTest, StaticArenaSizeEqualsRuntimeHighWaterExactly) {
+  for (const ConcreteConfig& cc : kConfigs) {
+    auto model = MakeModel(cc);
+    ASSERT_NE(model, nullptr);
+    for (const auto& session : TestSessions(cc.catalog)) {
+      const auto window =
+          Window(session, model->config().max_session_length);
+      // The plan Recommend compiles (and caches) for this request shape:
+      // jit falls back to eager for jit-incompatible models.
+      const ExecutionMode effective =
+          Mode() == ExecutionMode::kJit && !model->jit_compatible()
+              ? ExecutionMode::kEager
+              : Mode();
+      const tensor::ExecutionPlan& plan = model->CompiledPlan(
+          effective, static_cast<int64_t>(window.size()),
+          static_cast<int64_t>(
+              std::set<int64_t>(window.begin(), window.end()).size()));
+
+      auto rec =
+          model->Recommend(session, ExecOptions{Mode(), ExecPlanKind::kArena});
+      ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+
+      const obs::ArenaMemStats stats = obs::ThreadArenaStats();
+      EXPECT_EQ(stats.fallback_allocs, 0)
+          << model->name() << " C=" << cc.catalog << " L=" << window.size()
+          << ": runtime deviated from the compiled script";
+      EXPECT_EQ(stats.served_allocs,
+                static_cast<int64_t>(plan.arena.bytes.size()))
+          << model->name() << " C=" << cc.catalog << " L=" << window.size();
+      EXPECT_EQ(stats.planned_bytes, plan.arena.arena_bytes);
+      EXPECT_EQ(stats.high_water_bytes, plan.arena.arena_bytes)
+          << model->name() << " C=" << cc.catalog << " L=" << window.size()
+          << ": static arena size must equal the runtime high-water mark"
+             " exactly";
+    }
+  }
+}
+
+TEST_P(ArenaCrossCheckTest, PlannedExecutionIsBitIdenticalToReference) {
+  for (const ConcreteConfig& cc : kConfigs) {
+    auto model = MakeModel(cc);
+    ASSERT_NE(model, nullptr);
+    for (const auto& session : TestSessions(cc.catalog)) {
+      // Unplanned reference: eager dispatch, per-op heap allocation.
+      auto reference = model->Recommend(
+          session, ExecOptions{ExecutionMode::kEager, ExecPlanKind::kMalloc});
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      auto planned =
+          model->Recommend(session, ExecOptions{Mode(), ExecPlanKind::kArena});
+      ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+
+      ASSERT_EQ(planned->items.size(), reference->items.size());
+      for (size_t i = 0; i < reference->items.size(); ++i) {
+        EXPECT_EQ(planned->items[i], reference->items[i])
+            << model->name() << " C=" << cc.catalog << " rank " << i;
+        // Exact equality: the fused kernels and the arena executor must
+        // not perturb a single bit of the reference arithmetic.
+        EXPECT_EQ(planned->scores[i], reference->scores[i])
+            << model->name() << " C=" << cc.catalog << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsBothModes, ArenaCrossCheckTest,
+    ::testing::Combine(::testing::ValuesIn(AllModelKinds()),
+                       ::testing::Values(ExecutionMode::kEager,
+                                         ExecutionMode::kJit)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ModelKind, ExecutionMode>>& info) {
+      std::string name{ModelKindToString(std::get<0>(info.param))};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += std::get<1>(info.param) == ExecutionMode::kJit ? "_jit"
+                                                             : "_eager";
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::models

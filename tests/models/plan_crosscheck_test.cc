@@ -109,7 +109,10 @@ TEST_P(PlanCrossCheckTest, StaticFlopsMatchRuntimeExactly) {
     {
       obs::ScopedOpSink attach(&profile);
       for (const auto& session : sessions) {
-        auto rec = model->Recommend(session);
+        // Execute under the same mode the plan was traced for (JIT
+        // dispatches the fused kernels the jit plan records).
+        auto rec = model->Recommend(
+            session, ExecOptions{Mode(), ExecPlanKind::kMalloc});
         ASSERT_TRUE(rec.ok()) << rec.status().ToString();
       }
     }
@@ -148,7 +151,8 @@ TEST_P(PlanCrossCheckTest, StaticPeakUpperBoundsRuntimePeak) {
 
       obs::ResetPeakLiveBytes();
       const int64_t live_before = obs::ProcessMemStats().live_bytes;
-      auto rec = model->Recommend(session);
+      auto rec = model->Recommend(
+          session, ExecOptions{Mode(), ExecPlanKind::kMalloc});
       ASSERT_TRUE(rec.ok()) << rec.status().ToString();
       const int64_t transient =
           obs::ProcessMemStats().peak_live_bytes - live_before;
