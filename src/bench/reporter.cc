@@ -40,6 +40,23 @@ BenchEnv BenchEnv::Capture() {
   return env;
 }
 
+namespace {
+
+JsonValue SummaryToJson(const metrics::LatencyHistogram::Summary& summary) {
+  JsonValue stats = JsonValue::MakeObject();
+  stats.Set("count", JsonValue(summary.count));
+  stats.Set("sum", JsonValue(summary.sum));
+  stats.Set("min", JsonValue(summary.min));
+  stats.Set("mean", JsonValue(summary.mean));
+  stats.Set("p50", JsonValue(summary.p50));
+  stats.Set("p90", JsonValue(summary.p90));
+  stats.Set("p99", JsonValue(summary.p99));
+  stats.Set("max", JsonValue(summary.max));
+  return stats;
+}
+
+}  // namespace
+
 void BenchReporter::AddValue(const std::string& name, const std::string& unit,
                              const Params& params, Direction direction,
                              double value) {
@@ -52,16 +69,35 @@ void BenchReporter::AddSummary(
     const std::string& name, const std::string& unit, const Params& params,
     Direction direction, const metrics::LatencyHistogram::Summary& summary) {
   JsonValue series = SeriesHeader(name, unit, params, direction);
-  JsonValue stats = JsonValue::MakeObject();
-  stats.Set("count", JsonValue(summary.count));
-  stats.Set("sum", JsonValue(summary.sum));
-  stats.Set("min", JsonValue(summary.min));
-  stats.Set("mean", JsonValue(summary.mean));
-  stats.Set("p50", JsonValue(summary.p50));
-  stats.Set("p90", JsonValue(summary.p90));
-  stats.Set("p99", JsonValue(summary.p99));
-  stats.Set("max", JsonValue(summary.max));
-  series.Set("summary", std::move(stats));
+  series.Set("summary", SummaryToJson(summary));
+  series_.Append(std::move(series));
+}
+
+void BenchReporter::AddTimeline(const std::string& name,
+                                const std::string& unit, const Params& params,
+                                Direction direction,
+                                const metrics::TimeSeriesRecorder& timeline) {
+  JsonValue series = SeriesHeader(name, unit, params, direction);
+  // The aggregate across all ticks keeps the series diffable by
+  // bench_diff, which requires either "value" or "summary". Merged
+  // percentiles inherit the bucket-upper-bound over-estimate (< 1.6%).
+  series.Set("summary", SummaryToJson(timeline.AggregateLatencies().Summarize()));
+  JsonValue ticks = JsonValue::MakeArray();
+  for (const metrics::TickStats& tick : timeline.ticks()) {
+    const metrics::LatencyHistogram::Summary summary =
+        tick.latencies.Summarize();
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("tick", JsonValue(tick.tick));
+    entry.Set("sent", JsonValue(tick.requests_sent));
+    entry.Set("ok", JsonValue(tick.responses_ok));
+    entry.Set("errors", JsonValue(tick.responses_error));
+    entry.Set("p50", JsonValue(summary.p50));
+    entry.Set("p90", JsonValue(summary.p90));
+    entry.Set("p99", JsonValue(summary.p99));
+    entry.Set("mean", JsonValue(summary.mean));
+    ticks.Append(std::move(entry));
+  }
+  series.Set("timeline", std::move(ticks));
   series_.Append(std::move(series));
 }
 

@@ -9,6 +9,7 @@
 #include "common/json.h"
 #include "common/status.h"
 #include "metrics/histogram.h"
+#include "metrics/timeseries.h"
 
 namespace etude::bench {
 
@@ -59,6 +60,17 @@ class BenchReporter {
   void AddSummary(const std::string& name, const std::string& unit,
                   const Params& params, Direction direction,
                   const metrics::LatencyHistogram::Summary& summary);
+
+  /// Adds a per-second timeline series. The series carries both the
+  /// whole-run "summary" (the aggregate latency distribution — this is
+  /// what bench_diff compares, so timeline series stay diffable) and an
+  /// additive "timeline" array with one entry per one-second tick:
+  /// {tick, sent, ok, errors, p50, p90, p99, mean}. Older readers that
+  /// only understand "summary" ignore the extra field, so the document's
+  /// schema_version stays 1.
+  void AddTimeline(const std::string& name, const std::string& unit,
+                   const Params& params, Direction direction,
+                   const metrics::TimeSeriesRecorder& timeline);
 
   size_t series_count() const { return series_.items().size(); }
   const std::string& binary() const { return binary_; }

@@ -1,0 +1,246 @@
+#include "loadgen/http_load.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "bench/reporter.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_annotations.h"
+#include "net/http_client.h"
+
+namespace etude::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string SessionBody(const std::vector<int64_t>& items) {
+  std::string body = "{\"session\":[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) body += ',';
+    body += std::to_string(items[i]);
+  }
+  body += "]}";
+  return body;
+}
+
+/// State shared by the worker connections.
+struct SharedState {
+  // Pacer: the Poisson arrival schedule, drawn on demand. Workers take
+  // the next arrival under this mutex; contention is one exponential
+  // draw per request.
+  Mutex pace_mutex;
+  double next_arrival_us ETUDE_GUARDED_BY(pace_mutex) = 0;
+  Rng rng ETUDE_GUARDED_BY(pace_mutex){0};
+  size_t body_index ETUDE_GUARDED_BY(pace_mutex) = 0;
+
+  // Results: one record per completed (or failed) request.
+  Mutex result_mutex;
+  metrics::TimeSeriesRecorder timeline ETUDE_GUARDED_BY(result_mutex);
+  metrics::LatencyHistogram server_inference_us
+      ETUDE_GUARDED_BY(result_mutex);
+  std::vector<SlowRequest> slowest ETUDE_GUARDED_BY(result_mutex);
+};
+
+}  // namespace
+
+HttpLoadGenerator::HttpLoadGenerator(const HttpLoadConfig& config)
+    : config_(config) {}
+
+Status HttpLoadGenerator::WaitReady(const std::string& host, uint16_t port,
+                                    double wait_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(wait_s));
+  std::string last_error = "never probed";
+  do {
+    net::HttpClient client(host, port, /*timeout_s=*/1.0);
+    const Result<net::HttpClientResponse> response =
+        client.Request("GET", "/healthz");
+    if (response.ok() && response->status == 200) return Status::OK();
+    last_error = response.ok()
+                     ? "/healthz answered " + std::to_string(response->status)
+                     : response.status().ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } while (Clock::now() < deadline);
+  return Status::Unavailable("server " + host + ":" + std::to_string(port) +
+                             " not ready after " + std::to_string(wait_s) +
+                             "s: " + last_error);
+}
+
+Result<HttpLoadResult> HttpLoadGenerator::Run() {
+  if (config_.target_rps <= 0) {
+    return Status::InvalidArgument("target_rps must be > 0");
+  }
+  if (config_.duration_s <= 0) {
+    return Status::InvalidArgument("duration_s must be > 0");
+  }
+  if (config_.concurrency < 1) {
+    return Status::InvalidArgument("concurrency must be >= 1");
+  }
+  if (config_.route.empty() || config_.route.front() != '/') {
+    return Status::InvalidArgument("route must start with '/'");
+  }
+
+  // Synthetic sessions, pre-serialised so the send path allocates
+  // nothing workload-related.
+  auto generator = workload::SessionGenerator::Create(
+      config_.catalog_size, config_.stats, config_.seed);
+  if (!generator.ok()) return generator.status();
+  std::vector<std::string> bodies;
+  bodies.reserve(256);
+  while (bodies.size() < 256) {
+    workload::Session session = generator->NextSession();
+    if (!session.items.empty()) bodies.push_back(SessionBody(session.items));
+  }
+
+  // Fail fast when the target is unreachable, before spawning workers.
+  {
+    net::HttpClient probe(config_.host, config_.port, config_.timeout_s);
+    const Status reachable = probe.Connect();
+    if (!reachable.ok()) return reachable;
+  }
+
+  SharedState shared;
+  {
+    MutexLock lock(shared.pace_mutex);
+    shared.rng.Seed(config_.seed * 0x9E3779B97F4A7C15ULL + 1);
+    // First arrival is one exponential gap in, not at t=0, so every
+    // arrival including the first is Poisson.
+    shared.next_arrival_us = -std::log(shared.rng.NextDoublePositive()) *
+                             1e6 / config_.target_rps;
+  }
+
+  const double duration_us = config_.duration_s * 1e6;
+  const double mean_gap_us = 1e6 / config_.target_rps;
+  const size_t slowest_keep = static_cast<size_t>(
+      std::max(0, config_.slowest_keep));
+  const auto start = Clock::now();
+
+  auto worker = [&]() {
+    net::HttpClient client(config_.host, config_.port, config_.timeout_s);
+    while (true) {
+      double arrival_us = 0;
+      const std::string* body = nullptr;
+      {
+        MutexLock lock(shared.pace_mutex);
+        arrival_us = shared.next_arrival_us;
+        shared.next_arrival_us +=
+            -std::log(shared.rng.NextDoublePositive()) * mean_gap_us;
+        body = &bodies[shared.body_index++ % bodies.size()];
+      }
+      if (arrival_us >= duration_us) break;
+      const auto scheduled =
+          start + std::chrono::microseconds(
+                      static_cast<int64_t>(arrival_us));
+      std::this_thread::sleep_until(scheduled);
+
+      const Result<net::HttpClientResponse> response =
+          client.Request("POST", config_.route, *body);
+      // Open-loop latency: from the scheduled arrival, so time spent
+      // waiting for a free worker or socket counts against the server.
+      const int64_t latency_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - scheduled)
+              .count();
+      const int64_t tick = static_cast<int64_t>(arrival_us / 1e6);
+      const bool ok = response.ok() && response->status == 200;
+      int64_t inference_us = -1;
+      std::string trace_id;
+      if (response.ok()) {
+        const std::string header = response->Header("x-inference-us");
+        if (!header.empty()) inference_us = std::atoll(header.c_str());
+        trace_id = response->Header("x-trace-id");
+      }
+
+      MutexLock lock(shared.result_mutex);
+      shared.timeline.RecordRequest(tick);
+      shared.timeline.RecordResponse(tick, latency_us, ok);
+      if (inference_us >= 0) {
+        shared.server_inference_us.Record(inference_us);
+      }
+      if (slowest_keep > 0) {
+        if (shared.slowest.size() < slowest_keep) {
+          shared.slowest.push_back(
+              SlowRequest{latency_us, tick, std::move(trace_id)});
+        } else {
+          auto slot = std::min_element(
+              shared.slowest.begin(), shared.slowest.end(),
+              [](const SlowRequest& a, const SlowRequest& b) {
+                return a.latency_us < b.latency_us;
+              });
+          if (slot->latency_us < latency_us) {
+            *slot = SlowRequest{latency_us, tick, std::move(trace_id)};
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(config_.concurrency));
+  for (int i = 0; i < config_.concurrency; ++i) {
+    workers.emplace_back(worker);
+  }
+  for (std::thread& thread : workers) thread.join();
+
+  HttpLoadResult result;
+  {
+    MutexLock lock(shared.result_mutex);
+    result.timeline = shared.timeline;
+    result.server_inference_us = shared.server_inference_us;
+    result.slowest = shared.slowest;
+  }
+  std::sort(result.slowest.begin(), result.slowest.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              return a.latency_us > b.latency_us;
+            });
+  result.target_rps = config_.target_rps;
+  result.duration_s = config_.duration_s;
+  result.total_requests = result.timeline.TotalRequests();
+  result.total_ok = result.timeline.TotalOk();
+  result.total_errors = result.timeline.TotalErrors();
+  result.achieved_rps =
+      static_cast<double>(result.total_ok) / config_.duration_s;
+  return result;
+}
+
+JsonValue LoadTimelineJson(const HttpLoadConfig& config,
+                           const HttpLoadResult& result) {
+  bench::BenchReporter reporter("etude_loadtest", bench::BenchEnv::Capture());
+  const bench::Params params = {
+      {"route", config.route},
+      {"rps", FormatDouble(config.target_rps, 1)},
+      {"concurrency", std::to_string(config.concurrency)},
+  };
+  reporter.AddTimeline("loadtest_latency_us", "us", params,
+                       bench::Direction::kLowerIsBetter, result.timeline);
+  reporter.AddSummary("loadtest_server_inference_us", "us", params,
+                      bench::Direction::kLowerIsBetter,
+                      result.server_inference_us.Summarize());
+  reporter.AddValue("loadtest_achieved_rps", "req/s", params,
+                    bench::Direction::kHigherIsBetter, result.achieved_rps);
+  reporter.AddValue("loadtest_errors", "count", params,
+                    bench::Direction::kInfo,
+                    static_cast<double>(result.total_errors));
+  JsonValue doc = reporter.ToJson();
+  // Correlation hook into the server's tail exemplars: the slowest
+  // client-observed requests with their server-side trace ids.
+  JsonValue slowest = JsonValue::MakeArray();
+  for (const SlowRequest& request : result.slowest) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("latency_us", JsonValue(request.latency_us));
+    entry.Set("tick", JsonValue(request.tick));
+    entry.Set("trace_id", JsonValue(request.trace_id));
+    slowest.Append(std::move(entry));
+  }
+  doc.Set("slowest", std::move(slowest));
+  return doc;
+}
+
+}  // namespace etude::loadgen

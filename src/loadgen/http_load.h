@@ -1,0 +1,98 @@
+#ifndef ETUDE_LOADGEN_HTTP_LOAD_H_
+#define ETUDE_LOADGEN_HTTP_LOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "metrics/histogram.h"
+#include "metrics/timeseries.h"
+#include "workload/session_generator.h"
+
+namespace etude::loadgen {
+
+/// Configuration of the real-server load harness: an open-loop client
+/// driving a live `etude serve` instance over sockets (in contrast to
+/// `LoadGenerator`, which drives the DES simulator in virtual time).
+struct HttpLoadConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Prediction route, e.g. "/predictions/gru4rec".
+  std::string route;
+  // Poisson arrival process: exponential inter-arrival times at this mean
+  // rate. Open loop — arrivals are scheduled independently of responses,
+  // so server slowdown shows up as client-side latency, not reduced load.
+  double target_rps = 100;
+  double duration_s = 10;
+  // Worker connections. Each worker owns one keep-alive connection; an
+  // arrival is dispatched by the first idle worker. When all workers are
+  // busy, the arrival waits (its wait is *included* in its recorded
+  // latency — the open-loop convention, which is what makes queueing
+  // visible).
+  int concurrency = 4;
+  // Synthetic sessions replayed as request bodies (Algorithm 1).
+  int64_t catalog_size = 10000;
+  workload::WorkloadStats stats;
+  uint64_t seed = 17;
+  double timeout_s = 5.0;
+  // Client-observed slowest requests retained (with their server
+  // x-trace-id, so the server's /debug/tail-traces can be correlated).
+  int slowest_keep = 8;
+};
+
+/// One of the slowest client-observed requests of the run.
+struct SlowRequest {
+  int64_t latency_us = 0;
+  int64_t tick = 0;
+  std::string trace_id;  // server-reported x-trace-id
+};
+
+/// Outcome of one load-harness run.
+struct HttpLoadResult {
+  // Per-second client-side wall latency/throughput/error timeline,
+  // latency measured from the *scheduled arrival* to response completion.
+  metrics::TimeSeriesRecorder timeline;
+  // Server-reported inference time (x-inference-us header): subtracting
+  // this from the client latency attributes the remainder to network,
+  // HTTP framing and queueing.
+  metrics::LatencyHistogram server_inference_us;
+  std::vector<SlowRequest> slowest;  // descending by latency
+
+  double target_rps = 0;
+  double duration_s = 0;
+  int64_t total_requests = 0;
+  int64_t total_ok = 0;
+  int64_t total_errors = 0;
+  double achieved_rps = 0;
+};
+
+/// The run rendered as a schema-versioned BENCH JSON document (through
+/// bench::BenchReporter): a "loadtest_latency_us" series carrying both the
+/// whole-run summary and the per-second "timeline" array, plus
+/// server-inference and throughput series. See docs/benchmarking.md.
+JsonValue LoadTimelineJson(const HttpLoadConfig& config,
+                           const HttpLoadResult& result);
+
+/// The open-loop socket load generator.
+class HttpLoadGenerator {
+ public:
+  explicit HttpLoadGenerator(const HttpLoadConfig& config);
+
+  /// Blocks for ~duration_s driving the target server, then returns the
+  /// aggregated result. Fails if the server is unreachable at start or the
+  /// configuration is invalid.
+  Result<HttpLoadResult> Run();
+
+  /// Polls GET /healthz until it answers 200 or `wait_s` elapses.
+  static Status WaitReady(const std::string& host, uint16_t port,
+                          double wait_s);
+
+ private:
+  HttpLoadConfig config_;
+};
+
+}  // namespace etude::loadgen
+
+#endif  // ETUDE_LOADGEN_HTTP_LOAD_H_

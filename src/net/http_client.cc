@@ -1,0 +1,176 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace etude::net {
+
+namespace {
+timeval ToTimeval(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  return tv;
+}
+}  // namespace
+
+std::string HttpClientResponse::Header(const std::string& name) const {
+  const auto it = headers.find(ToLower(name));
+  return it == headers.end() ? "" : it->second;
+}
+
+HttpClient::HttpClient(std::string host, uint16_t port, double timeout_s)
+    : host_(std::move(host)), port_(port), timeout_s_(timeout_s) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Unavailable("socket(): " +
+                               std::string(std::strerror(errno)));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &address.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("not an IPv4 address: " + host_);
+  }
+  const timeval timeout = ToTimeval(timeout_s_);
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&address),
+              sizeof(address)) != 0) {
+    const std::string error = std::strerror(errno);
+    Close();
+    return Status::Unavailable("connect " + host_ + ":" +
+                               std::to_string(port_) + ": " + error);
+  }
+  return Status::OK();
+}
+
+Status HttpClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::Unavailable("send: " +
+                                 std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  char chunk[16384];
+  while (true) {
+    header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      // Lower-cased search is safe: ETUDE servers emit lower-case header
+      // names; a general client would normalise first.
+      const size_t length_pos = buffer_.find("content-length:");
+      if (length_pos == std::string::npos || length_pos > header_end) {
+        return Status::InvalidArgument(
+            "response carries no content-length header");
+      }
+      content_length = static_cast<size_t>(
+          std::strtoll(buffer_.c_str() + length_pos + 15, nullptr, 10));
+      if (buffer_.size() >= header_end + 4 + content_length) break;
+    }
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::Unavailable(n == 0 ? "connection closed mid-response"
+                                        : "recv: " + std::string(
+                                                         std::strerror(
+                                                             errno)));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpClientResponse response;
+  response.body = buffer_.substr(header_end + 4, content_length);
+  const size_t space = buffer_.find(' ');
+  if (space == std::string::npos || space > header_end) {
+    return Status::InvalidArgument("malformed HTTP status line");
+  }
+  response.status = std::atoi(buffer_.c_str() + space + 1);
+  size_t cursor = buffer_.find("\r\n") + 2;
+  while (cursor < header_end) {
+    size_t eol = buffer_.find("\r\n", cursor);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = buffer_.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    response.headers[std::move(name)] = std::move(value);
+  }
+  // Keep any pipelined surplus buffered for the next response.
+  buffer_.erase(0, header_end + 4 + content_length);
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::map<std::string, std::string>& extra_headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "host: " + host_ + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  if (!body.empty()) {
+    wire += "content-type: application/json\r\n";
+    wire += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n" + body;
+
+  // One transparent retry on a fresh connection: a keep-alive peer may
+  // have legitimately closed the idle socket between requests.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Status connected = Connect();
+    if (!connected.ok()) return connected;
+    const Status sent = SendAll(wire);
+    if (!sent.ok()) {
+      Close();
+      continue;
+    }
+    Result<HttpClientResponse> response = ReadResponse();
+    if (response.ok()) return response;
+    Close();
+  }
+  return Status::Unavailable("request to " + host_ + ":" +
+                             std::to_string(port_) + target +
+                             " failed after retry");
+}
+
+}  // namespace etude::net

@@ -1,0 +1,71 @@
+#ifndef ETUDE_NET_HTTP_CLIENT_H_
+#define ETUDE_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace etude::net {
+
+/// A parsed HTTP/1.1 response as seen by the client.
+struct HttpClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+
+  /// Case-insensitive-by-construction header lookup; "" when absent.
+  std::string Header(const std::string& name) const;
+};
+
+/// A small blocking HTTP/1.1 client: one TCP connection per object,
+/// keep-alive across sequential requests, per-socket send/receive
+/// timeouts. This is the request engine of the real-server load harness
+/// (`etude loadtest`): each load-generator worker owns one client, which
+/// mirrors how the paper's load generator holds persistent connections to
+/// the serving pods.
+///
+/// Not thread-safe: one client per thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, double timeout_s = 5.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Opens the connection (idempotent). Request() connects lazily, so
+  /// calling this is only needed to probe reachability.
+  Status Connect();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for the full response (which must carry
+  /// a Content-Length, as every ETUDE server does). On a broken
+  /// connection the request is retried once on a fresh connection —
+  /// covering the server's legitimate close of an idle keep-alive socket —
+  /// before failing with Unavailable.
+  Result<HttpClientResponse> Request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::map<std::string, std::string>& extra_headers = {});
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  Status SendAll(const std::string& data);
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_;
+  double timeout_s_;
+  int fd_ = -1;
+  std::string buffer_;  // unconsumed bytes across responses (keep-alive)
+};
+
+}  // namespace etude::net
+
+#endif  // ETUDE_NET_HTTP_CLIENT_H_

@@ -1,0 +1,207 @@
+#include "obs/slo_monitor.h"
+
+#include <algorithm>
+
+#include "obs/chrome_trace.h"
+
+namespace etude::obs {
+
+std::vector<TraceEvent> TailTraceEvents(
+    const std::vector<TailExemplar>& slowest) {
+  std::vector<TraceEvent> events;
+  events.reserve(slowest.size() * 4);
+  int64_t lane = 0;
+  for (const TailExemplar& exemplar : slowest) {
+    // Each exemplar renders on its own lane so overlapping slow requests
+    // do not visually nest into each other.
+    ++lane;
+    TraceEvent root;
+    root.name = exemplar.ok ? "request" : "request (error)";
+    root.category = "tail";
+    root.ts_us = exemplar.ts_us;
+    root.dur_us = exemplar.total_us;
+    root.pid = kWallClockPid;
+    root.tid = lane;
+    root.trace_id = exemplar.trace_id;
+    root.stack = root.name;
+    events.push_back(root);
+    for (const PhaseSpan& phase : exemplar.phases) {
+      TraceEvent child;
+      child.name = phase.name;
+      child.category = "tail";
+      child.ts_us = exemplar.ts_us + phase.start_us;
+      child.dur_us = phase.dur_us;
+      child.pid = kWallClockPid;
+      child.tid = lane;
+      child.trace_id = exemplar.trace_id;
+      child.stack = root.name + ";" + phase.name;
+      events.push_back(std::move(child));
+    }
+  }
+  return events;
+}
+
+std::string TailTracesJson(const std::vector<TailExemplar>& slowest) {
+  return ToChromeTraceJson(TailTraceEvents(slowest));
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+
+SloMonitor::SloMonitor(const SloMonitorConfig& config)
+    : config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      buckets_(static_cast<size_t>(std::max(1, config.window_seconds))) {
+  config_.window_seconds = std::max(1, config_.window_seconds);
+  config_.tail_exemplars = std::max(0, config_.tail_exemplars);
+}
+
+int64_t SloMonitor::NowUs() const {
+  if (config_.clock_us) return config_.clock_us();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SloMonitor::Record(RequestSample sample) {
+  const int64_t now_us = NowUs();
+  const int64_t now_s = now_us / 1'000'000;
+  Bucket& bucket = buckets_[static_cast<size_t>(
+      now_s % static_cast<int64_t>(buckets_.size()))];
+  MutexLock lock(bucket.mutex);
+  if (bucket.epoch_s != now_s) {
+    // Rotation: this bucket still holds the second from one window ago
+    // (or nothing). The first recorder of the new second claims it.
+    bucket.epoch_s = now_s;
+    bucket.requests = 0;
+    bucket.errors = 0;
+    bucket.slo_violations = 0;
+    bucket.latency.Reset();
+    bucket.phases.clear();
+    bucket.slowest.clear();
+  }
+  ++bucket.requests;
+  if (!sample.ok) ++bucket.errors;
+  // Strictly-greater: a request completing exactly at the target still
+  // meets "p90 <= target", so exactly-on-SLO traffic burns no budget.
+  if (sample.total_us > config_.slo_p90_us) ++bucket.slo_violations;
+  bucket.latency.Record(sample.total_us);
+  for (const PhaseSpan& phase : sample.phases) {
+    auto it = std::find_if(
+        bucket.phases.begin(), bucket.phases.end(),
+        [&](const auto& entry) { return entry.first == phase.name; });
+    if (it == bucket.phases.end()) {
+      bucket.phases.emplace_back(phase.name, metrics::LatencyHistogram());
+      it = std::prev(bucket.phases.end());
+    }
+    it->second.Record(phase.dur_us);
+  }
+  if (config_.tail_exemplars > 0) {
+    const size_t keep = static_cast<size_t>(config_.tail_exemplars);
+    // Keep the bucket's N slowest. The vector is tiny (N ~ 4): a linear
+    // min search beats heap bookkeeping.
+    if (bucket.slowest.size() < keep) {
+      TailExemplar exemplar;
+      exemplar.trace_id = sample.trace_id;
+      exemplar.ts_us = now_us - sample.total_us;
+      exemplar.total_us = sample.total_us;
+      exemplar.ok = sample.ok;
+      exemplar.phases = std::move(sample.phases);
+      bucket.slowest.push_back(std::move(exemplar));
+    } else {
+      auto slot = std::min_element(
+          bucket.slowest.begin(), bucket.slowest.end(),
+          [](const TailExemplar& a, const TailExemplar& b) {
+            return a.total_us < b.total_us;
+          });
+      if (slot->total_us < sample.total_us) {
+        slot->trace_id = sample.trace_id;
+        slot->ts_us = now_us - sample.total_us;
+        slot->total_us = sample.total_us;
+        slot->ok = sample.ok;
+        slot->phases = std::move(sample.phases);
+      }
+    }
+  }
+}
+
+WindowSnapshot SloMonitor::Snapshot() const {
+  const int64_t now_us = NowUs();
+  const int64_t now_s = now_us / 1'000'000;
+  const int64_t window = config_.window_seconds;
+
+  WindowSnapshot snapshot;
+  snapshot.enabled = true;
+  snapshot.window_seconds = window;
+  snapshot.slo_p90_us = config_.slo_p90_us;
+  // Until one full window has elapsed since start, throughput divides by
+  // the elapsed seconds (+1 for the current partial second) so a young
+  // monitor does not under-report.
+  snapshot.span_seconds = std::min<int64_t>(window, now_s + 1);
+
+  metrics::LatencyHistogram merged;
+  std::vector<std::pair<std::string, metrics::LatencyHistogram>> phases;
+  for (const Bucket& bucket : buckets_) {
+    MutexLock lock(bucket.mutex);
+    // A bucket is inside the window iff its epoch is one of the last
+    // `window` seconds (including the current partial one). Older epochs
+    // are stale ring slots not yet reclaimed by a recorder.
+    if (bucket.epoch_s < 0 || bucket.epoch_s <= now_s - window ||
+        bucket.epoch_s > now_s) {
+      continue;
+    }
+    if (bucket.requests > 0) ++snapshot.covered_seconds;
+    snapshot.requests += bucket.requests;
+    snapshot.errors += bucket.errors;
+    snapshot.slo_violations += bucket.slo_violations;
+    // Merge preserves bucket boundaries: the merged percentiles carry the
+    // same <= ~1.6% bucket over-estimate as each per-second histogram.
+    merged.Merge(bucket.latency);
+    for (const auto& [name, histogram] : bucket.phases) {
+      auto it = std::find_if(
+          phases.begin(), phases.end(),
+          [&](const auto& entry) { return entry.first == name; });
+      if (it == phases.end()) {
+        phases.emplace_back(name, metrics::LatencyHistogram());
+        it = std::prev(phases.end());
+      }
+      it->second.Merge(histogram);
+    }
+    for (const TailExemplar& exemplar : bucket.slowest) {
+      snapshot.slowest.push_back(exemplar);
+    }
+  }
+
+  snapshot.latency = merged.Summarize();
+  for (auto& [name, histogram] : phases) {
+    PhaseWindow phase;
+    phase.name = name;
+    phase.summary = histogram.Summarize();
+    snapshot.phases.push_back(std::move(phase));
+  }
+  if (snapshot.requests > 0) {
+    const double requests = static_cast<double>(snapshot.requests);
+    snapshot.throughput_rps =
+        requests / static_cast<double>(std::max<int64_t>(
+                       1, snapshot.span_seconds));
+    snapshot.error_rate = static_cast<double>(snapshot.errors) / requests;
+    snapshot.violation_rate =
+        static_cast<double>(snapshot.slo_violations) / requests;
+    // p90 target <=> 10% of the requests are allowed over the latency
+    // target; burning exactly that allowance is a burn rate of 1.
+    snapshot.burn_rate = snapshot.violation_rate / 0.10;
+  }
+  std::sort(snapshot.slowest.begin(), snapshot.slowest.end(),
+            [](const TailExemplar& a, const TailExemplar& b) {
+              return a.total_us > b.total_us;
+            });
+  if (config_.tail_exemplars >= 0 &&
+      snapshot.slowest.size() >
+          static_cast<size_t>(config_.tail_exemplars)) {
+    snapshot.slowest.resize(static_cast<size_t>(config_.tail_exemplars));
+  }
+  return snapshot;
+}
+
+#endif  // ETUDE_DISABLE_TRACING
+
+}  // namespace etude::obs

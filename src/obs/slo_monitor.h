@@ -1,0 +1,184 @@
+#ifndef ETUDE_OBS_SLO_MONITOR_H_
+#define ETUDE_OBS_SLO_MONITOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "metrics/histogram.h"
+#include "obs/trace.h"
+
+namespace etude::obs {
+
+/// One timed phase inside a request, relative to the request's start
+/// (e.g. parse -> inference -> serialize on the serving path). `name`
+/// should come from a small fixed set: the monitor aggregates per-phase
+/// histograms keyed by it.
+struct PhaseSpan {
+  std::string name;
+  int64_t start_us = 0;  // offset from the request's start
+  int64_t dur_us = 0;
+};
+
+/// One completed request as reported to the monitor.
+struct RequestSample {
+  int64_t total_us = 0;  // end-to-end server-side latency
+  bool ok = true;        // false for any 4xx/5xx outcome
+  std::string trace_id;  // the x-trace-id the response carried
+  std::vector<PhaseSpan> phases;
+};
+
+/// A retained span tree of one of the slowest requests in the window,
+/// exportable as a Chrome trace (see TailTraceEvents).
+struct TailExemplar {
+  std::string trace_id;
+  int64_t ts_us = 0;  // monitor-clock time the request started
+  int64_t total_us = 0;
+  bool ok = true;
+  std::vector<PhaseSpan> phases;
+};
+
+/// Windowed per-phase latency distribution.
+struct PhaseWindow {
+  std::string name;
+  metrics::LatencyHistogram::Summary summary;
+};
+
+/// One consistent view over the sliding window. All percentiles are
+/// LatencyHistogram bucket upper bounds and over-estimate by at most
+/// ~1.6% (the histograms of the covered seconds are Merge()d, which
+/// preserves bucket boundaries exactly, so merging adds no further
+/// error).
+struct WindowSnapshot {
+  bool enabled = false;  // false when built with ETUDE_DISABLE_TRACING
+  int64_t window_seconds = 0;
+  int64_t covered_seconds = 0;  // seconds inside the window that saw traffic
+  int64_t span_seconds = 0;     // denominator used for throughput
+
+  int64_t requests = 0;
+  int64_t errors = 0;
+  double throughput_rps = 0;
+  double error_rate = 0;
+
+  // SLO view: the target is "p90 <= slo_p90_us", i.e. at most 10% of
+  // requests may exceed the target latency. `burn_rate` is the classic
+  // error-budget burn multiplier: observed violation rate divided by the
+  // allowed 10% — 1.0 means the window consumes budget exactly as fast as
+  // the SLO allows, >1 means the budget is burning down.
+  int64_t slo_p90_us = 0;
+  int64_t slo_violations = 0;
+  double violation_rate = 0;
+  double burn_rate = 0;
+
+  metrics::LatencyHistogram::Summary latency;  // end-to-end, whole window
+  std::vector<PhaseWindow> phases;             // where the time goes
+  std::vector<TailExemplar> slowest;           // descending by total_us
+};
+
+struct SloMonitorConfig {
+  // Width of the sliding window. Bucket granularity is one second.
+  int window_seconds = 60;
+  // The latency target the burn rate is computed against: p90 <= this.
+  int64_t slo_p90_us = 50'000;
+  // Slowest exemplars retained per one-second bucket; the window view
+  // surfaces the top `tail_exemplars` across all covered buckets.
+  int tail_exemplars = 4;
+  // Test seam: microseconds since some epoch. Defaults to the monitor's
+  // own steady clock (us since construction).
+  std::function<int64_t()> clock_us;
+};
+
+/// Converts retained exemplars into Chrome trace-event complete spans
+/// (one "request" root per exemplar plus one child per phase, each lane
+/// on its own tid), ready for ToChromeTraceJson. Works in every build
+/// configuration — exemplar lists are plain data.
+std::vector<TraceEvent> TailTraceEvents(
+    const std::vector<TailExemplar>& slowest);
+
+/// TailTraceEvents rendered as a Chrome trace-event JSON document.
+std::string TailTracesJson(const std::vector<TailExemplar>& slowest);
+
+#ifndef ETUDE_DISABLE_TRACING
+
+inline constexpr bool kSloMonitorCompiled = true;
+
+/// Sliding-window latency/SLO tracker for the real serving path.
+///
+/// A ring of `window_seconds` one-second buckets, each owning its own
+/// mutex: recording locks exactly one bucket, and rotation is just the
+/// first recorder of a new second resetting the bucket that last held
+/// `now - window_seconds` (epoch tagging — there is no rotation thread
+/// and no global lock). Snapshot() merges the covered buckets into one
+/// consistent window view; per-bucket histograms are combined with
+/// LatencyHistogram::Merge, so windowed percentiles carry the same
+/// <= ~1.6% bucket over-estimate as every other exporter.
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloMonitorConfig& config);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// Records one completed request into the bucket of the current second.
+  void Record(RequestSample sample);
+
+  /// One consistent view over the trailing window (including the current
+  /// partial second).
+  WindowSnapshot Snapshot() const;
+
+  /// Microseconds on the monitor's clock (the timestamps exemplars carry).
+  int64_t NowUs() const;
+
+  const SloMonitorConfig& config() const { return config_; }
+
+ private:
+  struct Bucket {
+    mutable Mutex mutex;
+    int64_t epoch_s ETUDE_GUARDED_BY(mutex) = -1;  // absolute second held
+    int64_t requests ETUDE_GUARDED_BY(mutex) = 0;
+    int64_t errors ETUDE_GUARDED_BY(mutex) = 0;
+    int64_t slo_violations ETUDE_GUARDED_BY(mutex) = 0;
+    metrics::LatencyHistogram latency ETUDE_GUARDED_BY(mutex);
+    std::vector<std::pair<std::string, metrics::LatencyHistogram>> phases
+        ETUDE_GUARDED_BY(mutex);
+    std::vector<TailExemplar> slowest ETUDE_GUARDED_BY(mutex);
+  };
+
+  SloMonitorConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Bucket> buckets_;
+};
+
+#else  // ETUDE_DISABLE_TRACING
+
+inline constexpr bool kSloMonitorCompiled = false;
+
+/// Stub: with tracing compiled out, the SLO monitor records nothing and
+/// occupies (next to) nothing — Record() and Snapshot() compile away.
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloMonitorConfig& config) : config_(config) {}
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  void Record(RequestSample sample) { static_cast<void>(sample); }
+  WindowSnapshot Snapshot() const { return WindowSnapshot{}; }
+  int64_t NowUs() const { return 0; }
+
+  const SloMonitorConfig& config() const { return config_; }
+
+ private:
+  SloMonitorConfig config_;
+};
+
+#endif  // ETUDE_DISABLE_TRACING
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_SLO_MONITOR_H_

@@ -50,13 +50,42 @@ bool WantsPrometheus(const net::HttpRequest& request,
   if (accept.find("application/json") != std::string::npos) return false;
   return default_format == MetricsFormat::kPrometheus;
 }
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// The Summary block every JSON surface renders (same keys as the BENCH
+/// schema). Percentiles carry the histogram's bucket over-estimate
+/// (< 1.6%).
+JsonValue SummaryJson(const metrics::LatencyHistogram::Summary& summary) {
+  JsonValue stats = JsonValue::MakeObject();
+  stats.Set("count", JsonValue(summary.count));
+  stats.Set("sum", JsonValue(summary.sum));
+  stats.Set("min", JsonValue(summary.min));
+  stats.Set("mean", JsonValue(summary.mean));
+  stats.Set("p50", JsonValue(summary.p50));
+  stats.Set("p90", JsonValue(summary.p90));
+  stats.Set("p99", JsonValue(summary.p99));
+  stats.Set("max", JsonValue(summary.max));
+  return stats;
+}
+
+net::HttpResponse TracingDisabledResponse(const char* what) {
+  return net::HttpResponse::Error(
+      501, std::string(what) +
+               " unavailable: built with ETUDE_DISABLE_TRACING");
+}
 }  // namespace
 
 EtudeServe::EtudeServe(const models::SessionModel* model,
                        const EtudeServeConfig& config)
     : model_(model),
       config_(config),
-      started_at_(std::chrono::steady_clock::now()) {
+      started_at_(std::chrono::steady_clock::now()),
+      slo_monitor_(config.slo) {
   ETUDE_CHECK(model_ != nullptr) << "model required";
   model_route_ = "/predictions/" + ToLower(model_->name());
   net::HttpServerConfig server_config;
@@ -100,14 +129,20 @@ net::HttpResponse EtudeServe::Route(const net::HttpRequest& request,
                                     const std::string& trace_id) {
   if (request.target == "/healthz") {
     requests_healthz_.fetch_add(1);
-    // Readiness probe: the model is loaded at construction time, so the
-    // pod reports ready as soon as the server accepts connections.
-    return net::HttpResponse::Ok("{\"status\":\"ready\"}");
+    return HandleHealthz();
   }
   if (request.target == "/metrics" ||
       StartsWith(request.target, "/metrics?")) {
     requests_metrics_.fetch_add(1);
     return HandleMetrics(request);
+  }
+  if (request.target == "/slo") {
+    requests_slo_.fetch_add(1);
+    return HandleSlo();
+  }
+  if (request.target == "/debug/tail-traces") {
+    requests_tail_traces_.fetch_add(1);
+    return HandleTailTraces();
   }
   if (request.target == model_route_) {
     requests_predictions_.fetch_add(1);
@@ -118,6 +153,24 @@ net::HttpResponse EtudeServe::Route(const net::HttpRequest& request,
   }
   requests_other_.fetch_add(1);
   return net::HttpResponse::Error(404, "no such route");
+}
+
+net::HttpResponse EtudeServe::HandleHealthz() {
+  // Readiness probe: the model is loaded at construction time, so the pod
+  // reports ready as soon as the server accepts connections. The body
+  // carries enough identity for a probing load harness or autoscaler to
+  // verify *what* is ready.
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("status", JsonValue(std::string("ready")));
+  body.Set("uptime_seconds", JsonValue(UptimeSeconds()));
+  body.Set("model", JsonValue(std::string(model_->name())));
+  body.Set("catalog_size", JsonValue(model_->config().catalog_size));
+  body.Set("exec_mode",
+           JsonValue(std::string(ExecModeName(config_.exec.mode))));
+  body.Set("exec_plan",
+           JsonValue(std::string(ExecPlanName(config_.exec.plan))));
+  body.Set("predictions_served", JsonValue(predictions_served_.load()));
+  return net::HttpResponse::Ok(body.Dump());
 }
 
 std::string EtudeServe::JsonMetrics() {
@@ -131,18 +184,23 @@ std::string EtudeServe::JsonMetrics() {
     metrics.Set("p99_inference_us", JsonValue(inference_latency_us_.p99()));
     // Summary block mirroring the BENCH JSON schema; percentiles carry
     // the histogram's bucket over-estimate (< 1.6%).
-    const metrics::LatencyHistogram::Summary summary =
-        inference_latency_us_.Summarize();
-    JsonValue stats = JsonValue::MakeObject();
-    stats.Set("count", JsonValue(summary.count));
-    stats.Set("sum", JsonValue(summary.sum));
-    stats.Set("min", JsonValue(summary.min));
-    stats.Set("mean", JsonValue(summary.mean));
-    stats.Set("p50", JsonValue(summary.p50));
-    stats.Set("p90", JsonValue(summary.p90));
-    stats.Set("p99", JsonValue(summary.p99));
-    stats.Set("max", JsonValue(summary.max));
-    metrics.Set("inference_us_summary", std::move(stats));
+    metrics.Set("inference_us_summary",
+                SummaryJson(inference_latency_us_.Summarize()));
+  }
+  const obs::WindowSnapshot window = slo_monitor_.Snapshot();
+  if (window.enabled) {
+    // Windowed gauges (the signal an SLO-aware scheduler steers on), as
+    // opposed to the cumulative-since-boot blocks above.
+    JsonValue slo = JsonValue::MakeObject();
+    slo.Set("window_seconds", JsonValue(window.window_seconds));
+    slo.Set("target_p90_us", JsonValue(window.slo_p90_us));
+    slo.Set("window_p50_us", JsonValue(window.latency.p50));
+    slo.Set("window_p90_us", JsonValue(window.latency.p90));
+    slo.Set("window_p99_us", JsonValue(window.latency.p99));
+    slo.Set("window_throughput_rps", JsonValue(window.throughput_rps));
+    slo.Set("window_error_rate", JsonValue(window.error_rate));
+    slo.Set("burn_rate", JsonValue(window.burn_rate));
+    metrics.Set("slo", std::move(slo));
   }
   {
     const obs::MemStats mem = obs::ProcessMemStats();
@@ -166,6 +224,8 @@ std::string EtudeServe::JsonMetrics() {
   JsonValue routes = JsonValue::MakeObject();
   routes.Set("/healthz", JsonValue(requests_healthz_.load()));
   routes.Set("/metrics", JsonValue(requests_metrics_.load()));
+  routes.Set("/slo", JsonValue(requests_slo_.load()));
+  routes.Set("/debug/tail-traces", JsonValue(requests_tail_traces_.load()));
   routes.Set(model_route_, JsonValue(requests_predictions_.load()));
   routes.Set("other", JsonValue(requests_other_.load()));
   metrics.Set("requests_by_route", std::move(routes));
@@ -184,6 +244,12 @@ std::string EtudeServe::PrometheusMetrics() {
   writer.Counter("etude_requests_total", route_help,
                  static_cast<double>(requests_metrics_.load()),
                  "route=\"/metrics\"");
+  writer.Counter("etude_requests_total", route_help,
+                 static_cast<double>(requests_slo_.load()),
+                 "route=\"/slo\"");
+  writer.Counter("etude_requests_total", route_help,
+                 static_cast<double>(requests_tail_traces_.load()),
+                 "route=\"/debug/tail-traces\"");
   writer.Counter("etude_requests_total", route_help,
                  static_cast<double>(requests_predictions_.load()),
                  "route=\"" + model_route_ + "\"");
@@ -209,6 +275,39 @@ std::string EtudeServe::PrometheusMetrics() {
   writer.Gauge("etude_tensor_threads",
                "Worker threads available to the tensor kernels.",
                static_cast<double>(NumThreads()));
+  const obs::WindowSnapshot window = slo_monitor_.Snapshot();
+  if (window.enabled) {
+    const char* window_help =
+        "Sliding-window end-to-end prediction latency quantile.";
+    writer.Gauge("etude_slo_window_latency_us", window_help,
+                 static_cast<double>(window.latency.p50),
+                 "quantile=\"p50\"");
+    writer.Gauge("etude_slo_window_latency_us", window_help,
+                 static_cast<double>(window.latency.p90),
+                 "quantile=\"p90\"");
+    writer.Gauge("etude_slo_window_latency_us", window_help,
+                 static_cast<double>(window.latency.p99),
+                 "quantile=\"p99\"");
+    writer.Gauge("etude_slo_target_p90_us",
+                 "Configured p90 latency target (--slo-p90-us).",
+                 static_cast<double>(window.slo_p90_us));
+    writer.Gauge("etude_slo_window_throughput_rps",
+                 "Predictions per second over the sliding window.",
+                 window.throughput_rps);
+    writer.Gauge("etude_slo_window_error_rate",
+                 "Error fraction over the sliding window.",
+                 window.error_rate);
+    writer.Gauge("etude_slo_burn_rate",
+                 "Error-budget burn multiplier against the p90 target "
+                 "(1.0 = burning exactly the allowed 10%).",
+                 window.burn_rate);
+    for (const obs::PhaseWindow& phase : window.phases) {
+      writer.Gauge("etude_slo_phase_p90_us",
+                   "Sliding-window p90 of one request phase.",
+                   static_cast<double>(phase.summary.p90),
+                   "phase=\"" + phase.name + "\"");
+    }
+  }
   const obs::MemStats mem = obs::ProcessMemStats();
   writer.Counter("etude_tensor_allocated_bytes_total",
                  "Bytes of tensor buffers allocated since start.",
@@ -234,6 +333,77 @@ std::string EtudeServe::PrometheusMetrics() {
   return writer.text();
 }
 
+std::string EtudeServe::JsonSlo() {
+  const obs::WindowSnapshot window = slo_monitor_.Snapshot();
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("enabled", JsonValue(window.enabled));
+  root.Set("window_seconds", JsonValue(window.window_seconds));
+  root.Set("covered_seconds", JsonValue(window.covered_seconds));
+  root.Set("requests", JsonValue(window.requests));
+  root.Set("errors", JsonValue(window.errors));
+  root.Set("throughput_rps", JsonValue(window.throughput_rps));
+  root.Set("error_rate", JsonValue(window.error_rate));
+
+  JsonValue slo = JsonValue::MakeObject();
+  slo.Set("target_p90_us", JsonValue(window.slo_p90_us));
+  slo.Set("window_p90_us", JsonValue(window.latency.p90));
+  slo.Set("violations", JsonValue(window.slo_violations));
+  slo.Set("violation_rate", JsonValue(window.violation_rate));
+  slo.Set("burn_rate", JsonValue(window.burn_rate));
+  slo.Set("met", JsonValue(window.latency.p90 <= window.slo_p90_us));
+  root.Set("slo", std::move(slo));
+
+  root.Set("latency_us", SummaryJson(window.latency));
+
+  // Tail-latency attribution: windowed per-phase percentiles answer
+  // "where do the slow requests spend time"; `share_of_total` is the
+  // phase's fraction of all request time in the window.
+  JsonValue phases = JsonValue::MakeObject();
+  for (const obs::PhaseWindow& phase : window.phases) {
+    JsonValue entry = SummaryJson(phase.summary);
+    const double share =
+        window.latency.sum > 0
+            ? static_cast<double>(phase.summary.sum) /
+                  static_cast<double>(window.latency.sum)
+            : 0.0;
+    entry.Set("share_of_total", JsonValue(share));
+    phases.Set(phase.name, std::move(entry));
+  }
+  root.Set("phases", std::move(phases));
+
+  JsonValue slowest = JsonValue::MakeArray();
+  for (const obs::TailExemplar& exemplar : window.slowest) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("trace_id", JsonValue(exemplar.trace_id));
+    entry.Set("total_us", JsonValue(exemplar.total_us));
+    entry.Set("ok", JsonValue(exemplar.ok));
+    JsonValue exemplar_phases = JsonValue::MakeObject();
+    for (const obs::PhaseSpan& phase : exemplar.phases) {
+      JsonValue span = JsonValue::MakeObject();
+      span.Set("start_us", JsonValue(phase.start_us));
+      span.Set("dur_us", JsonValue(phase.dur_us));
+      exemplar_phases.Set(phase.name, std::move(span));
+    }
+    entry.Set("phases", std::move(exemplar_phases));
+    slowest.Append(std::move(entry));
+  }
+  root.Set("slowest", std::move(slowest));
+  return root.Dump();
+}
+
+net::HttpResponse EtudeServe::HandleSlo() {
+  if (!obs::kSloMonitorCompiled) return TracingDisabledResponse("/slo");
+  return net::HttpResponse::Ok(JsonSlo());
+}
+
+net::HttpResponse EtudeServe::HandleTailTraces() {
+  if (!obs::kSloMonitorCompiled) {
+    return TracingDisabledResponse("/debug/tail-traces");
+  }
+  const obs::WindowSnapshot window = slo_monitor_.Snapshot();
+  return net::HttpResponse::Ok(obs::TailTracesJson(window.slowest));
+}
+
 net::HttpResponse EtudeServe::HandleMetrics(const net::HttpRequest& request) {
   if (WantsPrometheus(request, config_.default_metrics_format)) {
     return net::HttpResponse::Ok(PrometheusMetrics(),
@@ -244,31 +414,58 @@ net::HttpResponse EtudeServe::HandleMetrics(const net::HttpRequest& request) {
 
 net::HttpResponse EtudeServe::HandlePrediction(
     const net::HttpRequest& request, const std::string& trace_id) {
+  const auto request_start = std::chrono::steady_clock::now();
+  obs::RequestSample sample;
+  sample.trace_id = trace_id;
+  net::HttpResponse response =
+      PredictionInner(request, trace_id, request_start, &sample);
+  sample.total_us = ElapsedUs(request_start);
+  sample.ok = response.status < 400;
+  slo_monitor_.Record(std::move(sample));
+  return response;
+}
+
+net::HttpResponse EtudeServe::PredictionInner(
+    const net::HttpRequest& request, const std::string& trace_id,
+    const std::chrono::steady_clock::time_point request_start,
+    obs::RequestSample* sample) {
   ETUDE_TRACE_SPAN_ID(model_route_.c_str(), "server", trace_id);
+  // Each phase is timed explicitly (not via the tracer) so the SLO
+  // monitor's attribution works with the tracer disabled — the common
+  // production configuration.
+  const auto phase = [&](const char* name, int64_t start_us) {
+    sample->phases.push_back(
+        obs::PhaseSpan{name, start_us, ElapsedUs(request_start) - start_us});
+  };
+
   std::vector<int64_t> session;
   {
     ETUDE_TRACE_SPAN_ID("parse", "server", trace_id);
+    const int64_t parse_start = ElapsedUs(request_start);
     Result<JsonValue> body = ParseJson(request.body);
     if (!body.ok() || !body->is_object() ||
         !body->Get("session").is_array()) {
+      phase("parse", parse_start);
       return net::HttpResponse::Error(
           400, "body must be a JSON object with a 'session' array");
     }
     for (const JsonValue& item : body->Get("session").items()) {
       if (!item.is_number()) {
+        phase("parse", parse_start);
         return net::HttpResponse::Error(400,
                                         "session items must be numbers");
       }
       session.push_back(item.as_int());
     }
+    phase("parse", parse_start);
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const int64_t inference_start = ElapsedUs(request_start);
   Result<models::Recommendation> rec = [&] {
     ETUDE_TRACE_SPAN_ID("inference", "server", trace_id);
     return model_->Recommend(session, config_.exec);
   }();
-  const auto end = std::chrono::steady_clock::now();
+  phase("inference", inference_start);
   if (!rec.ok()) {
     const int status =
         rec.status().code() == StatusCode::kInvalidArgument ||
@@ -277,9 +474,7 @@ net::HttpResponse EtudeServe::HandlePrediction(
             : 500;
     return net::HttpResponse::Error(status, rec.status().ToString());
   }
-  const int64_t inference_us =
-      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
-          .count();
+  const int64_t inference_us = ElapsedUs(request_start) - inference_start;
   predictions_served_.fetch_add(1);
   {
     MutexLock lock(stats_mutex_);
@@ -289,7 +484,9 @@ net::HttpResponse EtudeServe::HandlePrediction(
   net::HttpResponse response;
   {
     ETUDE_TRACE_SPAN_ID("serialize", "server", trace_id);
+    const int64_t serialize_start = ElapsedUs(request_start);
     response = net::HttpResponse::Ok(RecommendationToJson(*rec));
+    phase("serialize", serialize_start);
   }
   // The inference-duration metric travels in a response header, as in the
   // paper's benchmark execution design (Sec. II).

@@ -12,6 +12,7 @@
 #include "metrics/histogram.h"
 #include "models/session_model.h"
 #include "net/http_server.h"
+#include "obs/slo_monitor.h"
 
 namespace etude::serving {
 
@@ -34,19 +35,37 @@ struct EtudeServeConfig {
   // ExecPlanKind::kArena each worker replays the model's compiled arena
   // script instead of per-op heap allocation.
   models::ExecOptions exec;
+  // Sliding-window SLO monitor: window width, the p90 latency target the
+  // burn rate is computed against (--slo-p90-us), and how many
+  // slowest-request exemplars each one-second bucket retains. Ignored in
+  // ETUDE_DISABLE_TRACING builds (the monitor compiles out).
+  obs::SloMonitorConfig slo;
 };
 
 /// EtudeServe: the paper's Rust/Actix inference server as a working C++
 /// HTTP service, performing genuine CPU inference on the tensor engine.
 ///
 /// Routes:
-///   GET  /healthz                 -> 200 once the model is loaded
-///                                    (the Kubernetes readiness probe)
+///   GET  /healthz                 -> 200 once the model is loaded, with
+///                                    uptime/model/exec-config JSON (the
+///                                    Kubernetes readiness probe, also
+///                                    used by `etude loadtest` and the
+///                                    future autoscaler)
 ///   GET  /metrics                 -> request counters, error counters,
-///                                    uptime and inference-latency
-///                                    distribution; JSON by default,
-///                                    Prometheus text format under
+///                                    uptime, cumulative inference-latency
+///                                    distribution and windowed SLO
+///                                    gauges; JSON by default, Prometheus
+///                                    text format under
 ///                                    `Accept: text/plain`
+///   GET  /slo                     -> sliding-window view: p50/p90/p99,
+///                                    throughput, error rate, burn rate
+///                                    against the configured p90 target,
+///                                    per-phase (parse/inference/
+///                                    serialize) percentiles, and the
+///                                    slowest-request exemplars
+///   GET  /debug/tail-traces       -> the retained span trees of the
+///                                    window's slowest requests as
+///                                    Chrome trace-event JSON
 ///   POST /predictions/<model>     -> body {"session":[item ids]}
 ///        answers {"items":[...],"scores":[...]} and reports the inference
 ///        duration via the "x-inference-us" response header, exactly as
@@ -55,6 +74,8 @@ struct EtudeServeConfig {
 /// Every response carries an "x-trace-id" header; when the global
 /// obs::Tracer is enabled, the prediction path additionally records
 /// request-scoped parse/inference/serialize spans tagged with that id.
+/// The same three phases are always aggregated into the SLO monitor's
+/// per-phase windowed percentiles (unless compiled out).
 class EtudeServe {
  public:
   /// `model` must outlive the server.
@@ -69,20 +90,34 @@ class EtudeServe {
   int64_t errors_4xx() const { return errors_4xx_.load(); }
   int64_t errors_5xx() const { return errors_5xx_.load(); }
 
+  /// The live sliding-window view (empty/disabled when compiled out).
+  /// Exposed for in-process embedding (tests, `--tail-trace-out`).
+  obs::WindowSnapshot SloSnapshot() const { return slo_monitor_.Snapshot(); }
+
  private:
   net::HttpResponse Handle(const net::HttpRequest& request)
       ETUDE_EXCLUDES(stats_mutex_);
   net::HttpResponse Route(const net::HttpRequest& request,
                           const std::string& trace_id)
       ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse HandleHealthz();
   net::HttpResponse HandleMetrics(const net::HttpRequest& request)
       ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse HandleSlo();
+  net::HttpResponse HandleTailTraces();
   net::HttpResponse HandlePrediction(const net::HttpRequest& request,
                                      const std::string& trace_id)
       ETUDE_EXCLUDES(stats_mutex_);
+  /// The prediction body: fills `sample`'s phases as it goes; the caller
+  /// stamps total/outcome and records the sample.
+  net::HttpResponse PredictionInner(
+      const net::HttpRequest& request, const std::string& trace_id,
+      std::chrono::steady_clock::time_point request_start,
+      obs::RequestSample* sample) ETUDE_EXCLUDES(stats_mutex_);
 
   std::string JsonMetrics() ETUDE_EXCLUDES(stats_mutex_);
   std::string PrometheusMetrics() ETUDE_EXCLUDES(stats_mutex_);
+  std::string JsonSlo();
 
   double UptimeSeconds() const;
 
@@ -98,13 +133,20 @@ class EtudeServe {
   // successful predictions were observable.
   std::atomic<int64_t> requests_healthz_{0};
   std::atomic<int64_t> requests_metrics_{0};
+  std::atomic<int64_t> requests_slo_{0};
+  std::atomic<int64_t> requests_tail_traces_{0};
   std::atomic<int64_t> requests_predictions_{0};
   std::atomic<int64_t> requests_other_{0};
   std::atomic<int64_t> errors_4xx_{0};
   std::atomic<int64_t> errors_5xx_{0};
 
-  // Inference-latency distribution, recorded by every worker thread and
-  // read by /metrics (the quantity the paper's load generator collects).
+  // Sliding-window SLO/latency view over the prediction path. Internally
+  // per-second-bucket locked; safe from all worker threads.
+  obs::SloMonitor slo_monitor_;
+
+  // Cumulative inference-latency distribution, recorded by every worker
+  // thread and read by /metrics (the quantity the paper's load generator
+  // collects). The windowed view lives in slo_monitor_.
   mutable Mutex stats_mutex_;
   metrics::LatencyHistogram inference_latency_us_
       ETUDE_GUARDED_BY(stats_mutex_);

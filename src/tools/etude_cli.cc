@@ -28,7 +28,17 @@
 //   etude serve --model NAME --catalog C [--port P] [--seconds S]
 //               [--metrics-format json|prometheus]
 //               [--mode eager|jit] [--exec-plan arena|malloc]
-//       Start the real HTTP inference server on localhost.
+//               [--slo-p90-us US] [--slo-window-s S] [--tail-trace-out F]
+//       Start the real HTTP inference server on localhost. The SLO flags
+//       configure the sliding-window monitor behind /slo; --tail-trace-out
+//       writes the final window's slowest-request span trees as a Chrome
+//       trace-event file on shutdown.
+//   etude loadtest --port P [--route R] [--rps R] [--seconds S]
+//                  [--concurrency N] [--catalog C] [--seed S]
+//                  [--json-out F] [--wait-s W] [--host H]
+//       Drive a live `etude serve` instance with an open-loop Poisson
+//       workload over real sockets and report the measured per-second
+//       latency/throughput timeline (BENCH JSON via --json-out).
 
 #include <unistd.h>
 
@@ -46,9 +56,11 @@
 #include "core/benchmark.h"
 #include "core/cost_planner.h"
 #include "core/spec.h"
+#include "loadgen/http_load.h"
 #include "metrics/report.h"
 #include "models/model_factory.h"
 #include "obs/chrome_trace.h"
+#include "obs/slo_monitor.h"
 #include "obs/folded.h"
 #include "obs/memstats.h"
 #include "obs/op_hook.h"
@@ -525,7 +537,8 @@ int CmdServe(int argc, char** argv) {
   const auto flags = ParseFlags(argc, argv, 2,
                                 {"model", "catalog", "port", "seconds",
                                  "metrics-format", "threads", "mode",
-                                 "exec-plan"});
+                                 "exec-plan", "slo-p90-us", "slo-window-s",
+                                 "tail-trace-out"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -563,6 +576,24 @@ int CmdServe(int argc, char** argv) {
     return 2;
   }
   if (!ParseExecPlanFlag(*flags, &serve_config.exec.plan)) return 2;
+  serve_config.slo.slo_p90_us = static_cast<int64_t>(
+      FlagOr(*flags, "slo-p90-us",
+             static_cast<double>(serve_config.slo.slo_p90_us)));
+  serve_config.slo.window_seconds = static_cast<int>(
+      FlagOr(*flags, "slo-window-s",
+             static_cast<double>(serve_config.slo.window_seconds)));
+  if (serve_config.slo.slo_p90_us < 1 ||
+      serve_config.slo.window_seconds < 1) {
+    std::fprintf(stderr,
+                 "--slo-p90-us and --slo-window-s must be >= 1\n");
+    return 2;
+  }
+  const std::string tail_trace_out = FlagOr(*flags, "tail-trace-out", "");
+  if (!tail_trace_out.empty() && !etude::obs::kSloMonitorCompiled) {
+    std::fprintf(stderr,
+                 "--tail-trace-out has no effect: built with "
+                 "ETUDE_DISABLE_TRACING\n");
+  }
   etude::serving::EtudeServe serve(model->get(), serve_config);
   const etude::Status status = serve.Start();
   if (!status.ok()) {
@@ -583,7 +614,111 @@ int CmdServe(int argc, char** argv) {
     while (true) sleep(3600);  // until interrupted
   }
   serve.Stop();
+  if (!tail_trace_out.empty()) {
+    const etude::obs::WindowSnapshot snapshot = serve.SloSnapshot();
+    const etude::Status written = etude::obs::WriteChromeTrace(
+        tail_trace_out, etude::obs::TailTraceEvents(snapshot.slowest));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu tail exemplars to %s\n",
+                 snapshot.slowest.size(), tail_trace_out.c_str());
+  }
   return 0;
+}
+
+int CmdLoadtest(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv, 2,
+                                {"host", "port", "route", "rps", "seconds",
+                                 "concurrency", "catalog", "seed",
+                                 "json-out", "wait-s", "timeout-s"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  if (flags->find("port") == flags->end()) {
+    std::fprintf(stderr,
+                 "usage: etude loadtest --port P [--route R] [--rps R] "
+                 "[--seconds S] [--concurrency N] [--catalog C] [--seed S] "
+                 "[--json-out F] [--wait-s W] [--host H] [--timeout-s T]\n");
+    return 2;
+  }
+  etude::loadgen::HttpLoadConfig config;
+  config.host = FlagOr(*flags, "host", "127.0.0.1");
+  config.port = static_cast<uint16_t>(FlagOr(*flags, "port", 0));
+  config.route = FlagOr(*flags, "route", "/predictions/gru4rec");
+  config.target_rps = FlagOr(*flags, "rps", 100);
+  config.duration_s = FlagOr(*flags, "seconds", 10);
+  config.concurrency = static_cast<int>(FlagOr(*flags, "concurrency", 4));
+  config.catalog_size =
+      static_cast<int64_t>(FlagOr(*flags, "catalog", 10000));
+  config.seed = static_cast<uint64_t>(FlagOr(*flags, "seed", 17));
+  config.timeout_s = FlagOr(*flags, "timeout-s", 5.0);
+
+  const double wait_s = FlagOr(*flags, "wait-s", 0.0);
+  if (wait_s > 0) {
+    const etude::Status ready = etude::loadgen::HttpLoadGenerator::WaitReady(
+        config.host, config.port, wait_s);
+    if (!ready.ok()) {
+      std::fprintf(stderr, "%s\n", ready.ToString().c_str());
+      return 1;
+    }
+  }
+
+  etude::loadgen::HttpLoadGenerator generator(config);
+  auto result = generator.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto summary = result->timeline.AggregateLatencies().Summarize();
+  std::printf(
+      "loadtest %s:%u%s — offered %.1f req/s for %.1fs, achieved %.1f "
+      "req/s\n",
+      config.host.c_str(), config.port, config.route.c_str(),
+      config.target_rps, config.duration_s, result->achieved_rps);
+  std::printf("requests %lld ok %lld errors %lld\n",
+              static_cast<long long>(result->total_requests),
+              static_cast<long long>(result->total_ok),
+              static_cast<long long>(result->total_errors));
+  std::printf("wall latency p50 %lld us, p90 %lld us, p99 %lld us\n",
+              static_cast<long long>(summary.p50),
+              static_cast<long long>(summary.p90),
+              static_cast<long long>(summary.p99));
+  const auto server = result->server_inference_us.Summarize();
+  if (server.count > 0) {
+    std::printf("server inference p50 %lld us, p90 %lld us "
+                "(x-inference-us)\n",
+                static_cast<long long>(server.p50),
+                static_cast<long long>(server.p90));
+  }
+  for (const auto& slow : result->slowest) {
+    std::printf("slow: %lld us at tick %lld trace_id=%s\n",
+                static_cast<long long>(slow.latency_us),
+                static_cast<long long>(slow.tick), slow.trace_id.c_str());
+  }
+
+  const std::string json_out = FlagOr(*flags, "json-out", "");
+  if (!json_out.empty()) {
+    const etude::JsonValue doc =
+        etude::loadgen::LoadTimelineJson(config, *result);
+    const std::string text = doc.Dump() + "\n";
+    std::FILE* file = std::fopen(json_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    const int close_rc = std::fclose(file);
+    if (written != text.size() || close_rc != 0) {
+      std::fprintf(stderr, "short write to %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote timeline to %s\n", json_out.c_str());
+  }
+  return result->total_errors == 0 ? 0 : 3;
 }
 
 /// `etude bench-diff` — same engine as the bench_diff binary, for
@@ -597,7 +732,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: etude "
-      "<scenarios|run|plan|generate|profile|serve|bench-diff> [flags]\n"
+      "<scenarios|run|plan|generate|profile|serve|loadtest|bench-diff> "
+      "[flags]\n"
       "  scenarios                          list built-in scenarios\n"
       "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
       "      [--folded-out F] [--threads N] write a Chrome trace-event file\n"
@@ -616,6 +752,11 @@ int Usage() {
       "  serve --model M --catalog C        real HTTP server\n"
       "       [--port P] [--seconds S] [--metrics-format json|prometheus]\n"
       "       [--threads N] [--mode eager|jit] [--exec-plan arena|malloc]\n"
+      "       [--slo-p90-us US] [--slo-window-s S] [--tail-trace-out F]\n"
+      "  loadtest --port P                  open-loop load on a live serve\n"
+      "       [--route R] [--rps R] [--seconds S] [--concurrency N]\n"
+      "       [--catalog C] [--seed S] [--json-out F] [--wait-s W]\n"
+      "       [--host H] [--timeout-s T]\n"
       "  bench-diff BASE.json CAND.json     diff two BENCH files; exit 3\n"
       "       [--threshold PCT] [--stat S]  on regression beyond threshold\n"
       "       [--fail-on-missing] [--all]\n"
@@ -642,6 +783,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "profile") return CmdProfile(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "loadtest") return CmdLoadtest(argc, argv);
   if (command == "bench-diff") return CmdBenchDiff(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     Usage();

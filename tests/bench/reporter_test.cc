@@ -98,6 +98,50 @@ TEST(BenchReporterTest, SummarySeriesCarriesAllStatistics) {
   EXPECT_LE(p50, 500.0 * 1.016 + 1.0);
 }
 
+TEST(BenchReporterTest, TimelineSeriesCarriesSummaryAndPerTickArray) {
+  BenchReporter reporter("bench_unit", TestEnv());
+  metrics::TimeSeriesRecorder timeline;
+  for (int tick = 0; tick < 3; ++tick) {
+    for (int i = 0; i < 10; ++i) {
+      timeline.RecordRequest(tick);
+      timeline.RecordResponse(tick, 100 * (tick + 1), /*ok=*/i != 0);
+    }
+  }
+  reporter.AddTimeline("loadtest_latency_us", "us", {{"rps", "100.0"}},
+                       Direction::kLowerIsBetter, timeline);
+
+  auto parsed = ParseJson(reporter.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetIntOr("schema_version", 0), 1);
+  const JsonValue& entry = parsed->Get("series").items()[0];
+
+  // Diffable aggregate: bench_diff requires "value" or "summary"; the
+  // timeline array is additive on top. Its percentiles come from the
+  // Merge()d per-tick histograms, so they carry the same <= ~1.6%
+  // bucket-upper-bound over-estimate as any single histogram.
+  const JsonValue& summary = entry.Get("summary");
+  ASSERT_TRUE(summary.is_object());
+  EXPECT_EQ(summary.GetIntOr("count", 0), 27);  // ok responses only
+  const double p99 = summary.GetNumberOr("p99", 0.0);
+  EXPECT_GE(p99, 300.0);
+  EXPECT_LE(p99, 300.0 * 1.016 + 1.0);
+
+  const JsonValue& ticks = entry.Get("timeline");
+  ASSERT_TRUE(ticks.is_array());
+  ASSERT_EQ(ticks.items().size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    const JsonValue& tick = ticks.items()[static_cast<size_t>(t)];
+    EXPECT_EQ(tick.GetIntOr("tick", -1), t);
+    EXPECT_EQ(tick.GetIntOr("sent", -1), 10);
+    EXPECT_EQ(tick.GetIntOr("ok", -1), 9);
+    EXPECT_EQ(tick.GetIntOr("errors", -1), 1);
+    EXPECT_GE(tick.GetNumberOr("p50", 0.0), 100.0 * (t + 1));
+    EXPECT_TRUE(tick.Contains("p90"));
+    EXPECT_TRUE(tick.Contains("p99"));
+    EXPECT_TRUE(tick.Contains("mean"));
+  }
+}
+
 TEST(BenchReporterTest, SeedReportedWhenSet) {
   BenchEnv env = TestEnv();
   env.seed = 42;

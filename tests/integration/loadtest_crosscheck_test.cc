@@ -1,0 +1,116 @@
+// Cross-check of the two measurement paths: the DES model (LoadGenerator
+// driving SimInferenceServer in virtual time) and the real-server harness
+// (HttpLoadGenerator driving a live EtudeServe over sockets) must agree in
+// *shape* at low load — both per-second latency curves are flat, far from
+// any queueing knee. The absolute levels differ by design (the DES adds a
+// modelled network and framework overhead; the socket path measures this
+// one machine), so the assertion is on each curve normalised by its own
+// mean, with generous bands for one-core CI machines.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "loadgen/http_load.h"
+#include "loadgen/load_generator.h"
+#include "models/model_factory.h"
+#include "serving/etude_serve.h"
+#include "serving/sim_server.h"
+#include "sim/simulation.h"
+#include "workload/session_generator.h"
+
+namespace etude {
+namespace {
+
+/// Per-tick p50 latencies of the populated ticks, skipping the first
+/// `skip` ticks (connection warm-up on the real path, ramp on the DES
+/// path).
+std::vector<double> TickP50s(const metrics::TimeSeriesRecorder& timeline,
+                             size_t skip) {
+  std::vector<double> p50s;
+  const auto& ticks = timeline.ticks();
+  for (size_t t = skip; t < ticks.size(); ++t) {
+    const auto summary = ticks[t].latencies.Summarize();
+    if (summary.count > 0) {
+      p50s.push_back(static_cast<double>(summary.p50));
+    }
+  }
+  return p50s;
+}
+
+/// Every point of the curve must sit within [low, high] x its mean — the
+/// "flat at low load" shape both measurement paths must produce.
+void ExpectFlat(const std::vector<double>& p50s, double low, double high,
+                const char* which) {
+  ASSERT_GE(p50s.size(), 2u) << which;
+  double mean = 0;
+  for (const double p50 : p50s) mean += p50;
+  mean /= static_cast<double>(p50s.size());
+  ASSERT_GT(mean, 0) << which;
+  for (size_t i = 0; i < p50s.size(); ++i) {
+    EXPECT_GE(p50s[i], low * mean) << which << " tick " << i;
+    EXPECT_LE(p50s[i], high * mean) << which << " tick " << i;
+  }
+}
+
+TEST(LoadtestCrosscheckTest, DesAndMeasuredCurvesAgreeInShapeAtLowLoad) {
+  models::ModelConfig model_config;
+  model_config.catalog_size = 2000;
+  auto model =
+      models::CreateModel(models::ModelKind::kGru4Rec, model_config);
+  ASSERT_TRUE(model.ok());
+
+  // DES path: virtual time, far below the CPU device's capacity.
+  sim::Simulation sim;
+  serving::SimServerConfig sim_config;
+  sim_config.device = sim::DeviceSpec::Cpu();
+  serving::SimInferenceServer sim_server(&sim, model->get(), sim_config);
+  auto sessions = workload::SessionGenerator::Create(
+      model_config.catalog_size, workload::WorkloadStats{}, 11);
+  ASSERT_TRUE(sessions.ok());
+  loadgen::LoadGeneratorConfig des_config;
+  des_config.target_rps = 50;
+  des_config.duration_s = 10;
+  des_config.ramp_s = 2;  // at target from tick 2 on
+  loadgen::LoadGenerator des(&sim, &sim_server, &*sessions, des_config);
+  des.Start();
+  sim.Run();
+  ASSERT_TRUE(des.finished());
+  const loadgen::LoadResult des_result = des.BuildResult();
+  ASSERT_GT(des_result.total_ok, 0);
+  EXPECT_EQ(des_result.total_errors, 0);
+
+  // Measured path: the same model served for real over sockets, at a rate
+  // this one machine handles without queueing.
+  serving::EtudeServeConfig serve_config;
+  serve_config.worker_threads = 2;
+  serving::EtudeServe serve(model->get(), serve_config);
+  ASSERT_TRUE(serve.Start().ok());
+  loadgen::HttpLoadConfig http_config;
+  http_config.port = serve.port();
+  http_config.route = "/predictions/gru4rec";
+  http_config.target_rps = 50;
+  http_config.duration_s = 3;
+  http_config.concurrency = 2;
+  http_config.catalog_size = model_config.catalog_size;
+  auto measured = loadgen::HttpLoadGenerator(http_config).Run();
+  serve.Stop();
+  ASSERT_TRUE(measured.ok()) << measured.status().ToString();
+  ASSERT_GT(measured->total_ok, 0);
+
+  // Shape agreement: both normalised curves are flat. The bands are wide
+  // (4x below / 4x above the mean) because a shared CI core makes single
+  // real seconds noisy; a queueing knee would still blow through them —
+  // under overload p50 grows monotonically with the backlog, multiplying
+  // tick-over-tick.
+  ExpectFlat(TickP50s(des_result.timeline, 2), 0.25, 4.0, "des");
+  ExpectFlat(TickP50s(measured->timeline, 1), 0.25, 4.0, "measured");
+
+  // And both paths agree the offered load was served: achieved ~= target.
+  EXPECT_GT(des_result.steady_achieved_rps, 0.8 * des_config.target_rps);
+  EXPECT_GT(measured->achieved_rps, 0.5 * http_config.target_rps);
+}
+
+}  // namespace
+}  // namespace etude

@@ -1,0 +1,147 @@
+#include "loadgen/http_load.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "models/model_factory.h"
+#include "net/http_server.h"
+#include "serving/etude_serve.h"
+
+namespace etude::loadgen {
+namespace {
+
+/// A live in-process EtudeServe on an ephemeral port.
+class HttpLoadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    models::ModelConfig config;
+    config.catalog_size = 2000;
+    auto model = models::CreateModel(models::ModelKind::kGru4Rec, config);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+    serving::EtudeServeConfig serve_config;
+    serve_config.worker_threads = 2;
+    serve_ = std::make_unique<serving::EtudeServe>(model_.get(),
+                                                   serve_config);
+    ASSERT_TRUE(serve_->Start().ok());
+  }
+
+  void TearDown() override { serve_->Stop(); }
+
+  HttpLoadConfig LoadConfig() const {
+    HttpLoadConfig config;
+    config.port = serve_->port();
+    config.route = "/predictions/gru4rec";
+    config.target_rps = 60;
+    config.duration_s = 1.5;
+    config.concurrency = 2;
+    config.catalog_size = 2000;
+    return config;
+  }
+
+  std::unique_ptr<models::SessionModel> model_;
+  std::unique_ptr<serving::EtudeServe> serve_;
+};
+
+TEST_F(HttpLoadTest, RejectsInvalidConfigs) {
+  HttpLoadConfig config = LoadConfig();
+  config.target_rps = 0;
+  EXPECT_FALSE(HttpLoadGenerator(config).Run().ok());
+  config = LoadConfig();
+  config.duration_s = -1;
+  EXPECT_FALSE(HttpLoadGenerator(config).Run().ok());
+  config = LoadConfig();
+  config.concurrency = 0;
+  EXPECT_FALSE(HttpLoadGenerator(config).Run().ok());
+  config = LoadConfig();
+  config.route = "no-leading-slash";
+  EXPECT_FALSE(HttpLoadGenerator(config).Run().ok());
+}
+
+TEST_F(HttpLoadTest, FailsFastWhenTheServerIsUnreachable) {
+  HttpLoadConfig config = LoadConfig();
+  serve_->Stop();
+  config.timeout_s = 1.0;
+  const auto result = HttpLoadGenerator(config).Run();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(HttpLoadTest, DrivesALiveServerAndRecordsTheTimeline) {
+  const HttpLoadConfig config = LoadConfig();
+  auto result = HttpLoadGenerator(config).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_GT(result->total_requests, 0);
+  EXPECT_EQ(result->total_errors, 0);
+  EXPECT_EQ(result->total_ok, result->total_requests);
+  EXPECT_GT(result->achieved_rps, 0.0);
+  EXPECT_GE(result->timeline.num_ticks(), 1);
+
+  // Wall latency includes the server-reported inference time.
+  EXPECT_EQ(result->server_inference_us.Summarize().count,
+            result->total_ok);
+  const auto wall = result->timeline.AggregateLatencies().Summarize();
+  EXPECT_GE(wall.p50, result->server_inference_us.Summarize().p50);
+
+  // Slowest requests carry the server's trace ids for correlation with
+  // /debug/tail-traces.
+  ASSERT_FALSE(result->slowest.empty());
+  EXPECT_GE(result->slowest[0].latency_us, result->slowest.back().latency_us);
+  for (const SlowRequest& slow : result->slowest) {
+    EXPECT_NE(slow.trace_id.find("req-"), std::string::npos);
+  }
+}
+
+TEST_F(HttpLoadTest, TimelineJsonIsSchemaVersionedAndDiffable) {
+  const HttpLoadConfig config = LoadConfig();
+  auto result = HttpLoadGenerator(config).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const auto parsed = ParseJson(LoadTimelineJson(config, *result).Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = *parsed;
+  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 1);
+  EXPECT_EQ(doc.GetStringOr("binary", ""), "etude_loadtest");
+
+  const JsonValue& series = doc.Get("series");
+  ASSERT_TRUE(series.is_array());
+  bool found_timeline = false;
+  for (const JsonValue& entry : series.items()) {
+    if (entry.GetStringOr("name", "") != "loadtest_latency_us") continue;
+    found_timeline = true;
+    // The series carries BOTH the diffable aggregate summary and the
+    // per-second timeline (bench_diff requires "value" or "summary").
+    ASSERT_TRUE(entry.Contains("summary"));
+    ASSERT_TRUE(entry.Contains("timeline"));
+    const JsonValue& ticks = entry.Get("timeline");
+    ASSERT_TRUE(ticks.is_array());
+    ASSERT_GE(ticks.items().size(), 1u);
+    const JsonValue& tick = ticks.items()[0];
+    EXPECT_TRUE(tick.Contains("tick"));
+    EXPECT_TRUE(tick.Contains("sent"));
+    EXPECT_TRUE(tick.Contains("ok"));
+    EXPECT_TRUE(tick.Contains("errors"));
+    EXPECT_TRUE(tick.Contains("p50"));
+    EXPECT_TRUE(tick.Contains("p90"));
+  }
+  EXPECT_TRUE(found_timeline);
+
+  const JsonValue& slowest = doc.Get("slowest");
+  ASSERT_TRUE(slowest.is_array());
+  EXPECT_GE(slowest.items().size(), 1u);
+}
+
+TEST_F(HttpLoadTest, WaitReadySucceedsOnALiveServerAndFailsOnADeadOne) {
+  EXPECT_TRUE(HttpLoadGenerator::WaitReady("127.0.0.1", serve_->port(), 5.0)
+                  .ok());
+  const uint16_t port = serve_->port();
+  serve_->Stop();
+  const Status dead = HttpLoadGenerator::WaitReady("127.0.0.1", port, 0.2);
+  EXPECT_FALSE(dead.ok());
+}
+
+}  // namespace
+}  // namespace etude::loadgen

@@ -1,0 +1,119 @@
+#include "net/http_client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/http.h"
+#include "net/http_server.h"
+
+namespace etude::net {
+namespace {
+
+HttpServerConfig TestConfig() {
+  HttpServerConfig config;
+  config.port = 0;  // ephemeral
+  config.worker_threads = 2;
+  return config;
+}
+
+TEST(HttpClientTest, RoundTripsGetWithHeaders) {
+  HttpServer server(TestConfig(), [](const HttpRequest& request) {
+    HttpResponse response = HttpResponse::Ok("{\"target\":\"" +
+                                             request.target + "\"}");
+    response.headers["x-trace-id"] = "req-7";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client("127.0.0.1", server.port());
+  const auto response = client.Request("GET", "/ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "{\"target\":\"/ping\"}");
+  EXPECT_EQ(response->Header("x-trace-id"), "req-7");
+  EXPECT_EQ(response->Header("X-Trace-Id"), "req-7");  // case-insensitive
+  EXPECT_EQ(response->Header("absent"), "");
+  server.Stop();
+}
+
+TEST(HttpClientTest, PostsBodyAndKeepsConnectionAlive) {
+  HttpServer server(TestConfig(), [](const HttpRequest& request) {
+    return HttpResponse::Ok(request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 5; ++i) {
+    const std::string body = "{\"i\":" + std::to_string(i) + "}";
+    const auto response = client.Request("POST", "/echo", body);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, body);
+  }
+  EXPECT_TRUE(client.connected());  // one connection served all requests
+  EXPECT_EQ(server.requests_served(), 5);
+  server.Stop();
+}
+
+TEST(HttpClientTest, SurfacesNon2xxStatusesAsResponses) {
+  HttpServer server(TestConfig(), [](const HttpRequest&) {
+    return HttpResponse::Error(404, "no such model");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  const auto response = client.Request("GET", "/missing");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 404);
+  server.Stop();
+}
+
+TEST(HttpClientTest, ConnectFailsFastOnClosedPort) {
+  // Bind-then-stop guarantees the port was recently free; connecting to
+  // it must fail with Unavailable, not hang.
+  uint16_t port = 0;
+  {
+    HttpServer server(TestConfig(),
+                      [](const HttpRequest&) { return HttpResponse::Ok(""); });
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+    server.Stop();
+  }
+  HttpClient client("127.0.0.1", port, /*timeout_s=*/1.0);
+  const Status status = client.Connect();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(HttpClientTest, RejectsNonIpv4Host) {
+  HttpClient client("not-a-host-name", 80, /*timeout_s=*/0.5);
+  const Status status = client.Connect();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(HttpClientTest, ReconnectsAfterServerRestart) {
+  // The transparent retry must cover a server that closed the keep-alive
+  // socket: restart the server on the same port between two requests.
+  HttpServerConfig config = TestConfig();
+  auto handler = [](const HttpRequest&) { return HttpResponse::Ok("pong"); };
+  auto server = std::make_unique<HttpServer>(config, handler);
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  HttpClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.Request("GET", "/a").ok());
+
+  server->Stop();
+  config.port = port;
+  server = std::make_unique<HttpServer>(config, handler);
+  ASSERT_TRUE(server->Start().ok());
+
+  const auto response = client.Request("GET", "/b");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "pong");
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace etude::net

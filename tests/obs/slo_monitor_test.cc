@@ -1,0 +1,262 @@
+#include "obs/slo_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace etude::obs {
+namespace {
+
+/// A monitor on a hand-cranked clock.
+struct FakeClockMonitor {
+  explicit FakeClockMonitor(SloMonitorConfig config = {}) {
+    config.clock_us = [this] { return now_us.load(); };
+    monitor = std::make_unique<SloMonitor>(config);
+  }
+
+  std::atomic<int64_t> now_us{0};
+  std::unique_ptr<SloMonitor> monitor;
+};
+
+RequestSample Sample(int64_t total_us, bool ok = true,
+                     std::string trace_id = "t") {
+  RequestSample sample;
+  sample.total_us = total_us;
+  sample.ok = ok;
+  sample.trace_id = std::move(trace_id);
+  return sample;
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+
+TEST(SloMonitorTest, EmptyWindowHasNoTrafficAndNoNaN) {
+  FakeClockMonitor fixture;
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  EXPECT_TRUE(snapshot.enabled);
+  EXPECT_EQ(snapshot.requests, 0);
+  EXPECT_EQ(snapshot.covered_seconds, 0);
+  EXPECT_EQ(snapshot.throughput_rps, 0.0);
+  EXPECT_EQ(snapshot.error_rate, 0.0);
+  EXPECT_EQ(snapshot.burn_rate, 0.0);
+  EXPECT_FALSE(std::isnan(snapshot.throughput_rps));
+  EXPECT_FALSE(std::isnan(snapshot.error_rate));
+  EXPECT_FALSE(std::isnan(snapshot.violation_rate));
+  EXPECT_FALSE(std::isnan(snapshot.burn_rate));
+  EXPECT_EQ(snapshot.latency.count, 0);
+  EXPECT_TRUE(snapshot.slowest.empty());
+  EXPECT_TRUE(snapshot.phases.empty());
+}
+
+TEST(SloMonitorTest, AggregatesCountsLatencyAndPhases) {
+  SloMonitorConfig config;
+  config.window_seconds = 10;
+  config.slo_p90_us = 1'000;
+  FakeClockMonitor fixture(config);
+
+  RequestSample sample = Sample(500, true, "req-1");
+  sample.phases = {{"parse", 0, 100}, {"inference", 100, 300}};
+  fixture.monitor->Record(sample);
+  fixture.now_us = 1'500'000;  // next second
+  fixture.monitor->Record(Sample(2'000, false, "req-2"));
+
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  EXPECT_EQ(snapshot.requests, 2);
+  EXPECT_EQ(snapshot.errors, 1);
+  EXPECT_EQ(snapshot.covered_seconds, 2);
+  EXPECT_EQ(snapshot.slo_violations, 1);  // only the 2000us request
+  EXPECT_DOUBLE_EQ(snapshot.error_rate, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.violation_rate, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.burn_rate, 5.0);  // 50% violations / 10% budget
+  EXPECT_EQ(snapshot.latency.count, 2);
+  // Percentiles are bucket upper bounds: within ~1.6% above the raw value.
+  EXPECT_GE(snapshot.latency.p99, 2'000);
+  EXPECT_LE(snapshot.latency.p99, 2'040);
+  ASSERT_EQ(snapshot.phases.size(), 2u);
+  EXPECT_EQ(snapshot.phases[0].name, "parse");
+  EXPECT_EQ(snapshot.phases[0].summary.count, 1);
+  EXPECT_EQ(snapshot.phases[1].name, "inference");
+}
+
+TEST(SloMonitorTest, ExactlyOnTargetIsNotAViolation) {
+  SloMonitorConfig config;
+  config.slo_p90_us = 1'000;
+  FakeClockMonitor fixture(config);
+  fixture.monitor->Record(Sample(1'000));  // exactly on target
+  fixture.monitor->Record(Sample(1'001));  // one microsecond over
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  EXPECT_EQ(snapshot.slo_violations, 1);
+  EXPECT_DOUBLE_EQ(snapshot.violation_rate, 0.5);
+}
+
+TEST(SloMonitorTest, OldSecondsFallOutOfTheWindow) {
+  SloMonitorConfig config;
+  config.window_seconds = 3;
+  FakeClockMonitor fixture(config);
+  fixture.monitor->Record(Sample(100));
+
+  // Second 0 is still covered while now < window.
+  fixture.now_us = 2'900'000;
+  EXPECT_EQ(fixture.monitor->Snapshot().requests, 1);
+
+  // At second 3 the window is (0, 3]: second 0 has aged out, even though
+  // its ring slot has not been reclaimed by a new recorder yet.
+  fixture.now_us = 3'000'000;
+  EXPECT_EQ(fixture.monitor->Snapshot().requests, 0);
+}
+
+TEST(SloMonitorTest, RingSlotIsReclaimedOneWindowLater) {
+  SloMonitorConfig config;
+  config.window_seconds = 2;
+  FakeClockMonitor fixture(config);
+  fixture.monitor->Record(Sample(100));
+  // Second 2 maps onto second 0's slot; the first recorder resets it.
+  fixture.now_us = 2'000'000;
+  fixture.monitor->Record(Sample(200));
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  EXPECT_EQ(snapshot.requests, 1);
+  EXPECT_EQ(snapshot.covered_seconds, 1);
+  EXPECT_GE(snapshot.latency.p50, 200);
+}
+
+TEST(SloMonitorTest, KeepsTheSlowestExemplarsDescending) {
+  SloMonitorConfig config;
+  config.tail_exemplars = 2;
+  FakeClockMonitor fixture(config);
+  for (int64_t us : {300, 900, 100, 700, 500}) {
+    fixture.monitor->Record(Sample(us, true, "req-" + std::to_string(us)));
+  }
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  ASSERT_EQ(snapshot.slowest.size(), 2u);
+  EXPECT_EQ(snapshot.slowest[0].total_us, 900);
+  EXPECT_EQ(snapshot.slowest[0].trace_id, "req-900");
+  EXPECT_EQ(snapshot.slowest[1].total_us, 700);
+}
+
+TEST(SloMonitorTest, SnapshotCapsExemplarsAcrossBuckets) {
+  SloMonitorConfig config;
+  config.window_seconds = 10;
+  config.tail_exemplars = 3;
+  FakeClockMonitor fixture(config);
+  for (int second = 0; second < 5; ++second) {
+    fixture.now_us = second * 1'000'000;
+    fixture.monitor->Record(Sample(100 * (second + 1)));
+  }
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  ASSERT_EQ(snapshot.slowest.size(), 3u);
+  EXPECT_EQ(snapshot.slowest[0].total_us, 500);
+  EXPECT_EQ(snapshot.slowest[2].total_us, 300);
+}
+
+TEST(SloMonitorTest, ConcurrentRecordingAcrossRotationLosesNothing) {
+  SloMonitorConfig config;
+  config.window_seconds = 16;  // wide enough that nothing ages out
+  FakeClockMonitor fixture(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ++started;
+      while (started.load() < kThreads) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        fixture.monitor->Record(Sample(100 + t, true, "c"));
+        if (i % 50 == 0) {
+          const auto snapshot = fixture.monitor->Snapshot();
+          EXPECT_LE(snapshot.errors, snapshot.requests);
+        }
+      }
+    });
+  }
+  // Crank the clock through several seconds while recorders are running,
+  // forcing rotations to race with records and snapshots.
+  threads.emplace_back([&] {
+    for (int s = 1; s <= 8; ++s) {
+      fixture.now_us = s * 1'000'000;
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  const WindowSnapshot snapshot = fixture.monitor->Snapshot();
+  EXPECT_EQ(snapshot.requests, kThreads * kPerThread);
+  EXPECT_EQ(snapshot.latency.count, kThreads * kPerThread);
+}
+
+TEST(SloMonitorTest, DefaultClockIsMonotonicMicroseconds) {
+  SloMonitor monitor(SloMonitorConfig{});
+  const int64_t a = monitor.NowUs();
+  const int64_t b = monitor.NowUs();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+#else  // ETUDE_DISABLE_TRACING
+
+TEST(SloMonitorTest, StubRecordsNothingWhenCompiledOut) {
+  static_assert(!kSloMonitorCompiled);
+  SloMonitor monitor(SloMonitorConfig{});
+  monitor.Record(Sample(1'000'000, false, "ignored"));
+  const WindowSnapshot snapshot = monitor.Snapshot();
+  EXPECT_FALSE(snapshot.enabled);
+  EXPECT_EQ(snapshot.requests, 0);
+  EXPECT_EQ(monitor.NowUs(), 0);
+}
+
+#endif  // ETUDE_DISABLE_TRACING
+
+// The exemplar-to-Chrome-trace renderers are plain-data helpers and work
+// in every build configuration.
+TEST(TailTraceTest, RendersOneLanePerExemplarWithPhaseChildren) {
+  TailExemplar slow;
+  slow.trace_id = "req-9";
+  slow.ts_us = 1'000;
+  slow.total_us = 400;
+  slow.ok = false;
+  slow.phases = {{"parse", 0, 50}, {"inference", 50, 300}};
+  TailExemplar fast;
+  fast.trace_id = "req-3";
+  fast.ts_us = 5'000;
+  fast.total_us = 100;
+
+  const std::vector<TraceEvent> events = TailTraceEvents({slow, fast});
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "request (error)");
+  EXPECT_EQ(events[0].tid, 1);
+  EXPECT_EQ(events[0].dur_us, 400);
+  EXPECT_EQ(events[1].name, "parse");
+  EXPECT_EQ(events[1].ts_us, 1'000);
+  EXPECT_EQ(events[2].name, "inference");
+  EXPECT_EQ(events[2].ts_us, 1'050);
+  EXPECT_EQ(events[3].name, "request");
+  EXPECT_EQ(events[3].tid, 2);
+}
+
+TEST(TailTraceTest, JsonIsAValidChromeTraceArray) {
+  TailExemplar exemplar;
+  exemplar.trace_id = "req-1";
+  exemplar.total_us = 250;
+  exemplar.phases = {{"inference", 10, 200}};
+  const auto parsed = ParseJson(TailTracesJson({exemplar}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  bool found_request = false;
+  for (const JsonValue& event : parsed->items()) {
+    ASSERT_TRUE(event.is_object());
+    if (event.GetStringOr("name", "") == "request") found_request = true;
+  }
+  EXPECT_TRUE(found_request);
+}
+
+}  // namespace
+}  // namespace etude::obs

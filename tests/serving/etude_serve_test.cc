@@ -213,6 +213,160 @@ TEST_F(EtudeServeTest, PrometheusDefaultFormatIsConfigurable) {
   serve.Stop();
 }
 
+TEST_F(EtudeServeTest, HealthzReportsModelAndExecConfig) {
+  TestHttpClient client(serve_->port());
+  const ClientResponse response = client.Request("GET", "/healthz");
+  ASSERT_EQ(response.status, 200);
+  auto body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok()) << response.body;
+  EXPECT_EQ(body->GetStringOr("status", ""), "ready");
+  EXPECT_EQ(body->GetStringOr("model", ""), "GRU4Rec");
+  EXPECT_EQ(body->GetIntOr("catalog_size", -1), 5000);
+  EXPECT_GE(body->GetNumberOr("uptime_seconds", -1.0), 0.0);
+  EXPECT_EQ(body->GetStringOr("exec_mode", ""), "eager");
+  EXPECT_EQ(body->GetStringOr("exec_plan", ""), "malloc");
+  EXPECT_EQ(body->GetIntOr("predictions_served", -1), 0);
+}
+
+#ifndef ETUDE_DISABLE_TRACING
+
+TEST_F(EtudeServeTest, SloReportsWindowedPercentilesAndAttribution) {
+  TestHttpClient client(serve_->port());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(client.Request("POST", "/predictions/gru4rec",
+                             "{\"session\": [5, 6]}")
+                  .status,
+              200);
+  }
+  // A parse error also flows into the window, as an error sample.
+  ASSERT_EQ(
+      client.Request("POST", "/predictions/gru4rec", "not json").status,
+      400);
+
+  const ClientResponse response = client.Request("GET", "/slo");
+  ASSERT_EQ(response.status, 200);
+  auto body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok()) << response.body;
+  EXPECT_TRUE(body->GetBoolOr("enabled", false));
+  EXPECT_EQ(body->GetIntOr("requests", -1), 5);
+  EXPECT_EQ(body->GetIntOr("errors", -1), 1);
+  EXPECT_GT(body->GetNumberOr("throughput_rps", 0.0), 0.0);
+
+  const JsonValue& slo = body->Get("slo");
+  ASSERT_TRUE(slo.is_object());
+  EXPECT_GT(slo.GetIntOr("target_p90_us", 0), 0);
+  EXPECT_GT(slo.GetIntOr("window_p90_us", 0), 0);
+  EXPECT_GE(slo.GetNumberOr("burn_rate", -1.0), 0.0);
+  EXPECT_TRUE(slo.Contains("met"));
+
+  const JsonValue& latency = body->Get("latency_us");
+  ASSERT_TRUE(latency.is_object());
+  EXPECT_EQ(latency.GetIntOr("count", -1), 5);
+
+  // Phase attribution: the serving phases appear with their share of the
+  // total. Only successful requests reach serialize.
+  const JsonValue& phases = body->Get("phases");
+  ASSERT_TRUE(phases.is_object());
+  const JsonValue& inference = phases.Get("inference");
+  ASSERT_TRUE(inference.is_object());
+  EXPECT_EQ(inference.GetIntOr("count", -1), 4);
+  EXPECT_GT(inference.GetNumberOr("share_of_total", -1.0), 0.0);
+  ASSERT_TRUE(phases.Get("parse").is_object());
+  EXPECT_EQ(phases.Get("parse").GetIntOr("count", -1), 5);
+
+  // Tail exemplars carry trace ids and phase offsets.
+  const JsonValue& slowest = body->Get("slowest");
+  ASSERT_TRUE(slowest.is_array());
+  ASSERT_GE(slowest.items().size(), 1u);
+  const JsonValue& worst = slowest.items()[0];
+  EXPECT_NE(worst.GetStringOr("trace_id", "").find("req-"),
+            std::string::npos);
+  EXPECT_GT(worst.GetIntOr("total_us", -1), 0);
+  ASSERT_TRUE(worst.Get("phases").is_object());
+}
+
+TEST_F(EtudeServeTest, MetricsCarryWindowedSloGauges) {
+  TestHttpClient client(serve_->port());
+  ASSERT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": [5]}")
+                .status,
+            200);
+
+  const ClientResponse json = client.Request("GET", "/metrics");
+  ASSERT_EQ(json.status, 200);
+  auto metrics = ParseJson(json.body);
+  ASSERT_TRUE(metrics.ok());
+  const JsonValue& slo = metrics->Get("slo");
+  ASSERT_TRUE(slo.is_object());
+  EXPECT_GT(slo.GetIntOr("window_p90_us", 0), 0);
+  EXPECT_GT(slo.GetNumberOr("window_throughput_rps", 0.0), 0.0);
+  EXPECT_GE(slo.GetNumberOr("burn_rate", -1.0), 0.0);
+  const JsonValue& routes = metrics->Get("requests_by_route");
+  ASSERT_TRUE(routes.is_object());
+  EXPECT_TRUE(routes.Contains("/slo"));
+  EXPECT_TRUE(routes.Contains("/debug/tail-traces"));
+
+  const ClientResponse prom = client.Request(
+      "GET", "/metrics?format=prometheus", "", true);
+  ASSERT_EQ(prom.status, 200);
+  EXPECT_TRUE(obs::ValidatePrometheusText(prom.body).ok());
+  EXPECT_NE(prom.body.find(
+                "etude_slo_window_latency_us{quantile=\"p90\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("etude_slo_burn_rate"), std::string::npos);
+  EXPECT_NE(prom.body.find("etude_slo_phase_p90_us{phase=\"inference\"}"),
+            std::string::npos);
+}
+
+TEST_F(EtudeServeTest, TailTracesAreValidChromeTraceJson) {
+  TestHttpClient client(serve_->port());
+  ASSERT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": [5, 6, 7]}")
+                .status,
+            200);
+  const ClientResponse response =
+      client.Request("GET", "/debug/tail-traces");
+  ASSERT_EQ(response.status, 200);
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  ASSERT_TRUE(parsed->is_array());
+  int requests = 0, phases = 0;
+  for (const JsonValue& event : parsed->items()) {
+    if (!event.is_object()) continue;
+    const std::string name = event.GetStringOr("name", "");
+    requests += name == "request";
+    phases += name == "inference" || name == "parse" || name == "serialize";
+  }
+  EXPECT_EQ(requests, 1);
+  EXPECT_EQ(phases, 3);
+
+  // The snapshot API agrees with the HTTP view.
+  const obs::WindowSnapshot snapshot = serve_->SloSnapshot();
+  EXPECT_TRUE(snapshot.enabled);
+  EXPECT_EQ(snapshot.requests, 1);
+  ASSERT_EQ(snapshot.slowest.size(), 1u);
+  EXPECT_EQ(snapshot.slowest[0].phases.size(), 3u);
+}
+
+#else  // ETUDE_DISABLE_TRACING
+
+TEST_F(EtudeServeTest, SloEndpointsAnswer501WhenCompiledOut) {
+  TestHttpClient client(serve_->port());
+  ASSERT_EQ(client.Request("POST", "/predictions/gru4rec",
+                           "{\"session\": [5]}")
+                .status,
+            200);
+  EXPECT_EQ(client.Request("GET", "/slo").status, 501);
+  EXPECT_EQ(client.Request("GET", "/debug/tail-traces").status, 501);
+  // The /metrics documents omit the windowed gauges entirely.
+  auto metrics = ParseJson(client.Request("GET", "/metrics").body);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->Contains("slo"));
+  EXPECT_FALSE(serve_->SloSnapshot().enabled);
+}
+
+#endif  // ETUDE_DISABLE_TRACING
+
 #ifndef ETUDE_DISABLE_TRACING
 TEST_F(EtudeServeTest, PredictionPathRecordsSpansWhenTraced) {
   obs::Tracer::Get().Clear();

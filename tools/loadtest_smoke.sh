@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the real-server load harness, run against an
+# existing build tree (default: build/):
+#
+#   tools/loadtest_smoke.sh [build-dir]
+#
+# Serves a small model, drives it with `etude loadtest` for ~2 seconds,
+# and checks that:
+#  - the loadtest exits cleanly with zero errors;
+#  - --json-out writes a well-formed schema-version-1 timeline report
+#    (summary + per-tick array + slowest exemplars with trace ids);
+#  - the server's /slo and /healthz endpoints answer 2xx with the
+#    traffic the run produced.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+ETUDE="${BUILD_DIR}/src/tools/etude"
+[ -x "${ETUDE}" ] || { echo "FAIL: ${ETUDE} not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "${SERVE_PID}" ] && kill "${SERVE_PID}" 2>/dev/null || true
+  rm -rf "${TMP}"
+}
+trap cleanup EXIT
+
+PORT=$((20000 + RANDOM % 20000))
+
+echo "=== serve: start a small model with SLO tracking ==="
+"${ETUDE}" serve --model GRU4Rec --catalog 2000 --port "${PORT}" \
+    --slo-p90-us 100000 --seconds 60 > /dev/null &
+SERVE_PID=$!
+
+echo "=== loadtest: ~2 s open-loop run against the live server ==="
+# --catalog must not exceed the server's: session item ids outside the
+# served catalog are rejected as 400s and would count as errors here.
+"${ETUDE}" loadtest --port "${PORT}" --rps 40 --seconds 2 \
+    --concurrency 2 --catalog 2000 --wait-s 10 \
+    --json-out "${TMP}/loadtest.json" \
+    | tee "${TMP}/loadtest.txt"
+grep -q "p90" "${TMP}/loadtest.txt"
+
+echo "=== loadtest: timeline JSON is well-formed ==="
+python3 - "${TMP}/loadtest.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema_version"] == 1, report["schema_version"]
+assert report["binary"] == "etude_loadtest", report["binary"]
+by_name = {s["name"]: s for s in report["series"]}
+latency = by_name["loadtest_latency_us"]
+assert latency["summary"]["count"] > 0, latency
+ticks = latency["timeline"]
+assert ticks, "timeline must have at least one tick"
+for tick in ticks:
+    assert {"tick", "sent", "ok", "errors", "p50", "p90", "p99",
+            "mean"} <= set(tick), tick
+errors = by_name["loadtest_errors"]["value"]
+assert errors == 0, f"loadtest saw {errors} errors"
+assert report["slowest"] and report["slowest"][0]["trace_id"], report
+print(f"timeline OK: {len(ticks)} tick(s), "
+      f"{latency['summary']['count']} ok request(s)")
+EOF
+
+echo "=== server: /slo and /healthz answer 2xx after the run ==="
+curl -fs "http://127.0.0.1:${PORT}/slo" \
+    | python3 -c 'import json,sys; slo = json.load(sys.stdin); \
+assert slo["enabled"] is True, slo; \
+assert slo["requests"] > 0, slo'
+curl -fs "http://127.0.0.1:${PORT}/healthz" \
+    | python3 -c 'import json,sys; h = json.load(sys.stdin); \
+assert h["status"] == "ready", h'
+
+kill "${SERVE_PID}" 2>/dev/null || true
+SERVE_PID=""
+
+echo "loadtest smoke: all checks passed"

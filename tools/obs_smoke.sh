@@ -9,7 +9,9 @@
 #  - `--trace-out` emits Chrome trace-event JSON with the required keys;
 #  - misspelled CLI flags fail loudly;
 #  - `etude serve` answers /metrics in JSON by default and in parseable
-#    Prometheus text format under `Accept: text/plain`.
+#    Prometheus text format under `Accept: text/plain`;
+#  - /healthz reports readiness plus the served model, and /slo reports
+#    the windowed SLO view with per-phase attribution.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,7 +60,7 @@ fi
 echo "=== serve: /metrics content negotiation ==="
 PORT=$((20000 + RANDOM % 20000))
 "${ETUDE}" serve --model GRU4Rec --catalog 2000 --port "${PORT}" \
-    --seconds 30 > /dev/null &
+    --slo-p90-us 50000 --seconds 30 > /dev/null &
 SERVE_PID=$!
 for _ in $(seq 1 50); do
   curl -fs "http://127.0.0.1:${PORT}/healthz" > /dev/null 2>&1 && break
@@ -86,6 +88,33 @@ if grep -Evq '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+|[+-]Inf|NaN
       "${TMP}/metrics.prom" >&2
   exit 1
 fi
+
+echo "=== serve: /healthz readiness payload ==="
+curl -fs "http://127.0.0.1:${PORT}/healthz" \
+    | python3 -c 'import json,sys; h = json.load(sys.stdin); \
+assert h["status"] == "ready", h; \
+assert h["model"] == "GRU4Rec", h; \
+assert h["uptime_seconds"] >= 0, h'
+
+echo "=== serve: /slo windowed view with phase attribution ==="
+curl -fs "http://127.0.0.1:${PORT}/slo" > "${TMP}/slo.json"
+python3 - "${TMP}/slo.json" <<'EOF'
+import json, sys
+slo = json.load(open(sys.argv[1]))
+assert slo["enabled"] is True, slo
+assert slo["requests"] >= 1, slo
+assert slo["slo"]["target_p90_us"] == 50000, slo
+assert "burn_rate" in slo["slo"], slo
+assert {"parse", "inference", "serialize"} <= set(slo["phases"]), slo
+assert slo["slowest"] and slo["slowest"][0]["trace_id"], slo
+print("slo OK: %d request(s) in window" % slo["requests"])
+EOF
+
+echo "=== serve: /debug/tail-traces is Chrome trace JSON ==="
+curl -fs "http://127.0.0.1:${PORT}/debug/tail-traces" \
+    | python3 -c 'import json,sys; events = json.load(sys.stdin); \
+assert isinstance(events, list) and events, "expected tail spans"; \
+assert any(e["name"] == "request" for e in events), events'
 
 kill "${SERVE_PID}" 2>/dev/null || true
 SERVE_PID=""
