@@ -1,6 +1,7 @@
 #include "bench/reporter.h"
 
 #include <cstdio>
+#include <iterator>
 #include <thread>
 
 #include "common/parallel.h"
@@ -95,6 +96,14 @@ void BenchReporter::AddTimeline(const std::string& name,
     entry.Set("p90", JsonValue(summary.p90));
     entry.Set("p99", JsonValue(summary.p99));
     entry.Set("mean", JsonValue(summary.mean));
+    // Per-pod telemetry fields. Client-side producers (the load
+    // generators) leave these zero, so every timeline — DES pod or real
+    // loadtest — serialises the same entry schema (see
+    // ValidateTimelineJson).
+    entry.Set("queue_peak", JsonValue(tick.queue_depth_peak));
+    entry.Set("queue_mean", JsonValue(tick.QueueDepthMean()));
+    entry.Set("in_flight", JsonValue(tick.in_flight));
+    entry.Set("utilization", JsonValue(tick.utilization));
     ticks.Append(std::move(entry));
   }
   series.Set("timeline", std::move(ticks));
@@ -133,6 +142,66 @@ JsonValue BenchReporter::ToJson() const {
   doc.Set("env", std::move(env));
   doc.Set("series", series_);
   return doc;
+}
+
+Status ValidateTimelineJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("timeline document is not an object");
+  }
+  if (doc.GetIntOr("schema_version", -1) != 1) {
+    return Status::InvalidArgument("timeline document: schema_version != 1");
+  }
+  const JsonValue& series = doc.Get("series");
+  if (!series.is_array()) {
+    return Status::InvalidArgument("timeline document: no series array");
+  }
+  static const char* kTickKeys[] = {"tick",      "sent",       "ok",
+                                    "errors",    "p50",        "p90",
+                                    "p99",       "mean",       "queue_peak",
+                                    "queue_mean", "in_flight", "utilization"};
+  int timeline_series = 0;
+  for (const JsonValue& entry : series.items()) {
+    if (!entry.is_object() || !entry.Contains("timeline")) continue;
+    ++timeline_series;
+    const std::string name = entry.GetStringOr("name", "<unnamed>");
+    const JsonValue& ticks = entry.Get("timeline");
+    if (!ticks.is_array()) {
+      return Status::InvalidArgument("series '" + name +
+                                     "': timeline is not an array");
+    }
+    int64_t last_tick = -1;
+    for (const JsonValue& tick : ticks.items()) {
+      if (!tick.is_object()) {
+        return Status::InvalidArgument("series '" + name +
+                                       "': non-object timeline entry");
+      }
+      if (tick.members().size() != std::size(kTickKeys)) {
+        return Status::InvalidArgument(
+            "series '" + name + "': timeline entry has " +
+            std::to_string(tick.members().size()) + " keys, expected " +
+            std::to_string(std::size(kTickKeys)));
+      }
+      for (const char* key : kTickKeys) {
+        if (!tick.Contains(key) || !tick.Get(key).is_number()) {
+          return Status::InvalidArgument("series '" + name +
+                                         "': timeline entry missing numeric "
+                                         "key '" +
+                                         key + "'");
+        }
+      }
+      const int64_t tick_index = tick.GetIntOr("tick", -1);
+      if (tick_index <= last_tick) {
+        return Status::InvalidArgument("series '" + name +
+                                       "': ticks not strictly increasing");
+      }
+      last_tick = tick_index;
+    }
+  }
+  if (timeline_series == 0) {
+    return Status::InvalidArgument(
+        "timeline document: no series carries a timeline array");
+  }
+  return Status::OK();
 }
 
 Status BenchReporter::WriteJson(const std::string& path) const {

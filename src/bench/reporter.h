@@ -65,9 +65,12 @@ class BenchReporter {
   /// whole-run "summary" (the aggregate latency distribution — this is
   /// what bench_diff compares, so timeline series stay diffable) and an
   /// additive "timeline" array with one entry per one-second tick:
-  /// {tick, sent, ok, errors, p50, p90, p99, mean}. Older readers that
-  /// only understand "summary" ignore the extra field, so the document's
-  /// schema_version stays 1.
+  /// {tick, sent, ok, errors, p50, p90, p99, mean, queue_peak,
+  /// queue_mean, in_flight, utilization}. Older readers that only
+  /// understand "summary" ignore the extra field, so the document's
+  /// schema_version stays 1. Every timeline producer — the DES pods and
+  /// the real-socket load generator — emits exactly this entry shape
+  /// (enforced by ValidateTimelineJson).
   void AddTimeline(const std::string& name, const std::string& unit,
                    const Params& params, Direction direction,
                    const metrics::TimeSeriesRecorder& timeline);
@@ -90,6 +93,16 @@ class BenchReporter {
   BenchEnv env_;
   JsonValue series_ = JsonValue::MakeArray();
 };
+
+/// Checks that a BENCH document's timeline series all follow the one
+/// shared per-tick schema: schema_version 1, at least one series with a
+/// "timeline" array, and every entry carrying exactly the keys
+/// {tick, sent, ok, errors, p50, p90, p99, mean, queue_peak, queue_mean,
+/// in_flight, utilization} with numeric values and strictly increasing
+/// ticks. The DES per-pod telemetry and the real-server loadtest both
+/// emit through AddTimeline, and this validator is the crosscheck that
+/// keeps the two surfaces byte-compatible.
+Status ValidateTimelineJson(const JsonValue& doc);
 
 }  // namespace etude::bench
 

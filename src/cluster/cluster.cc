@@ -111,6 +111,18 @@ bool Deployment::AllReady() const {
   return true;
 }
 
+Deployment::FleetTelemetry Deployment::CollectTelemetry() const {
+  FleetTelemetry fleet;
+  for (const auto& pod : pods_) {
+    const serving::PodTelemetry& telemetry = pod->server()->telemetry();
+    fleet.metrics.Merge(telemetry.MetricsSnapshot());
+    fleet.latency_us.Merge(telemetry.LatencyUs());
+    fleet.pod_timelines.push_back(
+        telemetry.FinalizedTimeline(pod->server()->executor_slots()));
+  }
+  return fleet;
+}
+
 double Deployment::MonthlyCostUsd() const {
   return static_cast<double>(config_.replicas) *
          config_.device.monthly_cost_usd;

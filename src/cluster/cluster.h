@@ -6,7 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "metrics/histogram.h"
+#include "metrics/timeseries.h"
 #include "models/session_model.h"
+#include "obs/metric_registry.h"
 #include "serving/request.h"
 #include "serving/sim_server.h"
 #include "sim/device.h"
@@ -107,6 +110,26 @@ class Deployment {
   double MonthlyCostUsd() const;
 
   const DeploymentConfig& config() const { return config_; }
+
+  int num_pods() const { return static_cast<int>(pods_.size()); }
+  const serving::SimInferenceServer& pod_server(int index) const {
+    return *pods_[static_cast<size_t>(index)]->server();
+  }
+
+  /// Fleet-wide view assembled from the per-pod telemetry, collected
+  /// before the deployment is torn down.
+  struct FleetTelemetry {
+    // Per-pod registry snapshots merged: counters summed, latency
+    // histograms Merge()d bucket-exactly, gauges summed across pods.
+    obs::RegistrySnapshot metrics;
+    // The fleet latency distribution — the exact Merge of every pod's
+    // histogram (crosschecked in tests against merging them by hand).
+    metrics::LatencyHistogram latency_us;
+    // One finalized (utilization computed) timeline per pod, in pod
+    // order. Same TickStats schema as the loadtest timeline.
+    std::vector<metrics::TimeSeriesRecorder> pod_timelines;
+  };
+  FleetTelemetry CollectTelemetry() const;
 
  private:
   DeploymentConfig config_;

@@ -266,6 +266,12 @@ const JsonValue& JsonValue::Get(const std::string& key) const {
   return it->second;
 }
 
+JsonValue* JsonValue::GetMutable(const std::string& key) {
+  auto it = object_.find(key);
+  if (it == object_.end()) return nullptr;
+  return &it->second;
+}
+
 double JsonValue::GetNumberOr(const std::string& key, double fallback) const {
   const JsonValue& v = Get(key);
   return v.is_number() ? v.as_number() : fallback;

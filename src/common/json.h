@@ -64,6 +64,9 @@ class JsonValue {
   /// Returns the member or a null value when absent.
   const JsonValue& Get(const std::string& key) const;
 
+  /// Mutable member access; nullptr when absent (objects only).
+  JsonValue* GetMutable(const std::string& key);
+
   /// Typed accessors with defaults, for config-style reads.
   double GetNumberOr(const std::string& key, double fallback) const;
   int64_t GetIntOr(const std::string& key, int64_t fallback) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bench/reporter.h"
 #include "common/strings.h"
 #include "models/model_factory.h"
 #include "sim/simulation.h"
@@ -90,11 +91,44 @@ Result<BenchmarkReport> RunDeployedBenchmark(const BenchmarkSpec& spec) {
   report.device_name = spec.device.name;
   report.replicas = spec.replicas;
   report.load = generator.BuildResult();
+  report.fleet = deployment.CollectTelemetry();
   report.monthly_cost_usd = deployment.MonthlyCostUsd();
   report.meets_slo = report.load.MeetsSlo(spec.scenario.target_rps,
                                           spec.scenario.p90_limit_ms);
   report.ready_after_ms = ready_after_ms;
   return report;
+}
+
+JsonValue DeployedBenchmarkJson(const BenchmarkReport& report) {
+  bench::BenchReporter reporter("etude_run", bench::BenchEnv::Capture());
+  const bench::Params run_params = {
+      {"scenario", report.scenario_name},
+      {"model", report.model_name},
+      {"device", report.device_name},
+      {"replicas", std::to_string(report.replicas)},
+  };
+  // One timeline series per pod, in the same tick schema as the loadtest
+  // timeline (ValidateTimelineJson accepts both documents).
+  for (size_t i = 0; i < report.fleet.pod_timelines.size(); ++i) {
+    bench::Params pod_params = run_params;
+    pod_params.emplace_back("pod", std::to_string(i));
+    reporter.AddTimeline("pod_latency_us", "us", pod_params,
+                         bench::Direction::kLowerIsBetter,
+                         report.fleet.pod_timelines[i]);
+  }
+  reporter.AddSummary("fleet_latency_us", "us", run_params,
+                      bench::Direction::kLowerIsBetter,
+                      report.fleet.latency_us.Summarize());
+  reporter.AddValue("fleet_achieved_rps", "req/s", run_params,
+                    bench::Direction::kHigherIsBetter,
+                    report.load.steady_achieved_rps);
+  reporter.AddValue("monthly_cost_usd", "usd", run_params,
+                    bench::Direction::kInfo, report.monthly_cost_usd);
+  JsonValue doc = reporter.ToJson();
+  // The merged per-pod metric registries: counters summed across the
+  // fleet, latency histograms Merge()d bucket-exactly.
+  doc.Set("fleet_metrics", report.fleet.metrics.ToJson());
+  return doc;
 }
 
 }  // namespace etude::core

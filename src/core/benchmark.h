@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "common/json.h"
 #include "common/status.h"
 #include "core/scenario.h"
 #include "loadgen/load_generator.h"
@@ -45,6 +46,10 @@ struct BenchmarkReport {
   bool meets_slo = false;
   int64_t ready_after_ms = 0;  // deployment readiness time
 
+  /// Per-pod + fleet-aggregated telemetry, copied out of the deployment
+  /// before it is torn down (see Deployment::CollectTelemetry).
+  cluster::Deployment::FleetTelemetry fleet;
+
   /// One-line human-readable summary.
   std::string Summary() const;
 };
@@ -53,6 +58,13 @@ struct BenchmarkReport {
 /// the backpressure-aware load generator against the ClusterIP service and
 /// aggregates the measurements.
 Result<BenchmarkReport> RunDeployedBenchmark(const BenchmarkSpec& spec);
+
+/// The report rendered as a schema-versioned BENCH JSON document: one
+/// "pod_latency_us" timeline series per pod (Params {"pod", "<i>"}) in the
+/// SAME tick schema as `etude loadtest` (bench::ValidateTimelineJson
+/// accepts both), a fleet latency summary, and the merged per-pod metric
+/// registry under "fleet_metrics".
+JsonValue DeployedBenchmarkJson(const BenchmarkReport& report);
 
 }  // namespace etude::core
 

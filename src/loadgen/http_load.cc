@@ -38,6 +38,7 @@ struct SharedState {
   double next_arrival_us ETUDE_GUARDED_BY(pace_mutex) = 0;
   Rng rng ETUDE_GUARDED_BY(pace_mutex){0};
   size_t body_index ETUDE_GUARDED_BY(pace_mutex) = 0;
+  int64_t next_sequence ETUDE_GUARDED_BY(pace_mutex) = 0;
 
   // Results: one record per completed (or failed) request.
   Mutex result_mutex;
@@ -122,17 +123,24 @@ Result<HttpLoadResult> HttpLoadGenerator::Run() {
       std::max(0, config_.slowest_keep));
   const auto start = Clock::now();
 
-  auto worker = [&]() {
+  auto worker = [&](int worker_index) {
     net::HttpClient client(config_.host, config_.port, config_.timeout_s);
+    // Trace propagation: the client mints the x-trace-id (which the
+    // server adopts for its spans and tail exemplars) and names itself
+    // as the parent span, so one id follows the request across hops.
+    const std::string parent_span =
+        "loadgen-w" + std::to_string(worker_index);
     while (true) {
       double arrival_us = 0;
       const std::string* body = nullptr;
+      int64_t sequence = 0;
       {
         MutexLock lock(shared.pace_mutex);
         arrival_us = shared.next_arrival_us;
         shared.next_arrival_us +=
             -std::log(shared.rng.NextDoublePositive()) * mean_gap_us;
         body = &bodies[shared.body_index++ % bodies.size()];
+        sequence = shared.next_sequence++;
       }
       if (arrival_us >= duration_us) break;
       const auto scheduled =
@@ -140,8 +148,13 @@ Result<HttpLoadResult> HttpLoadGenerator::Run() {
                       static_cast<int64_t>(arrival_us));
       std::this_thread::sleep_until(scheduled);
 
+      const std::string sent_trace_id = "lt-" +
+                                        std::to_string(config_.seed) + "-" +
+                                        std::to_string(sequence);
       const Result<net::HttpClientResponse> response =
-          client.Request("POST", config_.route, *body);
+          client.Request("POST", config_.route, *body,
+                         {{"x-trace-id", sent_trace_id},
+                          {"x-parent-span", parent_span}});
       // Open-loop latency: from the scheduled arrival, so time spent
       // waiting for a free worker or socket counts against the server.
       const int64_t latency_us =
@@ -151,11 +164,14 @@ Result<HttpLoadResult> HttpLoadGenerator::Run() {
       const int64_t tick = static_cast<int64_t>(arrival_us / 1e6);
       const bool ok = response.ok() && response->status == 200;
       int64_t inference_us = -1;
-      std::string trace_id;
+      // The server echoes the trace id it adopted; keep the one we sent
+      // when the request never got an answer.
+      std::string trace_id = sent_trace_id;
       if (response.ok()) {
         const std::string header = response->Header("x-inference-us");
         if (!header.empty()) inference_us = std::atoll(header.c_str());
-        trace_id = response->Header("x-trace-id");
+        const std::string echoed = response->Header("x-trace-id");
+        if (!echoed.empty()) trace_id = echoed;
       }
 
       MutexLock lock(shared.result_mutex);
@@ -185,7 +201,7 @@ Result<HttpLoadResult> HttpLoadGenerator::Run() {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(config_.concurrency));
   for (int i = 0; i < config_.concurrency; ++i) {
-    workers.emplace_back(worker);
+    workers.emplace_back(worker, i);
   }
   for (std::thread& thread : workers) thread.join();
 
@@ -207,7 +223,47 @@ Result<HttpLoadResult> HttpLoadGenerator::Run() {
   result.total_errors = result.timeline.TotalErrors();
   result.achieved_rps =
       static_cast<double>(result.total_ok) / config_.duration_s;
+  if (config_.collect_critical_paths && !result.slowest.empty()) {
+    result.critical_paths = CollectCriticalPaths(result.slowest);
+  }
   return result;
+}
+
+std::vector<obs::CriticalPathReport> HttpLoadGenerator::CollectCriticalPaths(
+    const std::vector<SlowRequest>& slowest) {
+  std::vector<obs::CriticalPathReport> reports;
+  // One extra request against the server we just loaded: its SLO window
+  // still holds the tail exemplars for the run, keyed by the trace ids
+  // the workers minted. Everything here is best-effort — a server built
+  // with ETUDE_DISABLE_TRACING answers 501 and we return nothing.
+  net::HttpClient client(config_.host, config_.port, config_.timeout_s);
+  const Result<net::HttpClientResponse> response =
+      client.Request("GET", "/slo");
+  if (!response.ok() || response->status != 200) return reports;
+  const Result<JsonValue> doc = ParseJson(response->body);
+  if (!doc.ok()) return reports;
+  const JsonValue& exemplars = doc->Get("slowest");
+  if (!exemplars.is_array()) return reports;
+
+  for (const SlowRequest& slow : slowest) {
+    for (const JsonValue& exemplar : exemplars.items()) {
+      if (exemplar.GetStringOr("trace_id", "") != slow.trace_id) continue;
+      const int64_t server_total_us = exemplar.GetIntOr("total_us", 0);
+      std::vector<obs::PhaseSpan> phases;
+      const JsonValue& phase_map = exemplar.Get("phases");
+      if (phase_map.is_object()) {
+        for (const auto& [name, span] : phase_map.members()) {
+          phases.push_back(obs::PhaseSpan{
+              name, span.GetIntOr("start_us", 0), span.GetIntOr("dur_us", 0)});
+        }
+      }
+      reports.push_back(obs::AnalyzeCriticalPath(
+          slow.trace_id, slow.latency_us, server_total_us,
+          std::move(phases)));
+      break;
+    }
+  }
+  return reports;
 }
 
 JsonValue LoadTimelineJson(const HttpLoadConfig& config,
@@ -240,6 +296,28 @@ JsonValue LoadTimelineJson(const HttpLoadConfig& config,
     slowest.Append(std::move(entry));
   }
   doc.Set("slowest", std::move(slowest));
+  // Cross-hop attribution for those requests, when the server's SLO
+  // window still held their exemplars.
+  JsonValue critical_paths = JsonValue::MakeArray();
+  for (const obs::CriticalPathReport& report : result.critical_paths) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("trace_id", JsonValue(report.trace_id));
+    entry.Set("client_total_us", JsonValue(report.client_total_us));
+    entry.Set("server_total_us", JsonValue(report.server_total_us));
+    entry.Set("dominant", JsonValue(report.dominant));
+    JsonValue hops = JsonValue::MakeArray();
+    for (const obs::CriticalPathHop& hop : report.hops) {
+      JsonValue hop_entry = JsonValue::MakeObject();
+      hop_entry.Set("name", JsonValue(hop.name));
+      hop_entry.Set("start_us", JsonValue(hop.start_us));
+      hop_entry.Set("dur_us", JsonValue(hop.dur_us));
+      hop_entry.Set("share", JsonValue(hop.share));
+      hops.Append(std::move(hop_entry));
+    }
+    entry.Set("hops", std::move(hops));
+    critical_paths.Append(std::move(entry));
+  }
+  doc.Set("critical_paths", std::move(critical_paths));
   return doc;
 }
 

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "metrics/histogram.h"
 #include "metrics/timeseries.h"
+#include "obs/critical_path.h"
 #include "workload/session_generator.h"
 
 namespace etude::loadgen {
@@ -40,6 +41,12 @@ struct HttpLoadConfig {
   // Client-observed slowest requests retained (with their server
   // x-trace-id, so the server's /debug/tail-traces can be correlated).
   int slowest_keep = 8;
+  // After the run, fetch the server's /slo tail exemplars and build a
+  // cross-hop critical-path breakdown for each retained slow request
+  // whose trace id the server still remembers. Best-effort: skipped
+  // silently when the server was built without tracing (501) or the
+  // exemplars have rotated out.
+  bool collect_critical_paths = true;
 };
 
 /// One of the slowest client-observed requests of the run.
@@ -59,6 +66,10 @@ struct HttpLoadResult {
   // HTTP framing and queueing.
   metrics::LatencyHistogram server_inference_us;
   std::vector<SlowRequest> slowest;  // descending by latency
+  // Cross-hop attribution for the slowest requests: the client-observed
+  // latency joined with the server's phase spans for the same trace id
+  // (empty when collection is disabled or no exemplar matched).
+  std::vector<obs::CriticalPathReport> critical_paths;
 
   double target_rps = 0;
   double duration_s = 0;
@@ -90,6 +101,12 @@ class HttpLoadGenerator {
                           double wait_s);
 
  private:
+  /// Fetches the server's /slo tail exemplars and joins them with the
+  /// slowest client-observed requests by trace id. Best-effort: returns
+  /// empty on 501 (tracing disabled), parse failure or no match.
+  std::vector<obs::CriticalPathReport> CollectCriticalPaths(
+      const std::vector<SlowRequest>& slowest);
+
   HttpLoadConfig config_;
 };
 

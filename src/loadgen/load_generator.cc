@@ -109,6 +109,9 @@ void LoadGenerator::SendOneRequest(int64_t tick) {
 
   serving::InferenceRequest request;
   request.request_id = next_request_id_++;
+  // Trace propagation (the simulated x-trace-id header): the server's
+  // spans adopt this id, so loadgen and pod views of one request share it.
+  request.trace_id = "sim-" + std::to_string(request.request_id);
   request.session_id = cursor->session.session_id;
   const size_t prefix_end = cursor->next_click + 1;
   request.session_items.assign(cursor->session.items.begin(),

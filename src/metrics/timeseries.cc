@@ -29,6 +29,35 @@ void TimeSeriesRecorder::RecordResponse(int64_t tick, int64_t latency_us,
   }
 }
 
+void TimeSeriesRecorder::RecordQueueDepth(int64_t tick, int64_t depth) {
+  TickStats& stats = TickAt(tick);
+  stats.queue_depth_sum += depth;
+  stats.queue_depth_samples += 1;
+  if (depth > stats.queue_depth_peak) stats.queue_depth_peak = depth;
+}
+
+void TimeSeriesRecorder::RecordInFlight(int64_t tick, int64_t value) {
+  TickAt(tick).in_flight = value;
+}
+
+void TimeSeriesRecorder::AddBusyUs(int64_t tick, int64_t us) {
+  TickAt(tick).busy_us += us;
+}
+
+void TimeSeriesRecorder::FinalizeUtilization(int worker_slots) {
+  const double capacity_us = static_cast<double>(worker_slots) * 1e6;
+  for (TickStats& stats : ticks_) {
+    if (capacity_us <= 0) {
+      stats.utilization = 0;
+      continue;
+    }
+    const double utilization =
+        static_cast<double>(stats.busy_us) / capacity_us;
+    stats.utilization =
+        utilization < 0 ? 0 : (utilization > 1 ? 1 : utilization);
+  }
+}
+
 LatencyHistogram TimeSeriesRecorder::AggregateLatencies() const {
   LatencyHistogram aggregate;
   for (const TickStats& stats : ticks_) {

@@ -18,6 +18,24 @@ struct TickStats {
   int64_t responses_ok = 0;       // successful responses received
   int64_t responses_error = 0;    // HTTP errors / timeouts
   LatencyHistogram latencies;     // end-to-end latencies observed this tick
+
+  // Per-pod telemetry (DES pods sample these on every arrival/departure;
+  // a client-side load generator leaves them at zero, keeping the
+  // serialized schema identical across both producers).
+  int64_t queue_depth_peak = 0;     // max waiting-queue depth sampled
+  int64_t queue_depth_sum = 0;      // sum of sampled depths ...
+  int64_t queue_depth_samples = 0;  // ... over this many samples
+  int64_t in_flight = 0;            // last sampled in-flight (admitted) count
+  int64_t busy_us = 0;              // executor-busy microseconds in the tick
+  double utilization = 0;           // busy_us / (worker_slots * 1e6), set by
+                                    // FinalizeUtilization
+
+  double QueueDepthMean() const {
+    return queue_depth_samples > 0
+               ? static_cast<double>(queue_depth_sum) /
+                     static_cast<double>(queue_depth_samples)
+               : 0.0;
+  }
 };
 
 /// Collects per-tick statistics over the course of one benchmark run.
@@ -29,6 +47,17 @@ class TimeSeriesRecorder {
 
   void RecordRequest(int64_t tick);
   void RecordResponse(int64_t tick, int64_t latency_us, bool ok);
+
+  /// Telemetry sampling (per-pod DES instrumentation). Depth/in-flight
+  /// are point samples; busy time is additive and may be split across
+  /// ticks by the caller.
+  void RecordQueueDepth(int64_t tick, int64_t depth);
+  void RecordInFlight(int64_t tick, int64_t value);
+  void AddBusyUs(int64_t tick, int64_t us);
+
+  /// Converts accumulated busy_us into per-tick utilization of
+  /// `worker_slots` executors (clamped to [0, 1]).
+  void FinalizeUtilization(int worker_slots);
 
   const std::vector<TickStats>& ticks() const { return ticks_; }
   int64_t num_ticks() const { return static_cast<int64_t>(ticks_.size()); }

@@ -18,6 +18,11 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;  // lower-cased names
   std::string body;
 
+  /// Accept-to-handler wait: how long the parsed request sat in the
+  /// worker queue before a handler thread picked it up. Stamped by
+  /// HttpServer; 0 for requests constructed any other way.
+  int64_t queue_delay_us = 0;
+
   /// Case-insensitive header lookup; returns "" when absent.
   std::string_view Header(const std::string& name) const;
 

@@ -181,6 +181,7 @@ void HttpServer::DispatchToWorker(Connection* connection) {
   job.fd = connection->fd;
   job.request = connection->parser.request();
   job.keep_alive = job.request.KeepAlive();
+  job.enqueued_at = std::chrono::steady_clock::now();
   {
     MutexLock lock(jobs_mutex_);
     jobs_.push_back(std::move(job));
@@ -200,6 +201,10 @@ void HttpServer::WorkerMain() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+    job.request.queue_delay_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - job.enqueued_at)
+            .count();
     HttpResponse response = handler_(job.request);
     QueueResponse(job.fd, response, job.keep_alive);
   }

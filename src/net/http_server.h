@@ -2,6 +2,7 @@
 #define ETUDE_NET_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
@@ -92,6 +93,9 @@ class HttpServer {
     int fd;
     HttpRequest request;
     bool keep_alive;
+    // When the IO thread enqueued the job; the worker turns the wait into
+    // the request's queue_delay_us (the SLO monitor's "queue" phase).
+    std::chrono::steady_clock::time_point enqueued_at;
   };
   Mutex jobs_mutex_;
   CondVar jobs_cv_;

@@ -1,0 +1,69 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace etude::obs {
+
+CriticalPathReport AnalyzeCriticalPath(const std::string& trace_id,
+                                       int64_t client_total_us,
+                                       int64_t server_total_us,
+                                       std::vector<PhaseSpan> phases) {
+  CriticalPathReport report;
+  report.trace_id = trace_id;
+  report.client_total_us = client_total_us;
+  report.server_total_us = server_total_us;
+
+  std::sort(phases.begin(), phases.end(),
+            [](const PhaseSpan& a, const PhaseSpan& b) {
+              return a.start_us < b.start_us;
+            });
+  int64_t attributed_us = 0;
+  for (const PhaseSpan& phase : phases) {
+    report.hops.push_back(CriticalPathHop{phase.name, phase.start_us,
+                                          phase.dur_us, 0.0});
+    attributed_us += phase.dur_us;
+  }
+  if (server_total_us > attributed_us) {
+    report.hops.push_back(CriticalPathHop{
+        "unattributed", attributed_us, server_total_us - attributed_us,
+        0.0});
+  }
+  if (client_total_us > server_total_us) {
+    report.hops.push_back(CriticalPathHop{
+        "network+client", server_total_us,
+        client_total_us - server_total_us, 0.0});
+  }
+
+  const double denominator =
+      client_total_us > 0 ? static_cast<double>(client_total_us) : 1.0;
+  int64_t worst_us = -1;
+  for (CriticalPathHop& hop : report.hops) {
+    hop.share = static_cast<double>(hop.dur_us) / denominator;
+    if (hop.dur_us > worst_us) {
+      worst_us = hop.dur_us;
+      report.dominant = hop.name;
+    }
+  }
+  return report;
+}
+
+std::string CriticalPathText(const CriticalPathReport& report) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "trace %s: client %lld us, server %lld us\n",
+                report.trace_id.c_str(),
+                static_cast<long long>(report.client_total_us),
+                static_cast<long long>(report.server_total_us));
+  std::string out = line;
+  for (const CriticalPathHop& hop : report.hops) {
+    std::snprintf(line, sizeof(line), "  %-16s %10lld us  %5.1f%%%s\n",
+                  hop.name.c_str(), static_cast<long long>(hop.dur_us),
+                  hop.share * 100.0,
+                  hop.name == report.dominant ? "  <- dominant" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace etude::obs

@@ -1,0 +1,52 @@
+#ifndef ETUDE_OBS_CRITICAL_PATH_H_
+#define ETUDE_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/slo_monitor.h"
+
+namespace etude::obs {
+
+/// One hop of a request's critical path: a server phase (queue, parse,
+/// inference, serialize, ...) or a synthesized residual hop.
+struct CriticalPathHop {
+  std::string name;
+  int64_t start_us = 0;  // offset from the request's server-side start
+  int64_t dur_us = 0;
+  double share = 0;  // fraction of the CLIENT-observed total
+};
+
+/// The cross-hop breakdown of one slow request, assembled by correlating
+/// the load generator's client-side latency with the server's tail
+/// exemplar for the same trace id.
+struct CriticalPathReport {
+  std::string trace_id;
+  int64_t client_total_us = 0;  // what the client waited
+  int64_t server_total_us = 0;  // what the server's SLO monitor recorded
+  std::vector<CriticalPathHop> hops;
+  std::string dominant;  // name of the longest hop
+};
+
+/// Builds the breakdown. `phases` are the server's recorded phase spans
+/// (any order; sorted by start here). Two residual hops are synthesized:
+///   "unattributed"   server time no phase covers (server_total - sum of
+///                    phases, when positive), and
+///   "network+client" the gap between the client-observed total and the
+///                    server-side total (clamped at zero) — wire time,
+///                    kernel queues and client-side overhead.
+/// Shares are fractions of `client_total_us`; pass client_total_us ==
+/// server_total_us for a server-only view (e.g. DES spans).
+CriticalPathReport AnalyzeCriticalPath(const std::string& trace_id,
+                                       int64_t client_total_us,
+                                       int64_t server_total_us,
+                                       std::vector<PhaseSpan> phases);
+
+/// Human-readable rendering for `etude loadtest` output: one line per
+/// hop with duration and share, worst first marked.
+std::string CriticalPathText(const CriticalPathReport& report);
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_CRITICAL_PATH_H_

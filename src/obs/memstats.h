@@ -17,6 +17,15 @@ namespace etude::obs {
 ///
 /// Building with -DETUDE_DISABLE_TRACING compiles the recording calls out
 /// entirely; all queries then report zero.
+///
+/// kMemStatsCompiled is false in that configuration; tests that assert on
+/// the accounting skip themselves when it is false.
+#ifdef ETUDE_DISABLE_TRACING
+inline constexpr bool kMemStatsCompiled = false;
+#else
+inline constexpr bool kMemStatsCompiled = true;
+#endif
+
 struct MemStats {
   int64_t allocated_bytes = 0;
   int64_t freed_bytes = 0;

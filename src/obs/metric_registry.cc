@@ -1,0 +1,348 @@
+#include "obs/metric_registry.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/prometheus.h"
+
+namespace etude::obs {
+
+namespace {
+
+/// Escapes a label value for the Prometheus text format: backslash,
+/// double-quote and newline are the three characters the format reserves.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelString(const std::vector<MetricLabel>& labels) {
+  std::string out;
+  for (const MetricLabel& label : labels) {
+    if (!out.empty()) out += ',';
+    out += label.key + "=\"" + EscapeLabelValue(label.value) + "\"";
+  }
+  return out;
+}
+
+/// Walks/creates the nested objects of a dotted path and sets the leaf.
+void SetJsonPath(JsonValue* root, std::string_view path, JsonValue value) {
+  JsonValue* node = root;
+  size_t start = 0;
+  while (true) {
+    const size_t dot = path.find('.', start);
+    const std::string key(path.substr(
+        start, dot == std::string_view::npos ? path.size() - start
+                                             : dot - start));
+    if (dot == std::string_view::npos) {
+      node->Set(key, std::move(value));
+      return;
+    }
+    if (!node->Contains(key) || !node->Get(key).is_object()) {
+      node->Set(key, JsonValue::MakeObject());
+    }
+    node = node->GetMutable(key);
+    start = dot + 1;
+  }
+}
+
+JsonValue SummaryJson(const metrics::LatencyHistogram::Summary& summary) {
+  JsonValue stats = JsonValue::MakeObject();
+  stats.Set("count", JsonValue(summary.count));
+  stats.Set("sum", JsonValue(summary.sum));
+  stats.Set("min", JsonValue(summary.min));
+  stats.Set("mean", JsonValue(summary.mean));
+  stats.Set("p50", JsonValue(summary.p50));
+  stats.Set("p90", JsonValue(summary.p90));
+  stats.Set("p99", JsonValue(summary.p99));
+  stats.Set("max", JsonValue(summary.max));
+  return stats;
+}
+
+/// Shard choice for histogram recording: hash the thread id once per
+/// thread so each worker sticks to one shard and contention only occurs
+/// when two workers hash alike.
+size_t ThreadShard(int shards) {
+  static thread_local const size_t hashed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hashed % static_cast<size_t>(shards);
+}
+
+}  // namespace
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kInfo:
+      return "info";
+  }
+  return "gauge";
+}
+
+Histogram::Histogram() : shards_(new Shard[kShards]) {}
+
+void Histogram::Record(int64_t value_us) {
+  Shard& shard = shards_[ThreadShard(kShards)];
+  MutexLock lock(shard.mutex);
+  shard.histogram.Record(value_us);
+}
+
+metrics::LatencyHistogram Histogram::Merged() const {
+  metrics::LatencyHistogram merged;
+  for (int i = 0; i < kShards; ++i) {
+    const Shard& shard = shards_[i];
+    MutexLock lock(shard.mutex);
+    merged.Merge(shard.histogram);
+  }
+  return merged;
+}
+
+MetricRegistry::Family* MetricRegistry::GetFamily(const std::string& name,
+                                                  const std::string& help,
+                                                  MetricKind kind) {
+  for (const auto& family : families_) {
+    if (family->name == name) {
+      ETUDE_CHECK(family->kind == kind)
+          << "metric family '" << name << "' re-registered as "
+          << MetricKindName(kind) << " (was "
+          << MetricKindName(family->kind) << ")";
+      return family.get();
+    }
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->kind = kind;
+  families_.push_back(std::move(family));
+  return families_.back().get();
+}
+
+MetricRegistry::Instrument* MetricRegistry::GetInstrument(
+    Family* family, std::vector<MetricLabel> labels,
+    const std::string& json_path) {
+  for (const auto& instrument : family->instruments) {
+    if (instrument->labels == labels) return instrument.get();
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->labels = std::move(labels);
+  instrument->json_path = json_path;
+  family->instruments.push_back(std::move(instrument));
+  return family->instruments.back().get();
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    std::vector<MetricLabel> labels,
+                                    const std::string& json_path) {
+  MutexLock lock(mutex_);
+  Family* family = GetFamily(name, help, MetricKind::kCounter);
+  Instrument* instrument =
+      GetInstrument(family, std::move(labels), json_path);
+  if (!instrument->counter) instrument->counter = std::make_unique<Counter>();
+  return instrument->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                std::vector<MetricLabel> labels,
+                                const std::string& json_path) {
+  MutexLock lock(mutex_);
+  Family* family = GetFamily(name, help, MetricKind::kGauge);
+  Instrument* instrument =
+      GetInstrument(family, std::move(labels), json_path);
+  if (!instrument->gauge) instrument->gauge = std::make_unique<Gauge>();
+  return instrument->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        std::vector<MetricLabel> labels,
+                                        const std::string& json_path) {
+  MutexLock lock(mutex_);
+  Family* family = GetFamily(name, help, MetricKind::kHistogram);
+  Instrument* instrument =
+      GetInstrument(family, std::move(labels), json_path);
+  if (!instrument->histogram) {
+    instrument->histogram = std::make_unique<Histogram>();
+  }
+  return instrument->histogram.get();
+}
+
+void MetricRegistry::SetInfo(const std::string& name, const std::string& help,
+                             const std::string& label_key,
+                             const std::string& text,
+                             const std::string& json_path) {
+  MutexLock lock(mutex_);
+  Family* family = GetFamily(name, help, MetricKind::kInfo);
+  Instrument* instrument =
+      GetInstrument(family, {{label_key, text}}, json_path);
+  // Re-setting replaces the text (and the identifying label with it).
+  instrument->labels = {{label_key, text}};
+  instrument->info_text = text;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  MutexLock lock(mutex_);
+  snapshot.families.reserve(families_.size());
+  for (const auto& family : families_) {
+    MetricFamily out;
+    out.name = family->name;
+    out.help = family->help;
+    out.kind = family->kind;
+    out.samples.reserve(family->instruments.size());
+    for (const auto& instrument : family->instruments) {
+      MetricSample sample;
+      sample.labels = instrument->labels;
+      sample.json_path = instrument->json_path;
+      switch (family->kind) {
+        case MetricKind::kCounter:
+          sample.value = static_cast<double>(instrument->counter->value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = instrument->gauge->value();
+          break;
+        case MetricKind::kHistogram:
+          sample.histogram = instrument->histogram->Merged();
+          break;
+        case MetricKind::kInfo:
+          sample.value = 1.0;
+          sample.text = instrument->info_text;
+          break;
+      }
+      out.samples.push_back(std::move(sample));
+    }
+    snapshot.families.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  for (const MetricFamily& theirs : other.families) {
+    MetricFamily* mine = nullptr;
+    for (MetricFamily& family : families) {
+      if (family.name == theirs.name) {
+        mine = &family;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      families.push_back(theirs);
+      continue;
+    }
+    ETUDE_CHECK(mine->kind == theirs.kind)
+        << "cannot merge metric family '" << theirs.name << "': kind "
+        << MetricKindName(theirs.kind) << " vs "
+        << MetricKindName(mine->kind);
+    for (const MetricSample& sample : theirs.samples) {
+      MetricSample* match = nullptr;
+      for (MetricSample& candidate : mine->samples) {
+        if (candidate.labels == sample.labels) {
+          match = &candidate;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        mine->samples.push_back(sample);
+        continue;
+      }
+      switch (mine->kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kGauge:
+          match->value += sample.value;
+          break;
+        case MetricKind::kHistogram:
+          match->histogram.Merge(sample.histogram);
+          break;
+        case MetricKind::kInfo:
+          break;  // keep the first pod's text
+      }
+    }
+  }
+}
+
+std::string RegistrySnapshot::ToPrometheusText() const {
+  PrometheusWriter writer;
+  for (const MetricFamily& family : families) {
+    for (const MetricSample& sample : family.samples) {
+      const std::string labels = LabelString(sample.labels);
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          writer.Counter(family.name, family.help, sample.value, labels);
+          break;
+        case MetricKind::kGauge:
+          writer.Gauge(family.name, family.help, sample.value, labels);
+          break;
+        case MetricKind::kHistogram:
+          writer.Histogram(family.name, family.help, sample.histogram,
+                           labels);
+          break;
+        case MetricKind::kInfo:
+          // Info metrics are the conventional `..._info{...} 1` gauges.
+          writer.Gauge(family.name, family.help, 1.0, labels);
+          break;
+      }
+    }
+  }
+  return writer.text();
+}
+
+JsonValue RegistrySnapshot::ToJson() const {
+  JsonValue root = JsonValue::MakeObject();
+  for (const MetricFamily& family : families) {
+    for (const MetricSample& sample : family.samples) {
+      if (sample.json_path.empty()) continue;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kGauge:
+          SetJsonPath(&root, sample.json_path, JsonValue(sample.value));
+          break;
+        case MetricKind::kHistogram:
+          SetJsonPath(&root, sample.json_path,
+                      SummaryJson(sample.histogram.Summarize()));
+          break;
+        case MetricKind::kInfo:
+          SetJsonPath(&root, sample.json_path, JsonValue(sample.text));
+          break;
+      }
+    }
+  }
+  return root;
+}
+
+const MetricFamily* RegistrySnapshot::FindFamily(
+    std::string_view name) const {
+  for (const MetricFamily& family : families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+const MetricSample* RegistrySnapshot::FindSample(
+    std::string_view name, const std::vector<MetricLabel>& labels) const {
+  const MetricFamily* family = FindFamily(name);
+  if (family == nullptr) return nullptr;
+  for (const MetricSample& sample : family->samples) {
+    if (sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace etude::obs

@@ -1,0 +1,195 @@
+#ifndef ETUDE_OBS_METRIC_REGISTRY_H_
+#define ETUDE_OBS_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "metrics/histogram.h"
+
+namespace etude::obs {
+
+/// The unified metric registry behind every exposition surface.
+///
+/// One registry holds typed instruments — counters, gauges, latency
+/// histograms and info strings — each registered once under a Prometheus
+/// family name plus an optional label set. Recording is wait-free for
+/// counters/gauges (single atomics) and lock-sharded for histograms
+/// (recording locks one of kShards sub-histograms chosen by thread, so
+/// concurrent workers rarely contend). Snapshot() produces one consistent
+/// copy of everything, from which BOTH the JSON and the Prometheus text
+/// forms of /metrics render — the two surfaces cannot drift because they
+/// share the snapshot. Per-pod registries in the DES aggregate into a
+/// fleet view with RegistrySnapshot::Merge.
+enum class MetricKind { kCounter, kGauge, kHistogram, kInfo };
+
+std::string_view MetricKindName(MetricKind kind);
+
+struct MetricLabel {
+  std::string key;
+  std::string value;
+
+  bool operator==(const MetricLabel&) const = default;
+};
+
+/// A monotonically increasing counter. Add() is the normal path; Set() is
+/// for counters mirroring an externally accumulated total (e.g. the
+/// tensor allocator's lifetime byte counts) at scrape time.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A point-in-time gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A lock-sharded latency histogram: Record() locks exactly one shard
+/// (picked per thread), so concurrent recorders proceed in parallel and a
+/// concurrent Merged() sees each observation entirely or not at all —
+/// never a torn half-update.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value_us);
+
+  /// All shards merged into one consistent histogram.
+  metrics::LatencyHistogram Merged() const;
+
+ private:
+  static constexpr int kShards = 8;
+  struct Shard {
+    mutable Mutex mutex;
+    metrics::LatencyHistogram histogram ETUDE_GUARDED_BY(mutex);
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// One instrument's state inside a snapshot.
+struct MetricSample {
+  std::vector<MetricLabel> labels;
+  /// Where the sample lands in the JSON rendering: a dotted path
+  /// ("slo.window_p90_us" nests), or "" to omit it from JSON (a
+  /// Prometheus-only sample).
+  std::string json_path;
+  double value = 0;  // counter/gauge value; 1.0 for info samples
+  std::string text;  // info samples: the JSON string value
+  metrics::LatencyHistogram histogram;  // histogram samples only
+};
+
+struct MetricFamily {
+  std::string name;  // Prometheus family name
+  std::string help;
+  MetricKind kind = MetricKind::kGauge;
+  std::vector<MetricSample> samples;
+};
+
+/// One consistent copy of every registered metric. Plain data: safe to
+/// pass across threads, merge across pods, and render repeatedly.
+struct RegistrySnapshot {
+  std::vector<MetricFamily> families;
+
+  /// Fleet aggregation: families are matched by name, samples by label
+  /// set. Counters and gauges sum (the gauge sum is the fleet-wide total
+  /// of per-pod point-in-time values — queue depths and in-flight counts
+  /// add across pods); histograms combine via LatencyHistogram::Merge,
+  /// which preserves bucket boundaries exactly; info samples keep the
+  /// first pod's text. Unmatched families/samples are appended.
+  void Merge(const RegistrySnapshot& other);
+
+  /// Prometheus text exposition format 0.0.4 (validated by
+  /// ValidatePrometheusText in tests and the CI metrics-lint step).
+  std::string ToPrometheusText() const;
+
+  /// The JSON form of the same snapshot: each sample with a non-empty
+  /// json_path lands at that (dotted) path — counters/gauges as numbers,
+  /// info samples as strings, histograms as the standard summary block
+  /// {count,sum,min,mean,p50,p90,p99,max}.
+  JsonValue ToJson() const;
+
+  const MetricFamily* FindFamily(std::string_view name) const;
+  const MetricSample* FindSample(std::string_view name,
+                                 const std::vector<MetricLabel>& labels) const;
+};
+
+/// The registry. Instrument registration (GetCounter/...) takes a lock and
+/// is idempotent — the same (name, labels) returns the same handle, so
+/// call sites may re-register at scrape time. Handles stay valid for the
+/// registry's lifetime. Recording through a handle never touches the
+/// registry lock.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      std::vector<MetricLabel> labels = {},
+                      const std::string& json_path = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  std::vector<MetricLabel> labels = {},
+                  const std::string& json_path = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<MetricLabel> labels = {},
+                          const std::string& json_path = "");
+
+  /// An info metric: rendered as `<name>{<label_key>="<text>"} 1` in
+  /// Prometheus and as the bare string at `json_path` in JSON. Re-calling
+  /// replaces the text.
+  void SetInfo(const std::string& name, const std::string& help,
+               const std::string& label_key, const std::string& text,
+               const std::string& json_path = "");
+
+  /// One consistent copy of every instrument, in registration order.
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  struct Instrument {
+    std::vector<MetricLabel> labels;
+    std::string json_path;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::string info_text;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kGauge;
+    std::vector<std::unique_ptr<Instrument>> instruments;
+  };
+
+  Family* GetFamily(const std::string& name, const std::string& help,
+                    MetricKind kind) ETUDE_REQUIRES(mutex_);
+  Instrument* GetInstrument(Family* family,
+                            std::vector<MetricLabel> labels,
+                            const std::string& json_path)
+      ETUDE_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_ ETUDE_GUARDED_BY(mutex_);
+};
+
+}  // namespace etude::obs
+
+#endif  // ETUDE_OBS_METRIC_REGISTRY_H_

@@ -115,6 +115,19 @@ class ScopedOp {
 
 }  // namespace etude::obs
 
+namespace etude::obs {
+
+/// False when built with -DETUDE_DISABLE_TRACING: ETUDE_OP_SPAN compiles
+/// to nothing, so no op reaches any OpSink. Tests that assert on profiled
+/// ops skip themselves when this is false.
+#ifdef ETUDE_DISABLE_TRACING
+inline constexpr bool kOpHooksCompiled = false;
+#else
+inline constexpr bool kOpHooksCompiled = true;
+#endif
+
+}  // namespace etude::obs
+
 // Compile-time removable op hook used by tensor/ops.cc.
 #ifdef ETUDE_DISABLE_TRACING
 // sizeof keeps the operands formally "used" (no evaluation, no code).

@@ -1,10 +1,11 @@
 #include "serving/etude_serve.h"
 
+#include <cctype>
+
 #include "common/json.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "obs/memstats.h"
-#include "obs/prometheus.h"
 #include "obs/trace.h"
 
 namespace etude::serving {
@@ -73,6 +74,19 @@ JsonValue SummaryJson(const metrics::LatencyHistogram::Summary& summary) {
   return stats;
 }
 
+/// A client-supplied trace id is adopted only when it is sane: non-empty,
+/// bounded, and free of characters that could corrupt headers or logs.
+bool UsableTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '_' && c != '.' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
 net::HttpResponse TracingDisabledResponse(const char* what) {
   return net::HttpResponse::Error(
       501, std::string(what) +
@@ -88,6 +102,64 @@ EtudeServe::EtudeServe(const models::SessionModel* model,
       slo_monitor_(config.slo) {
   ETUDE_CHECK(model_ != nullptr) << "model required";
   model_route_ = "/predictions/" + ToLower(model_->name());
+
+  // Register every instrument once; the hot path only touches the
+  // returned handles. The json_path argument reproduces the legacy JSON
+  // /metrics document from the same snapshot the Prometheus text renders
+  // from.
+  predictions_served_ =
+      registry_.GetCounter("etude_predictions_total",
+                           "Successful predictions served.", {},
+                           "predictions_served");
+  const std::string route_help = "Requests received, by route.";
+  requests_healthz_ =
+      registry_.GetCounter("etude_requests_total", route_help,
+                           {{"route", "/healthz"}},
+                           "requests_by_route./healthz");
+  requests_metrics_ =
+      registry_.GetCounter("etude_requests_total", route_help,
+                           {{"route", "/metrics"}},
+                           "requests_by_route./metrics");
+  requests_slo_ = registry_.GetCounter("etude_requests_total", route_help,
+                                       {{"route", "/slo"}},
+                                       "requests_by_route./slo");
+  requests_tail_traces_ =
+      registry_.GetCounter("etude_requests_total", route_help,
+                           {{"route", "/debug/tail-traces"}},
+                           "requests_by_route./debug/tail-traces");
+  requests_predictions_ =
+      registry_.GetCounter("etude_requests_total", route_help,
+                           {{"route", model_route_}},
+                           "requests_by_route." + model_route_);
+  requests_other_ = registry_.GetCounter("etude_requests_total", route_help,
+                                         {{"route", "other"}},
+                                         "requests_by_route.other");
+  const std::string error_help = "Error responses, by status class.";
+  errors_4xx_ = registry_.GetCounter("etude_http_errors_total", error_help,
+                                     {{"class", "4xx"}}, "errors_4xx");
+  errors_5xx_ = registry_.GetCounter("etude_http_errors_total", error_help,
+                                     {{"class", "5xx"}}, "errors_5xx");
+  inference_latency_us_ = registry_.GetHistogram(
+      "etude_inference_latency_us",
+      "Server-side inference latency in microseconds.", {},
+      "inference_us_summary");
+  queue_delay_us_ = registry_.GetHistogram(
+      "etude_queue_delay_us",
+      "Accept-to-handler queueing delay in microseconds.", {},
+      "queue_delay_us_summary");
+  registry_.SetInfo("etude_model_info", "Model this server is serving.",
+                    "model", std::string(model_->name()), "model");
+  registry_.SetInfo("etude_exec_mode_info",
+                    "Execution mode serving predictions.", "mode",
+                    ExecModeName(config_.exec.mode), "exec_mode");
+  registry_.SetInfo("etude_exec_plan_info",
+                    "Memory plan serving predictions.", "plan",
+                    ExecPlanName(config_.exec.plan), "exec_plan");
+  registry_
+      .GetGauge("etude_model_catalog_size",
+                "Catalog size (C) of the served model.", {}, "catalog_size")
+      ->Set(static_cast<double>(model_->config().catalog_size));
+
   net::HttpServerConfig server_config;
   server_config.bind_address = config.bind_address;
   server_config.port = config.port;
@@ -112,46 +184,53 @@ double EtudeServe::UptimeSeconds() const {
 
 net::HttpResponse EtudeServe::Handle(const net::HttpRequest& request) {
   // Request scope: a stable id correlates the response header with every
-  // span this request records.
+  // span this request records. A sane client-supplied x-trace-id is
+  // adopted so the load generator's ids flow through to the server's tail
+  // exemplars; otherwise the server mints one.
+  const std::string incoming(request.Header("x-trace-id"));
   const std::string trace_id =
-      "req-" + std::to_string(next_trace_id_.fetch_add(1));
+      UsableTraceId(incoming)
+          ? incoming
+          : "req-" + std::to_string(next_trace_id_.fetch_add(1));
   net::HttpResponse response = Route(request, trace_id);
   if (response.status >= 500) {
-    errors_5xx_.fetch_add(1);
+    errors_5xx_->Add();
   } else if (response.status >= 400) {
-    errors_4xx_.fetch_add(1);
+    errors_4xx_->Add();
   }
   response.headers["x-trace-id"] = trace_id;
+  const std::string parent_span(request.Header("x-parent-span"));
+  if (!parent_span.empty()) response.headers["x-parent-span"] = parent_span;
   return response;
 }
 
 net::HttpResponse EtudeServe::Route(const net::HttpRequest& request,
                                     const std::string& trace_id) {
   if (request.target == "/healthz") {
-    requests_healthz_.fetch_add(1);
+    requests_healthz_->Add();
     return HandleHealthz();
   }
   if (request.target == "/metrics" ||
       StartsWith(request.target, "/metrics?")) {
-    requests_metrics_.fetch_add(1);
+    requests_metrics_->Add();
     return HandleMetrics(request);
   }
   if (request.target == "/slo") {
-    requests_slo_.fetch_add(1);
+    requests_slo_->Add();
     return HandleSlo();
   }
   if (request.target == "/debug/tail-traces") {
-    requests_tail_traces_.fetch_add(1);
+    requests_tail_traces_->Add();
     return HandleTailTraces();
   }
   if (request.target == model_route_) {
-    requests_predictions_.fetch_add(1);
+    requests_predictions_->Add();
     if (request.method != "POST") {
       return net::HttpResponse::Error(405, "use POST");
     }
     return HandlePrediction(request, trace_id);
   }
-  requests_other_.fetch_add(1);
+  requests_other_->Add();
   return net::HttpResponse::Error(404, "no such route");
 }
 
@@ -169,168 +248,103 @@ net::HttpResponse EtudeServe::HandleHealthz() {
            JsonValue(std::string(ExecModeName(config_.exec.mode))));
   body.Set("exec_plan",
            JsonValue(std::string(ExecPlanName(config_.exec.plan))));
-  body.Set("predictions_served", JsonValue(predictions_served_.load()));
+  body.Set("predictions_served", JsonValue(predictions_served_->value()));
   return net::HttpResponse::Ok(body.Dump());
 }
 
-std::string EtudeServe::JsonMetrics() {
-  JsonValue metrics = JsonValue::MakeObject();
-  metrics.Set("predictions_served", JsonValue(predictions_served_.load()));
-  {
-    MutexLock lock(stats_mutex_);
-    metrics.Set("mean_inference_us", JsonValue(inference_latency_us_.mean()));
-    metrics.Set("p50_inference_us", JsonValue(inference_latency_us_.p50()));
-    metrics.Set("p90_inference_us", JsonValue(inference_latency_us_.p90()));
-    metrics.Set("p99_inference_us", JsonValue(inference_latency_us_.p99()));
-    // Summary block mirroring the BENCH JSON schema; percentiles carry
-    // the histogram's bucket over-estimate (< 1.6%).
-    metrics.Set("inference_us_summary",
-                SummaryJson(inference_latency_us_.Summarize()));
-  }
-  const obs::WindowSnapshot window = slo_monitor_.Snapshot();
-  if (window.enabled) {
-    // Windowed gauges (the signal an SLO-aware scheduler steers on), as
-    // opposed to the cumulative-since-boot blocks above.
-    JsonValue slo = JsonValue::MakeObject();
-    slo.Set("window_seconds", JsonValue(window.window_seconds));
-    slo.Set("target_p90_us", JsonValue(window.slo_p90_us));
-    slo.Set("window_p50_us", JsonValue(window.latency.p50));
-    slo.Set("window_p90_us", JsonValue(window.latency.p90));
-    slo.Set("window_p99_us", JsonValue(window.latency.p99));
-    slo.Set("window_throughput_rps", JsonValue(window.throughput_rps));
-    slo.Set("window_error_rate", JsonValue(window.error_rate));
-    slo.Set("burn_rate", JsonValue(window.burn_rate));
-    metrics.Set("slo", std::move(slo));
-  }
-  {
-    const obs::MemStats mem = obs::ProcessMemStats();
-    JsonValue memory = JsonValue::MakeObject();
-    memory.Set("allocated_bytes", JsonValue(mem.allocated_bytes));
-    memory.Set("freed_bytes", JsonValue(mem.freed_bytes));
-    memory.Set("live_bytes", JsonValue(mem.live_bytes));
-    memory.Set("peak_live_bytes", JsonValue(mem.peak_live_bytes));
-    metrics.Set("tensor_memory", std::move(memory));
-  }
-  metrics.Set("process_rss_bytes", JsonValue(obs::ProcessRssBytes()));
-  metrics.Set("model", JsonValue(std::string(model_->name())));
-  metrics.Set("exec_mode", JsonValue(std::string(ExecModeName(config_.exec.mode))));
-  metrics.Set("exec_plan", JsonValue(std::string(ExecPlanName(config_.exec.plan))));
-  metrics.Set("catalog_size", JsonValue(model_->config().catalog_size));
-  metrics.Set("tensor_threads",
-              JsonValue(static_cast<int64_t>(NumThreads())));
-  metrics.Set("uptime_seconds", JsonValue(UptimeSeconds()));
-  metrics.Set("errors_4xx", JsonValue(errors_4xx_.load()));
-  metrics.Set("errors_5xx", JsonValue(errors_5xx_.load()));
-  JsonValue routes = JsonValue::MakeObject();
-  routes.Set("/healthz", JsonValue(requests_healthz_.load()));
-  routes.Set("/metrics", JsonValue(requests_metrics_.load()));
-  routes.Set("/slo", JsonValue(requests_slo_.load()));
-  routes.Set("/debug/tail-traces", JsonValue(requests_tail_traces_.load()));
-  routes.Set(model_route_, JsonValue(requests_predictions_.load()));
-  routes.Set("other", JsonValue(requests_other_.load()));
-  metrics.Set("requests_by_route", std::move(routes));
-  return metrics.Dump();
-}
+obs::RegistrySnapshot EtudeServe::MetricsSnapshot() {
+  // Scrape-time instruments: values that are cheap to read but pointless
+  // to maintain continuously. Registration is idempotent, so re-acquiring
+  // the handles here just refreshes their values.
+  registry_
+      .GetGauge("etude_uptime_seconds", "Seconds since the server started.",
+                {}, "uptime_seconds")
+      ->Set(UptimeSeconds());
+  registry_
+      .GetGauge("etude_tensor_threads",
+                "Worker threads available to the tensor kernels.", {},
+                "tensor_threads")
+      ->Set(static_cast<double>(NumThreads()));
+  const obs::MemStats mem = obs::ProcessMemStats();
+  registry_
+      .GetCounter("etude_tensor_allocated_bytes_total",
+                  "Bytes of tensor buffers allocated since start.", {},
+                  "tensor_memory.allocated_bytes")
+      ->Set(mem.allocated_bytes);
+  registry_
+      .GetCounter("etude_tensor_freed_bytes_total",
+                  "Bytes of tensor buffers freed since start.", {},
+                  "tensor_memory.freed_bytes")
+      ->Set(mem.freed_bytes);
+  registry_
+      .GetGauge("etude_tensor_live_bytes",
+                "Bytes of tensor buffers currently alive.", {},
+                "tensor_memory.live_bytes")
+      ->Set(static_cast<double>(mem.live_bytes));
+  registry_
+      .GetGauge("etude_tensor_peak_live_bytes",
+                "High-water mark of live tensor bytes.", {},
+                "tensor_memory.peak_live_bytes")
+      ->Set(static_cast<double>(mem.peak_live_bytes));
+  registry_
+      .GetGauge("etude_process_rss_bytes",
+                "Resident set size of the process.", {},
+                "process_rss_bytes")
+      ->Set(static_cast<double>(obs::ProcessRssBytes()));
 
-std::string EtudeServe::PrometheusMetrics() {
-  obs::PrometheusWriter writer;
-  writer.Counter("etude_predictions_total",
-                 "Successful predictions served.",
-                 static_cast<double>(predictions_served_.load()));
-  const char* route_help = "Requests received, by route.";
-  writer.Counter("etude_requests_total", route_help,
-                 static_cast<double>(requests_healthz_.load()),
-                 "route=\"/healthz\"");
-  writer.Counter("etude_requests_total", route_help,
-                 static_cast<double>(requests_metrics_.load()),
-                 "route=\"/metrics\"");
-  writer.Counter("etude_requests_total", route_help,
-                 static_cast<double>(requests_slo_.load()),
-                 "route=\"/slo\"");
-  writer.Counter("etude_requests_total", route_help,
-                 static_cast<double>(requests_tail_traces_.load()),
-                 "route=\"/debug/tail-traces\"");
-  writer.Counter("etude_requests_total", route_help,
-                 static_cast<double>(requests_predictions_.load()),
-                 "route=\"" + model_route_ + "\"");
-  writer.Counter("etude_requests_total", route_help,
-                 static_cast<double>(requests_other_.load()),
-                 "route=\"other\"");
-  const char* error_help = "Error responses, by status class.";
-  writer.Counter("etude_http_errors_total", error_help,
-                 static_cast<double>(errors_4xx_.load()),
-                 "class=\"4xx\"");
-  writer.Counter("etude_http_errors_total", error_help,
-                 static_cast<double>(errors_5xx_.load()),
-                 "class=\"5xx\"");
-  writer.Gauge("etude_uptime_seconds",
-               "Seconds since the server started.", UptimeSeconds());
-  writer.Gauge("etude_model_catalog_size",
-               "Catalog size (C) of the served model.",
-               static_cast<double>(model_->config().catalog_size));
-  writer.Gauge("etude_exec_config_info",
-               "Execution mode and memory plan serving predictions.", 1.0,
-               std::string("mode=\"") + ExecModeName(config_.exec.mode) +
-                   "\",plan=\"" + ExecPlanName(config_.exec.plan) + "\"");
-  writer.Gauge("etude_tensor_threads",
-               "Worker threads available to the tensor kernels.",
-               static_cast<double>(NumThreads()));
   const obs::WindowSnapshot window = slo_monitor_.Snapshot();
   if (window.enabled) {
-    const char* window_help =
+    // Windowed SLO gauges (the signal an SLO-aware scheduler steers on)
+    // register lazily so disabled-tracing builds expose no "slo" block.
+    registry_
+        .GetGauge("etude_slo_window_seconds",
+                  "Width of the sliding SLO window.", {},
+                  "slo.window_seconds")
+        ->Set(static_cast<double>(window.window_seconds));
+    registry_
+        .GetGauge("etude_slo_target_p90_us",
+                  "Configured p90 latency target (--slo-p90-us).", {},
+                  "slo.target_p90_us")
+        ->Set(static_cast<double>(window.slo_p90_us));
+    const std::string window_help =
         "Sliding-window end-to-end prediction latency quantile.";
-    writer.Gauge("etude_slo_window_latency_us", window_help,
-                 static_cast<double>(window.latency.p50),
-                 "quantile=\"p50\"");
-    writer.Gauge("etude_slo_window_latency_us", window_help,
-                 static_cast<double>(window.latency.p90),
-                 "quantile=\"p90\"");
-    writer.Gauge("etude_slo_window_latency_us", window_help,
-                 static_cast<double>(window.latency.p99),
-                 "quantile=\"p99\"");
-    writer.Gauge("etude_slo_target_p90_us",
-                 "Configured p90 latency target (--slo-p90-us).",
-                 static_cast<double>(window.slo_p90_us));
-    writer.Gauge("etude_slo_window_throughput_rps",
-                 "Predictions per second over the sliding window.",
-                 window.throughput_rps);
-    writer.Gauge("etude_slo_window_error_rate",
-                 "Error fraction over the sliding window.",
-                 window.error_rate);
-    writer.Gauge("etude_slo_burn_rate",
-                 "Error-budget burn multiplier against the p90 target "
-                 "(1.0 = burning exactly the allowed 10%).",
-                 window.burn_rate);
+    registry_
+        .GetGauge("etude_slo_window_latency_us", window_help,
+                  {{"quantile", "p50"}}, "slo.window_p50_us")
+        ->Set(static_cast<double>(window.latency.p50));
+    registry_
+        .GetGauge("etude_slo_window_latency_us", window_help,
+                  {{"quantile", "p90"}}, "slo.window_p90_us")
+        ->Set(static_cast<double>(window.latency.p90));
+    registry_
+        .GetGauge("etude_slo_window_latency_us", window_help,
+                  {{"quantile", "p99"}}, "slo.window_p99_us")
+        ->Set(static_cast<double>(window.latency.p99));
+    registry_
+        .GetGauge("etude_slo_window_throughput_rps",
+                  "Predictions per second over the sliding window.", {},
+                  "slo.window_throughput_rps")
+        ->Set(window.throughput_rps);
+    registry_
+        .GetGauge("etude_slo_window_error_rate",
+                  "Error fraction over the sliding window.", {},
+                  "slo.window_error_rate")
+        ->Set(window.error_rate);
+    registry_
+        .GetGauge("etude_slo_burn_rate",
+                  "Error-budget burn multiplier against the p90 target "
+                  "(1.0 = burning exactly the allowed 10%).",
+                  {}, "slo.burn_rate")
+        ->Set(window.burn_rate);
     for (const obs::PhaseWindow& phase : window.phases) {
-      writer.Gauge("etude_slo_phase_p90_us",
-                   "Sliding-window p90 of one request phase.",
-                   static_cast<double>(phase.summary.p90),
-                   "phase=\"" + phase.name + "\"");
+      registry_
+          .GetGauge("etude_slo_phase_p90_us",
+                    "Sliding-window p90 of one request phase.",
+                    {{"phase", phase.name}})
+          ->Set(static_cast<double>(phase.summary.p90));
     }
   }
-  const obs::MemStats mem = obs::ProcessMemStats();
-  writer.Counter("etude_tensor_allocated_bytes_total",
-                 "Bytes of tensor buffers allocated since start.",
-                 static_cast<double>(mem.allocated_bytes));
-  writer.Counter("etude_tensor_freed_bytes_total",
-                 "Bytes of tensor buffers freed since start.",
-                 static_cast<double>(mem.freed_bytes));
-  writer.Gauge("etude_tensor_live_bytes",
-               "Bytes of tensor buffers currently alive.",
-               static_cast<double>(mem.live_bytes));
-  writer.Gauge("etude_tensor_peak_live_bytes",
-               "High-water mark of live tensor bytes.",
-               static_cast<double>(mem.peak_live_bytes));
-  writer.Gauge("etude_process_rss_bytes",
-               "Resident set size of the process.",
-               static_cast<double>(obs::ProcessRssBytes()));
-  {
-    MutexLock lock(stats_mutex_);
-    writer.Histogram("etude_inference_latency_us",
-                     "Server-side inference latency in microseconds.",
-                     inference_latency_us_);
-  }
-  return writer.text();
+  return registry_.Snapshot();
 }
 
 std::string EtudeServe::JsonSlo() {
@@ -405,21 +419,31 @@ net::HttpResponse EtudeServe::HandleTailTraces() {
 }
 
 net::HttpResponse EtudeServe::HandleMetrics(const net::HttpRequest& request) {
+  const obs::RegistrySnapshot snapshot = MetricsSnapshot();
   if (WantsPrometheus(request, config_.default_metrics_format)) {
-    return net::HttpResponse::Ok(PrometheusMetrics(),
+    return net::HttpResponse::Ok(snapshot.ToPrometheusText(),
                                  "text/plain; version=0.0.4");
   }
-  return net::HttpResponse::Ok(JsonMetrics());
+  return net::HttpResponse::Ok(snapshot.ToJson().Dump());
 }
 
 net::HttpResponse EtudeServe::HandlePrediction(
     const net::HttpRequest& request, const std::string& trace_id) {
   const auto request_start = std::chrono::steady_clock::now();
+  // The accept-to-handler wait measured by the HTTP server is the
+  // "queue" phase: the part of the client-observed latency the handler
+  // never sees. Later phase spans start after it.
+  const int64_t queue_us = request.queue_delay_us;
+  queue_delay_us_->Record(queue_us);
   obs::RequestSample sample;
   sample.trace_id = trace_id;
+  sample.phases.push_back(obs::PhaseSpan{"queue", 0, queue_us});
   net::HttpResponse response =
       PredictionInner(request, trace_id, request_start, &sample);
-  sample.total_us = ElapsedUs(request_start);
+  for (size_t i = 1; i < sample.phases.size(); ++i) {
+    sample.phases[i].start_us += queue_us;
+  }
+  sample.total_us = queue_us + ElapsedUs(request_start);
   sample.ok = response.status < 400;
   slo_monitor_.Record(std::move(sample));
   return response;
@@ -475,11 +499,8 @@ net::HttpResponse EtudeServe::PredictionInner(
     return net::HttpResponse::Error(status, rec.status().ToString());
   }
   const int64_t inference_us = ElapsedUs(request_start) - inference_start;
-  predictions_served_.fetch_add(1);
-  {
-    MutexLock lock(stats_mutex_);
-    inference_latency_us_.Record(inference_us);
-  }
+  predictions_served_->Add();
+  inference_latency_us_->Record(inference_us);
 
   net::HttpResponse response;
   {

@@ -6,12 +6,10 @@
 #include <memory>
 #include <string>
 
-#include "common/mutex.h"
 #include "common/status.h"
-#include "common/thread_annotations.h"
-#include "metrics/histogram.h"
 #include "models/session_model.h"
 #include "net/http_server.h"
+#include "obs/metric_registry.h"
 #include "obs/slo_monitor.h"
 
 namespace etude::serving {
@@ -56,11 +54,13 @@ struct EtudeServeConfig {
 ///                                    distribution and windowed SLO
 ///                                    gauges; JSON by default, Prometheus
 ///                                    text format under
-///                                    `Accept: text/plain`
+///                                    `Accept: text/plain`. Both formats
+///                                    render from one obs::MetricRegistry
+///                                    snapshot, so they cannot drift.
 ///   GET  /slo                     -> sliding-window view: p50/p90/p99,
 ///                                    throughput, error rate, burn rate
 ///                                    against the configured p90 target,
-///                                    per-phase (parse/inference/
+///                                    per-phase (queue/parse/inference/
 ///                                    serialize) percentiles, and the
 ///                                    slowest-request exemplars
 ///   GET  /debug/tail-traces       -> the retained span trees of the
@@ -71,10 +71,15 @@ struct EtudeServeConfig {
 ///        duration via the "x-inference-us" response header, exactly as
 ///        the paper's server communicates metrics to the load generator.
 ///
-/// Every response carries an "x-trace-id" header; when the global
+/// Every response carries an "x-trace-id" header. When the client sends
+/// its own "x-trace-id" the server ADOPTS it (and echoes any
+/// "x-parent-span" back), so a load generator's trace ids correlate
+/// client-side latencies with the server's tail exemplars across the
+/// network hop; otherwise the server mints "req-<n>". When the global
 /// obs::Tracer is enabled, the prediction path additionally records
 /// request-scoped parse/inference/serialize spans tagged with that id.
-/// The same three phases are always aggregated into the SLO monitor's
+/// The same phases — plus the accept-to-handler "queue" phase measured by
+/// the HTTP server — are always aggregated into the SLO monitor's
 /// per-phase windowed percentiles (unless compiled out).
 class EtudeServe {
  public:
@@ -86,37 +91,36 @@ class EtudeServe {
   void Stop();
 
   uint16_t port() const { return server_->port(); }
-  int64_t predictions_served() const { return predictions_served_.load(); }
-  int64_t errors_4xx() const { return errors_4xx_.load(); }
-  int64_t errors_5xx() const { return errors_5xx_.load(); }
+  int64_t predictions_served() const { return predictions_served_->value(); }
+  int64_t errors_4xx() const { return errors_4xx_->value(); }
+  int64_t errors_5xx() const { return errors_5xx_->value(); }
 
   /// The live sliding-window view (empty/disabled when compiled out).
   /// Exposed for in-process embedding (tests, `--tail-trace-out`).
   obs::WindowSnapshot SloSnapshot() const { return slo_monitor_.Snapshot(); }
 
+  /// One consistent snapshot of every server metric, with scrape-time
+  /// gauges (uptime, memory, SLO window) refreshed first. Both /metrics
+  /// formats render from this.
+  obs::RegistrySnapshot MetricsSnapshot();
+
  private:
-  net::HttpResponse Handle(const net::HttpRequest& request)
-      ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse Handle(const net::HttpRequest& request);
   net::HttpResponse Route(const net::HttpRequest& request,
-                          const std::string& trace_id)
-      ETUDE_EXCLUDES(stats_mutex_);
+                          const std::string& trace_id);
   net::HttpResponse HandleHealthz();
-  net::HttpResponse HandleMetrics(const net::HttpRequest& request)
-      ETUDE_EXCLUDES(stats_mutex_);
+  net::HttpResponse HandleMetrics(const net::HttpRequest& request);
   net::HttpResponse HandleSlo();
   net::HttpResponse HandleTailTraces();
   net::HttpResponse HandlePrediction(const net::HttpRequest& request,
-                                     const std::string& trace_id)
-      ETUDE_EXCLUDES(stats_mutex_);
+                                     const std::string& trace_id);
   /// The prediction body: fills `sample`'s phases as it goes; the caller
   /// stamps total/outcome and records the sample.
   net::HttpResponse PredictionInner(
       const net::HttpRequest& request, const std::string& trace_id,
       std::chrono::steady_clock::time_point request_start,
-      obs::RequestSample* sample) ETUDE_EXCLUDES(stats_mutex_);
+      obs::RequestSample* sample);
 
-  std::string JsonMetrics() ETUDE_EXCLUDES(stats_mutex_);
-  std::string PrometheusMetrics() ETUDE_EXCLUDES(stats_mutex_);
   std::string JsonSlo();
 
   double UptimeSeconds() const;
@@ -127,29 +131,28 @@ class EtudeServe {
   std::unique_ptr<net::HttpServer> server_;
   std::chrono::steady_clock::time_point started_at_;
 
-  std::atomic<int64_t> predictions_served_{0};
   std::atomic<int64_t> next_trace_id_{0};
-  // Per-route request counters plus the 4xx/5xx split — before these, only
-  // successful predictions were observable.
-  std::atomic<int64_t> requests_healthz_{0};
-  std::atomic<int64_t> requests_metrics_{0};
-  std::atomic<int64_t> requests_slo_{0};
-  std::atomic<int64_t> requests_tail_traces_{0};
-  std::atomic<int64_t> requests_predictions_{0};
-  std::atomic<int64_t> requests_other_{0};
-  std::atomic<int64_t> errors_4xx_{0};
-  std::atomic<int64_t> errors_5xx_{0};
+
+  // The single source of truth for /metrics: every counter, gauge,
+  // histogram and info string lives here; handles below are stable
+  // pointers into it. Recording is lock-free (counters/gauges) or
+  // lock-sharded (histograms).
+  obs::MetricRegistry registry_;
+  obs::Counter* predictions_served_;
+  obs::Counter* requests_healthz_;
+  obs::Counter* requests_metrics_;
+  obs::Counter* requests_slo_;
+  obs::Counter* requests_tail_traces_;
+  obs::Counter* requests_predictions_;
+  obs::Counter* requests_other_;
+  obs::Counter* errors_4xx_;
+  obs::Counter* errors_5xx_;
+  obs::Histogram* inference_latency_us_;
+  obs::Histogram* queue_delay_us_;
 
   // Sliding-window SLO/latency view over the prediction path. Internally
   // per-second-bucket locked; safe from all worker threads.
   obs::SloMonitor slo_monitor_;
-
-  // Cumulative inference-latency distribution, recorded by every worker
-  // thread and read by /metrics (the quantity the paper's load generator
-  // collects). The windowed view lives in slo_monitor_.
-  mutable Mutex stats_mutex_;
-  metrics::LatencyHistogram inference_latency_us_
-      ETUDE_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace etude::serving

@@ -1,0 +1,91 @@
+#include "serving/pod_telemetry.h"
+
+#include <algorithm>
+
+namespace etude::serving {
+
+namespace {
+constexpr int64_t kTickUs = 1'000'000;
+
+int64_t TickOf(int64_t now_us) { return now_us / kTickUs; }
+}  // namespace
+
+PodTelemetry::PodTelemetry() {
+  requests_total_ =
+      registry_.GetCounter("etude_pod_requests_total",
+                           "Requests admitted by this pod.", {}, "requests");
+  responses_ok_total_ = registry_.GetCounter(
+      "etude_pod_responses_ok_total",
+      "Successful responses completed by this pod.", {}, "ok");
+  errors_total_ =
+      registry_.GetCounter("etude_pod_errors_total",
+                           "Failed responses (any non-2xx outcome).", {},
+                           "errors");
+  rejected_total_ = registry_.GetCounter(
+      "etude_pod_rejected_total",
+      "Requests rejected with 503 due to queue overflow.", {}, "rejected");
+  latency_us_ = registry_.GetHistogram(
+      "etude_pod_latency_us",
+      "Server-side latency of successful requests in microseconds.", {},
+      "latency_us_summary");
+  queue_depth_ = registry_.GetGauge("etude_pod_queue_depth",
+                                    "Waiting-queue depth (last sample).",
+                                    {}, "queue_depth");
+  in_flight_ = registry_.GetGauge(
+      "etude_pod_in_flight",
+      "Admitted requests (queued + executing, last sample).", {},
+      "in_flight");
+}
+
+void PodTelemetry::OnArrival(int64_t now_us, int64_t queue_depth,
+                             int64_t in_flight) {
+  requests_total_->Add();
+  queue_depth_->Set(static_cast<double>(queue_depth));
+  in_flight_->Set(static_cast<double>(in_flight));
+  const int64_t tick = TickOf(now_us);
+  timeline_.RecordRequest(tick);
+  timeline_.RecordQueueDepth(tick, queue_depth);
+  timeline_.RecordInFlight(tick, in_flight);
+}
+
+void PodTelemetry::OnReject(int64_t now_us) {
+  rejected_total_->Add();
+  errors_total_->Add();
+  timeline_.RecordResponse(TickOf(now_us), 0, /*ok=*/false);
+}
+
+void PodTelemetry::OnComplete(int64_t now_us, int64_t server_time_us,
+                              bool ok, int64_t queue_depth,
+                              int64_t in_flight) {
+  if (ok) {
+    responses_ok_total_->Add();
+    latency_us_->Record(server_time_us);
+  } else {
+    errors_total_->Add();
+  }
+  queue_depth_->Set(static_cast<double>(queue_depth));
+  in_flight_->Set(static_cast<double>(in_flight));
+  const int64_t tick = TickOf(now_us);
+  timeline_.RecordResponse(tick, server_time_us, ok);
+  timeline_.RecordQueueDepth(tick, queue_depth);
+  timeline_.RecordInFlight(tick, in_flight);
+}
+
+void PodTelemetry::AddBusyInterval(int64_t start_us, int64_t end_us) {
+  if (end_us <= start_us) return;
+  for (int64_t tick = start_us / kTickUs; tick * kTickUs < end_us; ++tick) {
+    const int64_t tick_start = tick * kTickUs;
+    const int64_t overlap = std::min(end_us, tick_start + kTickUs) -
+                            std::max(start_us, tick_start);
+    timeline_.AddBusyUs(tick, overlap);
+  }
+}
+
+metrics::TimeSeriesRecorder PodTelemetry::FinalizedTimeline(
+    int executor_slots) const {
+  metrics::TimeSeriesRecorder finalized = timeline_;
+  finalized.FinalizeUtilization(executor_slots);
+  return finalized;
+}
+
+}  // namespace etude::serving

@@ -1,0 +1,78 @@
+#ifndef ETUDE_SERVING_POD_TELEMETRY_H_
+#define ETUDE_SERVING_POD_TELEMETRY_H_
+
+#include <cstdint>
+
+#include "metrics/histogram.h"
+#include "metrics/timeseries.h"
+#include "obs/metric_registry.h"
+
+namespace etude::serving {
+
+/// Per-pod telemetry of one simulated inference server: a MetricRegistry
+/// with the pod's counters/gauges/latency histogram, plus a per-virtual-
+/// second TimeSeriesRecorder (queue depth sampled on every arrival and
+/// departure, in-flight count, executor-busy time, windowed latency
+/// percentiles).
+///
+/// Families are registered UNLABELED on purpose: merging the registry
+/// snapshots of N pods with RegistrySnapshot::Merge then sums counters
+/// and Merge()s histograms sample-by-sample, giving the exact fleet
+/// aggregate (pod identity travels out-of-band, as the "pod" param of
+/// the timeline series). The timeline uses the same TickStats schema the
+/// real-server load generator emits through BenchReporter::AddTimeline,
+/// so DES telemetry and loadtest output are byte-compatible.
+class PodTelemetry {
+ public:
+  PodTelemetry();
+
+  PodTelemetry(const PodTelemetry&) = delete;
+  PodTelemetry& operator=(const PodTelemetry&) = delete;
+
+  /// A request was admitted. `queue_depth` is the waiting-queue depth and
+  /// `in_flight` the total admitted (queued + executing) count, both
+  /// sampled AFTER admission.
+  void OnArrival(int64_t now_us, int64_t queue_depth, int64_t in_flight);
+
+  /// A request was rejected (503 queue overflow).
+  void OnReject(int64_t now_us);
+
+  /// A request finished. Depth/in-flight are sampled after departure.
+  void OnComplete(int64_t now_us, int64_t server_time_us, bool ok,
+                  int64_t queue_depth, int64_t in_flight);
+
+  /// Accounts [start_us, end_us) of executor busy time, split across the
+  /// one-second ticks it overlaps.
+  void AddBusyInterval(int64_t start_us, int64_t end_us);
+
+  /// Consistent snapshot of the pod's registry (fleet aggregation input).
+  obs::RegistrySnapshot MetricsSnapshot() const {
+    return registry_.Snapshot();
+  }
+
+  /// The pod's latency distribution (successful requests, microseconds).
+  metrics::LatencyHistogram LatencyUs() const {
+    return latency_us_->Merged();
+  }
+
+  /// The per-second timeline with per-tick utilization computed for
+  /// `executor_slots` parallel executors.
+  metrics::TimeSeriesRecorder FinalizedTimeline(int executor_slots) const;
+
+  const metrics::TimeSeriesRecorder& timeline() const { return timeline_; }
+
+ private:
+  obs::MetricRegistry registry_;
+  obs::Counter* requests_total_;
+  obs::Counter* responses_ok_total_;
+  obs::Counter* errors_total_;
+  obs::Counter* rejected_total_;
+  obs::Histogram* latency_us_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* in_flight_;
+  metrics::TimeSeriesRecorder timeline_;
+};
+
+}  // namespace etude::serving
+
+#endif  // ETUDE_SERVING_POD_TELEMETRY_H_

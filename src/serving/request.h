@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace etude::serving {
@@ -14,6 +15,10 @@ struct InferenceRequest {
   int64_t request_id = 0;
   int64_t session_id = 0;
   std::vector<int64_t> session_items;  // clicks so far, oldest first
+  // Cross-hop trace correlation (the simulated "x-trace-id" header): set
+  // by the load generator so the same id tags its client-side span and
+  // every server-side span of this request. Empty = the server mints one.
+  std::string trace_id;
 };
 
 /// The server's answer, including the inference-duration metric the ETUDE

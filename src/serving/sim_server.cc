@@ -44,7 +44,8 @@ void SimInferenceServer::ReleaseTraceLane(int64_t lane) {
 
 namespace {
 void RecordSimSpan(std::string name, const char* category, int64_t ts_us,
-                   double dur_us, int64_t lane, int64_t request_id) {
+                   double dur_us, int64_t lane,
+                   const std::string& trace_id) {
   obs::TraceEvent event;
   event.name = std::move(name);
   event.category = category;
@@ -52,9 +53,7 @@ void RecordSimSpan(std::string name, const char* category, int64_t ts_us,
   event.dur_us = static_cast<int64_t>(dur_us);
   event.pid = obs::kVirtualClockPid;
   event.tid = lane;
-  if (request_id >= 0) {
-    event.trace_id = "sim-" + std::to_string(request_id);
-  }
+  event.trace_id = trace_id;
   obs::Tracer::Get().Record(std::move(event));
 }
 }  // namespace
@@ -64,14 +63,23 @@ void SimInferenceServer::TraceExecution(const PendingRequest& pending,
                                         int batch_size) const {
   const int64_t now = sim_->now_us();
   const int64_t request_id = pending.request.request_id;
+  // Cross-hop correlation: a trace id propagated by the load generator
+  // (request.trace_id) is adopted verbatim, so the loadgen's client-side
+  // span and the pod's server-side spans share one id; otherwise the
+  // conventional "sim-<request id>" is minted.
+  const std::string trace_id =
+      !pending.request.trace_id.empty()
+          ? pending.request.trace_id
+          : (request_id >= 0 ? "sim-" + std::to_string(request_id)
+                             : std::string());
   RecordSimSpan("queue", "sim-server", pending.enqueued_at_us,
                 static_cast<double>(now - pending.enqueued_at_us), lane,
-                request_id);
+                trace_id);
   std::string name(model_->name());
   if (batch_size > 1) name += " batch[" + std::to_string(batch_size) + "]";
   RecordSimSpan(std::move(name), "sim-server", now,
                 inference_us + config_.framework_overhead_us, lane,
-                request_id);
+                trace_id);
   // Op-level attribution inside the execution: scale the device cost
   // model's phase decomposition to the (jittered) scheduled duration.
   const sim::InferenceWork work = model_->CostModel(
@@ -83,7 +91,7 @@ void SimInferenceServer::TraceExecution(const PendingRequest& pending,
       phases.total_us() > 0 ? inference_us / phases.total_us() : 0.0;
   double cursor = static_cast<double>(now) + config_.framework_overhead_us;
   RecordSimSpan("framework", "op", now, config_.framework_overhead_us, lane,
-                request_id);
+                trace_id);
   const struct {
     const char* name;
     double us;
@@ -94,7 +102,7 @@ void SimInferenceServer::TraceExecution(const PendingRequest& pending,
   for (const auto& op : ops) {
     if (op.us <= 0) continue;
     RecordSimSpan(op.name, "op", static_cast<int64_t>(cursor), op.us, lane,
-                  request_id);
+                  trace_id);
     cursor += op.us;
   }
 }
@@ -103,6 +111,7 @@ void SimInferenceServer::HandleRequest(const InferenceRequest& request,
                                        ResponseCallback callback) {
   if (pending_ >= config_.max_queue_depth) {
     ++rejected_;
+    telemetry_.OnReject(sim_->now_us());
     InferenceResponse response;
     response.request_id = request.request_id;
     response.ok = false;
@@ -111,6 +120,7 @@ void SimInferenceServer::HandleRequest(const InferenceRequest& request,
     return;
   }
   ++pending_;
+  telemetry_.OnArrival(sim_->now_us(), pending_ - in_execution_, pending_);
   PendingRequest pending;
   pending.request = request;
   pending.callback = std::move(callback);
@@ -155,6 +165,10 @@ void SimInferenceServer::RunCpuWorker() {
   queue_.pop_front();
   const double inference_us = JitteredUs(ServiceTimeUs(pending->request));
   const double total_us = inference_us + config_.framework_overhead_us;
+  ++in_execution_;
+  telemetry_.AddBusyInterval(sim_->now_us(),
+                             sim_->now_us() +
+                                 static_cast<int64_t>(total_us));
   int64_t lane = -1;
   if (obs::Tracer::enabled()) {
     lane = AcquireTraceLane();
@@ -162,6 +176,7 @@ void SimInferenceServer::RunCpuWorker() {
   }
   sim_->Schedule(static_cast<int64_t>(total_us), [this, pending,
                                                   inference_us, lane] {
+    --in_execution_;
     Complete(pending.get(), static_cast<int64_t>(inference_us));
     if (lane >= 0) ReleaseTraceLane(lane);
     --active_cpu_workers_;
@@ -198,6 +213,9 @@ void SimInferenceServer::RunGpuExecutor() {
       config_.device, work, static_cast<int>(batch->size())));
   const double per_request_us =
       batch_us / static_cast<double>(batch->size());
+  in_execution_ += static_cast<int64_t>(batch->size());
+  telemetry_.AddBusyInterval(
+      sim_->now_us(), sim_->now_us() + static_cast<int64_t>(batch_us));
   if (obs::Tracer::enabled()) {
     // The single GPU executor is one lane; the batch's spans describe its
     // longest (padded) request.
@@ -208,6 +226,7 @@ void SimInferenceServer::RunGpuExecutor() {
       static_cast<int64_t>(batch_us),
       [this, batch, per_request_us] {
         for (PendingRequest& pending : *batch) {
+          --in_execution_;
           Complete(&pending, static_cast<int64_t>(per_request_us));
         }
         gpu_executor_busy_ = false;
@@ -244,6 +263,8 @@ void SimInferenceServer::Complete(PendingRequest* pending,
     }
   }
   --pending_;
+  telemetry_.OnComplete(sim_->now_us(), response.server_time_us,
+                        response.ok, pending_ - in_execution_, pending_);
   pending->callback(response);
 }
 

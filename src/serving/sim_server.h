@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "models/session_model.h"
+#include "serving/pod_telemetry.h"
 #include "serving/request.h"
 #include "sim/device.h"
 #include "sim/simulation.h"
@@ -71,6 +72,19 @@ class SimInferenceServer : public InferenceService {
 
   const SimServerConfig& config() const { return config_; }
 
+  /// Per-pod telemetry: registry counters/gauges/latency histogram plus
+  /// the per-virtual-second timeline. Always on — this is metrics, not
+  /// tracing, and costs a few samples per request.
+  const PodTelemetry& telemetry() const { return telemetry_; }
+
+  /// Parallel executor slots for utilization accounting: `worker_slots`
+  /// independent CPU workers, or the single batched GPU executor.
+  int executor_slots() const {
+    return config_.device.is_gpu() && config_.device.supports_batching
+               ? 1
+               : config_.device.worker_slots;
+  }
+
  private:
   struct PendingRequest {
     InferenceRequest request;
@@ -113,8 +127,10 @@ class SimInferenceServer : public InferenceService {
   std::deque<std::vector<PendingRequest>> batch_queue_;
   bool gpu_executor_busy_ = false;
 
-  int64_t pending_ = 0;
+  int64_t pending_ = 0;       // admitted: queued + executing
+  int64_t in_execution_ = 0;  // currently executing (busy slots' requests)
   int64_t rejected_ = 0;
+  PodTelemetry telemetry_;
 
   // Free-list lane allocator for trace tids of concurrent CPU workers.
   std::vector<int64_t> free_trace_lanes_;

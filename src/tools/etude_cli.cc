@@ -36,9 +36,16 @@
 //   etude loadtest --port P [--route R] [--rps R] [--seconds S]
 //                  [--concurrency N] [--catalog C] [--seed S]
 //                  [--json-out F] [--wait-s W] [--host H]
+//                  [--max-error-rate FRAC] [--max-p90-us US]
 //       Drive a live `etude serve` instance with an open-loop Poisson
 //       workload over real sockets and report the measured per-second
-//       latency/throughput timeline (BENCH JSON via --json-out).
+//       latency/throughput timeline (BENCH JSON via --json-out), plus a
+//       cross-hop critical-path breakdown of the slowest requests joined
+//       with the server's /slo tail exemplars by trace id. With an SLO
+//       gate flag set, exits 3 when the run breaches it.
+//   etude metrics-lint FILE
+//       Check a saved Prometheus text-format scrape against the
+//       exposition-format rules; exits 1 on violations.
 
 #include <unistd.h>
 
@@ -60,8 +67,10 @@
 #include "metrics/report.h"
 #include "models/model_factory.h"
 #include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
 #include "obs/slo_monitor.h"
 #include "obs/folded.h"
+#include "obs/prometheus.h"
 #include "obs/memstats.h"
 #include "obs/op_hook.h"
 #include "obs/profile.h"
@@ -198,15 +207,34 @@ int CmdScenarios() {
   return 0;
 }
 
+/// Dumps a JSON document to `path`, failing loudly on short writes.
+int WriteJsonFile(const etude::JsonValue& doc, const std::string& path) {
+  const std::string text = doc.Dump() + "\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != text.size() || close_rc != 0) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int CmdRun(int argc, char** argv) {
   if (argc < 3 || etude::StartsWith(argv[2], "--")) {
     std::fprintf(stderr,
                  "usage: etude run <spec.json> [--trace-out FILE] "
-                 "[--folded-out FILE] [--exec-plan arena|malloc]\n");
+                 "[--folded-out FILE] [--exec-plan arena|malloc] "
+                 "[--json-out FILE]\n");
     return 2;
   }
   const auto flags = ParseFlags(
-      argc, argv, 3, {"trace-out", "folded-out", "threads", "exec-plan"});
+      argc, argv, 3,
+      {"trace-out", "folded-out", "threads", "exec-plan", "json-out"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -263,6 +291,16 @@ int CmdRun(int argc, char** argv) {
   if (!folded_out.empty()) {
     const int rc = WriteFoldedFile(folded_out);
     if (rc != 0) return rc;
+  }
+  const std::string json_out = FlagOr(*flags, "json-out", "");
+  if (!json_out.empty()) {
+    // BENCH JSON with the per-pod DES timelines (same tick schema as
+    // `etude loadtest --json-out`) plus the merged fleet registry.
+    const etude::JsonValue doc =
+        etude::core::DeployedBenchmarkJson(*report);
+    const int rc = WriteJsonFile(doc, json_out);
+    if (rc != 0) return rc;
+    std::fprintf(stderr, "wrote fleet telemetry to %s\n", json_out.c_str());
   }
   return report->meets_slo ? 0 : 3;
 }
@@ -632,7 +670,8 @@ int CmdLoadtest(int argc, char** argv) {
   const auto flags = ParseFlags(argc, argv, 2,
                                 {"host", "port", "route", "rps", "seconds",
                                  "concurrency", "catalog", "seed",
-                                 "json-out", "wait-s", "timeout-s"});
+                                 "json-out", "wait-s", "timeout-s",
+                                 "max-error-rate", "max-p90-us"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -641,7 +680,8 @@ int CmdLoadtest(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: etude loadtest --port P [--route R] [--rps R] "
                  "[--seconds S] [--concurrency N] [--catalog C] [--seed S] "
-                 "[--json-out F] [--wait-s W] [--host H] [--timeout-s T]\n");
+                 "[--json-out F] [--wait-s W] [--host H] [--timeout-s T] "
+                 "[--max-error-rate FRAC] [--max-p90-us US]\n");
     return 2;
   }
   etude::loadgen::HttpLoadConfig config;
@@ -699,26 +739,52 @@ int CmdLoadtest(int argc, char** argv) {
                 static_cast<long long>(slow.latency_us),
                 static_cast<long long>(slow.tick), slow.trace_id.c_str());
   }
+  // Cross-hop attribution: client latency joined with the server's /slo
+  // tail exemplars by trace id (empty when the server has no tracing).
+  for (const auto& path : result->critical_paths) {
+    std::printf("%s", etude::obs::CriticalPathText(path).c_str());
+  }
 
   const std::string json_out = FlagOr(*flags, "json-out", "");
   if (!json_out.empty()) {
     const etude::JsonValue doc =
         etude::loadgen::LoadTimelineJson(config, *result);
-    const std::string text = doc.Dump() + "\n";
-    std::FILE* file = std::fopen(json_out.c_str(), "w");
-    if (file == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
-      return 1;
-    }
-    const size_t written = std::fwrite(text.data(), 1, text.size(), file);
-    const int close_rc = std::fclose(file);
-    if (written != text.size() || close_rc != 0) {
-      std::fprintf(stderr, "short write to %s\n", json_out.c_str());
-      return 1;
-    }
+    const int rc = WriteJsonFile(doc, json_out);
+    if (rc != 0) return rc;
     std::fprintf(stderr, "wrote timeline to %s\n", json_out.c_str());
   }
-  return result->total_errors == 0 ? 0 : 3;
+
+  // SLO gates: with --max-error-rate / --max-p90-us the run becomes a
+  // pass/fail check (exit 3 on breach) for CI smoke jobs. Without gates
+  // the legacy contract holds: any error fails the run.
+  const bool has_gates = flags->count("max-error-rate") > 0 ||
+                         flags->count("max-p90-us") > 0;
+  if (!has_gates) return result->total_errors == 0 ? 0 : 3;
+  int rc = 0;
+  if (flags->count("max-error-rate") > 0) {
+    const double max_error_rate = FlagOr(*flags, "max-error-rate", 0.0);
+    const double error_rate =
+        result->total_requests > 0
+            ? static_cast<double>(result->total_errors) /
+                  static_cast<double>(result->total_requests)
+            : 0.0;
+    if (error_rate > max_error_rate) {
+      std::fprintf(stderr,
+                   "GATE BREACH: error rate %.4f > --max-error-rate %.4f\n",
+                   error_rate, max_error_rate);
+      rc = 3;
+    }
+  }
+  if (flags->count("max-p90-us") > 0) {
+    const double max_p90_us = FlagOr(*flags, "max-p90-us", 0.0);
+    if (static_cast<double>(summary.p90) > max_p90_us) {
+      std::fprintf(stderr,
+                   "GATE BREACH: wall p90 %lld us > --max-p90-us %.0f\n",
+                   static_cast<long long>(summary.p90), max_p90_us);
+      rc = 3;
+    }
+  }
+  return rc;
 }
 
 /// `etude bench-diff` — same engine as the bench_diff binary, for
@@ -728,19 +794,50 @@ int CmdBenchDiff(int argc, char** argv) {
   return etude::bench::DiffMain(args);
 }
 
+/// `etude metrics-lint FILE` — checks a Prometheus text-format scrape
+/// (e.g. a saved `/metrics` response) against the exposition-format rules
+/// the registry promises. Exit 0 clean, 1 on violations, 2 on usage/IO.
+int CmdMetricsLint(int argc, char** argv) {
+  if (argc != 3 || etude::StartsWith(argv[2], "--")) {
+    std::fprintf(stderr, "usage: etude metrics-lint FILE\n");
+    return 2;
+  }
+  std::FILE* file = std::fopen(argv[2], "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 2;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  const etude::Status status = etude::obs::ValidatePrometheusText(text);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", argv[2]);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: etude "
-      "<scenarios|run|plan|generate|profile|serve|loadtest|bench-diff> "
-      "[flags]\n"
+      "<scenarios|run|plan|generate|profile|serve|loadtest|bench-diff|"
+      "metrics-lint> [flags]\n"
       "  scenarios                          list built-in scenarios\n"
       "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
       "      [--folded-out F] [--threads N] write a Chrome trace-event file\n"
       "      [--exec-plan arena|malloc]     or collapsed flamegraph stacks\n"
-      "                                     of the simulated execution;\n"
+      "      [--json-out F]                 of the simulated execution;\n"
       "                                     arena prints the compiled\n"
-      "                                     per-worker execution plan\n"
+      "                                     per-worker execution plan;\n"
+      "                                     json-out writes the per-pod\n"
+      "                                     timelines + fleet metrics\n"
       "  plan --catalog C --rps R           cost-efficient search\n"
       "       [--p90 MS] [--max-replicas N]\n"
       "  generate --catalog C --clicks N    synthetic click log\n"
@@ -757,9 +854,13 @@ int Usage() {
       "       [--route R] [--rps R] [--seconds S] [--concurrency N]\n"
       "       [--catalog C] [--seed S] [--json-out F] [--wait-s W]\n"
       "       [--host H] [--timeout-s T]\n"
+      "       [--max-error-rate FRAC] [--max-p90-us US]  SLO gates: exit 3\n"
+      "                                     when the run breaches either\n"
       "  bench-diff BASE.json CAND.json     diff two BENCH files; exit 3\n"
       "       [--threshold PCT] [--stat S]  on regression beyond threshold\n"
       "       [--fail-on-missing] [--all]\n"
+      "  metrics-lint FILE                  lint a Prometheus text scrape;\n"
+      "                                     exit 1 on format violations\n"
       "\n"
       "Unknown flags are errors. /metrics of `serve` answers JSON by\n"
       "default and Prometheus text format under `Accept: text/plain` (or\n"
@@ -785,6 +886,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "loadtest") return CmdLoadtest(argc, argv);
   if (command == "bench-diff") return CmdBenchDiff(argc, argv);
+  if (command == "metrics-lint") return CmdMetricsLint(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     Usage();
     return 0;

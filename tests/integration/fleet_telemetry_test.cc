@@ -1,0 +1,187 @@
+// Fleet-observability crosschecks: the fleet-aggregated latency histogram
+// must equal the bucket-exact LatencyHistogram::Merge of the per-pod
+// histograms, the merged registry counters must equal the per-pod sums,
+// and the per-pod DES timelines must serialise in the SAME tick schema as
+// the real-server loadtest (one shared validator accepts both documents).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/reporter.h"
+#include "cluster/cluster.h"
+#include "core/benchmark.h"
+#include "loadgen/http_load.h"
+#include "loadgen/load_generator.h"
+#include "models/model_factory.h"
+#include "sim/simulation.h"
+#include "workload/session_generator.h"
+
+namespace etude {
+namespace {
+
+struct FleetFixture {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<models::SessionModel> model;
+  std::unique_ptr<cluster::Deployment> deployment;
+  loadgen::LoadResult load;
+};
+
+/// Deploys 3 CPU pods and drives them for 8 virtual seconds.
+FleetFixture RunSmallFleet() {
+  FleetFixture fixture;
+  fixture.sim = std::make_unique<sim::Simulation>();
+  models::ModelConfig model_config;
+  model_config.catalog_size = 2000;
+  auto model = models::CreateModel(models::ModelKind::kGru4Rec, model_config);
+  EXPECT_TRUE(model.ok());
+  fixture.model = std::move(*model);
+
+  cluster::DeploymentConfig deployment_config;
+  deployment_config.replicas = 3;
+  fixture.deployment = std::make_unique<cluster::Deployment>(
+      fixture.sim.get(), fixture.model.get(), deployment_config);
+  fixture.sim->RunUntil(fixture.deployment->ReadyAtUs());
+
+  auto sessions = workload::SessionGenerator::Create(
+      model_config.catalog_size, workload::WorkloadStats{}, 29);
+  EXPECT_TRUE(sessions.ok());
+  loadgen::LoadGeneratorConfig load_config;
+  load_config.target_rps = 120;
+  load_config.duration_s = 8;
+  load_config.ramp_s = 2;
+  loadgen::LoadGenerator generator(fixture.sim.get(),
+                                   fixture.deployment->service(),
+                                   &*sessions, load_config);
+  generator.Start();
+  fixture.sim->Run();
+  EXPECT_TRUE(generator.finished());
+  fixture.load = generator.BuildResult();
+  EXPECT_GT(fixture.load.total_ok, 0);
+  return fixture;
+}
+
+std::vector<std::pair<int64_t, int64_t>> Buckets(
+    const metrics::LatencyHistogram& histogram) {
+  std::vector<std::pair<int64_t, int64_t>> buckets;
+  histogram.ForEachBucket([&](int64_t upper, int64_t cumulative) {
+    buckets.emplace_back(upper, cumulative);
+  });
+  return buckets;
+}
+
+TEST(FleetTelemetryTest, FleetHistogramIsTheExactMergeOfPerPodHistograms) {
+  FleetFixture fixture = RunSmallFleet();
+  const cluster::Deployment::FleetTelemetry fleet =
+      fixture.deployment->CollectTelemetry();
+
+  // Merge the per-pod histograms by hand and compare bucket-for-bucket.
+  metrics::LatencyHistogram manual;
+  int64_t manual_requests = 0;
+  for (int i = 0; i < fixture.deployment->num_pods(); ++i) {
+    const serving::PodTelemetry& pod =
+        fixture.deployment->pod_server(i).telemetry();
+    manual.Merge(pod.LatencyUs());
+    const obs::MetricSample* requests =
+        pod.MetricsSnapshot().FindSample("etude_pod_requests_total", {});
+    ASSERT_NE(requests, nullptr);
+    manual_requests += static_cast<int64_t>(requests->value);
+  }
+  ASSERT_GT(manual.count(), 0);
+  EXPECT_EQ(fleet.latency_us.count(), manual.count());
+  EXPECT_EQ(fleet.latency_us.sum(), manual.sum());
+  EXPECT_EQ(Buckets(fleet.latency_us), Buckets(manual));
+
+  // The merged registry agrees with both: same histogram, summed counters.
+  const obs::MetricSample* merged_latency =
+      fleet.metrics.FindSample("etude_pod_latency_us", {});
+  ASSERT_NE(merged_latency, nullptr);
+  EXPECT_EQ(Buckets(merged_latency->histogram), Buckets(manual));
+  const obs::MetricSample* merged_requests =
+      fleet.metrics.FindSample("etude_pod_requests_total", {});
+  ASSERT_NE(merged_requests, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(merged_requests->value), manual_requests);
+
+  // Every admitted-and-answered request of the load generator shows up in
+  // exactly one pod: ok totals line up fleet-wide.
+  const obs::MetricSample* merged_ok =
+      fleet.metrics.FindSample("etude_pod_responses_ok_total", {});
+  ASSERT_NE(merged_ok, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(merged_ok->value), fixture.load.total_ok);
+  EXPECT_EQ(fleet.latency_us.count(), fixture.load.total_ok);
+}
+
+TEST(FleetTelemetryTest, PodAndLoadtestTimelinesShareOneValidatedSchema) {
+  FleetFixture fixture = RunSmallFleet();
+
+  // DES side: the per-pod timelines rendered through DeployedBenchmarkJson.
+  core::BenchmarkReport report;
+  report.scenario_name = "test";
+  report.model_name = "GRU4Rec";
+  report.device_name = "cpu";
+  report.replicas = fixture.deployment->num_pods();
+  report.load = fixture.load;
+  report.fleet = fixture.deployment->CollectTelemetry();
+  ASSERT_EQ(report.fleet.pod_timelines.size(), 3u);
+  const JsonValue des_doc = core::DeployedBenchmarkJson(report);
+  const Status des_valid = bench::ValidateTimelineJson(des_doc);
+  EXPECT_TRUE(des_valid.ok()) << des_valid.ToString();
+
+  // Loadtest side: the real-socket harness document, built from the same
+  // reporter path (no sockets needed — LoadTimelineJson is pure).
+  loadgen::HttpLoadConfig config;
+  config.route = "/predictions/gru4rec";
+  loadgen::HttpLoadResult result;
+  result.timeline.RecordRequest(0);
+  result.timeline.RecordResponse(0, 1500, true);
+  result.timeline.RecordRequest(1);
+  result.timeline.RecordResponse(1, 1800, true);
+  const JsonValue loadtest_doc = loadgen::LoadTimelineJson(config, result);
+  const Status loadtest_valid = bench::ValidateTimelineJson(loadtest_doc);
+  EXPECT_TRUE(loadtest_valid.ok()) << loadtest_valid.ToString();
+
+  // The crosscheck with teeth: both documents' timeline entries carry the
+  // exact same key set, so a field added to one producer but not the
+  // other fails here.
+  const auto first_entry_keys = [](const JsonValue& doc) {
+    std::vector<std::string> keys;
+    for (const JsonValue& series : doc.Get("series").items()) {
+      if (!series.Contains("timeline")) continue;
+      const auto& entries = series.Get("timeline").items();
+      if (entries.empty()) continue;
+      for (const auto& [key, value] : entries[0].members()) {
+        keys.push_back(key);
+      }
+      return keys;
+    }
+    return keys;
+  };
+  const std::vector<std::string> des_keys = first_entry_keys(des_doc);
+  const std::vector<std::string> loadtest_keys =
+      first_entry_keys(loadtest_doc);
+  ASSERT_FALSE(des_keys.empty());
+  EXPECT_EQ(des_keys, loadtest_keys);
+
+  // Pod identity travels as a series param, one series per pod.
+  int pod_series = 0;
+  for (const JsonValue& series : des_doc.Get("series").items()) {
+    const JsonValue& params = series.Get("params");
+    if (params.is_object() && params.Contains("pod")) ++pod_series;
+  }
+  EXPECT_EQ(pod_series, 3);
+
+  // DES pods measure what a client-side harness cannot: executor
+  // utilization is populated on at least one tick.
+  bool saw_utilization = false;
+  for (const auto& timeline : report.fleet.pod_timelines) {
+    for (const auto& tick : timeline.ticks()) {
+      if (tick.utilization > 0) saw_utilization = true;
+    }
+  }
+  EXPECT_TRUE(saw_utilization);
+}
+
+}  // namespace
+}  // namespace etude

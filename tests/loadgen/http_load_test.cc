@@ -86,12 +86,13 @@ TEST_F(HttpLoadTest, DrivesALiveServerAndRecordsTheTimeline) {
   const auto wall = result->timeline.AggregateLatencies().Summarize();
   EXPECT_GE(wall.p50, result->server_inference_us.Summarize().p50);
 
-  // Slowest requests carry the server's trace ids for correlation with
-  // /debug/tail-traces.
+  // Slowest requests carry the loadgen-minted trace ids (lt-<seed>-<seq>),
+  // adopted and echoed back by the server, for correlation with
+  // /debug/tail-traces and the /slo exemplars.
   ASSERT_FALSE(result->slowest.empty());
   EXPECT_GE(result->slowest[0].latency_us, result->slowest.back().latency_us);
   for (const SlowRequest& slow : result->slowest) {
-    EXPECT_NE(slow.trace_id.find("req-"), std::string::npos);
+    EXPECT_EQ(slow.trace_id.rfind("lt-", 0), 0u) << slow.trace_id;
   }
 }
 

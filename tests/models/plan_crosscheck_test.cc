@@ -86,6 +86,10 @@ class PlanCrossCheckTest
 };
 
 TEST_P(PlanCrossCheckTest, StaticFlopsMatchRuntimeExactly) {
+  if (!obs::kOpHooksCompiled) {
+    GTEST_SKIP() << "op hooks compiled out (ETUDE_DISABLE_TRACING): "
+                    "the runtime side of the cross-check records nothing";
+  }
   for (const ConcreteConfig& cc : kConfigs) {
     auto model = MakeModel(cc);
     ASSERT_NE(model, nullptr);
@@ -138,6 +142,10 @@ TEST_P(PlanCrossCheckTest, StaticFlopsMatchRuntimeExactly) {
 }
 
 TEST_P(PlanCrossCheckTest, StaticPeakUpperBoundsRuntimePeak) {
+  if (!obs::kMemStatsCompiled) {
+    GTEST_SKIP() << "memory accounting compiled out "
+                    "(ETUDE_DISABLE_TRACING): the bound would be vacuous";
+  }
   for (const ConcreteConfig& cc : kConfigs) {
     auto model = MakeModel(cc);
     ASSERT_NE(model, nullptr);

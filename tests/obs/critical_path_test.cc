@@ -1,0 +1,86 @@
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::obs {
+namespace {
+
+TEST(CriticalPathTest, SynthesizesResidualHopsAndShares) {
+  // Server phases cover 800 of the server's 1000 us; the client waited
+  // 1500 us in total. Expect an "unattributed" hop of 200 us and a
+  // "network+client" hop of 500 us.
+  std::vector<PhaseSpan> phases = {
+      {"inference", 100, 600},
+      {"queue", 0, 100},
+      {"serialize", 700, 100},
+  };
+  const CriticalPathReport report =
+      AnalyzeCriticalPath("lt-17-3", 1500, 1000, phases);
+
+  EXPECT_EQ(report.trace_id, "lt-17-3");
+  EXPECT_EQ(report.client_total_us, 1500);
+  EXPECT_EQ(report.server_total_us, 1000);
+  ASSERT_EQ(report.hops.size(), 5u);
+  // Phases come back sorted by start offset regardless of input order.
+  EXPECT_EQ(report.hops[0].name, "queue");
+  EXPECT_EQ(report.hops[1].name, "inference");
+  EXPECT_EQ(report.hops[2].name, "serialize");
+  EXPECT_EQ(report.hops[3].name, "unattributed");
+  EXPECT_EQ(report.hops[3].dur_us, 200);
+  EXPECT_EQ(report.hops[3].start_us, 800);
+  EXPECT_EQ(report.hops[4].name, "network+client");
+  EXPECT_EQ(report.hops[4].dur_us, 500);
+  EXPECT_EQ(report.hops[4].start_us, 1000);
+  // Shares are fractions of the client-observed total.
+  EXPECT_DOUBLE_EQ(report.hops[1].share, 600.0 / 1500.0);
+  EXPECT_EQ(report.dominant, "inference");
+}
+
+TEST(CriticalPathTest, ServerOnlyViewOmitsNetworkHop) {
+  // client_total == server_total is the DES convention: no wire to
+  // attribute, so no synthetic network hop.
+  std::vector<PhaseSpan> phases = {{"inference", 0, 900}};
+  const CriticalPathReport report =
+      AnalyzeCriticalPath("sim-1", 1000, 1000, phases);
+  ASSERT_EQ(report.hops.size(), 2u);
+  EXPECT_EQ(report.hops[0].name, "inference");
+  EXPECT_EQ(report.hops[1].name, "unattributed");
+  EXPECT_EQ(report.hops[1].dur_us, 100);
+  EXPECT_EQ(report.dominant, "inference");
+}
+
+TEST(CriticalPathTest, NetworkDominatesWhenServerIsFast) {
+  const CriticalPathReport report =
+      AnalyzeCriticalPath("lt-1-1", 5000, 400, {{"inference", 0, 400}});
+  ASSERT_EQ(report.hops.size(), 2u);
+  EXPECT_EQ(report.dominant, "network+client");
+  EXPECT_DOUBLE_EQ(report.hops[1].share, 4600.0 / 5000.0);
+}
+
+TEST(CriticalPathTest, EmptyPhasesStillAttributeEverything) {
+  // A server with tracing but no recorded phases for this exemplar: the
+  // whole server time is "unattributed".
+  const CriticalPathReport report =
+      AnalyzeCriticalPath("lt-0-0", 100, 80, {});
+  ASSERT_EQ(report.hops.size(), 2u);
+  EXPECT_EQ(report.hops[0].name, "unattributed");
+  EXPECT_EQ(report.hops[0].dur_us, 80);
+  EXPECT_EQ(report.hops[1].name, "network+client");
+  EXPECT_EQ(report.hops[1].dur_us, 20);
+}
+
+TEST(CriticalPathTest, TextRendersOneLinePerHopWithDominantMarker) {
+  const CriticalPathReport report = AnalyzeCriticalPath(
+      "lt-17-9", 1500, 1000,
+      {{"queue", 0, 100}, {"inference", 100, 900}});
+  const std::string text = CriticalPathText(report);
+  EXPECT_NE(text.find("trace lt-17-9: client 1500 us, server 1000 us"),
+            std::string::npos);
+  EXPECT_NE(text.find("queue"), std::string::npos);
+  EXPECT_NE(text.find("<- dominant"), std::string::npos);
+  // Only the dominant hop carries the marker.
+  EXPECT_EQ(text.find("<- dominant"), text.rfind("<- dominant"));
+}
+
+}  // namespace
+}  // namespace etude::obs

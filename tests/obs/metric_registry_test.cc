@@ -1,0 +1,190 @@
+#include "obs/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/prometheus.h"
+
+namespace etude::obs {
+namespace {
+
+TEST(MetricRegistryTest, RegistrationIsIdempotent) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("etude_requests_total", "Requests.");
+  Counter* b = registry.GetCounter("etude_requests_total", "Requests.");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3);
+
+  // Distinct label sets under one family are distinct instruments.
+  Counter* labeled = registry.GetCounter("etude_requests_total", "Requests.",
+                                         {{"route", "/healthz"}});
+  EXPECT_NE(labeled, a);
+  EXPECT_EQ(labeled,
+            registry.GetCounter("etude_requests_total", "Requests.",
+                                {{"route", "/healthz"}}));
+}
+
+TEST(MetricRegistryTest, SnapshotCarriesEveryKind) {
+  MetricRegistry registry;
+  registry.GetCounter("etude_hits_total", "Hits.", {}, "hits")->Add(7);
+  registry.GetGauge("etude_depth", "Depth.", {}, "depth")->Set(2.5);
+  Histogram* histogram =
+      registry.GetHistogram("etude_latency_us", "Latency.", {}, "latency");
+  histogram->Record(100);
+  histogram->Record(200);
+  registry.SetInfo("etude_model_info", "Model.", "model", "GRU4Rec", "model");
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.families.size(), 4u);
+
+  const MetricSample* hits = snapshot.FindSample("etude_hits_total", {});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, 7.0);
+
+  const MetricSample* latency = snapshot.FindSample("etude_latency_us", {});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->histogram.count(), 2);
+
+  const MetricFamily* info = snapshot.FindFamily("etude_model_info");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->kind, MetricKind::kInfo);
+  ASSERT_EQ(info->samples.size(), 1u);
+  EXPECT_EQ(info->samples[0].text, "GRU4Rec");
+}
+
+TEST(MetricRegistryTest, BothExpositionFormatsRenderFromOneSnapshot) {
+  MetricRegistry registry;
+  registry.GetCounter("etude_hits_total", "Hits.", {}, "hits")->Add(5);
+  registry
+      .GetGauge("etude_window_p90_us", "Window p90.", {},
+                "slo.window_p90_us")
+      ->Set(1234);
+  registry.GetHistogram("etude_latency_us", "Latency.", {}, "latency_summary")
+      ->Record(150);
+  registry.SetInfo("etude_model_info", "Model.", "model", "GRU4Rec", "model");
+  // Prometheus-only sample: empty json_path keeps it out of the JSON form.
+  registry
+      .GetGauge("etude_phase_p90_us", "Phase p90.", {{"phase", "parse"}})
+      ->Set(10);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+
+  const std::string prometheus = snapshot.ToPrometheusText();
+  EXPECT_TRUE(ValidatePrometheusText(prometheus).ok())
+      << ValidatePrometheusText(prometheus).ToString() << "\n"
+      << prometheus;
+  EXPECT_NE(prometheus.find("# TYPE etude_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("etude_hits_total 5"), std::string::npos);
+  EXPECT_NE(prometheus.find("# TYPE etude_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("etude_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("etude_model_info{model=\"GRU4Rec\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("etude_phase_p90_us{phase=\"parse\"} 10"),
+            std::string::npos);
+
+  const JsonValue json = snapshot.ToJson();
+  EXPECT_EQ(json.GetIntOr("hits", -1), 5);
+  // Dotted paths nest.
+  EXPECT_EQ(json.Get("slo").GetIntOr("window_p90_us", -1), 1234);
+  EXPECT_EQ(json.GetStringOr("model", ""), "GRU4Rec");
+  // Histograms land as the standard summary block.
+  const JsonValue& summary = json.Get("latency_summary");
+  ASSERT_TRUE(summary.is_object());
+  EXPECT_EQ(summary.GetIntOr("count", -1), 1);
+  // The Prometheus-only gauge is absent from JSON.
+  EXPECT_FALSE(json.Contains("etude_phase_p90_us"));
+}
+
+TEST(MetricRegistryTest, MergeSumsCountersAndMergesHistogramsExactly) {
+  MetricRegistry pod_a;
+  MetricRegistry pod_b;
+  pod_a.GetCounter("etude_pod_requests_total", "Requests.", {}, "requests")
+      ->Add(10);
+  pod_b.GetCounter("etude_pod_requests_total", "Requests.", {}, "requests")
+      ->Add(32);
+  pod_a.GetGauge("etude_pod_queue_depth", "Depth.", {}, "queue_depth")
+      ->Set(3);
+  pod_b.GetGauge("etude_pod_queue_depth", "Depth.", {}, "queue_depth")
+      ->Set(4);
+  Histogram* hist_a =
+      pod_a.GetHistogram("etude_pod_latency_us", "Latency.", {}, "latency");
+  Histogram* hist_b =
+      pod_b.GetHistogram("etude_pod_latency_us", "Latency.", {}, "latency");
+  for (int i = 1; i <= 50; ++i) hist_a->Record(i * 100);
+  for (int i = 1; i <= 70; ++i) hist_b->Record(i * 90);
+  pod_a.SetInfo("etude_pod_info", "Info.", "device", "cpu", "device");
+  pod_b.SetInfo("etude_pod_info", "Info.", "device", "cpu", "device");
+  // A family only pod B exposes is appended on merge.
+  pod_b.GetCounter("etude_pod_rejected_total", "Rejected.", {}, "rejected")
+      ->Add(2);
+
+  RegistrySnapshot fleet = pod_a.Snapshot();
+  fleet.Merge(pod_b.Snapshot());
+
+  EXPECT_EQ(fleet.FindSample("etude_pod_requests_total", {})->value, 42.0);
+  EXPECT_EQ(fleet.FindSample("etude_pod_queue_depth", {})->value, 7.0);
+  EXPECT_EQ(fleet.FindSample("etude_pod_rejected_total", {})->value, 2.0);
+  EXPECT_EQ(fleet.FindFamily("etude_pod_info")->samples[0].text, "cpu");
+
+  // The merged histogram is bucket-for-bucket the LatencyHistogram::Merge
+  // of the two pods' histograms — not an approximation.
+  metrics::LatencyHistogram expected = hist_a->Merged();
+  expected.Merge(hist_b->Merged());
+  const metrics::LatencyHistogram& merged =
+      fleet.FindSample("etude_pod_latency_us", {})->histogram;
+  EXPECT_EQ(merged.count(), expected.count());
+  EXPECT_EQ(merged.sum(), expected.sum());
+  std::vector<std::pair<int64_t, int64_t>> expected_buckets;
+  expected.ForEachBucket([&](int64_t upper, int64_t cumulative) {
+    expected_buckets.emplace_back(upper, cumulative);
+  });
+  std::vector<std::pair<int64_t, int64_t>> merged_buckets;
+  merged.ForEachBucket([&](int64_t upper, int64_t cumulative) {
+    merged_buckets.emplace_back(upper, cumulative);
+  });
+  EXPECT_EQ(merged_buckets, expected_buckets);
+}
+
+TEST(MetricRegistryTest, ConcurrentRecordingLosesNothing) {
+  MetricRegistry registry;
+  Counter* counter =
+      registry.GetCounter("etude_ops_total", "Ops.", {}, "ops");
+  Histogram* histogram =
+      registry.GetHistogram("etude_op_us", "Op time.", {}, "op_us");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        histogram->Record(t * 1000 + i);
+        if (i % 1024 == 0) {
+          // Concurrent scrapes must see a consistent snapshot.
+          const RegistrySnapshot snapshot = registry.Snapshot();
+          const MetricSample* sample =
+              snapshot.FindSample("etude_op_us", {});
+          ASSERT_NE(sample, nullptr);
+          ASSERT_LE(sample->histogram.count(),
+                    static_cast<int64_t>(kThreads) * kPerThread);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->Merged().count(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace etude::obs

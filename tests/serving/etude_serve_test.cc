@@ -340,12 +340,14 @@ TEST_F(EtudeServeTest, TailTracesAreValidChromeTraceJson) {
   EXPECT_EQ(requests, 1);
   EXPECT_EQ(phases, 3);
 
-  // The snapshot API agrees with the HTTP view.
+  // The snapshot API agrees with the HTTP view. The handler's three
+  // phases plus the HTTP server's accept-to-handler "queue" phase.
   const obs::WindowSnapshot snapshot = serve_->SloSnapshot();
   EXPECT_TRUE(snapshot.enabled);
   EXPECT_EQ(snapshot.requests, 1);
   ASSERT_EQ(snapshot.slowest.size(), 1u);
-  EXPECT_EQ(snapshot.slowest[0].phases.size(), 3u);
+  EXPECT_EQ(snapshot.slowest[0].phases.size(), 4u);
+  EXPECT_EQ(snapshot.slowest[0].phases[0].name, "queue");
 }
 
 #else  // ETUDE_DISABLE_TRACING

@@ -1,0 +1,82 @@
+#include "serving/pod_telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace etude::serving {
+namespace {
+
+TEST(PodTelemetryTest, CountersAndGaugesTrackLifecycle) {
+  PodTelemetry telemetry;
+  telemetry.OnArrival(/*now_us=*/100, /*queue_depth=*/0, /*in_flight=*/1);
+  telemetry.OnArrival(/*now_us=*/200, /*queue_depth=*/1, /*in_flight=*/2);
+  telemetry.OnReject(/*now_us=*/300);
+  telemetry.OnComplete(/*now_us=*/5000, /*server_time_us=*/4900, /*ok=*/true,
+                       /*queue_depth=*/0, /*in_flight=*/1);
+  telemetry.OnComplete(/*now_us=*/6000, /*server_time_us=*/5800, /*ok=*/false,
+                       /*queue_depth=*/0, /*in_flight=*/0);
+
+  const obs::RegistrySnapshot snapshot = telemetry.MetricsSnapshot();
+  EXPECT_EQ(snapshot.FindSample("etude_pod_requests_total", {})->value, 2.0);
+  EXPECT_EQ(snapshot.FindSample("etude_pod_responses_ok_total", {})->value,
+            1.0);
+  // One reject + one failed completion.
+  EXPECT_EQ(snapshot.FindSample("etude_pod_errors_total", {})->value, 2.0);
+  EXPECT_EQ(snapshot.FindSample("etude_pod_rejected_total", {})->value, 1.0);
+  EXPECT_EQ(snapshot.FindSample("etude_pod_in_flight", {})->value, 0.0);
+
+  // The latency histogram records successful requests only.
+  EXPECT_EQ(telemetry.LatencyUs().count(), 1);
+  EXPECT_EQ(telemetry.LatencyUs().sum(), 4900);
+}
+
+TEST(PodTelemetryTest, QueueDepthSamplesFeedPeakAndMean) {
+  PodTelemetry telemetry;
+  telemetry.OnArrival(100, /*queue_depth=*/2, /*in_flight=*/3);
+  telemetry.OnArrival(200, /*queue_depth=*/6, /*in_flight=*/7);
+  telemetry.OnComplete(300, 200, true, /*queue_depth=*/4, /*in_flight=*/6);
+
+  const auto& ticks = telemetry.timeline().ticks();
+  ASSERT_EQ(ticks.size(), 1u);
+  EXPECT_EQ(ticks[0].queue_depth_peak, 6);
+  EXPECT_EQ(ticks[0].queue_depth_samples, 3);
+  EXPECT_DOUBLE_EQ(ticks[0].QueueDepthMean(), (2.0 + 6.0 + 4.0) / 3.0);
+  EXPECT_EQ(ticks[0].in_flight, 6);
+}
+
+TEST(PodTelemetryTest, BusyIntervalSplitsAcrossTicks) {
+  PodTelemetry telemetry;
+  // 0.4 s in tick 0, the whole of tick 1, 0.2 s in tick 2.
+  telemetry.AddBusyInterval(600'000, 2'200'000);
+  // Zero-length and inverted intervals are ignored.
+  telemetry.AddBusyInterval(100, 100);
+  telemetry.AddBusyInterval(500, 100);
+
+  const auto& ticks = telemetry.timeline().ticks();
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0].busy_us, 400'000);
+  EXPECT_EQ(ticks[1].busy_us, 1'000'000);
+  EXPECT_EQ(ticks[2].busy_us, 200'000);
+}
+
+TEST(PodTelemetryTest, FinalizedUtilizationDividesBySlotsAndClamps) {
+  PodTelemetry telemetry;
+  // Two executor slots busy 1.0 s and 0.5 s inside tick 0 → 75%.
+  telemetry.AddBusyInterval(0, 1'000'000);
+  telemetry.AddBusyInterval(0, 500'000);
+
+  const metrics::TimeSeriesRecorder two_slots =
+      telemetry.FinalizedTimeline(/*executor_slots=*/2);
+  ASSERT_EQ(two_slots.ticks().size(), 1u);
+  EXPECT_DOUBLE_EQ(two_slots.ticks()[0].utilization, 0.75);
+
+  // With one slot the recorded 1.5 s exceed the second: clamped to 1.0.
+  const metrics::TimeSeriesRecorder one_slot =
+      telemetry.FinalizedTimeline(/*executor_slots=*/1);
+  EXPECT_DOUBLE_EQ(one_slot.ticks()[0].utilization, 1.0);
+
+  // FinalizedTimeline is a copy: the raw timeline stays un-finalized.
+  EXPECT_DOUBLE_EQ(telemetry.timeline().ticks()[0].utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace etude::serving

@@ -37,11 +37,27 @@ SERVE_PID=$!
 echo "=== loadtest: ~2 s open-loop run against the live server ==="
 # --catalog must not exceed the server's: session item ids outside the
 # served catalog are rejected as 400s and would count as errors here.
+# The SLO gates are set loose enough to always pass; their exit code is
+# exercised separately below.
 "${ETUDE}" loadtest --port "${PORT}" --rps 40 --seconds 2 \
     --concurrency 2 --catalog 2000 --wait-s 10 \
+    --max-error-rate 0.5 \
     --json-out "${TMP}/loadtest.json" \
     | tee "${TMP}/loadtest.txt"
 grep -q "p90" "${TMP}/loadtest.txt"
+# Cross-hop attribution of the slowest requests, joined with the
+# server's /slo exemplars via the propagated x-trace-id.
+grep -q "<- dominant" "${TMP}/loadtest.txt"
+grep -Eq "trace lt-[0-9]+-[0-9]+:" "${TMP}/loadtest.txt"
+
+echo "=== loadtest: an impossible p90 gate fails with exit 3 ==="
+set +e
+"${ETUDE}" loadtest --port "${PORT}" --rps 20 --seconds 1 \
+    --concurrency 2 --catalog 2000 --max-p90-us 1 > /dev/null 2>&1
+GATE_RC=$?
+set -e
+[ "${GATE_RC}" -eq 3 ] || {
+  echo "FAIL: --max-p90-us 1 should exit 3, got ${GATE_RC}" >&2; exit 1; }
 
 echo "=== loadtest: timeline JSON is well-formed ==="
 python3 - "${TMP}/loadtest.json" <<'EOF'
@@ -60,6 +76,15 @@ for tick in ticks:
 errors = by_name["loadtest_errors"]["value"]
 assert errors == 0, f"loadtest saw {errors} errors"
 assert report["slowest"] and report["slowest"][0]["trace_id"], report
+# The loadgen-minted trace ids survive the round trip through the server.
+assert report["slowest"][0]["trace_id"].startswith("lt-"), report["slowest"]
+paths = report["critical_paths"]
+assert paths, "expected critical-path reports for the slowest requests"
+for path in paths:
+    hops = {hop["name"] for hop in path["hops"]}
+    assert {"queue", "parse", "inference", "serialize"} <= hops, path
+    assert path["dominant"] in hops, path
+    assert path["client_total_us"] >= path["server_total_us"], path
 print(f"timeline OK: {len(ticks)} tick(s), "
       f"{latency['summary']['count']} ok request(s)")
 EOF

@@ -89,6 +89,15 @@ if grep -Evq '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+|[+-]Inf|NaN
   exit 1
 fi
 
+echo "=== metrics-lint: the scrape passes the exposition-format linter ==="
+"${ETUDE}" metrics-lint "${TMP}/metrics.prom"
+# And the linter actually rejects garbage.
+printf 'etude_bad{unclosed="x 1\n' > "${TMP}/bad.prom"
+if "${ETUDE}" metrics-lint "${TMP}/bad.prom" 2>/dev/null; then
+  echo "FAIL: metrics-lint accepted a malformed scrape" >&2
+  exit 1
+fi
+
 echo "=== serve: /healthz readiness payload ==="
 curl -fs "http://127.0.0.1:${PORT}/healthz" \
     | python3 -c 'import json,sys; h = json.load(sys.stdin); \
