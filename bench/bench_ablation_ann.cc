@@ -107,7 +107,10 @@ int main(int argc, char** argv) {
   const double fashion_base_ms =
       etude::sim::SerialInferenceUs(cpu, fashion_work) / 1000.0;
 
-  auto add_row = [&](const std::string& name, const std::string& slug,
+  // Series identity is the structured (catalog, backend[, nprobe]) tuple —
+  // an opaque "method" slug made it impossible to diff one knob across
+  // runs or to tell backends apart once more sweeps joined the file.
+  auto add_row = [&](const std::string& name, etude::bench::Params params,
                      double latency_us, double recall, double fraction) {
     etude::sim::InferenceWork scaled = fashion_work;
     scaled.scan_bytes *= fraction;
@@ -118,7 +121,7 @@ int main(int argc, char** argv) {
                   etude::FormatDouble(recall, 3),
                   etude::FormatDouble(fraction, 3),
                   etude::FormatDouble(projected_ms, 1)});
-    const etude::bench::Params params = {{"method", slug}};
+    params.emplace_back("catalog", std::to_string(kCatalog));
     run.reporter().AddValue("latency_per_query_ms", "ms", params,
                             etude::bench::Direction::kLowerIsBetter,
                             latency_us / 1000.0);
@@ -136,8 +139,8 @@ int main(int argc, char** argv) {
       latency += MeasureUs(
           [&] { etude::tensor::Mips(items, query, kTopK); }, 3);
     }
-    add_row("exact fp32 (baseline)", "exact_fp32", latency / kQueries, 1.0,
-            1.0);
+    add_row("exact fp32 (baseline)", {{"backend", "exact"}},
+            latency / kQueries, 1.0, 1.0);
   }
   // Int8 quantised full scan: bytes drop ~4x.
   {
@@ -152,8 +155,8 @@ int main(int argc, char** argv) {
         static_cast<double>(quantized.ScanBytes()) /
         (static_cast<double>(kCatalog) *
          static_cast<double>(items.dim(1)) * 4.0);
-    add_row("int8 quantised scan", "int8", latency / kQueries,
-            recall / kQueries, fraction);
+    add_row("int8 quantised scan", {{"backend", "int8"}},
+            latency / kQueries, recall / kQueries, fraction);
   }
   // IVF with increasing probes.
   for (const int64_t nprobe : {1, 2, 4, 8, 16, 32}) {
@@ -165,8 +168,11 @@ int main(int argc, char** argv) {
           [&] { ivf->Search(queries[q], kTopK, nprobe); }, 3);
     }
     add_row("IVF nlist=512 nprobe=" + std::to_string(nprobe),
-            "ivf_nprobe" + std::to_string(nprobe), latency / kQueries,
-            recall / kQueries, ivf->ExpectedScanFraction(nprobe));
+            {{"backend", "ivf-flat"},
+             {"nlist", "512"},
+             {"nprobe", std::to_string(nprobe)}},
+            latency / kQueries, recall / kQueries,
+            ivf->ExpectedScanFraction(nprobe));
   }
 
   std::printf("%s", table.ToText().c_str());

@@ -1,0 +1,266 @@
+// Pareto sweep over the retrieval backends: recall@21 vs measured
+// per-query latency vs resident bytes, at catalog sizes spanning the
+// paper's scenarios (100k quick; 100k / 1M / 10M full). This is the
+// trade-off surface behind `--retrieval` on `etude serve` and the
+// "retrieval" spec block of `etude run`:
+//
+//   * exact      — fused fp32 AVX2 scan (recall 1, the reference),
+//   * int8       — fused int8 scan over the quantised table,
+//   * ivf-flat   — coarse k-means + fused int8 scan of nprobe lists,
+//   * ivf-pq     — 8-bit PQ codes, LUT gather scan, optional exact
+//                  re-rank of the top candidates.
+//
+// The catalog is *clustered* (items drawn around a few hundred centers,
+// queries near real items), matching how trained item embeddings behave;
+// isotropic random embeddings are IVF's worst case and say nothing about
+// production recall (see bench_ablation_ann's note). The acceptance
+// datapoints live at C=1M: int8 must beat exact outright, and ivf-pq
+// must reach recall@21 >= 0.95 at >= 5x lower latency than exact.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ann/ivf_index.h"
+#include "ann/ivf_pq.h"
+#include "bench/harness.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "metrics/report.h"
+#include "models/session_model.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-3-batches mean: the IVF search calls land in the 10-100us
+/// range where a single batch mean is at the mercy of scheduler noise;
+/// the fastest batch is the stable, diffable estimate of the true cost.
+double MeasureUs(const std::function<void()>& fn, int repetitions) {
+  double best_us = 0.0;
+  for (int batch = 0; batch < 3; ++batch) {
+    const auto start = Clock::now();
+    for (int i = 0; i < repetitions; ++i) fn();
+    const auto end = Clock::now();
+    const double us =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count() /
+        1000.0 / repetitions;
+    if (batch == 0 || us < best_us) best_us = us;
+  }
+  return best_us;
+}
+
+/// A clustered catalog: every item is one of `centers` gaussian centers
+/// plus small within-cluster noise, the structure IVF coarse quantisers
+/// exploit in trained embedding tables.
+etude::tensor::Tensor MakeClusteredCatalog(int64_t c, int64_t d,
+                                           int64_t centers,
+                                           etude::Rng* rng) {
+  const etude::tensor::Tensor center_table =
+      etude::tensor::RandomNormal({centers, d}, 1.0f, rng);
+  etude::tensor::Tensor items =
+      etude::tensor::RandomNormal({c, d}, 0.35f, rng);
+  for (int64_t i = 0; i < c; ++i) {
+    const float* center =
+        center_table.data() +
+        static_cast<int64_t>(rng->NextBounded(
+            static_cast<uint64_t>(centers))) *
+            d;
+    float* row = items.data() + i * d;
+    for (int64_t j = 0; j < d; ++j) row[j] += center[j];
+  }
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  etude::SetLogLevel(etude::LogLevel::kWarning);
+  etude::bench::BenchRun run = etude::bench::BenchRun::CreateOrExit(
+      "bench_pareto_retrieval", argc, argv);
+
+  const std::vector<int64_t> catalogs =
+      run.quick() ? std::vector<int64_t>{100000}
+                  : std::vector<int64_t>{100000, 1000000, 10000000};
+  const std::vector<int64_t> nprobes =
+      run.quick() ? std::vector<int64_t>{4, 16}
+                  : std::vector<int64_t>{4, 16, 64};
+  const int kQueries = run.quick() ? 6 : 8;
+  const int kReps = run.quick() ? 8 : 5;
+  constexpr int64_t kTopK = 21;
+  etude::Rng rng(run.seed_or(7));
+
+  for (const int64_t c : catalogs) {
+    const int64_t d = etude::models::HeuristicEmbeddingDim(c);
+    // Bounded coarse quantiser: the ~4*sqrt(C) heuristic is right for
+    // serving, but above a few thousand lists the k-means labelling pass
+    // dominates this sweep's wall clock without moving the Pareto front.
+    const int64_t nlist = std::min<int64_t>(
+        4096, static_cast<int64_t>(4.0 * std::sqrt(static_cast<double>(c))));
+    std::printf("=== C=%s (d=%lld, nlist=%lld) ===\n",
+                etude::FormatWithCommas(c).c_str(),
+                static_cast<long long>(d), static_cast<long long>(nlist));
+    std::fflush(stdout);
+
+    const etude::tensor::Tensor items =
+        MakeClusteredCatalog(c, d, 256, &rng);
+    std::vector<etude::tensor::Tensor> queries;
+    for (int q = 0; q < kQueries; ++q) {
+      // Queries sit near a real item, as a session encoding of a user
+      // browsing that neighbourhood would.
+      const int64_t pick =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(c)));
+      etude::tensor::Tensor query =
+          etude::tensor::RandomNormal({d}, 0.25f, &rng);
+      for (int64_t j = 0; j < d; ++j) {
+        query.data()[j] += items.data()[pick * d + j];
+      }
+      queries.push_back(std::move(query));
+    }
+    std::vector<etude::tensor::TopKResult> exact(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      exact[q] = etude::tensor::Mips(items, queries[q], kTopK);
+    }
+
+    etude::metrics::Table table({"backend", "latency/query [ms]",
+                                 "recall@21", "resident [MiB]",
+                                 "build [s]"});
+    auto add_point = [&](const std::string& label,
+                         etude::bench::Params params, double latency_us,
+                         double recall, int64_t resident_bytes,
+                         double build_s) {
+      const double resident_mib =
+          static_cast<double>(resident_bytes) / (1024.0 * 1024.0);
+      table.AddRow({label, etude::FormatDouble(latency_us / 1000.0, 3),
+                    etude::FormatDouble(recall, 3),
+                    etude::FormatDouble(resident_mib, 1),
+                    etude::FormatDouble(build_s, 1)});
+      params.emplace_back("catalog", std::to_string(c));
+      run.reporter().AddValue("latency_per_query_ms", "ms", params,
+                              etude::bench::Direction::kLowerIsBetter,
+                              latency_us / 1000.0);
+      run.reporter().AddValue("recall_at_21", "fraction", params,
+                              etude::bench::Direction::kHigherIsBetter,
+                              recall);
+      run.reporter().AddValue("resident_mib", "MiB", params,
+                              etude::bench::Direction::kLowerIsBetter,
+                              resident_mib);
+    };
+
+    // Exact fp32 reference.
+    {
+      double latency = 0;
+      for (const auto& query : queries) {
+        latency += MeasureUs(
+            [&] { etude::tensor::Mips(items, query, kTopK); }, kReps);
+      }
+      add_point("exact", {{"backend", "exact"}}, latency / kQueries, 1.0,
+                items.numel() * static_cast<int64_t>(sizeof(float)), 0.0);
+    }
+
+    // Int8 full scan.
+    {
+      const auto build_start = Clock::now();
+      const auto quantized = etude::tensor::QuantizedMatrix::FromTensor(items);
+      const double build_s =
+          std::chrono::duration<double>(Clock::now() - build_start).count();
+      double latency = 0, recall = 0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        recall += etude::tensor::RecallAtK(
+            exact[q], quantized.Mips(queries[q], kTopK));
+        latency += MeasureUs(
+            [&] { quantized.Mips(queries[q], kTopK); }, kReps);
+      }
+      add_point("int8", {{"backend", "int8"}}, latency / kQueries,
+                recall / kQueries, quantized.ResidentBytes(), build_s);
+    }
+
+    // IVF-flat over int8 lists, sweeping nprobe.
+    {
+      etude::ann::IvfIndex::BuildOptions options;
+      options.nlist = nlist;
+      options.int8_lists = true;
+      options.seed = run.seed_or(7);
+      const auto build_start = Clock::now();
+      auto ivf = etude::ann::IvfIndex::Build(items, options);
+      ETUDE_CHECK(ivf.ok()) << ivf.status().ToString();
+      const double build_s =
+          std::chrono::duration<double>(Clock::now() - build_start).count();
+      for (const int64_t nprobe : nprobes) {
+        double latency = 0, recall = 0;
+        for (size_t q = 0; q < queries.size(); ++q) {
+          recall += etude::tensor::RecallAtK(
+              exact[q], ivf->Search(queries[q], kTopK, nprobe));
+          latency += MeasureUs(
+              [&] { ivf->Search(queries[q], kTopK, nprobe); }, kReps);
+        }
+        add_point("ivf-flat nprobe=" + std::to_string(nprobe),
+                  {{"backend", "ivf-flat"},
+                   {"nprobe", std::to_string(nprobe)}},
+                  latency / kQueries, recall / kQueries,
+                  ivf->ResidentBytes(), build_s);
+      }
+    }
+
+    // IVF-PQ, sweeping nprobe x {no re-rank, exact re-rank of top 128}.
+    {
+      etude::ann::IvfPqIndex::BuildOptions options;
+      options.nlist = nlist;
+      options.seed = run.seed_or(7);
+      const auto build_start = Clock::now();
+      auto pq = etude::ann::IvfPqIndex::Build(items, options);
+      ETUDE_CHECK(pq.ok()) << pq.status().ToString();
+      const double build_s =
+          std::chrono::duration<double>(Clock::now() - build_start).count();
+      for (const int64_t nprobe : nprobes) {
+        for (const int64_t rerank : {int64_t{0}, int64_t{128}}) {
+          etude::ann::IvfPqIndex::SearchOptions search;
+          search.nprobe = nprobe;
+          search.rerank = rerank;
+          const float* exact_table = rerank > 0 ? items.data() : nullptr;
+          double latency = 0, recall = 0;
+          for (size_t q = 0; q < queries.size(); ++q) {
+            recall += etude::tensor::RecallAtK(
+                exact[q],
+                pq->Search(queries[q], kTopK, search, exact_table));
+            latency += MeasureUs(
+                [&] { pq->Search(queries[q], kTopK, search, exact_table); },
+                kReps);
+          }
+          // The re-rank variant keeps the fp32 table resident.
+          const int64_t resident =
+              pq->ResidentBytes() +
+              (rerank > 0
+                   ? items.numel() * static_cast<int64_t>(sizeof(float))
+                   : 0);
+          add_point("ivf-pq nprobe=" + std::to_string(nprobe) +
+                        " rerank=" + std::to_string(rerank),
+                    {{"backend", "ivf-pq"},
+                     {"nprobe", std::to_string(nprobe)},
+                     {"rerank", std::to_string(rerank)}},
+                    latency / kQueries, recall / kQueries, resident,
+                    build_s);
+        }
+      }
+    }
+
+    std::printf("%s\n", table.ToText().c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "Pareto reading: pick the cheapest backend at the recall your\n"
+      "product tolerates — int8 is a strict latency/memory win at full\n"
+      "recall loss <2%%; ivf-pq dominates once any recall loss is\n"
+      "acceptable and is the only backend whose table shrinks ~16x.\n");
+  return run.Finish();
+}

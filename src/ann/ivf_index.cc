@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include <queue>
-
 #include "ann/kmeans.h"
+#include "tensor/kernels.h"
 
 namespace etude::ann {
 
@@ -32,12 +31,14 @@ Result<IvfIndex> IvfIndex::Build(const tensor::Tensor& items,
   KMeansOptions kmeans_options;
   kmeans_options.seed = options.seed;
   kmeans_options.max_iterations = options.kmeans_iterations;
+  kmeans_options.max_training_points = options.kmeans_training_sample;
   ETUDE_ASSIGN_OR_RETURN(KMeansResult clustering,
                          KMeans(items, nlist, kmeans_options));
 
   IvfIndex index;
   index.num_items_ = c;
   index.dim_ = d;
+  index.int8_lists_ = options.int8_lists;
   index.centroids_ = std::move(clustering.centroids);
 
   // Bucket items by assignment (counting sort for grouped storage).
@@ -62,6 +63,13 @@ Result<IvfIndex> IvfIndex::Build(const tensor::Tensor& items,
     std::copy(items.data() + i * d, items.data() + (i + 1) * d,
               index.vectors_.data() + slot * d);
   }
+  if (options.int8_lists) {
+    // Quantise the grouped rows and drop the fp32 copy: the whole point
+    // of int8 lists is the 4x smaller scan footprint.
+    index.codes_ =
+        tensor::QuantizedMatrix::FromRows(index.vectors_.data(), c, d);
+    std::vector<float>().swap(index.vectors_);
+  }
   return index;
 }
 
@@ -76,6 +84,17 @@ double IvfIndex::ExpectedScanFraction(int64_t nprobe) const {
   return static_cast<double>(nprobe) / static_cast<double>(nlist());
 }
 
+int64_t IvfIndex::ResidentBytes() const {
+  const int64_t centroid_bytes =
+      centroids_.numel() * static_cast<int64_t>(sizeof(float));
+  const int64_t id_bytes =
+      static_cast<int64_t>(item_ids_.size() * sizeof(int64_t));
+  const int64_t vector_bytes =
+      int8_lists_ ? codes_.ResidentBytes()
+                  : static_cast<int64_t>(vectors_.size() * sizeof(float));
+  return centroid_bytes + id_bytes + vector_bytes;
+}
+
 tensor::TopKResult IvfIndex::Search(const tensor::Tensor& query, int64_t k,
                                     int64_t nprobe) const {
   ETUDE_CHECK(query.rank() == 1 && query.dim(0) == dim_)
@@ -84,33 +103,34 @@ tensor::TopKResult IvfIndex::Search(const tensor::Tensor& query, int64_t k,
   // Coarse stage: the nprobe centroids with the largest inner products.
   const tensor::TopKResult coarse =
       tensor::Mips(centroids_, query, nprobe);
-  // Fine stage: exact scan inside the selected lists.
-  tensor::TopKResult result;
-  using Entry = std::pair<float, int64_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-  for (const int64_t list : coarse.indices) {
-    const int64_t begin = list_offsets_[static_cast<size_t>(list)];
-    const int64_t end = list_offsets_[static_cast<size_t>(list + 1)];
-    for (int64_t slot = begin; slot < end; ++slot) {
-      const float* vector = vectors_.data() + slot * dim_;
-      float score = 0;
-      for (int64_t j = 0; j < dim_; ++j) score += vector[j] * query[j];
-      if (static_cast<int64_t>(heap.size()) < k) {
-        heap.emplace(score, item_ids_[static_cast<size_t>(slot)]);
-      } else if (score > heap.top().first) {
-        heap.pop();
-        heap.emplace(score, item_ids_[static_cast<size_t>(slot)]);
-      }
+  // Fine stage: fused scan inside the selected lists. One bounded heap is
+  // shared across lists, so the register-cached cutoff carries over —
+  // later (less promising) lists mostly fail the cutoff compare. The heap
+  // holds slot indices; ids are resolved once at the end.
+  std::vector<tensor::kernels::ScoredIndex> heap;
+  heap.reserve(static_cast<size_t>(k));
+  if (int8_lists_) {
+    std::vector<int8_t> q;
+    const float query_scale =
+        tensor::QuantizeQueryInt8(query.data(), dim_, q);
+    for (const int64_t list : coarse.indices) {
+      tensor::kernels::QuantizedMipsScanKernel(
+          codes_.data(), codes_.stride(), codes_.scales(), q.data(),
+          query_scale, dim_, list_offsets_[static_cast<size_t>(list)],
+          list_offsets_[static_cast<size_t>(list + 1)], k, heap);
+    }
+  } else {
+    for (const int64_t list : coarse.indices) {
+      tensor::kernels::MipsScanKernel(
+          vectors_.data(), query.data(), dim_,
+          list_offsets_[static_cast<size_t>(list)],
+          list_offsets_[static_cast<size_t>(list + 1)], k, heap);
     }
   }
-  result.indices.resize(heap.size());
-  result.scores.resize(heap.size());
-  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
-    result.scores[static_cast<size_t>(i)] = heap.top().first;
-    result.indices[static_cast<size_t>(i)] = heap.top().second;
-    heap.pop();
+  for (auto& candidate : heap) {
+    candidate.second = item_ids_[static_cast<size_t>(candidate.second)];
   }
-  return result;
+  return tensor::FinishTopK(heap, k);
 }
 
 }  // namespace etude::ann

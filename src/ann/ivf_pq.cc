@@ -1,0 +1,267 @@
+#include "ann/ivf_pq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ann/kmeans.h"
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ETUDE_IVF_PQ_X86 1
+#include <immintrin.h>
+#endif
+
+namespace etude::ann {
+
+namespace {
+
+constexpr int64_t kBlock = 8;  // slots per interleaved code block
+
+/// Scans the padded slots [slot_begin, slot_end) of one list: LUT-sums
+/// the block-interleaved codes, adds `bias` (= query . coarse centroid)
+/// and pushes (score, slot) candidates. Portable reference — the AVX2
+/// gather path accumulates in the same subspace order, so scores agree
+/// bit for bit.
+void ScanListPortable(const uint8_t* codes, const float* lut, int64_t m,
+                      int64_t ksub, float bias, const int64_t* ids,
+                      int64_t slot_begin, int64_t slot_end, int64_t k,
+                      std::vector<tensor::kernels::ScoredIndex>& heap) {
+  for (int64_t slot = slot_begin; slot < slot_end; ++slot) {
+    if (ids[slot] < 0) continue;  // list padding
+    const uint8_t* block = codes + (slot / kBlock) * kBlock * m;
+    const int64_t lane = slot % kBlock;
+    float score = bias;
+    for (int64_t j = 0; j < m; ++j) {
+      score += lut[j * ksub + block[j * kBlock + lane]];
+    }
+    tensor::kernels::HeapPushBounded(heap, k, score, slot);
+  }
+}
+
+#if ETUDE_IVF_PQ_X86
+
+/// Eight slots per iteration: for each subspace, the block's 8 code bytes
+/// widen to int32 lanes and gather their LUT entries in one vpgatherdd.
+/// Candidate filtering mirrors the fused scans: a register-cached heap
+/// cutoff with HeapPushBounded's strict `>` semantics.
+__attribute__((target("avx2"))) void ScanListAvx2(
+    const uint8_t* codes, const float* lut, int64_t m, int64_t ksub,
+    float bias, const int64_t* ids, int64_t slot_begin, int64_t slot_end,
+    int64_t k, std::vector<tensor::kernels::ScoredIndex>& heap) {
+  float cutoff = -std::numeric_limits<float>::infinity();
+  if (static_cast<int64_t>(heap.size()) == k) cutoff = heap.front().first;
+  int64_t fill = k - static_cast<int64_t>(heap.size());
+  const __m256 bias_v = _mm256_set1_ps(bias);
+  for (int64_t base = slot_begin; base < slot_end; base += kBlock) {
+    const uint8_t* block = codes + (base / kBlock) * kBlock * m;
+    __m256 acc = bias_v;
+    for (int64_t j = 0; j < m; ++j) {
+      const __m128i raw = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(block + j * kBlock));
+      const __m256i idx = _mm256_cvtepu8_epi32(raw);
+      acc = _mm256_add_ps(
+          acc, _mm256_i32gather_ps(lut + j * ksub, idx, sizeof(float)));
+    }
+    alignas(32) float scores[kBlock];
+    _mm256_store_ps(scores, acc);
+    for (int64_t t = 0; t < kBlock; ++t) {
+      const int64_t slot = base + t;
+      if (ids[slot] < 0) continue;  // list padding
+      if (scores[t] > cutoff || fill > 0) {
+        tensor::kernels::HeapPushBounded(heap, k, scores[t], slot);
+        if (fill > 0) --fill;
+        if (static_cast<int64_t>(heap.size()) == k)
+          cutoff = heap.front().first;
+      }
+    }
+  }
+}
+
+#endif  // ETUDE_IVF_PQ_X86
+
+void ScanList(const uint8_t* codes, const float* lut, int64_t m,
+              int64_t ksub, float bias, const int64_t* ids,
+              int64_t slot_begin, int64_t slot_end, int64_t k,
+              std::vector<tensor::kernels::ScoredIndex>& heap) {
+#if ETUDE_IVF_PQ_X86
+  if (tensor::kernels::HasAvx2Fma()) {
+    ScanListAvx2(codes, lut, m, ksub, bias, ids, slot_begin, slot_end, k,
+                 heap);
+    return;
+  }
+#endif
+  ScanListPortable(codes, lut, m, ksub, bias, ids, slot_begin, slot_end, k,
+                   heap);
+}
+
+}  // namespace
+
+Result<IvfPqIndex> IvfPqIndex::Build(const tensor::Tensor& items,
+                                     const BuildOptions& options) {
+  if (items.rank() != 2 || items.dim(0) == 0) {
+    return Status::InvalidArgument("items must be a non-empty [C, d]");
+  }
+  const int64_t c = items.dim(0), d = items.dim(1);
+  int64_t nlist = options.nlist;
+  if (nlist <= 0) {
+    nlist = std::clamp<int64_t>(
+        static_cast<int64_t>(4.0 * std::sqrt(static_cast<double>(c))), 1,
+        c);
+  }
+  if (nlist > c) {
+    return Status::InvalidArgument("nlist must be <= number of items");
+  }
+  int64_t m = options.m;
+  if (m <= 0) m = std::clamp<int64_t>((d + 3) / 4, 1, d);
+  if (m > d) {
+    return Status::InvalidArgument("m must be <= embedding dim");
+  }
+
+  // Coarse quantiser: identical to IvfIndex (shared KMeans, shared
+  // grouped-list layout).
+  KMeansOptions kmeans_options;
+  kmeans_options.seed = options.seed;
+  kmeans_options.max_iterations = options.kmeans_iterations;
+  kmeans_options.max_training_points = options.kmeans_training_sample;
+  ETUDE_ASSIGN_OR_RETURN(KMeansResult clustering,
+                         KMeans(items, nlist, kmeans_options));
+
+  IvfPqIndex index;
+  index.num_items_ = c;
+  index.dim_ = d;
+  index.m_ = m;
+  index.dsub_ = (d + m - 1) / m;
+  index.ksub_ = std::min<int64_t>(256, c);
+  index.centroids_ = std::move(clustering.centroids);
+
+  // Padded grouped layout: every list rounds up to whole 8-slot blocks so
+  // the gather scan never reads a partial block. Padding slots carry
+  // item id -1 (skipped) and code 0.
+  std::vector<int64_t> counts(static_cast<size_t>(nlist), 0);
+  for (const int64_t assignment : clustering.assignments) {
+    ++counts[static_cast<size_t>(assignment)];
+  }
+  index.list_offsets_.assign(static_cast<size_t>(nlist + 1), 0);
+  for (int64_t l = 0; l < nlist; ++l) {
+    const int64_t padded =
+        (counts[static_cast<size_t>(l)] + kBlock - 1) / kBlock * kBlock;
+    index.list_offsets_[static_cast<size_t>(l + 1)] =
+        index.list_offsets_[static_cast<size_t>(l)] + padded;
+  }
+  const int64_t total_slots = index.list_offsets_.back();
+  index.item_ids_.assign(static_cast<size_t>(total_slots), -1);
+  index.codes_.assign(static_cast<size_t>(total_slots * m), 0);
+  std::vector<int64_t> slot_of_item(static_cast<size_t>(c));
+  {
+    std::vector<int64_t> cursor(index.list_offsets_.begin(),
+                                index.list_offsets_.end() - 1);
+    for (int64_t i = 0; i < c; ++i) {
+      const int64_t list = clustering.assignments[static_cast<size_t>(i)];
+      const int64_t slot = cursor[static_cast<size_t>(list)]++;
+      index.item_ids_[static_cast<size_t>(slot)] = i;
+      slot_of_item[static_cast<size_t>(i)] = slot;
+    }
+  }
+
+  // Codebooks: per subspace, k-means over the residual sub-vectors
+  // (vector minus its coarse centroid; residual codebooks are what make
+  // 8-bit codes usable — residual magnitudes are a fraction of the
+  // vectors'). The final assignment pass of KMeans doubles as the
+  // encoding of all C items.
+  index.codebooks_.assign(
+      static_cast<size_t>(m * index.ksub_ * index.dsub_), 0.0f);
+  tensor::Tensor sub({c, index.dsub_});
+  for (int64_t j = 0; j < m; ++j) {
+    for (int64_t i = 0; i < c; ++i) {
+      const float* row = items.data() + i * d;
+      const float* centroid =
+          index.centroids_.data() +
+          clustering.assignments[static_cast<size_t>(i)] * d;
+      float* out = sub.data() + i * index.dsub_;
+      for (int64_t t = 0; t < index.dsub_; ++t) {
+        const int64_t col = j * index.dsub_ + t;
+        out[t] = col < d ? row[col] - centroid[col] : 0.0f;
+      }
+    }
+    KMeansOptions sub_options;
+    sub_options.seed = options.seed + 0x9E37 * static_cast<uint64_t>(j + 1);
+    sub_options.max_iterations = options.kmeans_iterations;
+    sub_options.max_training_points = options.kmeans_training_sample;
+    ETUDE_ASSIGN_OR_RETURN(KMeansResult codebook,
+                           KMeans(sub, index.ksub_, sub_options));
+    std::copy(codebook.centroids.data(),
+              codebook.centroids.data() + index.ksub_ * index.dsub_,
+              index.codebooks_.data() + j * index.ksub_ * index.dsub_);
+    for (int64_t i = 0; i < c; ++i) {
+      const int64_t slot = slot_of_item[static_cast<size_t>(i)];
+      index.codes_[static_cast<size_t>((slot / kBlock) * kBlock * m +
+                                       j * kBlock + slot % kBlock)] =
+          static_cast<uint8_t>(codebook.assignments[static_cast<size_t>(i)]);
+    }
+  }
+  return index;
+}
+
+double IvfPqIndex::ExpectedScanFraction(int64_t nprobe) const {
+  nprobe = std::clamp<int64_t>(nprobe, 1, nlist());
+  return static_cast<double>(nprobe) / static_cast<double>(nlist());
+}
+
+int64_t IvfPqIndex::ResidentBytes() const {
+  return static_cast<int64_t>(codes_.size()) +
+         static_cast<int64_t>(codebooks_.size() * sizeof(float)) +
+         centroids_.numel() * static_cast<int64_t>(sizeof(float)) +
+         static_cast<int64_t>(item_ids_.size() * sizeof(int64_t));
+}
+
+void IvfPqIndex::BuildLut(const tensor::Tensor& query,
+                          std::vector<float>& lut) const {
+  lut.resize(static_cast<size_t>(m_ * ksub_));
+  std::vector<float> qsub(static_cast<size_t>(dsub_));
+  for (int64_t j = 0; j < m_; ++j) {
+    for (int64_t t = 0; t < dsub_; ++t) {
+      const int64_t col = j * dsub_ + t;
+      qsub[static_cast<size_t>(t)] = col < dim_ ? query[col] : 0.0f;
+    }
+    tensor::kernels::MatVecKernel(
+        codebooks_.data() + j * ksub_ * dsub_, qsub.data(),
+        lut.data() + j * ksub_, 0, ksub_, dsub_);
+  }
+}
+
+tensor::TopKResult IvfPqIndex::Search(const tensor::Tensor& query, int64_t k,
+                                      const SearchOptions& options,
+                                      const float* exact_table) const {
+  ETUDE_CHECK(query.rank() == 1 && query.dim(0) == dim_)
+      << "query width mismatch";
+  ETUDE_CHECK(k > 0) << "Search requires k > 0";
+  const int64_t nprobe = std::clamp<int64_t>(options.nprobe, 1, nlist());
+  // Coarse stage: list selection; the scores double as the per-list
+  // biases (query . centroid) of the decomposed inner product.
+  const tensor::TopKResult coarse = tensor::Mips(centroids_, query, nprobe);
+  std::vector<float> lut;
+  BuildLut(query, lut);
+  const bool rerank = options.rerank > 0 && exact_table != nullptr;
+  const int64_t keep = rerank ? std::max(k, options.rerank) : k;
+  std::vector<tensor::kernels::ScoredIndex> heap;
+  heap.reserve(static_cast<size_t>(keep));
+  for (size_t p = 0; p < coarse.indices.size(); ++p) {
+    const int64_t list = coarse.indices[p];
+    ScanList(codes_.data(), lut.data(), m_, ksub_, coarse.scores[p],
+             item_ids_.data(), list_offsets_[static_cast<size_t>(list)],
+             list_offsets_[static_cast<size_t>(list + 1)], keep, heap);
+  }
+  for (auto& candidate : heap) {
+    candidate.second = item_ids_[static_cast<size_t>(candidate.second)];
+  }
+  if (rerank) {
+    for (auto& candidate : heap) {
+      candidate.first = tensor::kernels::DotKernel(
+          exact_table + candidate.second * dim_, query.data(), dim_);
+    }
+  }
+  return tensor::FinishTopK(heap, k);
+}
+
+}  // namespace etude::ann

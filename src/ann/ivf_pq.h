@@ -1,0 +1,98 @@
+#ifndef ETUDE_ANN_IVF_PQ_H_
+#define ETUDE_ANN_IVF_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace etude::ann {
+
+/// An IVF-PQ approximate maximum-inner-product index in the style of
+/// FAISS's IndexIVFPQ [Johnson et al., ref. 37 of the paper]: the same
+/// coarse k-means + inverted-list layout as IvfIndex, but the list
+/// entries store 8-bit product-quantisation codes of the residual
+/// (vector minus its coarse centroid) instead of the vector itself —
+/// m bytes per item instead of 4d, which is what makes 10M-item catalogs
+/// fit comfortably per replica.
+///
+/// Search decomposes the inner product per probed list:
+///   q . x  ~=  q . centroid  +  sum_j LUT[j][code_j(x)]
+/// where LUT[j][t] = dot(q_subspace_j, codebook_j[t]) is built once per
+/// query (m*256 floats). The scan over a list is then m table lookups
+/// per item — on AVX2, eight items at a time via vpgatherdd over
+/// block-interleaved codes. An optional exact re-rank rescoring the top
+/// candidates against the caller's fp32 table recovers most of the
+/// recall PQ gives up.
+class IvfPqIndex {
+ public:
+  struct BuildOptions {
+    int64_t nlist = 0;  // 0 = heuristic: ~4*sqrt(C), clamped to [1, C]
+    /// PQ subspaces (bytes per item). 0 = heuristic: ~d/4, so a code is
+    /// ~16x smaller than the fp32 row, clamped to [1, d].
+    int64_t m = 0;
+    uint64_t seed = 1;
+    int kmeans_iterations = 10;
+    /// Lloyd subsample bound for the coarse quantiser and for each
+    /// subspace codebook (0 = all rows).
+    int64_t kmeans_training_sample = 1 << 17;
+  };
+
+  struct SearchOptions {
+    int64_t nprobe = 8;
+    /// When > 0 (and Search receives an exact fp32 table), the scan keeps
+    /// max(k, rerank) PQ-scored candidates and rescores them exactly
+    /// before the final top-k.
+    int64_t rerank = 0;
+  };
+
+  /// Clusters `items` ([C, d]), trains the per-subspace codebooks on the
+  /// residuals, and encodes every item into its list.
+  static Result<IvfPqIndex> Build(const tensor::Tensor& items,
+                                  const BuildOptions& options);
+
+  /// Approximate top-k by inner product. `exact_table` is the caller's
+  /// row-major [C, d] fp32 matrix (e.g. the item-embedding tensor) used
+  /// only when options.rerank > 0; pass nullptr to skip re-ranking.
+  tensor::TopKResult Search(const tensor::Tensor& query, int64_t k,
+                            const SearchOptions& options,
+                            const float* exact_table = nullptr) const;
+
+  int64_t num_items() const { return num_items_; }
+  int64_t nlist() const { return centroids_.dim(0); }
+  int64_t dim() const { return dim_; }
+  int64_t m() const { return m_; }
+  int64_t ksub() const { return ksub_; }
+
+  /// Expected fraction of the catalog visited with `nprobe` probes.
+  double ExpectedScanFraction(int64_t nprobe) const;
+
+  /// Resident footprint: packed codes + codebooks + centroids + ids.
+  int64_t ResidentBytes() const;
+
+ private:
+  IvfPqIndex() = default;
+
+  void BuildLut(const tensor::Tensor& query, std::vector<float>& lut) const;
+
+  int64_t num_items_ = 0;
+  int64_t dim_ = 0;
+  int64_t m_ = 0;     // subspaces = bytes per encoded item
+  int64_t dsub_ = 0;  // ceil(d / m); subspaces zero-pad past d
+  int64_t ksub_ = 0;  // codebook entries per subspace (<= 256)
+  tensor::Tensor centroids_;           // [nlist, d]
+  std::vector<float> codebooks_;       // [m, ksub, dsub]
+  std::vector<int64_t> list_offsets_;  // nlist+1 prefix offsets, in slots
+  std::vector<int64_t> item_ids_;      // per padded slot; -1 = padding
+  /// Codes grouped by list in blocks of 8 slots: within a block, the 8
+  /// code bytes of subspace 0, then of subspace 1, ... — the layout the
+  /// 8-lane gather scan consumes directly. Every list is padded to whole
+  /// blocks (padding slots carry code 0 and item id -1).
+  std::vector<uint8_t> codes_;
+};
+
+}  // namespace etude::ann
+
+#endif  // ETUDE_ANN_IVF_PQ_H_

@@ -2,19 +2,125 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "common/parallel.h"
+#include "tensor/kernels.h"
 
 namespace etude::ann {
 
 namespace {
-double SquaredDistance(const float* a, const float* b, int64_t d) {
-  double total = 0;
-  for (int64_t j = 0; j < d; ++j) {
-    const double delta = static_cast<double>(a[j]) - b[j];
-    total += delta * delta;
+
+/// Rows scored per MatMul call in the assignment pass: large enough to
+/// amortise the centroid panel, small enough that the block's score
+/// buffer stays cache-resident even at nlist in the thousands.
+constexpr int64_t kAssignBlock = 128;
+
+/// One assignment pass: for every row, the nearest centroid by L2 via the
+/// dot trick — argmin |x-c|^2 = argmax(c.x - |c|^2/2) — with the dots
+/// produced by the register-tiled MatMul kernel over blocks of rows
+/// against the transposed centroids. Rows are split into one range per
+/// worker; per-range centroid sums, counts and inertia merge in fixed
+/// range order, so results are deterministic for a fixed thread count.
+/// Pass sums == nullptr to skip the accumulation (the final labelling
+/// pass only needs assignments + inertia).
+void AssignPoints(const float* points, int64_t n, int64_t d,
+                  const float* centroids, int64_t k,
+                  std::vector<int64_t>& assignments, std::vector<double>* sums,
+                  std::vector<int64_t>* counts, double* inertia) {
+  std::vector<float> half_norms(static_cast<size_t>(k));
+  for (int64_t c = 0; c < k; ++c) {
+    half_norms[static_cast<size_t>(c)] =
+        0.5f * tensor::kernels::DotKernel(centroids + c * d,
+                                          centroids + c * d, d);
   }
-  return total;
+  // Transposed centroids [d, k]: the B operand of the block MatMul.
+  std::vector<float> centroids_t(static_cast<size_t>(d * k));
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      centroids_t[static_cast<size_t>(j * k + c)] = centroids[c * d + j];
+    }
+  }
+  const int64_t num_blocks = (n + kAssignBlock - 1) / kAssignBlock;
+  int64_t num_ranges = 1;
+  if (NumThreads() > 1 && !InParallelRegion() && num_blocks >= 2) {
+    num_ranges = std::min<int64_t>(NumThreads(), num_blocks);
+  }
+  std::vector<std::vector<double>> range_sums;
+  std::vector<std::vector<int64_t>> range_counts;
+  if (sums != nullptr) {
+    range_sums.assign(static_cast<size_t>(num_ranges),
+                      std::vector<double>(static_cast<size_t>(k * d), 0.0));
+    range_counts.assign(static_cast<size_t>(num_ranges),
+                        std::vector<int64_t>(static_cast<size_t>(k), 0));
+  }
+  std::vector<double> range_inertia(static_cast<size_t>(num_ranges), 0.0);
+  ParallelFor(
+      0, num_ranges, 1,
+      [points, n, d, k, &centroids_t, &half_norms, &assignments, sums,
+       &range_sums, &range_counts, &range_inertia, num_blocks,
+       num_ranges](int64_t lo, int64_t hi) {
+        std::vector<float> scores(static_cast<size_t>(kAssignBlock * k));
+        for (int64_t r = lo; r < hi; ++r) {
+          const int64_t block_begin = num_blocks * r / num_ranges;
+          const int64_t block_end = num_blocks * (r + 1) / num_ranges;
+          double local_inertia = 0;
+          for (int64_t block = block_begin; block < block_end; ++block) {
+            const int64_t begin = block * kAssignBlock;
+            const int64_t rows = std::min(kAssignBlock, n - begin);
+            // The portable MatMul accumulates into its output.
+            std::memset(scores.data(), 0,
+                        static_cast<size_t>(rows * k) * sizeof(float));
+            tensor::kernels::MatMulKernel(points + begin * d,
+                                          centroids_t.data(), scores.data(),
+                                          0, rows, d, k);
+            for (int64_t i = 0; i < rows; ++i) {
+              const float* row_scores = scores.data() + i * k;
+              int64_t best_c = 0;
+              float best = row_scores[0] - half_norms[0];
+              for (int64_t c = 1; c < k; ++c) {
+                const float value =
+                    row_scores[c] - half_norms[static_cast<size_t>(c)];
+                if (value > best) {
+                  best = value;
+                  best_c = c;
+                }
+              }
+              const float* point = points + (begin + i) * d;
+              assignments[static_cast<size_t>(begin + i)] = best_c;
+              const double x2 = static_cast<double>(
+                  tensor::kernels::DotKernel(point, point, d));
+              local_inertia +=
+                  std::max(0.0, x2 - 2.0 * static_cast<double>(best));
+              if (sums != nullptr) {
+                auto& sum = range_sums[static_cast<size_t>(r)];
+                ++range_counts[static_cast<size_t>(r)]
+                              [static_cast<size_t>(best_c)];
+                for (int64_t j = 0; j < d; ++j) {
+                  sum[static_cast<size_t>(best_c * d + j)] += point[j];
+                }
+              }
+            }
+          }
+          range_inertia[static_cast<size_t>(r)] = local_inertia;
+        }
+      });
+  double total_inertia = 0;
+  for (const double value : range_inertia) total_inertia += value;
+  *inertia = total_inertia;
+  if (sums != nullptr) {
+    std::fill(sums->begin(), sums->end(), 0.0);
+    std::fill(counts->begin(), counts->end(), 0);
+    for (int64_t r = 0; r < num_ranges; ++r) {
+      const auto& sum = range_sums[static_cast<size_t>(r)];
+      const auto& count = range_counts[static_cast<size_t>(r)];
+      for (size_t i = 0; i < sums->size(); ++i) (*sums)[i] += sum[i];
+      for (size_t c = 0; c < counts->size(); ++c) (*counts)[c] += count[c];
+    }
+  }
 }
+
 }  // namespace
 
 Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
@@ -34,25 +140,47 @@ Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
 
   // k-means++-style seeding on a bounded subsample: the first centroid is
   // uniform; each further centroid is drawn with probability proportional
-  // to the squared distance to its nearest chosen centroid.
-  const int64_t sample_size = std::min<int64_t>(n, 256 * k);
+  // to the squared distance to its nearest chosen centroid. The sampled
+  // rows are gathered contiguously once so each round is a sequential
+  // vectorised matvec (|x-c|^2 = |x|^2 - 2 c.x + |c|^2) instead of k
+  // scattered scalar-distance passes — at catalog scale the seeding would
+  // otherwise dwarf Lloyd itself.
+  const int64_t sample_size =
+      std::min<int64_t>(n, std::max<int64_t>(1 << 17, 4 * k));
   std::vector<int64_t> sample(static_cast<size_t>(sample_size));
   for (auto& index : sample) {
     index = static_cast<int64_t>(rng.NextBounded(
         static_cast<uint64_t>(n)));
   }
+  std::vector<float> seed_rows(static_cast<size_t>(sample_size * d));
+  std::vector<float> seed_norms(static_cast<size_t>(sample_size));
+  for (int64_t i = 0; i < sample_size; ++i) {
+    const float* row =
+        points.data() + sample[static_cast<size_t>(i)] * d;
+    std::copy(row, row + d, seed_rows.data() + i * d);
+    seed_norms[static_cast<size_t>(i)] =
+        tensor::kernels::DotKernel(row, row, d);
+  }
   std::vector<double> distances(static_cast<size_t>(sample_size),
                                 std::numeric_limits<double>::max());
+  std::vector<float> seed_dots(static_cast<size_t>(sample_size));
   int64_t first = sample[static_cast<size_t>(
       rng.NextBounded(static_cast<uint64_t>(sample_size)))];
   std::copy(points.data() + first * d, points.data() + (first + 1) * d,
             result.centroids.data());
   for (int64_t c = 1; c < k; ++c) {
+    const float* previous = result.centroids.data() + (c - 1) * d;
+    const double c2 =
+        static_cast<double>(tensor::kernels::DotKernel(previous, previous, d));
+    tensor::kernels::MatVecKernel(seed_rows.data(), previous,
+                                  seed_dots.data(), 0, sample_size, d);
     double total = 0;
     for (int64_t i = 0; i < sample_size; ++i) {
-      const double dist = SquaredDistance(
-          points.data() + sample[static_cast<size_t>(i)] * d,
-          result.centroids.data() + (c - 1) * d, d);
+      const double dist = std::max(
+          0.0, static_cast<double>(seed_norms[static_cast<size_t>(i)]) -
+                   2.0 * static_cast<double>(
+                             seed_dots[static_cast<size_t>(i)]) +
+                   c2);
       auto& best = distances[static_cast<size_t>(i)];
       best = std::min(best, dist);
       total += best;
@@ -70,34 +198,36 @@ Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
               result.centroids.data() + c * d);
   }
 
-  // Lloyd iterations.
+  // Optional Lloyd subsample: iterate on a bounded uniform draw of the
+  // rows (gathered contiguously for scan locality); the final pass below
+  // still labels every row against the converged centroids.
+  const float* train = points.data();
+  int64_t train_n = n;
+  std::vector<float> train_rows;
+  const bool subsampled =
+      options.max_training_points > 0 && n > options.max_training_points;
+  if (subsampled) {
+    train_n = options.max_training_points;
+    train_rows.resize(static_cast<size_t>(train_n * d));
+    for (int64_t i = 0; i < train_n; ++i) {
+      const int64_t pick = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(n)));
+      std::copy(points.data() + pick * d, points.data() + (pick + 1) * d,
+                train_rows.data() + i * d);
+    }
+    train = train_rows.data();
+  }
+
+  // Lloyd iterations over the training rows.
+  std::vector<int64_t> train_assignments(static_cast<size_t>(train_n), 0);
   std::vector<double> sums(static_cast<size_t>(k * d));
   std::vector<int64_t> counts(static_cast<size_t>(k));
   double previous_inertia = std::numeric_limits<double>::max();
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
-    std::fill(sums.begin(), sums.end(), 0.0);
-    std::fill(counts.begin(), counts.end(), 0);
     double inertia = 0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* point = points.data() + i * d;
-      double best = std::numeric_limits<double>::max();
-      int64_t best_c = 0;
-      for (int64_t c = 0; c < k; ++c) {
-        const double dist =
-            SquaredDistance(point, result.centroids.data() + c * d, d);
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
-      result.assignments[static_cast<size_t>(i)] = best_c;
-      inertia += best;
-      ++counts[static_cast<size_t>(best_c)];
-      for (int64_t j = 0; j < d; ++j) {
-        sums[static_cast<size_t>(best_c * d + j)] += point[j];
-      }
-    }
+    AssignPoints(train, train_n, d, result.centroids.data(), k,
+                 train_assignments, &sums, &counts, &inertia);
     result.inertia = inertia;
     for (int64_t c = 0; c < k; ++c) {
       if (counts[static_cast<size_t>(c)] == 0) {
@@ -122,6 +252,14 @@ Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
     }
     previous_inertia = inertia;
   }
+
+  // Final labelling pass over every row (the training assignments cannot
+  // be reused even without subsampling: the centroids moved after the
+  // last assignment).
+  double final_inertia = 0;
+  AssignPoints(points.data(), n, d, result.centroids.data(), k,
+               result.assignments, nullptr, nullptr, &final_inertia);
+  result.inertia = final_inertia;
   return result;
 }
 

@@ -22,10 +22,19 @@ struct KMeansOptions {
   int max_iterations = 15;
   double tolerance = 1e-4;  // relative inertia improvement to continue
   uint64_t seed = 1;
+  /// When > 0 and the input has more rows, Lloyd iterates over a uniform
+  /// subsample of this many rows and only the final assignment pass
+  /// visits every row — the standard trick that makes clustering a
+  /// multi-million-item catalog affordable without moving the centroids
+  /// measurably (FAISS trains its coarse quantisers the same way).
+  int64_t max_training_points = 0;
 };
 
 /// Lloyd's algorithm with k-means++-style seeding (D^2 sampling on a
-/// subsample). Used as the coarse quantiser of the IVF index.
+/// subsample). Used as the coarse quantiser of the IVF indexes and for
+/// the PQ sub-space codebooks. The assignment step runs on the AVX2
+/// matvec kernel via the dot trick (nearest centroid by L2 equals
+/// argmax(c.x - |c|^2/2)) and is range-parallel across rows.
 /// Fails with InvalidArgument when k < 1 or k > #rows.
 Result<KMeansResult> KMeans(const tensor::Tensor& points, int64_t k,
                             const KMeansOptions& options = {});

@@ -1,0 +1,203 @@
+#include "ann/retriever.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+namespace etude::ann {
+
+namespace {
+
+int64_t HeuristicNlist(int64_t nlist, int64_t c) {
+  if (nlist > 0) return nlist;
+  return std::clamp<int64_t>(
+      static_cast<int64_t>(4.0 * std::sqrt(static_cast<double>(c))), 1, c);
+}
+
+int64_t HeuristicPqM(int64_t m, int64_t d) {
+  if (m > 0) return m;
+  return std::clamp<int64_t>((d + 3) / 4, 1, d);
+}
+
+}  // namespace
+
+std::string_view RetrievalBackendToString(RetrievalBackend backend) {
+  switch (backend) {
+    case RetrievalBackend::kExact:
+      return "exact";
+    case RetrievalBackend::kInt8:
+      return "int8";
+    case RetrievalBackend::kIvfFlat:
+      return "ivf-flat";
+    case RetrievalBackend::kIvfPq:
+      return "ivf-pq";
+  }
+  return "exact";
+}
+
+Result<RetrievalBackend> RetrievalBackendFromString(std::string_view name) {
+  if (name == "exact") return RetrievalBackend::kExact;
+  if (name == "int8") return RetrievalBackend::kInt8;
+  if (name == "ivf-flat") return RetrievalBackend::kIvfFlat;
+  if (name == "ivf-pq") return RetrievalBackend::kIvfPq;
+  return Status::InvalidArgument(
+      "unknown retrieval backend '" + std::string(name) +
+      "' (expected exact | int8 | ivf-flat | ivf-pq)");
+}
+
+RetrievalCost EstimateRetrievalCost(const RetrievalConfig& config, int64_t c,
+                                    int64_t d) {
+  RetrievalCost cost;
+  const double cd = static_cast<double>(c) * static_cast<double>(d);
+  const double fp32_table = cd * sizeof(float);
+  const int64_t stride = tensor::kernels::QuantizedRowStride(d);
+  const double int8_table =
+      static_cast<double>(c) * static_cast<double>(stride + sizeof(float));
+  switch (config.backend) {
+    case RetrievalBackend::kExact: {
+      cost.scan_bytes = fp32_table;
+      cost.scan_flops = 2.0 * cd;
+      cost.resident_bytes = static_cast<int64_t>(fp32_table);
+      return cost;
+    }
+    case RetrievalBackend::kInt8: {
+      cost.scan_bytes = int8_table;
+      cost.scan_flops = 2.0 * cd;
+      cost.resident_bytes = static_cast<int64_t>(int8_table);
+      return cost;
+    }
+    case RetrievalBackend::kIvfFlat: {
+      const int64_t nlist = HeuristicNlist(config.nlist, c);
+      const int64_t nprobe =
+          std::clamp<int64_t>(config.nprobe, 1, nlist);
+      const double frac =
+          static_cast<double>(nprobe) / static_cast<double>(nlist);
+      const double coarse_bytes =
+          static_cast<double>(nlist) * d * sizeof(float);
+      const double list_bytes =
+          frac * (config.int8_lists ? int8_table : fp32_table);
+      cost.scan_bytes = coarse_bytes + list_bytes;
+      cost.scan_flops =
+          2.0 * static_cast<double>(nlist) * d + frac * 2.0 * cd;
+      cost.resident_bytes = static_cast<int64_t>(
+          coarse_bytes + (config.int8_lists ? int8_table : fp32_table) +
+          static_cast<double>(c) * sizeof(int64_t));
+      return cost;
+    }
+    case RetrievalBackend::kIvfPq: {
+      const int64_t nlist = HeuristicNlist(config.nlist, c);
+      const int64_t nprobe =
+          std::clamp<int64_t>(config.nprobe, 1, nlist);
+      const double frac =
+          static_cast<double>(nprobe) / static_cast<double>(nlist);
+      const int64_t m = HeuristicPqM(config.pq_m, d);
+      const int64_t dsub = (d + m - 1) / m;
+      const int64_t ksub = std::min<int64_t>(256, c);
+      const double coarse_bytes =
+          static_cast<double>(nlist) * d * sizeof(float);
+      const double lut_bytes =
+          static_cast<double>(m) * ksub * dsub * sizeof(float);
+      const double code_bytes = frac * static_cast<double>(c) * m;
+      const double rerank_bytes =
+          static_cast<double>(config.rerank) * d * sizeof(float);
+      cost.scan_bytes = coarse_bytes + lut_bytes + code_bytes + rerank_bytes;
+      // Coarse matvec + LUT build + one add per code byte + re-rank dots.
+      cost.scan_flops = 2.0 * static_cast<double>(nlist) * d +
+                        2.0 * static_cast<double>(m) * ksub * dsub +
+                        frac * static_cast<double>(c) * m +
+                        2.0 * static_cast<double>(config.rerank) * d;
+      double resident = coarse_bytes + static_cast<double>(c) * m +
+                        static_cast<double>(m) * ksub * dsub * sizeof(float) +
+                        static_cast<double>(c) * sizeof(int64_t);
+      // Re-ranking keeps the fp32 table resident too.
+      if (config.rerank > 0) resident += fp32_table;
+      cost.resident_bytes = static_cast<int64_t>(resident);
+      return cost;
+    }
+  }
+  return cost;
+}
+
+Result<Retriever> Retriever::Build(const tensor::Tensor& items,
+                                   const RetrievalConfig& config) {
+  if (items.rank() != 2 || items.dim(0) == 0) {
+    return Status::InvalidArgument("items must be a non-empty [C, d]");
+  }
+  Retriever retriever;
+  retriever.config_ = config;
+  retriever.items_ = &items;
+  switch (config.backend) {
+    case RetrievalBackend::kExact:
+      return retriever;
+    case RetrievalBackend::kInt8:
+      retriever.quantized_ = tensor::QuantizedMatrix::FromTensor(items);
+      return retriever;
+    case RetrievalBackend::kIvfFlat: {
+      IvfIndex::BuildOptions options;
+      options.nlist = config.nlist;
+      options.seed = config.seed;
+      options.int8_lists = config.int8_lists;
+      ETUDE_ASSIGN_OR_RETURN(IvfIndex index, IvfIndex::Build(items, options));
+      retriever.ivf_.emplace(std::move(index));
+      return retriever;
+    }
+    case RetrievalBackend::kIvfPq: {
+      IvfPqIndex::BuildOptions options;
+      options.nlist = config.nlist;
+      options.m = config.pq_m;
+      options.seed = config.seed;
+      ETUDE_ASSIGN_OR_RETURN(IvfPqIndex index,
+                             IvfPqIndex::Build(items, options));
+      retriever.ivf_pq_.emplace(std::move(index));
+      return retriever;
+    }
+  }
+  return Status::InvalidArgument("unknown retrieval backend");
+}
+
+tensor::TopKResult Retriever::Retrieve(const tensor::Tensor& query,
+                                       int64_t k) const {
+  switch (config_.backend) {
+    case RetrievalBackend::kExact:
+      return tensor::Mips(*items_, query, k);
+    case RetrievalBackend::kInt8:
+      return quantized_.Mips(query, k);
+    case RetrievalBackend::kIvfFlat:
+      return ivf_->Search(query, k, config_.nprobe);
+    case RetrievalBackend::kIvfPq: {
+      IvfPqIndex::SearchOptions options;
+      options.nprobe = config_.nprobe;
+      options.rerank = config_.rerank;
+      return ivf_pq_->Search(query, k, options,
+                             config_.rerank > 0 ? items_->data() : nullptr);
+    }
+  }
+  return tensor::TopKResult{};
+}
+
+RetrievalCost Retriever::Cost() const {
+  RetrievalCost cost =
+      EstimateRetrievalCost(config_, items_->dim(0), items_->dim(1));
+  // Replace the analytic footprint with the built structure's actuals.
+  switch (config_.backend) {
+    case RetrievalBackend::kExact:
+      break;
+    case RetrievalBackend::kInt8:
+      cost.resident_bytes = quantized_.ResidentBytes();
+      break;
+    case RetrievalBackend::kIvfFlat:
+      cost.resident_bytes = ivf_->ResidentBytes();
+      break;
+    case RetrievalBackend::kIvfPq:
+      cost.resident_bytes =
+          ivf_pq_->ResidentBytes() +
+          (config_.rerank > 0
+               ? items_->numel() * static_cast<int64_t>(sizeof(float))
+               : 0);
+      break;
+  }
+  return cost;
+}
+
+}  // namespace etude::ann

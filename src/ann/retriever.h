@@ -1,0 +1,91 @@
+#ifndef ETUDE_ANN_RETRIEVER_H_
+#define ETUDE_ANN_RETRIEVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ann/ivf_index.h"
+#include "ann/ivf_pq.h"
+#include "common/status.h"
+#include "tensor/ops.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+
+namespace etude::ann {
+
+/// How the catalog scan — the op that dominates SBR inference latency —
+/// is executed. Every backend returns a TopKResult with the same
+/// contract; they trade recall and resident memory for latency.
+enum class RetrievalBackend {
+  kExact,    // fused fp32 AVX2 scan, recall 1 by definition
+  kInt8,     // fused int8 scan over the quantised table (~4x less traffic)
+  kIvfFlat,  // IVF coarse quantiser + fused scan inside nprobe lists
+  kIvfPq,    // IVF + 8-bit PQ codes, LUT gather scan, optional re-rank
+};
+
+std::string_view RetrievalBackendToString(RetrievalBackend backend);
+
+/// Parses "exact" | "int8" | "ivf-flat" | "ivf-pq".
+Result<RetrievalBackend> RetrievalBackendFromString(std::string_view name);
+
+struct RetrievalConfig {
+  RetrievalBackend backend = RetrievalBackend::kExact;
+  int64_t nlist = 0;   // IVF lists; 0 = heuristic ~4*sqrt(C)
+  int64_t nprobe = 8;  // lists visited per query
+  int64_t rerank = 0;  // ivf-pq: exact re-rank depth (0 = off)
+  int64_t pq_m = 0;    // ivf-pq: bytes per code; 0 = heuristic ~d/4
+  /// ivf-flat: store the lists int8-quantised and scan them with the
+  /// fused int8 kernel (the composition the quantised kernel exists for).
+  bool int8_lists = true;
+  uint64_t seed = 1;
+};
+
+/// Per-query cost of a retrieval backend, in the units the plan/cost
+/// model speaks (see SessionModel::CostModel): bytes moved and flops
+/// executed by the scoring stage, plus the resident footprint of the
+/// structure that must be in memory to serve.
+struct RetrievalCost {
+  double scan_bytes = 0;      // expected bytes moved per query
+  double scan_flops = 0;      // expected flops per query
+  int64_t resident_bytes = 0; // retrieval structure footprint
+};
+
+/// Analytic cost polynomial for a backend over a [C, d] catalog, usable
+/// without building anything — the DES scale runs (`etude run`) model
+/// 10M-item catalogs whose tables are never materialised. Heuristic
+/// parameters (nlist, pq_m) resolve exactly as Build would resolve them.
+RetrievalCost EstimateRetrievalCost(const RetrievalConfig& config, int64_t c,
+                                    int64_t d);
+
+/// Owns the structure behind one retrieval backend and answers top-k
+/// queries through it. `items` (the fp32 [C, d] table) is borrowed and
+/// must outlive the retriever: the exact backend scans it directly and
+/// the ivf-pq re-rank rescores against it.
+class Retriever {
+ public:
+  static Result<Retriever> Build(const tensor::Tensor& items,
+                                 const RetrievalConfig& config);
+
+  tensor::TopKResult Retrieve(const tensor::Tensor& query, int64_t k) const;
+
+  const RetrievalConfig& config() const { return config_; }
+
+  /// Costs of this built retriever (actual resident bytes, expected
+  /// per-query traffic given the configured nprobe).
+  RetrievalCost Cost() const;
+
+ private:
+  Retriever() = default;
+
+  RetrievalConfig config_;
+  const tensor::Tensor* items_ = nullptr;
+  tensor::QuantizedMatrix quantized_;  // kInt8
+  std::optional<IvfIndex> ivf_;        // kIvfFlat
+  std::optional<IvfPqIndex> ivf_pq_;   // kIvfPq
+};
+
+}  // namespace etude::ann
+
+#endif  // ETUDE_ANN_RETRIEVER_H_

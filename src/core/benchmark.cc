@@ -38,6 +38,9 @@ Result<BenchmarkReport> RunDeployedBenchmark(const BenchmarkSpec& spec) {
   model_config.materialize_embeddings = false;
   ETUDE_ASSIGN_OR_RETURN(std::unique_ptr<models::SessionModel> model,
                          models::CreateModel(spec.model, model_config));
+  // Cost-only model: this records the backend and scales the scan cost
+  // analytically (no index is built over the unmaterialised table).
+  ETUDE_RETURN_NOT_OK(model->ConfigureRetrieval(spec.retrieval));
 
   // The serialised model (plus ~25% working set for activations and the
   // score buffer) must fit in device memory — a T4 carries 16 GB, an

@@ -28,6 +28,12 @@ struct BenchmarkSpec {
   int64_t ramp_s = 0;        // 0 = ramp over the whole duration
   uint64_t seed = 42;
 
+  // How the catalog scan is served (exact | int8 | ivf-flat | ivf-pq with
+  // nprobe/rerank knobs; see ann/retriever.h). Scale runs are cost-only,
+  // so the backend enters through the analytic cost model rather than a
+  // built index.
+  ann::RetrievalConfig retrieval;
+
   // Workload sessions are drawn over min(catalog_size, workload_catalog_cap)
   // item ids to bound generator memory at platform-scale catalogs; the
   // cost model always uses the true catalog size.

@@ -69,6 +69,42 @@ Result<BenchmarkSpec> ParseBenchmarkSpec(std::string_view json_text) {
   spec.duration_s = root.GetIntOr("duration_s", spec.duration_s);
   spec.ramp_s = root.GetIntOr("ramp_s", spec.ramp_s);
   spec.seed = static_cast<uint64_t>(root.GetIntOr("seed", 42));
+
+  if (root.Contains("retrieval")) {
+    const JsonValue& retrieval = root.Get("retrieval");
+    if (retrieval.is_string()) {
+      // Backend name only; knobs keep their defaults.
+      ETUDE_ASSIGN_OR_RETURN(
+          spec.retrieval.backend,
+          ann::RetrievalBackendFromString(retrieval.as_string()));
+    } else if (retrieval.is_object()) {
+      ETUDE_ASSIGN_OR_RETURN(
+          spec.retrieval.backend,
+          ann::RetrievalBackendFromString(
+              retrieval.GetStringOr("backend", "exact")));
+      spec.retrieval.nlist =
+          retrieval.GetIntOr("nlist", spec.retrieval.nlist);
+      spec.retrieval.nprobe =
+          retrieval.GetIntOr("nprobe", spec.retrieval.nprobe);
+      spec.retrieval.rerank =
+          retrieval.GetIntOr("rerank", spec.retrieval.rerank);
+      spec.retrieval.pq_m = retrieval.GetIntOr("pq_m", spec.retrieval.pq_m);
+      spec.retrieval.int8_lists =
+          retrieval.GetBoolOr("int8_lists", spec.retrieval.int8_lists);
+      spec.retrieval.seed = static_cast<uint64_t>(
+          retrieval.GetIntOr("seed",
+                             static_cast<int64_t>(spec.retrieval.seed)));
+    } else {
+      return Status::InvalidArgument(
+          "'retrieval' must be a backend name or an object");
+    }
+    if (spec.retrieval.nlist < 0 || spec.retrieval.nprobe < 1 ||
+        spec.retrieval.rerank < 0 || spec.retrieval.pq_m < 0) {
+      return Status::InvalidArgument(
+          "retrieval knobs must satisfy nlist >= 0, nprobe >= 1, "
+          "rerank >= 0, pq_m >= 0");
+    }
+  }
   return spec;
 }
 

@@ -24,8 +24,13 @@ namespace etude::core {
 ///   "mode": "jit",
 ///   "device": "gpu-t4",
 ///   "replicas": 1,
-///   "duration_s": 600
+///   "duration_s": 600,
+///   "retrieval": { "backend": "ivf-pq", "nprobe": 16, "rerank": 128 }
 /// }
+///
+/// "retrieval" (optional; default exact) selects the catalog-scan backend
+/// — a bare string ("int8") or an object with backend / nlist / nprobe /
+/// rerank / pq_m / int8_lists knobs (see ann/retriever.h).
 ///
 /// Unknown models/devices and malformed values yield descriptive errors.
 Result<BenchmarkSpec> ParseBenchmarkSpec(std::string_view json_text);

@@ -27,6 +27,11 @@ class RepeatNet final : public SessionModel {
 
   ModelKind kind() const override { return ModelKind::kRepeatNet; }
 
+  /// The repeat/explore mixture is computed over the full dense [C]
+  /// distribution (including the one-hot expansion bug), so a top-k
+  /// retrieval shortlist cannot replace its scoring tail.
+  bool supports_retrieval() const override { return false; }
+
   using SessionModel::Recommend;
   Result<Recommendation> Recommend(const std::vector<int64_t>& session,
                                    const ExecOptions& options) const override;

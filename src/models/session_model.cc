@@ -151,11 +151,32 @@ Result<Recommendation> SessionModel::Recommend(
   ETUDE_CHECK(query.rank() == 1 && query.dim(0) == config_.embedding_dim)
       << "EncodeSession must return a [d] vector";
   const tensor::TopKResult top =
-      tensor::Mips(item_embeddings_, query, config_.top_k);
+      retriever_.has_value()
+          ? retriever_->Retrieve(query, config_.top_k)
+          : tensor::Mips(item_embeddings_, query, config_.top_k);
   Recommendation rec;
   rec.items = top.indices;
   rec.scores = top.scores;
   return rec;
+}
+
+Status SessionModel::ConfigureRetrieval(const ann::RetrievalConfig& config) {
+  if (config.backend != ann::RetrievalBackend::kExact &&
+      !supports_retrieval()) {
+    return Status::InvalidArgument(
+        std::string(name()) +
+        " scores the full dense catalog distribution; only the 'exact' "
+        "retrieval backend applies");
+  }
+  retriever_.reset();
+  retrieval_config_ = config;
+  if (config.backend != ann::RetrievalBackend::kExact &&
+      config_.materialize_embeddings) {
+    ETUDE_ASSIGN_OR_RETURN(ann::Retriever retriever,
+                           ann::Retriever::Build(item_embeddings_, config));
+    retriever_.emplace(std::move(retriever));
+  }
+  return Status::OK();
 }
 
 tensor::SymTensor SessionModel::TraceEmbeddingTable(
@@ -276,6 +297,22 @@ sim::InferenceWork SessionModel::CostModel(ExecutionMode mode,
   work.encode_bytes = cost.encode_traffic_bytes.Eval(bindings);
   work.scan_flops = cost.score_flops.Eval(bindings);
   work.scan_bytes = cost.score_traffic_bytes.Eval(bindings);
+  if (retrieval_config_.backend != ann::RetrievalBackend::kExact) {
+    // The plan IR's scoring polynomials describe the exact fp32 scan.
+    // Ratio-scale them by the configured backend's analytic cost relative
+    // to exact, so the simulator prices the approximate scan without the
+    // plan itself (and its golden report) changing.
+    const ann::RetrievalCost exact = ann::EstimateRetrievalCost(
+        ann::RetrievalConfig{}, config_.catalog_size, config_.embedding_dim);
+    const ann::RetrievalCost approx = ann::EstimateRetrievalCost(
+        retrieval_config_, config_.catalog_size, config_.embedding_dim);
+    if (exact.scan_flops > 0) {
+      work.scan_flops *= approx.scan_flops / exact.scan_flops;
+    }
+    if (exact.scan_bytes > 0) {
+      work.scan_bytes *= approx.scan_bytes / exact.scan_bytes;
+    }
+  }
   work.op_count = static_cast<int>(OpCount(l));
   work.jit_compiled = (mode == ExecutionMode::kJit) && jit_compatible();
   work.host_sync_points = cal.host_sync_points;

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include <map>
+#include <optional>
 #include <tuple>
 
+#include "ann/retriever.h"
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -124,6 +126,31 @@ class SessionModel {
   /// when jit_compatible() is true. Surfaced as a first-class diagnostic
   /// by `lint_models` and `etude profile` instead of a silent fallback.
   virtual std::string jit_incompatibility_reason() const { return ""; }
+
+  /// Whether the scoring tail is the generic top-k MIPS over the item
+  /// table, and can therefore be swapped for a quantised/ANN retrieval
+  /// backend. RepeatNet returns false: its repeat/explore mixture needs
+  /// the full dense score distribution, not a top-k shortlist.
+  virtual bool supports_retrieval() const { return true; }
+
+  /// Routes the scoring stage through `config.backend` (see
+  /// ann/retriever.h). For a materialised model this builds the retrieval
+  /// structure over the item table (IVF training included) and Recommend
+  /// serves through it from then on; for a cost-only model the config is
+  /// recorded and CostModel scales its scan figures analytically. Returns
+  /// InvalidArgument for non-exact backends when !supports_retrieval().
+  /// Not thread-safe against concurrent Recommend calls — configure
+  /// before serving.
+  Status ConfigureRetrieval(const ann::RetrievalConfig& config);
+
+  const ann::RetrievalConfig& retrieval_config() const {
+    return retrieval_config_;
+  }
+
+  /// The built retrieval structure, or nullptr when serving exactly.
+  const ann::Retriever* retriever() const {
+    return retriever_.has_value() ? &*retriever_ : nullptr;
+  }
 
   /// Runs the full inference path for one session: encode the session into
   /// a d-dimensional vector, then run the top-k maximum inner product
@@ -257,6 +284,11 @@ class SessionModel {
   tensor::Tensor item_embeddings_;  // [C, d]
 
  private:
+  /// Active retrieval backend (kExact by default). The retriever is only
+  /// built for materialised models with a non-exact backend.
+  ann::RetrievalConfig retrieval_config_;
+  std::optional<ann::Retriever> retriever_;
+
   /// Lazily-built per-mode cost summaries derived from the plan IR.
   const tensor::CostSummary& PlanCost(ExecutionMode mode) const;
 

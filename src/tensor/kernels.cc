@@ -91,6 +91,35 @@ void MipsScan(const float* items, const float* query, int64_t d,
   }
 }
 
+void QuantizedMipsScan(const int8_t* items, int64_t stride,
+                       const float* scales, const int8_t* query,
+                       float query_scale, int64_t d, int64_t row_begin,
+                       int64_t row_end, int64_t k,
+                       std::vector<ScoredIndex>& heap) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const int8_t* row = items + i * stride;
+    int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    int64_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+      acc0 += static_cast<int32_t>(row[j]) * static_cast<int32_t>(query[j]);
+      acc1 += static_cast<int32_t>(row[j + 1]) *
+              static_cast<int32_t>(query[j + 1]);
+      acc2 += static_cast<int32_t>(row[j + 2]) *
+              static_cast<int32_t>(query[j + 2]);
+      acc3 += static_cast<int32_t>(row[j + 3]) *
+              static_cast<int32_t>(query[j + 3]);
+    }
+    for (; j < d; ++j) {
+      acc0 += static_cast<int32_t>(row[j]) * static_cast<int32_t>(query[j]);
+    }
+    const int32_t acc = (acc0 + acc1) + (acc2 + acc3);
+    // Two multiplies, no FMA contraction possible: bit-identical to the
+    // AVX2 path's rescale of the (exact) integer dot.
+    const float score = static_cast<float>(acc) * scales[i] * query_scale;
+    HeapPushBounded(heap, k, score, i);
+  }
+}
+
 }  // namespace portable
 
 // ---------------------------------------------------------------------------
@@ -472,6 +501,170 @@ void MipsScan(const float* items, const float* query, int64_t d,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Int8 scan. vpmaddubsw multiplies unsigned by signed bytes; the sign
+// trick recovers the signed×signed dot: with qa = |q| and
+// sv = v * sign(q) (vpsignb), maddubs(qa, sv) sums q[j]*v[j] pairs into
+// int16 lanes, and vpmaddwd against ones widens them into int32
+// accumulators. Values are in [-127, 127] (kernel precondition), so the
+// pair sums peak at 2*127*127 = 32258 — below int16 saturation.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline int32_t HSumI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// acc += dot of one 32-byte segment: qa = |q| segment, qs = raw q
+/// segment (sign source), p = catalog segment.
+__attribute__((target("avx2"))) inline __m256i DotStepI8(
+    __m256i qa, __m256i qs, const int8_t* p, __m256i ones, __m256i acc) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i sv = _mm256_sign_epi8(v, qs);
+  const __m256i pairs = _mm256_maddubs_epi16(qa, sv);
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+}
+
+/// Int8 fused scan, specialised on the padded row width (NSEG 32-byte
+/// segments, no tails — QuantizedRowStride zero-pads instead). Mirrors
+/// MipsScanW: query (and |query|) hoisted into registers, eight
+/// interleaved sub-streams with software prefetch, four rows reduced at
+/// once by a vphaddd tree, candidates filtered against a register-cached
+/// heap cutoff with HeapPushBounded's strict `>` semantics.
+template <int NSEG>
+__attribute__((target("avx2"))) void QuantizedMipsScanW(
+    const int8_t* items, int64_t stride, const float* scales,
+    const int8_t* query, float query_scale, int64_t row_begin,
+    int64_t row_end, int64_t k, std::vector<ScoredIndex>& heap) {
+  __m256i qs[NSEG], qa[NSEG];
+  for (int g = 0; g < NSEG; ++g) {
+    qs[g] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(query + 32 * g));
+    qa[g] = _mm256_abs_epi8(qs[g]);
+  }
+  const __m256i ones = _mm256_set1_epi16(1);
+  const int64_t rows = row_end - row_begin;
+  int64_t chunk = rows / 8;
+  chunk -= chunk % 2;
+  const int8_t* base[8];
+  for (int s = 0; s < 8; ++s) {
+    base[s] = items + (row_begin + s * chunk) * stride;
+  }
+  // Each stream advances 2 rows = 2 * stride bytes per iteration — NSEG
+  // cache lines. Prefetch exactly that many, 16 rows ahead.
+  constexpr int kPrefetchLines = NSEG;
+  float cutoff = -std::numeric_limits<float>::infinity();
+  int64_t fill = k;
+  for (int64_t r = 0; r + 2 <= chunk; r += 2) {
+    for (int s = 0; s < 8; s += 2) {
+      const int8_t* p0 = base[s] + r * stride;
+      const int8_t* p1 = base[s + 1] + r * stride;
+      for (int pl = 0; pl < kPrefetchLines; ++pl) {
+        _mm_prefetch(
+            reinterpret_cast<const char*>(p0 + 16 * stride) + 64 * pl,
+            _MM_HINT_T0);
+        _mm_prefetch(
+            reinterpret_cast<const char*>(p1 + 16 * stride) + 64 * pl,
+            _MM_HINT_T0);
+      }
+      __m256i a0 = _mm256_setzero_si256();
+      __m256i a1 = _mm256_setzero_si256();
+      __m256i a2 = _mm256_setzero_si256();
+      __m256i a3 = _mm256_setzero_si256();
+      for (int g = 0; g < NSEG; ++g) {
+        a0 = DotStepI8(qa[g], qs[g], p0 + 32 * g, ones, a0);
+        a1 = DotStepI8(qa[g], qs[g], p0 + stride + 32 * g, ones, a1);
+        a2 = DotStepI8(qa[g], qs[g], p1 + 32 * g, ones, a2);
+        a3 = DotStepI8(qa[g], qs[g], p1 + stride + 32 * g, ones, a3);
+      }
+      const __m256i h = _mm256_hadd_epi32(_mm256_hadd_epi32(a0, a1),
+                                          _mm256_hadd_epi32(a2, a3));
+      const __m128i dots = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                         _mm256_extracti128_si256(h, 1));
+      alignas(16) int32_t v[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(v), dots);
+      const int64_t r0 = row_begin + s * chunk + r;
+      const int64_t r1 = row_begin + (s + 1) * chunk + r;
+      const int64_t idx[4] = {r0, r0 + 1, r1, r1 + 1};
+      for (int t = 0; t < 4; ++t) {
+        const float score =
+            static_cast<float>(v[t]) * scales[idx[t]] * query_scale;
+        if (score > cutoff || fill > 0) {
+          HeapPushBounded(heap, k, score, idx[t]);
+          if (fill > 0) --fill;
+          if (static_cast<int64_t>(heap.size()) == k)
+            cutoff = heap.front().first;
+        }
+      }
+    }
+  }
+  for (int64_t i = row_begin + 8 * chunk; i < row_end; ++i) {
+    const int8_t* row = items + i * stride;
+    __m256i acc = _mm256_setzero_si256();
+    for (int g = 0; g < NSEG; ++g) {
+      acc = DotStepI8(qa[g], qs[g], row + 32 * g, ones, acc);
+    }
+    const float score =
+        static_cast<float>(HSumI32(acc)) * scales[i] * query_scale;
+    HeapPushBounded(heap, k, score, i);
+  }
+}
+
+/// Wide fallback (stride > 128 bytes): the query no longer fits in
+/// registers, so it is re-streamed per row — at these widths each row
+/// already spans multiple cache lines and the scan is row-bound anyway.
+__attribute__((target("avx2"))) void QuantizedMipsScanWideI8(
+    const int8_t* items, int64_t stride, const float* scales,
+    const int8_t* query, float query_scale, int64_t row_begin,
+    int64_t row_end, int64_t k, std::vector<ScoredIndex>& heap) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const int8_t* row = items + i * stride;
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t off = 0; off < stride; off += 32) {
+      const __m256i q = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(query + off));
+      acc = DotStepI8(_mm256_abs_epi8(q), q, row + off, ones, acc);
+    }
+    const float score =
+        static_cast<float>(HSumI32(acc)) * scales[i] * query_scale;
+    HeapPushBounded(heap, k, score, i);
+  }
+}
+
+void QuantizedMipsScan(const int8_t* items, int64_t stride,
+                       const float* scales, const int8_t* query,
+                       float query_scale, int64_t row_begin, int64_t row_end,
+                       int64_t k, std::vector<ScoredIndex>& heap) {
+  switch (stride / 32) {
+    case 1:
+      QuantizedMipsScanW<1>(items, stride, scales, query, query_scale,
+                            row_begin, row_end, k, heap);
+      return;
+    case 2:
+      QuantizedMipsScanW<2>(items, stride, scales, query, query_scale,
+                            row_begin, row_end, k, heap);
+      return;
+    case 3:
+      QuantizedMipsScanW<3>(items, stride, scales, query, query_scale,
+                            row_begin, row_end, k, heap);
+      return;
+    case 4:
+      QuantizedMipsScanW<4>(items, stride, scales, query, query_scale,
+                            row_begin, row_end, k, heap);
+      return;
+    default:
+      QuantizedMipsScanWideI8(items, stride, scales, query, query_scale,
+                              row_begin, row_end, k, heap);
+      return;
+  }
+}
+
 }  // namespace avx2
 #endif  // ETUDE_KERNELS_X86
 
@@ -526,6 +719,24 @@ void MipsScanKernel(const float* items, const float* query, int64_t d,
   }
 #endif
   portable::MipsScan(items, query, d, row_begin, row_end, k, heap);
+}
+
+void QuantizedMipsScanKernel(const int8_t* items, int64_t stride,
+                             const float* scales, const int8_t* query,
+                             float query_scale, int64_t d, int64_t row_begin,
+                             int64_t row_end, int64_t k,
+                             std::vector<ScoredIndex>& heap) {
+#if ETUDE_KERNELS_X86
+  if (HasAvx2Fma()) {
+    // The AVX2 path scans the full zero-padded stride; the padding
+    // contributes nothing, so d itself is not needed.
+    avx2::QuantizedMipsScan(items, stride, scales, query, query_scale,
+                            row_begin, row_end, k, heap);
+    return;
+  }
+#endif
+  portable::QuantizedMipsScan(items, stride, scales, query, query_scale, d,
+                              row_begin, row_end, k, heap);
 }
 
 }  // namespace etude::tensor::kernels

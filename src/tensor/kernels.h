@@ -51,6 +51,28 @@ void MipsScanKernel(const float* items, const float* query, int64_t d,
                     int64_t row_begin, int64_t row_end, int64_t k,
                     std::vector<ScoredIndex>& heap);
 
+/// Bytes per packed int8 row: d rounded up to whole 32-byte blocks. Rows
+/// padded to this stride (padding zeroed) need no masked tail loads in the
+/// AVX2 int8 scan — AVX2 has no byte-granular masked load, so padding is
+/// the only branch-free way to handle arbitrary d.
+inline int64_t QuantizedRowStride(int64_t d) { return (d + 31) / 32 * 32; }
+
+/// Fused int8 MIPS scan over stride-padded rows. `items` holds rows of
+/// `stride` bytes (QuantizedRowStride(d), zero-padded past d); `query` is
+/// an int8 vector of the same stride (also zero-padded). Each row's int32
+/// dot product is rescaled as float(dot) * scales[row] * query_scale
+/// before top-k selection, so both paths produce bit-identical scores.
+///
+/// Precondition: every value in `items` and `query` lies in [-127, 127]
+/// (symmetric quantisation never emits -128). The AVX2 path relies on it:
+/// |q| fits an unsigned byte and the vpmaddubsw pair sums stay below the
+/// int16 saturation point (2 * 127 * 127 < 32767).
+void QuantizedMipsScanKernel(const int8_t* items, int64_t stride,
+                             const float* scales, const int8_t* query,
+                             float query_scale, int64_t d, int64_t row_begin,
+                             int64_t row_end, int64_t k,
+                             std::vector<ScoredIndex>& heap);
+
 }  // namespace etude::tensor::kernels
 
 #endif  // ETUDE_TENSOR_KERNELS_H_

@@ -503,8 +503,6 @@ int64_t ArgMax(const Tensor& a) {
   return best;
 }
 
-namespace {
-
 /// Sorts candidates by (score desc, index asc) — the order TopK/Mips
 /// return — and trims to k.
 TopKResult FinishTopK(std::vector<kernels::ScoredIndex>& candidates,
@@ -525,8 +523,6 @@ TopKResult FinishTopK(std::vector<kernels::ScoredIndex>& candidates,
   }
   return result;
 }
-
-}  // namespace
 
 TopKResult TopK(const Tensor& scores, int64_t k) {
   ETUDE_CHECK(scores.rank() == 1) << "TopK requires rank 1";

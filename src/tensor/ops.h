@@ -97,6 +97,13 @@ struct TopKResult {
 /// in the paper's complexity analysis.
 TopKResult TopK(const Tensor& scores, int64_t k);
 
+/// Merges scored candidates — e.g. the concatenated per-range bounded
+/// heaps of a fused scan — into a TopKResult ordered like TopK/Mips
+/// (descending score, equal scores by ascending index), trimmed to k.
+/// Sorts `candidates` in place.
+TopKResult FinishTopK(std::vector<std::pair<float, int64_t>>& candidates,
+                      int64_t k);
+
 /// Maximum inner product search over items:[C,d] and query:[d]. This is
 /// the op that dominates SBR inference latency (linear in catalog size C).
 /// Fused streaming implementation: catalog chunks are scored directly into

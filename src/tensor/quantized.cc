@@ -4,36 +4,71 @@
 #include <cmath>
 #include <set>
 
+#include "common/parallel.h"
+#include "obs/op_hook.h"
+#include "tensor/kernels.h"
+
 namespace etude::tensor {
+
+namespace {
+
+/// Matches the fused fp32 Mips threshold: ranges smaller than this are
+/// not worth a second heap + merge.
+constexpr int64_t kMipsMinRowsPerRange = 4096;
+
+/// Quantises one fp32 row into `stride` bytes at `out` (padding zeroed)
+/// and returns the scale. Clamped to [-127, 127]: symmetric quantisation
+/// never emits -128, which the AVX2 sign-trick kernel cannot negate.
+float QuantizeRow(const float* row, int64_t d, int64_t stride, int8_t* out) {
+  float max_abs = 0.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    max_abs = std::max(max_abs, std::abs(row[j]));
+  }
+  // All-zero rows keep scale 1 so dequantise/rescale never divides by
+  // zero or turns a zero dot product into NaN.
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    const long v = std::lround(row[j] / scale);
+    out[j] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+  }
+  std::fill(out + d, out + stride, static_cast<int8_t>(0));
+  return scale;
+}
+
+}  // namespace
+
+float QuantizeQueryInt8(const float* query, int64_t d,
+                        std::vector<int8_t>& out) {
+  out.resize(static_cast<size_t>(kernels::QuantizedRowStride(d)));
+  return QuantizeRow(query, d, kernels::QuantizedRowStride(d), out.data());
+}
+
+QuantizedMatrix QuantizedMatrix::FromRows(const float* rows, int64_t count,
+                                          int64_t d) {
+  ETUDE_CHECK(count >= 0 && d > 0) << "quantisation shape error";
+  QuantizedMatrix q;
+  q.rows_ = count;
+  q.cols_ = d;
+  q.stride_ = kernels::QuantizedRowStride(d);
+  q.data_.resize(static_cast<size_t>(count * q.stride_));
+  q.scales_.resize(static_cast<size_t>(count));
+  for (int64_t r = 0; r < count; ++r) {
+    q.scales_[static_cast<size_t>(r)] =
+        QuantizeRow(rows + r * d, d, q.stride_, q.data_.data() + r * q.stride_);
+  }
+  return q;
+}
 
 QuantizedMatrix QuantizedMatrix::FromTensor(const Tensor& matrix) {
   ETUDE_CHECK(matrix.rank() == 2) << "quantisation requires rank 2";
-  QuantizedMatrix q;
-  q.rows_ = matrix.dim(0);
-  q.cols_ = matrix.dim(1);
-  q.data_.resize(static_cast<size_t>(q.rows_ * q.cols_));
-  q.scales_.resize(static_cast<size_t>(q.rows_));
-  for (int64_t r = 0; r < q.rows_; ++r) {
-    const float* row = matrix.data() + r * q.cols_;
-    float max_abs = 0.0f;
-    for (int64_t j = 0; j < q.cols_; ++j) {
-      max_abs = std::max(max_abs, std::abs(row[j]));
-    }
-    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-    q.scales_[static_cast<size_t>(r)] = scale;
-    int8_t* out = q.data_.data() + r * q.cols_;
-    for (int64_t j = 0; j < q.cols_; ++j) {
-      out[j] = static_cast<int8_t>(std::lround(row[j] / scale));
-    }
-  }
-  return q;
+  return FromRows(matrix.data(), matrix.dim(0), matrix.dim(1));
 }
 
 Tensor QuantizedMatrix::DequantizeRow(int64_t r) const {
   ETUDE_CHECK(r >= 0 && r < rows_) << "row out of range";
   Tensor out({cols_});
   const float scale = scales_[static_cast<size_t>(r)];
-  const int8_t* row = data_.data() + r * cols_;
+  const int8_t* row = data_.data() + r * stride_;
   for (int64_t j = 0; j < cols_; ++j) {
     out[j] = static_cast<float>(row[j]) * scale;
   }
@@ -43,30 +78,47 @@ Tensor QuantizedMatrix::DequantizeRow(int64_t r) const {
 TopKResult QuantizedMatrix::Mips(const Tensor& query, int64_t k) const {
   ETUDE_CHECK(query.rank() == 1 && query.dim(0) == cols_)
       << "query width mismatch";
-  // Quantise the query once (symmetric, its own scale).
-  float max_abs = 0.0f;
-  for (int64_t j = 0; j < cols_; ++j) {
-    max_abs = std::max(max_abs, std::abs(query[j]));
+  ETUDE_CHECK(k > 0) << "Mips requires k > 0";
+  k = std::min(k, rows_);
+  if (k == 0) return TopKResult{};
+  ETUDE_OP_SPAN("QuantizedMips",
+                2.0 * static_cast<double>(rows_) * static_cast<double>(cols_));
+  // Quantise the query once (symmetric, its own scale, kernel-safe clamp).
+  std::vector<int8_t> q;
+  const float query_scale = QuantizeQueryInt8(query.data(), cols_, q);
+  // Same fused range-parallel structure as the fp32 Mips: one contiguous
+  // range per worker, per-range bounded heaps, deterministic merge.
+  const int64_t c = rows_;
+  int64_t num_ranges = 1;
+  if (NumThreads() > 1 && !InParallelRegion() &&
+      c >= 2 * kMipsMinRowsPerRange) {
+    num_ranges = std::min<int64_t>(NumThreads(), c / kMipsMinRowsPerRange);
   }
-  const float query_scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-  std::vector<int8_t> q(static_cast<size_t>(cols_));
-  for (int64_t j = 0; j < cols_; ++j) {
-    q[static_cast<size_t>(j)] =
-        static_cast<int8_t>(std::lround(query[j] / query_scale));
+  const int8_t* items = data_.data();
+  const int64_t stride = stride_;
+  const int64_t d = cols_;
+  const float* scales = scales_.data();
+  const int8_t* qd = q.data();
+  std::vector<std::vector<kernels::ScoredIndex>> heaps(
+      static_cast<size_t>(num_ranges));
+  ParallelFor(0, num_ranges, 1,
+              [items, stride, scales, qd, query_scale, d, c, k, num_ranges,
+               &heaps](int64_t lo, int64_t hi) {
+                for (int64_t r = lo; r < hi; ++r) {
+                  const int64_t begin = c * r / num_ranges;
+                  const int64_t end = c * (r + 1) / num_ranges;
+                  auto& heap = heaps[static_cast<size_t>(r)];
+                  heap.reserve(static_cast<size_t>(k));
+                  kernels::QuantizedMipsScanKernel(items, stride, scales, qd,
+                                                   query_scale, d, begin, end,
+                                                   k, heap);
+                }
+              });
+  std::vector<kernels::ScoredIndex> candidates = std::move(heaps[0]);
+  for (size_t r = 1; r < heaps.size(); ++r) {
+    candidates.insert(candidates.end(), heaps[r].begin(), heaps[r].end());
   }
-  // Integer scan with per-row rescale.
-  Tensor scores({rows_});
-  for (int64_t r = 0; r < rows_; ++r) {
-    const int8_t* row = data_.data() + r * cols_;
-    int32_t acc = 0;
-    for (int64_t j = 0; j < cols_; ++j) {
-      acc += static_cast<int32_t>(row[j]) *
-             static_cast<int32_t>(q[static_cast<size_t>(j)]);
-    }
-    scores[r] = static_cast<float>(acc) *
-                scales_[static_cast<size_t>(r)] * query_scale;
-  }
-  return TopK(scores, k);
+  return FinishTopK(candidates, k);
 }
 
 double RecallAtK(const TopKResult& exact, const TopKResult& approximate) {

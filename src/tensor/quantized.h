@@ -9,37 +9,64 @@
 
 namespace etude::tensor {
 
+/// Quantises an fp32 query symmetrically into an int8 buffer padded to
+/// kernels::QuantizedRowStride(d) (padding zeroed), values clamped to
+/// [-127, 127] — the int8 scan kernel's overflow precondition. Returns
+/// the scale (q[j] ~= query[j] / scale). A zero query gets scale 1.
+float QuantizeQueryInt8(const float* query, int64_t d,
+                        std::vector<int8_t>& out);
+
 /// Int8-quantised item-embedding table for the catalog scan — the "model
 /// quantisation" latency/quality trade-off the paper names as future work
 /// (Sec. IV). Each row is quantised symmetrically with its own scale:
 ///   q[i][j] = round(x[i][j] / scale[i]),  scale[i] = max|x[i]| / 127.
-/// The scan then moves a quarter of the memory the fp32 table moves,
-/// which is exactly the lever for the bandwidth-bound MIPS.
+/// Rows are padded to a 32-byte stride so the AVX2 int8 kernel runs
+/// without masked tails; even padded, the scan moves roughly a quarter of
+/// the memory the fp32 table moves — exactly the lever for the
+/// bandwidth-bound MIPS.
 class QuantizedMatrix {
  public:
   /// Quantises a [C, d] fp32 matrix.
   static QuantizedMatrix FromTensor(const Tensor& matrix);
 
+  /// Quantises `count` contiguous row-major fp32 rows of width d — how
+  /// the IVF lists quantise their grouped vectors without an intermediate
+  /// Tensor copy.
+  static QuantizedMatrix FromRows(const float* rows, int64_t count,
+                                  int64_t d);
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
 
-  /// De-quantises row `r` (for tests and error analysis).
+  /// Bytes per packed row (kernels::QuantizedRowStride(cols)).
+  int64_t stride() const { return stride_; }
+  const int8_t* data() const { return data_.data(); }
+  const float* scales() const { return scales_.data(); }
+
+  /// De-quantises row `r` (for tests, error analysis and exact re-rank).
   Tensor DequantizeRow(int64_t r) const;
 
   /// Maximum inner product search against an fp32 query: the query is
-  /// quantised once, all dot products run in int32 arithmetic, scores are
-  /// rescaled to fp32 before the top-k selection.
+  /// quantised once (clamped to the kernel's [-127, 127] precondition),
+  /// the fused int8 scan kernel runs over row ranges in parallel with
+  /// per-range bounded heaps, and the merged candidates are rescaled to
+  /// fp32 scores. Deterministic for a fixed thread count, like Mips.
   TopKResult Mips(const Tensor& query, int64_t k) const;
 
-  /// Bytes moved by one scan (for the cost model): C*d int8 + C scales.
+  /// Bytes moved by one scan (for the cost model): C padded int8 rows +
+  /// C fp32 scales. The stride counts the real traffic, padding included.
   int64_t ScanBytes() const {
-    return rows_ * cols_ + rows_ * static_cast<int64_t>(sizeof(float));
+    return rows_ * stride_ + rows_ * static_cast<int64_t>(sizeof(float));
   }
+
+  /// Resident footprint of the table (codes + scales).
+  int64_t ResidentBytes() const { return ScanBytes(); }
 
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::vector<int8_t> data_;    // row-major [C, d]
+  int64_t stride_ = 0;          // padded row width in bytes
+  std::vector<int8_t> data_;    // row-major [C, stride], padding zeroed
   std::vector<float> scales_;   // per-row scale
 };
 

@@ -28,6 +28,8 @@
 //   etude serve --model NAME --catalog C [--port P] [--seconds S]
 //               [--metrics-format json|prometheus]
 //               [--mode eager|jit] [--exec-plan arena|malloc]
+//               [--retrieval exact|int8|ivf-flat|ivf-pq] [--nlist N]
+//               [--nprobe N] [--rerank N] [--pq-m M]
 //               [--slo-p90-us US] [--slo-window-s S] [--tail-trace-out F]
 //       Start the real HTTP inference server on localhost. The SLO flags
 //       configure the sliding-window monitor behind /slo; --tail-trace-out
@@ -56,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/retriever.h"
 #include "bench/diff.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -576,7 +579,8 @@ int CmdServe(int argc, char** argv) {
                                 {"model", "catalog", "port", "seconds",
                                  "metrics-format", "threads", "mode",
                                  "exec-plan", "slo-p90-us", "slo-window-s",
-                                 "tail-trace-out"});
+                                 "tail-trace-out", "retrieval", "nlist",
+                                 "nprobe", "rerank", "pq-m"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
@@ -589,6 +593,39 @@ int CmdServe(int argc, char** argv) {
       etude::models::CreateModel(FlagOr(*flags, "model", "GRU4Rec"), config);
   if (!model.ok()) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  etude::ann::RetrievalConfig retrieval;
+  const auto backend = etude::ann::RetrievalBackendFromString(
+      etude::ToLower(FlagOr(*flags, "retrieval", "exact")));
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+    return 2;
+  }
+  retrieval.backend = *backend;
+  retrieval.nlist = static_cast<int64_t>(FlagOr(*flags, "nlist", 0));
+  retrieval.nprobe = static_cast<int64_t>(
+      FlagOr(*flags, "nprobe", static_cast<double>(retrieval.nprobe)));
+  retrieval.rerank = static_cast<int64_t>(FlagOr(*flags, "rerank", 0));
+  retrieval.pq_m = static_cast<int64_t>(FlagOr(*flags, "pq-m", 0));
+  if (retrieval.nlist < 0 || retrieval.nprobe < 1 || retrieval.rerank < 0 ||
+      retrieval.pq_m < 0) {
+    std::fprintf(stderr,
+                 "--nlist/--rerank/--pq-m must be >= 0 and --nprobe >= 1\n");
+    return 2;
+  }
+  if (retrieval.backend != etude::ann::RetrievalBackend::kExact) {
+    std::printf("building %s retrieval index over C=%s...\n",
+                std::string(etude::ann::RetrievalBackendToString(
+                                retrieval.backend))
+                    .c_str(),
+                etude::FormatWithCommas(config.catalog_size).c_str());
+    std::fflush(stdout);
+  }
+  const etude::Status retrieval_status =
+      (*model)->ConfigureRetrieval(retrieval);
+  if (!retrieval_status.ok()) {
+    std::fprintf(stderr, "%s\n", retrieval_status.ToString().c_str());
     return 1;
   }
   etude::serving::EtudeServeConfig serve_config;

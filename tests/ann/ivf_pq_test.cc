@@ -1,0 +1,178 @@
+// IVF-PQ behaviour: recall that grows with nprobe, exact recovery under
+// full probing + full re-rank, correctness of the padded block layout,
+// and the memory contract that justifies PQ's existence.
+
+#include "ann/ivf_pq.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+
+namespace etude::ann {
+namespace {
+
+using tensor::Tensor;
+
+/// Clustered items (the regime IVF is built for) plus a query near one
+/// of the items.
+class IvfPqTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(17);
+    const int64_t centers = 16;
+    const Tensor center_table = tensor::RandomNormal({centers, dim_}, 1.0f,
+                                                     &rng);
+    items_ = tensor::RandomNormal({count_, dim_}, 0.3f, &rng);
+    for (int64_t i = 0; i < count_; ++i) {
+      const float* center = center_table.data() + (i % centers) * dim_;
+      for (int64_t j = 0; j < dim_; ++j) {
+        items_.data()[i * dim_ + j] += center[j];
+      }
+    }
+    query_ = Tensor({dim_});
+    for (int64_t j = 0; j < dim_; ++j) {
+      query_.data()[j] = items_.data()[42 * dim_ + j] +
+                         0.1f * static_cast<float>(rng.NextGaussian());
+    }
+    IvfPqIndex::BuildOptions options;
+    options.nlist = 32;
+    auto index = IvfPqIndex::Build(items_, options);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<IvfPqIndex>(std::move(index).value());
+  }
+
+  const int64_t count_ = 3000, dim_ = 16;
+  Tensor items_, query_;
+  std::unique_ptr<IvfPqIndex> index_;
+};
+
+TEST_F(IvfPqTest, ReturnsValidUniqueIds) {
+  IvfPqIndex::SearchOptions options;
+  options.nprobe = 4;
+  const auto result = index_->Search(query_, 21, options);
+  ASSERT_EQ(result.indices.size(), 21u);
+  std::set<int64_t> seen;
+  for (const int64_t id : result.indices) {
+    EXPECT_GE(id, 0);  // padding slots (-1) must never leak out
+    EXPECT_LT(id, count_);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST_F(IvfPqTest, RecallGrowsWithProbes) {
+  const auto exact = tensor::Mips(items_, query_, 21);
+  double previous = -1.0;
+  for (const int64_t nprobe : {1, 4, 16, 32}) {
+    IvfPqIndex::SearchOptions options;
+    options.nprobe = nprobe;
+    const double recall =
+        tensor::RecallAtK(exact, index_->Search(query_, 21, options));
+    EXPECT_GE(recall, previous - 0.15) << "nprobe=" << nprobe;
+    previous = std::max(previous, recall);
+  }
+  EXPECT_GE(previous, 0.5);  // full probing finds most of the top-21
+}
+
+TEST_F(IvfPqTest, RerankImprovesRecall) {
+  const auto exact = tensor::Mips(items_, query_, 21);
+  IvfPqIndex::SearchOptions options;
+  options.nprobe = 32;
+  const double plain =
+      tensor::RecallAtK(exact, index_->Search(query_, 21, options));
+  options.rerank = 256;
+  const double reranked = tensor::RecallAtK(
+      exact, index_->Search(query_, 21, options, items_.data()));
+  EXPECT_GE(reranked, plain);
+}
+
+TEST_F(IvfPqTest, FullProbeFullRerankIsExact) {
+  // Probing every list and exactly rescoring every candidate removes all
+  // approximation: the result must equal the fp32 scan, scores included.
+  const auto exact = tensor::Mips(items_, query_, 21);
+  IvfPqIndex::SearchOptions options;
+  options.nprobe = index_->nlist();
+  options.rerank = count_;
+  const auto result = index_->Search(query_, 21, options, items_.data());
+  EXPECT_EQ(result.indices, exact.indices);
+  for (size_t i = 0; i < exact.scores.size(); ++i) {
+    EXPECT_NEAR(result.scores[i], exact.scores[i],
+                1e-5f * std::max(1.0f, std::abs(exact.scores[i])))
+        << "rank " << i;
+  }
+}
+
+TEST_F(IvfPqTest, ResidentBytesAreFarBelowFp32Table) {
+  const int64_t fp32_bytes =
+      count_ * dim_ * static_cast<int64_t>(sizeof(float));
+  EXPECT_LT(index_->ResidentBytes(), fp32_bytes);
+  // Codes dominate at scale: m bytes per item.
+  EXPECT_GE(index_->ResidentBytes(), count_ * index_->m());
+}
+
+TEST_F(IvfPqTest, ScanFractionTracksProbes) {
+  EXPECT_NEAR(index_->ExpectedScanFraction(index_->nlist()), 1.0, 1e-9);
+  EXPECT_LE(index_->ExpectedScanFraction(1), 0.5);
+}
+
+TEST(IvfPqBuildTest, HeuristicsAndErrors) {
+  Rng rng(23);
+  const Tensor items = tensor::RandomNormal({500, 12}, 1.0f, &rng);
+  auto index = IvfPqIndex::Build(items, {});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->m(), 3);   // ~d/4
+  EXPECT_EQ(index->dim(), 12);
+  EXPECT_EQ(index->num_items(), 500);
+
+  IvfPqIndex::BuildOptions bad;
+  bad.m = 13;  // more subspaces than dimensions
+  EXPECT_FALSE(IvfPqIndex::Build(items, bad).ok());
+  EXPECT_FALSE(IvfPqIndex::Build(Tensor(), {}).ok());
+}
+
+TEST(IvfPqBuildTest, DeterministicForSeed) {
+  Rng rng(29);
+  const Tensor items = tensor::RandomNormal({800, 8}, 1.0f, &rng);
+  const Tensor query = tensor::RandomNormal({8}, 1.0f, &rng);
+  IvfPqIndex::BuildOptions options;
+  options.nlist = 8;
+  auto a = IvfPqIndex::Build(items, options);
+  auto b = IvfPqIndex::Build(items, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  IvfPqIndex::SearchOptions search;
+  search.nprobe = 8;
+  const auto ra = a->Search(query, 10, search);
+  const auto rb = b->Search(query, 10, search);
+  EXPECT_EQ(ra.indices, rb.indices);
+  EXPECT_EQ(ra.scores, rb.scores);
+}
+
+TEST(IvfPqBuildTest, UnevenListsPadCleanly) {
+  // Many lists over few items forces list lengths that are not multiples
+  // of the 8-slot block; every item must still be retrievable.
+  Rng rng(37);
+  const Tensor items = tensor::RandomNormal({97, 6}, 1.0f, &rng);
+  IvfPqIndex::BuildOptions options;
+  options.nlist = 13;
+  auto index = IvfPqIndex::Build(items, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const Tensor query = tensor::RandomNormal({6}, 1.0f, &rng);
+  IvfPqIndex::SearchOptions search;
+  search.nprobe = 13;
+  const auto result = index->Search(query, 97, search);
+  std::set<int64_t> seen(result.indices.begin(), result.indices.end());
+  EXPECT_EQ(seen.size(), 97u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 96);
+}
+
+}  // namespace
+}  // namespace etude::ann

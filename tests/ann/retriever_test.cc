@@ -1,0 +1,165 @@
+// The retrieval-backend facade: string round-trips, valid results from
+// every backend, the analytic cost polynomials the plan/cost model
+// consumes, and agreement between analytic and built footprints.
+
+#include "ann/retriever.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace etude::ann {
+namespace {
+
+using tensor::Tensor;
+
+TEST(RetrieverTest, BackendStringsRoundTrip) {
+  for (const RetrievalBackend backend :
+       {RetrievalBackend::kExact, RetrievalBackend::kInt8,
+        RetrievalBackend::kIvfFlat, RetrievalBackend::kIvfPq}) {
+    const auto parsed =
+        RetrievalBackendFromString(RetrievalBackendToString(backend));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(RetrievalBackendFromString("hnsw").ok());
+}
+
+class RetrieverBackendsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(13);
+    items_ = tensor::RandomNormal({2000, 12}, 1.0f, &rng);
+    query_ = tensor::RandomNormal({12}, 1.0f, &rng);
+    exact_ = tensor::Mips(items_, query_, 21);
+  }
+
+  Tensor items_, query_;
+  tensor::TopKResult exact_;
+};
+
+TEST_F(RetrieverBackendsTest, ExactBackendIsTheFp32Scan) {
+  RetrievalConfig config;
+  auto retriever = Retriever::Build(items_, config);
+  ASSERT_TRUE(retriever.ok());
+  const auto result = retriever->Retrieve(query_, 21);
+  EXPECT_EQ(result.indices, exact_.indices);
+  EXPECT_EQ(result.scores, exact_.scores);
+}
+
+TEST_F(RetrieverBackendsTest, EveryBackendReturnsValidTopK) {
+  for (const RetrievalBackend backend :
+       {RetrievalBackend::kInt8, RetrievalBackend::kIvfFlat,
+        RetrievalBackend::kIvfPq}) {
+    RetrievalConfig config;
+    config.backend = backend;
+    config.nlist = 16;
+    config.nprobe = 16;  // probe everything: small catalog
+    config.rerank = 64;
+    auto retriever = Retriever::Build(items_, config);
+    ASSERT_TRUE(retriever.ok())
+        << RetrievalBackendToString(backend) << ": "
+        << retriever.status().ToString();
+    const auto result = retriever->Retrieve(query_, 21);
+    ASSERT_EQ(result.indices.size(), 21u)
+        << RetrievalBackendToString(backend);
+    std::set<int64_t> seen;
+    for (const int64_t id : result.indices) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, 2000);
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+    // Full probing keeps recall high for every backend.
+    EXPECT_GE(tensor::RecallAtK(exact_, result), 0.85)
+        << RetrievalBackendToString(backend);
+  }
+}
+
+TEST_F(RetrieverBackendsTest, IvfFlatSupportsFp32AndInt8Lists) {
+  for (const bool int8_lists : {false, true}) {
+    RetrievalConfig config;
+    config.backend = RetrievalBackend::kIvfFlat;
+    config.nlist = 16;
+    config.nprobe = 16;
+    config.int8_lists = int8_lists;
+    auto retriever = Retriever::Build(items_, config);
+    ASSERT_TRUE(retriever.ok());
+    EXPECT_GE(tensor::RecallAtK(exact_, retriever->Retrieve(query_, 21)),
+              0.9)
+        << "int8_lists=" << int8_lists;
+  }
+}
+
+TEST_F(RetrieverBackendsTest, BuiltCostRefinesAnalyticResident) {
+  for (const RetrievalBackend backend :
+       {RetrievalBackend::kExact, RetrievalBackend::kInt8,
+        RetrievalBackend::kIvfFlat, RetrievalBackend::kIvfPq}) {
+    RetrievalConfig config;
+    config.backend = backend;
+    config.nlist = 16;
+    auto retriever = Retriever::Build(items_, config);
+    ASSERT_TRUE(retriever.ok());
+    const RetrievalCost analytic = EstimateRetrievalCost(config, 2000, 12);
+    const RetrievalCost built = retriever->Cost();
+    EXPECT_GT(built.resident_bytes, 0);
+    // The analytic footprint is a model of the built one: same order of
+    // magnitude, not an unrelated number.
+    EXPECT_LT(built.resident_bytes, 4 * analytic.resident_bytes + 4096)
+        << RetrievalBackendToString(backend);
+    EXPECT_GT(4 * built.resident_bytes + 4096, analytic.resident_bytes)
+        << RetrievalBackendToString(backend);
+  }
+}
+
+TEST(RetrievalCostTest, BackendsOrderAsDesigned) {
+  const int64_t c = 1000000, d = 32;
+  RetrievalConfig exact;
+  RetrievalConfig int8;
+  int8.backend = RetrievalBackend::kInt8;
+  RetrievalConfig ivf;
+  ivf.backend = RetrievalBackend::kIvfFlat;
+  RetrievalConfig pq;
+  pq.backend = RetrievalBackend::kIvfPq;
+
+  const RetrievalCost exact_cost = EstimateRetrievalCost(exact, c, d);
+  const RetrievalCost int8_cost = EstimateRetrievalCost(int8, c, d);
+  const RetrievalCost ivf_cost = EstimateRetrievalCost(ivf, c, d);
+  const RetrievalCost pq_cost = EstimateRetrievalCost(pq, c, d);
+
+  // Traffic: int8 moves ~4x less than exact; ANN moves less still.
+  EXPECT_LT(int8_cost.scan_bytes, 0.5 * exact_cost.scan_bytes);
+  EXPECT_LT(ivf_cost.scan_bytes, int8_cost.scan_bytes);
+  EXPECT_LT(pq_cost.scan_bytes, ivf_cost.scan_bytes);
+  // Footprint: PQ codes are the only structure far below the fp32 table.
+  EXPECT_LT(pq_cost.resident_bytes, exact_cost.resident_bytes / 4);
+  // Re-ranking keeps the fp32 table resident.
+  pq.rerank = 128;
+  EXPECT_GT(EstimateRetrievalCost(pq, c, d).resident_bytes,
+            exact_cost.resident_bytes);
+}
+
+TEST(RetrievalCostTest, NprobeScalesScanCost) {
+  RetrievalConfig config;
+  config.backend = RetrievalBackend::kIvfFlat;
+  config.nprobe = 1;
+  const double narrow =
+      EstimateRetrievalCost(config, 1000000, 32).scan_bytes;
+  config.nprobe = 32;
+  const double wide = EstimateRetrievalCost(config, 1000000, 32).scan_bytes;
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(RetrieverTest, BuildRejectsInvalidItems) {
+  RetrievalConfig config;
+  config.backend = RetrievalBackend::kInt8;
+  EXPECT_FALSE(Retriever::Build(Tensor(), config).ok());
+}
+
+}  // namespace
+}  // namespace etude::ann

@@ -108,6 +108,54 @@ TEST(SpecTest, LoadFromMissingFileFails) {
   EXPECT_FALSE(LoadBenchmarkSpec("/no/such/spec.json").ok());
 }
 
+TEST(SpecTest, DefaultsToExactRetrieval) {
+  auto spec = ParseBenchmarkSpec(R"({"scenario": "Fashion"})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->retrieval.backend, ann::RetrievalBackend::kExact);
+}
+
+TEST(SpecTest, ParsesRetrievalBackendString) {
+  auto spec = ParseBenchmarkSpec(
+      R"({"scenario": "Fashion", "retrieval": "int8"})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->retrieval.backend, ann::RetrievalBackend::kInt8);
+}
+
+TEST(SpecTest, ParsesRetrievalObject) {
+  auto spec = ParseBenchmarkSpec(R"({
+    "scenario": "Fashion",
+    "retrieval": {
+      "backend": "ivf-pq",
+      "nlist": 2048,
+      "nprobe": 16,
+      "rerank": 128,
+      "pq_m": 8,
+      "int8_lists": false
+    }
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->retrieval.backend, ann::RetrievalBackend::kIvfPq);
+  EXPECT_EQ(spec->retrieval.nlist, 2048);
+  EXPECT_EQ(spec->retrieval.nprobe, 16);
+  EXPECT_EQ(spec->retrieval.rerank, 128);
+  EXPECT_EQ(spec->retrieval.pq_m, 8);
+  EXPECT_FALSE(spec->retrieval.int8_lists);
+}
+
+TEST(SpecTest, RejectsBadRetrieval) {
+  EXPECT_FALSE(ParseBenchmarkSpec(
+                   R"({"scenario": "Fashion", "retrieval": "hnsw"})")
+                   .ok());
+  EXPECT_FALSE(ParseBenchmarkSpec(
+                   R"({"scenario": "Fashion", "retrieval": 7})")
+                   .ok());
+  EXPECT_FALSE(
+      ParseBenchmarkSpec(
+          R"({"scenario": "Fashion",
+              "retrieval": {"backend": "ivf-flat", "nprobe": 0}})")
+          .ok());
+}
+
 BenchmarkSpec SmallBenchmark() {
   BenchmarkSpec spec;
   spec.scenario.name = "test";

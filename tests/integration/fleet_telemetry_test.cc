@@ -16,6 +16,7 @@
 #include "loadgen/http_load.h"
 #include "loadgen/load_generator.h"
 #include "models/model_factory.h"
+#include "obs/metric_registry.h"
 #include "sim/simulation.h"
 #include "workload/session_generator.h"
 
@@ -84,8 +85,9 @@ TEST(FleetTelemetryTest, FleetHistogramIsTheExactMergeOfPerPodHistograms) {
     const serving::PodTelemetry& pod =
         fixture.deployment->pod_server(i).telemetry();
     manual.Merge(pod.LatencyUs());
+    const obs::RegistrySnapshot snapshot = pod.MetricsSnapshot();
     const obs::MetricSample* requests =
-        pod.MetricsSnapshot().FindSample("etude_pod_requests_total", {});
+        snapshot.FindSample("etude_pod_requests_total", {});
     ASSERT_NE(requests, nullptr);
     manual_requests += static_cast<int64_t>(requests->value);
   }

@@ -1,0 +1,116 @@
+// ConfigureRetrieval on the model surface: serving through a backend,
+// the RepeatNet dense-distribution exclusion, and the analytic scan-cost
+// scaling for cost-only (unmaterialised) models.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ann/retriever.h"
+#include "models/model_factory.h"
+#include "models/session_model.h"
+#include "tensor/ops.h"
+
+namespace etude::models {
+namespace {
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.catalog_size = 3000;
+  config.top_k = 21;
+  return config;
+}
+
+TEST(ModelRetrievalTest, DefaultIsExactAndUnchanged) {
+  auto model = CreateModel(ModelKind::kGru4Rec, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->retrieval_config().backend,
+            ann::RetrievalBackend::kExact);
+  EXPECT_EQ((*model)->retriever(), nullptr);
+}
+
+TEST(ModelRetrievalTest, Int8BackendServesNearExactResults) {
+  auto model = CreateModel(ModelKind::kGru4Rec, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  const std::vector<int64_t> session = {3, 14, 159, 2653};
+  auto exact = (*model)->Recommend(session);
+  ASSERT_TRUE(exact.ok());
+
+  ann::RetrievalConfig retrieval;
+  retrieval.backend = ann::RetrievalBackend::kInt8;
+  ASSERT_TRUE((*model)->ConfigureRetrieval(retrieval).ok());
+  ASSERT_NE((*model)->retriever(), nullptr);
+  auto quantized = (*model)->Recommend(session);
+  ASSERT_TRUE(quantized.ok());
+  ASSERT_EQ(quantized->items.size(), exact->items.size());
+  // Near-lossless: the two top-21 sets overlap almost entirely.
+  std::set<int64_t> exact_set(exact->items.begin(), exact->items.end());
+  int64_t hits = 0;
+  for (const int64_t item : quantized->items) hits += exact_set.count(item);
+  EXPECT_GE(hits, 19);
+
+  // Reconfiguring back to exact restores bit-identical serving.
+  ASSERT_TRUE((*model)->ConfigureRetrieval(ann::RetrievalConfig{}).ok());
+  EXPECT_EQ((*model)->retriever(), nullptr);
+  auto restored = (*model)->Recommend(session);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->items, exact->items);
+  EXPECT_EQ(restored->scores, exact->scores);
+}
+
+TEST(ModelRetrievalTest, IvfPqBackendServesValidResults) {
+  auto model = CreateModel(ModelKind::kGru4Rec, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  ann::RetrievalConfig retrieval;
+  retrieval.backend = ann::RetrievalBackend::kIvfPq;
+  retrieval.nlist = 16;
+  retrieval.nprobe = 16;
+  retrieval.rerank = 64;
+  ASSERT_TRUE((*model)->ConfigureRetrieval(retrieval).ok());
+  auto rec = (*model)->Recommend({1, 2, 3});
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->items.size(), 21u);
+  for (const int64_t item : rec->items) {
+    EXPECT_GE(item, 0);
+    EXPECT_LT(item, 3000);
+  }
+}
+
+TEST(ModelRetrievalTest, RepeatNetRejectsApproximateBackends) {
+  auto model = CreateModel(ModelKind::kRepeatNet, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE((*model)->supports_retrieval());
+  ann::RetrievalConfig retrieval;
+  retrieval.backend = ann::RetrievalBackend::kInt8;
+  EXPECT_FALSE((*model)->ConfigureRetrieval(retrieval).ok());
+  // Exact stays allowed (it is the status quo).
+  EXPECT_TRUE((*model)->ConfigureRetrieval(ann::RetrievalConfig{}).ok());
+}
+
+TEST(ModelRetrievalTest, CostOnlyModelScalesScanCostAnalytically) {
+  ModelConfig config;
+  config.catalog_size = 1000000;
+  config.materialize_embeddings = false;
+  auto model = CreateModel(ModelKind::kGru4Rec, config);
+  ASSERT_TRUE(model.ok());
+  const sim::InferenceWork exact =
+      (*model)->CostModel(ExecutionMode::kJit, 3);
+
+  ann::RetrievalConfig retrieval;
+  retrieval.backend = ann::RetrievalBackend::kIvfPq;
+  retrieval.nprobe = 8;
+  ASSERT_TRUE((*model)->ConfigureRetrieval(retrieval).ok());
+  // Cost-only model: no index is built...
+  EXPECT_EQ((*model)->retriever(), nullptr);
+  // ...but the scan cost reflects the backend: far below the full scan,
+  // and the encode side is untouched.
+  const sim::InferenceWork approx =
+      (*model)->CostModel(ExecutionMode::kJit, 3);
+  EXPECT_LT(approx.scan_bytes, 0.1 * exact.scan_bytes);
+  EXPECT_LT(approx.scan_flops, 0.1 * exact.scan_flops);
+  EXPECT_DOUBLE_EQ(approx.encode_flops, exact.encode_flops);
+  EXPECT_DOUBLE_EQ(approx.encode_bytes, exact.encode_bytes);
+}
+
+}  // namespace
+}  // namespace etude::models

@@ -147,7 +147,7 @@ TEST(SimulationTest, PostExternalFromAnotherThreadIsPickedUp) {
     if (injected) {
       sim.Stop();
     } else {
-      sim.Schedule(sim.now_us() + 10, tick);
+      sim.Schedule(10, tick);  // Schedule takes a delay, not a deadline
     }
   };
   sim.Schedule(0, tick);

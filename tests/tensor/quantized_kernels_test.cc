@@ -1,0 +1,224 @@
+// Exactness tests for the fused int8 MIPS path. Unlike the fp32 kernels
+// (1e-5 relative agreement), the int8 kernel admits *bit* assertions:
+// the dot products are integer arithmetic — exact on every ISA — and the
+// rescale is the same two-multiply float expression in the AVX2 and
+// portable paths, so the dispatched kernel must match a naive reference
+// score-for-score, not just index-for-index.
+
+#include "tensor/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+
+namespace etude::tensor {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(NumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Random int8 codes in the kernel's documented [-127, 127] domain,
+/// laid out with the padded row stride (padding bytes zero).
+struct QuantizedFixture {
+  int64_t rows = 0, d = 0, stride = 0;
+  std::vector<int8_t> items;
+  std::vector<float> scales;
+  std::vector<int8_t> query;
+  float query_scale = 0;
+};
+
+QuantizedFixture MakeFixture(int64_t rows, int64_t d, uint64_t seed) {
+  Rng rng(seed);
+  QuantizedFixture f;
+  f.rows = rows;
+  f.d = d;
+  f.stride = kernels::QuantizedRowStride(d);
+  f.items.assign(static_cast<size_t>(rows * f.stride), 0);
+  f.scales.resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < d; ++j) {
+      f.items[static_cast<size_t>(r * f.stride + j)] = static_cast<int8_t>(
+          static_cast<int64_t>(rng.NextBounded(255)) - 127);
+    }
+    f.scales[static_cast<size_t>(r)] =
+        0.001f + static_cast<float>(rng.NextDouble());
+  }
+  f.query.assign(static_cast<size_t>(f.stride), 0);
+  for (int64_t j = 0; j < d; ++j) {
+    f.query[static_cast<size_t>(j)] = static_cast<int8_t>(
+        static_cast<int64_t>(rng.NextBounded(255)) - 127);
+  }
+  f.query_scale = 0.001f + static_cast<float>(rng.NextDouble());
+  return f;
+}
+
+/// Reference semantics: exact int32 dot, then the kernel's documented
+/// rescale expression (two float multiplies, no FMA).
+TopKResult NaiveTopK(const QuantizedFixture& f, int64_t k) {
+  std::vector<std::pair<float, int64_t>> scored;
+  for (int64_t r = 0; r < f.rows; ++r) {
+    int32_t acc = 0;
+    for (int64_t j = 0; j < f.d; ++j) {
+      acc += static_cast<int32_t>(f.items[static_cast<size_t>(
+                 r * f.stride + j)]) *
+             static_cast<int32_t>(f.query[static_cast<size_t>(j)]);
+    }
+    scored.emplace_back(static_cast<float>(acc) *
+                            f.scales[static_cast<size_t>(r)] * f.query_scale,
+                        r);
+  }
+  return FinishTopK(scored, k);
+}
+
+TopKResult KernelTopK(const QuantizedFixture& f, int64_t k) {
+  std::vector<kernels::ScoredIndex> heap;
+  kernels::QuantizedMipsScanKernel(f.items.data(), f.stride, f.scales.data(),
+                                   f.query.data(), f.query_scale, f.d, 0,
+                                   f.rows, k, heap);
+  return FinishTopK(heap, k);
+}
+
+TEST(QuantizedKernelsTest, MatchesNaiveBitwiseAcrossOddShapes) {
+  uint64_t seed = 11;
+  for (const int64_t d : {1, 3, 17, 31, 32, 33, 63, 64, 65, 100, 129}) {
+    for (const int64_t rows : {1, 2, 7, 8, 9, 33, 100, 257}) {
+      const QuantizedFixture f = MakeFixture(rows, d, ++seed);
+      const int64_t k = std::min<int64_t>(rows, 5);
+      const TopKResult expected = NaiveTopK(f, k);
+      const TopKResult got = KernelTopK(f, k);
+      ASSERT_EQ(got.indices.size(), expected.indices.size())
+          << "rows=" << rows << " d=" << d;
+      for (size_t i = 0; i < expected.indices.size(); ++i) {
+        EXPECT_EQ(got.indices[i], expected.indices[i])
+            << "rows=" << rows << " d=" << d << " rank " << i;
+        // Bit agreement, not tolerance.
+        EXPECT_EQ(got.scores[i], expected.scores[i])
+            << "rows=" << rows << " d=" << d << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizedKernelsTest, PartialRangesComposeToFullScan) {
+  const QuantizedFixture f = MakeFixture(1000, 37, 99);
+  const TopKResult full = KernelTopK(f, 21);
+  // Scanning in two disjoint ranges through one shared heap must find
+  // the same winners (this is how the parallel merge and the IVF int8
+  // list scan drive the kernel).
+  std::vector<kernels::ScoredIndex> heap;
+  kernels::QuantizedMipsScanKernel(f.items.data(), f.stride, f.scales.data(),
+                                   f.query.data(), f.query_scale, f.d, 0, 400,
+                                   21, heap);
+  kernels::QuantizedMipsScanKernel(f.items.data(), f.stride, f.scales.data(),
+                                   f.query.data(), f.query_scale, f.d, 400,
+                                   1000, 21, heap);
+  const TopKResult split = FinishTopK(heap, 21);
+  EXPECT_EQ(split.indices, full.indices);
+  EXPECT_EQ(split.scores, full.scores);
+}
+
+TEST(QuantizedKernelsTest, QueryQuantizationPadsAndClamps) {
+  std::vector<float> query = {1.0f, -300.0f, 0.5f};
+  std::vector<int8_t> out;
+  const float scale = QuantizeQueryInt8(query.data(), 3, out);
+  ASSERT_EQ(out.size(),
+            static_cast<size_t>(kernels::QuantizedRowStride(3)));
+  EXPECT_FLOAT_EQ(scale, 300.0f / 127.0f);
+  EXPECT_EQ(out[1], -127);  // extreme value maps to the clamp boundary
+  for (size_t j = 3; j < out.size(); ++j) EXPECT_EQ(out[j], 0);
+
+  // All-zero query: guarded scale, all-zero codes.
+  std::vector<float> zero(5, 0.0f);
+  const float zero_scale = QuantizeQueryInt8(zero.data(), 5, out);
+  EXPECT_GT(zero_scale, 0.0f);
+  for (const int8_t v : out) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantizedMipsTest, AgreesAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(21);
+  // Large enough that the parallel path splits into several ranges.
+  const Tensor items = RandomNormal({30000, 19}, 1.0f, &rng);
+  const Tensor query = RandomNormal({19}, 1.0f, &rng);
+  const QuantizedMatrix quantized = QuantizedMatrix::FromTensor(items);
+  SetNumThreads(1);
+  const TopKResult serial = quantized.Mips(query, 21);
+  for (const int threads : {2, 5, 8}) {
+    SetNumThreads(threads);
+    const TopKResult parallel = quantized.Mips(query, 21);
+    ASSERT_EQ(parallel.indices.size(), serial.indices.size());
+    EXPECT_EQ(parallel.indices, serial.indices) << threads << " threads";
+    EXPECT_EQ(parallel.scores, serial.scores) << threads << " threads";
+  }
+}
+
+TEST(QuantizedMipsTest, LosslessInputsGiveFullRecall) {
+  // Rows built on an exact int8 grid with power-of-two scales: the
+  // quantiser reconstructs them bit-exactly, every dot product is exactly
+  // representable, and recall@k against the fp32 scan must be 1.0 — not
+  // merely close.
+  Rng rng(31);
+  const int64_t c = 4000, d = 32;
+  Tensor items({c, d});
+  for (int64_t i = 0; i < c; ++i) {
+    items.data()[i * d] = (i % 2 == 0 ? 127 : -127) * 0.0078125f;  // 2^-7
+    for (int64_t j = 1; j < d; ++j) {
+      items.data()[i * d + j] =
+          static_cast<float>(static_cast<int64_t>(rng.NextBounded(255)) -
+                             127) *
+          0.0078125f;
+    }
+  }
+  Tensor query({d});
+  query.data()[0] = 127 * 0.0078125f;
+  for (int64_t j = 1; j < d; ++j) {
+    query.data()[j] = static_cast<float>(
+                          static_cast<int64_t>(rng.NextBounded(255)) - 127) *
+                      0.0078125f;
+  }
+  const QuantizedMatrix quantized = QuantizedMatrix::FromTensor(items);
+  const TopKResult exact = Mips(items, query, 21);
+  const TopKResult int8_result = quantized.Mips(query, 21);
+  EXPECT_DOUBLE_EQ(RecallAtK(exact, int8_result), 1.0);
+  // On lossless inputs the scores agree exactly, too.
+  for (size_t i = 0; i < exact.scores.size(); ++i) {
+    EXPECT_EQ(int8_result.scores[i], exact.scores[i]) << "rank " << i;
+  }
+}
+
+TEST(QuantizedMipsTest, AllZeroRowIsGuarded) {
+  Rng rng(41);
+  Tensor items = RandomNormal({64, 9}, 1.0f, &rng);
+  for (int64_t j = 0; j < 9; ++j) items.data()[5 * 9 + j] = 0.0f;
+  const QuantizedMatrix quantized = QuantizedMatrix::FromTensor(items);
+  const Tensor query = RandomNormal({9}, 1.0f, &rng);
+  const TopKResult result = quantized.Mips(query, 64);
+  ASSERT_EQ(result.indices.size(), 64u);
+  for (size_t i = 0; i < result.indices.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.scores[i])) << "rank " << i;
+    if (result.indices[i] == 5) {
+      EXPECT_EQ(result.scores[i], 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace etude::tensor

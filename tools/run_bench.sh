@@ -64,6 +64,7 @@ BINARIES=(
   bench_workload_gen
   bench_model_ops
   bench_ablation_ann
+  bench_pareto_retrieval
   bench_ablation_batching
   bench_nonneural_baseline
   bench_cloud_costs
