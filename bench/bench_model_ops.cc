@@ -139,6 +139,50 @@ BENCHMARK(BM_ExecPlan)
     ->Args({6, 1, 0})
     ->Args({6, 1, 1});
 
+// Batched serving: one RecommendBatch over B identical-length sessions,
+// executed under the compiled batched arena. The runtime counterpart of
+// the batched cost split — weight traffic amortizes across the batch,
+// the per-session scan does not — so per-session time falls with B in
+// the encode-bound regime. Small catalog keeps the encode phase
+// visible; same model trio as BM_ExecPlan (RNN / transformer / MLP).
+void BM_BatchedEncode(benchmark::State& state) {
+  const ModelKind kind = static_cast<ModelKind>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const etude::models::ExecOptions options{
+      etude::models::ExecutionMode::kJit,
+      etude::models::ExecPlanKind::kArena};
+  ModelConfig config;
+  config.catalog_size = 2000;
+  auto model = etude::models::CreateModel(kind, config);
+  etude::Rng rng(13);
+  std::vector<std::vector<int64_t>> sessions(
+      static_cast<size_t>(batch));
+  for (auto& session : sessions) {
+    for (int i = 0; i < 12; ++i) {
+      session.push_back(
+          static_cast<int64_t>(rng.NextBounded(2000)));
+    }
+  }
+  (void)model.value()->RecommendBatch(sessions, options);  // compile
+  for (auto _ : state) {
+    auto recs = model.value()->RecommendBatch(sessions, options);
+    benchmark::DoNotOptimize(recs);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(std::string(etude::models::ModelKindToString(kind)));
+}
+BENCHMARK(BM_BatchedEncode)
+    ->ArgNames({"model", "B"})
+    ->Args({0, 1})  // GRU4Rec
+    ->Args({0, 16})
+    ->Args({0, 64})
+    ->Args({6, 1})  // STAMP
+    ->Args({6, 16})
+    ->Args({6, 64})
+    ->Args({9, 1})  // SASRec
+    ->Args({9, 16})
+    ->Args({9, 64});
+
 // Hand-timed end-to-end forward-pass latency distribution (encode +
 // fused MIPS over the catalog) for one model. google-benchmark only
 // reports means; EXPERIMENTS.md quotes p50/p99, so this records every

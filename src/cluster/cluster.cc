@@ -87,6 +87,7 @@ Deployment::Deployment(sim::Simulation* sim,
     server_config.device = config_.device;
     server_config.mode = config_.mode;
     server_config.batching = config_.batching;
+    server_config.analytic_batching = config_.analytic_batching;
     server_config.seed = config_.seed + static_cast<uint64_t>(i) * 7919;
     pods_.push_back(std::make_unique<Pod>(sim, model, server_config,
                                           readiness_us));

@@ -25,6 +25,9 @@ struct DeploymentConfig {
   int replicas = 1;
   models::ExecutionMode mode = models::ExecutionMode::kJit;
   serving::BatchingConfig batching;
+  // Price batches with the batched plan polynomials on every pod and run
+  // batch formation on any device (see SimServerConfig::analytic_batching).
+  bool analytic_batching = false;
   bool session_affinity = false;  // k8s sessionAffinity: ClientIP
   // Pod scheduling + container start before the model download begins.
   int64_t pod_startup_us = 8LL * 1000 * 1000;

@@ -63,6 +63,12 @@ Result<BenchmarkReport> RunDeployedBenchmark(const BenchmarkSpec& spec) {
   deployment_config.replicas = spec.replicas;
   deployment_config.mode = spec.mode;
   deployment_config.seed = spec.seed;
+  if (spec.batch > 1) {
+    // Batched serving priced by the batched plan polynomials — the
+    // execution mode `etude lint-deploy` checks statically.
+    deployment_config.analytic_batching = true;
+    deployment_config.batching.max_batch_size = spec.batch;
+  }
   cluster::Deployment deployment(&sim, model.get(), deployment_config);
   sim.RunUntil(deployment.ReadyAtUs());
   ETUDE_CHECK(deployment.AllReady()) << "deployment failed to become ready";

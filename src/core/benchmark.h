@@ -24,6 +24,14 @@ struct BenchmarkSpec {
   sim::DeviceSpec device = sim::DeviceSpec::Cpu();
   int replicas = 1;
 
+  // Maximum request-batch size B. 1 (the default) serves requests
+  // individually on the CPU FIFO / legacy GPU path; > 1 turns on the
+  // analytic-batching execution mode: batch formation on any device,
+  // priced by the model's batched plan polynomials
+  // (SessionModel::BatchedCostModel) — the mode the static SLO linter
+  // (`etude lint-deploy`, core/slo_feasibility.h) reasons about.
+  int batch = 1;
+
   int64_t duration_s = 600;  // experiment length (ramp + hold)
   int64_t ramp_s = 0;        // 0 = ramp over the whole duration
   uint64_t seed = 42;

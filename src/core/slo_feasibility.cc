@@ -1,0 +1,169 @@
+#include "core/slo_feasibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace etude::core {
+
+namespace {
+
+constexpr double kLn10 = 2.302585092994046;  // p90 tail of an exp. wait
+constexpr double kZ90 = 1.2815515655446004;  // 90th pct of a standard normal
+
+/// Whole-batch service time of one executor, from the batched plan
+/// polynomials (batch > 1) or the plain per-request cost model
+/// (batch == 1, the unbatched FIFO path). Mirrors the DES's
+/// analytic-batching pricing exactly: framework overhead is paid once per
+/// dispatched batch.
+double ServiceUs(const models::SessionModel& model, const DeployPoint& point,
+                 int batch) {
+  const sim::InferenceWork work =
+      point.batch > 1
+          ? model.BatchedCostModel(point.mode, point.session_length, batch)
+          : model.CostModel(point.mode, point.session_length);
+  return sim::SerialInferenceUs(point.device, work) +
+         point.framework_overhead_us;
+}
+
+int ClampBatch(double batch, int cap) {
+  const int rounded = static_cast<int>(std::lround(batch));
+  return std::min(cap, std::max(1, rounded));
+}
+
+}  // namespace
+
+std::string FeasibilityVerdict::Summary() const {
+  std::string out = feasible ? "feasible" : "INFEASIBLE";
+  out += ": rho=" + FormatDouble(utilization, 2);
+  out += " p90~" + FormatDouble(p90_estimate_us / 1000.0, 2) + "ms";
+  out += " (form " + FormatDouble(form_wait_us / 1000.0, 2);
+  out += " + queue " + FormatDouble(queue_wait_us / 1000.0, 2);
+  out += " + service " + FormatDouble(service_us / 1000.0, 2);
+  out += " ms, B*=" + FormatDouble(batch_eff, 1) + ")";
+  if (!counterexample.empty()) out += " — " + counterexample;
+  return out;
+}
+
+FeasibilityVerdict CheckSloFeasibility(const models::SessionModel& model,
+                                       const DeployPoint& point) {
+  FeasibilityVerdict verdict;
+  const int cap = std::max(1, point.batch);
+  const int replicas = std::max(1, point.replicas);
+  const double executors =
+      point.device.is_gpu() && point.device.supports_batching
+          ? 1.0
+          : static_cast<double>(std::max(1, point.device.worker_slots));
+  // Round-robin load balancing splits arrivals evenly across replicas;
+  // all waits below are per-server.
+  const double lambda = point.lambda_rps / 1e6 / replicas;  // req/us
+
+  // Steady-state batch size. The load generator paces requests evenly
+  // within each tick, so a flush window holds lambda * flush arrivals —
+  // below one per window, batches never coalesce and stay at size 1
+  // (unlike Poisson arrivals, there is no 1 + lambda*flush burst term).
+  // As executors saturate the batch grows to the arrivals of one service
+  // time per executor, capped at the configured maximum. The fixed point
+  // converges because ServiceUs is monotone in the batch size.
+  double batch_eff = 1.0;
+  if (cap > 1) {
+    batch_eff = std::min<double>(
+        cap, std::max(1.0, lambda * point.flush_interval_us));
+    for (int iter = 0; iter < 32; ++iter) {
+      const double service =
+          ServiceUs(model, point, ClampBatch(batch_eff, cap));
+      const double backlog = lambda * service / executors;
+      const double next = std::min<double>(
+          cap, std::max({1.0, lambda * point.flush_interval_us, backlog}));
+      if (std::abs(next - batch_eff) < 1e-6) break;
+      batch_eff = next;
+    }
+  }
+  verdict.batch_eff = batch_eff;
+  verdict.service_us = ServiceUs(model, point, ClampBatch(batch_eff, cap));
+
+  // Capacity: even at the batch cap, the executors must process requests
+  // at least as fast as they arrive.
+  const double service_at_cap = ServiceUs(model, point, cap);
+  const double rho_at_cap = lambda * service_at_cap / (executors * cap);
+  verdict.utilization =
+      lambda * verdict.service_us / (executors * batch_eff);
+  if (rho_at_cap >= 1.0 || verdict.utilization >= 1.0) {
+    const double rho = std::max(rho_at_cap, verdict.utilization);
+    verdict.feasible = false;
+    verdict.utilization = rho;
+    verdict.p90_estimate_us =
+        std::numeric_limits<double>::infinity();
+    verdict.counterexample =
+        "capacity: lambda=" + FormatDouble(point.lambda_rps, 0) +
+        "/s needs utilization " + FormatDouble(rho, 2) +
+        " >= 1 even at the batch cap (S(" + std::to_string(cap) + ")=" +
+        FormatDouble(service_at_cap / 1000.0, 2) + "ms across " +
+        FormatDouble(executors, 0) + " executor(s) x " +
+        std::to_string(replicas) + " replica(s))";
+    return verdict;
+  }
+
+  // Batch-formation wait. Until the forming buffer can fill to the cap
+  // within one flush window, the flush timer always expires, so the head
+  // request of each batch waits the full interval; past the fill point
+  // the batch dispatches as soon as `cap` arrivals accumulate. Unbatched
+  // serving has no formation stage.
+  verdict.form_wait_us =
+      cap > 1 ? std::min(point.flush_interval_us,
+                         (cap - 1.0) / std::max(lambda, 1e-12))
+              : 0.0;
+
+  // Queueing delay of batch jobs on `executors` parallel servers
+  // (Allen-Cunneen G/G/c approximation). Batching smooths arrivals:
+  // scv 1/batch_eff upper-bounds the paced generator's near-
+  // deterministic interarrivals; service scv comes from the lognormal
+  // jitter.
+  const double rho = verdict.utilization;
+  const double ca2 = 1.0 / batch_eff;
+  const double cs2 = std::exp(point.jitter_sigma * point.jitter_sigma) - 1.0;
+  const double p_wait = std::pow(rho, std::sqrt(2.0 * (executors + 1.0)));
+  verdict.queue_wait_us = (verdict.service_us / executors) *
+                          (p_wait / (1.0 - rho)) * (ca2 + cs2) / 2.0;
+
+  // p90: the exponential-tailed queue wait scales by ln(10); the service
+  // time by the lognormal jitter's 90th percentile.
+  verdict.p90_estimate_us =
+      verdict.form_wait_us + verdict.queue_wait_us * kLn10 +
+      verdict.service_us * std::exp(kZ90 * point.jitter_sigma);
+
+  const double slo_us = point.slo_p90_ms * 1000.0;
+  verdict.feasible = verdict.p90_estimate_us <= slo_us;
+  if (!verdict.feasible) {
+    verdict.counterexample =
+        "latency: p90 estimate " +
+        FormatDouble(verdict.p90_estimate_us / 1000.0, 2) + "ms > SLO " +
+        FormatDouble(point.slo_p90_ms, 2) + "ms at lambda=" +
+        FormatDouble(point.lambda_rps, 0) + "/s (form " +
+        FormatDouble(verdict.form_wait_us / 1000.0, 2) + " + queue " +
+        FormatDouble(verdict.queue_wait_us * kLn10 / 1000.0, 2) +
+        " + service " +
+        FormatDouble(verdict.service_us *
+                         std::exp(kZ90 * point.jitter_sigma) / 1000.0,
+                     2) +
+        " ms, B*=" + FormatDouble(batch_eff, 1) + ")";
+  }
+  return verdict;
+}
+
+std::vector<std::pair<int, FeasibilityVerdict>> SloFeasibilityFrontier(
+    const models::SessionModel& model, const DeployPoint& point,
+    const std::vector<int>& batches) {
+  std::vector<std::pair<int, FeasibilityVerdict>> frontier;
+  frontier.reserve(batches.size());
+  for (const int batch : batches) {
+    DeployPoint candidate = point;
+    candidate.batch = batch;
+    frontier.emplace_back(batch, CheckSloFeasibility(model, candidate));
+  }
+  return frontier;
+}
+
+}  // namespace etude::core

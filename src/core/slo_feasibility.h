@@ -1,0 +1,81 @@
+#ifndef ETUDE_CORE_SLO_FEASIBILITY_H_
+#define ETUDE_CORE_SLO_FEASIBILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/session_model.h"
+#include "sim/device.h"
+
+namespace etude::core {
+
+/// Static SLO-feasibility analysis: decide — without running a simulation
+/// — whether a deployment can hold its p90 latency objective at a given
+/// arrival rate, from the model's *batched* plan polynomials
+/// (tensor/plan_analysis.h AnalyzeBatchedCost via
+/// SessionModel::BatchedCostModel) plus a queueing-delay bound.
+///
+/// The analysis mirrors the DES's analytic-batching execution mode
+/// (serving::SimServerConfig::analytic_batching) term for term, so a
+/// "feasible" verdict means the simulated p90 holds the SLO and an
+/// "infeasible" verdict comes with a concrete counterexample line naming
+/// the term that breaks (capacity or latency).
+
+/// One candidate deployment point the linter evaluates.
+struct DeployPoint {
+  models::ExecutionMode mode = models::ExecutionMode::kJit;
+  sim::DeviceSpec device = sim::DeviceSpec::Cpu();
+  int replicas = 1;
+  /// Maximum batch size B. 1 = unbatched per-request serving (the CPU
+  /// FIFO path); > 1 = batch formation with this cap.
+  int batch = 1;
+  /// Session length every batch is padded to (the workload's maximum).
+  int64_t session_length = 50;
+  double lambda_rps = 100;  // offered arrival rate, requests/s
+  double slo_p90_ms = 50;   // the latency objective to check
+
+  // Server constants, mirrored from serving::SimServerConfig.
+  double flush_interval_us = 2000;
+  double framework_overhead_us = 150.0;
+  double jitter_sigma = 0.08;
+};
+
+/// The verdict for one DeployPoint, with the analytic terms that produced
+/// it (all microseconds unless noted).
+struct FeasibilityVerdict {
+  bool feasible = false;
+  /// Steady-state batch size the formation loop converges to: requests
+  /// gathered per flush interval under light load, growing towards the
+  /// cap as executors saturate.
+  double batch_eff = 1;
+  double service_us = 0;     // S(batch_eff): one batch on one executor
+  double utilization = 0;    // rho = lambda * S / (c * batch_eff)
+  double form_wait_us = 0;   // batch-formation wait
+  double queue_wait_us = 0;  // mean queueing delay (Allen-Cunneen M/G/c)
+  double p90_estimate_us = 0;
+  /// Human-readable witness of the violated constraint; empty when
+  /// feasible.
+  std::string counterexample;
+
+  /// One line: verdict, utilization, p90 estimate and the wait terms.
+  std::string Summary() const;
+};
+
+/// Evaluates one deployment point against the model's batched cost
+/// polynomials. Pure arithmetic — no simulation is run.
+FeasibilityVerdict CheckSloFeasibility(const models::SessionModel& model,
+                                       const DeployPoint& point);
+
+/// The feasibility frontier over batch sizes: `point` re-evaluated at
+/// every B in `batches` (point.batch is ignored). The frontier exposes
+/// which SLO violations batching can amortise away (weight-traffic-bound
+/// encoders) and which it cannot (per-query catalog scans).
+std::vector<std::pair<int, FeasibilityVerdict>> SloFeasibilityFrontier(
+    const models::SessionModel& model, const DeployPoint& point,
+    const std::vector<int>& batches);
+
+}  // namespace etude::core
+
+#endif  // ETUDE_CORE_SLO_FEASIBILITY_H_

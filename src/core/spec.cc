@@ -66,6 +66,10 @@ Result<BenchmarkSpec> ParseBenchmarkSpec(std::string_view json_text) {
   if (spec.replicas < 1) {
     return Status::InvalidArgument("replicas must be >= 1");
   }
+  spec.batch = static_cast<int>(root.GetIntOr("batch", 1));
+  if (spec.batch < 1 || spec.batch > 4096) {
+    return Status::InvalidArgument("batch must be in [1, 4096]");
+  }
   spec.duration_s = root.GetIntOr("duration_s", spec.duration_s);
   spec.ramp_s = root.GetIntOr("ramp_s", spec.ramp_s);
   spec.seed = static_cast<uint64_t>(root.GetIntOr("seed", 42));

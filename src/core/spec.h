@@ -24,6 +24,7 @@ namespace etude::core {
 ///   "mode": "jit",
 ///   "device": "gpu-t4",
 ///   "replicas": 1,
+///   "batch": 16,
 ///   "duration_s": 600,
 ///   "retrieval": { "backend": "ivf-pq", "nprobe": 16, "rerank": 128 }
 /// }
@@ -31,6 +32,10 @@ namespace etude::core {
 /// "retrieval" (optional; default exact) selects the catalog-scan backend
 /// — a bare string ("int8") or an object with backend / nlist / nprobe /
 /// rerank / pq_m / int8_lists knobs (see ann/retriever.h).
+///
+/// "batch" (optional; default 1) sets the maximum request-batch size; a
+/// value > 1 runs the deployment in the analytic-batching mode the
+/// `etude lint-deploy` linter reasons about (see core/benchmark.h).
 ///
 /// Unknown models/devices and malformed values yield descriptive errors.
 Result<BenchmarkSpec> ParseBenchmarkSpec(std::string_view json_text);

@@ -42,6 +42,29 @@ JsonValue ModeReport(const SessionModel& model, ExecutionMode mode) {
            JsonValue(static_cast<int64_t>(exec.fusion_groups.size())));
   cell.Set("cse_duplicates",
            JsonValue(static_cast<int64_t>(exec.cse.size())));
+  // Batched columns (schema 3): the batched-encode plan's cost split —
+  // which traffic amortizes across a batch (weight streaming) and which
+  // scales per session (the MIPS scan) — plus the compiled batched arena
+  // at the reference batch size B = 16.
+  const tensor::PlanGraph batched = model.BuildBatchedPlan(mode);
+  const tensor::BatchedCostSummary batched_cost =
+      tensor::AnalyzeBatchedCost(batched);
+  cell.Set("batched_flops_poly",
+           JsonValue(batched_cost.total_flops.ToString()));
+  cell.Set("batched_amortized_traffic_poly",
+           JsonValue(batched_cost.amortized_bytes.ToString()));
+  cell.Set("batched_marginal_traffic_poly",
+           JsonValue((batched_cost.marginal_encode_bytes +
+                      batched_cost.marginal_score_bytes)
+                         .ToString()));
+  tensor::Bindings batched_bindings = bindings;
+  batched_bindings["B"] = 16.0;
+  const tensor::ExecutionPlan batched_exec =
+      tensor::CompileExecutionPlan(batched, batched_bindings);
+  cell.Set("batched_arena_bytes_b16",
+           JsonValue(batched_exec.arena.arena_bytes));
+  cell.Set("batched_arena_bound_poly",
+           JsonValue(batched_exec.arena_bound_poly.ToString()));
   JsonValue diags = JsonValue::MakeArray();
   for (const tensor::PlanDiagnostic& diag : tensor::AnalyzePlan(plan)) {
     diags.Append(JsonValue(diag.ToString()));
@@ -65,9 +88,11 @@ ModelConfig PlanReportConfig() {
 JsonValue PlanReportJson() {
   const ModelConfig config = PlanReportConfig();
   JsonValue root = JsonValue::MakeObject();
-  // Schema 2: adds the execution-plan columns (arena_bytes,
-  // arena_bound_poly, fusion_groups, cse_duplicates) per mode cell.
-  root.Set("schema", JsonValue(static_cast<int64_t>(2)));
+  // Schema 3: adds the batched columns (batched_flops_poly, the
+  // amortized/marginal traffic split, and the compiled B=16 arena) per
+  // mode cell. Schema 2 added the execution-plan columns (arena_bytes,
+  // arena_bound_poly, fusion_groups, cse_duplicates).
+  root.Set("schema", JsonValue(static_cast<int64_t>(3)));
 
   JsonValue ref = JsonValue::MakeObject();
   ref.Set("catalog_size", JsonValue(config.catalog_size));
@@ -133,6 +158,13 @@ std::string PlanReportText() {
   for (const auto& [name, entry] : report.Get("models").members()) {
     const JsonValue& cell = entry.Get("modes").Get("eager");
     out += "  " + name + ": " + cell.GetStringOr("flops_poly", "") + "\n";
+  }
+  out += "\nbatched traffic split (amortized | per-session):\n";
+  for (const auto& [name, entry] : report.Get("models").members()) {
+    const JsonValue& cell = entry.Get("modes").Get("eager");
+    out += "  " + name + ": " +
+           cell.GetStringOr("batched_amortized_traffic_poly", "") + " | " +
+           cell.GetStringOr("batched_marginal_traffic_poly", "") + "\n";
   }
   out += "\ndiagnostics:\n";
   bool any = false;

@@ -1,7 +1,6 @@
 #include "models/repeat_net.h"
 
 #include <cmath>
-#include <optional>
 
 #include "tensor/arena.h"
 #include "tensor/init.h"
@@ -49,25 +48,11 @@ Tensor RepeatNet::EncodeSession(const std::vector<int64_t>& session) const {
   return explore_head_.ForwardVector(tensor::Concat(last, context));
 }
 
-Result<Recommendation> RepeatNet::Recommend(
-    const std::vector<int64_t>& session, const ExecOptions& options) const {
-  if (!config_.materialize_embeddings) {
-    return Status::FailedPrecondition(
-        "model was created cost-only (materialize_embeddings = false)");
-  }
-  ETUDE_RETURN_NOT_OK(ValidateSession(session, config_));
-  std::vector<int64_t> window = session;
-  if (static_cast<int64_t>(window.size()) > config_.max_session_length) {
-    window.assign(window.end() - config_.max_session_length, window.end());
-  }
+Result<Recommendation> RepeatNet::RecommendBody(
+    const std::vector<int64_t>& window) const {
   const int64_t l = static_cast<int64_t>(window.size());
   const int64_t c = config_.catalog_size;
-
-  const tensor::ExecutionPlan* plan = PlanFor(options, window);
-  const bool jit = EffectiveMode(options) == ExecutionMode::kJit;
-  const tensor::exec::ScopedJitDispatch dispatch(jit);
-  std::optional<tensor::exec::ScopedArena> arena;
-  if (plan != nullptr) arena.emplace(&plan->arena);
+  const bool jit = tensor::exec::JitDispatchEnabled();
 
   const Tensor embedded = tensor::Embedding(item_embeddings_, window);
   const Tensor states = gru_.RunSequence(embedded);
@@ -167,11 +152,11 @@ tensor::SymTensor RepeatNet::TraceEncode(tensor::ShapeChecker& checker,
                             sym::d() * 2, sym::d(), /*bias=*/false);
 }
 
-void RepeatNet::TraceRecommend(tensor::ShapeChecker& checker,
-                               ExecutionMode mode) const {
+tensor::SymTensor RepeatNet::TraceRecommendBody(tensor::ShapeChecker& checker,
+                                                ExecutionMode mode) const {
   namespace sym = tensor::sym;
   const bool fused = mode == ExecutionMode::kJit;
-  // Recommend's locals all live until the function returns.
+  // RecommendBody's locals all live until the function returns.
   checker.BeginEncodePhase();
   checker.PushScope();
   checker.SetContext(std::string(name()) + " encoder");
@@ -247,7 +232,7 @@ void RepeatNet::TraceRecommend(tensor::ShapeChecker& checker,
   checker.SetContext(std::string(name()) + " scoring output");
   checker.Require(scores, {tensor::sym::k()},
                   "scoring must produce a [k] recommendation list");
-  checker.MarkOutput(scores);
+  return scores;
 }
 
 int64_t RepeatNet::OpCount(int64_t l) const {

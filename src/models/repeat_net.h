@@ -19,8 +19,8 @@ namespace etude::models {
 /// (paper, Sec. III-C): the repeat distribution, which has at most l
 /// non-zero entries, is materialised as a *dense* catalog-sized vector via
 /// a one-hot [l, C] matrix multiplication, and the explore distribution is
-/// a dense softmax over all C scores. Recommend() is overridden to execute
-/// exactly this mixture.
+/// a dense softmax over all C scores. RecommendBody() is overridden to
+/// execute exactly this mixture.
 class RepeatNet final : public SessionModel {
  public:
   explicit RepeatNet(const ModelConfig& config);
@@ -32,22 +32,24 @@ class RepeatNet final : public SessionModel {
   /// retrieval shortlist cannot replace its scoring tail.
   bool supports_retrieval() const override { return false; }
 
-  using SessionModel::Recommend;
-  Result<Recommendation> Recommend(const std::vector<int64_t>& session,
-                                   const ExecOptions& options) const override;
-
   /// The explore-decoder query (used when RepeatNet is driven through the
   /// generic encode-then-MIPS path, e.g. in shape tests).
   tensor::Tensor EncodeSession(
       const std::vector<int64_t>& session) const override;
 
  protected:
-  /// Replays Recommend's overridden op sequence end to end: the GRU
-  /// encoder feeds the mode gate and both decoders without re-encoding,
-  /// and the scoring phase is the dense repeat/explore mixture — including
-  /// the one-hot [L, C] expansion bug — instead of the generic MIPS tail.
-  void TraceRecommend(tensor::ShapeChecker& checker,
-                      ExecutionMode mode) const override;
+  /// The repeat/explore mixture, executed end to end on an already
+  /// truncated window (the base Recommend/RecommendBatch set up
+  /// validation, dispatch mode and the arena): the GRU encoder feeds the
+  /// mode gate and both decoders without re-encoding, and the scoring
+  /// tail is the dense mixture — including the one-hot [L, C] expansion
+  /// bug — instead of the generic MIPS.
+  Result<Recommendation> RecommendBody(
+      const std::vector<int64_t>& window) const override;
+
+  /// Symbolic replay of RecommendBody's op sequence end to end.
+  tensor::SymTensor TraceRecommendBody(tensor::ShapeChecker& checker,
+                                       ExecutionMode mode) const override;
   tensor::SymTensor TraceEncode(tensor::ShapeChecker& checker,
                                 ExecutionMode mode) const override;
   int64_t OpCount(int64_t l) const override;

@@ -127,6 +127,21 @@ const tensor::ExecutionPlan* SessionModel::PlanFor(
                        UniqueItems(window));
 }
 
+Result<Recommendation> SessionModel::RecommendBody(
+    const std::vector<int64_t>& window) const {
+  const tensor::Tensor query = EncodeSession(window);
+  ETUDE_CHECK(query.rank() == 1 && query.dim(0) == config_.embedding_dim)
+      << "EncodeSession must return a [d] vector";
+  const tensor::TopKResult top =
+      retriever_.has_value()
+          ? retriever_->Retrieve(query, config_.top_k)
+          : tensor::Mips(item_embeddings_, query, config_.top_k);
+  Recommendation rec;
+  rec.items = top.indices;
+  rec.scores = top.scores;
+  return rec;
+}
+
 Result<Recommendation> SessionModel::Recommend(
     const std::vector<int64_t>& session, const ExecOptions& options) const {
   if (!config_.materialize_embeddings) {
@@ -147,17 +162,71 @@ Result<Recommendation> SessionModel::Recommend(
       EffectiveMode(options) == ExecutionMode::kJit);
   std::optional<tensor::exec::ScopedArena> arena;
   if (plan != nullptr) arena.emplace(&plan->arena);
-  const tensor::Tensor query = EncodeSession(window);
-  ETUDE_CHECK(query.rank() == 1 && query.dim(0) == config_.embedding_dim)
-      << "EncodeSession must return a [d] vector";
-  const tensor::TopKResult top =
-      retriever_.has_value()
-          ? retriever_->Retrieve(query, config_.top_k)
-          : tensor::Mips(item_embeddings_, query, config_.top_k);
-  Recommendation rec;
-  rec.items = top.indices;
-  rec.scores = top.scores;
-  return rec;
+  return RecommendBody(window);
+}
+
+Result<std::vector<Recommendation>> SessionModel::RecommendBatch(
+    const std::vector<std::vector<int64_t>>& sessions,
+    const ExecOptions& options) const {
+  if (!config_.materialize_embeddings) {
+    return Status::FailedPrecondition(
+        "model was created cost-only (materialize_embeddings = false)");
+  }
+  if (sessions.empty()) {
+    return Status::InvalidArgument("batch must contain at least one session");
+  }
+  std::vector<std::vector<int64_t>> windows(sessions.size());
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    ETUDE_RETURN_NOT_OK(ValidateSession(sessions[i], config_));
+    windows[i] = sessions[i];
+    if (static_cast<int64_t>(windows[i].size()) > config_.max_session_length) {
+      windows[i].assign(windows[i].end() - config_.max_session_length,
+                        windows[i].end());
+    }
+  }
+  // Sessions sharing a compiled-plan shape key (length, unique items)
+  // execute under one batched plan; the plan is specialised on both.
+  std::map<std::pair<int64_t, int64_t>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    groups[{static_cast<int64_t>(windows[i].size()), UniqueItems(windows[i])}]
+        .push_back(i);
+  }
+  std::vector<Recommendation> out(sessions.size());
+  for (const auto& [shape, members] : groups) {
+    const int64_t l = shape.first;
+    const int64_t b = static_cast<int64_t>(members.size());
+    const tensor::ExecutionPlan* plan =
+        options.plan == ExecPlanKind::kArena
+            ? &CompiledBatchedPlan(EffectiveMode(options), l, shape.second, b)
+            : nullptr;
+    const tensor::exec::ScopedJitDispatch dispatch(
+        EffectiveMode(options) == ExecutionMode::kJit);
+    std::optional<tensor::exec::ScopedArena> arena;
+    if (plan != nullptr) arena.emplace(&plan->arena);
+    // Mirrors the batched plan's boundary nodes exactly: the [B, L]
+    // padded-id matrix is the first allocation, then each session's body
+    // runs as one batch-loop iteration, then the per-session scores are
+    // gathered into the [B, k] response.
+    tensor::Tensor batch_ids({b, l});
+    for (size_t s = 0; s < members.size(); ++s) {
+      for (int64_t j = 0; j < l; ++j) {
+        batch_ids.at(static_cast<int64_t>(s), j) =
+            static_cast<float>(windows[members[s]][j]);
+      }
+    }
+    for (const size_t member : members) {
+      ETUDE_ASSIGN_OR_RETURN(out[member], RecommendBody(windows[member]));
+    }
+    tensor::Tensor batch_scores({b, config_.top_k});
+    for (size_t s = 0; s < members.size(); ++s) {
+      const std::vector<float>& scores = out[members[s]].scores;
+      for (size_t j = 0; j < scores.size(); ++j) {
+        batch_scores.at(static_cast<int64_t>(s),
+                        static_cast<int64_t>(j)) = scores[j];
+      }
+    }
+  }
+  return out;
 }
 
 Status SessionModel::ConfigureRetrieval(const ann::RetrievalConfig& config) {
@@ -192,8 +261,8 @@ tensor::SymTensor SessionModel::TraceScoring(
   return checker.Mips(table, encoded, tensor::sym::k());
 }
 
-void SessionModel::TraceRecommend(tensor::ShapeChecker& checker,
-                                  ExecutionMode mode) const {
+tensor::SymTensor SessionModel::TraceRecommendBody(
+    tensor::ShapeChecker& checker, ExecutionMode mode) const {
   checker.BeginEncodePhase();
   checker.PushScope();  // EncodeSession body
   checker.SetContext(std::string(name()) + " encoder");
@@ -208,7 +277,32 @@ void SessionModel::TraceRecommend(tensor::ShapeChecker& checker,
   checker.SetContext(std::string(name()) + " scoring output");
   checker.Require(scores, {tensor::sym::k()},
                   "scoring must produce a [k] recommendation list");
-  checker.MarkOutput(scores);
+  return scores;
+}
+
+void SessionModel::TraceRecommend(tensor::ShapeChecker& checker,
+                                  ExecutionMode mode) const {
+  checker.MarkOutput(TraceRecommendBody(checker, mode));
+}
+
+void SessionModel::TraceBatchedRecommend(tensor::ShapeChecker& checker,
+                                         ExecutionMode mode) const {
+  namespace sym = tensor::sym;
+  checker.BeginEncodePhase();
+  // Boundary: the padded [B, L] id matrix the batch loop reads.
+  checker.SetContext(std::string(name()) + " batch input");
+  const tensor::SymTensor batch_ids =
+      checker.Materialize("batched session ids", {sym::B(), sym::L()}, {});
+  checker.BeginBatch(sym::B());
+  const tensor::SymTensor scores = TraceRecommendBody(checker, mode);
+  checker.EndBatch();
+  // Boundary: the per-session [k] results gathered into the [B, k]
+  // response (consuming the id matrix keeps the dataflow honest for the
+  // dead-op pass).
+  checker.SetContext(std::string(name()) + " batch output");
+  const tensor::SymTensor out = checker.Materialize(
+      "batched scores", {sym::B(), sym::k()}, {&scores, &batch_ids});
+  checker.MarkOutput(out);
 }
 
 Status SessionModel::CheckShapes(ExecutionMode mode) const {
@@ -233,6 +327,16 @@ tensor::PlanGraph SessionModel::BuildPlan(ExecutionMode mode) const {
   return checker.plan();
 }
 
+tensor::PlanGraph SessionModel::BuildBatchedPlan(ExecutionMode mode) const {
+  tensor::ShapeChecker checker;
+  TraceBatchedRecommend(checker, mode);
+  ETUDE_CHECK(checker.ok())
+      << "BuildBatchedPlan on a graph with shape violations for " << name()
+      << ":\n"
+      << checker.Report();
+  return checker.plan();
+}
+
 tensor::Bindings SessionModel::PlanBindings(int64_t session_length) const {
   const int64_t l = std::min(std::max<int64_t>(session_length, 1),
                              config_.max_session_length);
@@ -247,6 +351,8 @@ tensor::Bindings SessionModel::PlanBindings(int64_t session_length) const {
   bindings["lgk"] =
       std::log2(std::max(static_cast<double>(config_.top_k), 2.0));
   bindings["max_len"] = static_cast<double>(config_.max_session_length);
+  // Unbatched plans carry no B symbol; batched callers override this.
+  bindings["B"] = 1.0;
   AddPlanBindings(l, bindings);
   return bindings;
 }
@@ -256,8 +362,8 @@ const tensor::ExecutionPlan& SessionModel::CompiledPlan(
   const int64_t l = std::min(std::max<int64_t>(session_length, 1),
                              config_.max_session_length);
   const int64_t n = std::min(std::max<int64_t>(unique_items, 1), l);
-  const std::tuple<int, int64_t, int64_t> key(
-      mode == ExecutionMode::kJit ? 1 : 0, l, n);
+  const std::tuple<int, int64_t, int64_t, int64_t> key(
+      mode == ExecutionMode::kJit ? 1 : 0, l, n, 0);
   MutexLock lock(exec_plan_mutex_);
   std::unique_ptr<tensor::ExecutionPlan>& slot = exec_plans_[key];
   if (slot == nullptr) {
@@ -265,6 +371,27 @@ const tensor::ExecutionPlan& SessionModel::CompiledPlan(
     bindings["n"] = static_cast<double>(n);  // the true node count
     slot = std::make_unique<tensor::ExecutionPlan>(
         tensor::CompileExecutionPlan(BuildPlan(mode), bindings));
+  }
+  return *slot;
+}
+
+const tensor::ExecutionPlan& SessionModel::CompiledBatchedPlan(
+    ExecutionMode mode, int64_t session_length, int64_t unique_items,
+    int64_t batch) const {
+  const int64_t l = std::min(std::max<int64_t>(session_length, 1),
+                             config_.max_session_length);
+  const int64_t n = std::min(std::max<int64_t>(unique_items, 1), l);
+  const int64_t b = std::max<int64_t>(batch, 1);
+  const std::tuple<int, int64_t, int64_t, int64_t> key(
+      mode == ExecutionMode::kJit ? 1 : 0, l, n, b);
+  MutexLock lock(exec_plan_mutex_);
+  std::unique_ptr<tensor::ExecutionPlan>& slot = exec_plans_[key];
+  if (slot == nullptr) {
+    tensor::Bindings bindings = PlanBindings(l);
+    bindings["n"] = static_cast<double>(n);  // the true node count
+    bindings["B"] = static_cast<double>(b);
+    slot = std::make_unique<tensor::ExecutionPlan>(
+        tensor::CompileExecutionPlan(BuildBatchedPlan(mode), bindings));
   }
   return *slot;
 }
@@ -278,6 +405,36 @@ const tensor::CostSummary& SessionModel::PlanCost(ExecutionMode mode) const {
         std::make_unique<tensor::CostSummary>(tensor::AnalyzeCost(plan));
   }
   return *plan_cost_[idx];
+}
+
+const tensor::BatchedCostSummary& SessionModel::PlanBatchCost(
+    ExecutionMode mode) const {
+  const int idx = mode == ExecutionMode::kJit ? 1 : 0;
+  MutexLock lock(plan_cost_mutex_);
+  if (plan_batch_cost_[idx] == nullptr) {
+    const tensor::PlanGraph plan = BuildBatchedPlan(mode);
+    plan_batch_cost_[idx] = std::make_unique<tensor::BatchedCostSummary>(
+        tensor::AnalyzeBatchedCost(plan));
+  }
+  return *plan_batch_cost_[idx];
+}
+
+void SessionModel::ScaleScanForRetrieval(sim::InferenceWork& work) const {
+  if (retrieval_config_.backend == ann::RetrievalBackend::kExact) return;
+  // The plan IR's scoring polynomials describe the exact fp32 scan.
+  // Ratio-scale them by the configured backend's analytic cost relative
+  // to exact, so the simulator prices the approximate scan without the
+  // plan itself (and its golden report) changing.
+  const ann::RetrievalCost exact = ann::EstimateRetrievalCost(
+      ann::RetrievalConfig{}, config_.catalog_size, config_.embedding_dim);
+  const ann::RetrievalCost approx = ann::EstimateRetrievalCost(
+      retrieval_config_, config_.catalog_size, config_.embedding_dim);
+  if (exact.scan_flops > 0) {
+    work.scan_flops *= approx.scan_flops / exact.scan_flops;
+  }
+  if (exact.scan_bytes > 0) {
+    work.scan_bytes *= approx.scan_bytes / exact.scan_bytes;
+  }
 }
 
 sim::InferenceWork SessionModel::CostModel(ExecutionMode mode,
@@ -297,26 +454,45 @@ sim::InferenceWork SessionModel::CostModel(ExecutionMode mode,
   work.encode_bytes = cost.encode_traffic_bytes.Eval(bindings);
   work.scan_flops = cost.score_flops.Eval(bindings);
   work.scan_bytes = cost.score_traffic_bytes.Eval(bindings);
-  if (retrieval_config_.backend != ann::RetrievalBackend::kExact) {
-    // The plan IR's scoring polynomials describe the exact fp32 scan.
-    // Ratio-scale them by the configured backend's analytic cost relative
-    // to exact, so the simulator prices the approximate scan without the
-    // plan itself (and its golden report) changing.
-    const ann::RetrievalCost exact = ann::EstimateRetrievalCost(
-        ann::RetrievalConfig{}, config_.catalog_size, config_.embedding_dim);
-    const ann::RetrievalCost approx = ann::EstimateRetrievalCost(
-        retrieval_config_, config_.catalog_size, config_.embedding_dim);
-    if (exact.scan_flops > 0) {
-      work.scan_flops *= approx.scan_flops / exact.scan_flops;
-    }
-    if (exact.scan_bytes > 0) {
-      work.scan_bytes *= approx.scan_bytes / exact.scan_bytes;
-    }
-  }
+  ScaleScanForRetrieval(work);
   work.op_count = static_cast<int>(OpCount(l));
   work.jit_compiled = (mode == ExecutionMode::kJit) && jit_compatible();
   work.host_sync_points = cal.host_sync_points;
   work.host_compute_us = cal.host_compute_us;
+  work.batch_share = cal.batch_share;
+  work.cpu_efficiency = cal.cpu_efficiency;
+  work.t4_efficiency = cal.t4_efficiency;
+  work.a100_efficiency = cal.a100_efficiency;
+  return work;
+}
+
+sim::InferenceWork SessionModel::BatchedCostModel(ExecutionMode mode,
+                                                  int64_t session_length,
+                                                  int64_t batch) const {
+  const tensor::BatchedCostSummary& cost = PlanBatchCost(mode);
+  const int64_t b = std::max<int64_t>(batch, 1);
+  tensor::Bindings bindings = PlanBindings(session_length);
+  bindings["B"] = static_cast<double>(b);
+  const int64_t l = std::min(std::max<int64_t>(session_length, 1),
+                             config_.max_session_length);
+
+  const ModelCalibration& cal = GetCalibration(kind());
+  sim::InferenceWork work;
+  // Whole-batch figures: FLOPs scale with B; encode traffic is the
+  // once-per-batch amortized weight bytes plus B per-session shares; the
+  // catalog scan never amortizes (one scan per query).
+  work.encode_flops = cost.encode_flops.Eval(bindings);
+  work.encode_bytes = (cost.amortized_bytes + cost.marginal_encode_bytes)
+                          .Eval(bindings);
+  work.scan_flops = cost.score_flops.Eval(bindings);
+  work.scan_bytes = cost.marginal_score_bytes.Eval(bindings);
+  ScaleScanForRetrieval(work);
+  // Dispatch and host-synchronisation counts are per session: batching
+  // amortizes memory traffic, not the framework's op overhead.
+  work.op_count = static_cast<int>(OpCount(l) * b);
+  work.jit_compiled = (mode == ExecutionMode::kJit) && jit_compatible();
+  work.host_sync_points = cal.host_sync_points * static_cast<int>(b);
+  work.host_compute_us = cal.host_compute_us * static_cast<double>(b);
   work.batch_share = cal.batch_share;
   work.cpu_efficiency = cal.cpu_efficiency;
   work.t4_efficiency = cal.t4_efficiency;

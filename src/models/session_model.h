@@ -162,11 +162,22 @@ class SessionModel {
 
   /// Recommend under explicit execution options (mode and allocation
   /// plan). All option combinations return bit-identical recommendations;
-  /// they differ only in dispatch count and allocator traffic. RepeatNet
-  /// overrides this to add its repeat-mechanism distribution on top of
-  /// the catalog scores.
-  virtual Result<Recommendation> Recommend(const std::vector<int64_t>& session,
-                                           const ExecOptions& options) const;
+  /// they differ only in dispatch count and allocator traffic. The
+  /// architecture-specific work lives in RecommendBody (which RepeatNet
+  /// overrides with its repeat/explore mixture).
+  Result<Recommendation> Recommend(const std::vector<int64_t>& session,
+                                   const ExecOptions& options) const;
+
+  /// Serves `sessions` as one batch: sessions sharing a compiled-plan
+  /// shape (length, unique items) are grouped, each group executes under
+  /// one batched execution plan (and, for kArena, one batched arena whose
+  /// size the planner proved equal to the runtime high-water mark).
+  /// Results are positionally aligned with `sessions` and bit-identical
+  /// to B independent Recommend calls — batching changes memory reuse and
+  /// amortizes weight traffic, never arithmetic.
+  Result<std::vector<Recommendation>> RecommendBatch(
+      const std::vector<std::vector<int64_t>>& sessions,
+      const ExecOptions& options) const;
 
   /// Architecture-specific session encoder; returns a [d] vector.
   /// `session` item ids must be valid (checked by Recommend).
@@ -186,6 +197,13 @@ class SessionModel {
   /// with shape violations — run CheckShapes first for a Status.
   tensor::PlanGraph BuildPlan(ExecutionMode mode) const;
 
+  /// Builds the batched plan: the per-session trace wrapped in a batch
+  /// repeat region (trips = B) between the [B, L] padded-id boundary and
+  /// the gathered [B, k] response. Shapes and per-dispatch costs of the
+  /// body are node-for-node those of BuildPlan; the cost polynomials of
+  /// the whole graph are polynomials in {B, C, d, L, k, ...}.
+  tensor::PlanGraph BuildBatchedPlan(ExecutionMode mode) const;
+
   /// Concrete values for the plan's symbols at a given (clamped) session
   /// length: C, d, k, L, n, lgk, max_len plus model-specific derived
   /// symbols (LightSANs' k_int). Session-graph models bind n = L here
@@ -202,12 +220,32 @@ class SessionModel {
                                             int64_t session_length,
                                             int64_t unique_items) const;
 
+  /// The compiled batched execution plan for a group of `batch` sessions
+  /// sharing (session_length, unique_items). Cached per
+  /// (mode, length, unique, batch).
+  const tensor::ExecutionPlan& CompiledBatchedPlan(ExecutionMode mode,
+                                                   int64_t session_length,
+                                                   int64_t unique_items,
+                                                   int64_t batch) const;
+
   /// Analytic per-request cost descriptor for the deployment simulator,
   /// for a request whose session currently has `session_length` items.
   /// FLOP and byte figures are evaluated from the plan IR's symbolic cost
   /// polynomials (tensor/plan_analysis.h), not hand-written constants.
   sim::InferenceWork CostModel(ExecutionMode mode,
                                int64_t session_length) const;
+
+  /// Whole-batch cost descriptor for a batch of `batch` requests of
+  /// `session_length` items each, from the batched plan's cost
+  /// polynomials (tensor/plan_analysis.h AnalyzeBatchedCost): FLOPs and
+  /// per-session traffic scale with B, streamed weight traffic is charged
+  /// once per batch, and dispatch/host-sync counts are per-session times
+  /// B. Feeding the result to sim::SerialInferenceUs prices the whole
+  /// batch; at batch = 1 its FLOPs equal CostModel's exactly (traffic
+  /// additionally counts the [B, L]/[B, k] batch boundary buffers).
+  sim::InferenceWork BatchedCostModel(ExecutionMode mode,
+                                      int64_t session_length,
+                                      int64_t batch) const;
 
   /// The shared [C, d] item-embedding table (a [1, d] placeholder when the
   /// model was created with materialize_embeddings = false).
@@ -226,11 +264,32 @@ class SessionModel {
 
   /// Symbolic replay of the whole Recommend path: encode phase (scoped,
   /// ending in a required [d] session vector), then the scoring phase
-  /// (ending in a required [k] list marked as the plan output). RepeatNet
-  /// overrides this end-to-end because its Recommend override interleaves
-  /// encoding and its repeat/explore scoring without re-encoding.
-  virtual void TraceRecommend(tensor::ShapeChecker& checker,
-                              ExecutionMode mode) const;
+  /// (ending in a required [k] recommendation list, which is returned).
+  /// RepeatNet overrides this end-to-end because its RecommendBody
+  /// interleaves encoding and its repeat/explore scoring without
+  /// re-encoding. The result is NOT marked as the plan output — the
+  /// unbatched and batched trace wrappers decide that.
+  virtual tensor::SymTensor TraceRecommendBody(tensor::ShapeChecker& checker,
+                                               ExecutionMode mode) const;
+
+  /// TraceRecommendBody plus the output mark: the unbatched plan.
+  void TraceRecommend(tensor::ShapeChecker& checker,
+                      ExecutionMode mode) const;
+
+  /// The batched plan trace: the [B, L] padded-id boundary, then
+  /// TraceRecommendBody inside a batch region (trips = B), then the
+  /// gathered [B, k] response marked as the plan output.
+  void TraceBatchedRecommend(tensor::ShapeChecker& checker,
+                             ExecutionMode mode) const;
+
+  /// The architecture-specific inference work of one request, executed on
+  /// an already validated and truncated session window, under whatever
+  /// dispatch/arena scopes the caller (Recommend or RecommendBatch)
+  /// activated. Default: EncodeSession then the top-k MIPS (or the
+  /// configured retrieval backend). RepeatNet overrides with its dense
+  /// repeat/explore mixture.
+  virtual Result<Recommendation> RecommendBody(
+      const std::vector<int64_t>& window) const;
 
   /// Symbolic replay of EncodeSession for the shape linter: issues the
   /// same op sequence against `checker` using the symbolic dims
@@ -291,16 +350,25 @@ class SessionModel {
 
   /// Lazily-built per-mode cost summaries derived from the plan IR.
   const tensor::CostSummary& PlanCost(ExecutionMode mode) const;
+  /// Lazily-built per-mode batched cost summaries (AnalyzeBatchedCost
+  /// over the batched plan).
+  const tensor::BatchedCostSummary& PlanBatchCost(ExecutionMode mode) const;
+  /// Ratio-scales the scan figures of `work` for a non-exact retrieval
+  /// backend (shared by CostModel and BatchedCostModel).
+  void ScaleScanForRetrieval(sim::InferenceWork& work) const;
 
   mutable Mutex plan_cost_mutex_;
   mutable std::unique_ptr<tensor::CostSummary> plan_cost_[2]
       ETUDE_GUARDED_BY(plan_cost_mutex_);
+  mutable std::unique_ptr<tensor::BatchedCostSummary> plan_batch_cost_[2]
+      ETUDE_GUARDED_BY(plan_cost_mutex_);
 
   /// Compiled execution plans keyed by (mode, session length, unique
-  /// items). Pointers stay valid once built — Recommend holds one across
-  /// the encode without the lock.
+  /// items, batch size; batch 0 = the unbatched plan). Pointers stay
+  /// valid once built — Recommend holds one across the encode without
+  /// the lock.
   mutable Mutex exec_plan_mutex_;
-  mutable std::map<std::tuple<int, int64_t, int64_t>,
+  mutable std::map<std::tuple<int, int64_t, int64_t, int64_t>,
                    std::unique_ptr<tensor::ExecutionPlan>>
       exec_plans_ ETUDE_GUARDED_BY(exec_plan_mutex_);
 };

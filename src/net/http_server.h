@@ -97,7 +97,14 @@ class HttpServer {
     // the request's queue_delay_us (the SLO monitor's "queue" phase).
     std::chrono::steady_clock::time_point enqueued_at;
   };
-  Mutex jobs_mutex_;
+  // Outermost lock of the serving path's declared lock order: a worker
+  // never holds the dispatch queue while recording telemetry (SloMonitor
+  // ring buckets, metric-registry locks), and telemetry locks are never
+  // held while enqueueing. The ordering edges let -Wthread-safety flag
+  // inversions once the batching scheduler starts nesting these.
+  Mutex jobs_mutex_
+      ETUDE_ACQUIRED_BEFORE("obs::SloMonitor::Bucket::mutex",
+                            "obs::MetricRegistry::mutex_");
   CondVar jobs_cv_;
   std::deque<Job> jobs_ ETUDE_GUARDED_BY(jobs_mutex_);
   bool workers_should_exit_ ETUDE_GUARDED_BY(jobs_mutex_) = false;

@@ -79,7 +79,10 @@ class Histogram {
  private:
   static constexpr int kShards = 8;
   struct Shard {
-    mutable Mutex mutex;
+    // Innermost lock of the serving path's lock order:
+    // MetricRegistry::Snapshot() holds the registry mutex while Merged()
+    // walks the shards, so shard mutexes must always come last.
+    mutable Mutex mutex ETUDE_ACQUIRED_AFTER("obs::MetricRegistry::mutex_");
     metrics::LatencyHistogram histogram ETUDE_GUARDED_BY(mutex);
   };
   std::unique_ptr<Shard[]> shards_;
@@ -186,7 +189,12 @@ class MetricRegistry {
                             const std::string& json_path)
       ETUDE_REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  // Held across Snapshot()'s walk of the instruments (which locks the
+  // histogram shards underneath); sits below the http dispatch queue and
+  // the SloMonitor ring in the serving path's lock order.
+  mutable Mutex mutex_
+      ETUDE_ACQUIRED_AFTER("net::HttpServer::jobs_mutex_",
+                           "obs::SloMonitor::Bucket::mutex");
   std::vector<std::unique_ptr<Family>> families_ ETUDE_GUARDED_BY(mutex_);
 };
 

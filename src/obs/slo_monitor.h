@@ -138,7 +138,13 @@ class SloMonitor {
 
  private:
   struct Bucket {
-    mutable Mutex mutex;
+    // Ring buckets sit below the http dispatch queue and above the
+    // metric-registry locks in the serving path's lock order. Bucket
+    // mutexes are never nested with each other: Record() locks exactly
+    // one, Snapshot() locks them one at a time.
+    mutable Mutex mutex
+        ETUDE_ACQUIRED_AFTER("net::HttpServer::jobs_mutex_")
+            ETUDE_ACQUIRED_BEFORE("obs::MetricRegistry::mutex_");
     int64_t epoch_s ETUDE_GUARDED_BY(mutex) = -1;  // absolute second held
     int64_t requests ETUDE_GUARDED_BY(mutex) = 0;
     int64_t errors ETUDE_GUARDED_BY(mutex) = 0;

@@ -126,7 +126,7 @@ void SimInferenceServer::HandleRequest(const InferenceRequest& request,
   pending.callback = std::move(callback);
   pending.enqueued_at_us = sim_->now_us();
 
-  if (config_.device.is_gpu() && config_.device.supports_batching) {
+  if (uses_batching()) {
     forming_batch_.push_back(std::move(pending));
     if (static_cast<int>(forming_batch_.size()) >=
         config_.batching.max_batch_size) {
@@ -134,7 +134,7 @@ void SimInferenceServer::HandleRequest(const InferenceRequest& request,
       flush_timer_.Cancel();
       batch_queue_.push_back(std::move(forming_batch_));
       forming_batch_.clear();
-      if (!gpu_executor_busy_) RunGpuExecutor();
+      if (busy_batch_executors_ < executor_slots()) RunBatchExecutor();
     } else if (forming_batch_.size() == 1) {
       // First request of a new batch: arm the flush timer (the paper's
       // "empty the underlying buffer every two milliseconds"). While the
@@ -186,15 +186,30 @@ void SimInferenceServer::RunCpuWorker() {
 
 void SimInferenceServer::FlushBatch() {
   if (forming_batch_.empty()) return;
-  if (gpu_executor_busy_) return;  // dispatched when the executor frees up
+  if (busy_batch_executors_ >= executor_slots()) {
+    return;  // dispatched when an executor frees up
+  }
   batch_queue_.push_back(std::move(forming_batch_));
   forming_batch_.clear();
-  RunGpuExecutor();
+  RunBatchExecutor();
 }
 
-void SimInferenceServer::RunGpuExecutor() {
+double SimInferenceServer::BatchServiceUs(const sim::InferenceWork& work,
+                                          int batch_size) const {
+  if (config_.analytic_batching) {
+    // Whole-batch work from the batched plan polynomials: weight traffic
+    // is charged once, per-session marginals batch_size times. The
+    // framework overhead is paid once per dispatched batch, as in the
+    // CPU per-request path.
+    return sim::SerialInferenceUs(config_.device, work) +
+           config_.framework_overhead_us;
+  }
+  return sim::BatchInferenceUs(config_.device, work, batch_size);
+}
+
+void SimInferenceServer::RunBatchExecutor() {
   ETUDE_CHECK(!batch_queue_.empty()) << "executor started without batches";
-  gpu_executor_busy_ = true;
+  ++busy_batch_executors_;
   auto batch = std::make_shared<std::vector<PendingRequest>>(
       std::move(batch_queue_.front()));
   batch_queue_.pop_front();
@@ -207,20 +222,22 @@ void SimInferenceServer::RunGpuExecutor() {
         max_session,
         static_cast<int64_t>(pending.request.session_items.size()));
   }
-  const sim::InferenceWork work = model_->CostModel(config_.mode,
-                                                    max_session);
-  const double batch_us = JitteredUs(sim::BatchInferenceUs(
-      config_.device, work, static_cast<int>(batch->size())));
+  const int batch_size = static_cast<int>(batch->size());
+  const sim::InferenceWork work =
+      config_.analytic_batching
+          ? model_->BatchedCostModel(config_.mode, max_session, batch_size)
+          : model_->CostModel(config_.mode, max_session);
+  const double batch_us = JitteredUs(BatchServiceUs(work, batch_size));
   const double per_request_us =
       batch_us / static_cast<double>(batch->size());
   in_execution_ += static_cast<int64_t>(batch->size());
   telemetry_.AddBusyInterval(
       sim_->now_us(), sim_->now_us() + static_cast<int64_t>(batch_us));
   if (obs::Tracer::enabled()) {
-    // The single GPU executor is one lane; the batch's spans describe its
+    // Each batch executor is one lane; the batch's spans describe its
     // longest (padded) request.
-    TraceExecution(batch->front(), /*lane=*/0, batch_us,
-                   static_cast<int>(batch->size()));
+    TraceExecution(batch->front(), /*lane=*/busy_batch_executors_ - 1,
+                   batch_us, batch_size);
   }
   sim_->Schedule(
       static_cast<int64_t>(batch_us),
@@ -229,15 +246,15 @@ void SimInferenceServer::RunGpuExecutor() {
           --in_execution_;
           Complete(&pending, static_cast<int64_t>(per_request_us));
         }
-        gpu_executor_busy_ = false;
+        --busy_batch_executors_;
         if (!batch_queue_.empty()) {
-          RunGpuExecutor();
+          RunBatchExecutor();
         } else if (!forming_batch_.empty()) {
-          // Everything buffered while the executor was busy ships now.
+          // Everything buffered while the executors were busy ships now.
           flush_timer_.Cancel();
           batch_queue_.push_back(std::move(forming_batch_));
           forming_batch_.clear();
-          RunGpuExecutor();
+          RunBatchExecutor();
         }
       });
 }

@@ -44,6 +44,15 @@ struct SimServerConfig {
   // on the CPU tensor engine and responses carry actual recommendations.
   // Used by functional tests at small catalog sizes.
   bool functional_inference = false;
+  // Analytic batching: run the batch-formation path on ANY device (not
+  // just batching GPUs) and price each batch with the model's batched
+  // plan polynomials (SessionModel::BatchedCostModel through
+  // SerialInferenceUs) instead of the calibrated batch_share heuristic.
+  // This is the execution mode the static SLO-feasibility linter
+  // (core/slo_feasibility.h) reasons about, so linter verdicts and DES
+  // measurements share one cost model. Batches run on executor_slots()
+  // concurrent executors (worker_slots on CPUs, 1 on batching GPUs).
+  bool analytic_batching = false;
   uint64_t seed = 7;
 };
 
@@ -85,6 +94,13 @@ class SimInferenceServer : public InferenceService {
                : config_.device.worker_slots;
   }
 
+  /// Whether requests flow through the batch-formation path (batching
+  /// GPUs always; any device under analytic_batching).
+  bool uses_batching() const {
+    return (config_.device.is_gpu() && config_.device.supports_batching) ||
+           config_.analytic_batching;
+  }
+
  private:
   struct PendingRequest {
     InferenceRequest request;
@@ -96,9 +112,12 @@ class SimInferenceServer : public InferenceService {
   void StartCpuWorkerIfIdle();
   void RunCpuWorker();
 
-  // GPU path: batch formation then a single executor.
+  // Batched path: batch formation, then up to executor_slots() batch
+  // executors (one on batching GPUs; worker_slots under CPU
+  // analytic_batching).
   void FlushBatch();
-  void RunGpuExecutor();
+  void RunBatchExecutor();
+  double BatchServiceUs(const sim::InferenceWork& work, int batch_size) const;
 
   void Complete(PendingRequest* pending, int64_t inference_us);
 
@@ -125,7 +144,7 @@ class SimInferenceServer : public InferenceService {
   std::vector<PendingRequest> forming_batch_;
   sim::EventHandle flush_timer_;
   std::deque<std::vector<PendingRequest>> batch_queue_;
-  bool gpu_executor_busy_ = false;
+  int busy_batch_executors_ = 0;
 
   int64_t pending_ = 0;       // admitted: queued + executing
   int64_t in_execution_ = 0;  // currently executing (busy slots' requests)

@@ -64,6 +64,68 @@ CostSummary AnalyzeCost(const PlanGraph& plan) {
   return summary;
 }
 
+BatchedCostSummary AnalyzeBatchedCost(const PlanGraph& plan) {
+  constexpr double kF32 = 4.0;
+  // Per-node repeat split: the product of enclosing non-batch region trips
+  // (per-session loop structure, e.g. L GruCell steps) versus the product
+  // of enclosing batch region trips (B). node.repeat is their product.
+  const int size = plan.size();
+  std::vector<CostPoly> inner(static_cast<size_t>(size),
+                              CostPoly::Const(1.0));
+  std::vector<CostPoly> batch(static_cast<size_t>(size),
+                              CostPoly::Const(1.0));
+  for (const RepeatRegion& region : plan.regions()) {
+    for (int id = region.begin; id <= region.end && id < size; ++id) {
+      auto& factor = region.is_batch ? batch : inner;
+      factor[static_cast<size_t>(id)] =
+          factor[static_cast<size_t>(id)] * region.trips;
+    }
+  }
+
+  BatchedCostSummary summary;
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.persistent) continue;
+    ++summary.op_count;
+    const size_t id = static_cast<size_t>(node.id);
+    const CostPoly flops = node.flops * node.repeat;
+    summary.total_flops += flops;
+    if (node.phase == PlanPhase::kEncode) {
+      summary.encode_flops += flops;
+    } else {
+      summary.score_flops += flops;
+    }
+
+    // Amortizable share of one dispatch: persistent-input bytes, only for
+    // encode-phase ops still on the default streaming traffic model.
+    CostPoly amortized;
+    if (node.phase == PlanPhase::kEncode) {
+      CostPoly def = CostPoly::Numel(node.shape);
+      for (int input : node.inputs) {
+        def += CostPoly::Numel(plan.node(input).shape);
+      }
+      if ((def * kF32).ToString() == node.traffic_bytes.ToString()) {
+        for (int input : node.inputs) {
+          if (plan.node(input).persistent) {
+            amortized += CostPoly::Numel(plan.node(input).shape) * kF32;
+          }
+        }
+      }
+    }
+    const CostPoly marginal =
+        (node.traffic_bytes + amortized * -1.0) * node.repeat;
+    summary.amortized_bytes += amortized * inner[id];
+    if (node.phase == PlanPhase::kEncode) {
+      summary.marginal_encode_bytes += marginal;
+    } else {
+      summary.marginal_score_bytes += marginal;
+    }
+  }
+  summary.total_bytes = summary.amortized_bytes +
+                        summary.marginal_encode_bytes +
+                        summary.marginal_score_bytes;
+  return summary;
+}
+
 std::string PlanDiagnostic::ToString() const {
   const char* tag = severity == Severity::kError     ? "error"
                     : severity == Severity::kWarning ? "warning"

@@ -51,6 +51,38 @@ struct CostSummary {
 
 CostSummary AnalyzeCost(const PlanGraph& plan);
 
+/// Result of the batched cost pass over a plan containing a batch region
+/// (trips == B, see RepeatRegion::is_batch). FLOPs never amortize — every
+/// session computes its own encode and scan — but memory traffic does:
+/// when B sessions execute back-to-back, the streamed weight operands of
+/// the encode ops (GRU/attention/head matrices, read in full by every
+/// MatMul-like dispatch) stay resident across the batch and are charged
+/// once, while activations, index-dependent gathers (Embedding/Row) and
+/// the whole catalog-scoring phase remain per-session.
+///
+/// Exactness invariants (unit-tested):
+///  - total_flops == AnalyzeCost(plan).total_flops;
+///  - amortized + marginal traffic evaluated at B=1 == AnalyzeCost totals.
+struct BatchedCostSummary {
+  CostPoly encode_flops;           // polynomial in {B, C, d, L, ...}
+  CostPoly score_flops;
+  CostPoly total_flops;
+  /// Weight bytes charged once per batch (no B factor).
+  CostPoly amortized_bytes;
+  /// Per-session bytes, scaling with B.
+  CostPoly marginal_encode_bytes;
+  CostPoly marginal_score_bytes;
+  /// amortized_bytes + marginal bytes: the batched traffic model.
+  CostPoly total_bytes;
+  int op_count = 0;  // non-persistent plan nodes (per-session body + bounds)
+};
+
+/// A node's traffic amortizes only when (a) it is encode-phase, (b) its
+/// traffic polynomial is the default 4*(inputs + output) streaming model
+/// (overridden-traffic ops are gathers/moves whose reads are
+/// session-dependent), and (c) the bytes come from a persistent input.
+BatchedCostSummary AnalyzeBatchedCost(const PlanGraph& plan);
+
 /// One finding of the structural passes.
 struct PlanDiagnostic {
   enum class Severity { kError, kWarning, kInfo };

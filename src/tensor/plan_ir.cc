@@ -11,10 +11,13 @@ namespace etude::tensor {
 
 namespace {
 
-// Recursive-descent evaluation of the additive expressions SymDim::ToString
-// produces: a sum of signed atoms, each atom being an integer, an optional
-// integer coefficient followed by a symbol name, or a parenthesized
-// sub-expression (possibly with a coefficient, e.g. "2(L+n)").
+// Recursive-descent evaluation of the expressions SymDim::ToString
+// produces: a sum of signed terms, each term a '*'-product of atoms, each
+// atom being an integer, an optional integer coefficient followed by a
+// symbol name, or a parenthesized sub-expression (possibly with a
+// coefficient, e.g. "2(L+n)"). '*' binds tighter than '+'/'-', so the
+// compound names of both SymDim::operator+ ("(L+n)") and
+// SymDim::operator* ("(B*L)") evaluate correctly.
 double ParseSum(const std::string& expr, size_t& pos, const Bindings& bindings);
 
 double ParseAtom(const std::string& expr, size_t& pos,
@@ -60,6 +63,16 @@ double ParseAtom(const std::string& expr, size_t& pos,
   return coef;  // a bare integer
 }
 
+double ParseTerm(const std::string& expr, size_t& pos,
+                 const Bindings& bindings) {
+  double product = ParseAtom(expr, pos, bindings);
+  while (pos < expr.size() && expr[pos] == '*') {
+    ++pos;
+    product *= ParseAtom(expr, pos, bindings);
+  }
+  return product;
+}
+
 double ParseSum(const std::string& expr, size_t& pos,
                 const Bindings& bindings) {
   double total = 0.0;
@@ -69,7 +82,7 @@ double ParseSum(const std::string& expr, size_t& pos,
     ++pos;
   }
   while (true) {
-    total += sign * ParseAtom(expr, pos, bindings);
+    total += sign * ParseTerm(expr, pos, bindings);
     if (pos < expr.size() && expr[pos] == '+') {
       sign = 1.0;
       ++pos;
@@ -219,11 +232,12 @@ void PlanGraph::PopScope() {
   }
 }
 
-void PlanGraph::BeginRepeat(const CostPoly& times) {
+void PlanGraph::BeginRepeat(const CostPoly& times, bool is_batch) {
   repeat_stack_.push_back(times);
   RepeatRegion region;
   region.begin = size();
   region.trips = times;
+  region.is_batch = is_batch;
   region.parent = open_regions_.empty() ? -1 : open_regions_.back();
   open_regions_.push_back(static_cast<int>(regions_.size()));
   regions_.push_back(std::move(region));

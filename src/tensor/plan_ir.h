@@ -15,7 +15,8 @@ namespace etude::tensor {
 /// PR 1's ShapeChecker validated shapes on the fly and threw the trace
 /// away; the plan IR keeps it: every op the runtime would dispatch becomes
 /// a PlanNode with its symbolic output shape, its producer edges and its
-/// cost polynomials in the paper's symbols {C, d, L, k, n}. The analysis
+/// cost polynomials in the paper's symbols {B, C, d, L, k, n}. The
+/// analysis
 /// passes in tensor/plan_analysis.h (liveness/peak-memory, static cost,
 /// dead-op/CSE, materialized-[C]) all run over this graph.
 
@@ -103,6 +104,11 @@ struct RepeatRegion {
   int end = -1;     // last node id inside the region (inclusive)
   CostPoly trips;   // iteration count, symbolic
   int parent = -1;  // enclosing region index, -1 when top-level
+  /// True for the batch region (trips == B): one iteration per batched
+  /// session rather than per-session loop structure. Execution planning
+  /// treats it like any repeat region; the batched cost analysis uses the
+  /// tag to separate per-batch from per-session multiplicity.
+  bool is_batch = false;
 };
 
 /// The retained plan: nodes in trace (== topological == program) order,
@@ -121,8 +127,9 @@ class PlanGraph {
   void PopScope();
 
   /// Repeat region: nodes recorded inside dispatch `times` times per
-  /// request (nesting multiplies).
-  void BeginRepeat(const CostPoly& times);
+  /// request (nesting multiplies). `is_batch` tags the region as the
+  /// cross-session batch loop (see RepeatRegion::is_batch).
+  void BeginRepeat(const CostPoly& times, bool is_batch = false);
   void EndRepeat();
 
   /// Marks `consumer` as additionally reading `producer` — used for

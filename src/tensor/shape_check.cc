@@ -19,6 +19,15 @@ SymDim SymDim::operator*(int64_t factor) const {
   return SymDim(coef_ * factor, name_, offset_ * factor);
 }
 
+SymDim SymDim::operator*(const SymDim& other) const {
+  if (concrete()) return other * offset_;
+  if (other.concrete()) return *this * other.offset_;
+  // Symbolic x symbolic: fold into an opaque compound product symbol.
+  // Comparisons against the same compound still work (string equality),
+  // and Eval/plan-IR polynomials decompose the compound name recursively.
+  return Sym("(" + ToString() + "*" + other.ToString() + ")");
+}
+
 SymDim SymDim::operator+(const SymDim& other) const {
   if (concrete()) {
     SymDim out = other;
@@ -66,6 +75,7 @@ SymDim d() { return SymDim::Sym("d"); }
 SymDim L() { return SymDim::Sym("L"); }
 SymDim k() { return SymDim::Sym("k"); }
 SymDim n() { return SymDim::Sym("n"); }
+SymDim B() { return SymDim::Sym("B"); }
 }  // namespace sym
 
 std::string ShapeToString(const SymShape& shape) {
@@ -690,6 +700,12 @@ void ShapeChecker::BeginRepeat(const SymDim& times) {
 }
 
 void ShapeChecker::EndRepeat() { plan_->EndRepeat(); }
+
+void ShapeChecker::BeginBatch(const SymDim& batch) {
+  plan_->BeginRepeat(CostPoly::FromDim(batch), /*is_batch=*/true);
+}
+
+void ShapeChecker::EndBatch() { plan_->EndRepeat(); }
 
 void ShapeChecker::PushScope() { plan_->PushScope(); }
 

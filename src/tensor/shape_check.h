@@ -49,6 +49,13 @@ class SymDim {
   /// Scales the dimension: 3 * d -> "3d".
   SymDim operator*(int64_t factor) const;
 
+  /// Multiplies two dimensions (used by batched flattenings such as a
+  /// [B, L] id matrix viewed as [(B*L)] rows). Concrete operands fold
+  /// exactly; symbolic products become an opaque compound symbol like
+  /// "(B*L)" which Eval and the plan-IR polynomials decompose
+  /// recursively.
+  SymDim operator*(const SymDim& other) const;
+
   /// Adds two dimensions (used by Concat). Same-symbol and concrete
   /// operands combine exactly; unrelated symbols fold into an opaque
   /// compound symbol like "(L+n)".
@@ -83,6 +90,7 @@ SymDim d();  ///< embedding dimension
 SymDim L();  ///< session length (after truncation)
 SymDim k();  ///< recommendation count (top-k)
 SymDim n();  ///< session-graph node count (GNN models; n <= L)
+SymDim B();  ///< batch size (sessions served per batched dispatch)
 }  // namespace sym
 
 using SymShape = std::vector<SymDim>;
@@ -215,6 +223,13 @@ class ShapeChecker {
   /// (costs scale; liveness sees one iteration, buffers are reused).
   void BeginRepeat(const SymDim& times);
   void EndRepeat();
+  /// Batch region: a repeat region whose trip count is the batch size B.
+  /// Structurally identical to BeginRepeat (costs scale by B, buffers are
+  /// reused across sessions), but tagged so the batched cost analysis can
+  /// tell per-session repetition (GRU steps) apart from cross-session
+  /// repetition when deciding which traffic amortizes.
+  void BeginBatch(const SymDim& batch);
+  void EndBatch();
   /// C++ scope mirror: values recorded between Push and Pop live until
   /// the Pop (function locals die at scope exit, not at last use).
   void PushScope();

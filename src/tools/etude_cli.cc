@@ -48,9 +48,17 @@
 //   etude metrics-lint FILE
 //       Check a saved Prometheus text-format scrape against the
 //       exposition-format rules; exits 1 on violations.
+//   etude lint-deploy <spec.json> [--frontier]
+//       Statically check whether the spec's deployment can hold its p90
+//       SLO at its target rate, from the model's batched plan
+//       polynomials plus a queueing-delay bound — no simulation is run.
+//       Exits 3 with a counterexample line when the spec is infeasible;
+//       --frontier prints the verdict at every power-of-two batch size.
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -65,6 +73,7 @@
 #include "common/strings.h"
 #include "core/benchmark.h"
 #include "core/cost_planner.h"
+#include "core/slo_feasibility.h"
 #include "core/spec.h"
 #include "loadgen/http_load.h"
 #include "metrics/report.h"
@@ -860,12 +869,108 @@ int CmdMetricsLint(int argc, char** argv) {
   return 0;
 }
 
+/// `etude lint-deploy <spec.json>` — static SLO-feasibility check of a
+/// deployment spec: no simulation is run; the verdict comes from the
+/// model's batched plan polynomials plus a queueing-delay bound
+/// (core/slo_feasibility.h). Exit 0 when the spec can hold its p90
+/// objective at its target rate, 3 with a counterexample line when it
+/// provably cannot, 2 on usage errors, 1 on spec/model errors.
+int CmdLintDeploy(int argc, char** argv) {
+  if (argc < 3 || etude::StartsWith(argv[2], "--")) {
+    std::fprintf(stderr,
+                 "usage: etude lint-deploy <spec.json> [--frontier]\n");
+    return 2;
+  }
+  bool frontier = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--frontier") {
+      frontier = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'; allowed: --frontier\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  auto spec = etude::core::LoadBenchmarkSpec(argv[2]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  // Cost-only model, as in the deployed benchmark: the [C, d] table is
+  // never materialised; the retrieval backend enters analytically.
+  etude::models::ModelConfig model_config;
+  model_config.catalog_size = spec->scenario.catalog_size;
+  model_config.top_k = 21;
+  model_config.seed = spec->seed;
+  model_config.materialize_embeddings = false;
+  auto model = etude::models::CreateModel(spec->model, model_config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const etude::Status retrieval_status =
+      (*model)->ConfigureRetrieval(spec->retrieval);
+  if (!retrieval_status.ok()) {
+    std::fprintf(stderr, "%s\n", retrieval_status.ToString().c_str());
+    return 1;
+  }
+
+  etude::core::DeployPoint point;
+  point.mode = spec->mode;
+  point.device = spec->device;
+  point.replicas = spec->replicas;
+  point.batch = spec->batch;
+  // Every batch is padded to the longest session the workload can emit
+  // (itself capped by the model's truncation window).
+  point.session_length =
+      std::min(spec->scenario.workload.max_session_length,
+               (*model)->config().max_session_length);
+  point.lambda_rps = spec->scenario.target_rps;
+  point.slo_p90_ms = spec->scenario.p90_limit_ms;
+
+  const etude::core::FeasibilityVerdict verdict =
+      etude::core::CheckSloFeasibility(**model, point);
+  std::printf("%s %s B=%d x%d on %s @ %s rps, SLO p90 %s ms\n",
+              etude::models::ModelKindToString(spec->model).data(),
+              spec->mode == etude::models::ExecutionMode::kJit ? "jit"
+                                                               : "eager",
+              point.batch, point.replicas, point.device.name.c_str(),
+              FormatDouble(point.lambda_rps, 0).c_str(),
+              FormatDouble(point.slo_p90_ms, 1).c_str());
+  std::printf("%s\n", verdict.Summary().c_str());
+
+  if (frontier) {
+    std::vector<int> batches;
+    for (int b = 1; b <= std::max(spec->batch, 64); b *= 2) {
+      batches.push_back(b);
+    }
+    etude::metrics::Table table(
+        {"B", "verdict", "rho", "p90 est [ms]", "service [ms]"});
+    for (const auto& [batch, entry] :
+         etude::core::SloFeasibilityFrontier(**model, point, batches)) {
+      table.AddRow({std::to_string(batch),
+                    entry.feasible ? "feasible" : "infeasible",
+                    FormatDouble(entry.utilization, 2),
+                    std::isfinite(entry.p90_estimate_us)
+                        ? FormatDouble(entry.p90_estimate_us / 1000.0, 2)
+                        : "inf",
+                    FormatDouble(entry.service_us / 1000.0, 2)});
+    }
+    std::printf("%s", table.ToText().c_str());
+  }
+  if (!verdict.feasible) {
+    std::fprintf(stderr, "rejected: %s\n", verdict.counterexample.c_str());
+    return 3;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: etude "
       "<scenarios|run|plan|generate|profile|serve|loadtest|bench-diff|"
-      "metrics-lint> [flags]\n"
+      "metrics-lint|lint-deploy> [flags]\n"
       "  scenarios                          list built-in scenarios\n"
       "  run <spec.json> [--trace-out F]    deployed benchmark; optionally\n"
       "      [--folded-out F] [--threads N] write a Chrome trace-event file\n"
@@ -898,6 +1003,11 @@ int Usage() {
       "       [--fail-on-missing] [--all]\n"
       "  metrics-lint FILE                  lint a Prometheus text scrape;\n"
       "                                     exit 1 on format violations\n"
+      "  lint-deploy <spec.json>            static SLO-feasibility check\n"
+      "       [--frontier]                  from the batched plan costs;\n"
+      "                                     exit 3 + counterexample when\n"
+      "                                     the spec cannot hold its p90;\n"
+      "                                     --frontier sweeps batch sizes\n"
       "\n"
       "Unknown flags are errors. /metrics of `serve` answers JSON by\n"
       "default and Prometheus text format under `Accept: text/plain` (or\n"
@@ -924,6 +1034,7 @@ int main(int argc, char** argv) {
   if (command == "loadtest") return CmdLoadtest(argc, argv);
   if (command == "bench-diff") return CmdBenchDiff(argc, argv);
   if (command == "metrics-lint") return CmdMetricsLint(argc, argv);
+  if (command == "lint-deploy") return CmdLintDeploy(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     Usage();
     return 0;

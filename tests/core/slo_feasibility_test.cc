@@ -1,0 +1,188 @@
+// Cross-check of the static SLO-feasibility linter against the discrete
+// event simulation it models: for 24 deployment points (4 models x 2
+// batch sizes x 3 load/SLO regimes), CheckSloFeasibility's verdict must
+// agree with the p90 the DES actually measures under the same spec.
+//
+// The three regimes per (model, batch) deliberately sit away from the
+// saturation knife edge, where both the analytic bound and the simulated
+// percentile are unambiguous:
+//   - comfortable: lambda at 60% of batch-amortised capacity, SLO 1.6x
+//     the linter's own p90 estimate -> feasible, and the DES holds it;
+//   - tight SLO:   same lambda, SLO at half the estimate -> infeasible
+//     (latency counterexample), and the DES breaches it;
+//   - overload:    lambda at 140% of capacity -> infeasible (capacity
+//     counterexample), and the DES queue blows through any SLO.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/benchmark.h"
+#include "core/slo_feasibility.h"
+#include "models/model_factory.h"
+#include "sim/device.h"
+
+namespace etude::core {
+namespace {
+
+constexpr int64_t kCatalog = 200000;
+constexpr int64_t kSessionLength = 50;  // the generator/truncation cap
+constexpr double kFrameworkUs = 150.0;  // SimServerConfig default
+
+struct CrossCheckCase {
+  models::ModelKind model;
+  models::ExecutionMode mode;
+  int batch;
+};
+
+std::unique_ptr<models::SessionModel> MakeCostOnlyModel(
+    models::ModelKind kind) {
+  models::ModelConfig config;
+  config.catalog_size = kCatalog;
+  config.top_k = 21;
+  config.materialize_embeddings = false;  // cost-only, like `etude run`
+  auto model = models::CreateModel(kind, config);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+/// One-batch service time at the batch cap — the linter's own capacity
+/// denominator, reproduced here to place the test points relative to it.
+double ServiceAtCapUs(const models::SessionModel& model,
+                      models::ExecutionMode mode, int batch) {
+  const sim::InferenceWork work =
+      batch > 1 ? model.BatchedCostModel(mode, kSessionLength, batch)
+                : model.CostModel(mode, kSessionLength);
+  return sim::SerialInferenceUs(sim::DeviceSpec::Cpu(), work) + kFrameworkUs;
+}
+
+/// Runs the deployed benchmark (virtual time) for one point and returns
+/// the steady-state p90 in milliseconds.
+double DesP90Ms(const CrossCheckCase& cc, double lambda_rps,
+                double slo_p90_ms) {
+  BenchmarkSpec spec;
+  spec.scenario.name = "slo-crosscheck";
+  spec.scenario.catalog_size = kCatalog;
+  spec.scenario.target_rps = lambda_rps;
+  spec.scenario.p90_limit_ms = slo_p90_ms;
+  spec.model = cc.model;
+  spec.mode = cc.mode;
+  spec.device = sim::DeviceSpec::Cpu();
+  spec.replicas = 1;
+  spec.batch = cc.batch;
+  spec.duration_s = 12;
+  spec.ramp_s = 2;
+  spec.seed = 20240807;
+  auto report = RunDeployedBenchmark(spec);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (!report.ok()) return -1.0;
+  return report->load.steady_p90_ms;
+}
+
+class SloCrossCheckTest : public ::testing::TestWithParam<CrossCheckCase> {
+ protected:
+  static DeployPoint BasePoint(const CrossCheckCase& cc) {
+    DeployPoint point;
+    point.mode = cc.mode;
+    point.device = sim::DeviceSpec::Cpu();
+    point.replicas = 1;
+    point.batch = cc.batch;
+    point.session_length = kSessionLength;
+    return point;
+  }
+};
+
+TEST_P(SloCrossCheckTest, VerdictAgreesWithSimulatedP90) {
+  const CrossCheckCase cc = GetParam();
+  auto model = MakeCostOnlyModel(cc.model);
+  ASSERT_NE(model, nullptr);
+
+  const double executors = sim::DeviceSpec::Cpu().worker_slots;
+  const double capacity_rps = executors * cc.batch * 1e6 /
+                              ServiceAtCapUs(*model, cc.mode, cc.batch);
+
+  // Regime 1: comfortable — 60% of capacity, SLO 1.6x the estimate.
+  DeployPoint point = BasePoint(cc);
+  point.lambda_rps = 0.6 * capacity_rps;
+  point.slo_p90_ms = 1.0;  // placeholder: first probe the estimate
+  const FeasibilityVerdict probe = CheckSloFeasibility(*model, point);
+  ASSERT_TRUE(std::isfinite(probe.p90_estimate_us))
+      << "60% of capacity must not be capacity-infeasible";
+  const double estimate_ms = probe.p90_estimate_us / 1000.0;
+
+  point.slo_p90_ms = 1.6 * estimate_ms;
+  const FeasibilityVerdict comfortable = CheckSloFeasibility(*model, point);
+  EXPECT_TRUE(comfortable.feasible) << comfortable.Summary();
+  EXPECT_TRUE(comfortable.counterexample.empty());
+  const double des_comfortable_ms =
+      DesP90Ms(cc, point.lambda_rps, point.slo_p90_ms);
+  ASSERT_GE(des_comfortable_ms, 0.0);
+  EXPECT_LE(des_comfortable_ms, point.slo_p90_ms)
+      << "linter said feasible but the DES breached: p90="
+      << des_comfortable_ms << "ms, SLO=" << point.slo_p90_ms << "ms ("
+      << comfortable.Summary() << ")";
+
+  // Regime 2: tight SLO at the same rate — half the estimate.
+  point.slo_p90_ms = 0.5 * estimate_ms;
+  const FeasibilityVerdict tight = CheckSloFeasibility(*model, point);
+  EXPECT_FALSE(tight.feasible) << tight.Summary();
+  EXPECT_NE(tight.counterexample.find("latency"), std::string::npos)
+      << tight.counterexample;
+  const double des_tight_ms = DesP90Ms(cc, point.lambda_rps,
+                                       point.slo_p90_ms);
+  ASSERT_GE(des_tight_ms, 0.0);
+  EXPECT_GT(des_tight_ms, point.slo_p90_ms)
+      << "linter said infeasible but the DES held: p90=" << des_tight_ms
+      << "ms, SLO=" << point.slo_p90_ms << "ms (" << tight.Summary()
+      << ")";
+
+  // Regime 3: overload — 140% of capacity; any reasonable SLO breaks.
+  point.lambda_rps = 1.4 * capacity_rps;
+  point.slo_p90_ms = 3.0 * estimate_ms;
+  const FeasibilityVerdict overload = CheckSloFeasibility(*model, point);
+  EXPECT_FALSE(overload.feasible) << overload.Summary();
+  EXPECT_NE(overload.counterexample.find("capacity"), std::string::npos)
+      << overload.counterexample;
+  const double des_overload_ms = DesP90Ms(cc, point.lambda_rps,
+                                          point.slo_p90_ms);
+  ASSERT_GE(des_overload_ms, 0.0);
+  EXPECT_GT(des_overload_ms, point.slo_p90_ms)
+      << "linter found a capacity counterexample but the DES held: p90="
+      << des_overload_ms << "ms, SLO=" << point.slo_p90_ms << "ms";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndBatches, SloCrossCheckTest,
+    ::testing::Values(
+        CrossCheckCase{models::ModelKind::kGru4Rec,
+                       models::ExecutionMode::kJit, 1},
+        CrossCheckCase{models::ModelKind::kGru4Rec,
+                       models::ExecutionMode::kJit, 16},
+        CrossCheckCase{models::ModelKind::kStamp,
+                       models::ExecutionMode::kJit, 1},
+        CrossCheckCase{models::ModelKind::kStamp,
+                       models::ExecutionMode::kJit, 16},
+        CrossCheckCase{models::ModelKind::kNarm,
+                       models::ExecutionMode::kEager, 1},
+        CrossCheckCase{models::ModelKind::kNarm,
+                       models::ExecutionMode::kEager, 16},
+        CrossCheckCase{models::ModelKind::kSasRec,
+                       models::ExecutionMode::kJit, 1},
+        CrossCheckCase{models::ModelKind::kSasRec,
+                       models::ExecutionMode::kJit, 16}),
+    [](const ::testing::TestParamInfo<CrossCheckCase>& info) {
+      std::string name{models::ModelKindToString(info.param.model)};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += info.param.mode == models::ExecutionMode::kJit ? "_jit"
+                                                             : "_eager";
+      name += "_B" + std::to_string(info.param.batch);
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::core

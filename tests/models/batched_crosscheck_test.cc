@@ -1,0 +1,211 @@
+// Runtime cross-checks of the *batched* plan IR (SessionModel::
+// BuildBatchedPlan / RecommendBatch) against the real tensor runtime, for
+// every model x eager/jit x B in {1, 4, 16, 64}:
+//
+//  1. FLOPs — the batched plan's per-op cost polynomials, evaluated at
+//     (B, C, d, L, k, n), must reproduce the runtime's per-op FLOP
+//     attribution over one RecommendBatch call exactly: the batch region
+//     multiplies every per-session dispatch by B, and the runtime loops B
+//     session bodies, so both sides must agree to the flop.
+//  2. Exact arena equality — RecommendBatch under ExecPlanKind::kArena
+//     must serve every allocation of the whole batch from the compiled
+//     batched script (zero heap fallbacks) and reach a runtime high-water
+//     mark exactly equal to the statically computed batched arena size.
+//  3. Bit identity — batched outputs must equal B independent unbatched
+//     Recommend calls bit for bit: batching changes memory reuse and
+//     amortizes weight traffic, never arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "models/model_factory.h"
+#include "models/session_model.h"
+#include "obs/memstats.h"
+#include "obs/op_hook.h"
+#include "obs/profile.h"
+#include "tensor/plan_analysis.h"
+#include "tensor/plan_exec.h"
+#include "tensor/plan_ir.h"
+
+namespace etude::models {
+namespace {
+
+constexpr int64_t kCatalog = 3000;
+constexpr int64_t kBatchSizes[] = {1, 4, 16, 64};
+constexpr int64_t kSessionLength = 5;
+
+// B sessions of identical length and unique-item count (all distinct), so
+// RecommendBatch forms exactly one plan group of size B. Item ids differ
+// per session — bit-identity is not a copy-paste artifact.
+std::vector<std::vector<int64_t>> BatchSessions(int64_t batch) {
+  std::vector<std::vector<int64_t>> sessions;
+  for (int64_t s = 0; s < batch; ++s) {
+    std::vector<int64_t> session;
+    for (int64_t i = 0; i < kSessionLength; ++i) {
+      session.push_back((s * 131 + i * 7 + 3) % kCatalog);
+    }
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+class BatchedCrossCheckTest
+    : public ::testing::TestWithParam<std::tuple<ModelKind, ExecutionMode>> {
+ protected:
+  static ModelKind Kind() { return std::get<0>(GetParam()); }
+  static ExecutionMode Mode() { return std::get<1>(GetParam()); }
+
+  static std::unique_ptr<SessionModel> MakeModel() {
+    ModelConfig config;
+    config.catalog_size = kCatalog;
+    auto model = CreateModel(Kind(), config);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+
+  // jit falls back to eager for jit-incompatible models; the compiled
+  // batched plan must match the kernels actually dispatched.
+  static ExecutionMode Effective(const SessionModel& model) {
+    return Mode() == ExecutionMode::kJit && !model.jit_compatible()
+               ? ExecutionMode::kEager
+               : Mode();
+  }
+
+  static tensor::Bindings BatchBindings(const SessionModel& model,
+                                        int64_t batch) {
+    tensor::Bindings bindings = model.PlanBindings(kSessionLength);
+    bindings["n"] = static_cast<double>(kSessionLength);  // all distinct
+    bindings["B"] = static_cast<double>(batch);
+    return bindings;
+  }
+};
+
+TEST_P(BatchedCrossCheckTest, StaticBatchedFlopsMatchRuntimeExactly) {
+  if (!obs::kOpHooksCompiled) {
+    GTEST_SKIP() << "op hooks compiled out (ETUDE_DISABLE_TRACING): "
+                    "the runtime side of the cross-check records nothing";
+  }
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  const tensor::CostSummary cost =
+      tensor::AnalyzeCost(model->BuildBatchedPlan(Effective(*model)));
+
+  for (const int64_t batch : kBatchSizes) {
+    const tensor::Bindings bindings = BatchBindings(*model, batch);
+    std::map<std::string, double> static_flops;
+    for (const auto& [op, poly] : cost.flops_by_op) {
+      static_flops[op] = poly.Eval(bindings);
+    }
+
+    obs::OpProfile profile;
+    {
+      obs::ScopedOpSink attach(&profile);
+      auto recs = model->RecommendBatch(
+          BatchSessions(batch), ExecOptions{Mode(), ExecPlanKind::kMalloc});
+      ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+    }
+    std::map<std::string, double> measured;
+    for (const obs::OpProfileEntry& entry : profile.Entries()) {
+      if (entry.flops > 0) measured[entry.op] = entry.flops;
+    }
+
+    for (const auto& [op, flops] : static_flops) {
+      ASSERT_EQ(measured.count(op), 1u)
+          << "batched plan predicts FLOPs for op " << op
+          << " the runtime never dispatched (B=" << batch << ")";
+      EXPECT_NEAR(flops, measured[op], 1e-6 * (1.0 + measured[op]))
+          << "op " << op << " at B=" << batch;
+    }
+    for (const auto& [op, flops] : measured) {
+      EXPECT_EQ(static_flops.count(op), 1u)
+          << "runtime dispatched op " << op << " (" << flops
+          << " FLOPs) missing from the batched plan (B=" << batch << ")";
+    }
+  }
+}
+
+TEST_P(BatchedCrossCheckTest, StaticBatchedArenaEqualsRuntimeHighWater) {
+  if (!obs::kMemStatsCompiled) {
+    GTEST_SKIP() << "memory accounting compiled out "
+                    "(ETUDE_DISABLE_TRACING)";
+  }
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  for (const int64_t batch : kBatchSizes) {
+    const tensor::ExecutionPlan& plan = model->CompiledBatchedPlan(
+        Effective(*model), kSessionLength, kSessionLength, batch);
+
+    auto recs = model->RecommendBatch(
+        BatchSessions(batch), ExecOptions{Mode(), ExecPlanKind::kArena});
+    ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+
+    const obs::ArenaMemStats stats = obs::ThreadArenaStats();
+    EXPECT_EQ(stats.fallback_allocs, 0)
+        << model->name() << " B=" << batch
+        << ": runtime deviated from the compiled batched script";
+    EXPECT_EQ(stats.served_allocs,
+              static_cast<int64_t>(plan.arena.bytes.size()))
+        << model->name() << " B=" << batch;
+    EXPECT_EQ(stats.planned_bytes, plan.arena.arena_bytes);
+    EXPECT_EQ(stats.high_water_bytes, plan.arena.arena_bytes)
+        << model->name() << " B=" << batch
+        << ": static batched arena size must equal the runtime high-water"
+           " mark exactly";
+  }
+}
+
+TEST_P(BatchedCrossCheckTest, BatchedOutputsBitIdenticalToUnbatched) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  for (const int64_t batch : kBatchSizes) {
+    const auto sessions = BatchSessions(batch);
+    for (const ExecPlanKind plan :
+         {ExecPlanKind::kMalloc, ExecPlanKind::kArena}) {
+      auto batched =
+          model->RecommendBatch(sessions, ExecOptions{Mode(), plan});
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ASSERT_EQ(batched->size(), sessions.size());
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        auto single =
+            model->Recommend(sessions[s], ExecOptions{Mode(), plan});
+        ASSERT_TRUE(single.ok()) << single.status().ToString();
+        const Recommendation& got = (*batched)[s];
+        ASSERT_EQ(got.items.size(), single->items.size());
+        for (size_t i = 0; i < single->items.size(); ++i) {
+          EXPECT_EQ(got.items[i], single->items[i])
+              << model->name() << " B=" << batch << " session " << s
+              << " rank " << i;
+          // Exact equality: batching must not perturb a single bit.
+          EXPECT_EQ(got.scores[i], single->scores[i])
+              << model->name() << " B=" << batch << " session " << s
+              << " rank " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsBothModes, BatchedCrossCheckTest,
+    ::testing::Combine(::testing::ValuesIn(AllModelKinds()),
+                       ::testing::Values(ExecutionMode::kEager,
+                                         ExecutionMode::kJit)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ModelKind, ExecutionMode>>& info) {
+      std::string name{ModelKindToString(std::get<0>(info.param))};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += std::get<1>(info.param) == ExecutionMode::kJit ? "_jit"
+                                                             : "_eager";
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::models

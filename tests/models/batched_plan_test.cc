@@ -1,0 +1,186 @@
+// Structural regression tests for the batched plan IR:
+//
+//  1. The body of the batched plan is node-for-node identical to the
+//     unbatched trace: same ops, labels, shapes and per-dispatch cost
+//     polynomials, inputs shifted by the one boundary node, and repeat
+//     multiplied by exactly B. At B = 1 the batched plan therefore
+//     degenerates to the pre-batching plan (plus the two boundary
+//     buffers).
+//  2. The batched graph is lint-clean (no dead ops) and its regions carry
+//     the batch tag correctly.
+//  3. AnalyzeBatchedCost exactness: FLOPs match AnalyzeCost (they never
+//     amortize), and the amortized/marginal traffic split reproduces the
+//     plain traffic totals at B = 1.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "models/model_factory.h"
+#include "models/session_model.h"
+#include "tensor/plan_analysis.h"
+#include "tensor/plan_ir.h"
+#include "tensor/shape_check.h"
+
+namespace etude::models {
+namespace {
+
+class BatchedPlanTest
+    : public ::testing::TestWithParam<std::tuple<ModelKind, ExecutionMode>> {
+ protected:
+  static ModelKind Kind() { return std::get<0>(GetParam()); }
+  static ExecutionMode Mode() { return std::get<1>(GetParam()); }
+
+  static std::unique_ptr<SessionModel> MakeModel() {
+    ModelConfig config;
+    config.catalog_size = 3000;
+    auto model = CreateModel(Kind(), config);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+};
+
+TEST_P(BatchedPlanTest, BodyIsNodeForNodeIdenticalToUnbatchedTrace) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  const tensor::PlanGraph unbatched = model->BuildPlan(Mode());
+  const tensor::PlanGraph batched = model->BuildBatchedPlan(Mode());
+
+  // Boundary: [B, L] ids first, [B, k] gathered scores last.
+  ASSERT_EQ(batched.size(), unbatched.size() + 2);
+  const tensor::PlanNode& ids = batched.node(0);
+  EXPECT_EQ(ids.op, "Materialize");
+  EXPECT_EQ(tensor::ShapeToString(ids.shape), "[B, L]");
+  const tensor::PlanNode& out = batched.node(batched.size() - 1);
+  EXPECT_EQ(out.op, "Materialize");
+  EXPECT_EQ(tensor::ShapeToString(out.shape), "[B, k]");
+  EXPECT_TRUE(out.is_output);
+
+  const tensor::CostPoly b = tensor::CostPoly::FromDim(tensor::sym::B());
+  for (int i = 0; i < unbatched.size(); ++i) {
+    const tensor::PlanNode& want = unbatched.node(i);
+    const tensor::PlanNode& got = batched.node(i + 1);
+    SCOPED_TRACE("node " + std::to_string(i) + " (" + want.op + " " +
+                 want.label + ")");
+    EXPECT_EQ(got.op, want.op);
+    EXPECT_EQ(got.label, want.label);
+    EXPECT_EQ(tensor::ShapeToString(got.shape),
+              tensor::ShapeToString(want.shape));
+    EXPECT_EQ(got.persistent, want.persistent);
+    EXPECT_EQ(static_cast<int>(got.phase), static_cast<int>(want.phase));
+    // Per-dispatch costs are untouched by batching.
+    EXPECT_EQ(got.flops.ToString(), want.flops.ToString());
+    EXPECT_EQ(got.traffic_bytes.ToString(), want.traffic_bytes.ToString());
+    EXPECT_EQ(got.alloc_bytes.ToString(), want.alloc_bytes.ToString());
+    EXPECT_EQ(got.scratch_bytes.ToString(), want.scratch_bytes.ToString());
+    // Dataflow shifts by the one boundary node before the body.
+    ASSERT_EQ(got.inputs.size(), want.inputs.size());
+    for (size_t j = 0; j < want.inputs.size(); ++j) {
+      EXPECT_EQ(got.inputs[j], want.inputs[j] + 1);
+    }
+    EXPECT_EQ(got.min_death, want.min_death + 1);
+    // Multiplicity gains exactly one factor of B.
+    EXPECT_EQ(got.repeat.ToString(), (want.repeat * b).ToString());
+  }
+
+  // The unbatched plan's output mark moved to the [B, k] gather.
+  int unbatched_outputs = 0;
+  int batched_body_outputs = 0;
+  for (const tensor::PlanNode& node : unbatched.nodes()) {
+    if (node.is_output) ++unbatched_outputs;
+  }
+  for (int i = 1; i < batched.size() - 1; ++i) {
+    if (batched.node(i).is_output) ++batched_body_outputs;
+  }
+  EXPECT_EQ(unbatched_outputs, 1);
+  EXPECT_EQ(batched_body_outputs, 0);
+}
+
+TEST_P(BatchedPlanTest, BatchRegionWrapsBodyAndInnerRegionsKeepStructure) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  const tensor::PlanGraph unbatched = model->BuildPlan(Mode());
+  const tensor::PlanGraph batched = model->BuildBatchedPlan(Mode());
+
+  ASSERT_EQ(batched.regions().size(), unbatched.regions().size() + 1);
+  const tensor::RepeatRegion& batch = batched.regions().front();
+  EXPECT_TRUE(batch.is_batch);
+  EXPECT_EQ(batch.trips.ToString(), "B");
+  EXPECT_EQ(batch.begin, 1);
+  EXPECT_EQ(batch.end, batched.size() - 2);
+  EXPECT_EQ(batch.parent, -1);
+  for (size_t r = 0; r < unbatched.regions().size(); ++r) {
+    const tensor::RepeatRegion& want = unbatched.regions()[r];
+    const tensor::RepeatRegion& got = batched.regions()[r + 1];
+    EXPECT_FALSE(got.is_batch);
+    EXPECT_EQ(got.begin, want.begin + 1);
+    EXPECT_EQ(got.end, want.end + 1);
+    EXPECT_EQ(got.trips.ToString(), want.trips.ToString());
+    // Top-level per-session loops are now children of the batch region.
+    EXPECT_EQ(got.parent, want.parent < 0 ? 0 : want.parent + 1);
+  }
+
+  // The batched graph must be as lint-clean as the unbatched one.
+  EXPECT_TRUE(tensor::PlanErrors(batched).empty());
+}
+
+TEST_P(BatchedPlanTest, BatchedCostSplitIsExactAgainstAnalyzeCost) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  const tensor::PlanGraph batched = model->BuildBatchedPlan(Mode());
+  const tensor::CostSummary plain = tensor::AnalyzeCost(batched);
+  const tensor::BatchedCostSummary split = tensor::AnalyzeBatchedCost(batched);
+
+  // FLOPs never amortize: identical polynomials, term for term.
+  EXPECT_EQ(split.total_flops.ToString(), plain.total_flops.ToString());
+  EXPECT_EQ(split.encode_flops.ToString(), plain.encode_flops.ToString());
+  EXPECT_EQ(split.score_flops.ToString(), plain.score_flops.ToString());
+  EXPECT_EQ(split.op_count, plain.op_count);
+
+  // At B = 1 the amortized/marginal split must reproduce the plain
+  // traffic exactly; at B > 1 it can only be cheaper (weight bytes are
+  // charged once instead of B times).
+  for (const int64_t batch : {int64_t{1}, int64_t{4}, int64_t{64}}) {
+    tensor::Bindings bindings = model->PlanBindings(5);
+    bindings["B"] = static_cast<double>(batch);
+    const double plain_total = (plain.encode_traffic_bytes +
+                                plain.score_traffic_bytes)
+                                   .Eval(bindings);
+    const double split_total = split.total_bytes.Eval(bindings);
+    if (batch == 1) {
+      EXPECT_NEAR(split_total, plain_total, 1e-6 * (1.0 + plain_total));
+    } else {
+      EXPECT_LE(split_total, plain_total * (1.0 + 1e-9));
+    }
+    EXPECT_NEAR(split.score_flops.Eval(bindings),
+                plain.score_flops.Eval(bindings),
+                1e-6 * (1.0 + plain.score_flops.Eval(bindings)));
+  }
+
+  // The encode phase of every model streams at least one weight matrix,
+  // so something must amortize.
+  EXPECT_FALSE(split.amortized_bytes.IsZero())
+      << "no weight traffic found to amortize across the batch";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsBothModes, BatchedPlanTest,
+    ::testing::Combine(::testing::ValuesIn(AllModelKinds()),
+                       ::testing::Values(ExecutionMode::kEager,
+                                         ExecutionMode::kJit)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ModelKind, ExecutionMode>>& info) {
+      std::string name{ModelKindToString(std::get<0>(info.param))};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += std::get<1>(info.param) == ExecutionMode::kJit ? "_jit"
+                                                             : "_eager";
+      return name;
+    });
+
+}  // namespace
+}  // namespace etude::models

@@ -1,0 +1,116 @@
+// Algebra tests for the batch symbol B: SymDim products, compound symbol
+// names like "(B*L)", the EvalSymbolName grammar that decomposes them
+// (with '*' binding tighter than '+'), and CostPoly polynomials in B.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "tensor/plan_ir.h"
+#include "tensor/shape_check.h"
+
+namespace etude::tensor {
+namespace {
+
+using Bindings = std::map<std::string, double>;
+
+TEST(SymBatchTest, BatchSymbolPrintsAndEvaluates) {
+  const SymDim b = sym::B();
+  EXPECT_FALSE(b.concrete());
+  EXPECT_EQ(b.symbol(), "B");
+  EXPECT_EQ(b.ToString(), "B");
+  EXPECT_DOUBLE_EQ(b.Eval({{"B", 16.0}}), 16.0);
+  EXPECT_EQ((b * 4).ToString(), "4B");
+  EXPECT_DOUBLE_EQ((b * 4).Eval({{"B", 16.0}}), 64.0);
+}
+
+TEST(SymBatchTest, DimProductFoldsConcreteOperands) {
+  // concrete * concrete folds to a concrete dimension.
+  const SymDim folded = SymDim(6) * SymDim(7);
+  EXPECT_TRUE(folded.concrete());
+  EXPECT_EQ(folded.offset(), 42);
+  // symbolic * concrete (either order) scales the coefficient.
+  EXPECT_EQ((sym::B() * SymDim(3)).ToString(), "3B");
+  EXPECT_EQ((SymDim(3) * sym::B()).ToString(), "3B");
+}
+
+TEST(SymBatchTest, DimProductOfSymbolsBecomesCompound) {
+  const SymDim bl = sym::B() * sym::L();
+  EXPECT_FALSE(bl.concrete());
+  EXPECT_EQ(bl.ToString(), "(B*L)");
+  const Bindings bindings{{"B", 16.0}, {"L", 50.0}};
+  EXPECT_DOUBLE_EQ(bl.Eval(bindings), 800.0);
+  // Scaled compounds keep the coefficient outside the compound symbol.
+  EXPECT_EQ((bl * 2).ToString(), "2(B*L)");
+  EXPECT_DOUBLE_EQ((bl * 2).Eval(bindings), 1600.0);
+}
+
+TEST(SymBatchTest, EvalSymbolNameParsesProducts) {
+  const Bindings bindings{{"B", 4.0}, {"L", 50.0}, {"d", 64.0}};
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(B*L)", bindings), 200.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(B*L*d)", bindings), 12800.0);
+  // '*' binds tighter than '+'.
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(B*L+d)", bindings), 264.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(d+B*L)", bindings), 264.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(B*L-d)", bindings), 136.0);
+  // Coefficients on the factors participate in the product.
+  EXPECT_DOUBLE_EQ(EvalSymbolName("(2B*3L)", bindings), 1200.0);
+  // Nested compounds decompose recursively.
+  EXPECT_DOUBLE_EQ(EvalSymbolName("((B*L)*d)", bindings), 12800.0);
+  EXPECT_DOUBLE_EQ(EvalSymbolName("((L+d)*B)", bindings), 456.0);
+}
+
+TEST(SymBatchTest, CompoundDimRoundTripsThroughSymDimEval) {
+  // The string printed by SymDim::ToString for a nested product must be
+  // accepted by its own Eval (the grammar and the printer agree).
+  const SymDim nested = (sym::B() * sym::L()) * sym::d();
+  const Bindings bindings{{"B", 4.0}, {"L", 50.0}, {"d", 64.0}};
+  EXPECT_DOUBLE_EQ(nested.Eval(bindings), 12800.0);
+  const SymDim sum_times_b = (sym::L() + sym::n()) * sym::B();
+  EXPECT_DOUBLE_EQ(sum_times_b.Eval({{"B", 2.0}, {"L", 5.0}, {"n", 3.0}}),
+                   16.0);
+}
+
+TEST(SymBatchTest, CostPolyWithBatchSymbol) {
+  const CostPoly b = CostPoly::FromDim(sym::B());
+  const CostPoly per_session =
+      CostPoly::FromDim(sym::L()) * CostPoly::FromDim(sym::d());
+  const CostPoly batched = per_session * b;
+  const Bindings bindings{{"B", 16.0}, {"L", 50.0}, {"d", 64.0}};
+  EXPECT_DOUBLE_EQ(batched.Eval(bindings), 16.0 * 50.0 * 64.0);
+  // Symbol multisets are sorted, so B leads alphabetically.
+  EXPECT_EQ(batched.ToString(), "B*L*d");
+  // Numel over a batched shape multiplies in B once.
+  const CostPoly numel = CostPoly::Numel({sym::B(), sym::L(), sym::d()});
+  EXPECT_EQ(numel.ToString(), batched.ToString());
+  // A compound dimension and the explicit product evaluate identically.
+  const CostPoly compound = CostPoly::FromDim(sym::B() * sym::L());
+  EXPECT_DOUBLE_EQ(compound.Eval(bindings),
+                   (b * CostPoly::FromDim(sym::L())).Eval(bindings));
+}
+
+TEST(SymBatchTest, BatchRegionMultipliesNodeRepeat) {
+  PlanGraph plan;
+  plan.BeginRepeat(CostPoly::FromDim(sym::B()), /*is_batch=*/true);
+  PlanNode node;
+  node.op = "MatVec";
+  node.flops = CostPoly::FromDim(sym::C()) * CostPoly::FromDim(sym::d());
+  const int id = plan.Add(std::move(node));
+  plan.BeginRepeat(CostPoly::FromDim(sym::L()));
+  PlanNode inner;
+  inner.op = "Dot";
+  const int inner_id = plan.Add(std::move(inner));
+  plan.EndRepeat();
+  plan.EndRepeat();
+
+  EXPECT_EQ(plan.node(id).repeat.ToString(), "B");
+  EXPECT_EQ(plan.node(inner_id).repeat.ToString(), "B*L");
+  ASSERT_EQ(plan.regions().size(), 2u);
+  EXPECT_TRUE(plan.regions()[0].is_batch);
+  EXPECT_FALSE(plan.regions()[1].is_batch);
+  EXPECT_EQ(plan.regions()[1].parent, 0);
+}
+
+}  // namespace
+}  // namespace etude::tensor

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke test of the static SLO-feasibility linter, run against an
+# existing build tree (default: build/):
+#
+#   tools/lint_deploy_smoke.sh [build-dir]
+#
+# Covers, with exit-code assertions:
+#  - a feasible deployment spec is accepted (exit 0) and the --frontier
+#    table renders;
+#  - a statically-infeasible spec is rejected (exit 3) with a
+#    counterexample line on stderr;
+#  - usage errors (missing spec, unknown flag) exit 2.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+ETUDE="${BUILD_DIR}/src/tools/etude"
+[ -x "${ETUDE}" ] || { echo "FAIL: ${ETUDE} not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+cleanup() { rm -rf "${TMP}"; }
+trap cleanup EXIT
+
+echo "=== lint-deploy: feasible spec accepted (exit 0) ==="
+"${ETUDE}" lint-deploy examples/specs/lint_deploy_feasible.json \
+    --frontier > "${TMP}/feasible.txt"
+grep -q "feasible" "${TMP}/feasible.txt"
+grep -q "verdict" "${TMP}/feasible.txt"  # the frontier table rendered
+
+echo "=== lint-deploy: infeasible spec rejected (exit 3) ==="
+rc=0
+"${ETUDE}" lint-deploy examples/specs/lint_deploy_infeasible.json \
+    > "${TMP}/infeasible.txt" 2> "${TMP}/infeasible.err" || rc=$?
+[ "${rc}" -eq 3 ] || {
+  echo "FAIL: expected exit 3 for the infeasible spec, got ${rc}" >&2
+  exit 1
+}
+grep -q "rejected:" "${TMP}/infeasible.err"
+grep -Eq "capacity:|latency:" "${TMP}/infeasible.err"
+
+echo "=== lint-deploy: usage errors exit 2 ==="
+rc=0
+"${ETUDE}" lint-deploy > /dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || { echo "FAIL: missing spec should exit 2" >&2; exit 1; }
+rc=0
+"${ETUDE}" lint-deploy examples/specs/lint_deploy_feasible.json \
+    --no-such-flag > /dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || { echo "FAIL: unknown flag should exit 2" >&2; exit 1; }
+
+echo "lint-deploy smoke: all checks passed"
